@@ -1,0 +1,53 @@
+//! Available-bandwidth LP benchmarks: chain-length scaling of the Eq. 6
+//! solve, the Eq. 9 upper-bound LP, and the CSMA simulator's slot rate.
+
+use awb_core::bounds::{clique_upper_bound, UpperBoundOptions};
+use awb_core::{available_bandwidth, AvailableBandwidthOptions};
+use awb_phy::Phy;
+use awb_sim::{SimConfig, Simulator};
+use awb_workloads::{chain_model, ScenarioTwo};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_eq6_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eq6_chain_scaling");
+    for &hops in &[2usize, 4, 6, 8] {
+        let (model, path) = chain_model(hops, 70.0, Phy::paper_default());
+        g.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
+            b.iter(|| {
+                available_bandwidth(&model, &[], &path, &AvailableBandwidthOptions::default())
+                    .expect("chains are feasible")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_eq9_scenario2(c: &mut Criterion) {
+    let s = ScenarioTwo::new();
+    c.bench_function("eq9_scenario2", |b| {
+        b.iter(|| {
+            clique_upper_bound(s.model(), &[], &s.path(), &UpperBoundOptions::default())
+                .expect("scenario II fits the cap")
+        })
+    });
+}
+
+fn bench_sim_slots(c: &mut Criterion) {
+    let (model, path) = chain_model(4, 70.0, Phy::paper_default());
+    c.bench_function("csma_10k_slots_4hop", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &model,
+                SimConfig {
+                    slots: 10_000,
+                    ..SimConfig::default()
+                },
+            );
+            sim.add_flow(path.clone(), None);
+            sim.run(&model)
+        })
+    });
+}
+
+criterion_group!(benches, bench_eq6_chain, bench_eq9_scenario2, bench_sim_slots);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Independent-set enumeration benchmarks: chain-length scaling, the
+//! dominance-pruning ablation (`enum_pruning` in DESIGN.md), and the
+//! pairwise-vs-joint admissibility ablation (`admissibility`).
+
+use awb_net::{DeclarativeModel, LinkRateModel, SinrModel};
+use awb_phy::Phy;
+use awb_sets::{enumerate_admissible, EnumerationOptions};
+use awb_workloads::chain_model;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A declarative model carrying exactly the pairwise conflicts of `m` at
+/// max-alone rates — the "protocol model" approximation of the SINR model.
+fn pairwise_projection(m: &SinrModel) -> DeclarativeModel {
+    let t = m.topology().clone();
+    let links: Vec<_> = t.links().map(|l| l.id()).collect();
+    let mut b = DeclarativeModel::builder(t);
+    for &l in &links {
+        b = b.alone_rates(l, &m.alone_rates(l));
+    }
+    for (i, &a) in links.iter().enumerate() {
+        for &bl in &links[i + 1..] {
+            for ra in m.alone_rates(a) {
+                for rb in m.alone_rates(bl) {
+                    if m.conflicts((a, ra), (bl, rb)) {
+                        b = b.conflict_at(a, ra, bl, rb);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+fn bench_chain_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enum_chain_scaling");
+    for &hops in &[4usize, 6, 8, 10] {
+        let (model, path) = chain_model(hops, 70.0, Phy::paper_default());
+        let links = path.links().to_vec();
+        g.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
+            b.iter(|| enumerate_admissible(&model, &links, &EnumerationOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pruning_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enum_pruning");
+    let (model, path) = chain_model(8, 70.0, Phy::paper_default());
+    let links = path.links().to_vec();
+    for (label, prune) in [("pruned", true), ("unpruned", false)] {
+        g.bench_with_input(BenchmarkId::new(label, 8), &prune, |b, &prune| {
+            b.iter(|| {
+                enumerate_admissible(
+                    &model,
+                    &links,
+                    &EnumerationOptions {
+                        prune_dominated: prune,
+                        max_set_size: None,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_admissibility_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("admissibility");
+    let (sinr, path) = chain_model(8, 70.0, Phy::paper_default());
+    let links = path.links().to_vec();
+    let pairwise = pairwise_projection(&sinr);
+    g.bench_function("joint_sinr", |b| {
+        b.iter(|| enumerate_admissible(&sinr, &links, &EnumerationOptions::default()))
+    });
+    g.bench_function("pairwise_declarative", |b| {
+        b.iter(|| enumerate_admissible(&pairwise, &links, &EnumerationOptions::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_scaling,
+    bench_pruning_ablation,
+    bench_admissibility_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! End-to-end timings of the figure-regeneration drivers (E1–E5) — the cost
+//! of reproducing each of the paper's artefacts.
+
+use awb_bench::experiments::{fig2_paths, fig3, fig4, scenario1_sweep, scenario2_report};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("scenario1_sweep_5pts", |b| {
+        b.iter(|| scenario1_sweep(&[0.1, 0.2, 0.3, 0.4, 0.5], 5_000))
+    });
+    g.bench_function("scenario2_report", |b| b.iter(scenario2_report));
+    g.bench_function("fig2_paths", |b| b.iter(fig2_paths));
+    g.bench_function("fig3", |b| b.iter(fig3));
+    g.bench_function("fig4", |b| b.iter(fig4));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Simplex solver benchmarks, including the pricing-rule ablation
+//! (`lp_pricing` in DESIGN.md).
+
+use awb_lp::{Direction, Pricing, Problem, Relation, SolverOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense random feasible LP with `m` constraints over `n` variables.
+fn random_lp(n: usize, m: usize, seed: u64) -> Problem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = Problem::new(Direction::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| p.add_var(format!("x{i}"), rng.gen_range(0.0..5.0)))
+        .collect();
+    for _ in 0..m {
+        let terms: Vec<_> = vars
+            .iter()
+            .map(|&v| (v, rng.gen_range(0.0..3.0)))
+            .collect();
+        p.add_constraint(&terms, Relation::Le, rng.gen_range(5.0..50.0))
+            .expect("fresh variables");
+    }
+    for &v in &vars {
+        p.bound_var(v, 100.0).expect("fresh variables");
+    }
+    p
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_solve");
+    for &(n, m) in &[(10usize, 20usize), (30, 60), (60, 120)] {
+        let p = random_lp(n, m, 42);
+        g.bench_with_input(BenchmarkId::new("dense", format!("{n}x{m}")), &p, |b, p| {
+            b.iter(|| p.solve().expect("random LPs are feasible"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pricing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_pricing");
+    let p = random_lp(30, 60, 7);
+    for (label, pricing) in [("auto", Pricing::Auto), ("bland", Pricing::Bland)] {
+        g.bench_with_input(BenchmarkId::new(label, "30x60"), &p, |b, p| {
+            b.iter(|| {
+                p.solve_with(SolverOptions {
+                    pricing,
+                    ..SolverOptions::default()
+                })
+                .expect("random LPs are feasible")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sizes, bench_pricing);
+criterion_main!(benches);

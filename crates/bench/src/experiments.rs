@@ -1,0 +1,276 @@
+//! Drivers for the paper's experiments (E1–E5 in DESIGN.md).
+
+use crate::rows::{
+    EstimatorError, Fig2Path, Fig3Row, Fig4Row, Scenario1Row, Scenario2Report,
+};
+use awb_core::bounds::{clique_time_share, clique_upper_bound, UpperBoundOptions};
+use awb_core::{available_bandwidth, feasibility, AvailableBandwidthOptions, Flow, Schedule};
+use awb_estimate::{Estimator, Hop, IdleMap};
+use awb_net::{LinkRateModel, NodeId, SinrModel};
+use awb_phy::Rate;
+use awb_routing::{admit_sequentially, shortest_path, AdmissionConfig, RoutingMetric};
+use awb_sets::RatedSet;
+use awb_sim::{SimConfig, Simulator};
+use awb_workloads::{connected_pairs, RandomTopology, RandomTopologyConfig, ScenarioOne, ScenarioTwo};
+
+/// Default demand per flow in the random-topology experiments (paper §5.2).
+pub const FLOW_DEMAND_MBPS: f64 = 2.0;
+/// Default number of flows (paper §5.2).
+pub const NUM_FLOWS: usize = 8;
+/// Seed for drawing source/destination pairs.
+pub const PAIRS_SEED: u64 = 5;
+
+/// E1 — Scenario I sweep: optimal vs idle-time-estimated available
+/// bandwidth of the path over `L3` as background load grows.
+pub fn scenario1_sweep(lambdas: &[f64], sim_slots: u64) -> Vec<Scenario1Row> {
+    let s = ScenarioOne::new();
+    let m = s.model();
+    let r = s.rate().as_mbps();
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let optimal = available_bandwidth(
+                m,
+                &s.background(lambda),
+                &s.new_path(),
+                &AvailableBandwidthOptions::default(),
+            )
+            .expect("scenario I backgrounds are feasible for λ ≤ 0.5")
+            .bandwidth_mbps();
+            let idle = IdleMap::from_schedule(m, &s.naive_background_schedule(lambda));
+            let hops = Hop::for_path(m, &idle, &s.new_path()).expect("L3 is live");
+            let idle_estimate = Estimator::BottleneckNode.estimate(m, &hops);
+
+            let mut sim = Simulator::new(
+                m,
+                SimConfig {
+                    slots: sim_slots,
+                    ..SimConfig::default()
+                },
+            );
+            for flow in s.background(lambda) {
+                sim.add_flow(flow.path().clone(), Some(flow.demand_mbps()));
+            }
+            let report = sim.run(m);
+            let sim_idle = IdleMap::from_ratios(report.node_idle_ratio);
+            let sim_hops = Hop::for_path(m, &sim_idle, &s.new_path()).expect("L3 is live");
+            let sim_estimate = Estimator::BottleneckNode.estimate(m, &sim_hops);
+            let _ = r;
+            Scenario1Row {
+                lambda,
+                optimal_mbps: optimal,
+                idle_estimate_mbps: idle_estimate,
+                sim_estimate_mbps: sim_estimate,
+            }
+        })
+        .collect()
+}
+
+/// E2 — the Scenario II analysis (§3.1, §5.1).
+pub fn scenario2_report() -> Scenario2Report {
+    let s = ScenarioTwo::new();
+    let m = s.model();
+    let [l1, l2, l3, l4] = s.links();
+    let r54 = Rate::from_mbps(54.0);
+    let r36 = Rate::from_mbps(36.0);
+    let out = available_bandwidth(m, &[], &s.path(), &AvailableBandwidthOptions::default())
+        .expect("scenario II is feasible");
+    let f = out.bandwidth_mbps();
+    let all54: Vec<_> = [l1, l2, l3, l4].into_iter().map(|l| (l, r54)).collect();
+    let b1 = awb_core::bounds::equal_throughput_clique_bound(m, &all54)
+        .expect("non-empty assignment");
+    let with36 = vec![(l1, r36), (l2, r54), (l3, r54), (l4, r54)];
+    let b2 = awb_core::bounds::equal_throughput_clique_bound(m, &with36)
+        .expect("non-empty assignment");
+    let c1: RatedSet = [l1, l2, l3, l4].into_iter().map(|l| (l, r54)).collect();
+    let c2: RatedSet = vec![(l1, r36), (l2, r54), (l3, r54)].into_iter().collect();
+    let eq9 = clique_upper_bound(m, &[], &s.path(), &UpperBoundOptions::default())
+        .expect("scenario II is small enough for Eq. 9");
+    Scenario2Report {
+        optimal_mbps: f,
+        all54_bound_mbps: b1,
+        l1_36_bound_mbps: b2,
+        c1_time_share: clique_time_share(&c1, |_| f),
+        c2_time_share: clique_time_share(&c2, |_| f),
+        eq9_upper_bound_mbps: eq9,
+        schedule: out.schedule().to_string(),
+    }
+}
+
+/// The random topology and flow endpoints shared by E3/E4/E5.
+///
+/// The default seeds give a representative instance (metric failure order
+/// 3 < 4 < 7, close to the paper's 3 < 5 < 8); they can be overridden via
+/// the `AWB_TOPO_SEED` and `AWB_PAIRS_SEED` environment variables to
+/// explore other draws.
+pub fn paper_random_instance() -> (SinrModel, Vec<(NodeId, NodeId)>) {
+    let topo_seed = std::env::var("AWB_TOPO_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(RandomTopologyConfig::default().seed);
+    let pairs_seed = std::env::var("AWB_PAIRS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAIRS_SEED);
+    let rt = RandomTopology::generate(RandomTopologyConfig {
+        seed: topo_seed,
+        ..RandomTopologyConfig::default()
+    });
+    let pairs = connected_pairs(rt.model(), NUM_FLOWS, 2..=4, pairs_seed);
+    (rt.into_model(), pairs)
+}
+
+/// E3 — the paths each routing metric finds (Fig. 2's solid vs dotted
+/// arrows).
+pub fn fig2_paths() -> Vec<Fig2Path> {
+    let (model, pairs) = paper_random_instance();
+    let mut out = Vec::new();
+    for metric in RoutingMetric::ALL {
+        let outcomes = admit_sequentially(
+            &model,
+            &pairs,
+            metric,
+            &AdmissionConfig {
+                stop_on_first_failure: false,
+                ..AdmissionConfig::default()
+            },
+        )
+        .expect("admission runs on feasible backgrounds");
+        for o in outcomes {
+            let nodes = o
+                .path
+                .as_ref()
+                .and_then(|p| p.nodes(model.topology()).ok())
+                .map(|ns| ns.into_iter().map(|n| n.index()).collect())
+                .unwrap_or_default();
+            out.push(Fig2Path {
+                metric: metric.label().to_string(),
+                flow: o.index + 1,
+                nodes,
+            });
+        }
+    }
+    out
+}
+
+/// The routed paths of E3 as `(metric index, flow, Path)` triples.
+pub type RoutedPaths = Vec<(usize, usize, awb_net::Path)>;
+
+/// E3 (rendering) — the routed paths for the SVG renderer.
+pub fn fig2_routed_paths() -> (SinrModel, Vec<(NodeId, NodeId)>, RoutedPaths) {
+    let (model, pairs) = paper_random_instance();
+    let mut out = Vec::new();
+    for (mi, metric) in RoutingMetric::ALL.into_iter().enumerate() {
+        let outcomes = admit_sequentially(
+            &model,
+            &pairs,
+            metric,
+            &AdmissionConfig {
+                stop_on_first_failure: false,
+                ..AdmissionConfig::default()
+            },
+        )
+        .expect("admission runs on feasible backgrounds");
+        for o in outcomes {
+            if let Some(p) = o.path {
+                out.push((mi, o.index + 1, p));
+            }
+        }
+    }
+    (model, pairs, out)
+}
+
+/// E4 — Fig. 3: per-flow available bandwidth under each routing metric,
+/// flows joining one by one until the first failure.
+pub fn fig3() -> Vec<Fig3Row> {
+    let (model, pairs) = paper_random_instance();
+    let mut rows = Vec::new();
+    for metric in RoutingMetric::ALL {
+        let outcomes = admit_sequentially(
+            &model,
+            &pairs,
+            metric,
+            &AdmissionConfig::default(),
+        )
+        .expect("admission runs on feasible backgrounds");
+        for o in outcomes {
+            rows.push(Fig3Row {
+                metric: metric.label().to_string(),
+                flow: o.index + 1,
+                available_mbps: o.available_mbps,
+                admitted: o.admitted,
+                hops: o.path.as_ref().map_or(0, awb_net::Path::len),
+            });
+        }
+    }
+    rows
+}
+
+/// E5 — Fig. 4: the five §4 estimators vs the Eq. 6 ground truth on the
+/// paths found by average-e2eD, as flows join one by one.
+pub fn fig4() -> (Vec<Fig4Row>, Vec<EstimatorError>) {
+    let (model, pairs) = paper_random_instance();
+    let mut admitted: Vec<Flow> = Vec::new();
+    let mut rows = Vec::new();
+    for (index, &(src, dst)) in pairs.iter().enumerate() {
+        let schedule = if admitted.is_empty() {
+            Schedule::empty()
+        } else {
+            feasibility::min_airtime(&model, &admitted)
+                .expect("admitted background is feasible")
+                .1
+        };
+        let idle = IdleMap::from_schedule(&model, &schedule);
+        let Some(path) = shortest_path(&model, &idle, RoutingMetric::AverageE2eDelay, src, dst)
+        else {
+            break;
+        };
+        let truth = available_bandwidth(
+            &model,
+            &admitted,
+            &path,
+            &AvailableBandwidthOptions::default(),
+        )
+        .expect("admitted background is feasible")
+        .bandwidth_mbps();
+        let hops = Hop::for_path(&model, &idle, &path).expect("routed paths are live");
+        let est = |e: Estimator| e.estimate(&model, &hops);
+        rows.push(Fig4Row {
+            flow: index + 1,
+            truth_mbps: truth,
+            clique_mbps: est(Estimator::CliqueConstraint),
+            bottleneck_mbps: est(Estimator::BottleneckNode),
+            min_both_mbps: est(Estimator::MinOfBoth),
+            conservative_mbps: est(Estimator::ConservativeClique),
+            expected_time_mbps: est(Estimator::ExpectedCliqueTime),
+        });
+        if truth + 1e-9 < FLOW_DEMAND_MBPS {
+            break; // the paper stops when a demand cannot be met
+        }
+        admitted.push(Flow::new(path, FLOW_DEMAND_MBPS).expect("demand is valid"));
+    }
+
+    let errors = Estimator::ALL
+        .iter()
+        .map(|&e| {
+            let pick = |r: &Fig4Row| match e {
+                Estimator::CliqueConstraint => r.clique_mbps,
+                Estimator::BottleneckNode => r.bottleneck_mbps,
+                Estimator::MinOfBoth => r.min_both_mbps,
+                Estimator::ConservativeClique => r.conservative_mbps,
+                Estimator::ExpectedCliqueTime => r.expected_time_mbps,
+            };
+            let n = rows.len().max(1) as f64;
+            let mean_abs =
+                rows.iter().map(|r| (pick(r) - r.truth_mbps).abs()).sum::<f64>() / n;
+            let mean_signed =
+                rows.iter().map(|r| pick(r) - r.truth_mbps).sum::<f64>() / n;
+            EstimatorError {
+                estimator: e.label().to_string(),
+                mean_abs_error_mbps: mean_abs,
+                mean_signed_error_mbps: mean_signed,
+            }
+        })
+        .collect();
+    (rows, errors)
+}

@@ -1,0 +1,93 @@
+//! Row types emitted by the experiment drivers.
+
+use serde::Serialize;
+
+/// One λ point of the Scenario I sweep (E1).
+#[derive(Debug, Clone, Serialize)]
+pub struct Scenario1Row {
+    /// Background time share per link.
+    pub lambda: f64,
+    /// Eq. 6 optimum: `(1 − λ) · r`.
+    pub optimal_mbps: f64,
+    /// Idle-time estimate against the non-overlapping background:
+    /// `(1 − 2λ) · r`.
+    pub idle_estimate_mbps: f64,
+    /// Idle-time estimate fed by the CSMA simulator's measured ratios.
+    pub sim_estimate_mbps: f64,
+}
+
+/// The Scenario II report (E2).
+#[derive(Debug, Clone, Serialize)]
+pub struct Scenario2Report {
+    /// The Eq. 6 optimum (paper: 16.2).
+    pub optimal_mbps: f64,
+    /// Eq. 7 bound for the all-54 rate vector (paper: 13.5).
+    pub all54_bound_mbps: f64,
+    /// Eq. 7 bound for (36, 54, 54, 54) (paper: 108/7 ≈ 15.43).
+    pub l1_36_bound_mbps: f64,
+    /// Clique time share of C1 at the optimum (paper: 1.2).
+    pub c1_time_share: f64,
+    /// Clique time share of C2 at the optimum (paper: 1.05).
+    pub c2_time_share: f64,
+    /// The corrected Eq. 9 upper bound.
+    pub eq9_upper_bound_mbps: f64,
+    /// Human-readable optimal schedule.
+    pub schedule: String,
+}
+
+/// One flow of the Fig. 3 experiment under one routing metric (E4).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Row {
+    /// Routing metric label.
+    pub metric: String,
+    /// Arrival index (1-based, as the paper plots).
+    pub flow: usize,
+    /// Ground-truth available bandwidth of the chosen path (Eq. 6).
+    pub available_mbps: f64,
+    /// Whether the 2 Mbps demand was admitted.
+    pub admitted: bool,
+    /// Hop count of the chosen path (0 = no path).
+    pub hops: usize,
+}
+
+/// One flow of the Fig. 4 experiment (E5): the five estimators vs the LP
+/// ground truth on the path chosen by average-e2eD.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Row {
+    /// Arrival index (1-based).
+    pub flow: usize,
+    /// Ground truth (Eq. 6).
+    pub truth_mbps: f64,
+    /// Eq. 11 clique constraint.
+    pub clique_mbps: f64,
+    /// Eq. 10 bottleneck node bandwidth.
+    pub bottleneck_mbps: f64,
+    /// Eq. 12 min of the two.
+    pub min_both_mbps: f64,
+    /// Eq. 13 conservative clique constraint.
+    pub conservative_mbps: f64,
+    /// Eq. 15 expected clique transmission time.
+    pub expected_time_mbps: f64,
+}
+
+/// A path found in the Fig. 2 topology (E3).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Path {
+    /// Routing metric label.
+    pub metric: String,
+    /// Flow index (1-based).
+    pub flow: usize,
+    /// Node ids along the path (empty = unroutable).
+    pub nodes: Vec<usize>,
+}
+
+/// Mean absolute estimation error per estimator, the Fig. 4 summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct EstimatorError {
+    /// Estimator label (the paper's name).
+    pub estimator: String,
+    /// Mean |estimate − truth| over the admitted flows, in Mbps.
+    pub mean_abs_error_mbps: f64,
+    /// Mean signed error (positive = overestimates).
+    pub mean_signed_error_mbps: f64,
+}

@@ -1,0 +1,136 @@
+//! Tiny self-contained SVG rendering of the Fig. 2 topology and routed
+//! paths (no external dependencies).
+
+use awb_net::{LinkRateModel, NodeId, Path, SinrModel};
+use std::fmt::Write as _;
+
+/// Colours per routing metric, in [`awb_routing::RoutingMetric::ALL`] order.
+const PATH_COLOURS: [&str; 3] = ["#d62728", "#1f77b4", "#2ca02c"];
+
+/// Renders the topology with one polyline per (metric, flow) path, in the
+/// spirit of the paper's Fig. 2 (solid arrows = average-e2eD, dotted =
+/// e2eTD). Returns the SVG document as a string.
+pub fn render_fig2(
+    model: &SinrModel,
+    pairs: &[(NodeId, NodeId)],
+    paths: &[(usize, usize, Path)],
+) -> String {
+    let t = model.topology();
+    let scale = 1.2;
+    let margin = 30.0;
+    let (mut max_x, mut max_y) = (0.0f64, 0.0f64);
+    for n in t.nodes() {
+        max_x = max_x.max(n.position().x);
+        max_y = max_y.max(n.position().y);
+    }
+    let width = max_x * scale + 2.0 * margin;
+    let height = max_y * scale + 2.0 * margin;
+    let px = |x: f64| x * scale + margin;
+    let py = |y: f64| y * scale + margin;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = writeln!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    // Faint connectivity (one line per undirected pair).
+    for link in t.links() {
+        if link.tx() < link.rx() {
+            let a = t.node(link.tx()).expect("own node").position();
+            let b = t.node(link.rx()).expect("own node").position();
+            let _ = writeln!(
+                s,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#dddddd" stroke-width="0.6"/>"##,
+                px(a.x), py(a.y), px(b.x), py(b.y)
+            );
+        }
+    }
+
+    // Paths: one polyline per (metric, flow).
+    for &(metric_idx, _flow, ref path) in paths {
+        let colour = PATH_COLOURS[metric_idx % PATH_COLOURS.len()];
+        let dash = match metric_idx {
+            0 => r#" stroke-dasharray="2,3""#,
+            1 => r#" stroke-dasharray="6,3""#,
+            _ => "",
+        };
+        let pts: Vec<String> = path
+            .nodes(t)
+            .expect("paths belong to this topology")
+            .into_iter()
+            .map(|n| {
+                let p = t.node(n).expect("own node").position();
+                format!("{:.1},{:.1}", px(p.x), py(p.y))
+            })
+            .collect();
+        let _ = writeln!(
+            s,
+            r#"<polyline points="{}" fill="none" stroke="{colour}" stroke-width="2"{dash} opacity="0.8"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    // Nodes on top, endpoints emphasized.
+    let endpoints: Vec<usize> = pairs
+        .iter()
+        .flat_map(|&(a, b)| [a.index(), b.index()])
+        .collect();
+    for n in t.nodes() {
+        let p = n.position();
+        let is_endpoint = endpoints.contains(&n.id().index());
+        let (radius, fill) = if is_endpoint { (5.0, "#222222") } else { (3.0, "#888888") };
+        let _ = writeln!(
+            s,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="{radius}" fill="{fill}"/>"#,
+            px(p.x), py(p.y)
+        );
+        let _ = writeln!(
+            s,
+            r##"<text x="{:.1}" y="{:.1}" font-size="9" fill="#444444">n{}</text>"##,
+            px(p.x) + 6.0,
+            py(p.y) - 4.0,
+            n.id().index()
+        );
+    }
+
+    // Legend.
+    for (i, label) in ["hop count", "e2eTD", "average-e2eD"].iter().enumerate() {
+        let y = 16.0 + 14.0 * i as f64;
+        let _ = writeln!(
+            s,
+            r#"<line x1="8" y1="{y:.1}" x2="36" y2="{y:.1}" stroke="{}" stroke-width="2"/>"#,
+            PATH_COLOURS[i]
+        );
+        let _ = writeln!(
+            s,
+            r##"<text x="42" y="{:.1}" font-size="11" fill="#222222">{label}</text>"##,
+            y + 4.0
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_workloads::{connected_pairs, RandomTopology, RandomTopologyConfig};
+
+    #[test]
+    fn svg_is_well_formed_and_mentions_every_node() {
+        let rt = RandomTopology::generate(RandomTopologyConfig {
+            num_nodes: 6,
+            ..RandomTopologyConfig::default()
+        });
+        let pairs = connected_pairs(rt.model(), 1, 1..=4, 3);
+        let svg = render_fig2(rt.model(), &pairs, &[]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        for i in 0..6 {
+            assert!(svg.contains(&format!(">n{i}<")), "missing node label n{i}");
+        }
+        assert!(svg.contains("average-e2eD"));
+    }
+}

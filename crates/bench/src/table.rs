@@ -1,0 +1,30 @@
+//! Minimal fixed-width table printing for the figure binaries.
+
+/// Prints a header row followed by aligned data rows. Column widths adapt to
+/// the widest cell.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats an f64 with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}

@@ -1,0 +1,103 @@
+//! Shape tests for the experiment drivers (the same code the figure
+//! binaries and EXPERIMENTS.md rely on).
+
+use awb_bench::experiments::{
+    fig2_paths, fig3, fig4, paper_random_instance, scenario1_sweep, scenario2_report,
+    FLOW_DEMAND_MBPS, NUM_FLOWS,
+};
+
+#[test]
+fn scenario1_rows_follow_the_closed_forms() {
+    let lambdas = [0.1, 0.25, 0.4];
+    let rows = scenario1_sweep(&lambdas, 5_000);
+    assert_eq!(rows.len(), lambdas.len());
+    for r in &rows {
+        assert!((r.optimal_mbps - (1.0 - r.lambda) * 54.0).abs() < 1e-6);
+        assert!((r.idle_estimate_mbps - (1.0 - 2.0 * r.lambda) * 54.0).abs() < 1e-6);
+        // The behavioural estimate lies between the pessimistic idle
+        // estimate and the optimum.
+        assert!(r.sim_estimate_mbps >= r.idle_estimate_mbps - 1.5);
+        assert!(r.sim_estimate_mbps <= r.optimal_mbps + 1.5);
+    }
+}
+
+#[test]
+fn scenario2_report_reproduces_the_constants() {
+    let r = scenario2_report();
+    assert!((r.optimal_mbps - 16.2).abs() < 1e-6);
+    assert!((r.all54_bound_mbps - 13.5).abs() < 1e-9);
+    assert!((r.l1_36_bound_mbps - 108.0 / 7.0).abs() < 1e-9);
+    assert!((r.c1_time_share - 1.2).abs() < 1e-9);
+    assert!((r.c2_time_share - 1.05).abs() < 1e-9);
+    assert!(r.eq9_upper_bound_mbps + 1e-6 >= 16.2);
+    assert!(r.schedule.contains("36 Mbps"));
+}
+
+#[test]
+fn fig3_orders_the_metrics() {
+    let rows = fig3();
+    let first_fail = |metric: &str| {
+        rows.iter()
+            .find(|r| r.metric == metric && !r.admitted)
+            .map(|r| r.flow)
+            .unwrap_or(NUM_FLOWS + 1)
+    };
+    let (h, e, a) = (
+        first_fail("hop count"),
+        first_fail("e2eTD"),
+        first_fail("average-e2eD"),
+    );
+    assert!(h <= e && e <= a, "ordering violated: {h} {e} {a}");
+    // Admitted flows always cover the demand.
+    for r in &rows {
+        if r.admitted {
+            assert!(r.available_mbps + 1e-9 >= FLOW_DEMAND_MBPS);
+            assert!(r.hops > 0);
+        }
+    }
+}
+
+#[test]
+fn fig4_estimator_errors_rank_background_aware_metrics_first() {
+    let (rows, errors) = fig4();
+    assert!(!rows.is_empty());
+    assert_eq!(errors.len(), 5);
+    let err_of = |label: &str| {
+        errors
+            .iter()
+            .find(|e| e.estimator == label)
+            .map(|e| e.mean_abs_error_mbps)
+            .expect("estimator present")
+    };
+    let conservative = err_of("conservative clique constraint");
+    let expected_t = err_of("expected clique transmission time");
+    for other in [
+        "clique constraint",
+        "bottleneck node bandwidth",
+        "min of the above two",
+    ] {
+        assert!(
+            conservative < err_of(other) && expected_t < err_of(other),
+            "background-aware estimators must beat {other}"
+        );
+    }
+    // Eq. 12 never exceeds either of its parts.
+    for r in &rows {
+        assert!(r.min_both_mbps <= r.clique_mbps + 1e-9);
+        assert!(r.min_both_mbps <= r.bottleneck_mbps + 1e-9);
+    }
+}
+
+#[test]
+fn fig2_paths_cover_every_metric_and_flow() {
+    let paths = fig2_paths();
+    let (_, pairs) = paper_random_instance();
+    for metric in ["hop count", "e2eTD", "average-e2eD"] {
+        let count = paths.iter().filter(|p| p.metric == metric).count();
+        assert_eq!(count, pairs.len(), "{metric}");
+    }
+    // Routed paths have at least 2 nodes.
+    for p in &paths {
+        assert!(p.nodes.is_empty() || p.nodes.len() >= 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! Implementations of the CLI subcommands.
+
+use crate::args::Args;
+use awb_core::{available_bandwidth, AvailableBandwidthOptions, Flow};
+use awb_net::{LinkRateModel, Path};
+use awb_phy::Phy;
+use awb_routing::{admit_sequentially, AdmissionConfig, RoutingMetric};
+use awb_sim::{Contention, SimConfig, Simulator};
+use awb_workloads::{chain_model, connected_pairs, RandomTopology, RandomTopologyConfig};
+use serde::Serialize;
+use std::error::Error;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn emit<T: Serialize>(args: &Args, value: &T, text: impl FnOnce()) -> CmdResult {
+    if args.has("json") {
+        println!("{}", serde_json::to_string_pretty(value)?);
+    } else {
+        text();
+    }
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct TopologyOut {
+    nodes: Vec<(f64, f64)>,
+    links: Vec<(usize, usize)>,
+}
+
+pub fn topology(args: &Args) -> CmdResult {
+    let config = RandomTopologyConfig {
+        num_nodes: args.get_or("nodes", 30usize)?,
+        width: args.get_or("width", 400.0f64)?,
+        height: args.get_or("height", 600.0f64)?,
+        seed: args.get_or("seed", RandomTopologyConfig::default().seed)?,
+    };
+    let rt = RandomTopology::generate(config);
+    let t = rt.model().topology();
+    let out = TopologyOut {
+        nodes: t
+            .nodes()
+            .map(|n| (n.position().x, n.position().y))
+            .collect(),
+        links: t
+            .links()
+            .map(|l| (l.tx().index(), l.rx().index()))
+            .collect(),
+    };
+    emit(args, &out, || {
+        println!(
+            "{} nodes in {} m x {} m (seed {}), {} directed links",
+            config.num_nodes,
+            config.width,
+            config.height,
+            config.seed,
+            out.links.len()
+        );
+        for (i, (x, y)) in out.nodes.iter().enumerate() {
+            println!("  n{i}: ({x:.1}, {y:.1})");
+        }
+    })
+}
+
+#[derive(Serialize)]
+struct AvailableOut {
+    hops: usize,
+    hop_length_m: f64,
+    background_mbps: f64,
+    available_mbps: f64,
+    airtime_shadow_price: f64,
+    bottlenecks: Vec<(usize, f64)>,
+    schedule: String,
+}
+
+pub fn available(args: &Args) -> CmdResult {
+    let hops = args.get_or("hops", 4usize)?;
+    let hop_length = args.get_or("hop-length", 70.0f64)?;
+    let background_mbps = args.get_or("background", 0.0f64)?;
+    let (model, path) = chain_model(hops, hop_length, Phy::paper_default());
+    // Background, if requested, loads the first hop.
+    let background = if background_mbps > 0.0 {
+        let first = Path::new(model.topology(), vec![path.links()[0]])?;
+        vec![Flow::new(first, background_mbps)?]
+    } else {
+        Vec::new()
+    };
+    let out = available_bandwidth(
+        &model,
+        &background,
+        &path,
+        &AvailableBandwidthOptions::default(),
+    )?;
+    let view = AvailableOut {
+        hops,
+        hop_length_m: hop_length,
+        background_mbps,
+        available_mbps: out.bandwidth_mbps(),
+        airtime_shadow_price: out.airtime_shadow_price(),
+        bottlenecks: out
+            .bottleneck_links()
+            .into_iter()
+            .map(|(l, s)| (l.index(), s))
+            .collect(),
+        schedule: out.schedule().to_string(),
+    };
+    emit(args, &view, || {
+        println!(
+            "{hops}-hop chain at {hop_length} m/hop, {background_mbps} Mbps background on hop 0"
+        );
+        println!("available bandwidth: {:.3} Mbps", view.available_mbps);
+        println!(
+            "airtime shadow price: {:.3} Mbps per unit time",
+            view.airtime_shadow_price
+        );
+        if !view.bottlenecks.is_empty() {
+            println!("bottleneck links (scarcity):");
+            for (l, s) in &view.bottlenecks {
+                println!("  L{l}: {s:.3}");
+            }
+        }
+        println!("schedule:\n{}", view.schedule);
+    })
+}
+
+#[derive(Serialize)]
+struct AdmissionRow {
+    flow: usize,
+    hops: usize,
+    available_mbps: f64,
+    admitted: bool,
+}
+
+pub fn admission(args: &Args) -> CmdResult {
+    let metric = match args.get("metric").unwrap_or("average-e2eD") {
+        "hop-count" | "hop count" => RoutingMetric::HopCount,
+        "e2eTD" => RoutingMetric::E2eTransmissionDelay,
+        "average-e2eD" => RoutingMetric::AverageE2eDelay,
+        other => return Err(format!("unknown metric {other:?}").into()),
+    };
+    let rt = RandomTopology::generate(RandomTopologyConfig {
+        seed: args.get_or("seed", RandomTopologyConfig::default().seed)?,
+        ..RandomTopologyConfig::default()
+    });
+    let pairs = connected_pairs(
+        rt.model(),
+        args.get_or("flows", 8usize)?,
+        2..=4,
+        args.get_or("pairs-seed", 5u64)?,
+    );
+    let outcomes = admit_sequentially(
+        rt.model(),
+        &pairs,
+        metric,
+        &AdmissionConfig {
+            demand_mbps: args.get_or("demand", 2.0f64)?,
+            stop_on_first_failure: false,
+            ..AdmissionConfig::default()
+        },
+    )?;
+    let rows: Vec<AdmissionRow> = outcomes
+        .iter()
+        .map(|o| AdmissionRow {
+            flow: o.index + 1,
+            hops: o.path.as_ref().map_or(0, Path::len),
+            available_mbps: o.available_mbps,
+            admitted: o.admitted,
+        })
+        .collect();
+    emit(args, &rows, || {
+        println!("admission under {metric}:");
+        for r in &rows {
+            println!(
+                "  flow {}: {} hops, {:.3} Mbps available — {}",
+                r.flow,
+                r.hops,
+                r.available_mbps,
+                if r.admitted { "admitted" } else { "REJECTED" }
+            );
+        }
+        let n = rows.iter().filter(|r| r.admitted).count();
+        println!("{n}/{} admitted", rows.len());
+    })
+}
+
+#[derive(Serialize)]
+struct SimulateOut {
+    hops: usize,
+    slots: u64,
+    throughput_mbps: f64,
+    collision_slots: u64,
+    node_idle_ratios: Vec<f64>,
+}
+
+pub fn simulate(args: &Args) -> CmdResult {
+    let hops = args.get_or("hops", 3usize)?;
+    let hop_length = args.get_or("hop-length", 70.0f64)?;
+    let slots = args.get_or("slots", 50_000u64)?;
+    let contention = match args.get("contention").unwrap_or("ordered") {
+        "ordered" => Contention::OrderedCsma,
+        "dcf" => Contention::Dcf {
+            cw_min: 16,
+            cw_max: 1024,
+        },
+        other => match other.strip_prefix('p').and_then(|p| p.parse::<f64>().ok()) {
+            Some(p) if (0.0..=1.0).contains(&p) => Contention::PPersistent(p),
+            _ => return Err(format!("unknown contention {other:?}").into()),
+        },
+    };
+    let demand = match args.get("demand") {
+        None | Some("sat") => None,
+        Some(v) => Some(v.parse::<f64>().map_err(|_| format!("bad demand {v:?}"))?),
+    };
+    let (model, path) = chain_model(hops, hop_length, Phy::paper_default());
+    let mut sim = Simulator::new(
+        &model,
+        SimConfig {
+            slots,
+            contention,
+            ..SimConfig::default()
+        },
+    );
+    let f = sim.add_flow(path, demand);
+    let report = sim.run(&model);
+    let out = SimulateOut {
+        hops,
+        slots,
+        throughput_mbps: report.flow_throughput_mbps[f],
+        collision_slots: report.link_collision_slots.iter().sum(),
+        node_idle_ratios: report.node_idle_ratio.clone(),
+    };
+    emit(args, &out, || {
+        println!(
+            "{hops}-hop chain, {slots} slots, contention {:?}",
+            contention
+        );
+        println!("end-to-end throughput: {:.3} Mbps", out.throughput_mbps);
+        println!("collision slots: {}", out.collision_slots);
+        println!(
+            "node idle ratios: {}",
+            out.node_idle_ratios
+                .iter()
+                .map(|r| format!("{r:.2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    })
+}
+
+#[derive(Serialize)]
+struct Scenario2Out {
+    optimal_mbps: f64,
+    all54_bound_mbps: f64,
+    l1_36_bound_mbps: f64,
+    schedule: String,
+}
+
+pub fn scenario2(args: &Args) -> CmdResult {
+    use awb_workloads::ScenarioTwo;
+    let s = ScenarioTwo::new();
+    let out = available_bandwidth(
+        s.model(),
+        &[],
+        &s.path(),
+        &AvailableBandwidthOptions::default(),
+    )?;
+    let view = Scenario2Out {
+        optimal_mbps: out.bandwidth_mbps(),
+        all54_bound_mbps: ScenarioTwo::ALL_54_CLIQUE_BOUND_MBPS,
+        l1_36_bound_mbps: ScenarioTwo::L1_36_CLIQUE_BOUND_MBPS,
+        schedule: out.schedule().to_string(),
+    };
+    emit(args, &view, || {
+        println!(
+            "optimal end-to-end throughput: {:.3} Mbps (fixed-rate clique bounds: {:.3}, {:.3})",
+            view.optimal_mbps, view.all54_bound_mbps, view.l1_36_bound_mbps
+        );
+        println!("schedule:\n{}", view.schedule);
+    })
+}

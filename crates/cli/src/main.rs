@@ -1,0 +1,60 @@
+//! `awb` — command-line interface to the available-bandwidth toolkit.
+//!
+//! ```text
+//! awb topology  [--nodes 30] [--width 400] [--height 600] [--seed 7] [--json]
+//! awb available [--hops 4] [--hop-length 70] [--background 0] [--json]
+//! awb admission [--flows 8] [--metric average-e2eD] [--demand 2]
+//!               [--seed 7] [--pairs-seed 5] [--json]
+//! awb simulate  [--hops 3] [--hop-length 70] [--slots 50000] [--demand sat]
+//!               [--contention ordered|p0.5|dcf] [--json]
+//! awb scenario2 [--json]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: awb <command> [--flag value]...
+
+commands:
+  topology    generate the paper's random topology and print nodes/links
+  available   available bandwidth of an n-hop chain (Eq. 6), with bottlenecks
+  admission   sequential flow admission on the random topology (Fig. 3)
+  simulate    run the CSMA/CA simulator on a chain
+  scenario2   the paper's clique-invalidity counterexample (16.2 Mbps)
+
+common flags: --json for machine-readable output, --help for this text";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.has("help") || args.command().is_none() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match args.command().expect("checked above") {
+        "topology" => commands::topology(&args),
+        "available" => commands::available(&args),
+        "admission" => commands::admission(&args),
+        "simulate" => commands::simulate(&args),
+        "scenario2" => commands::scenario2(&args),
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

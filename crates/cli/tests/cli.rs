@@ -1,0 +1,116 @@
+//! End-to-end tests of the `awb` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_awb"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_and_no_command_print_usage() {
+    let (ok, stdout, _) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage: awb"));
+    let (ok, stdout, _) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("commands:"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn scenario2_prints_the_headline_number() {
+    let (ok, stdout, _) = run(&["scenario2"]);
+    assert!(ok);
+    assert!(stdout.contains("16.200 Mbps"));
+    assert!(stdout.contains("13.500"));
+}
+
+#[test]
+fn scenario2_json_is_parseable() {
+    let (ok, stdout, _) = run(&["scenario2", "--json"]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    let f = v["optimal_mbps"].as_f64().expect("field present");
+    assert!((f - 16.2).abs() < 1e-6);
+}
+
+#[test]
+fn available_reports_chain_capacity() {
+    let (ok, stdout, _) = run(&["available", "--hops", "2", "--hop-length", "50"]);
+    assert!(ok, "{stdout}");
+    // Two 54 Mbps hops sharing the channel: 27 Mbps.
+    assert!(stdout.contains("available bandwidth: 27.000 Mbps"), "{stdout}");
+}
+
+#[test]
+fn topology_json_has_requested_node_count() {
+    let (ok, stdout, _) = run(&["topology", "--nodes", "12", "--json"]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(v["nodes"].as_array().expect("nodes array").len(), 12);
+}
+
+#[test]
+fn admission_runs_each_metric() {
+    for metric in ["hop-count", "e2eTD", "average-e2eD"] {
+        let (ok, stdout, stderr) =
+            run(&["admission", "--flows", "4", "--metric", metric]);
+        assert!(ok, "{metric}: {stderr}");
+        assert!(stdout.contains("admitted"), "{metric}: {stdout}");
+    }
+    let (ok, _, stderr) = run(&["admission", "--metric", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown metric"));
+}
+
+#[test]
+fn simulate_reports_throughput() {
+    let (ok, stdout, _) = run(&[
+        "simulate",
+        "--hops",
+        "1",
+        "--hop-length",
+        "50",
+        "--slots",
+        "4000",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("end-to-end throughput"), "{stdout}");
+    // Contention variants parse.
+    for c in ["ordered", "p0.5", "dcf"] {
+        let (ok, _, stderr) = run(&[
+            "simulate", "--hops", "1", "--hop-length", "50", "--slots", "1000",
+            "--contention", c,
+        ]);
+        assert!(ok, "{c}: {stderr}");
+    }
+    let (ok, _, stderr) = run(&[
+        "simulate", "--hops", "1", "--hop-length", "50", "--contention", "p1.5",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown contention"));
+}
+
+#[test]
+fn bad_flag_values_fail_cleanly() {
+    let (ok, _, stderr) = run(&["topology", "--nodes", "many"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot parse"));
+    let (ok, _, stderr) = run(&["topology", "--nodes"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"));
+}

@@ -1,0 +1,638 @@
+//! The §2.5 linear program (Eq. 6): maximum throughput of a new path under
+//! background traffic.
+
+use crate::error::CoreError;
+use crate::flow::Flow;
+use crate::schedule::Schedule;
+use awb_lp::{Direction, Problem, Relation};
+use awb_net::{LinkId, LinkRateModel, Path};
+use awb_sets::{enumerate_admissible, EnumerationOptions, RatedSet};
+
+/// Options for [`available_bandwidth`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailableBandwidthOptions {
+    /// How to enumerate the independent-set pool.
+    pub enumeration: EnumerationOptions,
+    /// Schedule entries with a smaller time share are dropped from the
+    /// returned witness.
+    pub dust_epsilon: f64,
+    /// Split the link universe into potential-conflict components and
+    /// enumerate each separately (see [`crate::decomposition`]). Exact for
+    /// pairwise models; slightly optimistic for additive-interference models
+    /// (cross-component interference residue is ignored). Off by default.
+    pub decompose: bool,
+}
+
+impl Default for AvailableBandwidthOptions {
+    fn default() -> Self {
+        AvailableBandwidthOptions {
+            enumeration: EnumerationOptions::default(),
+            dust_epsilon: 1e-9,
+            decompose: false,
+        }
+    }
+}
+
+/// Result of [`available_bandwidth`]: the optimum of Eq. 6 plus its
+/// scheduling witness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailableBandwidth {
+    bandwidth_mbps: f64,
+    schedule: Schedule,
+    universe: Vec<LinkId>,
+    num_sets: usize,
+    /// Shadow price of the unit time budget (max over components when
+    /// decomposed).
+    airtime_dual: f64,
+    /// Scarcity price per universe link: how much the optimum would improve
+    /// per Mbps of demand removed from that link (0 for slack links).
+    link_scarcity: Vec<f64>,
+}
+
+impl AvailableBandwidth {
+    /// The maximum additional throughput of the new path, in Mbps
+    /// (`f_{K+1}` at the LP optimum).
+    pub fn bandwidth_mbps(&self) -> f64 {
+        self.bandwidth_mbps
+    }
+
+    /// The optimal link scheduling achieving the optimum — the
+    /// `{(E_i, R_i*, λ_i)}` of Eq. 2, dust-filtered.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The link universe the LP was built over (union of all involved
+    /// paths' links, sorted).
+    pub fn universe(&self) -> &[LinkId] {
+        &self.universe
+    }
+
+    /// Number of independent-set columns in the LP.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Shadow price of the scheduling period: the Mbps the new flow would
+    /// gain per additional unit of schedulable time (the dual of the
+    /// `Σ λ ≤ 1` budget; the maximum over components when the LP was
+    /// decomposed). Zero when time is not the binding resource.
+    pub fn airtime_shadow_price(&self) -> f64 {
+        self.airtime_dual
+    }
+
+    /// The scarcity price of `link`: the rate at which the optimum improves
+    /// per Mbps of background demand removed from that link (the negated
+    /// dual of its delivery constraint). `None` if the link is not in the
+    /// universe; `Some(0.0)` for non-binding links.
+    pub fn link_scarcity(&self, link: LinkId) -> Option<f64> {
+        self.universe
+            .binary_search(&link)
+            .ok()
+            .map(|i| self.link_scarcity[i])
+    }
+
+    /// Links whose delivery constraints bind at the optimum, most scarce
+    /// first — the bottlenecks an operator would relieve first.
+    pub fn bottleneck_links(&self) -> Vec<(LinkId, f64)> {
+        let mut out: Vec<(LinkId, f64)> = self
+            .universe
+            .iter()
+            .copied()
+            .zip(self.link_scarcity.iter().copied())
+            .filter(|&(_, s)| s > 1e-9)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scarcity is finite"));
+        out
+    }
+}
+
+/// The union of all links on the background paths and the new path, sorted
+/// and deduplicated.
+pub(crate) fn link_universe(background: &[Flow], new_path: &Path) -> Vec<LinkId> {
+    let mut universe: Vec<LinkId> = background
+        .iter()
+        .flat_map(|f| f.path().links().iter().copied())
+        .chain(new_path.links().iter().copied())
+        .collect();
+    universe.sort_unstable();
+    universe.dedup();
+    universe
+}
+
+/// Computes the available bandwidth of `new_path` given `background` flows
+/// (§2.5, Eq. 6): enumerates the admissible rate-coupled independent sets of
+/// the involved links and maximizes the new flow's throughput over their
+/// time shares, subject to every background demand being delivered.
+///
+/// # Errors
+///
+/// [`CoreError::BackgroundInfeasible`] when the background demands alone
+/// cannot be scheduled, [`CoreError::EmptyUniverse`] when no involved link
+/// exists, and [`CoreError::Solver`] on numerical failure.
+pub fn available_bandwidth<M: LinkRateModel>(
+    model: &M,
+    background: &[Flow],
+    new_path: &Path,
+    options: &AvailableBandwidthOptions,
+) -> Result<AvailableBandwidth, CoreError> {
+    let universe = link_universe(background, new_path);
+    if universe.is_empty() {
+        return Err(CoreError::EmptyUniverse);
+    }
+    if options.decompose {
+        let components =
+            crate::decomposition::potential_conflict_components(model, &universe);
+        if components.len() > 1 {
+            return solve_decomposed(
+                model,
+                &components,
+                &universe,
+                background,
+                new_path,
+                options,
+            );
+        }
+    }
+    let sets = enumerate_admissible(model, &universe, &options.enumeration);
+    solve_over_sets(&sets, &universe, background, new_path, options.dust_epsilon)
+}
+
+/// Eq. 6 over independent components: one joint LP with a unit time budget
+/// *per component* (parallel components schedule independently), whose
+/// witness schedules are superimposed afterwards.
+fn solve_decomposed<M: LinkRateModel>(
+    model: &M,
+    components: &[Vec<LinkId>],
+    universe: &[LinkId],
+    background: &[Flow],
+    new_path: &Path,
+    options: &AvailableBandwidthOptions,
+) -> Result<AvailableBandwidth, CoreError> {
+    let mut demand = vec![0.0f64; universe.len()];
+    for flow in background {
+        for link in flow.path().links() {
+            let idx = universe
+                .binary_search(link)
+                .expect("universe contains all path links");
+            demand[idx] += flow.demand_mbps();
+        }
+    }
+    let pools: Vec<Vec<RatedSet>> = components
+        .iter()
+        .map(|c| enumerate_admissible(model, c, &options.enumeration))
+        .collect();
+
+    let mut lp = Problem::new(Direction::Maximize);
+    let f = lp.add_var("f", 1.0);
+    let lambdas: Vec<Vec<_>> = pools
+        .iter()
+        .enumerate()
+        .map(|(ci, pool)| {
+            (0..pool.len())
+                .map(|i| lp.add_var(format!("l{ci}_{i}"), 0.0))
+                .collect()
+        })
+        .collect();
+    let mut constraint_index = 0usize;
+    let mut budget_rows = Vec::new();
+    for vars in &lambdas {
+        if vars.is_empty() {
+            continue;
+        }
+        let budget: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&budget, Relation::Le, 1.0)
+            .expect("fresh variables");
+        budget_rows.push(constraint_index);
+        constraint_index += 1;
+    }
+    let mut link_rows = vec![usize::MAX; universe.len()];
+    for (ci, component) in components.iter().enumerate() {
+        for &link in component {
+            let idx = universe.binary_search(&link).expect("component ⊆ universe");
+            let mut terms: Vec<_> = pools[ci]
+                .iter()
+                .zip(&lambdas[ci])
+                .filter_map(|(set, &var)| set.rate_of(link).map(|r| (var, r.as_mbps())))
+                .collect();
+            if new_path.contains(link) {
+                terms.push((f, -1.0));
+            }
+            lp.add_constraint(&terms, Relation::Ge, demand[idx])
+                .expect("fresh variables");
+            link_rows[idx] = constraint_index;
+            constraint_index += 1;
+        }
+    }
+    let solution = lp.solve().map_err(CoreError::from)?;
+    let mut parts = Vec::with_capacity(components.len());
+    for (ci, pool) in pools.iter().enumerate() {
+        let entries: Vec<(RatedSet, f64)> = pool
+            .iter()
+            .zip(&lambdas[ci])
+            .map(|(set, &var)| (set.clone(), solution.value(var)))
+            .filter(|(_, share)| *share > options.dust_epsilon)
+            .collect();
+        let total: f64 = entries.iter().map(|(_, s)| s).sum();
+        let entries = if total > 1.0 {
+            entries
+                .into_iter()
+                .map(|(s, share)| (s, share / total))
+                .collect()
+        } else {
+            entries
+        };
+        parts.push(Schedule::new(entries));
+    }
+    let schedule = crate::decomposition::merge_parallel_schedules(&parts);
+    let airtime_dual = budget_rows
+        .iter()
+        .map(|&i| solution.dual(i).max(0.0))
+        .fold(0.0, f64::max);
+    let link_scarcity: Vec<f64> = link_rows
+        .iter()
+        .map(|&row| {
+            if row == usize::MAX {
+                0.0
+            } else {
+                (-solution.dual(row)).max(0.0)
+            }
+        })
+        .collect();
+    Ok(AvailableBandwidth {
+        bandwidth_mbps: solution.objective(),
+        schedule,
+        universe: universe.to_vec(),
+        num_sets: pools.iter().map(Vec::len).sum(),
+        airtime_dual,
+        link_scarcity,
+    })
+}
+
+/// The **path capacity**: available bandwidth with no background traffic —
+/// the quantity studied by the paper's reference \[1\] (Zhai & Fang,
+/// ICNP'06) and the base case of Eq. 6.
+///
+/// # Errors
+///
+/// As [`available_bandwidth`] (background infeasibility cannot occur).
+pub fn path_capacity<M: LinkRateModel>(
+    model: &M,
+    path: &Path,
+) -> Result<AvailableBandwidth, CoreError> {
+    available_bandwidth(model, &[], path, &AvailableBandwidthOptions::default())
+}
+
+/// Like [`available_bandwidth`], but over a caller-supplied pool of
+/// independent sets.
+///
+/// Passing a *subset* of the admissible sets yields the §3.3 **lower
+/// bounds**; passing the full pool recovers the exact value. The caller is
+/// responsible for the sets being admissible under its model.
+///
+/// # Errors
+///
+/// As [`available_bandwidth`].
+pub fn available_bandwidth_with_sets(
+    sets: &[RatedSet],
+    background: &[Flow],
+    new_path: &Path,
+    options: &AvailableBandwidthOptions,
+) -> Result<AvailableBandwidth, CoreError> {
+    let universe = link_universe(background, new_path);
+    if universe.is_empty() {
+        return Err(CoreError::EmptyUniverse);
+    }
+    solve_over_sets(sets, &universe, background, new_path, options.dust_epsilon)
+}
+
+fn solve_over_sets(
+    sets: &[RatedSet],
+    universe: &[LinkId],
+    background: &[Flow],
+    new_path: &Path,
+    dust_epsilon: f64,
+) -> Result<AvailableBandwidth, CoreError> {
+    // Demand per universe link from background flows.
+    let mut demand = vec![0.0f64; universe.len()];
+    for flow in background {
+        for link in flow.path().links() {
+            let idx = universe
+                .binary_search(link)
+                .expect("universe contains all path links");
+            demand[idx] += flow.demand_mbps();
+        }
+    }
+
+    let mut lp = Problem::new(Direction::Maximize);
+    let f = lp.add_var("f", 1.0);
+    let lambdas: Vec<_> = (0..sets.len())
+        .map(|i| lp.add_var(format!("lambda{i}"), 0.0))
+        .collect();
+
+    // Σ λ_α ≤ 1.
+    let budget: Vec<_> = lambdas.iter().map(|&v| (v, 1.0)).collect();
+    lp.add_constraint(&budget, Relation::Le, 1.0)
+        .expect("fresh variables");
+
+    // Per link: Σ_α λ_α R_α[e] − f·I_e(new) ≥ Σ_k x_k I_e(P_k).
+    for (idx, &link) in universe.iter().enumerate() {
+        let mut terms: Vec<_> = sets
+            .iter()
+            .zip(&lambdas)
+            .filter_map(|(set, &var)| {
+                set.rate_of(link).map(|r| (var, r.as_mbps()))
+            })
+            .collect();
+        if new_path.contains(link) {
+            terms.push((f, -1.0));
+        }
+        lp.add_constraint(&terms, Relation::Ge, demand[idx])
+            .expect("fresh variables");
+    }
+
+    let solution = lp.solve().map_err(CoreError::from)?;
+    let entries: Vec<(RatedSet, f64)> = sets
+        .iter()
+        .zip(&lambdas)
+        .map(|(set, &var)| (set.clone(), solution.value(var)))
+        .filter(|(_, share)| *share > 0.0)
+        .collect();
+    // Clamp accumulated roundoff so Schedule's invariant holds.
+    let total: f64 = entries.iter().map(|(_, s)| s).sum();
+    let entries = if total > 1.0 {
+        entries
+            .into_iter()
+            .map(|(s, share)| (s, share / total))
+            .collect()
+    } else {
+        entries
+    };
+    let schedule = Schedule::new(entries).without_dust(dust_epsilon);
+    // Constraint 0 is the budget; constraints 1.. are per-link deliveries
+    // (>= demand): their duals are non-positive, the negation is the
+    // scarcity price.
+    let airtime_dual = solution.dual(0).max(0.0);
+    let link_scarcity: Vec<f64> = (0..universe.len())
+        .map(|i| (-solution.dual(1 + i)).max(0.0))
+        .collect();
+    Ok(AvailableBandwidth {
+        bandwidth_mbps: solution.objective(),
+        schedule,
+        universe: universe.to_vec(),
+        num_sets: sets.len(),
+        airtime_dual,
+        link_scarcity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, Topology};
+    use awb_phy::Rate;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// `n` links in a row of disjoint node pairs; conflicts as declared.
+    fn line_model(
+        n: usize,
+        rates: &[Rate],
+        conflicts: &[(usize, usize)],
+    ) -> (DeclarativeModel, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let mut links = Vec::new();
+        for i in 0..n {
+            let a = t.add_node(i as f64 * 10.0, 0.0);
+            let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+            links.push(t.add_link(a, b).unwrap());
+        }
+        let mut b = DeclarativeModel::builder(t);
+        for &l in &links {
+            b = b.alone_rates(l, rates);
+        }
+        for &(i, j) in conflicts {
+            b = b.conflict_all(links[i], links[j]);
+        }
+        (b.build(), links)
+    }
+
+    /// A 2-hop relay: nodes a-b-c with links a->b, b->c that conflict.
+    fn relay() -> (DeclarativeModel, Path) {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(10.0, 0.0);
+        let c = t.add_node(20.0, 0.0);
+        let ab = t.add_link(a, b).unwrap();
+        let bc = t.add_link(b, c).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(ab, &[r(54.0)])
+            .alone_rates(bc, &[r(54.0)])
+            .conflict_all(ab, bc)
+            .build();
+        let p = Path::new(m.topology(), vec![ab, bc]).unwrap();
+        (m, p)
+    }
+
+    #[test]
+    fn lone_link_gets_full_rate() {
+        let (m, links) = line_model(1, &[r(54.0)], &[]);
+        let p = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let out =
+            available_bandwidth(&m, &[], &p, &AvailableBandwidthOptions::default()).unwrap();
+        assert!((out.bandwidth_mbps() - 54.0).abs() < 1e-7);
+        assert!(out.schedule().is_valid(&m));
+        assert_eq!(out.universe(), &links[..]);
+    }
+
+    #[test]
+    fn two_hop_relay_halves_capacity() {
+        let (m, p) = relay();
+        let out =
+            available_bandwidth(&m, &[], &p, &AvailableBandwidthOptions::default()).unwrap();
+        assert!((out.bandwidth_mbps() - 27.0).abs() < 1e-7);
+        // The witness actually delivers 27 Mbps on both hops.
+        for &l in p.links() {
+            assert!(out.schedule().link_throughput(l) >= 27.0 - 1e-7);
+        }
+    }
+
+    #[test]
+    fn background_reduces_available_bandwidth() {
+        let (m, links) = line_model(2, &[r(54.0)], &[(0, 1)]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[1]]).unwrap();
+        for bg in [0.0, 13.5, 27.0, 40.5] {
+            let background = vec![Flow::new(bg_path.clone(), bg).unwrap()];
+            let out = available_bandwidth(
+                &m,
+                &background,
+                &new_path,
+                &AvailableBandwidthOptions::default(),
+            )
+            .unwrap();
+            let expected = 54.0 - bg;
+            assert!(
+                (out.bandwidth_mbps() - expected).abs() < 1e-6,
+                "bg {bg}: got {}",
+                out.bandwidth_mbps()
+            );
+            // Background must still be delivered by the witness schedule.
+            assert!(out.schedule().link_throughput(links[0]) >= bg - 1e-6);
+        }
+    }
+
+    #[test]
+    fn non_interfering_background_costs_nothing() {
+        let (m, links) = line_model(2, &[r(54.0)], &[]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[1]]).unwrap();
+        let background = vec![Flow::new(bg_path, 50.0).unwrap()];
+        let out = available_bandwidth(
+            &m,
+            &background,
+            &new_path,
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap();
+        assert!((out.bandwidth_mbps() - 54.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_background_is_reported() {
+        let (m, links) = line_model(2, &[r(54.0)], &[(0, 1)]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[1]]).unwrap();
+        let background = vec![Flow::new(bg_path, 60.0).unwrap()]; // > 54
+        let err = available_bandwidth(
+            &m,
+            &background,
+            &new_path,
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::BackgroundInfeasible);
+    }
+
+    #[test]
+    fn dead_link_on_new_path_gives_zero() {
+        let (m0, links) = line_model(2, &[r(54.0)], &[]);
+        // Rebuild with links[1] dead.
+        let mut b = DeclarativeModel::builder(m0.topology().clone());
+        b = b.alone_rates(links[0], &[r(54.0)]);
+        let m = b.build();
+        let p = Path::new(m.topology(), vec![links[1]]).unwrap();
+        let out =
+            available_bandwidth(&m, &[], &p, &AvailableBandwidthOptions::default()).unwrap();
+        assert_eq!(out.bandwidth_mbps(), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_from_subset_of_sets() {
+        let (m, p) = relay();
+        let universe = link_universe(&[], &p);
+        let all = enumerate_admissible(&m, &universe, &EnumerationOptions::default());
+        let exact = available_bandwidth_with_sets(
+            &all,
+            &[],
+            &p,
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap();
+        // Restrict to sets containing only the first hop: f = 0 (second hop
+        // starves).
+        let first_only: Vec<RatedSet> = all
+            .iter()
+            .filter(|s| s.links().all(|l| l == p.links()[0]))
+            .cloned()
+            .collect();
+        let lower = available_bandwidth_with_sets(
+            &first_only,
+            &[],
+            &p,
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap();
+        assert!(lower.bandwidth_mbps() <= exact.bandwidth_mbps() + 1e-9);
+        assert_eq!(lower.bandwidth_mbps(), 0.0);
+    }
+
+    #[test]
+    fn empty_universe_is_an_error() {
+        // A path cannot be empty by construction, so exercise the
+        // with-sets variant with an empty background and... the only way to
+        // get an empty universe is an empty path, which Path forbids; so
+        // this verifies link_universe is non-empty for any real input.
+        let (m, p) = relay();
+        assert!(!link_universe(&[], &p).is_empty());
+        let _ = m;
+    }
+
+    #[test]
+    fn shadow_prices_identify_the_bottleneck() {
+        // Background saturates link 0, which conflicts with the new link 1:
+        // link 0's delivery binds and the time budget is the scarce
+        // resource.
+        let (m, links) = line_model(2, &[r(54.0)], &[(0, 1)]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[1]]).unwrap();
+        let background = vec![Flow::new(bg_path, 27.0).unwrap()];
+        let out = available_bandwidth(
+            &m,
+            &background,
+            &new_path,
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap();
+        // Removing 1 Mbps of background frees exactly 1 Mbps for the flow.
+        assert!(
+            (out.link_scarcity(links[0]).unwrap() - 1.0).abs() < 1e-6,
+            "scarcity {:?}",
+            out.link_scarcity(links[0])
+        );
+        // An extra unit of airtime would be worth the full 54 Mbps rate.
+        assert!((out.airtime_shadow_price() - 54.0).abs() < 1e-6);
+        let bn = out.bottleneck_links();
+        assert!(bn.iter().any(|&(l, _)| l == links[0]));
+    }
+
+    #[test]
+    fn slack_links_have_zero_scarcity() {
+        // Non-interfering background: its link does not bind.
+        let (m, links) = line_model(2, &[r(54.0)], &[]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[1]]).unwrap();
+        let background = vec![Flow::new(bg_path, 10.0).unwrap()];
+        let out = available_bandwidth(
+            &m,
+            &background,
+            &new_path,
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.link_scarcity(links[0]), Some(0.0));
+        assert_eq!(out.link_scarcity(LinkId::from_index(99)), None);
+        assert!(out
+            .bottleneck_links()
+            .iter()
+            .all(|&(l, _)| l != links[0]));
+    }
+
+    #[test]
+    fn shared_link_between_background_and_new_path() {
+        // Background and the new flow share the single link: they split it.
+        let (m, links) = line_model(1, &[r(54.0)], &[]);
+        let p = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let background = vec![Flow::new(p.clone(), 20.0).unwrap()];
+        let out = available_bandwidth(
+            &m,
+            &background,
+            &p,
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap();
+        assert!((out.bandwidth_mbps() - 34.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,428 @@
+//! Upper and lower bounds on available path bandwidth (paper §3).
+//!
+//! The classic clique constraint is **invalid** under time-varying link
+//! adaptation (§3.2, Hypothesis 8 is false): the Scenario II integration
+//! tests in this workspace reproduce the paper's counterexample where the
+//! optimal end-to-end throughput (16.2 Mbps) violates every fixed-rate
+//! clique bound (13.5 and ~15.43 Mbps). This module provides
+//!
+//! * [`equal_throughput_clique_bound`] — the Eq. 7 bound for a *fixed* rate
+//!   vector (valid only without link adaptation);
+//! * [`clique_time_share`] — the `Σ y_i / r_i` diagnostic used to exhibit
+//!   the violation;
+//! * [`clique_upper_bound`] — the corrected Eq. 9 upper bound: an LP over
+//!   per-rate-vector throughput decompositions, each constrained by its own
+//!   cliques (linearized exactly with `h_ik = γ_i · g_ik`);
+//! * [`lower_bound_max_set_size`] — §3.3 lower bounds from a restricted
+//!   independent-set pool.
+
+use crate::available::{available_bandwidth_with_sets, link_universe};
+use crate::error::CoreError;
+use crate::flow::Flow;
+use crate::AvailableBandwidthOptions;
+use awb_lp::{Direction, Problem, Relation, SolveError};
+use awb_net::{LinkId, LinkRateModel, Path};
+use awb_phy::Rate;
+use awb_sets::{
+    enumerate_admissible, maximal_rated_cliques, EnumerationOptions, RatedSet,
+};
+
+/// The Eq. 7 upper bound on the common throughput `s` of links carrying the
+/// same traffic, for one **fixed** rate assignment: the tightest
+/// `1 / Σ_{L_i ∈ C} (1/r_i)` over the maximal cliques `C` of the assignment.
+///
+/// Returns `None` for an empty assignment. Only meaningful when every hop
+/// must carry equal throughput (a single multihop flow) and rates never
+/// change — the situation of the paper's §3.2 discussion.
+pub fn equal_throughput_clique_bound<M: LinkRateModel>(
+    model: &M,
+    hops: &[(LinkId, Rate)],
+) -> Option<f64> {
+    if hops.is_empty() {
+        return None;
+    }
+    let assignment: RatedSet = hops.iter().copied().collect();
+    let cliques = maximal_rated_cliques(model, &assignment);
+    cliques
+        .iter()
+        .map(|c| {
+            let t: f64 = c
+                .couples()
+                .iter()
+                .map(|(_, r)| r.unit_time().expect("rated sets have non-zero rates"))
+                .sum();
+            1.0 / t
+        })
+        .fold(None, |acc: Option<f64>, b| {
+            Some(acc.map_or(b, |a| a.min(b)))
+        })
+}
+
+/// The clique time share `T = Σ_{L_i ∈ C} y_i / r_i` of a rated clique for
+/// a given per-link throughput (the quantity whose `≤ 1` constraint fails
+/// under link adaptation; §3.2, §5.1).
+///
+/// `throughput_of` maps a link to its throughput `y_i` in Mbps.
+pub fn clique_time_share(
+    clique: &RatedSet,
+    mut throughput_of: impl FnMut(LinkId) -> f64,
+) -> f64 {
+    clique
+        .couples()
+        .iter()
+        .map(|&(l, r)| {
+            throughput_of(l) * r.unit_time().expect("rated sets have non-zero rates")
+        })
+        .sum()
+}
+
+/// Options for [`clique_upper_bound`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpperBoundOptions {
+    /// Cap on the number of rate vectors `Ω`; the LP needs `Ω` grows as
+    /// `Z^L` (paper §3.2), so large universes must be rejected rather than
+    /// silently truncated.
+    pub max_rate_vectors: usize,
+}
+
+impl Default for UpperBoundOptions {
+    fn default() -> Self {
+        UpperBoundOptions {
+            max_rate_vectors: 512,
+        }
+    }
+}
+
+/// The corrected Eq. 9 **upper bound** on the available bandwidth of
+/// `new_path` under `background`.
+///
+/// For every rate vector `R_i` (one alone-achievable rate per live link) the
+/// feasible per-vector throughput `g_i` must satisfy all of `R_i`'s clique
+/// constraints; the delivered throughput is a time-share mixture
+/// `Y = Σ γ_i g_i`. The products are linearized exactly via
+/// `h_ik = γ_i g_ik`. The optimum is an upper bound on the Eq. 6 value
+/// (the mixture relaxes joint schedulability to per-vector clique
+/// feasibility).
+///
+/// # Errors
+///
+/// [`CoreError::TooManyRateVectors`] when `Ω` exceeds the cap,
+/// [`CoreError::BackgroundInfeasible`] when even the relaxation cannot
+/// deliver the background demands, [`CoreError::EmptyUniverse`] with no
+/// involved links.
+pub fn clique_upper_bound<M: LinkRateModel>(
+    model: &M,
+    background: &[Flow],
+    new_path: &Path,
+    options: &UpperBoundOptions,
+) -> Result<f64, CoreError> {
+    let universe = link_universe(background, new_path);
+    if universe.is_empty() {
+        return Err(CoreError::EmptyUniverse);
+    }
+    let mut demand = vec![0.0f64; universe.len()];
+    for flow in background {
+        for link in flow.path().links() {
+            let idx = universe
+                .binary_search(link)
+                .expect("universe contains all path links");
+            demand[idx] += flow.demand_mbps();
+        }
+    }
+
+    // Live links get rate choices; demands on dead links are unservable.
+    let choices: Vec<(LinkId, Vec<Rate>)> = universe
+        .iter()
+        .map(|&l| (l, model.alone_rates(l)))
+        .collect();
+    for ((_, rates), (&link, &d)) in choices.iter().zip(universe.iter().zip(&demand)) {
+        if rates.is_empty() {
+            if d > 0.0 {
+                return Err(CoreError::BackgroundInfeasible);
+            }
+            if new_path.contains(link) {
+                return Ok(0.0); // a dead hop pins the new flow to zero
+            }
+        }
+    }
+    let live: Vec<(LinkId, Vec<Rate>)> =
+        choices.into_iter().filter(|(_, r)| !r.is_empty()).collect();
+
+    let omega: u128 = live
+        .iter()
+        .map(|(_, r)| r.len() as u128)
+        .product();
+    if omega > options.max_rate_vectors as u128 {
+        return Err(CoreError::TooManyRateVectors {
+            needed: omega,
+            cap: options.max_rate_vectors,
+        });
+    }
+
+    // Enumerate all rate vectors (cartesian product).
+    let mut vectors: Vec<RatedSet> = vec![RatedSet::empty()];
+    for (link, rates) in &live {
+        let mut next = Vec::with_capacity(vectors.len() * rates.len());
+        for v in &vectors {
+            for &r in rates {
+                next.push(v.with(*link, r));
+            }
+        }
+        vectors = next;
+    }
+
+    let mut lp = Problem::new(Direction::Maximize);
+    let f = lp.add_var("f", 1.0);
+    let gammas: Vec<_> = (0..vectors.len())
+        .map(|i| lp.add_var(format!("gamma{i}"), 0.0))
+        .collect();
+    // h[i][k] aligned with live[k].
+    let hs: Vec<Vec<_>> = (0..vectors.len())
+        .map(|i| {
+            (0..live.len())
+                .map(|k| lp.add_var(format!("h{i}_{k}"), 0.0))
+                .collect()
+        })
+        .collect();
+
+    // Σ γ_i ≤ 1.
+    let budget: Vec<_> = gammas.iter().map(|&g| (g, 1.0)).collect();
+    lp.add_constraint(&budget, Relation::Le, 1.0)
+        .expect("fresh variables");
+
+    for (i, vector) in vectors.iter().enumerate() {
+        // h_ik ≤ γ_i · r_ik.
+        for (k, (link, _)) in live.iter().enumerate() {
+            let r = vector
+                .rate_of(*link)
+                .expect("vector assigns every live link")
+                .as_mbps();
+            lp.add_constraint(&[(hs[i][k], 1.0), (gammas[i], -r)], Relation::Le, 0.0)
+                .expect("fresh variables");
+        }
+        // Per-clique: Σ_{k ∈ C} h_ik / r_ik ≤ γ_i.
+        for clique in maximal_rated_cliques(model, vector) {
+            let mut terms: Vec<_> = clique
+                .couples()
+                .iter()
+                .map(|&(link, r)| {
+                    let k = live
+                        .iter()
+                        .position(|(l, _)| *l == link)
+                        .expect("clique links are live");
+                    (hs[i][k], 1.0 / r.as_mbps())
+                })
+                .collect();
+            terms.push((gammas[i], -1.0));
+            lp.add_constraint(&terms, Relation::Le, 0.0)
+                .expect("fresh variables");
+        }
+    }
+
+    // Delivery: Σ_i h_ie ≥ demand_e + f · I_e(new).
+    for (k, (link, _)) in live.iter().enumerate() {
+        let idx = universe.binary_search(link).expect("live ⊆ universe");
+        let mut terms: Vec<_> = (0..vectors.len()).map(|i| (hs[i][k], 1.0)).collect();
+        if new_path.contains(*link) {
+            terms.push((f, -1.0));
+        }
+        lp.add_constraint(&terms, Relation::Ge, demand[idx])
+            .expect("fresh variables");
+    }
+
+    match lp.solve() {
+        Ok(s) => Ok(s.objective()),
+        Err(SolveError::Infeasible) => Err(CoreError::BackgroundInfeasible),
+        Err(e) => Err(CoreError::Solver(e)),
+    }
+}
+
+/// A §3.3 **lower bound**: the Eq. 6 LP restricted to independent sets of at
+/// most `max_set_size` links. Using a part of the independent sets shrinks
+/// the solution space, so the optimum can only drop.
+///
+/// # Errors
+///
+/// As [`crate::available_bandwidth`].
+pub fn lower_bound_max_set_size<M: LinkRateModel>(
+    model: &M,
+    background: &[Flow],
+    new_path: &Path,
+    max_set_size: usize,
+) -> Result<f64, CoreError> {
+    let universe = link_universe(background, new_path);
+    if universe.is_empty() {
+        return Err(CoreError::EmptyUniverse);
+    }
+    let sets = enumerate_admissible(
+        model,
+        &universe,
+        &EnumerationOptions {
+            prune_dominated: true,
+            max_set_size: Some(max_set_size),
+        },
+    );
+    Ok(available_bandwidth_with_sets(
+        &sets,
+        background,
+        new_path,
+        &AvailableBandwidthOptions::default(),
+    )?
+    .bandwidth_mbps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::available_bandwidth;
+    use awb_net::{DeclarativeModel, Topology};
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// Three fully conflicting links at mixed rates.
+    fn triangle() -> (DeclarativeModel, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let mut links = Vec::new();
+        for i in 0..3 {
+            let a = t.add_node(i as f64 * 10.0, 0.0);
+            let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+            links.push(t.add_link(a, b).unwrap());
+        }
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(links[0], &[r(54.0)])
+            .alone_rates(links[1], &[r(36.0)])
+            .alone_rates(links[2], &[r(18.0)])
+            .conflict_all(links[0], links[1])
+            .conflict_all(links[0], links[2])
+            .conflict_all(links[1], links[2])
+            .build();
+        (m, links)
+    }
+
+    #[test]
+    fn eq7_bound_on_a_triangle() {
+        let (m, links) = triangle();
+        let hops: Vec<(LinkId, Rate)> = vec![
+            (links[0], r(54.0)),
+            (links[1], r(36.0)),
+            (links[2], r(18.0)),
+        ];
+        let bound = equal_throughput_clique_bound(&m, &hops).unwrap();
+        let expected = 1.0 / (1.0 / 54.0 + 1.0 / 36.0 + 1.0 / 18.0);
+        assert!((bound - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq7_uses_the_tightest_clique() {
+        // Links 0-1 conflict; link 2 independent: the bound comes from the
+        // {0,1} clique, not from the singleton {2}.
+        let mut t = Topology::new();
+        let mut links = Vec::new();
+        for i in 0..3 {
+            let a = t.add_node(i as f64 * 10.0, 0.0);
+            let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+            links.push(t.add_link(a, b).unwrap());
+        }
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(links[0], &[r(54.0)])
+            .alone_rates(links[1], &[r(54.0)])
+            .alone_rates(links[2], &[r(6.0)])
+            .conflict_all(links[0], links[1])
+            .build();
+        let hops: Vec<(LinkId, Rate)> = vec![
+            (links[0], r(54.0)),
+            (links[1], r(54.0)),
+            (links[2], r(6.0)),
+        ];
+        let bound = equal_throughput_clique_bound(&m, &hops).unwrap();
+        // Cliques: {0,1} -> 27, {2} -> 6. Tightest is 6.
+        assert!((bound - 6.0).abs() < 1e-9);
+        assert_eq!(equal_throughput_clique_bound(&m, &[]), None);
+    }
+
+    #[test]
+    fn clique_time_share_sums_unit_times() {
+        let (_, links) = triangle();
+        let clique: RatedSet = vec![(links[0], r(54.0)), (links[1], r(36.0))]
+            .into_iter()
+            .collect();
+        let t = clique_time_share(&clique, |_| 18.0);
+        assert!((t - (18.0 / 54.0 + 18.0 / 36.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_dominates_exact_value() {
+        let (m, links) = triangle();
+        let p = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let bg = vec![Flow::new(
+            Path::new(m.topology(), vec![links[1]]).unwrap(),
+            9.0,
+        )
+        .unwrap()];
+        let exact = available_bandwidth(
+            &m,
+            &bg,
+            &p,
+            &crate::AvailableBandwidthOptions::default(),
+        )
+        .unwrap()
+        .bandwidth_mbps();
+        let upper = clique_upper_bound(&m, &bg, &p, &UpperBoundOptions::default()).unwrap();
+        assert!(
+            upper + 1e-6 >= exact,
+            "upper {upper} must dominate exact {exact}"
+        );
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact_value() {
+        let (m, links) = triangle();
+        let p = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let exact = available_bandwidth(
+            &m,
+            &[],
+            &p,
+            &crate::AvailableBandwidthOptions::default(),
+        )
+        .unwrap()
+        .bandwidth_mbps();
+        for cap in 1..=3 {
+            let lower = lower_bound_max_set_size(&m, &[], &p, cap).unwrap();
+            assert!(lower <= exact + 1e-9, "cap {cap}");
+        }
+        // With singletons allowed, the lone-link path still gets full rate.
+        let lower = lower_bound_max_set_size(&m, &[], &p, 1).unwrap();
+        assert!((lower - 54.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_vector_cap_is_enforced() {
+        let (m, links) = triangle();
+        let p = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let err = clique_upper_bound(
+            &m,
+            &[],
+            &p,
+            &UpperBoundOptions {
+                max_rate_vectors: 0,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::TooManyRateVectors { .. }));
+    }
+
+    #[test]
+    fn upper_bound_detects_impossible_background() {
+        let (m, links) = triangle();
+        let p = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let bg = vec![Flow::new(
+            Path::new(m.topology(), vec![links[1]]).unwrap(),
+            40.0, // > 36 Mbps alone-rate of link 1
+        )
+        .unwrap()];
+        let err = clique_upper_bound(&m, &bg, &p, &UpperBoundOptions::default()).unwrap_err();
+        assert_eq!(err, CoreError::BackgroundInfeasible);
+    }
+}

@@ -1,0 +1,99 @@
+use awb_lp::SolveError;
+use awb_net::PathError;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the available-bandwidth computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The background demands alone cannot be scheduled — there is no
+    /// feasible link scheduling delivering every `x_i` (Eq. 2 fails even
+    /// with the new flow at zero).
+    BackgroundInfeasible,
+    /// A flow demand was negative, NaN or infinite.
+    InvalidDemand(f64),
+    /// A path or link did not belong to the model's topology.
+    Path(PathError),
+    /// The Eq. 9 upper-bound LP would need more rate vectors than the cap
+    /// allows (`Ω ≤ Z^L` grows exponentially; see the paper's complexity
+    /// discussion in §3.2).
+    TooManyRateVectors {
+        /// Number of rate vectors the universe would generate.
+        needed: u128,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The underlying LP solver failed unexpectedly (numerical trouble).
+    Solver(SolveError),
+    /// The link universe is empty — no live link on any involved path.
+    EmptyUniverse,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BackgroundInfeasible => {
+                write!(f, "background demands are not schedulable")
+            }
+            CoreError::InvalidDemand(d) => write!(f, "invalid flow demand {d}"),
+            CoreError::Path(e) => write!(f, "invalid path: {e}"),
+            CoreError::TooManyRateVectors { needed, cap } => write!(
+                f,
+                "upper-bound LP needs {needed} rate vectors, cap is {cap}"
+            ),
+            CoreError::Solver(e) => write!(f, "lp solver failed: {e}"),
+            CoreError::EmptyUniverse => write!(f, "no live links on the involved paths"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Path(e) => Some(e),
+            CoreError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PathError> for CoreError {
+    fn from(e: PathError) -> Self {
+        CoreError::Path(e)
+    }
+}
+
+impl From<SolveError> for CoreError {
+    fn from(e: SolveError) -> Self {
+        match e {
+            SolveError::Infeasible => CoreError::BackgroundInfeasible,
+            other => CoreError::Solver(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_lp_maps_to_background_infeasible() {
+        assert_eq!(
+            CoreError::from(SolveError::Infeasible),
+            CoreError::BackgroundInfeasible
+        );
+        assert_eq!(
+            CoreError::from(SolveError::Unbounded),
+            CoreError::Solver(SolveError::Unbounded)
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoreError::TooManyRateVectors { needed: 1 << 40, cap: 4096 };
+        assert!(e.to_string().contains("4096"));
+        assert!(CoreError::BackgroundInfeasible.source().is_none());
+        assert!(CoreError::Solver(SolveError::Unbounded).source().is_some());
+    }
+}

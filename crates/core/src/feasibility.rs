@@ -1,0 +1,207 @@
+//! Feasibility of link-demand vectors (Eq. 2 / Eq. 4) and minimum airtime.
+
+use crate::available::link_universe;
+use crate::error::CoreError;
+use crate::flow::Flow;
+use crate::schedule::Schedule;
+use awb_lp::{Direction, Problem, Relation, SolveError};
+use awb_net::{LinkRateModel, Path};
+use awb_sets::{enumerate_admissible, EnumerationOptions, RatedSet};
+
+/// Whether the given flows' demands are jointly schedulable (Eq. 2): does a
+/// link scheduling exist that delivers every demand within one scheduling
+/// period?
+///
+/// # Errors
+///
+/// Only on solver failure; infeasibility is the `Ok(false)` case.
+pub fn is_feasible<M: LinkRateModel>(model: &M, flows: &[Flow]) -> Result<bool, CoreError> {
+    match min_airtime(model, flows) {
+        Ok(_) => Ok(true),
+        Err(CoreError::BackgroundInfeasible) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// The minimum total time share `Σ λ_i` needed to deliver every flow's
+/// demand, together with a schedule achieving it.
+///
+/// A result of `1.0` means the network is saturated; lower values measure
+/// the spare capacity an optimal scheduler would retain. Flows with no links
+/// (impossible by construction) or zero demands cost nothing.
+///
+/// # Errors
+///
+/// [`CoreError::BackgroundInfeasible`] when no schedule delivers the
+/// demands, [`CoreError::EmptyUniverse`] when there are no flows.
+pub fn min_airtime<M: LinkRateModel>(
+    model: &M,
+    flows: &[Flow],
+) -> Result<(f64, Schedule), CoreError> {
+    let Some((first, rest)) = flows.split_first() else {
+        return Err(CoreError::EmptyUniverse);
+    };
+    let universe = link_universe(rest, first.path());
+    let sets = enumerate_admissible(model, &universe, &EnumerationOptions::default());
+    min_airtime_with_sets(&sets, flows, &universe)
+}
+
+fn min_airtime_with_sets(
+    sets: &[RatedSet],
+    flows: &[Flow],
+    universe: &[awb_net::LinkId],
+) -> Result<(f64, Schedule), CoreError> {
+    let mut demand = vec![0.0f64; universe.len()];
+    for flow in flows {
+        for link in flow.path().links() {
+            let idx = universe
+                .binary_search(link)
+                .expect("universe contains all path links");
+            demand[idx] += flow.demand_mbps();
+        }
+    }
+
+    let mut lp = Problem::new(Direction::Minimize);
+    let lambdas: Vec<_> = (0..sets.len())
+        .map(|i| lp.add_var(format!("lambda{i}"), 1.0))
+        .collect();
+    let budget: Vec<_> = lambdas.iter().map(|&v| (v, 1.0)).collect();
+    lp.add_constraint(&budget, Relation::Le, 1.0)
+        .expect("fresh variables");
+    for (idx, &link) in universe.iter().enumerate() {
+        if demand[idx] == 0.0 {
+            continue;
+        }
+        let terms: Vec<_> = sets
+            .iter()
+            .zip(&lambdas)
+            .filter_map(|(set, &var)| set.rate_of(link).map(|r| (var, r.as_mbps())))
+            .collect();
+        lp.add_constraint(&terms, Relation::Ge, demand[idx])
+            .map_err(|_| CoreError::BackgroundInfeasible)?;
+    }
+    let solution = match lp.solve() {
+        Ok(s) => s,
+        Err(SolveError::Infeasible) => return Err(CoreError::BackgroundInfeasible),
+        Err(e) => return Err(CoreError::Solver(e)),
+    };
+    let entries: Vec<(RatedSet, f64)> = sets
+        .iter()
+        .zip(&lambdas)
+        .map(|(set, &var)| (set.clone(), solution.value(var)))
+        .filter(|(_, share)| *share > 1e-12)
+        .collect();
+    let total: f64 = entries.iter().map(|(_, s)| s).sum();
+    let entries = if total > 1.0 {
+        entries
+            .into_iter()
+            .map(|(s, share)| (s, share / total))
+            .collect()
+    } else {
+        entries
+    };
+    Ok((solution.objective(), Schedule::new(entries)))
+}
+
+/// Whether one additional flow with the given demand fits alongside existing
+/// `background` — the admission-control test the paper's §2.5 closes with:
+/// admit iff the Eq. 6 optimum is at least the flow's demand.
+///
+/// # Errors
+///
+/// As [`crate::available_bandwidth`].
+pub fn admits<M: LinkRateModel>(
+    model: &M,
+    background: &[Flow],
+    candidate_path: &Path,
+    candidate_demand_mbps: f64,
+) -> Result<bool, CoreError> {
+    let out = crate::available_bandwidth(
+        model,
+        background,
+        candidate_path,
+        &crate::AvailableBandwidthOptions::default(),
+    )?;
+    Ok(out.bandwidth_mbps() + 1e-9 >= candidate_demand_mbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, LinkId, Topology};
+    use awb_phy::Rate;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    fn conflicting_pair() -> (DeclarativeModel, LinkId, LinkId) {
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..4).map(|i| t.add_node(f64::from(i), 0.0)).collect();
+        let l1 = t.add_link(n[0], n[1]).unwrap();
+        let l2 = t.add_link(n[2], n[3]).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(l1, &[r(54.0)])
+            .alone_rates(l2, &[r(54.0)])
+            .conflict_all(l1, l2)
+            .build();
+        (m, l1, l2)
+    }
+
+    #[test]
+    fn airtime_adds_across_conflicting_links() {
+        let (m, l1, l2) = conflicting_pair();
+        let p1 = Path::new(m.topology(), vec![l1]).unwrap();
+        let p2 = Path::new(m.topology(), vec![l2]).unwrap();
+        let flows = vec![
+            Flow::new(p1, 13.5).unwrap(), // 0.25 share
+            Flow::new(p2, 27.0).unwrap(), // 0.5 share
+        ];
+        let (airtime, schedule) = min_airtime(&m, &flows).unwrap();
+        assert!((airtime - 0.75).abs() < 1e-7);
+        assert!(schedule.is_valid(&m));
+        assert!(schedule.link_throughput(l1) >= 13.5 - 1e-6);
+        assert!(schedule.link_throughput(l2) >= 27.0 - 1e-6);
+        assert!(is_feasible(&m, &flows).unwrap());
+    }
+
+    #[test]
+    fn saturation_is_detected() {
+        let (m, l1, l2) = conflicting_pair();
+        let p1 = Path::new(m.topology(), vec![l1]).unwrap();
+        let p2 = Path::new(m.topology(), vec![l2]).unwrap();
+        let flows = vec![
+            Flow::new(p1, 27.0).unwrap(),
+            Flow::new(p2, 28.0).unwrap(), // total share > 1
+        ];
+        assert!(!is_feasible(&m, &flows).unwrap());
+    }
+
+    #[test]
+    fn zero_demand_flows_cost_nothing() {
+        let (m, l1, _) = conflicting_pair();
+        let p1 = Path::new(m.topology(), vec![l1]).unwrap();
+        let flows = vec![Flow::new(p1, 0.0).unwrap()];
+        let (airtime, _) = min_airtime(&m, &flows).unwrap();
+        assert!(airtime.abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_flows_is_an_error() {
+        let (m, ..) = conflicting_pair();
+        assert!(matches!(
+            min_airtime(&m, &[]),
+            Err(CoreError::EmptyUniverse)
+        ));
+    }
+
+    #[test]
+    fn admits_compares_against_demand() {
+        let (m, l1, l2) = conflicting_pair();
+        let p1 = Path::new(m.topology(), vec![l1]).unwrap();
+        let p2 = Path::new(m.topology(), vec![l2]).unwrap();
+        let background = vec![Flow::new(p1, 27.0).unwrap()];
+        assert!(admits(&m, &background, &p2, 27.0).unwrap());
+        assert!(!admits(&m, &background, &p2, 28.0).unwrap());
+    }
+}

@@ -1,0 +1,81 @@
+use crate::error::CoreError;
+use awb_net::Path;
+
+/// A flow: a path plus an end-to-end throughput demand in Mbps.
+///
+/// Background traffic (`x_i` over `P_i` in the paper's notation) is a slice
+/// of flows; the new flow's demand is what
+/// [`available_bandwidth`](crate::available_bandwidth) is compared against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    path: Path,
+    demand_mbps: f64,
+}
+
+impl Flow {
+    /// Creates a flow with `demand_mbps ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidDemand`] if the demand is negative, NaN or
+    /// infinite.
+    pub fn new(path: Path, demand_mbps: f64) -> Result<Flow, CoreError> {
+        if !demand_mbps.is_finite() || demand_mbps < 0.0 {
+            return Err(CoreError::InvalidDemand(demand_mbps));
+        }
+        Ok(Flow { path, demand_mbps })
+    }
+
+    /// The flow's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The flow's demand in Mbps.
+    pub fn demand_mbps(&self) -> f64 {
+        self.demand_mbps
+    }
+
+    /// A copy of this flow with a different demand.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidDemand`] as for [`Flow::new`].
+    pub fn with_demand(&self, demand_mbps: f64) -> Result<Flow, CoreError> {
+        Flow::new(self.path.clone(), demand_mbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::Topology;
+
+    fn path() -> Path {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 0.0);
+        let l = t.add_link(a, b).unwrap();
+        Path::new(&t, vec![l]).unwrap()
+    }
+
+    #[test]
+    fn valid_flow_round_trips() {
+        let f = Flow::new(path(), 2.0).unwrap();
+        assert_eq!(f.demand_mbps(), 2.0);
+        assert_eq!(f.path().len(), 1);
+        let g = f.with_demand(3.5).unwrap();
+        assert_eq!(g.demand_mbps(), 3.5);
+    }
+
+    #[test]
+    fn bad_demands_are_rejected() {
+        assert!(matches!(
+            Flow::new(path(), -1.0),
+            Err(CoreError::InvalidDemand(_))
+        ));
+        assert!(Flow::new(path(), f64::NAN).is_err());
+        assert!(Flow::new(path(), f64::INFINITY).is_err());
+        assert!(Flow::new(path(), 0.0).is_ok());
+    }
+}

@@ -1,0 +1,64 @@
+use crate::idle::IdleMap;
+use awb_net::{LinkId, LinkRateModel, Path};
+use awb_phy::Rate;
+
+/// One hop of a path as the distributed estimators see it: the link, its
+/// effective data rate `r_i` (the maximum rate it supports alone) and its
+/// usable time share `λ_i` from carrier sensing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hop {
+    /// The link.
+    pub link: LinkId,
+    /// Effective data rate `r_i`.
+    pub rate: Rate,
+    /// Usable time share `λ_i ∈ [0, 1]`.
+    pub idle: f64,
+}
+
+impl Hop {
+    /// Builds the hop view of `link`: rate from the model's alone rate,
+    /// idleness from the map. Returns `None` for dead links (no supported
+    /// rate), whose available bandwidth is zero by definition.
+    pub fn for_link<M: LinkRateModel>(model: &M, idle: &IdleMap, link: LinkId) -> Option<Hop> {
+        let rate = model.max_alone_rate(link)?;
+        Some(Hop {
+            link,
+            rate,
+            idle: idle.link(model, link),
+        })
+    }
+
+    /// Builds the hop views of an entire path; `None` if any hop is dead.
+    pub fn for_path<M: LinkRateModel>(
+        model: &M,
+        idle: &IdleMap,
+        path: &Path,
+    ) -> Option<Vec<Hop>> {
+        path.links()
+            .iter()
+            .map(|&l| Hop::for_link(model, idle, l))
+            .collect()
+    }
+
+    /// The `(link, rate)` couple used for clique construction.
+    pub fn couple(&self) -> (LinkId, Rate) {
+        (self.link, self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_workloads::ScenarioOne;
+
+    #[test]
+    fn hops_combine_rate_and_idleness() {
+        let s = ScenarioOne::new();
+        let idle = IdleMap::from_schedule(s.model(), &s.naive_background_schedule(0.2));
+        let hops = Hop::for_path(s.model(), &idle, &s.new_path()).unwrap();
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].rate.as_mbps(), 54.0);
+        assert!((hops[0].idle - 0.6).abs() < 1e-12);
+        assert_eq!(hops[0].couple().0, s.links()[2]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Channel idleness ratios from carrier sensing.
+
+use awb_core::Schedule;
+use awb_net::{LinkId, LinkRateModel, NodeId};
+
+/// Per-node channel idleness ratios `λ_idle` (paper §4): the fraction of
+/// time a node senses the channel idle under a given background schedule.
+///
+/// The analytic construction assumes the schedule's slots do not overlap in
+/// time beyond their declared concurrency — exactly what a node would
+/// measure if the background were scheduled as stated. A link's usable time
+/// share is the *smaller* idleness of its two endpoints (Eq. 10's
+/// `λ_i ≤ min{λ_idle,tx, λ_idle,rx}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdleMap {
+    /// Indexed by node id.
+    idle: Vec<f64>,
+}
+
+impl IdleMap {
+    /// Measures idleness for every node of `model`'s topology against
+    /// `background`.
+    pub fn from_schedule<M: LinkRateModel>(model: &M, background: &Schedule) -> IdleMap {
+        let t = model.topology();
+        let idle = t
+            .nodes()
+            .map(|n| 1.0 - background.busy_share_at(model, n.id()))
+            .collect();
+        IdleMap { idle }
+    }
+
+    /// Builds a map from explicit per-node ratios (testing, or ratios
+    /// measured by the `awb-sim` MAC simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ratio is outside `[0, 1]`.
+    pub fn from_ratios(idle: Vec<f64>) -> IdleMap {
+        assert!(
+            idle.iter().all(|r| (0.0..=1.0).contains(r)),
+            "idle ratios must lie in [0, 1]"
+        );
+        IdleMap { idle }
+    }
+
+    /// The idleness ratio of `node` (1.0 for unknown nodes: an unobserved
+    /// node has seen no traffic).
+    pub fn node(&self, node: NodeId) -> f64 {
+        self.idle.get(node.index()).copied().unwrap_or(1.0)
+    }
+
+    /// The usable time share of `link`: the smaller idleness of its
+    /// endpoints.
+    pub fn link<M: LinkRateModel>(&self, model: &M, link: LinkId) -> f64 {
+        match model.topology().link(link) {
+            Ok(l) => self.node(l.tx()).min(self.node(l.rx())),
+            Err(_) => 1.0,
+        }
+    }
+
+    /// All per-node ratios, indexed by node id.
+    pub fn ratios(&self) -> &[f64] {
+        &self.idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_workloads::ScenarioOne;
+
+    #[test]
+    fn naive_schedule_doubles_busy_share() {
+        let s = ScenarioOne::new();
+        let m = s.model();
+        let [l1, _, l3] = s.links();
+        let naive = IdleMap::from_schedule(m, &s.naive_background_schedule(0.3));
+        let optimal = IdleMap::from_schedule(m, &s.optimal_background_schedule(0.3));
+        // L3's endpoints hear both links: idle 0.4 vs 0.7.
+        assert!((naive.link(m, l3) - 0.4).abs() < 1e-12);
+        assert!((optimal.link(m, l3) - 0.7).abs() < 1e-12);
+        // L1's endpoints hear only themselves: busy exactly λ either way.
+        assert!((naive.link(m, l1) - 0.7).abs() < 1e-12);
+        assert!((optimal.link(m, l1) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_ratios_validates_range() {
+        let m = IdleMap::from_ratios(vec![0.0, 0.5, 1.0]);
+        assert_eq!(m.node(awb_net::NodeId::from_index(1)), 0.5);
+        // Unknown nodes read as fully idle.
+        assert_eq!(m.node(awb_net::NodeId::from_index(99)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle ratios")]
+    fn out_of_range_ratios_panic() {
+        let _ = IdleMap::from_ratios(vec![1.5]);
+    }
+
+    #[test]
+    fn empty_schedule_means_fully_idle() {
+        let s = ScenarioOne::new();
+        let idle = IdleMap::from_schedule(s.model(), &awb_core::Schedule::empty());
+        assert!(idle.ratios().iter().all(|&r| r == 1.0));
+    }
+}

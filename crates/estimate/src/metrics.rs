@@ -1,0 +1,273 @@
+//! The five §4 estimators of path available bandwidth.
+
+use crate::hop::Hop;
+use awb_net::LinkRateModel;
+use awb_sets::{local_cliques, LocalClique};
+use std::fmt;
+
+fn cliques_of<M: LinkRateModel>(model: &M, hops: &[Hop]) -> Vec<LocalClique> {
+    let couples: Vec<_> = hops.iter().map(Hop::couple).collect();
+    local_cliques(model, &couples)
+}
+
+/// Eq. 10 — **bottleneck node bandwidth**: `min_i λ_i · r_i`. Considers
+/// background traffic (via idleness) but ignores interference among the
+/// path's own hops, so it overestimates under light background.
+///
+/// Returns 0.0 for an empty hop list.
+pub fn bottleneck_node_bandwidth(hops: &[Hop]) -> f64 {
+    if hops.is_empty() {
+        return 0.0;
+    }
+    hops.iter()
+        .map(|h| h.idle * h.rate.as_mbps())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Eq. 11 — **clique constraint**: `min_C 1 / Σ_{i∈C} 1/r_i` over the local
+/// interference cliques. Considers self-interference along the path but
+/// ignores background traffic, so it overestimates under heavy background
+/// (and *underestimates* under light background, missing link adaptation).
+pub fn clique_constraint<M: LinkRateModel>(model: &M, hops: &[Hop]) -> f64 {
+    if hops.is_empty() {
+        return 0.0;
+    }
+    cliques_of(model, hops)
+        .into_iter()
+        .map(|c| {
+            let t: f64 = c.hops().map(|i| 1.0 / hops[i].rate.as_mbps()).sum();
+            1.0 / t
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Eq. 12 — the minimum of the clique constraint (Eq. 11) and the bottleneck
+/// node bandwidth (Eq. 10).
+pub fn min_clique_and_bottleneck<M: LinkRateModel>(model: &M, hops: &[Hop]) -> f64 {
+    clique_constraint(model, hops).min(bottleneck_node_bandwidth(hops))
+}
+
+/// Eq. 13 — the **conservative clique constraint**, the paper's best
+/// estimator: within each local clique, assume the idle time `λ_i` of link
+/// `L_i` must be shared by every clique member with a smaller idle share.
+/// With members sorted by increasing `λ`,
+/// `f ≤ min_i λ_i / Σ_{j ≤ i} (1/r_j)`, then minimized over cliques.
+pub fn conservative_clique<M: LinkRateModel>(model: &M, hops: &[Hop]) -> f64 {
+    if hops.is_empty() {
+        return 0.0;
+    }
+    cliques_of(model, hops)
+        .into_iter()
+        .map(|c| {
+            let mut members: Vec<&Hop> = c.hops().map(|i| &hops[i]).collect();
+            members.sort_by(|a, b| a.idle.partial_cmp(&b.idle).expect("idle is finite"));
+            let mut prefix_time = 0.0;
+            let mut best = f64::INFINITY;
+            for h in members {
+                prefix_time += 1.0 / h.rate.as_mbps();
+                best = best.min(h.idle / prefix_time);
+            }
+            best
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Eq. 15 — **expected clique transmission time**: treat `1/(λ_i r_i)` as
+/// each member's expected time to move one unit of traffic and bound
+/// `f ≤ 1 / max_C Σ_{i∈C} 1/(λ_i r_i)`.
+///
+/// A hop with zero idle share pins the estimate to zero.
+pub fn expected_clique_transmission_time<M: LinkRateModel>(model: &M, hops: &[Hop]) -> f64 {
+    if hops.is_empty() {
+        return 0.0;
+    }
+    if hops.iter().any(|h| h.idle <= 0.0) {
+        return 0.0;
+    }
+    cliques_of(model, hops)
+        .into_iter()
+        .map(|c| {
+            let t: f64 = c
+                .hops()
+                .map(|i| 1.0 / (hops[i].idle * hops[i].rate.as_mbps()))
+                .sum();
+            1.0 / t
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The five §4 estimators as a closed set, for sweeping in experiments
+/// (Fig. 4 compares all of them against the LP ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Estimator {
+    /// Eq. 10 — bottleneck node bandwidth.
+    BottleneckNode,
+    /// Eq. 11 — clique constraint.
+    CliqueConstraint,
+    /// Eq. 12 — min of Eq. 10 and Eq. 11.
+    MinOfBoth,
+    /// Eq. 13 — conservative clique constraint.
+    ConservativeClique,
+    /// Eq. 15 — expected clique transmission time.
+    ExpectedCliqueTime,
+}
+
+impl Estimator {
+    /// All estimators, in the order Fig. 4 discusses them.
+    pub const ALL: [Estimator; 5] = [
+        Estimator::CliqueConstraint,
+        Estimator::BottleneckNode,
+        Estimator::MinOfBoth,
+        Estimator::ConservativeClique,
+        Estimator::ExpectedCliqueTime,
+    ];
+
+    /// Runs the estimator on a path's hops.
+    pub fn estimate<M: LinkRateModel>(self, model: &M, hops: &[Hop]) -> f64 {
+        match self {
+            Estimator::BottleneckNode => bottleneck_node_bandwidth(hops),
+            Estimator::CliqueConstraint => clique_constraint(model, hops),
+            Estimator::MinOfBoth => min_clique_and_bottleneck(model, hops),
+            Estimator::ConservativeClique => conservative_clique(model, hops),
+            Estimator::ExpectedCliqueTime => expected_clique_transmission_time(model, hops),
+        }
+    }
+
+    /// The paper's label for this estimator.
+    pub fn label(self) -> &'static str {
+        match self {
+            Estimator::BottleneckNode => "bottleneck node bandwidth",
+            Estimator::CliqueConstraint => "clique constraint",
+            Estimator::MinOfBoth => "min of the above two",
+            Estimator::ConservativeClique => "conservative clique constraint",
+            Estimator::ExpectedCliqueTime => "expected clique transmission time",
+        }
+    }
+}
+
+impl fmt::Display for Estimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, LinkId, Topology};
+    use awb_phy::Rate;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// A 3-hop chain path where consecutive hops conflict (spread 1), with
+    /// given rates.
+    fn chain(rates: &[f64]) -> (DeclarativeModel, Vec<LinkId>) {
+        let n = rates.len();
+        let mut t = Topology::new();
+        let nodes: Vec<_> = (0..=n).map(|i| t.add_node(i as f64 * 10.0, 0.0)).collect();
+        let links: Vec<LinkId> = nodes
+            .windows(2)
+            .map(|w| t.add_link(w[0], w[1]).unwrap())
+            .collect();
+        let mut b = DeclarativeModel::builder(t);
+        for (i, &l) in links.iter().enumerate() {
+            b = b.alone_rates(l, &[r(rates[i])]);
+        }
+        for w in links.windows(2) {
+            b = b.conflict_all(w[0], w[1]);
+        }
+        (b.build(), links)
+    }
+
+    fn hops(links: &[LinkId], rates: &[f64], idles: &[f64]) -> Vec<Hop> {
+        links
+            .iter()
+            .zip(rates.iter().zip(idles))
+            .map(|(&link, (&rate, &idle))| Hop {
+                link,
+                rate: r(rate),
+                idle,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bottleneck_is_min_idle_times_rate() {
+        let (_, links) = chain(&[54.0, 36.0, 18.0]);
+        let h = hops(&links, &[54.0, 36.0, 18.0], &[0.5, 1.0, 0.9]);
+        // Products: 27, 36, 16.2 → min 16.2.
+        assert!((bottleneck_node_bandwidth(&h) - 16.2).abs() < 1e-9);
+        assert_eq!(bottleneck_node_bandwidth(&[]), 0.0);
+    }
+
+    #[test]
+    fn clique_constraint_uses_local_windows() {
+        let (m, links) = chain(&[54.0, 54.0, 54.0]);
+        let h = hops(&links, &[54.0, 54.0, 54.0], &[1.0, 1.0, 1.0]);
+        // Local cliques are consecutive pairs: 1/(2/54) = 27.
+        assert!((clique_constraint(&m, &h) - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq12_is_the_min_of_its_parts() {
+        let (m, links) = chain(&[54.0, 54.0]);
+        let h = hops(&links, &[54.0, 54.0], &[0.3, 1.0]);
+        let c = clique_constraint(&m, &h);
+        let b = bottleneck_node_bandwidth(&h);
+        assert!((min_clique_and_bottleneck(&m, &h) - c.min(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservative_clique_orders_by_idleness() {
+        let (m, links) = chain(&[54.0, 54.0]);
+        // One clique {0,1}; λ sorted: (0.2, 54), (0.8, 54).
+        // Prefix bounds: 0.2/(1/54) = 10.8; 0.8/(2/54) = 21.6 → 10.8.
+        let h = hops(&links, &[54.0, 54.0], &[0.8, 0.2]);
+        assert!((conservative_clique(&m, &h) - 10.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservative_never_exceeds_eq11_or_eq10_on_cliques() {
+        let (m, links) = chain(&[54.0, 36.0, 18.0]);
+        let h = hops(&links, &[54.0, 36.0, 18.0], &[0.4, 0.7, 0.9]);
+        assert!(conservative_clique(&m, &h) <= clique_constraint(&m, &h) + 1e-12);
+    }
+
+    #[test]
+    fn expected_time_discounts_by_idleness() {
+        let (m, links) = chain(&[54.0, 54.0]);
+        let h = hops(&links, &[54.0, 54.0], &[0.5, 0.5]);
+        // Σ 1/(0.5·54) over the pair = 2/27 → 13.5.
+        assert!((expected_clique_transmission_time(&m, &h) - 13.5).abs() < 1e-9);
+        // Zero idleness anywhere → zero estimate.
+        let h0 = hops(&links, &[54.0, 54.0], &[0.0, 1.0]);
+        assert_eq!(expected_clique_transmission_time(&m, &h0), 0.0);
+    }
+
+    #[test]
+    fn estimator_enum_dispatch_matches_functions() {
+        let (m, links) = chain(&[54.0, 36.0]);
+        let h = hops(&links, &[54.0, 36.0], &[0.6, 0.8]);
+        assert_eq!(
+            Estimator::ConservativeClique.estimate(&m, &h),
+            conservative_clique(&m, &h)
+        );
+        assert_eq!(Estimator::ALL.len(), 5);
+        assert_eq!(
+            Estimator::ConservativeClique.to_string(),
+            "conservative clique constraint"
+        );
+    }
+
+    #[test]
+    fn single_hop_estimates() {
+        let (m, links) = chain(&[36.0]);
+        let h = hops(&links, &[36.0], &[0.5]);
+        assert!((clique_constraint(&m, &h) - 36.0).abs() < 1e-9);
+        assert!((bottleneck_node_bandwidth(&h) - 18.0).abs() < 1e-9);
+        assert!((conservative_clique(&m, &h) - 18.0).abs() < 1e-9);
+        assert!((expected_clique_transmission_time(&m, &h) - 18.0).abs() < 1e-9);
+    }
+}

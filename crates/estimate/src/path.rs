@@ -1,0 +1,94 @@
+//! Per-prefix estimation along a path (paper §4: "each intermediate node on
+//! a path estimates the available bandwidth from the source to itself").
+
+use crate::hop::Hop;
+use crate::metrics::Estimator;
+use awb_net::LinkRateModel;
+
+/// The estimates a distributed routing protocol would accumulate hop by hop:
+/// entry `i` is the chosen estimator's value for the prefix covering hops
+/// `0..=i`. Values are non-increasing along the path (appending a hop can
+/// only add clique constraints and lower minima).
+pub fn prefix_estimates<M: LinkRateModel>(
+    model: &M,
+    estimator: Estimator,
+    hops: &[Hop],
+) -> Vec<f64> {
+    (1..=hops.len())
+        .map(|k| estimator.estimate(model, &hops[..k]))
+        .collect()
+}
+
+/// The bottleneck prefix: the hop index (0-based) at which the estimate
+/// first reaches its final value — where the path's constraint binds. For
+/// an empty path, `None`.
+pub fn binding_hop<M: LinkRateModel>(
+    model: &M,
+    estimator: Estimator,
+    hops: &[Hop],
+) -> Option<usize> {
+    let prefixes = prefix_estimates(model, estimator, hops);
+    let last = *prefixes.last()?;
+    prefixes.iter().position(|&v| (v - last).abs() < 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, LinkId, Topology};
+    use awb_phy::Rate;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    fn chain(rates: &[f64], idles: &[f64]) -> (DeclarativeModel, Vec<Hop>) {
+        let n = rates.len();
+        let mut t = Topology::new();
+        let nodes: Vec<_> = (0..=n).map(|i| t.add_node(i as f64 * 10.0, 0.0)).collect();
+        let links: Vec<LinkId> = nodes
+            .windows(2)
+            .map(|w| t.add_link(w[0], w[1]).unwrap())
+            .collect();
+        let mut b = DeclarativeModel::builder(t);
+        for (i, &l) in links.iter().enumerate() {
+            b = b.alone_rates(l, &[r(rates[i])]);
+        }
+        for w in links.windows(2) {
+            b = b.conflict_all(w[0], w[1]);
+        }
+        let model = b.build();
+        let hops = links
+            .iter()
+            .enumerate()
+            .map(|(i, &link)| Hop {
+                link,
+                rate: r(rates[i]),
+                idle: idles[i],
+            })
+            .collect();
+        (model, hops)
+    }
+
+    #[test]
+    fn prefixes_are_non_increasing() {
+        let (m, hops) = chain(&[54.0, 36.0, 18.0, 54.0], &[0.9, 0.8, 0.7, 1.0]);
+        for e in Estimator::ALL {
+            let p = prefix_estimates(&m, e, &hops);
+            assert_eq!(p.len(), 4);
+            for w in p.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "{e}: {w:?}");
+            }
+            // The final prefix equals the whole-path estimate.
+            assert!((p[3] - e.estimate(&m, &hops)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn binding_hop_finds_the_constraint() {
+        // Slow hop in the middle: Eq. 10 binds once hop 2 is included.
+        let (m, hops) = chain(&[54.0, 54.0, 6.0, 54.0], &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(binding_hop(&m, Estimator::BottleneckNode, &hops), Some(2));
+        assert_eq!(binding_hop(&m, Estimator::BottleneckNode, &[]), None);
+    }
+}

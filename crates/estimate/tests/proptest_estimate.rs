@@ -1,0 +1,181 @@
+//! Property tests for the §4 estimators: orderings between the equations,
+//! idle-ratio consistency, and behaviour under scaling.
+
+use awb_estimate::{
+    bottleneck_node_bandwidth, clique_constraint, conservative_clique,
+    expected_clique_transmission_time, min_clique_and_bottleneck, Estimator, Hop, IdleMap,
+};
+use awb_net::{DeclarativeModel, LinkId, Topology};
+use awb_phy::Rate;
+use proptest::prelude::*;
+
+fn r(m: f64) -> Rate {
+    Rate::from_mbps(m)
+}
+
+#[derive(Debug, Clone)]
+struct PathInstance {
+    rates: Vec<f64>,
+    idles: Vec<f64>,
+    spread: usize,
+}
+
+fn path_instance() -> impl Strategy<Value = PathInstance> {
+    (1usize..=6, 1usize..=3).prop_flat_map(|(hops, spread)| {
+        (
+            proptest::collection::vec(
+                prop_oneof![Just(54.0), Just(36.0), Just(18.0), Just(6.0)],
+                hops,
+            ),
+            proptest::collection::vec(0.05f64..=1.0, hops),
+            Just(spread),
+        )
+            .prop_map(move |(rates, idles, spread)| PathInstance {
+                rates,
+                idles,
+                spread,
+            })
+    })
+}
+
+fn build(inst: &PathInstance) -> (DeclarativeModel, Vec<Hop>) {
+    let n = inst.rates.len();
+    let mut t = Topology::new();
+    let nodes: Vec<_> = (0..=n).map(|i| t.add_node(i as f64 * 10.0, 0.0)).collect();
+    let links: Vec<LinkId> = nodes
+        .windows(2)
+        .map(|w| t.add_link(w[0], w[1]).expect("fresh nodes"))
+        .collect();
+    let mut b = DeclarativeModel::builder(t);
+    for (i, &l) in links.iter().enumerate() {
+        b = b.alone_rates(l, &[r(inst.rates[i])]);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n.min(i + inst.spread + 1) {
+            b = b.conflict_all(links[i], links[j]);
+        }
+    }
+    let model = b.build();
+    let hops = links
+        .iter()
+        .enumerate()
+        .map(|(i, &link)| Hop {
+            link,
+            rate: r(inst.rates[i]),
+            idle: inst.idles[i],
+        })
+        .collect();
+    (model, hops)
+}
+
+proptest! {
+    #[test]
+    fn all_estimates_are_non_negative_and_finite(inst in path_instance()) {
+        let (m, hops) = build(&inst);
+        for e in Estimator::ALL {
+            let v = e.estimate(&m, &hops);
+            prop_assert!(v.is_finite() && v >= 0.0, "{e}: {v}");
+        }
+    }
+
+    #[test]
+    fn conservative_never_exceeds_clique_constraint(inst in path_instance()) {
+        let (m, hops) = build(&inst);
+        prop_assert!(conservative_clique(&m, &hops) <= clique_constraint(&m, &hops) + 1e-9);
+    }
+
+    #[test]
+    fn eq12_is_exactly_the_min(inst in path_instance()) {
+        let (m, hops) = build(&inst);
+        let expected =
+            clique_constraint(&m, &hops).min(bottleneck_node_bandwidth(&hops));
+        prop_assert!((min_clique_and_bottleneck(&m, &hops) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_time_never_exceeds_clique_constraint(inst in path_instance()) {
+        // 1/Σ(1/(λr)) ≤ 1/Σ(1/r) since λ ≤ 1 termwise, per clique; and the
+        // min over cliques preserves the domination... termwise domination
+        // holds per clique, but the minimizing clique may differ, so compare
+        // against the *clique-wise* statement: the Eq. 15 value is ≤ the
+        // Eq. 11 value computed over the same clique set. Since both take
+        // min over the same cliques and Eq15(C) ≤ Eq11(C) for every C,
+        // min Eq15 ≤ min Eq11.
+        let (m, hops) = build(&inst);
+        prop_assert!(
+            expected_clique_transmission_time(&m, &hops)
+                <= clique_constraint(&m, &hops) + 1e-9
+        );
+    }
+
+    #[test]
+    fn full_idleness_collapses_background_aware_estimators(inst in path_instance()) {
+        // With λ_i = 1 everywhere: Eq13 = Eq15 = Eq11 and Eq10 = min r_i.
+        let (m, mut hops) = build(&inst);
+        for h in &mut hops {
+            h.idle = 1.0;
+        }
+        let c = clique_constraint(&m, &hops);
+        prop_assert!((conservative_clique(&m, &hops) - c).abs() < 1e-9);
+        prop_assert!((expected_clique_transmission_time(&m, &hops) - c).abs() < 1e-9);
+        let min_rate = hops
+            .iter()
+            .map(|h| h.rate.as_mbps())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((bottleneck_node_bandwidth(&hops) - min_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_scale_monotonically_with_idleness(inst in path_instance()) {
+        // Scaling every λ_i up cannot reduce any background-aware estimate.
+        let (m, hops) = build(&inst);
+        let mut brighter = hops.clone();
+        for h in &mut brighter {
+            h.idle = (h.idle * 1.5).min(1.0);
+        }
+        for e in [
+            Estimator::BottleneckNode,
+            Estimator::ConservativeClique,
+            Estimator::ExpectedCliqueTime,
+            Estimator::MinOfBoth,
+        ] {
+            prop_assert!(
+                e.estimate(&m, &brighter) + 1e-9 >= e.estimate(&m, &hops),
+                "{e} decreased with more idleness"
+            );
+        }
+    }
+
+    #[test]
+    fn single_hop_closed_forms(rate in prop_oneof![Just(54.0), Just(36.0), Just(6.0)],
+                               idle in 0.0f64..=1.0) {
+        let inst = PathInstance { rates: vec![rate], idles: vec![idle], spread: 1 };
+        let (m, hops) = build(&inst);
+        prop_assert!((clique_constraint(&m, &hops) - rate).abs() < 1e-9);
+        for e in [
+            Estimator::BottleneckNode,
+            Estimator::ConservativeClique,
+        ] {
+            prop_assert!((e.estimate(&m, &hops) - idle * rate).abs() < 1e-9);
+        }
+        if idle > 0.0 {
+            prop_assert!(
+                (Estimator::ExpectedCliqueTime.estimate(&m, &hops) - idle * rate).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn idle_map_link_share_is_min_of_endpoints(ratios in proptest::collection::vec(0.0f64..=1.0, 4)) {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 0.0);
+        let ab = t.add_link(a, b).expect("fresh nodes");
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(ab, &[r(54.0)])
+            .build();
+        let map = IdleMap::from_ratios(ratios.clone());
+        let expected = ratios[a.index()].min(ratios[b.index()]);
+        prop_assert!((map.link(&m, ab) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while *stating* a problem with the [`Problem`](crate::Problem)
+/// builder, before any solving is attempted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProblemError {
+    /// A constraint or objective referenced a [`VarId`](crate::VarId) that does
+    /// not belong to this problem.
+    UnknownVariable {
+        /// Index of the offending variable.
+        index: usize,
+        /// Number of variables currently declared.
+        declared: usize,
+    },
+    /// A coefficient or right-hand side was NaN or infinite.
+    NonFiniteCoefficient,
+    /// The same variable appeared more than once in a single constraint row.
+    DuplicateVariable {
+        /// Index of the variable that was repeated.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::UnknownVariable { index, declared } => write!(
+                f,
+                "constraint references variable {index} but only {declared} are declared"
+            ),
+            ProblemError::NonFiniteCoefficient => {
+                write!(f, "coefficient or bound is NaN or infinite")
+            }
+            ProblemError::DuplicateVariable { index } => {
+                write!(f, "variable {index} appears more than once in one constraint")
+            }
+        }
+    }
+}
+
+impl Error for ProblemError {}
+
+/// Error raised by [`Problem::solve`](crate::Problem::solve).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The problem statement itself was invalid.
+    Problem(ProblemError),
+    /// The simplex iteration limit was exceeded (numerically pathological
+    /// input; never expected for the LPs built by this workspace).
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::Problem(e) => write!(f, "invalid problem: {e}"),
+            SolveError::IterationLimit { limit } => {
+                write!(f, "simplex exceeded {limit} iterations")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::Problem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProblemError> for SolveError {
+    fn from(e: ProblemError) -> Self {
+        SolveError::Problem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        for e in [
+            SolveError::Infeasible,
+            SolveError::Unbounded,
+            SolveError::IterationLimit { limit: 7 },
+            SolveError::Problem(ProblemError::NonFiniteCoefficient),
+        ] {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'), "{s:?} ends with punctuation");
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("simplex"));
+        }
+    }
+
+    #[test]
+    fn source_chains_problem_errors() {
+        let e = SolveError::from(ProblemError::DuplicateVariable { index: 3 });
+        assert!(e.source().is_some());
+        assert!(SolveError::Infeasible.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveError>();
+        assert_send_sync::<ProblemError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! This crate implements a dense **two-phase primal simplex** method, sufficient
+//! for the path available-bandwidth LPs of the ICDCS 2009 paper reproduced by the
+//! `awb` workspace (Eq. 6 and Eq. 9). Problems are stated with the [`Problem`]
+//! builder and solved with [`Problem::solve`]; the result is either a
+//! [`Solution`] or a [`SolveError`] describing infeasibility or unboundedness.
+//!
+//! # Example
+//!
+//! Maximize `3x + 2y` subject to `x + y <= 4`, `x + 3y <= 6`, `x, y >= 0`:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use awb_lp::{Problem, Direction, Relation};
+//!
+//! let mut p = Problem::new(Direction::Maximize);
+//! let x = p.add_var("x", 3.0);
+//! let y = p.add_var("y", 2.0);
+//! p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0)?;
+//! p.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0)?;
+//! let sol = p.solve()?;
+//! assert!((sol.objective() - 12.0).abs() < 1e-9);
+//! assert!((sol.value(x) - 4.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The solver is exact up to floating-point tolerance (`1e-9` by default) and
+//! uses Dantzig pricing with an automatic switch to Bland's rule when cycling
+//! is suspected. Both pricing rules can be forced through [`SolverOptions`]
+//! (exercised by the workspace's ablation benches).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod simplex;
+mod solution;
+
+pub use error::{ProblemError, SolveError};
+pub use problem::{Direction, Problem, Relation, VarId};
+pub use simplex::{Pricing, SolverOptions};
+pub use solution::Solution;

@@ -1,0 +1,243 @@
+use crate::error::{ProblemError, SolveError};
+use crate::simplex::{self, SolverOptions};
+use crate::solution::Solution;
+
+/// Optimization direction of a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// Maximize the objective.
+    #[default]
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Relation between a constraint's left-hand side and its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs == rhs`
+    Eq,
+}
+
+/// Handle to a decision variable of a [`Problem`].
+///
+/// Returned by [`Problem::add_var`] and accepted wherever a variable is
+/// referenced. Ids are only meaningful for the problem that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The positional index of this variable within its problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    /// Dense coefficient row, one entry per declared variable.
+    pub(crate) coeffs: Vec<f64>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// All variables are implicitly non-negative (`x >= 0`), which matches every
+/// quantity in the available-bandwidth model (time shares, throughputs). Upper
+/// bounds are expressed as ordinary `<=` constraints via
+/// [`Problem::bound_var`].
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    direction: Direction,
+    names: Vec<String>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem optimizing in `direction`.
+    pub fn new(direction: Direction) -> Self {
+        Problem {
+            direction,
+            names: Vec::new(),
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a non-negative decision variable with the given objective
+    /// coefficient and returns its handle.
+    ///
+    /// `name` is retained for debugging and for [`Solution::value_by_name`].
+    pub fn add_var(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        self.names.push(name.into());
+        self.objective.push(objective);
+        for c in &mut self.constraints {
+            c.coeffs.push(0.0);
+        }
+        VarId(self.names.len() - 1)
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Optimization direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Adds the constraint `sum(coeff * var) relation rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::UnknownVariable`] if a term references a
+    /// variable not declared on this problem,
+    /// [`ProblemError::DuplicateVariable`] if a variable appears twice, and
+    /// [`ProblemError::NonFiniteCoefficient`] for NaN/infinite inputs.
+    pub fn add_constraint(
+        &mut self,
+        terms: &[(VarId, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<(), ProblemError> {
+        if !rhs.is_finite() {
+            return Err(ProblemError::NonFiniteCoefficient);
+        }
+        let mut coeffs = vec![0.0; self.names.len()];
+        let mut seen = vec![false; self.names.len()];
+        for &(var, c) in terms {
+            if var.0 >= self.names.len() {
+                return Err(ProblemError::UnknownVariable {
+                    index: var.0,
+                    declared: self.names.len(),
+                });
+            }
+            if !c.is_finite() {
+                return Err(ProblemError::NonFiniteCoefficient);
+            }
+            if seen[var.0] {
+                return Err(ProblemError::DuplicateVariable { index: var.0 });
+            }
+            seen[var.0] = true;
+            coeffs[var.0] = c;
+        }
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
+        Ok(())
+    }
+
+    /// Convenience for the common single-variable bound `var <= upper`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as [`Problem::add_constraint`].
+    pub fn bound_var(&mut self, var: VarId, upper: f64) -> Result<(), ProblemError> {
+        self.add_constraint(&[(var, 1.0)], Relation::Le, upper)
+    }
+
+    /// Solves the problem with default [`SolverOptions`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if no point satisfies the constraints,
+    /// [`SolveError::Unbounded`] if the objective can grow without limit, and
+    /// [`SolveError::IterationLimit`] on pathological numerical behaviour.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_with(SolverOptions::default())
+    }
+
+    /// Solves the problem with explicit solver options.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::solve`].
+    pub fn solve_with(&self, options: SolverOptions) -> Result<Solution, SolveError> {
+        simplex::solve(self, options)
+    }
+
+    pub(crate) fn objective_coeffs(&self) -> &[f64] {
+        &self.objective
+    }
+
+    pub(crate) fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    pub(crate) fn var_names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_var_after_constraint_extends_rows() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 5.0).unwrap();
+        let y = p.add_var("y", 1.0);
+        p.add_constraint(&[(y, 1.0)], Relation::Le, 3.0).unwrap();
+        // The first constraint row must have been padded for y.
+        assert_eq!(p.constraints()[0].coeffs.len(), 2);
+        let sol = p.solve().unwrap();
+        assert!((sol.objective() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_variable_is_rejected() {
+        let mut p = Problem::new(Direction::Maximize);
+        let mut other = Problem::new(Direction::Maximize);
+        let _x = p.add_var("x", 1.0);
+        let foreign = other.add_var("y", 1.0);
+        let bogus = VarId(foreign.index() + 10);
+        let err = p.add_constraint(&[(bogus, 1.0)], Relation::Le, 1.0);
+        assert!(matches!(err, Err(ProblemError::UnknownVariable { .. })));
+    }
+
+    #[test]
+    fn duplicate_variable_is_rejected() {
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 1.0);
+        let err = p.add_constraint(&[(x, 1.0), (x, 2.0)], Relation::Le, 1.0);
+        assert_eq!(err, Err(ProblemError::DuplicateVariable { index: 0 }));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected() {
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 1.0);
+        assert!(p.add_constraint(&[(x, f64::NAN)], Relation::Le, 1.0).is_err());
+        assert!(p
+            .add_constraint(&[(x, 1.0)], Relation::Le, f64::INFINITY)
+            .is_err());
+    }
+
+    #[test]
+    fn var_id_index_round_trips() {
+        let mut p = Problem::new(Direction::Maximize);
+        let a = p.add_var("a", 0.0);
+        let b = p.add_var("b", 0.0);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(p.num_vars(), 2);
+    }
+}

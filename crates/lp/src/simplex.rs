@@ -1,0 +1,533 @@
+//! Dense two-phase primal simplex.
+//!
+//! The implementation keeps an explicit full tableau. Sizes in this workspace
+//! are tiny (tens of rows, at most a few thousand columns for the Eq. 9 upper
+//! bound), so clarity wins over sparsity tricks.
+
+use crate::error::SolveError;
+use crate::problem::{Direction, Problem, Relation};
+use crate::solution::Solution;
+
+/// Column-selection (pricing) rule used by the simplex iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pricing {
+    /// Dantzig's rule (most negative reduced cost) with an automatic fallback
+    /// to Bland's rule when a long degenerate streak suggests cycling.
+    #[default]
+    Auto,
+    /// Always Dantzig's rule. May cycle on degenerate inputs.
+    Dantzig,
+    /// Always Bland's rule. Terminates on any input, usually slower.
+    Bland,
+}
+
+/// Options controlling [`Problem::solve_with`](crate::Problem::solve_with).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Pricing rule. Defaults to [`Pricing::Auto`].
+    pub pricing: Pricing,
+    /// Numerical tolerance for feasibility and optimality tests.
+    pub tolerance: f64,
+    /// Hard cap on simplex pivots per phase; `None` picks a size-based cap.
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            pricing: Pricing::Auto,
+            tolerance: 1e-9,
+            max_iterations: None,
+        }
+    }
+}
+
+/// Number of consecutive degenerate pivots after which [`Pricing::Auto`]
+/// switches to Bland's rule.
+const DEGENERATE_STREAK_LIMIT: usize = 40;
+
+struct Tableau {
+    /// `rows x (cols + 1)`; the last entry of each row is the rhs.
+    rows: Vec<Vec<f64>>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Total number of structural + slack + artificial columns.
+    cols: usize,
+    tol: f64,
+}
+
+impl Tableau {
+    fn rhs(&self, row: usize) -> f64 {
+        self.rows[row][self.cols]
+    }
+
+    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let pivot_val = self.rows[pivot_row][pivot_col];
+        debug_assert!(pivot_val.abs() > self.tol);
+        let inv = 1.0 / pivot_val;
+        for v in &mut self.rows[pivot_row] {
+            *v *= inv;
+        }
+        // Re-normalize the pivot entry exactly to avoid drift.
+        self.rows[pivot_row][pivot_col] = 1.0;
+        let pivot_row_copy = self.rows[pivot_row].clone();
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = row[pivot_col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (v, p) in row.iter_mut().zip(&pivot_row_copy) {
+                *v -= factor * p;
+            }
+            row[pivot_col] = 0.0;
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+
+    /// Ratio test: returns the leaving row for `entering`, or `None` if the
+    /// column is non-positive (unbounded direction). Ties are broken by the
+    /// smallest basic variable index (lexicographic/Bland-compatible).
+    fn leaving_row(&self, entering: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.rows.len() {
+            let a = self.rows[r][entering];
+            if a > self.tol {
+                let ratio = self.rhs(r) / a;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - self.tol
+                            || (ratio < bratio + self.tol && self.basis[r] < self.basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+}
+
+/// Runs simplex iterations to optimality for the *minimization* objective
+/// `cost`, given a starting basic feasible solution already in `t`.
+///
+/// Returns `Err(SolveError::Unbounded)` or `Err(SolveError::IterationLimit)`.
+fn optimize(
+    t: &mut Tableau,
+    cost: &[f64],
+    options: &SolverOptions,
+    allow_cols: usize,
+) -> Result<(), SolveError> {
+    let m = t.rows.len();
+    let limit = options
+        .max_iterations
+        .unwrap_or(2_000 + 200 * (m + allow_cols));
+    // Reduced-cost row maintained incrementally would be faster; recomputing
+    // from the basis keeps the code simple and numerically self-correcting.
+    let mut degenerate_streak = 0usize;
+    for _ in 0..limit {
+        // Price: r_j = c_j - sum_i c_B(i) * T[i][j]
+        let mut multipliers = vec![0.0; m];
+        for (i, &b) in t.basis.iter().enumerate() {
+            multipliers[i] = cost.get(b).copied().unwrap_or(0.0);
+        }
+        let use_bland = match options.pricing {
+            Pricing::Bland => true,
+            Pricing::Dantzig => false,
+            Pricing::Auto => degenerate_streak >= DEGENERATE_STREAK_LIMIT,
+        };
+        let mut entering: Option<(usize, f64)> = None;
+        for j in 0..allow_cols {
+            if t.basis.contains(&j) {
+                continue;
+            }
+            let mut rc = cost.get(j).copied().unwrap_or(0.0);
+            for (mu, row) in multipliers.iter().zip(&t.rows) {
+                if *mu != 0.0 {
+                    rc -= mu * row[j];
+                }
+            }
+            if rc < -options.tolerance {
+                if use_bland {
+                    entering = Some((j, rc));
+                    break;
+                }
+                match entering {
+                    None => entering = Some((j, rc)),
+                    Some((_, best)) if rc < best => entering = Some((j, rc)),
+                    _ => {}
+                }
+            }
+        }
+        let Some((col, _)) = entering else {
+            return Ok(()); // optimal
+        };
+        let Some(row) = t.leaving_row(col) else {
+            return Err(SolveError::Unbounded);
+        };
+        if t.rhs(row).abs() <= options.tolerance {
+            degenerate_streak += 1;
+        } else {
+            degenerate_streak = 0;
+        }
+        t.pivot(row, col);
+    }
+    Err(SolveError::IterationLimit { limit })
+}
+
+/// Solves `problem`, translating to/from the internal minimization form.
+pub(crate) fn solve(problem: &Problem, options: SolverOptions) -> Result<Solution, SolveError> {
+    let n = problem.num_vars();
+    let cons = problem.constraints();
+    let m = cons.len();
+
+    // Count slack and artificial columns. Every row gets exactly one of:
+    //   Le with rhs>=0: slack; Ge with rhs>=0: surplus + artificial;
+    //   Eq: artificial. Rows with negative rhs are sign-flipped first.
+    #[derive(Clone, Copy)]
+    struct RowPlan {
+        flip: bool,
+        relation: Relation,
+    }
+    let plans: Vec<RowPlan> = cons
+        .iter()
+        .map(|c| {
+            let flip = c.rhs < 0.0;
+            let relation = if flip {
+                match c.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                }
+            } else {
+                c.relation
+            };
+            RowPlan { flip, relation }
+        })
+        .collect();
+
+    let num_slack = plans
+        .iter()
+        .filter(|p| !matches!(p.relation, Relation::Eq))
+        .count();
+    let num_artificial = plans
+        .iter()
+        .filter(|p| matches!(p.relation, Relation::Ge | Relation::Eq))
+        .count();
+    let cols = n + num_slack + num_artificial;
+    let artificial_start = n + num_slack;
+
+    let mut rows = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut next_artificial = artificial_start;
+    // The column holding each original row's +1 identity entry, from which
+    // dual values are recovered after phase 2.
+    let mut identity_col = vec![0usize; m];
+    for (r, (c, plan)) in cons.iter().zip(&plans).enumerate() {
+        let sign = if plan.flip { -1.0 } else { 1.0 };
+        for (j, &a) in c.coeffs.iter().enumerate() {
+            rows[r][j] = sign * a;
+        }
+        rows[r][cols] = sign * c.rhs;
+        match plan.relation {
+            Relation::Le => {
+                rows[r][next_slack] = 1.0;
+                basis[r] = next_slack;
+                identity_col[r] = next_slack;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                rows[r][next_slack] = -1.0;
+                next_slack += 1;
+                rows[r][next_artificial] = 1.0;
+                basis[r] = next_artificial;
+                identity_col[r] = next_artificial;
+                next_artificial += 1;
+            }
+            Relation::Eq => {
+                rows[r][next_artificial] = 1.0;
+                basis[r] = next_artificial;
+                identity_col[r] = next_artificial;
+                next_artificial += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        rows,
+        basis,
+        cols,
+        tol: options.tolerance,
+    };
+
+    // Phase 1: minimize the sum of artificials, if any are present.
+    if num_artificial > 0 {
+        let mut phase1_cost = vec![0.0; cols];
+        for c in phase1_cost.iter_mut().skip(artificial_start) {
+            *c = 1.0;
+        }
+        optimize(&mut t, &phase1_cost, &options, cols)?;
+        let infeasibility: f64 = t
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b >= artificial_start)
+            .map(|(r, _)| t.rhs(r))
+            .sum();
+        if infeasibility > options.tolerance.max(1e-7) {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive any residual (zero-valued) artificials out of the basis.
+        let mut r = 0;
+        while r < t.rows.len() {
+            if t.basis[r] >= artificial_start {
+                let pivot_col = (0..artificial_start)
+                    .find(|&j| t.rows[r][j].abs() > options.tolerance.max(1e-8));
+                match pivot_col {
+                    Some(j) => t.pivot(r, j),
+                    None => {
+                        // Redundant row: remove it entirely.
+                        t.rows.remove(r);
+                        t.basis.remove(r);
+                        continue;
+                    }
+                }
+            }
+            r += 1;
+        }
+    }
+
+    // Phase 2: minimize the (possibly negated) objective over structural and
+    // slack columns only.
+    let mut cost = vec![0.0; cols];
+    let obj = problem.objective_coeffs();
+    for j in 0..n {
+        cost[j] = match problem.direction() {
+            Direction::Maximize => -obj[j],
+            Direction::Minimize => obj[j],
+        };
+    }
+    optimize(&mut t, &cost, &options, artificial_start)?;
+
+    let mut x = vec![0.0; n];
+    for (r, &b) in t.basis.iter().enumerate() {
+        if b < n {
+            // Clamp tiny negatives produced by roundoff.
+            x[b] = t.rhs(r).max(0.0);
+        }
+    }
+    let objective: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+
+    // Dual values (shadow prices). The identity column of original row `i`
+    // carries `B^{-1} e_i` in the final tableau, so the internal dual is
+    // `y_i = ĉ_B · T[·][identity_col(i)]`; translate back through the
+    // direction and sign normalizations. Rows dropped as redundant get 0.
+    let dir_sign = match problem.direction() {
+        Direction::Maximize => -1.0,
+        Direction::Minimize => 1.0,
+    };
+    let multipliers: Vec<f64> = t
+        .basis
+        .iter()
+        .map(|&b| cost.get(b).copied().unwrap_or(0.0))
+        .collect();
+    let duals: Vec<f64> = (0..m)
+        .map(|i| {
+            let col = identity_col[i];
+            let y_internal: f64 = multipliers
+                .iter()
+                .zip(&t.rows)
+                .map(|(&mu, row)| mu * row[col])
+                .sum();
+            let flip_sign = if plans[i].flip { -1.0 } else { 1.0 };
+            dir_sign * flip_sign * y_internal
+        })
+        .collect();
+    Ok(Solution::new(
+        x,
+        objective,
+        problem.var_names().to_vec(),
+        duals,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Direction, Problem, Relation};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn maximize_two_vars() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 3.0);
+        let y = p.add_var("y", 5.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0).unwrap();
+        p.add_constraint(&[(y, 2.0)], Relation::Le, 12.0).unwrap();
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
+            .unwrap();
+        let s = p.solve().unwrap();
+        approx(s.objective(), 36.0);
+        approx(s.value(x), 2.0);
+        approx(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints_uses_phase_one() {
+        // min 2x + 3y  s.t.  x + y >= 10, x >= 2  -> x=10 wait: coefficient
+        // check: optimum is y=0, x=10, obj 20 (since 2 < 3).
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 2.0);
+        let y = p.add_var("y", 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        let s = p.solve().unwrap();
+        approx(s.objective(), 20.0);
+        approx(s.value(x), 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + 2y = 4, x <= 2 -> x=2, y=1, obj=3.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0)
+            .unwrap();
+        p.bound_var(x, 2.0).unwrap();
+        let s = p.solve().unwrap();
+        approx(s.objective(), 3.0);
+        approx(s.value(x), 2.0);
+        approx(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn infeasible_is_detected() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        assert_eq!(p.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_is_detected() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 0.0);
+        // x - y <= 1 does not bound x when y is free to grow.
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 1.0)
+            .unwrap();
+        assert_eq!(p.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x >= 3 written as -x <= -3.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(&[(x, -1.0)], Relation::Le, -3.0).unwrap();
+        let s = p.solve().unwrap();
+        approx(s.value(x), 3.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_dropped() {
+        // Two identical equalities; phase 1 leaves a redundant artificial row.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        p.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Eq, 4.0)
+            .unwrap();
+        let s = p.solve().unwrap();
+        approx(s.objective(), 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates_with_all_pricings() {
+        // Beale's classic cycling example (degenerate under naive Dantzig).
+        for pricing in [Pricing::Auto, Pricing::Bland, Pricing::Dantzig] {
+            let mut p = Problem::new(Direction::Minimize);
+            let x1 = p.add_var("x1", -0.75);
+            let x2 = p.add_var("x2", 150.0);
+            let x3 = p.add_var("x3", -0.02);
+            let x4 = p.add_var("x4", 6.0);
+            p.add_constraint(
+                &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+                Relation::Le,
+                0.0,
+            )
+            .unwrap();
+            p.add_constraint(
+                &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+                Relation::Le,
+                0.0,
+            )
+            .unwrap();
+            p.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0).unwrap();
+            let result = p.solve_with(SolverOptions {
+                pricing,
+                ..SolverOptions::default()
+            });
+            match (pricing, result) {
+                // Pure Dantzig pricing is *allowed* to cycle on Beale's
+                // example; hitting the iteration cap is acceptable there.
+                (Pricing::Dantzig, Err(SolveError::IterationLimit { .. })) => {}
+                (_, Ok(s)) => approx(s.objective(), -0.05),
+                (p, Err(e)) => panic!("{p:?} failed: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_constraint_problem_with_bounded_objective() {
+        // No constraints and a zero objective: optimum 0 at the origin.
+        let mut p = Problem::new(Direction::Maximize);
+        let _x = p.add_var("x", 0.0);
+        let s = p.solve().unwrap();
+        approx(s.objective(), 0.0);
+    }
+
+    #[test]
+    fn minimization_of_nonnegative_vars_is_zero_at_origin() {
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 5.0);
+        let y = p.add_var("y", 7.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 100.0)
+            .unwrap();
+        let s = p.solve().unwrap();
+        approx(s.objective(), 0.0);
+        approx(s.value(x), 0.0);
+        approx(s.value(y), 0.0);
+    }
+
+    #[test]
+    fn scheduling_shaped_lp_matches_hand_solution() {
+        // A miniature of the paper's Eq. 6: maximize f with two independent
+        // sets of rates (54, 0) and (0, 54) serving a 2-link path:
+        //   f <= 54*l1, f <= 54*l2, l1 + l2 <= 1  ->  f = 27.
+        let mut p = Problem::new(Direction::Maximize);
+        let f = p.add_var("f", 1.0);
+        let l1 = p.add_var("l1", 0.0);
+        let l2 = p.add_var("l2", 0.0);
+        p.add_constraint(&[(l1, 1.0), (l2, 1.0)], Relation::Le, 1.0)
+            .unwrap();
+        p.add_constraint(&[(l1, 54.0), (f, -1.0)], Relation::Ge, 0.0)
+            .unwrap();
+        p.add_constraint(&[(l2, 54.0), (f, -1.0)], Relation::Ge, 0.0)
+            .unwrap();
+        let s = p.solve().unwrap();
+        approx(s.objective(), 27.0);
+    }
+}

@@ -1,0 +1,166 @@
+use crate::problem::VarId;
+
+/// An optimal solution returned by [`Problem::solve`](crate::Problem::solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    values: Vec<f64>,
+    objective: f64,
+    names: Vec<String>,
+    duals: Vec<f64>,
+}
+
+impl Solution {
+    pub(crate) fn new(
+        values: Vec<f64>,
+        objective: f64,
+        names: Vec<String>,
+        duals: Vec<f64>,
+    ) -> Self {
+        Solution {
+            values,
+            objective,
+            names,
+            duals,
+        }
+    }
+
+    /// Optimal objective value (in the problem's own direction).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of variable `var` at the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the problem that produced this
+    /// solution.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Value of the first variable declared with `name`, if any.
+    pub fn value_by_name(&self, name: &str) -> Option<f64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// All variable values in declaration order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Variable names in declaration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The dual value (shadow price) of constraint `index`: the rate of
+    /// change of the optimal objective per unit increase of that
+    /// constraint's right-hand side, in the problem's own direction.
+    ///
+    /// For a maximization problem a binding `<=` constraint has a
+    /// non-negative dual; non-binding constraints have zero duals
+    /// (complementary slackness). Duals of redundant rows are reported as
+    /// zero; at degenerate optima the dual is one valid subgradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a constraint index of the solved problem.
+    pub fn dual(&self, index: usize) -> f64 {
+        self.duals[index]
+    }
+
+    /// All constraint duals in declaration order.
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Direction, Problem, Relation};
+
+    #[test]
+    fn duals_for_le_in_maximization() {
+        // max 3x s.t. x <= 4: shadow price 3.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 3.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 4.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!((s.dual(0) - 3.0).abs() < 1e-9);
+        assert_eq!(s.duals().len(), 1);
+    }
+
+    #[test]
+    fn duals_for_ge_in_minimization() {
+        // min 2x s.t. x >= 5: raising the rhs by 1 costs 2 more.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 2.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 5.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!((s.objective() - 10.0).abs() < 1e-9);
+        assert!((s.dual(0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duals_for_equality_constraints() {
+        // max x + 2y s.t. x + y = 3, y <= 1: optimum x=2, y=1, obj=4.
+        // d(obj)/d(3) = 1 (extra equality rhs goes to x).
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0)
+            .unwrap();
+        p.bound_var(y, 1.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!((s.objective() - 4.0).abs() < 1e-9);
+        assert!((s.dual(0) - 1.0).abs() < 1e-9);
+        // The y-bound's dual: d(obj)/d(1) = 2 - 1 = 1 (swap a unit of x
+        // for y).
+        assert!((s.dual(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_binding_constraints_have_zero_duals() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 2.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 100.0).unwrap(); // slack
+        let s = p.solve().unwrap();
+        assert!((s.dual(0) - 1.0).abs() < 1e-9);
+        assert!(s.dual(1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_rows_report_correct_dual_sign() {
+        // min x s.t. -x <= -3 (i.e. x >= 3): d(obj)/d(-3)... the dual is
+        // reported against the row as *stated*: raising the stated rhs from
+        // -3 to -2 weakens x >= 3 to x >= 2, improving (lowering) the
+        // minimum by 1, so the shadow price is -1... in the problem's own
+        // direction the derivative of the optimal value w.r.t. the stated
+        // rhs is -1? Optimal = -(stated rhs): d = -1.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(&[(x, -1.0)], Relation::Le, -3.0).unwrap();
+        let s = p.solve().unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-9);
+        assert!((s.dual(0) - (-1.0)).abs() < 1e-9, "dual {}", s.dual(0));
+    }
+
+    #[test]
+    fn value_by_name_finds_first_match() {
+        let mut p = Problem::new(Direction::Maximize);
+        let a = p.add_var("alpha", 1.0);
+        let _b = p.add_var("beta", 1.0);
+        p.add_constraint(&[(a, 1.0)], Relation::Le, 2.0).unwrap();
+        p.add_constraint(&[(_b, 1.0)], Relation::Le, 3.0).unwrap();
+        let s = p.solve().unwrap();
+        assert_eq!(s.value_by_name("alpha"), Some(s.value(a)));
+        assert_eq!(s.value_by_name("missing"), None);
+        assert_eq!(s.values().len(), 2);
+        assert_eq!(s.names().len(), 2);
+    }
+}

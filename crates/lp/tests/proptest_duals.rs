@@ -1,0 +1,134 @@
+//! Property tests for the dual values: strong duality, dual feasibility and
+//! complementary slackness on random bounded maximization LPs.
+
+use awb_lp::{Direction, Problem, Relation, VarId};
+use proptest::prelude::*;
+
+const BOX_BOUND: f64 = 10.0;
+const TOL: f64 = 1e-6;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn random_lp(n: usize, m: usize) -> impl Strategy<Value = RandomLp> {
+    let obj = proptest::collection::vec(0i32..=6i32, n);
+    let rows =
+        proptest::collection::vec((proptest::collection::vec(0i32..=5i32, n), 1i32..=12i32), m);
+    (obj, rows).prop_map(|(obj, rows)| RandomLp {
+        objective: obj.into_iter().map(f64::from).collect(),
+        rows: rows
+            .into_iter()
+            .map(|(cs, rhs)| (cs.into_iter().map(f64::from).collect(), f64::from(rhs)))
+            .collect(),
+    })
+}
+
+/// Builds `max c·x s.t. rows (<=), x <= BOX, x >= 0`. Returns the problem
+/// and the full constraint list (rows then boxes) as `(coeffs, rhs)`.
+fn build(lp: &RandomLp) -> (Problem, Vec<(Vec<f64>, f64)>) {
+    let n = lp.objective.len();
+    let mut p = Problem::new(Direction::Maximize);
+    let vars: Vec<VarId> = lp
+        .objective
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| p.add_var(format!("x{i}"), c))
+        .collect();
+    let mut all_rows = Vec::new();
+    for (coeffs, rhs) in &lp.rows {
+        let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+        p.add_constraint(&terms, Relation::Le, *rhs).expect("fresh vars");
+        all_rows.push((coeffs.clone(), *rhs));
+    }
+    for (i, &v) in vars.iter().enumerate() {
+        p.bound_var(v, BOX_BOUND).expect("fresh vars");
+        let mut e = vec![0.0; n];
+        e[i] = 1.0;
+        all_rows.push((e, BOX_BOUND));
+    }
+    (p, all_rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strong_duality_holds(lp in random_lp(3, 4)) {
+        let (p, rows) = build(&lp);
+        let s = p.solve().expect("bounded feasible LP");
+        let dual_obj: f64 = s
+            .duals()
+            .iter()
+            .zip(&rows)
+            .map(|(&y, (_, b))| y * b)
+            .sum();
+        prop_assert!(
+            (dual_obj - s.objective()).abs() < TOL,
+            "dual objective {dual_obj} != primal {}",
+            s.objective()
+        );
+    }
+
+    #[test]
+    fn duals_are_feasible_for_the_dual_program(lp in random_lp(3, 4)) {
+        // For max c·x, Ax <= b, x >= 0: dual feasibility is yA >= c, y >= 0.
+        let (p, rows) = build(&lp);
+        let s = p.solve().expect("bounded feasible LP");
+        for &y in s.duals() {
+            prop_assert!(y >= -TOL, "negative dual {y} on a <= row of a max LP");
+        }
+        for j in 0..lp.objective.len() {
+            let ya: f64 = s
+                .duals()
+                .iter()
+                .zip(&rows)
+                .map(|(&y, (a, _))| y * a[j])
+                .sum();
+            prop_assert!(
+                ya + TOL >= lp.objective[j],
+                "dual infeasible at var {j}: {ya} < {}",
+                lp.objective[j]
+            );
+        }
+    }
+
+    #[test]
+    fn complementary_slackness(lp in random_lp(3, 4)) {
+        let (p, rows) = build(&lp);
+        let s = p.solve().expect("bounded feasible LP");
+        for (i, (a, b)) in rows.iter().enumerate() {
+            let lhs: f64 = a.iter().zip(s.values()).map(|(c, x)| c * x).sum();
+            let slack = b - lhs;
+            prop_assert!(
+                (s.dual(i) * slack).abs() < 1e-4,
+                "row {i}: dual {} with slack {slack}",
+                s.dual(i)
+            );
+        }
+    }
+
+    #[test]
+    fn shadow_price_predicts_small_rhs_changes(lp in random_lp(2, 3)) {
+        // Nudge each row's rhs by +eps and compare the objective delta to
+        // the dual prediction (valid when the basis does not change; allow
+        // the prediction to overestimate in degenerate cases).
+        let (p, _) = build(&lp);
+        let s = p.solve().expect("bounded feasible LP");
+        let eps = 1e-4;
+        for i in 0..lp.rows.len() {
+            let mut nudged = lp.clone();
+            nudged.rows[i].1 += eps;
+            let (p2, _) = build(&nudged);
+            let s2 = p2.solve().expect("still feasible");
+            let delta = s2.objective() - s.objective();
+            let predicted = s.dual(i) * eps;
+            prop_assert!(
+                delta + 1e-7 >= 0.0 && delta <= predicted + 1e-7,
+                "row {i}: delta {delta} vs predicted {predicted}"
+            );
+        }
+    }
+}

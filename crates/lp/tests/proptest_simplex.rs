@@ -1,0 +1,192 @@
+//! Property tests: the simplex solution must agree with brute-force vertex
+//! enumeration on random small bounded LPs, and must always be primal
+//! feasible.
+
+use awb_lp::{Direction, Pricing, Problem, Relation, SolverOptions, VarId};
+use proptest::prelude::*;
+
+const BOX_BOUND: f64 = 10.0;
+const TOL: f64 = 1e-6;
+
+/// A randomly generated LP in `n` variables with `m` extra `<=` rows plus a
+/// box `x_i <= BOX_BOUND` for every variable (so it is always feasible at the
+/// origin and always bounded).
+#[derive(Debug, Clone)]
+struct RandomLp {
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn random_lp(n: usize, m: usize) -> impl Strategy<Value = RandomLp> {
+    let coeff = -3i32..=5i32;
+    let obj = proptest::collection::vec(0i32..=6i32, n);
+    let rows = proptest::collection::vec(
+        (proptest::collection::vec(coeff, n), 1i32..=12i32),
+        m,
+    );
+    (obj, rows).prop_map(|(obj, rows)| RandomLp {
+        objective: obj.into_iter().map(f64::from).collect(),
+        rows: rows
+            .into_iter()
+            .map(|(cs, rhs)| (cs.into_iter().map(f64::from).collect(), f64::from(rhs)))
+            .collect(),
+    })
+}
+
+/// All constraint rows including the box and non-negativity rows, as
+/// `(coeffs, rhs)` meaning `coeffs . x <= rhs`.
+fn all_rows(lp: &RandomLp) -> Vec<(Vec<f64>, f64)> {
+    let n = lp.objective.len();
+    let mut rows = lp.rows.clone();
+    for i in 0..n {
+        let mut e = vec![0.0; n];
+        e[i] = 1.0;
+        rows.push((e.clone(), BOX_BOUND));
+        let mut ne = vec![0.0; n];
+        ne[i] = -1.0;
+        rows.push((ne, 0.0));
+    }
+    rows
+}
+
+/// Solves the n x n system `a x = b` by Gaussian elimination with partial
+/// pivoting; returns `None` when singular.
+#[allow(clippy::needless_range_loop)]
+fn gauss_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let piv = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
+        })?;
+        if a[piv][col].abs() < 1e-10 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for r in 0..n {
+            if r != col {
+                let f = a[r][col] / a[col][col];
+                for c in col..n {
+                    a[r][c] -= f * a[col][c];
+                }
+                b[r] -= f * b[col];
+            }
+        }
+    }
+    Some((0..n).map(|i| b[i] / a[i][i]).collect())
+}
+
+/// Brute-force optimum: evaluate the objective at every vertex (every
+/// feasible intersection of n constraint hyperplanes).
+fn brute_force_max(lp: &RandomLp) -> f64 {
+    let n = lp.objective.len();
+    let rows = all_rows(lp);
+    let idx: Vec<usize> = (0..rows.len()).collect();
+    let mut best = f64::NEG_INFINITY;
+    let mut chosen = vec![0usize; n];
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        k: usize,
+        start: usize,
+        idx: &[usize],
+        chosen: &mut Vec<usize>,
+        n: usize,
+        rows: &[(Vec<f64>, f64)],
+        obj: &[f64],
+        best: &mut f64,
+    ) {
+        if k == n {
+            let a: Vec<Vec<f64>> = chosen.iter().map(|&i| rows[i].0.clone()).collect();
+            let b: Vec<f64> = chosen.iter().map(|&i| rows[i].1).collect();
+            if let Some(x) = gauss_solve(a, b) {
+                let feasible = rows
+                    .iter()
+                    .all(|(c, r)| c.iter().zip(&x).map(|(a, b)| a * b).sum::<f64>() <= r + 1e-7);
+                if feasible {
+                    let v: f64 = obj.iter().zip(&x).map(|(a, b)| a * b).sum();
+                    if v > *best {
+                        *best = v;
+                    }
+                }
+            }
+            return;
+        }
+        for i in start..idx.len() {
+            chosen[k] = idx[i];
+            rec(k + 1, i + 1, idx, chosen, n, rows, obj, best);
+        }
+    }
+    rec(0, 0, &idx, &mut chosen, n, &rows, &lp.objective, &mut best);
+    best
+}
+
+fn build_problem(lp: &RandomLp) -> (Problem, Vec<VarId>) {
+    let mut p = Problem::new(Direction::Maximize);
+    let vars: Vec<VarId> = lp
+        .objective
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| p.add_var(format!("x{i}"), c))
+        .collect();
+    for (coeffs, rhs) in &lp.rows {
+        let terms: Vec<(VarId, f64)> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+        p.add_constraint(&terms, Relation::Le, *rhs).unwrap();
+    }
+    for &v in &vars {
+        p.bound_var(v, BOX_BOUND).unwrap();
+    }
+    (p, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simplex_matches_vertex_enumeration_2d(lp in random_lp(2, 3)) {
+        let expected = brute_force_max(&lp);
+        let (p, _) = build_problem(&lp);
+        let s = p.solve().unwrap();
+        prop_assert!((s.objective() - expected).abs() < TOL,
+            "simplex {} vs brute force {}", s.objective(), expected);
+    }
+
+    #[test]
+    fn simplex_matches_vertex_enumeration_3d(lp in random_lp(3, 3)) {
+        let expected = brute_force_max(&lp);
+        let (p, _) = build_problem(&lp);
+        let s = p.solve().unwrap();
+        prop_assert!((s.objective() - expected).abs() < TOL,
+            "simplex {} vs brute force {}", s.objective(), expected);
+    }
+
+    #[test]
+    fn solution_is_always_primal_feasible(lp in random_lp(3, 4)) {
+        let (p, _) = build_problem(&lp);
+        let s = p.solve().unwrap();
+        for (coeffs, rhs) in all_rows(&lp) {
+            let lhs: f64 = coeffs.iter().zip(s.values()).map(|(a, b)| a * b).sum();
+            prop_assert!(lhs <= rhs + TOL, "row violated: {lhs} > {rhs}");
+        }
+    }
+
+    #[test]
+    fn bland_and_auto_agree(lp in random_lp(3, 3)) {
+        let (p, _) = build_problem(&lp);
+        let auto = p.solve().unwrap();
+        let bland = p
+            .solve_with(SolverOptions { pricing: Pricing::Bland, ..SolverOptions::default() })
+            .unwrap();
+        prop_assert!((auto.objective() - bland.objective()).abs() < TOL);
+    }
+
+    #[test]
+    fn adding_a_constraint_never_improves_the_optimum(lp in random_lp(3, 3)) {
+        let (p, _) = build_problem(&lp);
+        let base = p.solve().unwrap().objective();
+        let mut tightened = lp.clone();
+        tightened.rows.push((vec![1.0, 1.0, 1.0], 5.0));
+        let (p2, _) = build_problem(&tightened);
+        let tight = p2.solve().unwrap().objective();
+        prop_assert!(tight <= base + TOL);
+    }
+}

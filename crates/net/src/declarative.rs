@@ -1,0 +1,331 @@
+//! The declarative (hand-stated) interference model.
+
+use crate::error::TopologyError;
+use crate::ids::{LinkId, NodeId};
+use crate::model::LinkRateModel;
+use crate::topology::Topology;
+use awb_phy::Rate;
+use std::collections::HashSet;
+
+fn rate_key(r: Rate) -> u64 {
+    r.as_mbps().to_bits()
+}
+
+/// Interference model in which conflicts are stated explicitly, per link
+/// pair and optionally per rate pair.
+///
+/// This is how the paper's Scenario I and Scenario II (§1, §3.1, §5.1) are
+/// specified: "any two of links 1, 2 and 3 interfere with each other
+/// whichever rates they use", "links 1 and 4 interfere with each other if
+/// link 1 transmits with 54 Mbps but not with 36 Mbps", etc.
+///
+/// Build with [`DeclarativeModel::builder`]:
+///
+/// ```
+/// use awb_net::{DeclarativeModel, LinkRateModel, Topology};
+/// use awb_phy::Rate;
+///
+/// let mut t = Topology::new();
+/// let n: Vec<_> = (0..3).map(|i| t.add_node(i as f64, 0.0)).collect();
+/// let l1 = t.add_link(n[0], n[1])?;
+/// let l2 = t.add_link(n[1], n[2])?;
+/// let r54 = Rate::from_mbps(54.0);
+/// let model = DeclarativeModel::builder(t)
+///     .alone_rates(l1, &[r54])
+///     .alone_rates(l2, &[r54])
+///     .conflict_all(l1, l2)
+///     .build();
+/// assert!(!model.admissible(&[(l1, r54), (l2, r54)]));
+/// assert!(model.admissible(&[(l1, r54)]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeclarativeModel {
+    topology: Topology,
+    alone: Vec<Vec<Rate>>,
+    /// Link pairs that conflict at every rate combination (canonical order).
+    all_pairs: HashSet<(usize, usize)>,
+    /// Specific `(link, rate, link, rate)` conflicts (canonical order).
+    rate_pairs: HashSet<(usize, u64, usize, u64)>,
+    /// Extra hearing relations beyond link participants.
+    hears: HashSet<(usize, usize)>,
+}
+
+/// Builder for [`DeclarativeModel`].
+#[derive(Debug, Clone)]
+pub struct DeclarativeModelBuilder {
+    topology: Topology,
+    alone: Vec<Vec<Rate>>,
+    all_pairs: HashSet<(usize, usize)>,
+    rate_pairs: HashSet<(usize, u64, usize, u64)>,
+    hears: HashSet<(usize, usize)>,
+}
+
+impl DeclarativeModel {
+    /// Starts building a model over `topology`. All links default to no
+    /// alone rates (dead) and no conflicts.
+    pub fn builder(topology: Topology) -> DeclarativeModelBuilder {
+        let alone = vec![Vec::new(); topology.num_links()];
+        DeclarativeModelBuilder {
+            topology,
+            alone,
+            all_pairs: HashSet::new(),
+            rate_pairs: HashSet::new(),
+            hears: HashSet::new(),
+        }
+    }
+
+    fn pair_conflicts(&self, a: LinkId, ra: Rate, b: LinkId, rb: Rate) -> bool {
+        let (i, j) = (a.index(), b.index());
+        let key = if i <= j { (i, j) } else { (j, i) };
+        if self.all_pairs.contains(&key) {
+            return true;
+        }
+        let rated = if i <= j {
+            (i, rate_key(ra), j, rate_key(rb))
+        } else {
+            (j, rate_key(rb), i, rate_key(ra))
+        };
+        self.rate_pairs.contains(&rated)
+    }
+}
+
+impl DeclarativeModelBuilder {
+    /// Declares the rates `link` supports alone (any order; stored
+    /// descending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is foreign or a rate is zero.
+    #[must_use]
+    pub fn alone_rates(mut self, link: LinkId, rates: &[Rate]) -> Self {
+        self.check_link(link);
+        assert!(
+            rates.iter().all(|r| !r.is_zero()),
+            "alone rates must be non-zero"
+        );
+        let mut rs = rates.to_vec();
+        rs.sort_by(|a, b| b.partial_cmp(a).expect("rates are finite"));
+        rs.dedup();
+        self.alone[link.index()] = rs;
+        self
+    }
+
+    /// Declares that `a` and `b` conflict at **every** rate combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either link is foreign.
+    #[must_use]
+    pub fn conflict_all(mut self, a: LinkId, b: LinkId) -> Self {
+        self.check_link(a);
+        self.check_link(b);
+        let (i, j) = (a.index().min(b.index()), a.index().max(b.index()));
+        self.all_pairs.insert((i, j));
+        self
+    }
+
+    /// Declares that `(a, ra)` and `(b, rb)` conflict — "not both
+    /// transmissions will be successful" for exactly that rate pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either link is foreign.
+    #[must_use]
+    pub fn conflict_at(mut self, a: LinkId, ra: Rate, b: LinkId, rb: Rate) -> Self {
+        self.check_link(a);
+        self.check_link(b);
+        let entry = if a.index() <= b.index() {
+            (a.index(), rate_key(ra), b.index(), rate_key(rb))
+        } else {
+            (b.index(), rate_key(rb), a.index(), rate_key(ra))
+        };
+        self.rate_pairs.insert(entry);
+        self
+    }
+
+    /// Declares that `node` hears (senses busy during) transmissions on
+    /// `link`, in addition to the link's own endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node or link is foreign.
+    #[must_use]
+    pub fn hears(mut self, node: NodeId, link: LinkId) -> Self {
+        assert!(
+            self.topology.node(node).is_ok(),
+            "{}",
+            TopologyError::UnknownNode(node)
+        );
+        self.check_link(link);
+        self.hears.insert((node.index(), link.index()));
+        self
+    }
+
+    /// Finishes the model.
+    pub fn build(self) -> DeclarativeModel {
+        DeclarativeModel {
+            topology: self.topology,
+            alone: self.alone,
+            all_pairs: self.all_pairs,
+            rate_pairs: self.rate_pairs,
+            hears: self.hears,
+        }
+    }
+
+    fn check_link(&self, link: LinkId) {
+        assert!(
+            self.topology.link(link).is_ok(),
+            "{}",
+            TopologyError::UnknownLink(link)
+        );
+    }
+}
+
+impl LinkRateModel for DeclarativeModel {
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn alone_rates(&self, link: LinkId) -> Vec<Rate> {
+        self.alone.get(link.index()).cloned().unwrap_or_default()
+    }
+
+    fn admissible(&self, assignment: &[(LinkId, Rate)]) -> bool {
+        for (i, &(a, ra)) in assignment.iter().enumerate() {
+            if !self
+                .alone
+                .get(a.index())
+                .is_some_and(|rs| rs.contains(&ra))
+            {
+                return false;
+            }
+            for &(b, rb) in &assignment[i + 1..] {
+                if self.pair_conflicts(a, ra, b, rb) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn node_hears(&self, node: NodeId, link: LinkId) -> bool {
+        let Ok(l) = self.topology.link(link) else {
+            return false;
+        };
+        l.tx() == node || l.rx() == node || self.hears.contains(&(node.index(), link.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> (Rate, Rate) {
+        (Rate::from_mbps(54.0), Rate::from_mbps(36.0))
+    }
+
+    /// Two links on a 3-node chain with a rate-dependent conflict.
+    fn two_link_model() -> (DeclarativeModel, LinkId, LinkId) {
+        let (r54, r36) = rates();
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..4).map(|i| t.add_node(f64::from(i), 0.0)).collect();
+        let l1 = t.add_link(n[0], n[1]).unwrap();
+        let l2 = t.add_link(n[2], n[3]).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(l1, &[r36, r54])
+            .alone_rates(l2, &[r54, r36])
+            .conflict_at(l1, r54, l2, r54)
+            .build();
+        (m, l1, l2)
+    }
+
+    #[test]
+    fn rate_dependent_conflict() {
+        let (m, l1, l2) = two_link_model();
+        let (r54, r36) = rates();
+        assert!(!m.admissible(&[(l1, r54), (l2, r54)]));
+        assert!(m.admissible(&[(l1, r36), (l2, r54)]));
+        assert!(m.admissible(&[(l1, r54), (l2, r36)]));
+        assert!(m.admissible(&[(l1, r36), (l2, r36)]));
+    }
+
+    #[test]
+    fn conflict_all_beats_every_rate_pair() {
+        let (r54, r36) = rates();
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..4).map(|i| t.add_node(f64::from(i), 0.0)).collect();
+        let l1 = t.add_link(n[0], n[1]).unwrap();
+        let l2 = t.add_link(n[2], n[3]).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(l1, &[r54, r36])
+            .alone_rates(l2, &[r54, r36])
+            .conflict_all(l1, l2)
+            .build();
+        for ra in [r54, r36] {
+            for rb in [r54, r36] {
+                assert!(!m.admissible(&[(l1, ra), (l2, rb)]));
+            }
+        }
+    }
+
+    #[test]
+    fn alone_rates_are_sorted_and_deduped() {
+        let (m, l1, _) = two_link_model();
+        let rs: Vec<f64> = m.alone_rates(l1).iter().map(|r| r.as_mbps()).collect();
+        assert_eq!(rs, vec![54.0, 36.0]);
+    }
+
+    #[test]
+    fn unlisted_rates_are_inadmissible() {
+        let (m, l1, _) = two_link_model();
+        assert!(!m.admissible(&[(l1, Rate::from_mbps(18.0))]));
+        assert!(!m.admissible(&[(l1, Rate::ZERO)]));
+    }
+
+    #[test]
+    fn conflicts_helper_is_symmetric() {
+        let (m, l1, l2) = two_link_model();
+        let (r54, _) = rates();
+        assert!(m.conflicts((l1, r54), (l2, r54)));
+        assert!(m.conflicts((l2, r54), (l1, r54)));
+    }
+
+    #[test]
+    fn hearing_defaults_to_participants_plus_declared() {
+        let (r54, _) = rates();
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 0.0);
+        let c = t.add_node(2.0, 0.0);
+        let ab = t.add_link(a, b).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(ab, &[r54])
+            .hears(c, ab)
+            .build();
+        assert!(m.node_hears(a, ab));
+        assert!(m.node_hears(b, ab));
+        assert!(m.node_hears(c, ab));
+    }
+
+    #[test]
+    fn dead_links_have_no_rates() {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 0.0);
+        let ab = t.add_link(a, b).unwrap();
+        let m = DeclarativeModel::builder(t).build();
+        assert!(m.alone_rates(ab).is_empty());
+        assert!(!m.admissible(&[(ab, Rate::from_mbps(6.0))]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn foreign_link_panics_in_builder() {
+        let t = Topology::new();
+        let _ = DeclarativeModel::builder(t).conflict_all(
+            LinkId::from_index(0),
+            LinkId::from_index(1),
+        );
+    }
+}

@@ -1,0 +1,89 @@
+use crate::ids::{LinkId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building or querying a [`Topology`](crate::Topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A node id does not belong to this topology.
+    UnknownNode(NodeId),
+    /// A link id does not belong to this topology.
+    UnknownLink(LinkId),
+    /// Attempted to create a link from a node to itself.
+    SelfLoop(NodeId),
+    /// Attempted to create a second link with the same transmitter and
+    /// receiver.
+    DuplicateLink(NodeId, NodeId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            TopologyError::SelfLoop(n) => write!(f, "link endpoints are both {n}"),
+            TopologyError::DuplicateLink(a, b) => {
+                write!(f, "a link from {a} to {b} already exists")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// Error raised while constructing a [`Path`](crate::Path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PathError {
+    /// The path contains no links.
+    Empty,
+    /// A link id does not belong to the topology.
+    UnknownLink(LinkId),
+    /// Consecutive links do not share an endpoint: the receiver of one must
+    /// be the transmitter of the next.
+    Disconnected {
+        /// The link whose receiver does not match.
+        from: LinkId,
+        /// The link whose transmitter does not match.
+        to: LinkId,
+    },
+    /// No link exists between two consecutive nodes of a node sequence.
+    MissingLink(NodeId, NodeId),
+    /// The same link appears twice.
+    RepeatedLink(LinkId),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "a path needs at least one link"),
+            PathError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            PathError::Disconnected { from, to } => {
+                write!(f, "links {from} and {to} are not adjacent")
+            }
+            PathError::MissingLink(a, b) => write!(f, "no link from {a} to {b}"),
+            PathError::RepeatedLink(l) => write!(f, "link {l} appears twice"),
+        }
+    }
+}
+
+impl Error for PathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LinkId, NodeId};
+
+    #[test]
+    fn displays_mention_the_offender() {
+        let e = TopologyError::UnknownNode(NodeId::from_index(4));
+        assert!(e.to_string().contains("n4"));
+        let e = PathError::Disconnected {
+            from: LinkId::from_index(1),
+            to: LinkId::from_index(2),
+        };
+        assert!(e.to_string().contains("L1"));
+        assert!(e.to_string().contains("L2"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Typed indices for nodes and links.
+
+use std::fmt;
+
+/// Identifier of a node within a [`Topology`](crate::Topology).
+///
+/// Ids are dense indices assigned in insertion order; they are only
+/// meaningful for the topology that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from a dense index.
+    ///
+    /// Prefer keeping the ids returned by
+    /// [`Topology::add_node`](crate::Topology::add_node); this exists for
+    /// serialization and test fixtures.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a directed link within a [`Topology`](crate::Topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// The dense index of this link.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from a dense index (see [`NodeId::from_index`]).
+    pub fn from_index(index: usize) -> LinkId {
+        LinkId(index)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(NodeId::from_index(3).to_string(), "n3");
+        assert_eq!(LinkId::from_index(0).to_string(), "L0");
+    }
+
+    #[test]
+    fn ids_round_trip_indices() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(LinkId::from_index(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(LinkId::from_index(0) < LinkId::from_index(5));
+    }
+}

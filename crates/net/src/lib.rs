@@ -1,0 +1,48 @@
+//! Network substrate for the `awb` workspace: node/link topologies, paths,
+//! and the interference models under which rate-coupled independent sets and
+//! cliques are defined.
+//!
+//! Two [`LinkRateModel`] implementations are provided:
+//!
+//! * [`SinrModel`] — the geometric physical model of the paper's evaluation:
+//!   positions, log-distance path loss, per-rate receiver sensitivities and
+//!   SINR thresholds (Eq. 1/Eq. 3 via [`awb_phy::Phy`]).
+//! * [`DeclarativeModel`] — explicitly stated per-rate conflict relations,
+//!   used for the paper's hand-constructed Scenario I and Scenario II
+//!   topologies where interference is *postulated*, not derived from
+//!   geometry.
+//!
+//! # Example
+//!
+//! ```
+//! use awb_net::{SinrModel, Topology, LinkRateModel};
+//! use awb_phy::Phy;
+//!
+//! let mut t = Topology::new();
+//! let a = t.add_node(0.0, 0.0);
+//! let b = t.add_node(50.0, 0.0);
+//! let ab = t.add_link(a, b)?;
+//! let model = SinrModel::new(t, Phy::paper_default());
+//! // A 50 m link supports all four 802.11a rates alone.
+//! assert_eq!(model.alone_rates(ab).len(), 4);
+//! # Ok::<(), awb_net::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod declarative;
+mod error;
+mod geometric;
+mod ids;
+mod model;
+mod path;
+mod topology;
+
+pub use declarative::{DeclarativeModel, DeclarativeModelBuilder};
+pub use error::{PathError, TopologyError};
+pub use geometric::SinrModel;
+pub use ids::{LinkId, NodeId};
+pub use model::LinkRateModel;
+pub use path::Path;
+pub use topology::{Link, Node, Point, Topology};

@@ -1,0 +1,113 @@
+//! The interface between a topology and the rate-coupled combinatorics.
+
+use crate::ids::{LinkId, NodeId};
+use crate::topology::Topology;
+use awb_phy::Rate;
+
+/// Answers the admissibility questions from which rate-coupled independent
+/// sets and cliques (paper §2.4, §3.1) are built.
+///
+/// Implementations: [`SinrModel`](crate::SinrModel) (geometric, Eq. 1/Eq. 3)
+/// and [`DeclarativeModel`](crate::DeclarativeModel) (hand-stated conflicts,
+/// Scenario I/II).
+///
+/// The model owns its topology so that a single value can be passed through
+/// enumeration, scheduling and routing layers.
+///
+/// Implementations are expected to be **downward closed** (removing a couple
+/// from an admissible assignment keeps it admissible) and **rate-monotone**
+/// (lowering a couple's rate keeps it admissible). Both bundled models have
+/// these properties; set enumeration and dominance pruning rely on them.
+pub trait LinkRateModel {
+    /// The underlying topology.
+    fn topology(&self) -> &Topology;
+
+    /// The rates `link` can use when transmitting **alone**, in descending
+    /// order. Empty means the link cannot transmit at all (e.g. the nodes are
+    /// out of range).
+    fn alone_rates(&self, link: LinkId) -> Vec<Rate>;
+
+    /// Whether every `(link, rate)` couple in `assignment` succeeds when all
+    /// of them transmit concurrently.
+    ///
+    /// `assignment` contains each link at most once, with a non-zero rate
+    /// drawn from that link's [`alone_rates`](Self::alone_rates).
+    /// Implementations may return `false` (rather than panic) for rates that
+    /// are not achievable even alone.
+    fn admissible(&self, assignment: &[(LinkId, Rate)]) -> bool;
+
+    /// Whether `node` senses the channel busy while `link` transmits — the
+    /// carrier-sensing relation used for channel-idle-ratio estimation
+    /// (paper §4).
+    fn node_hears(&self, node: NodeId, link: LinkId) -> bool;
+
+    /// The maximum rate `link` supports alone, if any.
+    fn max_alone_rate(&self, link: LinkId) -> Option<Rate> {
+        self.alone_rates(link).first().copied()
+    }
+
+    /// Whether two `(link, rate)` couples conflict, i.e. cannot both succeed
+    /// concurrently (the paper's "interferes with" relation on couples,
+    /// §3.1).
+    fn conflicts(&self, a: (LinkId, Rate), b: (LinkId, Rate)) -> bool {
+        !self.admissible(&[a, b])
+    }
+
+    /// Whether the interference suffered by a link depends only on *which*
+    /// other links transmit, not on the rates they use.
+    ///
+    /// True for the physical model (transmit power is rate-independent, so
+    /// Eq. 3's SINR is too); false in general for declarative models, where
+    /// conflicts may be stated per rate pair. Enumeration uses this to skip
+    /// rate branching.
+    fn rate_independent_interference(&self) -> bool {
+        false
+    }
+
+    /// The maximum rate `link` itself can sustain while every couple in
+    /// `others` transmits concurrently — regardless of whether those other
+    /// transmissions succeed (the per-victim "capture" question a MAC
+    /// simulator asks).
+    ///
+    /// The default tests the link's rates descending against each other
+    /// couple pairwise, which is exact for declarative models; models with
+    /// additive interference (the physical model) override this with the
+    /// exact joint computation.
+    fn victim_max_rate(&self, link: LinkId, others: &[(LinkId, Rate)]) -> Option<Rate> {
+        self.alone_rates(link).into_iter().find(|&r| {
+            others
+                .iter()
+                .filter(|(l, _)| *l != link)
+                .all(|&o| !self.conflicts((link, r), o))
+        })
+    }
+}
+
+// Blanket impl so `&M` works wherever `M` does (routing and estimation take
+// models by reference).
+impl<M: LinkRateModel + ?Sized> LinkRateModel for &M {
+    fn topology(&self) -> &Topology {
+        (**self).topology()
+    }
+    fn alone_rates(&self, link: LinkId) -> Vec<Rate> {
+        (**self).alone_rates(link)
+    }
+    fn admissible(&self, assignment: &[(LinkId, Rate)]) -> bool {
+        (**self).admissible(assignment)
+    }
+    fn node_hears(&self, node: NodeId, link: LinkId) -> bool {
+        (**self).node_hears(node, link)
+    }
+    fn max_alone_rate(&self, link: LinkId) -> Option<Rate> {
+        (**self).max_alone_rate(link)
+    }
+    fn conflicts(&self, a: (LinkId, Rate), b: (LinkId, Rate)) -> bool {
+        (**self).conflicts(a, b)
+    }
+    fn rate_independent_interference(&self) -> bool {
+        (**self).rate_independent_interference()
+    }
+    fn victim_max_rate(&self, link: LinkId, others: &[(LinkId, Rate)]) -> Option<Rate> {
+        (**self).victim_max_rate(link, others)
+    }
+}

@@ -1,0 +1,237 @@
+//! Multihop paths over a topology.
+
+use crate::error::PathError;
+use crate::ids::{LinkId, NodeId};
+use crate::topology::Topology;
+use std::fmt;
+
+/// An ordered sequence of links forming a multihop path.
+///
+/// Construction validates against a [`Topology`]: links must exist, be
+/// distinct, and chain head-to-tail (the receiver of hop *i* is the
+/// transmitter of hop *i+1*).
+///
+/// ```
+/// use awb_net::{Path, Topology};
+/// let mut t = Topology::new();
+/// let a = t.add_node(0.0, 0.0);
+/// let b = t.add_node(50.0, 0.0);
+/// let c = t.add_node(100.0, 0.0);
+/// let ab = t.add_link(a, b)?;
+/// let bc = t.add_link(b, c)?;
+/// let p = Path::new(&t, vec![ab, bc])?;
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.source(&t)?, a);
+/// assert_eq!(p.destination(&t)?, c);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Path {
+    links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Builds a path from an ordered link sequence, validating connectivity.
+    ///
+    /// # Errors
+    ///
+    /// [`PathError::Empty`], [`PathError::UnknownLink`],
+    /// [`PathError::RepeatedLink`], or [`PathError::Disconnected`].
+    pub fn new(topology: &Topology, links: Vec<LinkId>) -> Result<Path, PathError> {
+        if links.is_empty() {
+            return Err(PathError::Empty);
+        }
+        for (i, &l) in links.iter().enumerate() {
+            topology.link(l).map_err(|_| PathError::UnknownLink(l))?;
+            if links[..i].contains(&l) {
+                return Err(PathError::RepeatedLink(l));
+            }
+        }
+        for w in links.windows(2) {
+            let a = topology.link(w[0]).expect("validated above");
+            let b = topology.link(w[1]).expect("validated above");
+            if a.rx() != b.tx() {
+                return Err(PathError::Disconnected {
+                    from: w[0],
+                    to: w[1],
+                });
+            }
+        }
+        Ok(Path { links })
+    }
+
+    /// Builds a path through a node sequence, looking links up in the
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// [`PathError::Empty`] for fewer than two nodes and
+    /// [`PathError::MissingLink`] when two consecutive nodes are not linked;
+    /// otherwise as [`Path::new`].
+    pub fn from_nodes(topology: &Topology, nodes: &[NodeId]) -> Result<Path, PathError> {
+        if nodes.len() < 2 {
+            return Err(PathError::Empty);
+        }
+        let mut links = Vec::with_capacity(nodes.len() - 1);
+        for w in nodes.windows(2) {
+            let l = topology
+                .link_between(w[0], w[1])
+                .ok_or(PathError::MissingLink(w[0], w[1]))?;
+            links.push(l);
+        }
+        Path::new(topology, links)
+    }
+
+    /// The links in hop order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the path has no hops (never true for a constructed path).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Whether `link` lies on this path.
+    pub fn contains(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// The source node.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the path was built for a different topology.
+    pub fn source(&self, topology: &Topology) -> Result<NodeId, PathError> {
+        let first = self.links.first().ok_or(PathError::Empty)?;
+        Ok(topology
+            .link(*first)
+            .map_err(|_| PathError::UnknownLink(*first))?
+            .tx())
+    }
+
+    /// The destination node.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the path was built for a different topology.
+    pub fn destination(&self, topology: &Topology) -> Result<NodeId, PathError> {
+        let last = self.links.last().ok_or(PathError::Empty)?;
+        Ok(topology
+            .link(*last)
+            .map_err(|_| PathError::UnknownLink(*last))?
+            .rx())
+    }
+
+    /// All nodes visited, source first.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the path was built for a different topology.
+    pub fn nodes(&self, topology: &Topology) -> Result<Vec<NodeId>, PathError> {
+        let mut out = Vec::with_capacity(self.links.len() + 1);
+        out.push(self.source(topology)?);
+        for &l in &self.links {
+            out.push(
+                topology
+                    .link(l)
+                    .map_err(|_| PathError::UnknownLink(l))?
+                    .rx(),
+            );
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for l in &self.links {
+            if !first {
+                write!(f, "->")?;
+            }
+            write!(f, "{l}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> (Topology, Vec<NodeId>, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (0..n).map(|i| t.add_node(i as f64 * 50.0, 0.0)).collect();
+        let links: Vec<LinkId> = nodes
+            .windows(2)
+            .map(|w| t.add_link(w[0], w[1]).unwrap())
+            .collect();
+        (t, nodes, links)
+    }
+
+    #[test]
+    fn valid_chain_path() {
+        let (t, nodes, links) = chain(4);
+        let p = Path::new(&t, links.clone()).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.nodes(&t).unwrap(), nodes);
+        assert!(p.contains(links[1]));
+        assert_eq!(p.to_string(), "L0->L1->L2");
+    }
+
+    #[test]
+    fn from_nodes_finds_links() {
+        let (t, nodes, links) = chain(3);
+        let p = Path::from_nodes(&t, &nodes).unwrap();
+        assert_eq!(p.links(), &links[..]);
+    }
+
+    #[test]
+    fn disconnected_links_are_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 0.0);
+        let c = t.add_node(2.0, 0.0);
+        let d = t.add_node(3.0, 0.0);
+        let ab = t.add_link(a, b).unwrap();
+        let cd = t.add_link(c, d).unwrap();
+        assert_eq!(
+            Path::new(&t, vec![ab, cd]),
+            Err(PathError::Disconnected { from: ab, to: cd })
+        );
+    }
+
+    #[test]
+    fn empty_and_repeated_paths_are_rejected() {
+        let (t, _, links) = chain(3);
+        assert_eq!(Path::new(&t, vec![]), Err(PathError::Empty));
+        assert_eq!(
+            Path::new(&t, vec![links[0], links[0]]),
+            Err(PathError::RepeatedLink(links[0]))
+        );
+    }
+
+    #[test]
+    fn missing_link_in_node_sequence() {
+        let (t, nodes, _) = chain(3);
+        let err = Path::from_nodes(&t, &[nodes[0], nodes[2]]);
+        assert_eq!(err, Err(PathError::MissingLink(nodes[0], nodes[2])));
+    }
+
+    #[test]
+    fn single_hop_path() {
+        let (t, nodes, links) = chain(2);
+        let p = Path::new(&t, vec![links[0]]).unwrap();
+        assert_eq!(p.source(&t).unwrap(), nodes[0]);
+        assert_eq!(p.destination(&t).unwrap(), nodes[1]);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! Nodes, links and the topology container.
+
+use crate::error::TopologyError;
+use crate::ids::{LinkId, NodeId};
+
+/// A position in the plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance_to(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// A node: an identifier plus a position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Node {
+    id: NodeId,
+    position: Point,
+}
+
+impl Node {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+}
+
+/// A directed link between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Link {
+    id: LinkId,
+    tx: NodeId,
+    rx: NodeId,
+}
+
+impl Link {
+    /// This link's id.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// The transmitting node.
+    pub fn tx(&self) -> NodeId {
+        self.tx
+    }
+
+    /// The receiving node.
+    pub fn rx(&self) -> NodeId {
+        self.rx
+    }
+}
+
+/// A collection of positioned nodes and directed links.
+///
+/// Nodes and links receive dense ids in insertion order. The topology is
+/// purely structural: rates and interference live in a
+/// [`LinkRateModel`](crate::LinkRateModel) built on top of it.
+///
+/// ```
+/// use awb_net::Topology;
+/// let mut t = Topology::new();
+/// let a = t.add_node(0.0, 0.0);
+/// let b = t.add_node(100.0, 0.0);
+/// let ab = t.add_link(a, b)?;
+/// assert_eq!(t.link(ab)?.tx(), a);
+/// assert!((t.link_length(ab)? - 100.0).abs() < 1e-12);
+/// # Ok::<(), awb_net::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a node at `(x, y)` metres and returns its id.
+    pub fn add_node(&mut self, x: f64, y: f64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            position: Point::new(x, y),
+        });
+        id
+    }
+
+    /// Adds a directed link from `tx` to `rx`.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownNode`] if either endpoint is foreign,
+    /// [`TopologyError::SelfLoop`] if `tx == rx`, and
+    /// [`TopologyError::DuplicateLink`] if the link already exists.
+    pub fn add_link(&mut self, tx: NodeId, rx: NodeId) -> Result<LinkId, TopologyError> {
+        self.check_node(tx)?;
+        self.check_node(rx)?;
+        if tx == rx {
+            return Err(TopologyError::SelfLoop(tx));
+        }
+        if self.link_between(tx, rx).is_some() {
+            return Err(TopologyError::DuplicateLink(tx, rx));
+        }
+        let id = LinkId(self.links.len());
+        self.links.push(Link { id, tx, rx });
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownNode`] for foreign ids.
+    pub fn node(&self, id: NodeId) -> Result<&Node, TopologyError> {
+        self.nodes.get(id.0).ok_or(TopologyError::UnknownNode(id))
+    }
+
+    /// The link with id `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownLink`] for foreign ids.
+    pub fn link(&self, id: LinkId) -> Result<&Link, TopologyError> {
+        self.links.get(id.0).ok_or(TopologyError::UnknownLink(id))
+    }
+
+    /// Iterates over all nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Iterates over all links in id order.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// The link from `tx` to `rx`, if it exists.
+    pub fn link_between(&self, tx: NodeId, rx: NodeId) -> Option<LinkId> {
+        self.links
+            .iter()
+            .find(|l| l.tx == tx && l.rx == rx)
+            .map(|l| l.id)
+    }
+
+    /// Links transmitted by `node`.
+    pub fn links_from(&self, node: NodeId) -> impl Iterator<Item = &Link> {
+        self.links.iter().filter(move |l| l.tx == node)
+    }
+
+    /// Links received by `node`.
+    pub fn links_to(&self, node: NodeId) -> impl Iterator<Item = &Link> {
+        self.links.iter().filter(move |l| l.rx == node)
+    }
+
+    /// Euclidean distance between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownNode`] for foreign ids.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Result<f64, TopologyError> {
+        Ok(self
+            .node(a)?
+            .position()
+            .distance_to(self.node(b)?.position()))
+    }
+
+    /// Length of a link in metres.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownLink`] for foreign ids.
+    pub fn link_length(&self, id: LinkId) -> Result<f64, TopologyError> {
+        let l = self.link(id)?;
+        self.distance(l.tx, l.rx)
+    }
+
+    fn check_node(&self, id: NodeId) -> Result<(), TopologyError> {
+        if id.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(TopologyError::UnknownNode(id))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_nodes() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(3.0, 4.0);
+        let c = t.add_node(0.0, 10.0);
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        assert_eq!(Point::new(0.0, 0.0).distance_to(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn add_and_query_links() {
+        let (mut t, a, b, c) = three_nodes();
+        let ab = t.add_link(a, b).unwrap();
+        let bc = t.add_link(b, c).unwrap();
+        assert_eq!(t.num_links(), 2);
+        assert_eq!(t.link_between(a, b), Some(ab));
+        assert_eq!(t.link_between(b, a), None); // directed
+        assert_eq!(t.links_from(b).count(), 1);
+        assert_eq!(t.links_to(b).count(), 1);
+        assert_eq!(t.link(bc).unwrap().rx(), c);
+        assert!((t.link_length(ab).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let (mut t, a, _, _) = three_nodes();
+        assert_eq!(t.add_link(a, a), Err(TopologyError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn duplicate_links_are_rejected() {
+        let (mut t, a, b, _) = three_nodes();
+        t.add_link(a, b).unwrap();
+        assert_eq!(t.add_link(a, b), Err(TopologyError::DuplicateLink(a, b)));
+        // The reverse direction is a different link.
+        assert!(t.add_link(b, a).is_ok());
+    }
+
+    #[test]
+    fn foreign_ids_error() {
+        let (t, ..) = three_nodes();
+        let ghost = NodeId::from_index(99);
+        assert!(matches!(t.node(ghost), Err(TopologyError::UnknownNode(_))));
+        let ghost_link = LinkId::from_index(99);
+        assert!(matches!(
+            t.link(ghost_link),
+            Err(TopologyError::UnknownLink(_))
+        ));
+    }
+
+    #[test]
+    fn iterators_visit_in_id_order() {
+        let (mut t, a, b, c) = three_nodes();
+        t.add_link(a, b).unwrap();
+        t.add_link(b, c).unwrap();
+        let ids: Vec<usize> = t.links().map(|l| l.id().index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+        let nids: Vec<usize> = t.nodes().map(|n| n.id().index()).collect();
+        assert_eq!(nids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Serialization smoke tests (only built with `--features serde`).
+
+#![cfg(feature = "serde")]
+
+use awb_net::{Path, Topology};
+
+#[test]
+fn topology_serializes_to_json() {
+    let mut t = Topology::new();
+    let a = t.add_node(0.0, 0.0);
+    let b = t.add_node(50.0, 25.0);
+    let ab = t.add_link(a, b).unwrap();
+    let json = serde_json::to_value(&t).unwrap();
+    assert_eq!(json["nodes"].as_array().unwrap().len(), 2);
+    assert_eq!(json["links"].as_array().unwrap().len(), 1);
+    let p = Path::new(&t, vec![ab]).unwrap();
+    let pj = serde_json::to_value(&p).unwrap();
+    assert_eq!(pj["links"].as_array().unwrap().len(), 1);
+}

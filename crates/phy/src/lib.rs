@@ -1,0 +1,39 @@
+//! Physical-layer substrate for the `awb` workspace.
+//!
+//! Models the radio assumptions of Chen, Zhai & Fang (ICDCS 2009):
+//!
+//! * **Multiple discrete rates** (§2.2): each rate has a receiver sensitivity
+//!   (expressed here as a maximum decode distance at the reference transmit
+//!   power) and an SINR threshold. A transmission at rate `r_k` succeeds iff
+//!   `Pr >= RXse(k)` **and** `Pr / (P_inf + P_n) >= SINR(k)` (Eq. 1).
+//! * **Log-distance path loss** with a configurable propagation exponent
+//!   (the paper's evaluation uses 4).
+//! * The paper's 802.11a working set: rates 54/36/18/6 Mbps with transmission
+//!   distances 59/79/119/158 m and SINR requirements 24.56/18.80/10.79/6.02 dB
+//!   ([`RateTable::ieee80211a_paper`]).
+//!
+//! # Example
+//!
+//! ```
+//! use awb_phy::Phy;
+//!
+//! let phy = Phy::paper_default();
+//! // Alone, a 50 m link supports the top rate; a 150 m link only 6 Mbps.
+//! assert_eq!(phy.max_rate_alone(50.0).unwrap().as_mbps(), 54.0);
+//! assert_eq!(phy.max_rate_alone(150.0).unwrap().as_mbps(), 6.0);
+//! // Beyond 158 m nothing decodes.
+//! assert!(phy.max_rate_alone(200.0).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pathloss;
+mod radio;
+mod rates;
+mod units;
+
+pub use pathloss::LogDistance;
+pub use radio::Phy;
+pub use rates::{RateSpec, RateTable};
+pub use units::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm, Rate};

@@ -1,0 +1,103 @@
+//! Propagation models.
+
+/// Log-distance (power-law) path loss: received power falls off as
+/// `d^-exponent` relative to the power at a 1 m reference distance.
+///
+/// The paper's evaluation (§5.2) sets the propagation exponent to 4.
+///
+/// ```
+/// use awb_phy::LogDistance;
+/// let pl = LogDistance::new(4.0);
+/// let near = pl.received_power(1.0, 10.0);
+/// let far = pl.received_power(1.0, 20.0);
+/// assert!((near / far - 16.0).abs() < 1e-9); // doubling distance: 2^4 loss
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistance {
+    exponent: f64,
+}
+
+impl LogDistance {
+    /// Creates a model with the given propagation exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `exponent` is finite and at least 1.
+    pub fn new(exponent: f64) -> LogDistance {
+        assert!(
+            exponent.is_finite() && exponent >= 1.0,
+            "propagation exponent must be finite and >= 1, got {exponent}"
+        );
+        LogDistance { exponent }
+    }
+
+    /// The paper's evaluation model (exponent 4).
+    pub fn paper_default() -> LogDistance {
+        LogDistance::new(4.0)
+    }
+
+    /// The propagation exponent.
+    pub fn exponent(self) -> f64 {
+        self.exponent
+    }
+
+    /// Received power at `distance` metres for a transmit power `tx_power`
+    /// (arbitrary linear units, measured at the 1 m reference point).
+    ///
+    /// Distances below 1 m are clamped to 1 m so co-located nodes do not
+    /// produce unbounded powers.
+    pub fn received_power(self, tx_power: f64, distance: f64) -> f64 {
+        let d = distance.max(1.0);
+        tx_power * d.powf(-self.exponent)
+    }
+
+    /// The distance at which the received power drops to `threshold`, i.e.
+    /// the range within which `received_power >= threshold`.
+    pub fn range_for(self, tx_power: f64, threshold: f64) -> f64 {
+        (tx_power / threshold).powf(1.0 / self.exponent)
+    }
+}
+
+impl Default for LogDistance {
+    fn default() -> Self {
+        LogDistance::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_monotone_decreasing_in_distance() {
+        let pl = LogDistance::paper_default();
+        let mut last = f64::INFINITY;
+        for d in [1.0, 5.0, 59.0, 79.0, 119.0, 158.0, 400.0] {
+            let p = pl.received_power(1.0, d);
+            assert!(p < last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn range_inverts_received_power() {
+        let pl = LogDistance::new(3.0);
+        let p = pl.received_power(2.0, 37.0);
+        assert!((pl.range_for(2.0, p) - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_metre_distances_are_clamped() {
+        let pl = LogDistance::paper_default();
+        assert_eq!(
+            pl.received_power(1.0, 0.0),
+            pl.received_power(1.0, 1.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "propagation exponent")]
+    fn bad_exponent_panics() {
+        let _ = LogDistance::new(0.5);
+    }
+}

@@ -1,0 +1,311 @@
+//! The combined radio model: path loss + rate table + noise calibration.
+
+use crate::pathloss::LogDistance;
+use crate::rates::RateTable;
+use crate::units::Rate;
+
+/// A calibrated radio environment shared by all nodes of a network.
+///
+/// `Phy` fixes the transmit power (all nodes transmit at the same reference
+/// power, as in the paper), the propagation model, the rate table, the noise
+/// floor and the carrier-sense threshold. It answers the two questions the
+/// higher layers ask:
+///
+/// 1. *What is the max rate of a link of length `d` transmitting alone?*
+///    ([`Phy::max_rate_alone`])
+/// 2. *What is the max rate under a given interference power?*
+///    ([`Phy::max_rate_under_interference`], implementing Eq. 1 + Eq. 3)
+///
+/// # Calibration
+///
+/// Receiver sensitivities are derived from the rate table's decode distances:
+/// `RXse(k) = P(d_k)` where `P` is the path-loss curve at the reference
+/// transmit power. The noise floor is then set to the largest value that
+/// still lets *every* rate decode at its full published distance on SNR
+/// grounds: `P_n = min_k RXse(k) / SINR(k)`. With the paper's 802.11a
+/// constants the binding rate is 54 Mbps.
+///
+/// ```
+/// use awb_phy::Phy;
+/// let phy = Phy::paper_default();
+/// // At every published distance the published rate decodes exactly.
+/// for spec in phy.rates().clone().iter() {
+///     assert_eq!(phy.max_rate_alone(spec.max_distance), Some(spec.rate));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phy {
+    pathloss: LogDistance,
+    rates: RateTable,
+    tx_power: f64,
+    noise: f64,
+    carrier_sense_threshold: f64,
+    /// Per-rate receiver sensitivity, aligned with `rates` (descending rate).
+    sensitivities: Vec<f64>,
+}
+
+impl Phy {
+    /// Builds a calibrated radio model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx_power` is not strictly positive and finite.
+    pub fn new(pathloss: LogDistance, rates: RateTable, tx_power: f64) -> Phy {
+        assert!(
+            tx_power.is_finite() && tx_power > 0.0,
+            "tx_power must be positive and finite, got {tx_power}"
+        );
+        let sensitivities: Vec<f64> = rates
+            .iter()
+            .map(|s| pathloss.received_power(tx_power, s.max_distance))
+            .collect();
+        let noise = rates
+            .iter()
+            .zip(&sensitivities)
+            .map(|(s, &rx)| rx / s.sinr_linear())
+            .fold(f64::INFINITY, f64::min);
+        // Hearing range defaults to the longest decode range: a node senses
+        // the channel busy whenever it could have decoded *something*.
+        let carrier_sense_threshold = *sensitivities
+            .last()
+            .expect("rate tables are non-empty");
+        Phy {
+            pathloss,
+            rates,
+            tx_power,
+            noise,
+            carrier_sense_threshold,
+            sensitivities,
+        }
+    }
+
+    /// The model used throughout the paper's evaluation: 802.11a four-rate
+    /// table, propagation exponent 4, unit transmit power.
+    pub fn paper_default() -> Phy {
+        Phy::new(LogDistance::paper_default(), RateTable::ieee80211a_paper(), 1.0)
+    }
+
+    /// Replaces the noise floor (linear units). Lower noise widens SNR
+    /// margins without moving decode distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not strictly positive and finite.
+    pub fn with_noise(mut self, noise: f64) -> Phy {
+        assert!(noise.is_finite() && noise > 0.0, "noise must be positive");
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces the carrier-sense threshold (linear received power above
+    /// which a node senses the channel busy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not strictly positive and finite.
+    pub fn with_carrier_sense_threshold(mut self, threshold: f64) -> Phy {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "carrier-sense threshold must be positive"
+        );
+        self.carrier_sense_threshold = threshold;
+        self
+    }
+
+    /// The propagation model.
+    pub fn pathloss(&self) -> LogDistance {
+        self.pathloss
+    }
+
+    /// The rate table.
+    pub fn rates(&self) -> &RateTable {
+        &self.rates
+    }
+
+    /// Reference transmit power (linear units).
+    pub fn tx_power(&self) -> f64 {
+        self.tx_power
+    }
+
+    /// Noise floor (linear units).
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Received power at `distance` metres from a transmitter.
+    pub fn received_power(&self, distance: f64) -> f64 {
+        self.pathloss.received_power(self.tx_power, distance)
+    }
+
+    /// Signal-to-noise ratio (linear) of an interference-free link of length
+    /// `distance`.
+    pub fn snr_alone(&self, distance: f64) -> f64 {
+        self.received_power(distance) / self.noise
+    }
+
+    /// Maximum rate of a link of length `distance` transmitting alone
+    /// (Eq. 1 with `P_inf = 0`).
+    pub fn max_rate_alone(&self, distance: f64) -> Option<Rate> {
+        self.max_rate_under_interference(distance, 0.0)
+    }
+
+    /// Maximum rate of a link of length `distance` whose receiver sees total
+    /// interference power `interference` (linear units) from concurrent
+    /// transmissions — Eq. 1 with the SINR of Eq. 3.
+    pub fn max_rate_under_interference(
+        &self,
+        distance: f64,
+        interference: f64,
+    ) -> Option<Rate> {
+        let pr = self.received_power(distance);
+        let sinr = pr / (interference + self.noise);
+        self.rates
+            .iter()
+            .zip(&self.sensitivities)
+            .find(|(s, &rx)| pr >= rx * (1.0 - 1e-12) && sinr >= s.sinr_linear() * (1.0 - 1e-12))
+            .map(|(s, _)| s.rate)
+    }
+
+    /// Whether a node at `distance` from a transmitter senses the channel
+    /// busy.
+    pub fn can_sense(&self, distance: f64) -> bool {
+        self.received_power(distance) >= self.carrier_sense_threshold * (1.0 - 1e-12)
+    }
+
+    /// The carrier-sense range in metres.
+    pub fn carrier_sense_range(&self) -> f64 {
+        self.pathloss
+            .range_for(self.tx_power, self.carrier_sense_threshold)
+    }
+
+    /// The longest distance at which any rate decodes (the network's
+    /// connectivity range).
+    pub fn max_range(&self) -> f64 {
+        self.rates
+            .lowest()
+            .map(|s| s.max_distance)
+            .expect("rate tables are non-empty")
+    }
+}
+
+impl Default for Phy {
+    fn default() -> Self {
+        Phy::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::db_to_linear;
+
+    #[test]
+    fn decode_distances_are_exact_boundaries() {
+        let phy = Phy::paper_default();
+        let cases = [(59.0, 54.0), (79.0, 36.0), (119.0, 18.0), (158.0, 6.0)];
+        for (d, r) in cases {
+            assert_eq!(
+                phy.max_rate_alone(d).map(Rate::as_mbps),
+                Some(r),
+                "at boundary {d}"
+            );
+            assert!(
+                phy.max_rate_alone(d + 0.5).map(Rate::as_mbps) != Some(r),
+                "just beyond {d} the rate must drop"
+            );
+        }
+        assert_eq!(phy.max_rate_alone(158.5), None);
+    }
+
+    #[test]
+    fn noise_calibration_binds_the_tightest_rate() {
+        let phy = Phy::paper_default();
+        // At 59 m the SNR must exactly meet the 54 Mbps threshold (54 Mbps is
+        // the binding rate for the paper's constants).
+        let snr = phy.snr_alone(59.0);
+        assert!((snr / db_to_linear(24.56) - 1.0).abs() < 1e-9);
+        // Every other rate has positive margin at its boundary.
+        for (d, thr) in [(79.0, 18.80), (119.0, 10.79), (158.0, 6.02)] {
+            assert!(phy.snr_alone(d) > db_to_linear(thr));
+        }
+    }
+
+    #[test]
+    fn interference_downgrades_and_kills_rates() {
+        let phy = Phy::paper_default();
+        let d = 50.0; // supports 54 alone
+        assert_eq!(phy.max_rate_alone(d).unwrap().as_mbps(), 54.0);
+        // An interferer as strong as the noise floor halves the SINR: the
+        // 54 Mbps boundary margin at 50 m survives, so push harder.
+        let strong = phy.received_power(60.0); // nearby interferer
+        let r = phy.max_rate_under_interference(d, strong);
+        assert!(r.is_none() || r.unwrap().as_mbps() < 54.0);
+        // Overwhelming interference kills the link entirely.
+        assert_eq!(phy.max_rate_under_interference(d, phy.tx_power()), None);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_interference() {
+        let phy = Phy::paper_default();
+        let d = 70.0;
+        let mut last = f64::INFINITY;
+        for i in 0..12 {
+            let interference = phy.noise() * f64::from(i) * 3.0;
+            let r = phy
+                .max_rate_under_interference(d, interference)
+                .map_or(0.0, Rate::as_mbps);
+            assert!(r <= last, "rate increased with interference");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn carrier_sense_defaults_to_max_decode_range() {
+        let phy = Phy::paper_default();
+        assert!((phy.carrier_sense_range() - 158.0).abs() < 1e-6);
+        assert!(phy.can_sense(158.0));
+        assert!(!phy.can_sense(159.0));
+    }
+
+    #[test]
+    fn custom_carrier_sense_threshold() {
+        let phy = Phy::paper_default();
+        let th = phy.received_power(300.0);
+        let phy = phy.with_carrier_sense_threshold(th);
+        assert!((phy.carrier_sense_range() - 300.0).abs() < 1e-6);
+        assert!(phy.can_sense(250.0));
+        assert!(!phy.can_sense(320.0));
+    }
+
+    #[test]
+    fn with_noise_moves_snr_but_not_sensitivity() {
+        let phy = Phy::paper_default();
+        let quiet = phy.clone().with_noise(phy.noise() / 100.0);
+        // Decode distances unchanged (sensitivity-gated).
+        assert_eq!(quiet.max_rate_alone(158.0).unwrap().as_mbps(), 6.0);
+        assert_eq!(quiet.max_rate_alone(158.5), None);
+        // But SNR margins are wider.
+        assert!(quiet.snr_alone(59.0) > phy.snr_alone(59.0));
+    }
+
+    #[test]
+    fn tx_power_scales_ranges() {
+        let strong = Phy::new(
+            LogDistance::paper_default(),
+            RateTable::ieee80211a_paper(),
+            16.0,
+        );
+        // 16x power with exponent 4 doubles every decode distance... but the
+        // rate table distances are *definitions* (sensitivities derive from
+        // them at the given power), so decode distances stay put.
+        assert_eq!(strong.max_rate_alone(118.0).unwrap().as_mbps(), 18.0);
+        assert_eq!(strong.max_rate_alone(159.0), None);
+        // What changes is the absolute sensitivity level.
+        assert!(strong.received_power(59.0) > Phy::paper_default().received_power(59.0));
+    }
+
+    #[test]
+    fn max_range_is_lowest_rate_distance() {
+        assert_eq!(Phy::paper_default().max_range(), 158.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Discrete rate tables with receiver sensitivities and SINR thresholds.
+
+use crate::units::{db_to_linear, Rate};
+
+/// One entry of a [`RateTable`]: a channel rate together with the conditions
+/// under which it decodes (Eq. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct RateSpec {
+    /// The channel rate.
+    pub rate: Rate,
+    /// Maximum decode distance at the reference transmit power — the
+    /// receiver-sensitivity condition expressed geometrically, as the paper's
+    /// evaluation does (59/79/119/158 m for 54/36/18/6 Mbps).
+    pub max_distance: f64,
+    /// Required SINR in dB for this rate.
+    pub sinr_db: f64,
+}
+
+impl RateSpec {
+    /// Required SINR as a linear ratio.
+    pub fn sinr_linear(&self) -> f64 {
+        db_to_linear(self.sinr_db)
+    }
+}
+
+/// An ordered set of [`RateSpec`]s, highest rate first.
+///
+/// ```
+/// use awb_phy::RateTable;
+/// let t = RateTable::ieee80211a_paper();
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.highest().unwrap().rate.as_mbps(), 54.0);
+/// assert_eq!(t.lowest().unwrap().rate.as_mbps(), 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct RateTable {
+    /// Sorted by descending rate.
+    specs: Vec<RateSpec>,
+}
+
+impl RateTable {
+    /// Builds a table from arbitrary specs; they are sorted by descending
+    /// rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, contains a zero rate, duplicate rates, or
+    /// non-finite fields.
+    pub fn new(mut specs: Vec<RateSpec>) -> RateTable {
+        assert!(!specs.is_empty(), "a rate table needs at least one rate");
+        for s in &specs {
+            assert!(!s.rate.is_zero(), "rate tables must not contain the zero rate");
+            assert!(
+                s.max_distance.is_finite() && s.max_distance > 0.0,
+                "max_distance must be positive and finite"
+            );
+            assert!(s.sinr_db.is_finite(), "sinr_db must be finite");
+        }
+        specs.sort_by(|a, b| b.rate.partial_cmp(&a.rate).expect("rates are finite"));
+        for w in specs.windows(2) {
+            assert!(
+                w[0].rate != w[1].rate,
+                "duplicate rate {} in table",
+                w[0].rate
+            );
+        }
+        RateTable { specs }
+    }
+
+    /// The four-rate 802.11a table used in the paper's evaluation (§5.2):
+    /// 54/36/18/6 Mbps, distances 59/79/119/158 m, SINR thresholds
+    /// 24.56/18.80/10.79/6.02 dB.
+    pub fn ieee80211a_paper() -> RateTable {
+        RateTable::new(vec![
+            RateSpec { rate: Rate::from_mbps(54.0), max_distance: 59.0, sinr_db: 24.56 },
+            RateSpec { rate: Rate::from_mbps(36.0), max_distance: 79.0, sinr_db: 18.80 },
+            RateSpec { rate: Rate::from_mbps(18.0), max_distance: 119.0, sinr_db: 10.79 },
+            RateSpec { rate: Rate::from_mbps(6.0), max_distance: 158.0, sinr_db: 6.02 },
+        ])
+    }
+
+    /// A representative 802.11b table (11/5.5/2/1 Mbps CCK/DSSS). The paper
+    /// evaluates on 802.11a only; these constants are typical vendor values
+    /// (not from the paper) provided for experimentation with slower,
+    /// longer-range radios.
+    pub fn ieee80211b_typical() -> RateTable {
+        RateTable::new(vec![
+            RateSpec { rate: Rate::from_mbps(11.0), max_distance: 100.0, sinr_db: 11.0 },
+            RateSpec { rate: Rate::from_mbps(5.5), max_distance: 115.0, sinr_db: 9.5 },
+            RateSpec { rate: Rate::from_mbps(2.0), max_distance: 140.0, sinr_db: 6.0 },
+            RateSpec { rate: Rate::from_mbps(1.0), max_distance: 160.0, sinr_db: 4.0 },
+        ])
+    }
+
+    /// The two-rate {54, 36} table of the paper's §3.1/§5.1 four-link chain
+    /// example ("all links can only support 36 and 54 Mbps").
+    pub fn two_rate_chain() -> RateTable {
+        RateTable::new(vec![
+            RateSpec { rate: Rate::from_mbps(54.0), max_distance: 59.0, sinr_db: 24.56 },
+            RateSpec { rate: Rate::from_mbps(36.0), max_distance: 79.0, sinr_db: 18.80 },
+        ])
+    }
+
+    /// Number of rates.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Specs in descending-rate order.
+    pub fn iter(&self) -> impl Iterator<Item = &RateSpec> {
+        self.specs.iter()
+    }
+
+    /// The highest-rate spec.
+    pub fn highest(&self) -> Option<&RateSpec> {
+        self.specs.first()
+    }
+
+    /// The lowest-rate spec.
+    pub fn lowest(&self) -> Option<&RateSpec> {
+        self.specs.last()
+    }
+
+    /// The spec for an exact rate, if present.
+    pub fn spec_for(&self, rate: Rate) -> Option<&RateSpec> {
+        self.specs.iter().find(|s| s.rate == rate)
+    }
+
+    /// Highest rate whose decode distance covers `distance` (the
+    /// receiver-sensitivity test of Eq. 1, geometric form).
+    pub fn max_rate_for_distance(&self, distance: f64) -> Option<Rate> {
+        self.specs
+            .iter()
+            .find(|s| distance <= s.max_distance)
+            .map(|s| s.rate)
+    }
+
+    /// Highest rate whose SINR threshold is met by `sinr_linear`, further
+    /// restricted to rates whose sensitivity allows `distance`.
+    ///
+    /// This is the full Eq. 1 test: both conditions must hold.
+    pub fn max_rate_for(&self, distance: f64, sinr_linear: f64) -> Option<Rate> {
+        self.specs
+            .iter()
+            .find(|s| distance <= s.max_distance && sinr_linear >= s.sinr_linear())
+            .map(|s| s.rate)
+    }
+
+    /// All rates not exceeding `rate`, descending (the choices available to a
+    /// link whose max supported rate is `rate`).
+    pub fn rates_up_to(&self, rate: Rate) -> Vec<Rate> {
+        self.specs
+            .iter()
+            .filter(|s| s.rate <= rate)
+            .map(|s| s.rate)
+            .collect()
+    }
+}
+
+impl Default for RateTable {
+    fn default() -> Self {
+        RateTable::ieee80211a_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_is_sorted_descending() {
+        let t = RateTable::ieee80211a_paper();
+        let rates: Vec<f64> = t.iter().map(|s| s.rate.as_mbps()).collect();
+        assert_eq!(rates, vec![54.0, 36.0, 18.0, 6.0]);
+        let dists: Vec<f64> = t.iter().map(|s| s.max_distance).collect();
+        assert_eq!(dists, vec![59.0, 79.0, 119.0, 158.0]);
+    }
+
+    #[test]
+    fn distance_rate_mapping_matches_paper() {
+        let t = RateTable::ieee80211a_paper();
+        let cases = [
+            (10.0, Some(54.0)),
+            (59.0, Some(54.0)),
+            (60.0, Some(36.0)),
+            (79.0, Some(36.0)),
+            (100.0, Some(18.0)),
+            (119.0, Some(18.0)),
+            (140.0, Some(6.0)),
+            (158.0, Some(6.0)),
+            (158.1, None),
+        ];
+        for (d, want) in cases {
+            assert_eq!(
+                t.max_rate_for_distance(d).map(Rate::as_mbps),
+                want,
+                "at {d} m"
+            );
+        }
+    }
+
+    #[test]
+    fn sinr_gate_downgrades_rate() {
+        let t = RateTable::ieee80211a_paper();
+        // Close enough for 54 by sensitivity, but SINR only suffices for 18.
+        let sinr = db_to_linear(12.0);
+        assert_eq!(t.max_rate_for(30.0, sinr).map(Rate::as_mbps), Some(18.0));
+        // SINR below even 6 Mbps's threshold: nothing decodes.
+        assert_eq!(t.max_rate_for(30.0, db_to_linear(3.0)), None);
+    }
+
+    #[test]
+    fn sensitivity_gate_caps_rate_despite_high_sinr() {
+        let t = RateTable::ieee80211a_paper();
+        let sinr = db_to_linear(60.0);
+        assert_eq!(t.max_rate_for(100.0, sinr).map(Rate::as_mbps), Some(18.0));
+    }
+
+    #[test]
+    fn rates_up_to_lists_choices_descending() {
+        let t = RateTable::ieee80211a_paper();
+        let up = t.rates_up_to(Rate::from_mbps(36.0));
+        let mbps: Vec<f64> = up.iter().map(|r| r.as_mbps()).collect();
+        assert_eq!(mbps, vec![36.0, 18.0, 6.0]);
+    }
+
+    #[test]
+    fn spec_for_finds_exact_rates_only() {
+        let t = RateTable::ieee80211a_paper();
+        assert!(t.spec_for(Rate::from_mbps(36.0)).is_some());
+        assert!(t.spec_for(Rate::from_mbps(11.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rate")]
+    fn duplicate_rates_panic() {
+        let s = RateSpec { rate: Rate::from_mbps(6.0), max_distance: 1.0, sinr_db: 6.0 };
+        let _ = RateTable::new(vec![s, s]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rate")]
+    fn empty_table_panics() {
+        let _ = RateTable::new(Vec::new());
+    }
+
+    #[test]
+    fn ieee80211b_table_is_consistent() {
+        let t = RateTable::ieee80211b_typical();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.highest().unwrap().rate.as_mbps(), 11.0);
+        // Lower rates reach further and need less SINR.
+        let specs: Vec<&RateSpec> = t.iter().collect();
+        for w in specs.windows(2) {
+            assert!(w[0].max_distance < w[1].max_distance);
+            assert!(w[0].sinr_db > w[1].sinr_db);
+        }
+    }
+
+    #[test]
+    fn two_rate_chain_table() {
+        let t = RateTable::two_rate_chain();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.highest().unwrap().rate.as_mbps(), 54.0);
+        assert_eq!(t.lowest().unwrap().rate.as_mbps(), 36.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Scalar units used across the PHY model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Converts a decibel quantity to a linear ratio.
+///
+/// ```
+/// assert!((awb_phy::db_to_linear(10.0) - 10.0).abs() < 1e-12);
+/// assert!((awb_phy::db_to_linear(3.0) - 1.995).abs() < 1e-2);
+/// ```
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear ratio to decibels.
+///
+/// ```
+/// assert!((awb_phy::linear_to_db(100.0) - 20.0).abs() < 1e-12);
+/// ```
+pub fn linear_to_db(linear: f64) -> f64 {
+    10.0 * linear.log10()
+}
+
+/// Converts a power in dBm to milliwatts.
+///
+/// ```
+/// assert!((awb_phy::dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+/// assert!((awb_phy::dbm_to_mw(20.0) - 100.0).abs() < 1e-9);
+/// ```
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts a power in milliwatts to dBm.
+///
+/// ```
+/// assert!((awb_phy::mw_to_dbm(1.0)).abs() < 1e-12);
+/// ```
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    10.0 * mw.log10()
+}
+
+/// A channel rate in Mbps.
+///
+/// A newtype so link rates cannot be confused with throughputs, time shares
+/// or distances. [`Rate::ZERO`] is the conventional "cannot transmit" value.
+///
+/// ```
+/// use awb_phy::Rate;
+/// let r = Rate::from_mbps(54.0);
+/// assert_eq!(r.as_mbps(), 54.0);
+/// assert!(r > Rate::from_mbps(36.0));
+/// assert!(Rate::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct Rate(f64);
+
+impl Rate {
+    /// The zero rate (link cannot transmit).
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// Creates a rate from a value in Mbps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbps` is negative, NaN or infinite.
+    pub fn from_mbps(mbps: f64) -> Rate {
+        assert!(
+            mbps.is_finite() && mbps >= 0.0,
+            "rate must be finite and non-negative, got {mbps}"
+        );
+        Rate(mbps)
+    }
+
+    /// The rate in Mbps.
+    pub fn as_mbps(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this is the zero rate.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Transmission time for one unit of traffic (1 Mbit) at this rate, in
+    /// seconds; `None` for the zero rate.
+    ///
+    /// This is the `1/r_i` quantity the paper's clique transmission time
+    /// (Eq. 7) and delay metrics (Eq. 14) are built from.
+    pub fn unit_time(self) -> Option<f64> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(1.0 / self.0)
+        }
+    }
+
+    /// The larger of two rates.
+    pub fn max(self, other: Rate) -> Rate {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The smaller of two rates.
+    pub fn min(self, other: Rate) -> Rate {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Mbps", self.0)
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, rhs: Rate) -> Rate {
+        Rate(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Rate {
+    fn add_assign(&mut self, rhs: Rate) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    fn sub(self, rhs: Rate) -> Rate {
+        Rate((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Rate {
+    type Output = Rate;
+    fn mul(self, rhs: f64) -> Rate {
+        Rate(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Rate {
+    type Output = Rate;
+    fn div(self, rhs: f64) -> Rate {
+        Rate(self.0 / rhs)
+    }
+}
+
+impl Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Rate {
+        iter.fold(Rate::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for v in [0.1, 1.0, 3.7, 54.0, 1000.0] {
+            assert!((db_to_linear(linear_to_db(v)) - v).abs() < 1e-9 * v);
+        }
+    }
+
+    #[test]
+    fn dbm_round_trip() {
+        for v in [-90.0, -60.0, 0.0, 20.0] {
+            assert!((mw_to_dbm(dbm_to_mw(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_sinr_thresholds_to_linear() {
+        // 6.02 dB ~= 4.0x, 24.56 dB ~= 285.8x.
+        assert!((db_to_linear(6.02) - 4.0).abs() < 0.02);
+        assert!((db_to_linear(24.56) - 285.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_arithmetic() {
+        let a = Rate::from_mbps(36.0);
+        let b = Rate::from_mbps(18.0);
+        assert_eq!((a + b).as_mbps(), 54.0);
+        assert_eq!((a - b).as_mbps(), 18.0);
+        // Saturating subtraction keeps rates non-negative.
+        assert_eq!((b - a).as_mbps(), 0.0);
+        assert_eq!((a * 0.5).as_mbps(), 18.0);
+        assert_eq!((a / 2.0).as_mbps(), 18.0);
+        let total: Rate = [a, b, Rate::ZERO].into_iter().sum();
+        assert_eq!(total.as_mbps(), 54.0);
+    }
+
+    #[test]
+    fn unit_time_matches_inverse_rate() {
+        assert_eq!(Rate::from_mbps(54.0).unit_time(), Some(1.0 / 54.0));
+        assert_eq!(Rate::ZERO.unit_time(), None);
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = Rate::from_mbps(6.0);
+        let b = Rate::from_mbps(54.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let _ = Rate::from_mbps(-1.0);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(Rate::from_mbps(54.0).to_string(), "54 Mbps");
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the PHY model: monotonicity and calibration
+//! invariants that every higher layer relies on.
+
+use awb_phy::{LogDistance, Phy, Rate, RateSpec, RateTable};
+use proptest::prelude::*;
+
+fn arbitrary_phy() -> impl Strategy<Value = Phy> {
+    // Vary the exponent and transmit power; keep the paper's rate table.
+    (prop_oneof![Just(2.0), Just(3.0), Just(4.0)], 0.1f64..10.0).prop_map(|(exp, pt)| {
+        Phy::new(LogDistance::new(exp), RateTable::ieee80211a_paper(), pt)
+    })
+}
+
+proptest! {
+    #[test]
+    fn rate_never_increases_with_distance(phy in arbitrary_phy(), steps in 2usize..30) {
+        let mut last = f64::INFINITY;
+        for i in 0..steps {
+            let d = 1.0 + (i as f64) * 200.0 / (steps as f64);
+            let r = phy.max_rate_alone(d).map_or(0.0, Rate::as_mbps);
+            prop_assert!(r <= last, "rate rose from {last} to {r} at {d} m");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn rate_never_increases_with_interference(
+        phy in arbitrary_phy(),
+        d in 1.0f64..200.0,
+        base in 0.0f64..1.0,
+    ) {
+        let i1 = base * phy.noise();
+        let i2 = (base + 0.5) * phy.noise() * 10.0;
+        let r1 = phy.max_rate_under_interference(d, i1).map_or(0.0, Rate::as_mbps);
+        let r2 = phy.max_rate_under_interference(d, i2).map_or(0.0, Rate::as_mbps);
+        prop_assert!(r2 <= r1);
+    }
+
+    #[test]
+    fn every_published_distance_decodes_its_rate(phy in arbitrary_phy()) {
+        for spec in phy.rates().clone().iter() {
+            prop_assert_eq!(phy.max_rate_alone(spec.max_distance), Some(spec.rate));
+        }
+    }
+
+    #[test]
+    fn received_power_matches_pathloss_inverse(
+        phy in arbitrary_phy(),
+        d in 1.0f64..500.0,
+    ) {
+        let p = phy.received_power(d);
+        let back = phy.pathloss().range_for(phy.tx_power(), p);
+        prop_assert!((back - d).abs() < 1e-6 * d);
+    }
+
+    #[test]
+    fn sensing_is_a_superset_of_decoding(phy in arbitrary_phy(), d in 1.0f64..300.0) {
+        if phy.max_rate_alone(d).is_some() {
+            prop_assert!(phy.can_sense(d), "decodable at {d} m but not sensed");
+        }
+    }
+
+    #[test]
+    fn custom_tables_keep_boundary_exactness(
+        d1 in 20.0f64..80.0,
+        extra in 10.0f64..100.0,
+        s1 in 10.0f64..25.0,
+        s2 in 3.0f64..9.0,
+    ) {
+        let table = RateTable::new(vec![
+            RateSpec { rate: Rate::from_mbps(48.0), max_distance: d1, sinr_db: s1 },
+            RateSpec { rate: Rate::from_mbps(12.0), max_distance: d1 + extra, sinr_db: s2 },
+        ]);
+        let phy = Phy::new(LogDistance::paper_default(), table, 1.0);
+        prop_assert_eq!(phy.max_rate_alone(d1).map(Rate::as_mbps), Some(48.0));
+        prop_assert_eq!(phy.max_rate_alone(d1 + extra).map(Rate::as_mbps), Some(12.0));
+        prop_assert_eq!(phy.max_rate_alone(d1 + extra + 1.0), None);
+    }
+}

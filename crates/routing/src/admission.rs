@@ -1,0 +1,253 @@
+//! The sequential flow-admission experiment of §5.2 (Fig. 2 and Fig. 3).
+//!
+//! Flows join the network one by one. For each new flow the router measures
+//! channel idleness against the optimal schedule of the already-admitted
+//! background, picks a path under the configured [`RoutingMetric`], and the
+//! oracle computes the path's true available bandwidth (Eq. 6 LP). The flow
+//! is admitted when the available bandwidth covers its demand.
+
+use crate::metric::RoutingMetric;
+use crate::widest::RoutePolicy;
+use awb_core::{
+    available_bandwidth, feasibility, AvailableBandwidthOptions, CoreError, Flow, Schedule,
+};
+use awb_estimate::IdleMap;
+use awb_net::{LinkRateModel, NodeId, Path};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of [`admit_sequentially`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Demand of every flow in Mbps (the paper uses 2 Mbps).
+    pub demand_mbps: f64,
+    /// Stop at the first rejected flow (the paper's simulation "stops when
+    /// the demand of one flow is not satisfied"); otherwise keep going and
+    /// record every outcome.
+    pub stop_on_first_failure: bool,
+    /// LP options for the ground-truth available-bandwidth computation.
+    pub available_options: AvailableBandwidthOptions,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            demand_mbps: 2.0,
+            stop_on_first_failure: true,
+            available_options: AvailableBandwidthOptions::default(),
+        }
+    }
+}
+
+/// The outcome of one flow's admission attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOutcome {
+    /// Position in the arrival order (0-based).
+    pub index: usize,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// The path the metric chose, if any.
+    pub path: Option<Path>,
+    /// Ground-truth available bandwidth of that path (Eq. 6), in Mbps;
+    /// 0.0 when no path was found.
+    pub available_mbps: f64,
+    /// Whether the flow was admitted.
+    pub admitted: bool,
+}
+
+/// Error from [`admit_sequentially`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The ground-truth LP failed (should not happen for admitted-only
+    /// backgrounds, which are feasible by construction).
+    Core(CoreError),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Core(e) => write!(f, "admission experiment failed: {e}"),
+        }
+    }
+}
+
+impl Error for AdmissionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AdmissionError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for AdmissionError {
+    fn from(e: CoreError) -> Self {
+        AdmissionError::Core(e)
+    }
+}
+
+/// Runs the sequential admission experiment for `pairs` of
+/// (source, destination) under `metric`.
+///
+/// Returns one [`FlowOutcome`] per attempted flow (all pairs unless
+/// `stop_on_first_failure` cuts the run short).
+///
+/// # Errors
+///
+/// [`AdmissionError::Core`] only on solver failure; rejected flows are
+/// normal outcomes, not errors.
+pub fn admit_sequentially<M: LinkRateModel>(
+    model: &M,
+    pairs: &[(NodeId, NodeId)],
+    metric: RoutingMetric,
+    config: &AdmissionConfig,
+) -> Result<Vec<FlowOutcome>, AdmissionError> {
+    admit_sequentially_with_policy(model, pairs, RoutePolicy::Additive(metric), config)
+}
+
+/// [`admit_sequentially`] generalized over any [`RoutePolicy`], including
+/// the widest-estimate policies of §4.
+///
+/// # Errors
+///
+/// As [`admit_sequentially`].
+pub fn admit_sequentially_with_policy<M: LinkRateModel>(
+    model: &M,
+    pairs: &[(NodeId, NodeId)],
+    policy: RoutePolicy,
+    config: &AdmissionConfig,
+) -> Result<Vec<FlowOutcome>, AdmissionError> {
+    let mut admitted: Vec<Flow> = Vec::new();
+    let mut outcomes = Vec::with_capacity(pairs.len());
+    for (index, &(src, dst)) in pairs.iter().enumerate() {
+        // Channel state as carrier sensing would see it: the optimal
+        // (minimum-airtime) schedule of the admitted background.
+        let schedule = if admitted.is_empty() {
+            Schedule::empty()
+        } else {
+            feasibility::min_airtime(model, &admitted)
+                .map_err(AdmissionError::from)?
+                .1
+        };
+        let idle = IdleMap::from_schedule(model, &schedule);
+        let path = policy.route(model, &idle, src, dst);
+        let (available_mbps, admitted_now, chosen) = match path {
+            None => (0.0, false, None),
+            Some(p) => {
+                let out = available_bandwidth(
+                    model,
+                    &admitted,
+                    &p,
+                    &config.available_options,
+                )?;
+                let ok = out.bandwidth_mbps() + 1e-9 >= config.demand_mbps;
+                (out.bandwidth_mbps(), ok, Some(p))
+            }
+        };
+        if admitted_now {
+            let p = chosen.clone().expect("admitted flows have paths");
+            admitted.push(
+                Flow::new(p, config.demand_mbps).expect("config demand is validated by Flow"),
+            );
+        }
+        let failed = !admitted_now;
+        outcomes.push(FlowOutcome {
+            index,
+            src,
+            dst,
+            path: chosen,
+            available_mbps,
+            admitted: admitted_now,
+        });
+        if failed && config.stop_on_first_failure {
+            break;
+        }
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, Topology};
+    use awb_phy::Rate;
+
+    /// A single shared channel: `k` parallel links that all conflict.
+    fn shared_channel(k: usize, rate_mbps: f64) -> (DeclarativeModel, Vec<(NodeId, NodeId)>) {
+        let mut t = Topology::new();
+        let mut pairs = Vec::new();
+        let mut links = Vec::new();
+        for i in 0..k {
+            let a = t.add_node(i as f64 * 10.0, 0.0);
+            let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+            links.push(t.add_link(a, b).unwrap());
+            pairs.push((a, b));
+        }
+        let mut builder = DeclarativeModel::builder(t);
+        for &l in &links {
+            builder = builder.alone_rates(l, &[Rate::from_mbps(rate_mbps)]);
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                builder = builder.conflict_all(links[i], links[j]);
+            }
+        }
+        (builder.build(), pairs)
+    }
+
+    #[test]
+    fn admits_until_the_channel_saturates() {
+        // 6 Mbps channel, 2 Mbps flows, full conflict: exactly 3 fit.
+        let (m, pairs) = shared_channel(5, 6.0);
+        let out = admit_sequentially(
+            &m,
+            &pairs,
+            RoutingMetric::HopCount,
+            &AdmissionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 4); // 3 admitted + the first failure
+        assert!(out[..3].iter().all(|o| o.admitted));
+        assert!(!out[3].admitted);
+        // Available bandwidth decreases monotonically as flows join.
+        for w in out.windows(2) {
+            assert!(w[1].available_mbps <= w[0].available_mbps + 1e-9);
+        }
+    }
+
+    #[test]
+    fn continue_past_failures_when_configured() {
+        let (m, pairs) = shared_channel(5, 6.0);
+        let out = admit_sequentially(
+            &m,
+            &pairs,
+            RoutingMetric::HopCount,
+            &AdmissionConfig {
+                stop_on_first_failure: false,
+                ..AdmissionConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.iter().filter(|o| o.admitted).count(), 3);
+    }
+
+    #[test]
+    fn unroutable_pairs_are_recorded_not_admitted() {
+        let (m, mut pairs) = shared_channel(2, 6.0);
+        // Reverse a pair: no reverse links exist.
+        pairs[0] = (pairs[0].1, pairs[0].0);
+        let out = admit_sequentially(
+            &m,
+            &pairs,
+            RoutingMetric::HopCount,
+            &AdmissionConfig::default(),
+        )
+        .unwrap();
+        assert!(!out[0].admitted);
+        assert!(out[0].path.is_none());
+        assert_eq!(out[0].available_mbps, 0.0);
+    }
+}

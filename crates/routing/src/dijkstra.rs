@@ -1,0 +1,210 @@
+//! Shortest-path search under a routing metric.
+
+use crate::metric::RoutingMetric;
+use awb_estimate::IdleMap;
+use awb_net::{LinkRateModel, NodeId, Path};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordered by smallest cost first.
+struct Entry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.node == other.node
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra's algorithm under `metric`: the cheapest path from `src` to
+/// `dst`, or `None` when no usable-link path exists.
+///
+/// Links whose cost is `None` (dead, or zero idle share under average-e2eD)
+/// are treated as absent. Ties are broken deterministically by node id.
+pub fn shortest_path<M: LinkRateModel>(
+    model: &M,
+    idle: &IdleMap,
+    metric: RoutingMetric,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Path> {
+    let t = model.topology();
+    if src == dst || t.node(src).is_err() || t.node(dst).is_err() {
+        return None;
+    }
+    let n = t.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<awb_net::LinkId>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[src.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Entry {
+        cost: 0.0,
+        node: src,
+    });
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        if node == dst {
+            break;
+        }
+        for link in t.links_from(node) {
+            let Some(step) = metric.link_cost(model, idle, link.id()) else {
+                continue;
+            };
+            let v = link.rx();
+            let next = cost + step;
+            if next < dist[v.index()] {
+                dist[v.index()] = next;
+                prev[v.index()] = Some(link.id());
+                heap.push(Entry {
+                    cost: next,
+                    node: v,
+                });
+            }
+        }
+    }
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let l = prev[cur.index()].expect("reached nodes have predecessors");
+        links.push(l);
+        cur = t.link(l).expect("links come from this topology").tx();
+    }
+    links.reverse();
+    Path::new(t, links).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_core::Schedule;
+    use awb_net::{DeclarativeModel, Topology};
+    use awb_phy::{Phy, Rate};
+    use awb_workloads::grid_model;
+
+    fn empty_idle<M: LinkRateModel>(m: &M) -> IdleMap {
+        IdleMap::from_schedule(m, &Schedule::empty())
+    }
+
+    #[test]
+    fn grid_hop_count_route_is_direct() {
+        let m = grid_model(2, 3, 100.0, Phy::paper_default());
+        let t = m.topology();
+        let nodes: Vec<_> = t.nodes().map(|n| n.id()).collect();
+        // Corner (0,0) to corner (200,100): diagonal links exist (141 m), so
+        // 2 hops suffice.
+        let src = nodes[0];
+        let dst = nodes[5];
+        let p = shortest_path(&m, &empty_idle(&m), RoutingMetric::HopCount, src, dst).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.source(t).unwrap(), src);
+        assert_eq!(p.destination(t).unwrap(), dst);
+    }
+
+    #[test]
+    fn e2etd_avoids_slow_shortcuts() {
+        // Two-node route with a direct slow link (6 Mbps) vs a 2-hop fast
+        // detour (54 each): direct e2eTD = 1/6 > 2/54.
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 0.0);
+        let c = t.add_node(2.0, 0.0);
+        let direct = t.add_link(a, c).unwrap();
+        let h1 = t.add_link(a, b).unwrap();
+        let h2 = t.add_link(b, c).unwrap();
+        let r54 = Rate::from_mbps(54.0);
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(direct, &[Rate::from_mbps(6.0)])
+            .alone_rates(h1, &[r54])
+            .alone_rates(h2, &[r54])
+            .build();
+        let idle = empty_idle(&m);
+        let hop = shortest_path(&m, &idle, RoutingMetric::HopCount, a, c).unwrap();
+        assert_eq!(hop.len(), 1);
+        let td = shortest_path(&m, &idle, RoutingMetric::E2eTransmissionDelay, a, c).unwrap();
+        assert_eq!(td.len(), 2);
+    }
+
+    #[test]
+    fn average_e2ed_routes_around_busy_regions() {
+        // Diamond: a->b->d busy, a->c->d idle, same rates.
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 1.0);
+        let c = t.add_node(1.0, -1.0);
+        let d = t.add_node(2.0, 0.0);
+        let ab = t.add_link(a, b).unwrap();
+        let bd = t.add_link(b, d).unwrap();
+        let ac = t.add_link(a, c).unwrap();
+        let cd = t.add_link(c, d).unwrap();
+        let r54 = Rate::from_mbps(54.0);
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(ab, &[r54])
+            .alone_rates(bd, &[r54])
+            .alone_rates(ac, &[r54])
+            .alone_rates(cd, &[r54])
+            .build();
+        // Busy schedule occupying b's links 80% of the time.
+        let busy = Schedule::new(vec![(vec![(ab, r54)].into_iter().collect(), 0.8)]);
+        let idle = IdleMap::from_schedule(&m, &busy);
+        let p = shortest_path(&m, &idle, RoutingMetric::AverageE2eDelay, a, d).unwrap();
+        assert_eq!(p.links(), &[ac, cd]);
+        // Hop count is indifferent (both 2 hops) but e2eTD ties break by id:
+        // either way it must find *a* 2-hop path.
+        let p2 = shortest_path(&m, &idle, RoutingMetric::HopCount, a, d).unwrap();
+        assert_eq!(p2.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_and_degenerate_cases() {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 0.0);
+        let ab = t.add_link(a, b).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(ab, &[Rate::from_mbps(6.0)])
+            .build();
+        let idle = empty_idle(&m);
+        // Reverse direction has no link.
+        assert!(shortest_path(&m, &idle, RoutingMetric::HopCount, b, a).is_none());
+        // src == dst yields no path (paths have ≥ 1 hop).
+        assert!(shortest_path(&m, &idle, RoutingMetric::HopCount, a, a).is_none());
+    }
+
+    #[test]
+    fn dead_links_are_invisible() {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 0.0);
+        let ab = t.add_link(a, b).unwrap();
+        let m = DeclarativeModel::builder(t).build(); // ab has no rates
+        let idle = empty_idle(&m);
+        let _ = ab;
+        assert!(shortest_path(&m, &idle, RoutingMetric::HopCount, a, b).is_none());
+    }
+}

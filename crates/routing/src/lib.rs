@@ -1,0 +1,49 @@
+//! Distributed QoS routing (paper §4–§5.2): pluggable routing metrics over
+//! carrier-sensed channel state, shortest-path search, and the sequential
+//! flow-admission experiment behind Fig. 2 and Fig. 3.
+//!
+//! The three §5.2 metrics are bundled as [`RoutingMetric`]:
+//!
+//! * **hop count** — classic shortest path;
+//! * **e2eTD** — end-to-end transmission delay `Σ 1/r_i`;
+//! * **average-e2eD** — average end-to-end delay `Σ 1/(λ_i r_i)` (Eq. 14),
+//!   which folds the background traffic (via idleness `λ_i`) into the cost
+//!   and is the paper's best-performing metric.
+//!
+//! # Example
+//!
+//! ```
+//! use awb_estimate::IdleMap;
+//! use awb_core::Schedule;
+//! use awb_net::LinkRateModel;
+//! use awb_routing::{shortest_path, RoutingMetric};
+//! use awb_workloads::chain_model;
+//! use awb_phy::Phy;
+//!
+//! let (model, path) = chain_model(3, 50.0, Phy::paper_default());
+//! let idle = IdleMap::from_schedule(&model, &Schedule::empty());
+//! let t = model.topology();
+//! let src = path.source(t)?;
+//! let dst = path.destination(t)?;
+//! let found = shortest_path(&model, &idle, RoutingMetric::HopCount, src, dst).unwrap();
+//! assert_eq!(found.len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod dijkstra;
+mod kpaths;
+mod metric;
+mod widest;
+
+pub use admission::{
+    admit_sequentially, admit_sequentially_with_policy, AdmissionConfig, AdmissionError,
+    FlowOutcome,
+};
+pub use dijkstra::shortest_path;
+pub use kpaths::{k_shortest_paths, oracle_route};
+pub use metric::RoutingMetric;
+pub use widest::{widest_estimate_path, RoutePolicy};

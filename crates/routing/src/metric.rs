@@ -1,0 +1,153 @@
+//! Routing metrics (paper §4, Eq. 14 and §5.2).
+
+use awb_estimate::IdleMap;
+use awb_net::{LinkId, LinkRateModel};
+use std::fmt;
+
+/// The additive routing metrics compared in the paper's Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RoutingMetric {
+    /// Fewest hops: every live link costs 1.
+    HopCount,
+    /// End-to-end transmission delay (e2eTD): a link costs `1/r_i`, the
+    /// time to push one unit of traffic at its effective data rate.
+    E2eTransmissionDelay,
+    /// Average end-to-end delay (average-e2eD, Eq. 14): a link costs
+    /// `1/(λ_i · r_i)` — the expected per-unit delay when only the idle
+    /// share `λ_i` of the channel is usable.
+    AverageE2eDelay,
+}
+
+impl RoutingMetric {
+    /// The metrics in the order Fig. 3 presents them.
+    pub const ALL: [RoutingMetric; 3] = [
+        RoutingMetric::HopCount,
+        RoutingMetric::E2eTransmissionDelay,
+        RoutingMetric::AverageE2eDelay,
+    ];
+
+    /// The additive cost of routing across `link`, or `None` when the link
+    /// is unusable under this metric (dead link, or zero idle share for
+    /// average-e2eD).
+    pub fn link_cost<M: LinkRateModel>(
+        self,
+        model: &M,
+        idle: &IdleMap,
+        link: LinkId,
+    ) -> Option<f64> {
+        let rate = model.max_alone_rate(link)?;
+        match self {
+            RoutingMetric::HopCount => Some(1.0),
+            RoutingMetric::E2eTransmissionDelay => Some(1.0 / rate.as_mbps()),
+            RoutingMetric::AverageE2eDelay => {
+                let lambda = idle.link(model, link);
+                if lambda <= 0.0 {
+                    None
+                } else {
+                    Some(1.0 / (lambda * rate.as_mbps()))
+                }
+            }
+        }
+    }
+
+    /// The paper's label for this metric.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingMetric::HopCount => "hop count",
+            RoutingMetric::E2eTransmissionDelay => "e2eTD",
+            RoutingMetric::AverageE2eDelay => "average-e2eD",
+        }
+    }
+}
+
+impl fmt::Display for RoutingMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_core::Schedule;
+    use awb_net::{DeclarativeModel, Topology};
+    use awb_phy::Rate;
+
+    fn fixture() -> (DeclarativeModel, LinkId, LinkId) {
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..4).map(|i| t.add_node(f64::from(i), 0.0)).collect();
+        let fast = t.add_link(n[0], n[1]).unwrap();
+        let slow = t.add_link(n[2], n[3]).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(fast, &[Rate::from_mbps(54.0)])
+            .alone_rates(slow, &[Rate::from_mbps(6.0)])
+            .build();
+        (m, fast, slow)
+    }
+
+    #[test]
+    fn hop_count_is_uniform() {
+        let (m, fast, slow) = fixture();
+        let idle = IdleMap::from_schedule(&m, &Schedule::empty());
+        assert_eq!(RoutingMetric::HopCount.link_cost(&m, &idle, fast), Some(1.0));
+        assert_eq!(RoutingMetric::HopCount.link_cost(&m, &idle, slow), Some(1.0));
+    }
+
+    #[test]
+    fn e2etd_prefers_fast_links() {
+        let (m, fast, slow) = fixture();
+        let idle = IdleMap::from_schedule(&m, &Schedule::empty());
+        let cf = RoutingMetric::E2eTransmissionDelay
+            .link_cost(&m, &idle, fast)
+            .unwrap();
+        let cs = RoutingMetric::E2eTransmissionDelay
+            .link_cost(&m, &idle, slow)
+            .unwrap();
+        assert!((cf - 1.0 / 54.0).abs() < 1e-12);
+        assert!((cs - 1.0 / 6.0).abs() < 1e-12);
+        assert!(cf < cs);
+    }
+
+    #[test]
+    fn average_e2ed_folds_in_idleness() {
+        let (m, fast, _) = fixture();
+        // Busy background on the fast link's endpoints: idle 0.25.
+        let busy = Schedule::new(vec![(
+            vec![(fast, Rate::from_mbps(54.0))].into_iter().collect(),
+            0.75,
+        )]);
+        let idle = IdleMap::from_schedule(&m, &busy);
+        let c = RoutingMetric::AverageE2eDelay
+            .link_cost(&m, &idle, fast)
+            .unwrap();
+        assert!((c - 1.0 / (0.25 * 54.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_idle_links_are_unusable_under_average_e2ed() {
+        let (m, fast, _) = fixture();
+        let saturated = Schedule::new(vec![(
+            vec![(fast, Rate::from_mbps(54.0))].into_iter().collect(),
+            1.0,
+        )]);
+        let idle = IdleMap::from_schedule(&m, &saturated);
+        assert_eq!(
+            RoutingMetric::AverageE2eDelay.link_cost(&m, &idle, fast),
+            None
+        );
+        // But hop count and e2eTD ignore idleness.
+        assert!(RoutingMetric::HopCount.link_cost(&m, &idle, fast).is_some());
+        assert!(RoutingMetric::E2eTransmissionDelay
+            .link_cost(&m, &idle, fast)
+            .is_some());
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(RoutingMetric::HopCount.to_string(), "hop count");
+        assert_eq!(RoutingMetric::E2eTransmissionDelay.to_string(), "e2eTD");
+        assert_eq!(RoutingMetric::AverageE2eDelay.to_string(), "average-e2eD");
+        assert_eq!(RoutingMetric::ALL.len(), 3);
+    }
+}

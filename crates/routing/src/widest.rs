@@ -1,0 +1,237 @@
+//! Widest-path routing by estimated available bandwidth (paper §4).
+//!
+//! The paper proposes using "the minimum value of estimated available
+//! bandwidth ... for all (local) maximal cliques as routing metrics": each
+//! intermediate node estimates the available bandwidth of the path prefix
+//! from the source to itself and routes to maximize it.
+//!
+//! Unlike the additive metrics, a prefix's estimate depends on the *whole*
+//! prefix (its local cliques), not just a per-link cost, so exact search is
+//! exponential. [`widest_estimate_path`] implements the distributed
+//! label-setting heuristic the paper sketches: each node keeps the best
+//! known prefix estimate and extends it — exact when the estimate is
+//! determined by a bounded local window, heuristic in general.
+
+use crate::metric::RoutingMetric;
+use awb_estimate::{Estimator, Hop, IdleMap};
+use awb_net::{LinkRateModel, NodeId, Path};
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct Label {
+    estimate: f64,
+    node: NodeId,
+    links: Vec<awb_net::LinkId>,
+}
+
+impl Eq for Label {}
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap by estimate; deterministic tie-break by node id.
+        self.estimate
+            .partial_cmp(&other.estimate)
+            .expect("estimates are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Finds a path from `src` to `dst` maximizing the chosen estimator's value
+/// for the whole path (a maximin/widest-path search over prefix estimates).
+///
+/// Prefix estimates are non-increasing as hops are appended (appending a
+/// hop can only add clique members and reduce minima), which makes the
+/// label-setting search well-founded; it is exact whenever the best
+/// prefix estimate at each node extends to the best full path — the
+/// standard widest-path assumption, heuristic here because estimates are
+/// not purely local. Returns `None` when no live-link path exists.
+pub fn widest_estimate_path<M: LinkRateModel>(
+    model: &M,
+    idle: &IdleMap,
+    estimator: Estimator,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Path> {
+    let t = model.topology();
+    if src == dst || t.node(src).is_err() || t.node(dst).is_err() {
+        return None;
+    }
+    let mut best = vec![f64::NEG_INFINITY; t.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    heap.push(Label {
+        estimate: f64::INFINITY,
+        node: src,
+        links: Vec::new(),
+    });
+    best[src.index()] = f64::INFINITY;
+    while let Some(Label {
+        estimate,
+        node,
+        links,
+    }) = heap.pop()
+    {
+        if estimate < best[node.index()] {
+            continue; // stale label
+        }
+        if node == dst {
+            return Path::new(t, links).ok();
+        }
+        for link in t.links_from(node) {
+            let next = link.rx();
+            if links.contains(&link.id()) {
+                continue;
+            }
+            // Avoid revisiting nodes (simple paths only).
+            if links
+                .iter()
+                .any(|&l| t.link(l).expect("own links").tx() == next)
+                || next == src
+            {
+                continue;
+            }
+            let Some(hop) = Hop::for_link(model, idle, link.id()) else {
+                continue;
+            };
+            let mut ext = links.clone();
+            ext.push(link.id());
+            let hops: Option<Vec<Hop>> = ext
+                .iter()
+                .map(|&l| Hop::for_link(model, idle, l))
+                .collect();
+            let Some(hops) = hops else { continue };
+            let _ = hop;
+            let e = estimator.estimate(model, &hops);
+            if e > best[next.index()] {
+                best[next.index()] = e;
+                heap.push(Label {
+                    estimate: e,
+                    node: next,
+                    links: ext,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: route with an additive metric or a widest-estimate policy
+/// under one name, for experiment sweeps mixing both families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutePolicy {
+    /// One of the paper's additive metrics (§5.2).
+    Additive(RoutingMetric),
+    /// Widest path under a §4 estimator.
+    WidestEstimate(Estimator),
+}
+
+impl RoutePolicy {
+    /// Runs the policy.
+    pub fn route<M: LinkRateModel>(
+        self,
+        model: &M,
+        idle: &IdleMap,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Option<Path> {
+        match self {
+            RoutePolicy::Additive(m) => crate::shortest_path(model, idle, m, src, dst),
+            RoutePolicy::WidestEstimate(e) => widest_estimate_path(model, idle, e, src, dst),
+        }
+    }
+
+    /// A label for reports.
+    pub fn label(self) -> String {
+        match self {
+            RoutePolicy::Additive(m) => m.label().to_string(),
+            RoutePolicy::WidestEstimate(e) => format!("widest[{e}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_core::Schedule;
+    use awb_net::{DeclarativeModel, Topology};
+    use awb_phy::Rate;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// Diamond: a -> {b, c} -> d. Upper route has a slow hop; lower route
+    /// is fast but busy.
+    fn diamond() -> (DeclarativeModel, NodeId, NodeId, [awb_net::LinkId; 4]) {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(1.0, 1.0);
+        let c = t.add_node(1.0, -1.0);
+        let d = t.add_node(2.0, 0.0);
+        let ab = t.add_link(a, b).unwrap();
+        let bd = t.add_link(b, d).unwrap();
+        let ac = t.add_link(a, c).unwrap();
+        let cd = t.add_link(c, d).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(ab, &[r(54.0)])
+            .alone_rates(bd, &[r(6.0)]) // slow hop on the upper route
+            .alone_rates(ac, &[r(54.0)])
+            .alone_rates(cd, &[r(54.0)])
+            .build();
+        (m, a, d, [ab, bd, ac, cd])
+    }
+
+    #[test]
+    fn widest_path_prefers_high_bottleneck() {
+        let (m, a, d, [_, _, ac, cd]) = diamond();
+        let idle = IdleMap::from_schedule(&m, &Schedule::empty());
+        let p = widest_estimate_path(&m, &idle, Estimator::BottleneckNode, a, d).unwrap();
+        assert_eq!(p.links(), &[ac, cd]);
+    }
+
+    #[test]
+    fn widest_path_avoids_busy_fast_route() {
+        let (m, a, d, [ab, bd, ac, cd]) = diamond();
+        // Make the fast lower route nearly saturated.
+        let busy = Schedule::new(vec![
+            (vec![(ac, r(54.0))].into_iter().collect(), 0.5),
+            (vec![(cd, r(54.0))].into_iter().collect(), 0.49),
+        ]);
+        let idle = IdleMap::from_schedule(&m, &busy);
+        // Lower route bottleneck: ~0.01·54 ≈ 0.54; upper: 6 Mbps.
+        let p =
+            widest_estimate_path(&m, &idle, Estimator::ConservativeClique, a, d).unwrap();
+        assert_eq!(p.links(), &[ab, bd]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let (m, a, _, _) = diamond();
+        let idle = IdleMap::from_schedule(&m, &Schedule::empty());
+        let lonely = NodeId::from_index(99);
+        assert!(widest_estimate_path(&m, &idle, Estimator::BottleneckNode, a, lonely).is_none());
+        assert!(widest_estimate_path(&m, &idle, Estimator::BottleneckNode, a, a).is_none());
+    }
+
+    #[test]
+    fn route_policy_dispatches_both_families() {
+        let (m, a, d, _) = diamond();
+        let idle = IdleMap::from_schedule(&m, &Schedule::empty());
+        let add = RoutePolicy::Additive(RoutingMetric::HopCount)
+            .route(&m, &idle, a, d)
+            .unwrap();
+        assert_eq!(add.len(), 2);
+        let wide = RoutePolicy::WidestEstimate(Estimator::CliqueConstraint)
+            .route(&m, &idle, a, d)
+            .unwrap();
+        assert_eq!(wide.len(), 2);
+        assert_eq!(
+            RoutePolicy::WidestEstimate(Estimator::CliqueConstraint).label(),
+            "widest[clique constraint]"
+        );
+        assert_eq!(RoutePolicy::Additive(RoutingMetric::HopCount).label(), "hop count");
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests for the routing layer: Dijkstra optimality against
+//! brute-force path enumeration, and admission-experiment invariants.
+
+use awb_core::Schedule;
+use awb_estimate::IdleMap;
+use awb_net::{DeclarativeModel, LinkId, LinkRateModel, NodeId, Topology};
+use awb_phy::Rate;
+use awb_routing::{admit_sequentially, shortest_path, AdmissionConfig, RoutingMetric};
+use proptest::prelude::*;
+
+fn r(m: f64) -> Rate {
+    Rate::from_mbps(m)
+}
+
+/// A random small directed graph with per-link rates.
+#[derive(Debug, Clone)]
+struct Graph {
+    n: usize,
+    /// For each ordered pair (dense index), an optional rate in Mbps.
+    edges: Vec<Option<f64>>,
+}
+
+fn graph() -> impl Strategy<Value = Graph> {
+    (3usize..=6)
+        .prop_flat_map(|n| {
+            let pairs = n * (n - 1);
+            (
+                Just(n),
+                proptest::collection::vec(
+                    proptest::option::weighted(
+                        0.55,
+                        prop_oneof![Just(54.0), Just(36.0), Just(18.0), Just(6.0)],
+                    ),
+                    pairs,
+                ),
+            )
+        })
+        .prop_map(|(n, edges)| Graph { n, edges })
+}
+
+fn build(g: &Graph) -> (DeclarativeModel, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let nodes: Vec<_> = (0..g.n).map(|i| t.add_node(i as f64, 0.0)).collect();
+    let mut rated: Vec<(LinkId, f64)> = Vec::new();
+    let mut k = 0;
+    for i in 0..g.n {
+        for j in 0..g.n {
+            if i == j {
+                continue;
+            }
+            if let Some(rate) = g.edges[k] {
+                let l = t.add_link(nodes[i], nodes[j]).expect("fresh pair");
+                rated.push((l, rate));
+            }
+            k += 1;
+        }
+    }
+    let mut b = DeclarativeModel::builder(t);
+    for &(l, rate) in &rated {
+        b = b.alone_rates(l, &[r(rate)]);
+    }
+    (b.build(), nodes)
+}
+
+/// Brute-force cheapest path cost by DFS over simple paths.
+fn brute_force_cost(
+    m: &DeclarativeModel,
+    idle: &IdleMap,
+    metric: RoutingMetric,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<f64> {
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        m: &DeclarativeModel,
+        idle: &IdleMap,
+        metric: RoutingMetric,
+        cur: NodeId,
+        dst: NodeId,
+        visited: &mut Vec<bool>,
+        cost: f64,
+        best: &mut Option<f64>,
+    ) {
+        if cur == dst {
+            if best.is_none() || cost < best.unwrap() {
+                *best = Some(cost);
+            }
+            return;
+        }
+        let links: Vec<_> = m.topology().links_from(cur).map(|l| (l.id(), l.rx())).collect();
+        for (lid, next) in links {
+            if visited[next.index()] {
+                continue;
+            }
+            let Some(step) = metric.link_cost(m, idle, lid) else {
+                continue;
+            };
+            visited[next.index()] = true;
+            dfs(m, idle, metric, next, dst, visited, cost + step, best);
+            visited[next.index()] = false;
+        }
+    }
+    let mut visited = vec![false; m.topology().num_nodes()];
+    visited[src.index()] = true;
+    let mut best = None;
+    dfs(m, idle, metric, src, dst, &mut visited, 0.0, &mut best);
+    best
+}
+
+fn path_cost(
+    m: &DeclarativeModel,
+    idle: &IdleMap,
+    metric: RoutingMetric,
+    path: &awb_net::Path,
+) -> f64 {
+    path.links()
+        .iter()
+        .map(|&l| metric.link_cost(m, idle, l).expect("routed links are usable"))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dijkstra_matches_brute_force(g in graph()) {
+        let (m, nodes) = build(&g);
+        let idle = IdleMap::from_schedule(&m, &Schedule::empty());
+        for metric in RoutingMetric::ALL {
+            for &src in &nodes {
+                for &dst in &nodes {
+                    if src == dst { continue; }
+                    let found = shortest_path(&m, &idle, metric, src, dst);
+                    let expected = brute_force_cost(&m, &idle, metric, src, dst);
+                    match (found, expected) {
+                        (None, None) => {}
+                        (Some(p), Some(c)) => {
+                            let got = path_cost(&m, &idle, metric, &p);
+                            prop_assert!(
+                                (got - c).abs() < 1e-9,
+                                "{metric}: cost {got} vs brute force {c}"
+                            );
+                            // The path must be well-formed src -> dst.
+                            prop_assert_eq!(p.source(m.topology()).unwrap(), src);
+                            prop_assert_eq!(p.destination(m.topology()).unwrap(), dst);
+                        }
+                        (a, b) => {
+                            return Err(TestCaseError::fail(format!(
+                                "{metric}: reachability mismatch {a:?} vs {b:?}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admission_never_admits_below_demand(g in graph(), demand in 0.5f64..20.0) {
+        let (m, nodes) = build(&g);
+        let pairs: Vec<(NodeId, NodeId)> = nodes
+            .iter()
+            .zip(nodes.iter().skip(1))
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        let out = admit_sequentially(
+            &m,
+            &pairs,
+            RoutingMetric::E2eTransmissionDelay,
+            &AdmissionConfig {
+                demand_mbps: demand,
+                stop_on_first_failure: false,
+                ..AdmissionConfig::default()
+            },
+        ).expect("admission never errors on feasible backgrounds");
+        prop_assert_eq!(out.len(), pairs.len());
+        for o in &out {
+            if o.admitted {
+                prop_assert!(o.available_mbps + 1e-6 >= demand);
+                prop_assert!(o.path.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn admitted_sets_shrink_with_demand(g in graph()) {
+        let (m, nodes) = build(&g);
+        let pairs: Vec<(NodeId, NodeId)> = nodes
+            .iter()
+            .zip(nodes.iter().skip(1))
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        let run = |demand: f64| {
+            admit_sequentially(
+                &m,
+                &pairs,
+                RoutingMetric::HopCount,
+                &AdmissionConfig {
+                    demand_mbps: demand,
+                    stop_on_first_failure: false,
+                    ..AdmissionConfig::default()
+                },
+            )
+            .expect("admission runs")
+            .iter()
+            .filter(|o| o.admitted)
+            .count()
+        };
+        prop_assert!(run(10.0) <= run(1.0));
+    }
+}

@@ -1,0 +1,315 @@
+//! Rate-coupled cliques (paper §3.1).
+
+use crate::concurrent::RatedSet;
+use awb_net::{LinkId, LinkRateModel};
+
+/// A pairwise-conflict graph over `(link, rate)` couples with fixed rates —
+/// the object cliques live on.
+///
+/// Built from a rate assignment: vertex `i` is the couple `assignment[i]`,
+/// and an edge joins two vertices whose couples cannot both succeed
+/// concurrently ([`LinkRateModel::conflicts`]).
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    set: RatedSet,
+    /// Adjacency over couple indices in `set.couples()` order.
+    adj: Vec<Vec<bool>>,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph of `assignment` under `model`.
+    pub fn new<M: LinkRateModel>(model: &M, assignment: &RatedSet) -> ConflictGraph {
+        let couples = assignment.couples();
+        let n = couples.len();
+        let mut adj = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let c = model.conflicts(couples[i], couples[j]);
+                adj[i][j] = c;
+                adj[j][i] = c;
+            }
+        }
+        ConflictGraph {
+            set: assignment.clone(),
+            adj,
+        }
+    }
+
+    /// The rated couples this graph was built over.
+    pub fn set(&self) -> &RatedSet {
+        &self.set
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Whether couples `i` and `j` (indices into [`ConflictGraph::set`])
+    /// conflict.
+    pub fn conflicts(&self, i: usize, j: usize) -> bool {
+        self.adj[i][j]
+    }
+}
+
+/// All maximal cliques of `graph`, via Bron–Kerbosch with pivoting. Each
+/// clique is returned as indices into `graph.set().couples()`, sorted.
+///
+/// Isolated vertices are returned as singleton cliques (every couple alone
+/// is a clique).
+pub fn maximal_cliques(graph: &ConflictGraph) -> Vec<Vec<usize>> {
+    let n = graph.len();
+    let mut out = Vec::new();
+    let mut r: Vec<usize> = Vec::new();
+    let p: Vec<usize> = (0..n).collect();
+    let x: Vec<usize> = Vec::new();
+    bron_kerbosch(graph, &mut r, p, x, &mut out);
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    out.sort();
+    out
+}
+
+fn bron_kerbosch(
+    g: &ConflictGraph,
+    r: &mut Vec<usize>,
+    p: Vec<usize>,
+    x: Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if p.is_empty() && x.is_empty() {
+        out.push(r.clone());
+        return;
+    }
+    // Pivot: vertex of P ∪ X with the most neighbours in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&v| g.conflicts(u, v)).count())
+        .expect("P or X is non-empty here");
+    let candidates: Vec<usize> = p
+        .iter()
+        .copied()
+        .filter(|&v| !g.conflicts(pivot, v))
+        .collect();
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        r.push(v);
+        let p2: Vec<usize> = p.iter().copied().filter(|&u| g.conflicts(v, u)).collect();
+        let x2: Vec<usize> = x.iter().copied().filter(|&u| g.conflicts(v, u)).collect();
+        bron_kerbosch(g, r, p2, x2, out);
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+}
+
+/// All maximal cliques of `assignment` under `model`, returned as
+/// [`RatedSet`]s carrying the assignment's rates.
+pub fn maximal_rated_cliques<M: LinkRateModel>(
+    model: &M,
+    assignment: &RatedSet,
+) -> Vec<RatedSet> {
+    let g = ConflictGraph::new(model, assignment);
+    maximal_cliques(&g)
+        .into_iter()
+        .map(|idxs| {
+            idxs.into_iter()
+                .map(|i| assignment.couples()[i])
+                .collect::<RatedSet>()
+        })
+        .collect()
+}
+
+/// Whether every pair of couples in `set` conflicts (the paper's clique on
+/// couples).
+pub fn is_clique<M: LinkRateModel>(model: &M, set: &RatedSet) -> bool {
+    let c = set.couples();
+    (0..c.len()).all(|i| ((i + 1)..c.len()).all(|j| model.conflicts(c[i], c[j])))
+}
+
+/// Whether `set` is a **maximal clique**: a clique such that no couple
+/// `(link, rate)` with `link` outside the set (drawn from `universe` and the
+/// link's alone rates) conflicts with *every* member (§3.1).
+pub fn is_maximal_clique<M: LinkRateModel>(
+    model: &M,
+    set: &RatedSet,
+    universe: &[LinkId],
+) -> bool {
+    if !is_clique(model, set) {
+        return false;
+    }
+    for &link in universe {
+        if set.contains(link) {
+            continue;
+        }
+        for rate in model.alone_rates(link) {
+            if set
+                .couples()
+                .iter()
+                .all(|&c| model.conflicts(c, (link, rate)))
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `set` is a **maximal clique with maximum rates** (§3.1): a
+/// maximal clique that stops being one when any member's rate is raised to
+/// any higher achievable rate.
+pub fn is_maximal_clique_with_max_rates<M: LinkRateModel>(
+    model: &M,
+    set: &RatedSet,
+    universe: &[LinkId],
+) -> bool {
+    if !is_maximal_clique(model, set, universe) {
+        return false;
+    }
+    for &(link, rate) in set.couples() {
+        for higher in model.alone_rates(link).into_iter().filter(|&r| r > rate) {
+            if is_maximal_clique(model, &set.with_rate(link, higher), universe) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, Topology};
+    use awb_phy::Rate;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// `n` disjoint links with `conflicts` declared between index pairs.
+    fn model(n: usize, conflicts: &[(usize, usize)]) -> (DeclarativeModel, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let mut links = Vec::new();
+        for i in 0..n {
+            let a = t.add_node(i as f64 * 10.0, 0.0);
+            let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+            links.push(t.add_link(a, b).unwrap());
+        }
+        let mut b = DeclarativeModel::builder(t);
+        for &l in &links {
+            b = b.alone_rates(l, &[r(54.0)]);
+        }
+        for &(i, j) in conflicts {
+            b = b.conflict_all(links[i], links[j]);
+        }
+        (b.build(), links)
+    }
+
+    fn rated(links: &[LinkId], idxs: &[usize]) -> RatedSet {
+        idxs.iter().map(|&i| (links[i], r(54.0))).collect()
+    }
+
+    #[test]
+    fn triangle_is_one_maximal_clique() {
+        let (m, links) = model(3, &[(0, 1), (0, 2), (1, 2)]);
+        let all = rated(&links, &[0, 1, 2]);
+        let cliques = maximal_rated_cliques(&m, &all);
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].len(), 3);
+        assert!(is_clique(&m, &cliques[0]));
+        assert!(is_maximal_clique(&m, &cliques[0], &links));
+    }
+
+    #[test]
+    fn chain_conflicts_give_overlapping_cliques() {
+        // Path-like conflicts: 0-1, 1-2 (0 and 2 independent).
+        let (m, links) = model(3, &[(0, 1), (1, 2)]);
+        let all = rated(&links, &[0, 1, 2]);
+        let cliques = maximal_rated_cliques(&m, &all);
+        assert_eq!(cliques.len(), 2);
+        for c in &cliques {
+            assert_eq!(c.len(), 2);
+            assert!(c.contains(links[1]));
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_cliques() {
+        let (m, links) = model(3, &[(0, 1)]);
+        let all = rated(&links, &[0, 1, 2]);
+        let cliques = maximal_rated_cliques(&m, &all);
+        assert_eq!(cliques.len(), 2);
+        assert!(cliques.iter().any(|c| c.len() == 1 && c.contains(links[2])));
+    }
+
+    #[test]
+    fn subcliques_are_not_maximal() {
+        let (m, links) = model(3, &[(0, 1), (0, 2), (1, 2)]);
+        let pair = rated(&links, &[0, 1]);
+        assert!(is_clique(&m, &pair));
+        assert!(!is_maximal_clique(&m, &pair, &links));
+    }
+
+    #[test]
+    fn non_clique_is_rejected() {
+        let (m, links) = model(3, &[(0, 1)]);
+        let not_clique = rated(&links, &[0, 2]);
+        assert!(!is_clique(&m, &not_clique));
+        assert!(!is_maximal_clique(&m, &not_clique, &links));
+        assert!(!is_maximal_clique_with_max_rates(&m, &not_clique, &links));
+    }
+
+    #[test]
+    fn max_rate_condition_detects_raisable_members() {
+        // Two links, two rates. Conflicts: everything except (54, 54) —
+        // so at (36, 36) they conflict, and raising a member to 54 keeps a
+        // clique only if the other stays at 36.
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..4).map(|i| t.add_node(f64::from(i), 0.0)).collect();
+        let l0 = t.add_link(n[0], n[1]).unwrap();
+        let l1 = t.add_link(n[2], n[3]).unwrap();
+        let links = vec![l0, l1];
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(l0, &[r(54.0), r(36.0)])
+            .alone_rates(l1, &[r(54.0), r(36.0)])
+            .conflict_at(l0, r(36.0), l1, r(36.0))
+            .conflict_at(l0, r(36.0), l1, r(54.0))
+            .conflict_at(l0, r(54.0), l1, r(36.0))
+            .build();
+        let low: RatedSet = vec![(l0, r(36.0)), (l1, r(36.0))].into_iter().collect();
+        assert!(is_maximal_clique(&m, &low, &links));
+        // (36, 36) can be raised to (54, 36) and stay a maximal clique,
+        // so it is not "with max rates".
+        assert!(!is_maximal_clique_with_max_rates(&m, &low, &links));
+        let raised: RatedSet = vec![(l0, r(54.0)), (l1, r(36.0))].into_iter().collect();
+        assert!(is_maximal_clique_with_max_rates(&m, &raised, &links));
+    }
+
+    #[test]
+    fn empty_assignment_has_one_empty_clique() {
+        let (m, _) = model(1, &[]);
+        let g = ConflictGraph::new(&m, &RatedSet::empty());
+        assert!(g.is_empty());
+        let cliques = maximal_cliques(&g);
+        // Bron–Kerbosch on the empty graph returns the empty clique.
+        assert_eq!(cliques, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn five_cycle_has_five_maximal_cliques() {
+        let (m, links) = model(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let all = rated(&links, &[0, 1, 2, 3, 4]);
+        let cliques = maximal_rated_cliques(&m, &all);
+        assert_eq!(cliques.len(), 5);
+        assert!(cliques.iter().all(|c| c.len() == 2));
+    }
+}

@@ -1,0 +1,210 @@
+//! Conflict-graph coloring: constructive TDMA schedules and clique numbers.
+//!
+//! The clique-constraint literature the paper builds on (Jain et al. [10],
+//! Fang & Bensaou [11]) bounds throughput between clique-based upper bounds
+//! and coloring-based lower bounds: a proper coloring of the conflict graph
+//! with `k` colors yields a TDMA schedule in which every link transmits a
+//! `1/k` time share. This module provides both quantities for a fixed rate
+//! assignment, complementing the exact LP of `awb-core`.
+
+use crate::clique::{maximal_cliques, ConflictGraph};
+use crate::concurrent::RatedSet;
+use awb_net::LinkRateModel;
+
+/// A proper coloring of a conflict graph: `color[i]` for couple `i`, colors
+/// dense from 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<usize>,
+    num_colors: usize,
+}
+
+impl Coloring {
+    /// Color of couple `i` (indices follow
+    /// [`ConflictGraph::set`](crate::ConflictGraph::set) order).
+    pub fn color(&self, i: usize) -> usize {
+        self.colors[i]
+    }
+
+    /// Number of colors used.
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// All colors, couple-indexed.
+    pub fn colors(&self) -> &[usize] {
+        &self.colors
+    }
+}
+
+/// Greedy (Welsh–Powell) coloring of the conflict graph: couples in
+/// descending degree order, each taking the smallest color absent from its
+/// conflicting neighbours. Uses at most `Δ + 1` colors.
+pub fn greedy_coloring(graph: &ConflictGraph) -> Coloring {
+    let n = graph.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let degree = |v: usize| (0..n).filter(|&u| u != v && graph.conflicts(v, u)).count();
+    order.sort_by_key(|&v| std::cmp::Reverse(degree(v)));
+    let mut colors = vec![usize::MAX; n];
+    let mut used = 0;
+    for &v in &order {
+        let mut taken: Vec<bool> = vec![false; used + 1];
+        for u in 0..n {
+            if u != v && graph.conflicts(v, u) && colors[u] != usize::MAX {
+                if colors[u] < taken.len() {
+                    taken[colors[u]] = true;
+                }
+            }
+        }
+        let c = (0..).find(|&c| c >= taken.len() || !taken[c]).expect("unbounded");
+        colors[v] = c;
+        used = used.max(c + 1);
+    }
+    Coloring {
+        colors,
+        num_colors: used,
+    }
+}
+
+/// The clique number ω of the conflict graph (size of its largest maximal
+/// clique) — a lower bound on the chromatic number, hence on any TDMA
+/// schedule length.
+pub fn clique_number(graph: &ConflictGraph) -> usize {
+    maximal_cliques(graph)
+        .into_iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The per-link throughput of the TDMA schedule induced by a greedy coloring
+/// of `assignment`'s conflict graph: link `L_i` at rate `r_i` transmits a
+/// `1/k` share, delivering `r_i / k` Mbps. Returns `(num_colors,
+/// throughputs)` aligned with `assignment.couples()`.
+///
+/// This is a *feasible* schedule, so each value lower-bounds the link's
+/// max-min throughput under the fixed rates — the constructive counterpart
+/// of the Eq. 7 clique upper bound.
+pub fn tdma_throughput<M: LinkRateModel>(
+    model: &M,
+    assignment: &RatedSet,
+) -> (usize, Vec<f64>) {
+    let graph = ConflictGraph::new(model, assignment);
+    let coloring = greedy_coloring(&graph);
+    let k = coloring.num_colors().max(1);
+    let throughputs = assignment
+        .couples()
+        .iter()
+        .map(|(_, r)| r.as_mbps() / k as f64)
+        .collect();
+    (coloring.num_colors(), throughputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, LinkId, Topology};
+    use awb_phy::Rate;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    fn model(n: usize, conflicts: &[(usize, usize)]) -> (DeclarativeModel, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let mut links = Vec::new();
+        for i in 0..n {
+            let a = t.add_node(i as f64 * 10.0, 0.0);
+            let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+            links.push(t.add_link(a, b).unwrap());
+        }
+        let mut b = DeclarativeModel::builder(t);
+        for &l in &links {
+            b = b.alone_rates(l, &[r(54.0)]);
+        }
+        for &(i, j) in conflicts {
+            b = b.conflict_all(links[i], links[j]);
+        }
+        (b.build(), links)
+    }
+
+    fn rated(links: &[LinkId]) -> RatedSet {
+        links.iter().map(|&l| (l, r(54.0))).collect()
+    }
+
+    #[test]
+    fn coloring_is_proper_and_compact() {
+        let (m, links) = model(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let g = ConflictGraph::new(&m, &rated(&links));
+        let c = greedy_coloring(&g);
+        for i in 0..g.len() {
+            for j in (i + 1)..g.len() {
+                if g.conflicts(i, j) {
+                    assert_ne!(c.color(i), c.color(j), "improper at {i},{j}");
+                }
+            }
+        }
+        // An odd cycle needs 3 colors; greedy may use exactly 3.
+        assert!(c.num_colors() >= 3);
+        assert!(c.num_colors() <= 4);
+    }
+
+    #[test]
+    fn independent_graph_uses_one_color() {
+        let (m, links) = model(4, &[]);
+        let g = ConflictGraph::new(&m, &rated(&links));
+        let c = greedy_coloring(&g);
+        assert_eq!(c.num_colors(), 1);
+        assert!(c.colors().iter().all(|&x| x == 0));
+        assert_eq!(clique_number(&g), 1);
+    }
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        let (m, links) = model(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let g = ConflictGraph::new(&m, &rated(&links));
+        let c = greedy_coloring(&g);
+        assert_eq!(c.num_colors(), 4);
+        assert_eq!(clique_number(&g), 4);
+    }
+
+    #[test]
+    fn clique_number_lower_bounds_colors() {
+        for conflicts in [
+            vec![(0usize, 1usize), (1, 2)],
+            vec![(0, 1), (0, 2), (1, 2), (2, 3)],
+            vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+        ] {
+            let (m, links) = model(4, &conflicts);
+            let g = ConflictGraph::new(&m, &rated(&links));
+            assert!(clique_number(&g) <= greedy_coloring(&g).num_colors());
+        }
+    }
+
+    #[test]
+    fn tdma_throughput_is_rate_over_colors() {
+        let (m, links) = model(3, &[(0, 1), (1, 2), (0, 2)]);
+        let (k, tp) = tdma_throughput(&m, &rated(&links));
+        assert_eq!(k, 3);
+        for v in tp {
+            assert!((v - 18.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tdma_lower_bounds_the_equal_throughput_clique_bound() {
+        // TDMA gives r/k; the Eq. 7 bound for the same clique is
+        // 1/Σ(1/r) = r/|C| for equal rates. With k ≥ ω = |C| the TDMA value
+        // can never exceed the bound.
+        let (m, links) = model(4, &[(0, 1), (1, 2), (2, 3)]);
+        let set = rated(&links);
+        let (k, tp) = tdma_throughput(&m, &set);
+        let g = ConflictGraph::new(&m, &set);
+        let omega = clique_number(&g);
+        assert!(k >= omega);
+        let eq7 = 54.0 / omega as f64;
+        for v in tp {
+            assert!(v <= eq7 + 1e-12);
+        }
+    }
+}

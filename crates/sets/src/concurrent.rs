@@ -1,0 +1,245 @@
+//! Sets of links coupled with rate vectors.
+
+use awb_net::LinkId;
+use awb_phy::Rate;
+use std::fmt;
+
+/// A set of links coupled with a transmission rate per link — the object the
+/// paper's independent sets (§2.4) and cliques (§3.1) both are.
+///
+/// Couples are stored sorted by link id, so two `RatedSet`s with equal
+/// contents compare equal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RatedSet {
+    couples: Vec<(LinkId, Rate)>,
+}
+
+impl RatedSet {
+    /// Creates a set from couples (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link appears twice or a rate is zero.
+    pub fn new(mut couples: Vec<(LinkId, Rate)>) -> RatedSet {
+        couples.sort_by_key(|&(l, _)| l);
+        for w in couples.windows(2) {
+            assert!(w[0].0 != w[1].0, "link {} appears twice", w[0].0);
+        }
+        assert!(
+            couples.iter().all(|(_, r)| !r.is_zero()),
+            "rated sets contain non-zero rates only"
+        );
+        RatedSet { couples }
+    }
+
+    /// The empty set.
+    pub fn empty() -> RatedSet {
+        RatedSet::default()
+    }
+
+    /// Couples sorted by link id.
+    pub fn couples(&self) -> &[(LinkId, Rate)] {
+        &self.couples
+    }
+
+    /// The links of the set, sorted.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.couples.iter().map(|&(l, _)| l)
+    }
+
+    /// The rate of `link` in this set, if present.
+    pub fn rate_of(&self, link: LinkId) -> Option<Rate> {
+        self.couples
+            .binary_search_by_key(&link, |&(l, _)| l)
+            .ok()
+            .map(|i| self.couples[i].1)
+    }
+
+    /// Whether `link` is in the set.
+    pub fn contains(&self, link: LinkId) -> bool {
+        self.rate_of(link).is_some()
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.couples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.couples.is_empty()
+    }
+
+    /// Returns a new set with `link` added at `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is already present or `rate` is zero.
+    pub fn with(&self, link: LinkId, rate: Rate) -> RatedSet {
+        let mut couples = self.couples.clone();
+        couples.push((link, rate));
+        RatedSet::new(couples)
+    }
+
+    /// Returns a new set with `link`'s rate replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is absent or `rate` is zero.
+    pub fn with_rate(&self, link: LinkId, rate: Rate) -> RatedSet {
+        assert!(!rate.is_zero(), "rated sets contain non-zero rates only");
+        let mut couples = self.couples.clone();
+        let i = couples
+            .binary_search_by_key(&link, |&(l, _)| l)
+            .unwrap_or_else(|_| panic!("link {link} not in set"));
+        couples[i].1 = rate;
+        RatedSet { couples }
+    }
+
+    /// Returns a new set without `link` (no-op if absent).
+    pub fn without(&self, link: LinkId) -> RatedSet {
+        RatedSet {
+            couples: self
+                .couples
+                .iter()
+                .copied()
+                .filter(|&(l, _)| l != link)
+                .collect(),
+        }
+    }
+
+    /// The throughput vector of this set over a link `universe`: entry `i`
+    /// is the rate of `universe[i]` in Mbps, or 0 if absent. This is the
+    /// `R_i^*` column of the feasibility LP (Eq. 4/Eq. 6).
+    pub fn throughput_vector(&self, universe: &[LinkId]) -> Vec<f64> {
+        universe
+            .iter()
+            .map(|&l| self.rate_of(l).map_or(0.0, Rate::as_mbps))
+            .collect()
+    }
+
+    /// Whether `self` dominates `other`: every couple of `other` appears in
+    /// `self` with an equal or higher rate. A dominated set contributes
+    /// nothing to the feasibility LP (its column is componentwise ≤).
+    pub fn dominates(&self, other: &RatedSet) -> bool {
+        other
+            .couples
+            .iter()
+            .all(|&(l, r)| self.rate_of(l).is_some_and(|mine| mine >= r))
+    }
+}
+
+impl fmt::Display for RatedSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (l, r)) in self.couples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({l}, {r})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(LinkId, Rate)> for RatedSet {
+    fn from_iter<T: IntoIterator<Item = (LinkId, Rate)>>(iter: T) -> Self {
+        RatedSet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> LinkId {
+        LinkId::from_index(i)
+    }
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    #[test]
+    fn construction_sorts_and_orders_do_not_matter() {
+        let a = RatedSet::new(vec![(l(2), r(54.0)), (l(0), r(36.0))]);
+        let b = RatedSet::new(vec![(l(0), r(36.0)), (l(2), r(54.0))]);
+        assert_eq!(a, b);
+        assert_eq!(a.rate_of(l(0)), Some(r(36.0)));
+        assert_eq!(a.rate_of(l(1)), None);
+        assert!(a.contains(l(2)));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let s = RatedSet::empty().with(l(1), r(54.0)).with(l(3), r(6.0));
+        assert_eq!(s.len(), 2);
+        let t = s.without(l(1));
+        assert_eq!(t.len(), 1);
+        assert!(!t.contains(l(1)));
+        // Removing an absent link is a no-op.
+        assert_eq!(t.without(l(9)), t);
+    }
+
+    #[test]
+    fn with_rate_replaces() {
+        let s = RatedSet::empty().with(l(0), r(36.0));
+        let t = s.with_rate(l(0), r(54.0));
+        assert_eq!(t.rate_of(l(0)), Some(r(54.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_links_panic() {
+        let _ = RatedSet::new(vec![(l(0), r(1.0)), (l(0), r(2.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_rates_panic() {
+        let _ = RatedSet::new(vec![(l(0), Rate::ZERO)]);
+    }
+
+    #[test]
+    fn throughput_vector_respects_universe_order() {
+        let s = RatedSet::new(vec![(l(0), r(36.0)), (l(3), r(54.0))]);
+        assert_eq!(
+            s.throughput_vector(&[l(3), l(1), l(0)]),
+            vec![54.0, 0.0, 36.0]
+        );
+    }
+
+    #[test]
+    fn dominance_on_same_links() {
+        let lo = RatedSet::new(vec![(l(0), r(36.0)), (l(1), r(54.0))]);
+        let hi = RatedSet::new(vec![(l(0), r(54.0)), (l(1), r(54.0))]);
+        assert!(hi.dominates(&lo));
+        assert!(!lo.dominates(&hi));
+        assert!(hi.dominates(&hi));
+    }
+
+    #[test]
+    fn dominance_with_extra_links() {
+        let small = RatedSet::new(vec![(l(0), r(36.0))]);
+        let big = RatedSet::new(vec![(l(0), r(36.0)), (l(1), r(6.0))]);
+        assert!(big.dominates(&small));
+        assert!(!small.dominates(&big));
+        // Incomparable when rates cross.
+        let crossed = RatedSet::new(vec![(l(0), r(54.0))]);
+        assert!(!crossed.dominates(&big));
+        assert!(!big.dominates(&crossed));
+    }
+
+    #[test]
+    fn display_lists_couples() {
+        let s = RatedSet::new(vec![(l(0), r(36.0)), (l(1), r(54.0))]);
+        assert_eq!(s.to_string(), "{(L0, 36 Mbps), (L1, 54 Mbps)}");
+        assert_eq!(RatedSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: RatedSet = vec![(l(1), r(6.0)), (l(0), r(18.0))].into_iter().collect();
+        assert_eq!(s.links().collect::<Vec<_>>(), vec![l(0), l(1)]);
+    }
+}

@@ -1,0 +1,388 @@
+//! Enumeration of admissible rated sets and maximal independent sets.
+
+use crate::concurrent::RatedSet;
+use awb_net::{LinkId, LinkRateModel};
+use awb_phy::Rate;
+
+/// Options for [`enumerate_admissible`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationOptions {
+    /// Drop sets whose throughput vector is dominated by another set's
+    /// (componentwise ≤ with the same or fewer links). Dominated sets never
+    /// change the feasibility LP, so this defaults to `true`; the
+    /// `enum_pruning` ablation bench turns it off.
+    pub prune_dominated: bool,
+    /// Cap on the number of links per set; `None` means unbounded.
+    pub max_set_size: Option<usize>,
+}
+
+impl Default for EnumerationOptions {
+    fn default() -> Self {
+        EnumerationOptions {
+            prune_dominated: true,
+            max_set_size: None,
+        }
+    }
+}
+
+/// Enumerates every non-empty admissible [`RatedSet`] over `universe`
+/// (deduplicated; see [`EnumerationOptions`] for pruning).
+///
+/// Admissibility is downward closed, so the search prunes any partial
+/// assignment that is already inadmissible. For models with rate-independent
+/// interference ([`LinkRateModel::rate_independent_interference`]) the search
+/// branches on membership only and assigns each link its maximum supported
+/// rate within the set — lower-rate variants are dominated and, because
+/// admissibility of membership does not depend on chosen rates, never enable
+/// additional links.
+///
+/// Links of `universe` that support no rate at all are skipped.
+///
+/// # Panics
+///
+/// Panics if `universe` contains duplicate links.
+pub fn enumerate_admissible<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+    options: &EnumerationOptions,
+) -> Vec<RatedSet> {
+    let mut sorted = universe.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    assert!(
+        sorted.len() == universe.len(),
+        "universe contains duplicate links"
+    );
+
+    // Per-link rate choices (descending). Dead links are dropped.
+    let live: Vec<(LinkId, Vec<Rate>)> = universe
+        .iter()
+        .map(|&l| (l, model.alone_rates(l)))
+        .filter(|(_, rs)| !rs.is_empty())
+        .collect();
+
+    let mut out: Vec<RatedSet> = Vec::new();
+    if model.rate_independent_interference() {
+        // Branch on membership at the lowest rates, then lift to max rates.
+        let mut assignment: Vec<(LinkId, Rate)> = Vec::new();
+        enumerate_membership(model, &live, 0, &mut assignment, options, &mut out);
+    } else {
+        let mut assignment: Vec<(LinkId, Rate)> = Vec::new();
+        enumerate_rated(model, &live, 0, &mut assignment, options, &mut out);
+    }
+
+    if options.prune_dominated {
+        pareto_filter(out)
+    } else {
+        out
+    }
+}
+
+fn enumerate_rated<M: LinkRateModel>(
+    model: &M,
+    live: &[(LinkId, Vec<Rate>)],
+    index: usize,
+    assignment: &mut Vec<(LinkId, Rate)>,
+    options: &EnumerationOptions,
+    out: &mut Vec<RatedSet>,
+) {
+    if index == live.len() {
+        if !assignment.is_empty() {
+            out.push(RatedSet::new(assignment.clone()));
+        }
+        return;
+    }
+    // Branch 1: skip this link.
+    enumerate_rated(model, live, index + 1, assignment, options, out);
+    // Branch 2: include at each admissible rate.
+    if options
+        .max_set_size
+        .is_some_and(|cap| assignment.len() >= cap)
+    {
+        return;
+    }
+    let (link, rates) = &live[index];
+    for &r in rates {
+        assignment.push((*link, r));
+        if model.admissible(assignment) {
+            enumerate_rated(model, live, index + 1, assignment, options, out);
+        }
+        assignment.pop();
+    }
+}
+
+fn enumerate_membership<M: LinkRateModel>(
+    model: &M,
+    live: &[(LinkId, Vec<Rate>)],
+    index: usize,
+    assignment: &mut Vec<(LinkId, Rate)>,
+    options: &EnumerationOptions,
+    out: &mut Vec<RatedSet>,
+) {
+    if index == live.len() {
+        if !assignment.is_empty() {
+            out.push(lift_to_max_rates(model, live, assignment));
+        }
+        return;
+    }
+    enumerate_membership(model, live, index + 1, assignment, options, out);
+    if options
+        .max_set_size
+        .is_some_and(|cap| assignment.len() >= cap)
+    {
+        return;
+    }
+    let (link, rates) = &live[index];
+    let lowest = *rates.last().expect("live links have rates");
+    assignment.push((*link, lowest));
+    if model.admissible(assignment) {
+        enumerate_membership(model, live, index + 1, assignment, options, out);
+    }
+    assignment.pop();
+}
+
+/// For rate-independent-interference models: replace each link's placeholder
+/// rate with the maximum rate admissible while the rest of the set is active.
+fn lift_to_max_rates<M: LinkRateModel>(
+    model: &M,
+    live: &[(LinkId, Vec<Rate>)],
+    assignment: &[(LinkId, Rate)],
+) -> RatedSet {
+    let mut lifted = assignment.to_vec();
+    for i in 0..lifted.len() {
+        let link = lifted[i].0;
+        let rates = &live
+            .iter()
+            .find(|(l, _)| *l == link)
+            .expect("assignment links come from live")
+            .1;
+        // Rates are descending: the first admissible one is the max. Because
+        // interference is rate-independent, testing with the others at their
+        // current (any) rates is exact.
+        for &r in rates.iter() {
+            lifted[i].1 = r;
+            if model.admissible(&lifted) {
+                break;
+            }
+        }
+    }
+    RatedSet::new(lifted)
+}
+
+/// Keeps only undominated sets. Equal sets cannot occur (each link subset +
+/// rate combination is visited once).
+fn pareto_filter(sets: Vec<RatedSet>) -> Vec<RatedSet> {
+    let mut keep: Vec<bool> = vec![true; sets.len()];
+    for i in 0..sets.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..sets.len() {
+            if i != j && keep[i] && keep[j] && sets[j].dominates(&sets[i]) {
+                // Strict domination check: equal sets were deduplicated by
+                // construction, but mutual domination can still occur when
+                // vectors coincide; keep the first.
+                if sets[i].dominates(&sets[j]) && i < j {
+                    continue;
+                }
+                keep[i] = false;
+            }
+        }
+    }
+    sets.into_iter()
+        .zip(keep)
+        .filter_map(|(s, k)| k.then_some(s))
+        .collect()
+}
+
+/// The paper's *maximal independent sets with maximum supported rates*
+/// (§2.4): admissible sets where (a) no single link's rate can be raised and
+/// (b) no further link of `universe` can be inserted at any positive rate.
+///
+/// By Proposition 3 these suffice for the feasibility condition (Eq. 4).
+pub fn maximal_independent_sets<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+) -> Vec<RatedSet> {
+    let all = enumerate_admissible(
+        model,
+        universe,
+        &EnumerationOptions {
+            prune_dominated: false,
+            max_set_size: None,
+        },
+    );
+    all.into_iter()
+        .filter(|s| is_maximal(model, universe, s))
+        .collect()
+}
+
+fn is_maximal<M: LinkRateModel>(model: &M, universe: &[LinkId], set: &RatedSet) -> bool {
+    // (a) No single rate can be raised.
+    for &(link, rate) in set.couples() {
+        for higher in model
+            .alone_rates(link)
+            .into_iter()
+            .filter(|&r| r > rate)
+        {
+            if model.admissible(set.with_rate(link, higher).couples()) {
+                return false;
+            }
+        }
+    }
+    // (b) No link can be inserted at any positive rate.
+    for &link in universe {
+        if set.contains(link) {
+            continue;
+        }
+        for r in model.alone_rates(link) {
+            if model.admissible(set.with(link, r).couples()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, Topology};
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// A line of `n` disjoint links (2n nodes), no conflicts declared.
+    fn free_links(n: usize, rates: &[Rate]) -> (DeclarativeModel, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let mut links = Vec::new();
+        for i in 0..n {
+            let a = t.add_node(i as f64 * 10.0, 0.0);
+            let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+            links.push(t.add_link(a, b).unwrap());
+        }
+        let mut b = DeclarativeModel::builder(t);
+        for &l in &links {
+            b = b.alone_rates(l, rates);
+        }
+        (b.build(), links)
+    }
+
+    #[test]
+    fn independent_links_collapse_to_one_pareto_set() {
+        let (m, links) = free_links(3, &[r(54.0)]);
+        let sets = enumerate_admissible(&m, &links, &EnumerationOptions::default());
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].len(), 3);
+        // Without pruning: all 2^3 - 1 subsets.
+        let all = enumerate_admissible(
+            &m,
+            &links,
+            &EnumerationOptions { prune_dominated: false, max_set_size: None },
+        );
+        assert_eq!(all.len(), 7);
+    }
+
+    #[test]
+    fn fully_conflicting_links_stay_singletons() {
+        let (m0, links) = free_links(3, &[r(54.0)]);
+        // Rebuild with all pairs conflicting.
+        let mut b = DeclarativeModel::builder(m0.topology().clone());
+        for &l in &links {
+            b = b.alone_rates(l, &[r(54.0)]);
+        }
+        b = b
+            .conflict_all(links[0], links[1])
+            .conflict_all(links[0], links[2])
+            .conflict_all(links[1], links[2]);
+        let m = b.build();
+        let sets = enumerate_admissible(&m, &links, &EnumerationOptions::default());
+        assert_eq!(sets.len(), 3);
+        assert!(sets.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn rate_dependent_conflict_produces_both_maximal_variants() {
+        // L0@54 conflicts with L1@54; nothing else conflicts. Maximal sets:
+        // {(L0,54),(L1,36)}, {(L0,36),(L1,54)}, and... raising either from
+        // (36,36) is possible, so (36,36) is not maximal. {(L0,54)} alone is
+        // not maximal (L1@36 can be inserted).
+        let (m0, links) = free_links(2, &[r(54.0), r(36.0)]);
+        let mut b = DeclarativeModel::builder(m0.topology().clone());
+        for &l in &links {
+            b = b.alone_rates(l, &[r(54.0), r(36.0)]);
+        }
+        b = b.conflict_at(links[0], r(54.0), links[1], r(54.0));
+        let m = b.build();
+        let maximal = maximal_independent_sets(&m, &links);
+        assert_eq!(maximal.len(), 2, "{maximal:?}");
+        for s in &maximal {
+            let rates: Vec<f64> = links
+                .iter()
+                .map(|&l| s.rate_of(l).unwrap().as_mbps())
+                .collect();
+            assert!(rates == vec![54.0, 36.0] || rates == vec![36.0, 54.0]);
+        }
+    }
+
+    #[test]
+    fn dominance_pruning_preserves_maximal_sets() {
+        let (m0, links) = free_links(2, &[r(54.0), r(36.0)]);
+        let mut b = DeclarativeModel::builder(m0.topology().clone());
+        for &l in &links {
+            b = b.alone_rates(l, &[r(54.0), r(36.0)]);
+        }
+        b = b.conflict_at(links[0], r(54.0), links[1], r(54.0));
+        let m = b.build();
+        let pareto = enumerate_admissible(&m, &links, &EnumerationOptions::default());
+        let maximal = maximal_independent_sets(&m, &links);
+        for ms in &maximal {
+            assert!(
+                pareto.iter().any(|p| p == ms),
+                "maximal set {ms} missing from pareto pool"
+            );
+        }
+    }
+
+    #[test]
+    fn max_set_size_caps_cardinality() {
+        let (m, links) = free_links(4, &[r(6.0)]);
+        let sets = enumerate_admissible(
+            &m,
+            &links,
+            &EnumerationOptions { prune_dominated: false, max_set_size: Some(2) },
+        );
+        assert!(sets.iter().all(|s| s.len() <= 2));
+        // 4 singletons + 6 pairs.
+        assert_eq!(sets.len(), 10);
+    }
+
+    #[test]
+    fn dead_links_are_skipped() {
+        let (m0, links) = free_links(2, &[r(6.0)]);
+        let mut b = DeclarativeModel::builder(m0.topology().clone());
+        b = b.alone_rates(links[0], &[r(6.0)]); // links[1] stays dead
+        let m = b.build();
+        let sets = enumerate_admissible(&m, &links, &EnumerationOptions::default());
+        assert_eq!(sets.len(), 1);
+        assert!(sets[0].contains(links[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate links")]
+    fn duplicate_universe_panics() {
+        let (m, links) = free_links(1, &[r(6.0)]);
+        let _ = enumerate_admissible(
+            &m,
+            &[links[0], links[0]],
+            &EnumerationOptions::default(),
+        );
+    }
+
+    #[test]
+    fn empty_universe_yields_no_sets() {
+        let (m, _) = free_links(1, &[r(6.0)]);
+        assert!(enumerate_admissible(&m, &[], &EnumerationOptions::default()).is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Rate-coupled independent sets and cliques (paper §2.4, §3.1).
+//!
+//! In a multirate network a concurrent-transmission set is not just a set of
+//! links: it is a set of links **coupled with a rate vector** ([`RatedSet`]).
+//! This crate enumerates the admissible rated sets of a link universe under
+//! any [`awb_net::LinkRateModel`], identifies the *maximal independent sets
+//! with maximum supported rates* the feasibility condition (Eq. 4) is built
+//! from, and enumerates rate-coupled cliques, including the *local
+//! interference cliques* along a path used by the distributed estimators
+//! (§4).
+//!
+//! The enumeration exploits that admissibility is **downward closed** in
+//! both models (removing a transmitter can only raise every SINR), which
+//! permits aggressive pruning: a partial assignment that is already
+//! inadmissible cannot be completed.
+//!
+//! # Example
+//!
+//! ```
+//! use awb_net::{DeclarativeModel, Topology};
+//! use awb_phy::Rate;
+//! use awb_sets::{enumerate_admissible, EnumerationOptions};
+//!
+//! // Two mutually non-interfering links.
+//! let mut t = Topology::new();
+//! let n: Vec<_> = (0..4).map(|i| t.add_node(i as f64, 0.0)).collect();
+//! let l1 = t.add_link(n[0], n[1])?;
+//! let l2 = t.add_link(n[2], n[3])?;
+//! let r = Rate::from_mbps(54.0);
+//! let m = DeclarativeModel::builder(t)
+//!     .alone_rates(l1, &[r])
+//!     .alone_rates(l2, &[r])
+//!     .build();
+//! let sets = enumerate_admissible(&m, &[l1, l2], &EnumerationOptions::default());
+//! // {L1}, {L2}, {L1, L2} — dominance pruning keeps only {L1, L2}.
+//! assert_eq!(sets.len(), 1);
+//! assert_eq!(sets[0].len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clique;
+mod coloring;
+mod concurrent;
+mod enumerate;
+mod local;
+
+pub use clique::{
+    is_clique, is_maximal_clique, is_maximal_clique_with_max_rates, maximal_cliques,
+    maximal_rated_cliques, ConflictGraph,
+};
+pub use coloring::{clique_number, greedy_coloring, tdma_throughput, Coloring};
+pub use concurrent::RatedSet;
+pub use enumerate::{enumerate_admissible, maximal_independent_sets, EnumerationOptions};
+pub use local::{local_cliques, LocalClique};

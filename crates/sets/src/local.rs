@@ -1,0 +1,187 @@
+//! Local interference cliques along a path (paper §4).
+
+use awb_net::{LinkId, LinkRateModel};
+use awb_phy::Rate;
+
+/// A maximal run of consecutive path hops that pairwise conflict — the
+/// paper's *local interference clique*: "a clique \[whose\] links are in a
+/// sequence on the path".
+///
+/// `start..=end` are hop indices into the path's link sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalClique {
+    /// First hop index (inclusive).
+    pub start: usize,
+    /// Last hop index (inclusive).
+    pub end: usize,
+}
+
+impl LocalClique {
+    /// Number of hops in the clique.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Always false: a local clique spans at least one hop.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The hop indices covered by this clique.
+    pub fn hops(&self) -> impl Iterator<Item = usize> {
+        self.start..=self.end
+    }
+}
+
+/// Finds all maximal local interference cliques of a path whose hops carry
+/// the given `(link, rate)` couples (the rates are the links' effective data
+/// rates, as used by the distributed estimators).
+///
+/// A window of consecutive hops is a clique when every pair of couples in it
+/// conflicts; maximal windows are those not contained in a longer one. Every
+/// hop belongs to at least one local clique (singletons count), matching the
+/// construction of Zhai & Fang (ICNP'06) that the paper adopts.
+pub fn local_cliques<M: LinkRateModel>(
+    model: &M,
+    hops: &[(LinkId, Rate)],
+) -> Vec<LocalClique> {
+    if hops.is_empty() {
+        return Vec::new();
+    }
+    let n = hops.len();
+    // reach[i] = largest j such that hops[i..=j] is a clique.
+    let mut reach = vec![0usize; n];
+    #[allow(clippy::needless_range_loop)] // i indexes both hops and reach
+    for i in 0..n {
+        let mut j = i;
+        'grow: while j + 1 < n {
+            let cand = hops[j + 1];
+            for k in i..=j {
+                if !model.conflicts(hops[k], cand) {
+                    break 'grow;
+                }
+            }
+            j += 1;
+        }
+        reach[i] = j;
+    }
+    let mut out = Vec::new();
+    let mut best_prev_reach: Option<usize> = None;
+    #[allow(clippy::needless_range_loop)] // i indexes reach and names hops
+    for i in 0..n {
+        // A window is maximal when no earlier window covers it.
+        if best_prev_reach.is_none_or(|r| reach[i] > r) {
+            out.push(LocalClique {
+                start: i,
+                end: reach[i],
+            });
+        }
+        best_prev_reach = Some(best_prev_reach.map_or(reach[i], |r| r.max(reach[i])));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, Topology};
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// A chain path of `n` links where hop `i` conflicts with hops within
+    /// `spread` of it.
+    fn chain_model(n: usize, spread: usize) -> (DeclarativeModel, Vec<(LinkId, Rate)>) {
+        let mut t = Topology::new();
+        let nodes: Vec<_> = (0..=n).map(|i| t.add_node(i as f64 * 10.0, 0.0)).collect();
+        let links: Vec<LinkId> = nodes
+            .windows(2)
+            .map(|w| t.add_link(w[0], w[1]).unwrap())
+            .collect();
+        let mut b = DeclarativeModel::builder(t);
+        for &l in &links {
+            b = b.alone_rates(l, &[r(54.0)]);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n.min(i + spread + 1) {
+                b = b.conflict_all(links[i], links[j]);
+            }
+        }
+        let hops = links.into_iter().map(|l| (l, r(54.0))).collect();
+        (b.build(), hops)
+    }
+
+    #[test]
+    fn no_conflicts_yield_singletons() {
+        let (m, hops) = chain_model(4, 0);
+        let cs = local_cliques(&m, &hops);
+        assert_eq!(cs.len(), 4);
+        assert!(cs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn adjacent_conflicts_yield_pair_windows() {
+        let (m, hops) = chain_model(4, 1);
+        let cs = local_cliques(&m, &hops);
+        // Windows: [0,1], [1,2], [2,3].
+        assert_eq!(cs.len(), 3);
+        assert!(cs.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn two_hop_interference_yields_triple_windows() {
+        let (m, hops) = chain_model(5, 2);
+        let cs = local_cliques(&m, &hops);
+        // [0..2], [1..3], [2..4].
+        assert_eq!(cs.len(), 3);
+        assert!(cs.iter().all(|c| c.len() == 3));
+        assert_eq!(cs[0], LocalClique { start: 0, end: 2 });
+        assert_eq!(cs[2].hops().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn full_conflict_is_one_window() {
+        let (m, hops) = chain_model(4, 4);
+        let cs = local_cliques(&m, &hops);
+        assert_eq!(cs, vec![LocalClique { start: 0, end: 3 }]);
+    }
+
+    #[test]
+    fn short_paths() {
+        let (m, hops) = chain_model(1, 1);
+        assert_eq!(local_cliques(&m, &hops).len(), 1);
+        assert!(local_cliques(&m, &[]).is_empty());
+    }
+
+    #[test]
+    fn contained_windows_are_suppressed() {
+        // Conflicts: 0-1, 0-2, 1-2 and 2-3. Windows: [0..2] and [2..3];
+        // window starting at 1 reaches 2 and is contained in [0..2].
+        let mut t = Topology::new();
+        let nodes: Vec<_> = (0..5).map(|i| t.add_node(f64::from(i) * 10.0, 0.0)).collect();
+        let links: Vec<LinkId> = nodes
+            .windows(2)
+            .map(|w| t.add_link(w[0], w[1]).unwrap())
+            .collect();
+        let mut b = DeclarativeModel::builder(t);
+        for &l in &links {
+            b = b.alone_rates(l, &[r(54.0)]);
+        }
+        b = b
+            .conflict_all(links[0], links[1])
+            .conflict_all(links[0], links[2])
+            .conflict_all(links[1], links[2])
+            .conflict_all(links[2], links[3]);
+        let m = b.build();
+        let hops: Vec<(LinkId, Rate)> = links.iter().map(|&l| (l, r(54.0))).collect();
+        let cs = local_cliques(&m, &hops);
+        assert_eq!(
+            cs,
+            vec![
+                LocalClique { start: 0, end: 2 },
+                LocalClique { start: 2, end: 3 }
+            ]
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests for set enumeration: soundness, maximality, dominance.
+
+use awb_net::{DeclarativeModel, LinkId, LinkRateModel, Topology};
+use awb_phy::Rate;
+use awb_sets::{
+    enumerate_admissible, is_clique, local_cliques, maximal_independent_sets,
+    maximal_rated_cliques, EnumerationOptions, RatedSet,
+};
+use proptest::prelude::*;
+
+fn r(m: f64) -> Rate {
+    Rate::from_mbps(m)
+}
+
+/// A random declarative model over `n` disjoint links: each link gets one or
+/// two rates; each unordered pair independently gets "no conflict",
+/// "conflict at all rates", or "conflict only when both use the high rate".
+#[derive(Debug, Clone)]
+struct RandomModel {
+    n: usize,
+    /// 0 = none, 1 = all, 2 = high-high only.
+    pair_kind: Vec<u8>,
+    two_rates: Vec<bool>,
+}
+
+fn random_model(max_links: usize) -> impl Strategy<Value = RandomModel> {
+    (2usize..=max_links)
+        .prop_flat_map(|n| {
+            let pairs = n * (n - 1) / 2;
+            (
+                Just(n),
+                proptest::collection::vec(0u8..=2, pairs),
+                proptest::collection::vec(any::<bool>(), n),
+            )
+        })
+        .prop_map(|(n, pair_kind, two_rates)| RandomModel {
+            n,
+            pair_kind,
+            two_rates,
+        })
+}
+
+fn build(m: &RandomModel) -> (DeclarativeModel, Vec<LinkId>) {
+    let hi = r(54.0);
+    let lo = r(36.0);
+    let mut t = Topology::new();
+    let mut links = Vec::new();
+    for i in 0..m.n {
+        let a = t.add_node(i as f64 * 10.0, 0.0);
+        let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+        links.push(t.add_link(a, b).unwrap());
+    }
+    let mut b = DeclarativeModel::builder(t);
+    for (i, &l) in links.iter().enumerate() {
+        if m.two_rates[i] {
+            b = b.alone_rates(l, &[hi, lo]);
+        } else {
+            b = b.alone_rates(l, &[hi]);
+        }
+    }
+    let mut k = 0;
+    for i in 0..m.n {
+        for j in (i + 1)..m.n {
+            match m.pair_kind[k] {
+                1 => b = b.conflict_all(links[i], links[j]),
+                // Note: high-high-only conflicts are rate-monotone: lowering
+                // either side removes the conflict.
+                2 => b = b.conflict_at(links[i], hi, links[j], hi),
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    (b.build(), links)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_enumerated_set_is_admissible(rm in random_model(5)) {
+        let (m, links) = build(&rm);
+        for opts in [
+            EnumerationOptions::default(),
+            EnumerationOptions { prune_dominated: false, max_set_size: None },
+        ] {
+            for s in enumerate_admissible(&m, &links, &opts) {
+                prop_assert!(m.admissible(s.couples()), "inadmissible set {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_pool_is_subset_and_undominated(rm in random_model(5)) {
+        let (m, links) = build(&rm);
+        let all = enumerate_admissible(
+            &m, &links,
+            &EnumerationOptions { prune_dominated: false, max_set_size: None },
+        );
+        let pruned = enumerate_admissible(&m, &links, &EnumerationOptions::default());
+        prop_assert!(pruned.len() <= all.len());
+        // Each pruned-pool member appears in the full pool.
+        for p in &pruned {
+            prop_assert!(all.iter().any(|a| a == p));
+        }
+        // No pruned-pool member dominates another.
+        for (i, a) in pruned.iter().enumerate() {
+            for (j, b) in pruned.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.dominates(b), "{a} dominates {b} after pruning");
+                }
+            }
+        }
+        // Every dropped set is dominated by some survivor.
+        for a in &all {
+            if !pruned.iter().any(|p| p == a) {
+                prop_assert!(
+                    pruned.iter().any(|p| p.dominates(a)),
+                    "dropped set {a} is not dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_sets_are_admissible_and_unextendable(rm in random_model(4)) {
+        let (m, links) = build(&rm);
+        let maximal = maximal_independent_sets(&m, &links);
+        prop_assert!(!maximal.is_empty());
+        for s in &maximal {
+            prop_assert!(m.admissible(s.couples()));
+            // No member's rate can be raised.
+            for &(l, rate) in s.couples() {
+                for higher in m.alone_rates(l).into_iter().filter(|&x| x > rate) {
+                    prop_assert!(!m.admissible(s.with_rate(l, higher).couples()));
+                }
+            }
+            // No link can be inserted.
+            for &l in &links {
+                if s.contains(l) { continue; }
+                for rate in m.alone_rates(l) {
+                    prop_assert!(!m.admissible(s.with(l, rate).couples()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_admissible_set_is_dominated_by_the_pruned_pool(rm in random_model(4)) {
+        let (m, links) = build(&rm);
+        let all = enumerate_admissible(
+            &m, &links,
+            &EnumerationOptions { prune_dominated: false, max_set_size: None },
+        );
+        let pruned = enumerate_admissible(&m, &links, &EnumerationOptions::default());
+        for a in &all {
+            prop_assert!(pruned.iter().any(|p| p.dominates(a)));
+        }
+    }
+
+    #[test]
+    fn maximal_cliques_are_cliques_and_cover_all_conflicts(rm in random_model(5)) {
+        let (m, links) = build(&rm);
+        let assignment: RatedSet = links.iter().map(|&l| (l, r(54.0))).collect();
+        let cliques = maximal_rated_cliques(&m, &assignment);
+        for c in &cliques {
+            prop_assert!(is_clique(&m, c));
+        }
+        // Every conflicting pair appears together in some clique.
+        for (i, &a) in links.iter().enumerate() {
+            for &b in &links[i + 1..] {
+                if m.conflicts((a, r(54.0)), (b, r(54.0))) {
+                    prop_assert!(
+                        cliques.iter().any(|c| c.contains(a) && c.contains(b)),
+                        "conflicting pair not covered"
+                    );
+                }
+            }
+        }
+        // Every vertex appears in some clique.
+        for &l in &links {
+            prop_assert!(cliques.iter().any(|c| c.contains(l)));
+        }
+    }
+
+    #[test]
+    fn local_cliques_cover_every_hop_and_are_cliques(rm in random_model(6)) {
+        let (m, links) = build(&rm);
+        let hops: Vec<(LinkId, Rate)> = links.iter().map(|&l| (l, r(54.0))).collect();
+        let cs = local_cliques(&m, &hops);
+        let mut covered = vec![false; hops.len()];
+        for c in &cs {
+            let members: RatedSet = c.hops().map(|h| hops[h]).collect();
+            prop_assert!(is_clique(&m, &members));
+            for h in c.hops() {
+                covered[h] = true;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|b| b), "some hop uncovered");
+    }
+}

@@ -1,0 +1,41 @@
+//! Measurement output of a simulation run.
+
+/// Statistics gathered by [`Simulator::run`](crate::Simulator::run).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct SimReport {
+    /// Fraction of slots each node sensed the channel idle, indexed by node
+    /// id — the `λ_idle` of the paper's §4, as measured.
+    pub node_idle_ratio: Vec<f64>,
+    /// Delivered throughput per link in Mbps, indexed by link id.
+    pub link_throughput_mbps: Vec<f64>,
+    /// End-to-end delivered throughput per flow in Mbps, in
+    /// [`Simulator::add_flow`](crate::Simulator::add_flow) order.
+    pub flow_throughput_mbps: Vec<f64>,
+    /// Slots in which each link transmitted (successfully or not).
+    pub link_tx_slots: Vec<u64>,
+    /// Slots in which each link's transmission failed SINR capture.
+    pub link_collision_slots: Vec<u64>,
+    /// Total simulated slots.
+    pub slots: u64,
+    /// Slot duration in seconds.
+    pub slot_seconds: f64,
+}
+
+impl SimReport {
+    /// Collision ratio of a link: collided slots over transmitted slots
+    /// (0.0 for links that never transmitted).
+    pub fn collision_ratio(&self, link: awb_net::LinkId) -> f64 {
+        let tx = self.link_tx_slots[link.index()];
+        if tx == 0 {
+            0.0
+        } else {
+            self.link_collision_slots[link.index()] as f64 / tx as f64
+        }
+    }
+
+    /// Simulated wall-clock duration in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.slots as f64 * self.slot_seconds
+    }
+}

@@ -1,0 +1,62 @@
+//! Reproducibility: a simulation is a pure function of (model, config).
+
+use awb_phy::Phy;
+use awb_sim::{Contention, SimConfig, Simulator};
+use awb_workloads::chain_model;
+
+fn run(seed: u64, contention: Contention) -> awb_sim::SimReport {
+    let (model, path) = chain_model(3, 70.0, Phy::paper_default());
+    let mut sim = Simulator::new(
+        &model,
+        SimConfig {
+            slots: 5_000,
+            seed,
+            contention,
+            ..SimConfig::default()
+        },
+    );
+    sim.add_flow(path.clone(), Some(4.0));
+    sim.add_flow(path, None);
+    sim.run(&model)
+}
+
+#[test]
+fn same_seed_same_report() {
+    for contention in [
+        Contention::OrderedCsma,
+        Contention::PPersistent(0.4),
+        Contention::Dcf {
+            cw_min: 8,
+            cw_max: 64,
+        },
+    ] {
+        let a = run(7, contention);
+        let b = run(7, contention);
+        assert_eq!(a, b, "{contention:?} not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(1, Contention::OrderedCsma);
+    let b = run(2, Contention::OrderedCsma);
+    assert_ne!(a, b);
+    // But aggregate throughput stays in the same ballpark.
+    let ta: f64 = a.flow_throughput_mbps.iter().sum();
+    let tb: f64 = b.flow_throughput_mbps.iter().sum();
+    assert!((ta - tb).abs() < 0.25 * ta.max(tb));
+}
+
+#[test]
+fn report_accessors_are_consistent() {
+    let r = run(3, Contention::OrderedCsma);
+    assert_eq!(r.slots, 5_000);
+    assert!((r.duration_seconds() - 5.0).abs() < 1e-9);
+    for idle in &r.node_idle_ratio {
+        assert!((0.0..=1.0).contains(idle));
+    }
+    for li in 0..r.link_tx_slots.len() {
+        assert!(r.link_collision_slots[li] <= r.link_tx_slots[li]);
+        let _ = r.collision_ratio(awb_net::LinkId::from_index(li));
+    }
+}

@@ -1,0 +1,120 @@
+//! Regular chain and grid topologies for tests and benches.
+
+use awb_net::{LinkRateModel, Path, SinrModel, Topology};
+use awb_phy::Phy;
+
+/// A linear chain of `n_hops` links with nodes `hop_length` metres apart,
+/// under the given radio model. Returns the model and the end-to-end path.
+///
+/// Only the forward consecutive links are materialized — this is the
+/// multihop-relay fixture, not a connectivity graph.
+///
+/// # Panics
+///
+/// Panics if `n_hops == 0`, `hop_length` is non-positive, or `hop_length`
+/// exceeds the radio's decoding range (the chain would be disconnected).
+pub fn chain_model(n_hops: usize, hop_length: f64, phy: Phy) -> (SinrModel, Path) {
+    assert!(n_hops > 0, "a chain needs at least one hop");
+    assert!(
+        hop_length > 0.0 && hop_length.is_finite(),
+        "hop length must be positive"
+    );
+    assert!(
+        hop_length <= phy.max_range(),
+        "hop length {hop_length} exceeds decoding range {}",
+        phy.max_range()
+    );
+    let mut t = Topology::new();
+    let nodes: Vec<_> = (0..=n_hops)
+        .map(|i| t.add_node(i as f64 * hop_length, 0.0))
+        .collect();
+    let links: Vec<_> = nodes
+        .windows(2)
+        .map(|w| t.add_link(w[0], w[1]).expect("fresh nodes"))
+        .collect();
+    let model = SinrModel::new(t, phy);
+    let path = Path::new(model.topology(), links).expect("consecutive links chain");
+    (model, path)
+}
+
+/// A `rows × cols` grid of nodes spaced `spacing` metres apart, with a
+/// directed link between every ordered pair within decoding range.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or `spacing` is non-positive.
+pub fn grid_model(rows: usize, cols: usize, spacing: f64, phy: Phy) -> SinrModel {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    assert!(
+        spacing > 0.0 && spacing.is_finite(),
+        "spacing must be positive"
+    );
+    let mut t = Topology::new();
+    let mut nodes = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            nodes.push(t.add_node(c as f64 * spacing, r as f64 * spacing));
+        }
+    }
+    let range = phy.max_range();
+    for &a in &nodes {
+        for &b in &nodes {
+            if a != b && t.distance(a, b).expect("fresh nodes") <= range {
+                t.add_link(a, b).expect("pairs visited once");
+            }
+        }
+    }
+    SinrModel::new(t, phy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::LinkRateModel;
+
+    #[test]
+    fn chain_has_expected_shape() {
+        let (m, p) = chain_model(4, 50.0, Phy::paper_default());
+        assert_eq!(m.topology().num_nodes(), 5);
+        assert_eq!(m.topology().num_links(), 4);
+        assert_eq!(p.len(), 4);
+        // 50 m hops decode at the top rate alone.
+        for &l in p.links() {
+            assert_eq!(m.max_alone_rate(l).unwrap().as_mbps(), 54.0);
+        }
+    }
+
+    #[test]
+    fn long_hops_reduce_alone_rate() {
+        let (m, p) = chain_model(2, 150.0, Phy::paper_default());
+        for &l in p.links() {
+            assert_eq!(m.max_alone_rate(l).unwrap().as_mbps(), 6.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds decoding range")]
+    fn out_of_range_chain_panics() {
+        let _ = chain_model(2, 200.0, Phy::paper_default());
+    }
+
+    #[test]
+    fn grid_connects_neighbours_within_range() {
+        let m = grid_model(3, 3, 100.0, Phy::paper_default());
+        let t = m.topology();
+        assert_eq!(t.num_nodes(), 9);
+        // From the corner: 100 m right and down are in range (158 m), the
+        // 141 m diagonal is too, 200 m pairs are not.
+        let n0 = t.nodes().next().unwrap().id();
+        assert_eq!(t.links_from(n0).count(), 3);
+    }
+
+    #[test]
+    fn grid_link_count_is_symmetric() {
+        let m = grid_model(2, 2, 120.0, Phy::paper_default());
+        let t = m.topology();
+        for link in t.links() {
+            assert!(t.link_between(link.rx(), link.tx()).is_some());
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Workloads and fixtures for the `awb` workspace: the paper's
+//! hand-constructed Scenario I and Scenario II topologies, the §5.2 random
+//! topology generator, and regular chain/grid topologies for benches.
+//!
+//! # Example
+//!
+//! ```
+//! use awb_workloads::ScenarioTwo;
+//!
+//! let s2 = ScenarioTwo::new();
+//! assert_eq!(s2.path().len(), 4); // the four-link chain of Fig. 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chains;
+mod random;
+mod scenarios;
+
+pub use chains::{chain_model, grid_model};
+pub use random::{connected_pairs, shortest_hop_distance, RandomTopology, RandomTopologyConfig};
+pub use scenarios::{ScenarioOne, ScenarioTwo};

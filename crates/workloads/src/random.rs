@@ -1,0 +1,242 @@
+//! The §5.2 random topology: nodes scattered uniformly in a rectangle, links
+//! between every pair within decoding range.
+
+use awb_net::{LinkRateModel, NodeId, SinrModel, Topology};
+use awb_phy::Phy;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Parameters of the random topology (defaults are the paper's: 30 nodes in
+/// a 400 m × 600 m rectangle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RandomTopologyConfig {
+    /// Field width in metres.
+    pub width: f64,
+    /// Field height in metres.
+    pub height: f64,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// RNG seed (the paper does not publish its draw; fixing a seed makes
+    /// every experiment reproducible).
+    pub seed: u64,
+}
+
+impl Default for RandomTopologyConfig {
+    fn default() -> Self {
+        RandomTopologyConfig {
+            width: 400.0,
+            height: 600.0,
+            num_nodes: 30,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated random topology with its SINR model.
+#[derive(Debug, Clone)]
+pub struct RandomTopology {
+    config: RandomTopologyConfig,
+    model: SinrModel,
+}
+
+impl RandomTopology {
+    /// Generates a topology with the paper's radio model
+    /// ([`Phy::paper_default`]).
+    pub fn generate(config: RandomTopologyConfig) -> RandomTopology {
+        RandomTopology::generate_with_phy(config, Phy::paper_default())
+    }
+
+    /// Generates a topology with a custom radio model. A directed link is
+    /// added between every ordered node pair within `phy.max_range()`.
+    pub fn generate_with_phy(config: RandomTopologyConfig, phy: Phy) -> RandomTopology {
+        assert!(config.num_nodes >= 2, "need at least two nodes");
+        assert!(
+            config.width > 0.0 && config.height > 0.0,
+            "field dimensions must be positive"
+        );
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (0..config.num_nodes)
+            .map(|_| {
+                let x = rng.gen_range(0.0..config.width);
+                let y = rng.gen_range(0.0..config.height);
+                t.add_node(x, y)
+            })
+            .collect();
+        let range = phy.max_range();
+        for &a in &nodes {
+            for &b in &nodes {
+                if a != b && t.distance(a, b).expect("fresh nodes") <= range {
+                    t.add_link(a, b).expect("pairs are visited once");
+                }
+            }
+        }
+        RandomTopology {
+            config,
+            model: SinrModel::new(t, phy),
+        }
+    }
+
+    /// The generation parameters.
+    pub fn config(&self) -> &RandomTopologyConfig {
+        &self.config
+    }
+
+    /// The SINR model over the generated topology.
+    pub fn model(&self) -> &SinrModel {
+        &self.model
+    }
+
+    /// Consumes the wrapper, returning the model.
+    pub fn into_model(self) -> SinrModel {
+        self.model
+    }
+}
+
+/// BFS hop distance from `src` to `dst` over the topology's links, if any
+/// path exists.
+pub fn shortest_hop_distance(
+    topology: &awb_net::Topology,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<usize> {
+    if src == dst {
+        return Some(0);
+    }
+    let n = topology.num_nodes();
+    let mut dist: Vec<Option<usize>> = vec![None; n];
+    dist[src.index()] = Some(0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()].expect("queued nodes have distances");
+        for link in topology.links_from(u) {
+            let v = link.rx();
+            if dist[v.index()].is_none() {
+                if v == dst {
+                    return Some(d + 1);
+                }
+                dist[v.index()] = Some(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Draws `count` distinct source/destination pairs that are connected and
+/// whose BFS hop distance lies within `hops` (the paper's "8 sources and
+/// their destinations are randomly chosen").
+///
+/// # Panics
+///
+/// Panics if the topology cannot supply `count` such pairs within a bounded
+/// number of draws (10 000 attempts), which indicates a disconnected or
+/// too-small topology for the request.
+pub fn connected_pairs<M: LinkRateModel>(
+    model: &M,
+    count: usize,
+    hops: std::ops::RangeInclusive<usize>,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let t = model.topology();
+    let nodes: Vec<NodeId> = t.nodes().map(|n| n.id()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<(NodeId, NodeId)> = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while out.len() < count {
+        attempts += 1;
+        assert!(
+            attempts <= 10_000,
+            "could not find {count} connected pairs (found {})",
+            out.len()
+        );
+        let src = nodes[rng.gen_range(0..nodes.len())];
+        let dst = nodes[rng.gen_range(0..nodes.len())];
+        if src == dst || out.contains(&(src, dst)) {
+            continue;
+        }
+        match shortest_hop_distance(t, src, dst) {
+            Some(h) if hops.contains(&h) => out.push((src, dst)),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = RandomTopology::generate(RandomTopologyConfig::default());
+        let b = RandomTopology::generate(RandomTopologyConfig::default());
+        assert_eq!(
+            a.model().topology().num_links(),
+            b.model().topology().num_links()
+        );
+        let c = RandomTopology::generate(RandomTopologyConfig {
+            seed: 1234,
+            ..RandomTopologyConfig::default()
+        });
+        // Overwhelmingly likely to differ.
+        let same = a.model().topology().num_links() == c.model().topology().num_links()
+            && a
+                .model()
+                .topology()
+                .nodes()
+                .zip(c.model().topology().nodes())
+                .all(|(x, y)| x.position() == y.position());
+        assert!(!same);
+    }
+
+    #[test]
+    fn links_respect_decoding_range() {
+        let rt = RandomTopology::generate(RandomTopologyConfig::default());
+        let t = rt.model().topology();
+        let range = rt.model().phy().max_range();
+        for link in t.links() {
+            let d = t.distance(link.tx(), link.rx()).unwrap();
+            assert!(d <= range);
+        }
+        // Links come in both directions.
+        for link in t.links() {
+            assert!(t.link_between(link.rx(), link.tx()).is_some());
+        }
+    }
+
+    #[test]
+    fn paper_dimensions_are_defaults() {
+        let c = RandomTopologyConfig::default();
+        assert_eq!((c.width, c.height, c.num_nodes), (400.0, 600.0, 30));
+    }
+
+    #[test]
+    fn bfs_distance_on_a_chain() {
+        let mut t = Topology::new();
+        let nodes: Vec<_> = (0..4).map(|i| t.add_node(f64::from(i) * 10.0, 0.0)).collect();
+        for w in nodes.windows(2) {
+            t.add_link(w[0], w[1]).unwrap();
+        }
+        assert_eq!(shortest_hop_distance(&t, nodes[0], nodes[3]), Some(3));
+        assert_eq!(shortest_hop_distance(&t, nodes[0], nodes[0]), Some(0));
+        // Directed: no reverse links were added.
+        assert_eq!(shortest_hop_distance(&t, nodes[3], nodes[0]), None);
+    }
+
+    #[test]
+    fn connected_pairs_meet_constraints() {
+        let rt = RandomTopology::generate(RandomTopologyConfig::default());
+        let pairs = connected_pairs(rt.model(), 8, 2..=4, 7);
+        assert_eq!(pairs.len(), 8);
+        let t = rt.model().topology();
+        for (s, d) in pairs {
+            assert!(s != d);
+            assert!((2..=4).contains(&shortest_hop_distance(t, s, d).unwrap()));
+        }
+    }
+
+    use awb_net::Topology;
+}

@@ -1,0 +1,325 @@
+//! The paper's two hand-constructed micro-topologies (Fig. 1).
+
+use awb_core::{Flow, Schedule};
+use awb_net::{DeclarativeModel, LinkId, LinkRateModel, Path, Topology};
+use awb_phy::Rate;
+
+/// **Scenario I** (paper §1, Fig. 1): three links where `L1` and `L2`
+/// neither interfere with nor hear each other, while `L3` interferes with
+/// and hears both. Background traffic occupies time share `λ` on `L1` and on
+/// `L2`; the question is the available bandwidth of the one-hop path over
+/// `L3`.
+///
+/// Under optimal scheduling `L1` and `L2` overlap completely and `L3` gets
+/// `1 − λ` of the channel; a carrier-sensing estimate against a
+/// non-overlapping background schedule sees the channel busy `2λ` of the
+/// time and admits only `1 − 2λ`.
+///
+/// ```
+/// use awb_workloads::ScenarioOne;
+/// let s1 = ScenarioOne::new();
+/// assert_eq!(s1.background(0.3).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioOne {
+    model: DeclarativeModel,
+    links: [LinkId; 3],
+    rate: Rate,
+}
+
+impl ScenarioOne {
+    /// Builds the scenario with all links at 54 Mbps.
+    pub fn new() -> ScenarioOne {
+        ScenarioOne::with_rate(Rate::from_mbps(54.0))
+    }
+
+    /// Builds the scenario with a custom common link rate.
+    pub fn with_rate(rate: Rate) -> ScenarioOne {
+        let mut t = Topology::new();
+        // Three disjoint transmitter/receiver pairs.
+        let ends: Vec<_> = (0..3)
+            .map(|i| {
+                let tx = t.add_node(i as f64 * 100.0, 0.0);
+                let rx = t.add_node(i as f64 * 100.0 + 10.0, 0.0);
+                (tx, rx)
+            })
+            .collect();
+        let l1 = t.add_link(ends[0].0, ends[0].1).expect("fresh nodes");
+        let l2 = t.add_link(ends[1].0, ends[1].1).expect("fresh nodes");
+        let l3 = t.add_link(ends[2].0, ends[2].1).expect("fresh nodes");
+        let model = DeclarativeModel::builder(t)
+            .alone_rates(l1, &[rate])
+            .alone_rates(l2, &[rate])
+            .alone_rates(l3, &[rate])
+            .conflict_all(l1, l3)
+            .conflict_all(l2, l3)
+            // L3's endpoints hear both background links (paper: "link L3
+            // interferes with and hears both the transmissions") —
+            // and symmetrically, hearing being a function of received
+            // power, L1's and L2's endpoints hear L3.
+            .hears(ends[2].0, l1)
+            .hears(ends[2].0, l2)
+            .hears(ends[2].1, l1)
+            .hears(ends[2].1, l2)
+            .hears(ends[0].0, l3)
+            .hears(ends[0].1, l3)
+            .hears(ends[1].0, l3)
+            .hears(ends[1].1, l3)
+            .build();
+        ScenarioOne {
+            model,
+            links: [l1, l2, l3],
+            rate,
+        }
+    }
+
+    /// The interference model.
+    pub fn model(&self) -> &DeclarativeModel {
+        &self.model
+    }
+
+    /// The background links `L1` and `L2` and the measured link `L3`.
+    pub fn links(&self) -> [LinkId; 3] {
+        self.links
+    }
+
+    /// The common link rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// Background flows occupying time share `lambda` on `L1` and on `L2`
+    /// (demand `λ · r` each).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lambda ≤ 1`.
+    pub fn background(&self, lambda: f64) -> Vec<Flow> {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        let t = self.model.topology();
+        let demand = lambda * self.rate.as_mbps();
+        [self.links[0], self.links[1]]
+            .into_iter()
+            .map(|l| {
+                Flow::new(
+                    Path::new(t, vec![l]).expect("single-link paths are valid"),
+                    demand,
+                )
+                .expect("demand is finite and non-negative")
+            })
+            .collect()
+    }
+
+    /// The one-hop path over `L3` whose available bandwidth is in question.
+    pub fn new_path(&self) -> Path {
+        Path::new(self.model.topology(), vec![self.links[2]])
+            .expect("single-link paths are valid")
+    }
+
+    /// The *non-overlapping* background schedule a contention MAC produces
+    /// before the new flow arrives: `L1` for `λ`, then `L2` for `λ`
+    /// (disjoint slots). This is the schedule against which carrier-sensing
+    /// estimation observes busy share `2λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lambda ≤ 0.5` (shares must fit in one period).
+    pub fn naive_background_schedule(&self, lambda: f64) -> Schedule {
+        assert!(
+            (0.0..=0.5).contains(&lambda),
+            "non-overlapping shares need lambda ≤ 0.5"
+        );
+        Schedule::new(vec![
+            (
+                vec![(self.links[0], self.rate)].into_iter().collect(),
+                lambda,
+            ),
+            (
+                vec![(self.links[1], self.rate)].into_iter().collect(),
+                lambda,
+            ),
+        ])
+    }
+
+    /// The *overlapping* background schedule an optimal scheduler converges
+    /// to: `L1` and `L2` simultaneously for `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lambda ≤ 1`.
+    pub fn optimal_background_schedule(&self, lambda: f64) -> Schedule {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        Schedule::new(vec![(
+            vec![(self.links[0], self.rate), (self.links[1], self.rate)]
+                .into_iter()
+                .collect(),
+            lambda,
+        )])
+    }
+}
+
+impl Default for ScenarioOne {
+    fn default() -> Self {
+        ScenarioOne::new()
+    }
+}
+
+/// **Scenario II** (paper §3.1 and §5.1, Fig. 1): a four-link chain where
+/// every link supports 36 and 54 Mbps alone; any two of `{L1, L2, L3}`
+/// conflict at all rates, as do any two of `{L2, L3, L4}`; `L1` and `L4`
+/// conflict **only** when `L1` transmits at 54 Mbps.
+///
+/// This is the paper's counterexample to the clique constraint: the optimal
+/// end-to-end throughput of the 4-hop flow is **16.2 Mbps**, above the
+/// fixed-rate clique bounds 13.5 (all-54) and 108/7 ≈ 15.43 (L1 at 36).
+///
+/// ```
+/// use awb_workloads::ScenarioTwo;
+/// let s2 = ScenarioTwo::new();
+/// assert_eq!(s2.links().len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioTwo {
+    model: DeclarativeModel,
+    links: [LinkId; 4],
+}
+
+impl ScenarioTwo {
+    /// Builds the scenario.
+    pub fn new() -> ScenarioTwo {
+        let r54 = Rate::from_mbps(54.0);
+        let r36 = Rate::from_mbps(36.0);
+        let mut t = Topology::new();
+        let nodes: Vec<_> = (0..5).map(|i| t.add_node(i as f64 * 50.0, 0.0)).collect();
+        let links: Vec<LinkId> = nodes
+            .windows(2)
+            .map(|w| t.add_link(w[0], w[1]).expect("fresh nodes"))
+            .collect();
+        let mut b = DeclarativeModel::builder(t);
+        for &l in &links {
+            b = b.alone_rates(l, &[r54, r36]);
+        }
+        // Any two of {L1, L2, L3} and any two of {L2, L3, L4}.
+        for &(i, j) in &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            b = b.conflict_all(links[i], links[j]);
+        }
+        // L1 at 54 conflicts with L4 at either rate; L1 at 36 does not.
+        b = b
+            .conflict_at(links[0], r54, links[3], r54)
+            .conflict_at(links[0], r54, links[3], r36);
+        ScenarioTwo {
+            model: b.build(),
+            links: [links[0], links[1], links[2], links[3]],
+        }
+    }
+
+    /// The interference model.
+    pub fn model(&self) -> &DeclarativeModel {
+        &self.model
+    }
+
+    /// Links `L1..L4` in chain order.
+    pub fn links(&self) -> [LinkId; 4] {
+        self.links
+    }
+
+    /// The 4-hop path `L1 → L2 → L3 → L4`.
+    pub fn path(&self) -> Path {
+        Path::new(self.model.topology(), self.links.to_vec())
+            .expect("the chain links form a path")
+    }
+
+    /// The paper's optimal end-to-end throughput for the 4-hop flow.
+    pub const OPTIMAL_THROUGHPUT_MBPS: f64 = 16.2;
+
+    /// The Eq. 7 bound for the all-54 rate vector (`4/54` per unit → 13.5).
+    pub const ALL_54_CLIQUE_BOUND_MBPS: f64 = 13.5;
+
+    /// The Eq. 7 bound for the `(36, 54, 54, 54)` rate vector
+    /// (`1/36 + 2/54` per unit → `108/7`).
+    pub const L1_36_CLIQUE_BOUND_MBPS: f64 = 108.0 / 7.0;
+}
+
+impl Default for ScenarioTwo {
+    fn default() -> Self {
+        ScenarioTwo::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::LinkRateModel;
+
+    #[test]
+    fn scenario_one_conflicts_and_hearing() {
+        let s = ScenarioOne::new();
+        let [l1, l2, l3] = s.links();
+        let r = s.rate();
+        let m = s.model();
+        assert!(m.admissible(&[(l1, r), (l2, r)]));
+        assert!(!m.admissible(&[(l1, r), (l3, r)]));
+        assert!(!m.admissible(&[(l2, r), (l3, r)]));
+        // L3's transmitter hears both background links.
+        let tx3 = m.topology().link(l3).unwrap().tx();
+        assert!(m.node_hears(tx3, l1));
+        assert!(m.node_hears(tx3, l2));
+        // L1's transmitter does not hear L2.
+        let tx1 = m.topology().link(l1).unwrap().tx();
+        assert!(!m.node_hears(tx1, l2));
+    }
+
+    #[test]
+    fn scenario_one_schedules() {
+        let s = ScenarioOne::new();
+        let m = s.model();
+        let naive = s.naive_background_schedule(0.3);
+        let optimal = s.optimal_background_schedule(0.3);
+        assert!(naive.is_valid(m));
+        assert!(optimal.is_valid(m));
+        let tx3 = m.topology().link(s.links()[2]).unwrap().tx();
+        assert!((naive.busy_share_at(m, tx3) - 0.6).abs() < 1e-12);
+        assert!((optimal.busy_share_at(m, tx3) - 0.3).abs() < 1e-12);
+        // Both schedules deliver the same background throughput.
+        for l in [s.links()[0], s.links()[1]] {
+            assert!((naive.link_throughput(l) - optimal.link_throughput(l)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn scenario_one_rejects_bad_lambda() {
+        let _ = ScenarioOne::new().background(1.5);
+    }
+
+    #[test]
+    fn scenario_two_conflict_structure() {
+        let s = ScenarioTwo::new();
+        let [l1, l2, l3, l4] = s.links();
+        let m = s.model();
+        let r54 = Rate::from_mbps(54.0);
+        let r36 = Rate::from_mbps(36.0);
+        // The distinguishing pair.
+        assert!(!m.admissible(&[(l1, r54), (l4, r54)]));
+        assert!(!m.admissible(&[(l1, r54), (l4, r36)]));
+        assert!(m.admissible(&[(l1, r36), (l4, r54)]));
+        assert!(m.admissible(&[(l1, r36), (l4, r36)]));
+        // Everything else conflicts.
+        for (a, b) in [(l1, l2), (l1, l3), (l2, l3), (l2, l4), (l3, l4)] {
+            for ra in [r54, r36] {
+                for rb in [r54, r36] {
+                    assert!(!m.admissible(&[(a, ra), (b, rb)]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_two_path_is_the_chain() {
+        let s = ScenarioTwo::new();
+        let p = s.path();
+        assert_eq!(p.links(), &s.links()[..]);
+        let nodes = p.nodes(s.model().topology()).unwrap();
+        assert_eq!(nodes.len(), 5);
+    }
+}

@@ -1,0 +1,25 @@
+//! `awb` — available bandwidth in multirate and multihop wireless sensor
+//! networks.
+//!
+//! This is the facade crate of the workspace reproducing Chen, Zhai & Fang,
+//! *Available Bandwidth in Multirate and Multihop Wireless Sensor Networks*
+//! (ICDCS 2009). It re-exports every subsystem crate under a stable prefix so
+//! examples and downstream users can depend on a single crate.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: build a topology,
+//! enumerate rate-coupled independent sets, and compute the available
+//! bandwidth of a path with background traffic via the Eq. 6 linear program.
+
+#![forbid(unsafe_code)]
+
+pub use awb_core as core;
+pub use awb_estimate as estimate;
+pub use awb_lp as lp;
+pub use awb_net as net;
+pub use awb_phy as phy;
+pub use awb_routing as routing;
+pub use awb_sets as sets;
+pub use awb_sim as sim;
+pub use awb_workloads as workloads;

@@ -1,0 +1,141 @@
+//! Cross-layer consistency checks: the CSMA simulator against the LP
+//! oracle, the Eq. 9 upper bound against Eq. 6 on geometric chains, and
+//! decomposition against the monolithic solve.
+
+use awb::core::bounds::{clique_upper_bound, UpperBoundOptions};
+use awb::core::{available_bandwidth, AvailableBandwidthOptions};
+use awb::net::LinkRateModel;
+use awb::phy::Phy;
+use awb::sim::{SimConfig, Simulator};
+use awb::workloads::chain_model;
+
+#[test]
+fn csma_throughput_never_beats_the_oracle() {
+    // The LP assumes globally optimal scheduling; no contention MAC can do
+    // better. Check across chain lengths and hop distances.
+    for (hops, dist) in [(1usize, 50.0), (2, 50.0), (3, 70.0), (4, 100.0)] {
+        let (model, path) = chain_model(hops, dist, Phy::paper_default());
+        let capacity = available_bandwidth(
+            &model,
+            &[],
+            &path,
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap()
+        .bandwidth_mbps();
+        let mut sim = Simulator::new(
+            &model,
+            SimConfig {
+                slots: 30_000,
+                ..SimConfig::default()
+            },
+        );
+        let f = sim.add_flow(path.clone(), None);
+        let got = sim.run(&model).flow_throughput_mbps[f];
+        assert!(
+            got <= capacity + 0.5,
+            "{hops} hops @ {dist} m: sim {got} > capacity {capacity}"
+        );
+        // And the MAC should not be pathologically bad either (> 55% of
+        // capacity on these simple chains).
+        assert!(
+            got >= 0.55 * capacity,
+            "{hops} hops @ {dist} m: sim {got} far below capacity {capacity}"
+        );
+    }
+}
+
+#[test]
+fn eq9_dominates_eq6_on_geometric_chains() {
+    for hops in [2usize, 3, 4] {
+        let (model, path) = chain_model(hops, 70.0, Phy::paper_default());
+        let exact = available_bandwidth(
+            &model,
+            &[],
+            &path,
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap()
+        .bandwidth_mbps();
+        let upper = clique_upper_bound(
+            &model,
+            &[],
+            &path,
+            &UpperBoundOptions {
+                max_rate_vectors: 4096,
+            },
+        )
+        .unwrap();
+        assert!(
+            upper + 1e-6 >= exact,
+            "{hops} hops: Eq. 9 {upper} < Eq. 6 {exact}"
+        );
+    }
+}
+
+#[test]
+fn rate_limited_flows_meet_their_demand_under_capacity() {
+    // A 2-hop relay has ~13 Mbps capacity at 70 m hops (36 Mbps links);
+    // a 5 Mbps flow must be delivered nearly losslessly.
+    let (model, path) = chain_model(2, 70.0, Phy::paper_default());
+    let capacity = available_bandwidth(
+        &model,
+        &[],
+        &path,
+        &AvailableBandwidthOptions::default(),
+    )
+    .unwrap()
+    .bandwidth_mbps();
+    assert!(capacity > 10.0);
+    let mut sim = Simulator::new(
+        &model,
+        SimConfig {
+            slots: 60_000,
+            ..SimConfig::default()
+        },
+    );
+    let f = sim.add_flow(path, Some(5.0));
+    let got = sim.run(&model).flow_throughput_mbps[f];
+    assert!((got - 5.0).abs() < 0.5, "delivered {got} of 5 Mbps");
+}
+
+#[test]
+fn decomposition_is_close_on_geometric_instances() {
+    // Two chains far apart: decomposition treats them independently. For the
+    // SINR model the residual cross-chain interference is negligible at
+    // 10 km, so both solves must agree tightly.
+    let mut t = awb::net::Topology::new();
+    let na: Vec<_> = (0..3).map(|i| t.add_node(i as f64 * 70.0, 0.0)).collect();
+    let nb: Vec<_> = (0..3)
+        .map(|i| t.add_node(i as f64 * 70.0, 10_000.0))
+        .collect();
+    let la: Vec<_> = na.windows(2).map(|w| t.add_link(w[0], w[1]).unwrap()).collect();
+    let lb: Vec<_> = nb.windows(2).map(|w| t.add_link(w[0], w[1]).unwrap()).collect();
+    let model = awb::net::SinrModel::new(t, Phy::paper_default());
+    let path = awb::net::Path::new(model.topology(), la).unwrap();
+    let bg_path = awb::net::Path::new(model.topology(), lb).unwrap();
+    let background = vec![awb::core::Flow::new(bg_path, 5.0).unwrap()];
+    let mono = available_bandwidth(
+        &model,
+        &background,
+        &path,
+        &AvailableBandwidthOptions::default(),
+    )
+    .unwrap()
+    .bandwidth_mbps();
+    let deco = available_bandwidth(
+        &model,
+        &background,
+        &path,
+        &AvailableBandwidthOptions {
+            decompose: true,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .bandwidth_mbps();
+    assert!(
+        (mono - deco).abs() < 1e-3,
+        "monolithic {mono} vs decomposed {deco}"
+    );
+}

@@ -1,0 +1,41 @@
+//! Smoke test of the §5.2 random-topology pipeline (Fig. 2/3/4): generates
+//! the paper's 30-node field, admits 2 Mbps flows one by one under each
+//! routing metric, and checks shape properties of the results.
+
+use awb::routing::{admit_sequentially, AdmissionConfig, RoutingMetric};
+use awb::workloads::{connected_pairs, RandomTopology, RandomTopologyConfig};
+
+#[test]
+fn admission_pipeline_runs_and_orders_metrics() {
+    let rt = RandomTopology::generate(RandomTopologyConfig::default());
+    let model = rt.model();
+    let pairs = connected_pairs(model, 8, 2..=4, 21);
+    let config = AdmissionConfig::default();
+
+    let mut admitted_counts = Vec::new();
+    for metric in RoutingMetric::ALL {
+        let out = admit_sequentially(model, &pairs, metric, &config).unwrap();
+        assert!(!out.is_empty());
+        // Every admitted flow got at least the demand.
+        for o in &out {
+            if o.admitted {
+                assert!(o.available_mbps + 1e-9 >= config.demand_mbps);
+                assert!(o.path.is_some());
+            }
+        }
+        admitted_counts.push((metric, out.iter().filter(|o| o.admitted).count()));
+    }
+    // average-e2eD should admit at least as many flows as hop count
+    // (the paper's headline ordering; exact indices depend on the draw).
+    let count_of = |m: RoutingMetric| {
+        admitted_counts
+            .iter()
+            .find(|(x, _)| *x == m)
+            .map(|(_, c)| *c)
+            .unwrap()
+    };
+    assert!(
+        count_of(RoutingMetric::AverageE2eDelay) >= count_of(RoutingMetric::HopCount),
+        "average-e2eD admitted fewer flows than hop count: {admitted_counts:?}"
+    );
+}

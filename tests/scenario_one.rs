@@ -1,0 +1,157 @@
+//! End-to-end reproduction of the paper's Scenario I (§1, Fig. 1): channel
+//! idle time underestimates available bandwidth because an optimal scheduler
+//! can overlap background transmissions that carrier sensing observes as
+//! disjoint.
+
+use awb::core::{available_bandwidth, AvailableBandwidthOptions};
+use awb::estimate::{Estimator, Hop, IdleMap};
+use awb::net::LinkRateModel;
+use awb::sim::{SimConfig, Simulator};
+use awb::workloads::ScenarioOne;
+
+#[test]
+fn optimal_scheduling_gives_one_minus_lambda() {
+    let s = ScenarioOne::new();
+    let r = s.rate().as_mbps();
+    for lambda in [0.0, 0.1, 0.25, 0.4, 0.5] {
+        let out = available_bandwidth(
+            s.model(),
+            &s.background(lambda),
+            &s.new_path(),
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap();
+        let expected = (1.0 - lambda) * r;
+        assert!(
+            (out.bandwidth_mbps() - expected).abs() < 1e-6,
+            "λ={lambda}: got {}, want {expected}",
+            out.bandwidth_mbps()
+        );
+        // The witness overlaps L1 and L2 to free time for L3.
+        assert!(out.schedule().is_valid(s.model()));
+    }
+}
+
+#[test]
+fn idle_time_estimation_sees_only_one_minus_two_lambda() {
+    let s = ScenarioOne::new();
+    let m = s.model();
+    let r = s.rate().as_mbps();
+    for lambda in [0.1, 0.2, 0.3, 0.4] {
+        // Carrier sensing against the contention MAC's non-overlapping
+        // background schedule.
+        let idle = IdleMap::from_schedule(m, &s.naive_background_schedule(lambda));
+        let hops = Hop::for_path(m, &idle, &s.new_path()).unwrap();
+        let estimate = Estimator::BottleneckNode.estimate(m, &hops);
+        let expected = (1.0 - 2.0 * lambda) * r;
+        assert!(
+            (estimate - expected).abs() < 1e-6,
+            "λ={lambda}: got {estimate}, want {expected}"
+        );
+        // The same estimator against the *optimal* (overlapped) background
+        // recovers the true value — the error is in the observation, not
+        // the estimator.
+        let idle_opt = IdleMap::from_schedule(m, &s.optimal_background_schedule(lambda));
+        let hops_opt = Hop::for_path(m, &idle_opt, &s.new_path()).unwrap();
+        let est_opt = Estimator::BottleneckNode.estimate(m, &hops_opt);
+        assert!((est_opt - (1.0 - lambda) * r).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn gap_between_truth_and_idle_estimate_grows_with_lambda() {
+    let s = ScenarioOne::new();
+    let m = s.model();
+    let mut last_gap = -1.0;
+    for lambda in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let truth = available_bandwidth(
+            m,
+            &s.background(lambda),
+            &s.new_path(),
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap()
+        .bandwidth_mbps();
+        let idle = IdleMap::from_schedule(m, &s.naive_background_schedule(lambda));
+        let hops = Hop::for_path(m, &idle, &s.new_path()).unwrap();
+        let estimate = Estimator::BottleneckNode.estimate(m, &hops);
+        let gap = truth - estimate;
+        assert!(gap >= last_gap - 1e-9, "gap must grow with λ");
+        last_gap = gap;
+    }
+    // At λ = 0.5 the idle estimate admits nothing while half the channel is
+    // actually available.
+    assert!((last_gap - 27.0).abs() < 1e-6);
+}
+
+#[test]
+fn csma_simulation_confirms_the_underestimate() {
+    // Behavioural check: random-phase background on L1/L2 leaves the L3
+    // observer measurably *less* idle time than the optimal 1 − λ, and the
+    // measured idle feeds an estimate below the LP truth.
+    let s = ScenarioOne::new();
+    let m = s.model();
+    let lambda = 0.35;
+    let mut sim = Simulator::new(
+        m,
+        SimConfig {
+            slots: 60_000,
+            ..SimConfig::default()
+        },
+    );
+    for flow in s.background(lambda) {
+        sim.add_flow(flow.path().clone(), Some(flow.demand_mbps()));
+    }
+    let report = sim.run(m);
+    let idle = IdleMap::from_ratios(report.node_idle_ratio.clone());
+    let l3 = s.links()[2];
+    let measured = idle.link(m, l3);
+    let optimal_idle = 1.0 - lambda;
+    assert!(
+        measured < optimal_idle - 0.05,
+        "measured idle {measured} should undershoot optimal {optimal_idle}"
+    );
+    // And the resulting bandwidth estimate undershoots the LP truth.
+    let hops = Hop::for_path(m, &idle, &s.new_path()).unwrap();
+    let estimate = Estimator::BottleneckNode.estimate(m, &hops);
+    let truth = available_bandwidth(
+        m,
+        &s.background(lambda),
+        &s.new_path(),
+        &AvailableBandwidthOptions::default(),
+    )
+    .unwrap()
+    .bandwidth_mbps();
+    assert!(
+        estimate < truth - 1.0,
+        "estimate {estimate} should undershoot truth {truth}"
+    );
+}
+
+#[test]
+fn analytic_and_simulated_idle_ratios_agree_for_isolated_links() {
+    // For L1's own transmitter (which hears only itself), both the analytic
+    // map and the simulator should measure idle ≈ 1 − λ.
+    let s = ScenarioOne::new();
+    let m = s.model();
+    let lambda = 0.3;
+    let mut sim = Simulator::new(
+        m,
+        SimConfig {
+            slots: 60_000,
+            ..SimConfig::default()
+        },
+    );
+    for flow in s.background(lambda) {
+        sim.add_flow(flow.path().clone(), Some(flow.demand_mbps()));
+    }
+    let report = sim.run(m);
+    let analytic = IdleMap::from_schedule(m, &s.naive_background_schedule(lambda));
+    let tx1 = m.topology().link(s.links()[0]).unwrap().tx();
+    let simulated = report.node_idle_ratio[tx1.index()];
+    let expected = analytic.node(tx1);
+    assert!(
+        (simulated - expected).abs() < 0.05,
+        "simulated {simulated} vs analytic {expected}"
+    );
+}

@@ -1,0 +1,172 @@
+//! End-to-end reproduction of the paper's §5.1 Scenario II analysis: the
+//! four-link chain where the clique constraint becomes invalid and link
+//! adaptation lifts the end-to-end throughput to 16.2 Mbps.
+
+use awb::core::bounds::{
+    clique_time_share, clique_upper_bound, equal_throughput_clique_bound, UpperBoundOptions,
+};
+use awb::core::{available_bandwidth, AvailableBandwidthOptions};
+use awb::phy::Rate;
+use awb::sets::{
+    is_clique, is_maximal_clique, is_maximal_clique_with_max_rates, RatedSet,
+};
+use awb::workloads::ScenarioTwo;
+
+fn r(m: f64) -> Rate {
+    Rate::from_mbps(m)
+}
+
+#[test]
+fn optimal_end_to_end_throughput_is_16_2() {
+    let s = ScenarioTwo::new();
+    let out = available_bandwidth(
+        s.model(),
+        &[],
+        &s.path(),
+        &AvailableBandwidthOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        (out.bandwidth_mbps() - ScenarioTwo::OPTIMAL_THROUGHPUT_MBPS).abs() < 1e-6,
+        "expected 16.2, got {}",
+        out.bandwidth_mbps()
+    );
+    // The witness schedule is admissible and delivers 16.2 on every hop.
+    let schedule = out.schedule();
+    assert!(schedule.is_valid(s.model()));
+    for l in s.links() {
+        assert!(
+            schedule.link_throughput(l) >= 16.2 - 1e-6,
+            "hop {l} under-served: {}",
+            schedule.link_throughput(l)
+        );
+    }
+    assert!(schedule.total_share() <= 1.0 + 1e-9);
+}
+
+#[test]
+fn fixed_rate_clique_bounds_match_the_paper() {
+    let s = ScenarioTwo::new();
+    let [l1, l2, l3, l4] = s.links();
+    // R1 = (54, 54, 54, 54): tightest maximal clique is all four links
+    // (L1@54 conflicts with L4), bound 54/4 = 13.5.
+    let all54: Vec<_> = [l1, l2, l3, l4].into_iter().map(|l| (l, r(54.0))).collect();
+    let b1 = equal_throughput_clique_bound(s.model(), &all54).unwrap();
+    assert!(
+        (b1 - ScenarioTwo::ALL_54_CLIQUE_BOUND_MBPS).abs() < 1e-9,
+        "got {b1}"
+    );
+    // R2 = (36, 54, 54, 54): tightest clique is {L1@36, L2@54, L3@54},
+    // bound 1/(1/36 + 2/54) = 108/7 ≈ 15.43.
+    let l1_36 = vec![(l1, r(36.0)), (l2, r(54.0)), (l3, r(54.0)), (l4, r(54.0))];
+    let b2 = equal_throughput_clique_bound(s.model(), &l1_36).unwrap();
+    assert!(
+        (b2 - ScenarioTwo::L1_36_CLIQUE_BOUND_MBPS).abs() < 1e-9,
+        "got {b2}"
+    );
+    // Both fixed-rate bounds are below the adaptive optimum: the clique
+    // constraint cannot upper-bound multirate scheduling.
+    assert!(b1 < ScenarioTwo::OPTIMAL_THROUGHPUT_MBPS);
+    assert!(b2 < ScenarioTwo::OPTIMAL_THROUGHPUT_MBPS);
+}
+
+#[test]
+fn clique_time_shares_exceed_one_at_the_optimum() {
+    // The paper's §5.1 violation check: with y_i = f = 16.2 on every link,
+    // C1 (all links at 54) has time share 16.2 · 4/54 = 1.2 > 1 and
+    // C2 = {L1@36, L2@54, L3@54} has 16.2 · (1/36 + 2/54) = 1.05 > 1.
+    let s = ScenarioTwo::new();
+    let [l1, l2, l3, l4] = s.links();
+    let f = ScenarioTwo::OPTIMAL_THROUGHPUT_MBPS;
+    let c1: RatedSet = [l1, l2, l3, l4].into_iter().map(|l| (l, r(54.0))).collect();
+    let t1 = clique_time_share(&c1, |_| f);
+    assert!((t1 - 1.2).abs() < 1e-9, "got {t1}");
+    let c2: RatedSet = vec![(l1, r(36.0)), (l2, r(54.0)), (l3, r(54.0))]
+        .into_iter()
+        .collect();
+    let t2 = clique_time_share(&c2, |_| f);
+    assert!((t2 - 1.05).abs() < 1e-9, "got {t2}");
+}
+
+#[test]
+fn paper_clique_taxonomy_examples() {
+    // §3.1's worked examples of the clique definitions.
+    let s = ScenarioTwo::new();
+    let m = s.model();
+    let [l1, l2, l3, l4] = s.links();
+    let links = s.links();
+
+    // {(L1,54), (L2,54), (L3,54)} is a clique but not a maximal clique
+    // (L4 can join: L1@54 conflicts with L4).
+    let c: RatedSet = vec![(l1, r(54.0)), (l2, r(54.0)), (l3, r(54.0))]
+        .into_iter()
+        .collect();
+    assert!(is_clique(m, &c));
+    assert!(!is_maximal_clique(m, &c, &links));
+
+    // {(L1,36), (L2,36), (L3,36)} is a maximal clique (L4 cannot join:
+    // L1@36 does not conflict with L4) but not one with maximum rates.
+    let c: RatedSet = vec![(l1, r(36.0)), (l2, r(36.0)), (l3, r(36.0))]
+        .into_iter()
+        .collect();
+    assert!(is_maximal_clique(m, &c, &links));
+    assert!(!is_maximal_clique_with_max_rates(m, &c, &links));
+
+    // Both {(L1,54),(L2,54),(L3,54),(L4,54)} and {(L1,36),(L2,54),(L3,54)}
+    // are maximal cliques with maximum rates.
+    let c: RatedSet = vec![(l1, r(54.0)), (l2, r(54.0)), (l3, r(54.0)), (l4, r(54.0))]
+        .into_iter()
+        .collect();
+    assert!(is_maximal_clique_with_max_rates(m, &c, &links));
+    let c: RatedSet = vec![(l1, r(36.0)), (l2, r(54.0)), (l3, r(54.0))]
+        .into_iter()
+        .collect();
+    assert!(is_maximal_clique_with_max_rates(m, &c, &links));
+}
+
+#[test]
+fn optimal_schedule_uses_link_adaptation_on_l1() {
+    // Achieving 16.2 requires L1 to transmit at different rates at
+    // different times (54 alone, 36 alongside L4).
+    let s = ScenarioTwo::new();
+    let out = available_bandwidth(
+        s.model(),
+        &[],
+        &s.path(),
+        &AvailableBandwidthOptions::default(),
+    )
+    .unwrap();
+    let l1 = s.links()[0];
+    let rates_used: Vec<f64> = out
+        .schedule()
+        .entries()
+        .iter()
+        .filter_map(|(set, share)| {
+            (*share > 1e-9)
+                .then(|| set.rate_of(l1).map(Rate::as_mbps))
+                .flatten()
+        })
+        .collect();
+    assert!(
+        rates_used.contains(&54.0) && rates_used.contains(&36.0),
+        "L1 must alternate rates, used {rates_used:?}"
+    );
+}
+
+#[test]
+fn eq9_upper_bound_dominates_the_adaptive_optimum() {
+    let s = ScenarioTwo::new();
+    let upper = clique_upper_bound(
+        s.model(),
+        &[],
+        &s.path(),
+        &UpperBoundOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        upper + 1e-6 >= ScenarioTwo::OPTIMAL_THROUGHPUT_MBPS,
+        "Eq. 9 bound {upper} below the optimum"
+    );
+    // (That the naive fixed-rate bounds sit *below* the feasible 16.2 is
+    // asserted in `fixed_rate_clique_bounds_match_the_paper`.)
+}
