@@ -49,5 +49,10 @@ fn bench_sim_slots(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_eq6_chain, bench_eq9_scenario2, bench_sim_slots);
+criterion_group!(
+    benches,
+    bench_eq6_chain,
+    bench_eq9_scenario2,
+    bench_sim_slots
+);
 criterion_main!(benches);

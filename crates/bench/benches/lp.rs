@@ -14,10 +14,7 @@ fn random_lp(n: usize, m: usize, seed: u64) -> Problem {
         .map(|i| p.add_var(format!("x{i}"), rng.gen_range(0.0..5.0)))
         .collect();
     for _ in 0..m {
-        let terms: Vec<_> = vars
-            .iter()
-            .map(|&v| (v, rng.gen_range(0.0..3.0)))
-            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(0.0..3.0))).collect();
         p.add_constraint(&terms, Relation::Le, rng.gen_range(5.0..50.0))
             .expect("fresh variables");
     }

@@ -1,0 +1,145 @@
+//! Service-layer benchmarks: cold (empty caches) versus warm (result cache
+//! hit) query latency through `awb_service::Engine`, on the paper's
+//! Scenario II chain and a 20-node random SINR topology with background
+//! flows.
+//!
+//! Besides the criterion groups, an explicit speedup report is printed —
+//! the service's reason to exist is that a warm query skips independent-set
+//! enumeration and the LP entirely, which should be well over an order of
+//! magnitude.
+
+use awb_estimate::IdleMap;
+use awb_net::Path;
+use awb_phy::Phy;
+use awb_routing::{shortest_path, RoutingMetric};
+use awb_service::{Engine, EngineConfig, Request, TopologySpec};
+use awb_workloads::{connected_pairs, RandomTopology, RandomTopologyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// Scenario II (§2.4): the 5-node multirate chain whose Eq. 6 optimum is
+/// 16.2 Mbps, as an inline declarative spec.
+fn scenario2_line() -> String {
+    r#"{"query": "available_bandwidth", "topology": {
+        "nodes": [[0,0],[50,0],[100,0],[150,0],[200,0]],
+        "links": [[0,1],[1,2],[2,3],[3,4]],
+        "alone_rates": [[54,36],[54,36],[54,36],[54,36]],
+        "conflicts": [[0,1],[0,2],[1,2],[1,3],[2,3]],
+        "rate_conflicts": [[0,54,3,54],[0,54,3,36]]
+    }, "path": [0,1,2,3]}"#
+        .replace('\n', " ")
+}
+
+/// A 20-node random topology under the paper's radio model: a 2–4 hop
+/// query path plus two background flows, so the link universe (and hence
+/// the enumeration the cache saves) is realistic.
+fn random20_line() -> String {
+    let rt = RandomTopology::generate_with_phy(
+        RandomTopologyConfig {
+            num_nodes: 20,
+            ..RandomTopologyConfig::default()
+        },
+        Phy::paper_default(),
+    );
+    let model = rt.model();
+    let pairs = connected_pairs(model, 3, 2..=4, 5);
+    let idle = IdleMap::from_ratios(vec![1.0; model.topology().num_nodes()]);
+    let paths: Vec<Path> = pairs
+        .iter()
+        .map(|&(src, dst)| {
+            shortest_path(model, &idle, RoutingMetric::HopCount, src, dst)
+                .expect("connected_pairs guarantees a route")
+        })
+        .collect();
+    let indices = |p: &Path| {
+        p.links()
+            .iter()
+            .map(|l| l.index().to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let spec = TopologySpec::sinr_for(model.topology()).to_value();
+    format!(
+        r#"{{"query": "available_bandwidth", "topology": {spec}, "background": [{{"path": [{}], "demand_mbps": 0.5}}, {{"path": [{}], "demand_mbps": 0.5}}], "path": [{}]}}"#,
+        indices(&paths[1]),
+        indices(&paths[2]),
+        indices(&paths[0]),
+    )
+}
+
+fn answer(engine: &Engine, request: &Request) -> f64 {
+    let (value, _) = engine.handle(request, None).expect("query succeeds");
+    value
+        .get("bandwidth_mbps")
+        .and_then(|v| v.as_f64())
+        .expect("available_bandwidth result")
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service");
+    for (name, line) in [
+        ("scenario2", scenario2_line()),
+        ("random20", random20_line()),
+    ] {
+        let request = Request::parse(&line).expect("bench request parses");
+        g.bench_function(format!("{name}/cold"), |b| {
+            b.iter(|| {
+                let engine = Engine::new(EngineConfig::default());
+                answer(&engine, &request)
+            })
+        });
+        let engine = Engine::new(EngineConfig::default());
+        let first = answer(&engine, &request);
+        g.bench_function(format!("{name}/warm"), |b| {
+            b.iter(|| answer(&engine, &request))
+        });
+        assert_eq!(
+            first.to_bits(),
+            answer(&engine, &request).to_bits(),
+            "cached answer must be identical"
+        );
+    }
+    g.finish();
+}
+
+/// Not a criterion group: measures the warm/cold ratio directly and prints
+/// it, since the ratio (not either absolute number) is the service's
+/// acceptance criterion.
+fn report_speedup() {
+    for (name, line) in [
+        ("scenario2", scenario2_line()),
+        ("random20", random20_line()),
+    ] {
+        let request = Request::parse(&line).expect("bench request parses");
+        let cold_iters = 20;
+        let started = Instant::now();
+        for _ in 0..cold_iters {
+            let engine = Engine::new(EngineConfig::default());
+            criterion::black_box(answer(&engine, &request));
+        }
+        let cold = started.elapsed().as_secs_f64() / f64::from(cold_iters);
+
+        let engine = Engine::new(EngineConfig::default());
+        answer(&engine, &request); // warm up
+        let warm_iters = 2_000;
+        let started = Instant::now();
+        for _ in 0..warm_iters {
+            criterion::black_box(answer(&engine, &request));
+        }
+        let warm = started.elapsed().as_secs_f64() / f64::from(warm_iters);
+
+        println!(
+            "service/{name}: cold {:.1} us, warm {:.1} us -> {:.1}x speedup",
+            cold * 1e6,
+            warm * 1e6,
+            cold / warm
+        );
+    }
+}
+
+fn bench_speedup(_c: &mut Criterion) {
+    report_speedup();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_speedup);
+criterion_main!(benches);

@@ -3,7 +3,6 @@
 //! for machine-readable output, `--svg` for an SVG rendering.
 
 use awb_bench::experiments::{fig2_paths, paper_random_instance};
-use awb_net::LinkRateModel;
 
 fn main() {
     if std::env::args().any(|a| a == "--svg") {

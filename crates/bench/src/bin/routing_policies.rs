@@ -6,9 +6,7 @@
 use awb_bench::experiments::paper_random_instance;
 use awb_bench::table::{f3, print_table};
 use awb_estimate::Estimator;
-use awb_routing::{
-    admit_sequentially_with_policy, AdmissionConfig, RoutePolicy, RoutingMetric,
-};
+use awb_routing::{admit_sequentially_with_policy, AdmissionConfig, RoutePolicy, RoutingMetric};
 
 fn main() {
     let (model, pairs) = paper_random_instance();
@@ -21,13 +19,9 @@ fn main() {
     println!("Admission under every routing policy (2 Mbps flows, stop at first failure)\n");
     let mut rows = Vec::new();
     for policy in policies {
-        let out = admit_sequentially_with_policy(
-            &model,
-            &pairs,
-            policy,
-            &AdmissionConfig::default(),
-        )
-        .expect("admission runs on feasible backgrounds");
+        let out =
+            admit_sequentially_with_policy(&model, &pairs, policy, &AdmissionConfig::default())
+                .expect("admission runs on feasible backgrounds");
         let admitted = out.iter().filter(|o| o.admitted).count();
         let first_fail = out
             .iter()

@@ -31,7 +31,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["λ", "optimal (Mbps)", "idle est (Mbps)", "sim est (Mbps)", "gap"],
+        &[
+            "λ",
+            "optimal (Mbps)",
+            "idle est (Mbps)",
+            "sim est (Mbps)",
+            "gap",
+        ],
         &data,
     );
 }

@@ -38,7 +38,10 @@ fn main() {
         "Eq.9 corrected upper bound            = {:>8.3} Mbps   (must be ≥ f)",
         report.eq9_upper_bound_mbps
     );
-    println!("\noptimal link scheduling (witness of f):\n{}", report.schedule);
+    println!(
+        "\noptimal link scheduling (witness of f):\n{}",
+        report.schedule
+    );
     println!(
         "\nBoth fixed-rate clique bounds sit BELOW the feasible 16.2 Mbps: with\n\
          time-varying link adaptation the clique constraint no longer upper-bounds\n\

@@ -20,13 +20,9 @@ fn main() {
             let pairs = connected_pairs(rt.model(), 8, 2..=4, pairs_seed);
             let mut firsts = Vec::new();
             for metric in RoutingMetric::ALL {
-                let out = admit_sequentially(
-                    rt.model(),
-                    &pairs,
-                    metric,
-                    &AdmissionConfig::default(),
-                )
-                .expect("admission runs");
+                let out =
+                    admit_sequentially(rt.model(), &pairs, metric, &AdmissionConfig::default())
+                        .expect("admission runs");
                 let first_fail = out
                     .iter()
                     .find(|o| !o.admitted)

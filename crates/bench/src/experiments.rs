@@ -1,17 +1,17 @@
 //! Drivers for the paper's experiments (E1–E5 in DESIGN.md).
 
-use crate::rows::{
-    EstimatorError, Fig2Path, Fig3Row, Fig4Row, Scenario1Row, Scenario2Report,
-};
+use crate::rows::{EstimatorError, Fig2Path, Fig3Row, Fig4Row, Scenario1Row, Scenario2Report};
 use awb_core::bounds::{clique_time_share, clique_upper_bound, UpperBoundOptions};
 use awb_core::{available_bandwidth, feasibility, AvailableBandwidthOptions, Flow, Schedule};
 use awb_estimate::{Estimator, Hop, IdleMap};
-use awb_net::{LinkRateModel, NodeId, SinrModel};
+use awb_net::{NodeId, SinrModel};
 use awb_phy::Rate;
 use awb_routing::{admit_sequentially, shortest_path, AdmissionConfig, RoutingMetric};
 use awb_sets::RatedSet;
 use awb_sim::{SimConfig, Simulator};
-use awb_workloads::{connected_pairs, RandomTopology, RandomTopologyConfig, ScenarioOne, ScenarioTwo};
+use awb_workloads::{
+    connected_pairs, RandomTopology, RandomTopologyConfig, ScenarioOne, ScenarioTwo,
+};
 
 /// Default demand per flow in the random-topology experiments (paper §5.2).
 pub const FLOW_DEMAND_MBPS: f64 = 2.0;
@@ -77,11 +77,11 @@ pub fn scenario2_report() -> Scenario2Report {
         .expect("scenario II is feasible");
     let f = out.bandwidth_mbps();
     let all54: Vec<_> = [l1, l2, l3, l4].into_iter().map(|l| (l, r54)).collect();
-    let b1 = awb_core::bounds::equal_throughput_clique_bound(m, &all54)
-        .expect("non-empty assignment");
+    let b1 =
+        awb_core::bounds::equal_throughput_clique_bound(m, &all54).expect("non-empty assignment");
     let with36 = vec![(l1, r36), (l2, r54), (l3, r54), (l4, r54)];
-    let b2 = awb_core::bounds::equal_throughput_clique_bound(m, &with36)
-        .expect("non-empty assignment");
+    let b2 =
+        awb_core::bounds::equal_throughput_clique_bound(m, &with36).expect("non-empty assignment");
     let c1: RatedSet = [l1, l2, l3, l4].into_iter().map(|l| (l, r54)).collect();
     let c2: RatedSet = vec![(l1, r36), (l2, r54), (l3, r54)].into_iter().collect();
     let eq9 = clique_upper_bound(m, &[], &s.path(), &UpperBoundOptions::default())
@@ -186,13 +186,8 @@ pub fn fig3() -> Vec<Fig3Row> {
     let (model, pairs) = paper_random_instance();
     let mut rows = Vec::new();
     for metric in RoutingMetric::ALL {
-        let outcomes = admit_sequentially(
-            &model,
-            &pairs,
-            metric,
-            &AdmissionConfig::default(),
-        )
-        .expect("admission runs on feasible backgrounds");
+        let outcomes = admit_sequentially(&model, &pairs, metric, &AdmissionConfig::default())
+            .expect("admission runs on feasible backgrounds");
         for o in outcomes {
             rows.push(Fig3Row {
                 metric: metric.label().to_string(),
@@ -261,10 +256,12 @@ pub fn fig4() -> (Vec<Fig4Row>, Vec<EstimatorError>) {
                 Estimator::ExpectedCliqueTime => r.expected_time_mbps,
             };
             let n = rows.len().max(1) as f64;
-            let mean_abs =
-                rows.iter().map(|r| (pick(r) - r.truth_mbps).abs()).sum::<f64>() / n;
-            let mean_signed =
-                rows.iter().map(|r| pick(r) - r.truth_mbps).sum::<f64>() / n;
+            let mean_abs = rows
+                .iter()
+                .map(|r| (pick(r) - r.truth_mbps).abs())
+                .sum::<f64>()
+                / n;
+            let mean_signed = rows.iter().map(|r| pick(r) - r.truth_mbps).sum::<f64>() / n;
             EstimatorError {
                 estimator: e.label().to_string(),
                 mean_abs_error_mbps: mean_abs,

@@ -1,7 +1,7 @@
 //! Tiny self-contained SVG rendering of the Fig. 2 topology and routed
 //! paths (no external dependencies).
 
-use awb_net::{LinkRateModel, NodeId, Path, SinrModel};
+use awb_net::{NodeId, Path, SinrModel};
 use std::fmt::Write as _;
 
 /// Colours per routing metric, in [`awb_routing::RoutingMetric::ALL`] order.
@@ -43,7 +43,10 @@ pub fn render_fig2(
             let _ = writeln!(
                 s,
                 r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#dddddd" stroke-width="0.6"/>"##,
-                px(a.x), py(a.y), px(b.x), py(b.y)
+                px(a.x),
+                py(a.y),
+                px(b.x),
+                py(b.y)
             );
         }
     }
@@ -80,11 +83,16 @@ pub fn render_fig2(
     for n in t.nodes() {
         let p = n.position();
         let is_endpoint = endpoints.contains(&n.id().index());
-        let (radius, fill) = if is_endpoint { (5.0, "#222222") } else { (3.0, "#888888") };
+        let (radius, fill) = if is_endpoint {
+            (5.0, "#222222")
+        } else {
+            (3.0, "#888888")
+        };
         let _ = writeln!(
             s,
             r#"<circle cx="{:.1}" cy="{:.1}" r="{radius}" fill="{fill}"/>"#,
-            px(p.x), py(p.y)
+            px(p.x),
+            py(p.y)
         );
         let _ = writeln!(
             s,

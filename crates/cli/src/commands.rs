@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use awb_core::{available_bandwidth, AvailableBandwidthOptions, Flow};
-use awb_net::{LinkRateModel, Path};
+use awb_net::Path;
 use awb_phy::Phy;
 use awb_routing::{admit_sequentially, AdmissionConfig, RoutingMetric};
 use awb_sim::{Contention, SimConfig, Simulator};
@@ -252,6 +252,67 @@ struct Scenario2Out {
     all54_bound_mbps: f64,
     l1_36_bound_mbps: f64,
     schedule: String,
+}
+
+/// `awb serve` — run the admission-control daemon ([`awb_service`]).
+///
+/// With `--stdio`, serves newline-delimited JSON requests from stdin to
+/// stdout and exits at EOF (single-shot mode). Otherwise binds a TCP
+/// listener (default `127.0.0.1:4810`; `--addr host:0` picks a free port)
+/// and serves until killed.
+pub fn serve(args: &Args) -> CmdResult {
+    use awb_service::{Engine, EngineConfig, ServerConfig};
+    if args.has("stdio") {
+        let engine = Engine::new(EngineConfig::default());
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout();
+        let served = awb_service::serve_stdio(&engine, stdin.lock(), &mut stdout)?;
+        eprintln!(
+            "awb-service stdio: served {served} request(s); {}",
+            engine.metrics.summary()
+        );
+        return Ok(());
+    }
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:4810").to_string(),
+        workers: args.get_or("workers", 4usize)?.max(1),
+        queue_capacity: args.get_or("queue", 64usize)?.max(1),
+        engine: EngineConfig::default(),
+    };
+    let server = awb_service::serve(config)?;
+    eprintln!("awb-service listening on {}", server.local_addr());
+    server.join();
+    Ok(())
+}
+
+/// `awb query` — send one protocol request line and print the response.
+///
+/// The request comes from `--request '<json>'` or, failing that, one line
+/// of stdin. With `--addr` the request goes to a running server; without
+/// it the answer is computed in-process (handy for scripting without a
+/// daemon).
+pub fn query(args: &Args) -> CmdResult {
+    let request = match args.get("request") {
+        Some(r) => r.to_string(),
+        None => {
+            let mut line = String::new();
+            std::io::stdin().read_line(&mut line)?;
+            line.trim().to_string()
+        }
+    };
+    if request.is_empty() {
+        return Err("no request given (use --request or pipe a JSON line)".into());
+    }
+    let response = match args.get("addr") {
+        Some(addr) => awb_service::server::query_once(addr, &request)?,
+        None => {
+            use awb_service::{Engine, EngineConfig};
+            let engine = Engine::new(EngineConfig::default());
+            awb_service::server::handle_line(&engine, &request)
+        }
+    };
+    println!("{response}");
+    Ok(())
 }
 
 pub fn scenario2(args: &Args) -> CmdResult {

@@ -8,6 +8,8 @@
 //! awb simulate  [--hops 3] [--hop-length 70] [--slots 50000] [--demand sat]
 //!               [--contention ordered|p0.5|dcf] [--json]
 //! awb scenario2 [--json]
+//! awb serve     [--addr 127.0.0.1:4810] [--workers 4] [--queue 64] [--stdio]
+//! awb query     [--addr host:port] [--request '<json>']
 //! ```
 
 mod args;
@@ -24,6 +26,9 @@ commands:
   admission   sequential flow admission on the random topology (Fig. 3)
   simulate    run the CSMA/CA simulator on a chain
   scenario2   the paper's clique-invalidity counterexample (16.2 Mbps)
+  serve       run the admission-control daemon (JSON lines over TCP;
+              --stdio for single-shot stdin/stdout mode)
+  query       send one request to a server (--addr) or answer it in-process
 
 common flags: --json for machine-readable output, --help for this text";
 
@@ -45,6 +50,8 @@ fn main() -> ExitCode {
         "admission" => commands::admission(&args),
         "simulate" => commands::simulate(&args),
         "scenario2" => commands::scenario2(&args),
+        "serve" => commands::serve(&args),
+        "query" => commands::query(&args),
         other => {
             eprintln!("error: unknown command {other:?}\n\n{USAGE}");
             return ExitCode::FAILURE;

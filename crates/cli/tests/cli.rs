@@ -53,7 +53,10 @@ fn available_reports_chain_capacity() {
     let (ok, stdout, _) = run(&["available", "--hops", "2", "--hop-length", "50"]);
     assert!(ok, "{stdout}");
     // Two 54 Mbps hops sharing the channel: 27 Mbps.
-    assert!(stdout.contains("available bandwidth: 27.000 Mbps"), "{stdout}");
+    assert!(
+        stdout.contains("available bandwidth: 27.000 Mbps"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -67,8 +70,7 @@ fn topology_json_has_requested_node_count() {
 #[test]
 fn admission_runs_each_metric() {
     for metric in ["hop-count", "e2eTD", "average-e2eD"] {
-        let (ok, stdout, stderr) =
-            run(&["admission", "--flows", "4", "--metric", metric]);
+        let (ok, stdout, stderr) = run(&["admission", "--flows", "4", "--metric", metric]);
         assert!(ok, "{metric}: {stderr}");
         assert!(stdout.contains("admitted"), "{metric}: {stdout}");
     }
@@ -93,13 +95,26 @@ fn simulate_reports_throughput() {
     // Contention variants parse.
     for c in ["ordered", "p0.5", "dcf"] {
         let (ok, _, stderr) = run(&[
-            "simulate", "--hops", "1", "--hop-length", "50", "--slots", "1000",
-            "--contention", c,
+            "simulate",
+            "--hops",
+            "1",
+            "--hop-length",
+            "50",
+            "--slots",
+            "1000",
+            "--contention",
+            c,
         ]);
         assert!(ok, "{c}: {stderr}");
     }
     let (ok, _, stderr) = run(&[
-        "simulate", "--hops", "1", "--hop-length", "50", "--contention", "p1.5",
+        "simulate",
+        "--hops",
+        "1",
+        "--hop-length",
+        "50",
+        "--contention",
+        "p1.5",
     ]);
     assert!(!ok);
     assert!(stderr.contains("unknown contention"));

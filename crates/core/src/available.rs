@@ -108,8 +108,10 @@ impl AvailableBandwidth {
 }
 
 /// The union of all links on the background paths and the new path, sorted
-/// and deduplicated.
-pub(crate) fn link_universe(background: &[Flow], new_path: &Path) -> Vec<LinkId> {
+/// and deduplicated — the exact universe [`available_bandwidth`] enumerates
+/// over. Public so callers that pre-enumerate set pools (e.g. a caching
+/// service feeding [`available_bandwidth_with_sets`]) reproduce it verbatim.
+pub fn link_universe(background: &[Flow], new_path: &Path) -> Vec<LinkId> {
     let mut universe: Vec<LinkId> = background
         .iter()
         .flat_map(|f| f.path().links().iter().copied())
@@ -141,17 +143,9 @@ pub fn available_bandwidth<M: LinkRateModel>(
         return Err(CoreError::EmptyUniverse);
     }
     if options.decompose {
-        let components =
-            crate::decomposition::potential_conflict_components(model, &universe);
+        let components = crate::decomposition::potential_conflict_components(model, &universe);
         if components.len() > 1 {
-            return solve_decomposed(
-                model,
-                &components,
-                &universe,
-                background,
-                new_path,
-                options,
-            );
+            return solve_decomposed(model, &components, &universe, background, new_path, options);
         }
     }
     let sets = enumerate_admissible(model, &universe, &options.enumeration);
@@ -340,9 +334,7 @@ fn solve_over_sets(
         let mut terms: Vec<_> = sets
             .iter()
             .zip(&lambdas)
-            .filter_map(|(set, &var)| {
-                set.rate_of(link).map(|r| (var, r.as_mbps()))
-            })
+            .filter_map(|(set, &var)| set.rate_of(link).map(|r| (var, r.as_mbps())))
             .collect();
         if new_path.contains(link) {
             terms.push((f, -1.0));
@@ -440,8 +432,7 @@ mod tests {
     fn lone_link_gets_full_rate() {
         let (m, links) = line_model(1, &[r(54.0)], &[]);
         let p = Path::new(m.topology(), vec![links[0]]).unwrap();
-        let out =
-            available_bandwidth(&m, &[], &p, &AvailableBandwidthOptions::default()).unwrap();
+        let out = available_bandwidth(&m, &[], &p, &AvailableBandwidthOptions::default()).unwrap();
         assert!((out.bandwidth_mbps() - 54.0).abs() < 1e-7);
         assert!(out.schedule().is_valid(&m));
         assert_eq!(out.universe(), &links[..]);
@@ -450,8 +441,7 @@ mod tests {
     #[test]
     fn two_hop_relay_halves_capacity() {
         let (m, p) = relay();
-        let out =
-            available_bandwidth(&m, &[], &p, &AvailableBandwidthOptions::default()).unwrap();
+        let out = available_bandwidth(&m, &[], &p, &AvailableBandwidthOptions::default()).unwrap();
         assert!((out.bandwidth_mbps() - 27.0).abs() < 1e-7);
         // The witness actually delivers 27 Mbps on both hops.
         for &l in p.links() {
@@ -524,8 +514,7 @@ mod tests {
         b = b.alone_rates(links[0], &[r(54.0)]);
         let m = b.build();
         let p = Path::new(m.topology(), vec![links[1]]).unwrap();
-        let out =
-            available_bandwidth(&m, &[], &p, &AvailableBandwidthOptions::default()).unwrap();
+        let out = available_bandwidth(&m, &[], &p, &AvailableBandwidthOptions::default()).unwrap();
         assert_eq!(out.bandwidth_mbps(), 0.0);
     }
 
@@ -534,13 +523,9 @@ mod tests {
         let (m, p) = relay();
         let universe = link_universe(&[], &p);
         let all = enumerate_admissible(&m, &universe, &EnumerationOptions::default());
-        let exact = available_bandwidth_with_sets(
-            &all,
-            &[],
-            &p,
-            &AvailableBandwidthOptions::default(),
-        )
-        .unwrap();
+        let exact =
+            available_bandwidth_with_sets(&all, &[], &p, &AvailableBandwidthOptions::default())
+                .unwrap();
         // Restrict to sets containing only the first hop: f = 0 (second hop
         // starves).
         let first_only: Vec<RatedSet> = all
@@ -614,10 +599,7 @@ mod tests {
         .unwrap();
         assert_eq!(out.link_scarcity(links[0]), Some(0.0));
         assert_eq!(out.link_scarcity(LinkId::from_index(99)), None);
-        assert!(out
-            .bottleneck_links()
-            .iter()
-            .all(|&(l, _)| l != links[0]));
+        assert!(out.bottleneck_links().iter().all(|&(l, _)| l != links[0]));
     }
 
     #[test]
@@ -626,13 +608,8 @@ mod tests {
         let (m, links) = line_model(1, &[r(54.0)], &[]);
         let p = Path::new(m.topology(), vec![links[0]]).unwrap();
         let background = vec![Flow::new(p.clone(), 20.0).unwrap()];
-        let out = available_bandwidth(
-            &m,
-            &background,
-            &p,
-            &AvailableBandwidthOptions::default(),
-        )
-        .unwrap();
+        let out = available_bandwidth(&m, &background, &p, &AvailableBandwidthOptions::default())
+            .unwrap();
         assert!((out.bandwidth_mbps() - 34.0).abs() < 1e-6);
     }
 }

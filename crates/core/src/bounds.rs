@@ -23,9 +23,7 @@ use crate::AvailableBandwidthOptions;
 use awb_lp::{Direction, Problem, Relation, SolveError};
 use awb_net::{LinkId, LinkRateModel, Path};
 use awb_phy::Rate;
-use awb_sets::{
-    enumerate_admissible, maximal_rated_cliques, EnumerationOptions, RatedSet,
-};
+use awb_sets::{enumerate_admissible, maximal_rated_cliques, EnumerationOptions, RatedSet};
 
 /// The Eq. 7 upper bound on the common throughput `s` of links carrying the
 /// same traffic, for one **fixed** rate assignment: the tightest
@@ -63,16 +61,11 @@ pub fn equal_throughput_clique_bound<M: LinkRateModel>(
 /// under link adaptation; §3.2, §5.1).
 ///
 /// `throughput_of` maps a link to its throughput `y_i` in Mbps.
-pub fn clique_time_share(
-    clique: &RatedSet,
-    mut throughput_of: impl FnMut(LinkId) -> f64,
-) -> f64 {
+pub fn clique_time_share(clique: &RatedSet, mut throughput_of: impl FnMut(LinkId) -> f64) -> f64 {
     clique
         .couples()
         .iter()
-        .map(|&(l, r)| {
-            throughput_of(l) * r.unit_time().expect("rated sets have non-zero rates")
-        })
+        .map(|&(l, r)| throughput_of(l) * r.unit_time().expect("rated sets have non-zero rates"))
         .sum()
 }
 
@@ -148,10 +141,7 @@ pub fn clique_upper_bound<M: LinkRateModel>(
     let live: Vec<(LinkId, Vec<Rate>)> =
         choices.into_iter().filter(|(_, r)| !r.is_empty()).collect();
 
-    let omega: u128 = live
-        .iter()
-        .map(|(_, r)| r.len() as u128)
-        .product();
+    let omega: u128 = live.iter().map(|(_, r)| r.len() as u128).product();
     if omega > options.max_rate_vectors as u128 {
         return Err(CoreError::TooManyRateVectors {
             needed: omega,
@@ -331,11 +321,8 @@ mod tests {
             .alone_rates(links[2], &[r(6.0)])
             .conflict_all(links[0], links[1])
             .build();
-        let hops: Vec<(LinkId, Rate)> = vec![
-            (links[0], r(54.0)),
-            (links[1], r(54.0)),
-            (links[2], r(6.0)),
-        ];
+        let hops: Vec<(LinkId, Rate)> =
+            vec![(links[0], r(54.0)), (links[1], r(54.0)), (links[2], r(6.0))];
         let bound = equal_throughput_clique_bound(&m, &hops).unwrap();
         // Cliques: {0,1} -> 27, {2} -> 6. Tightest is 6.
         assert!((bound - 6.0).abs() < 1e-9);
@@ -356,19 +343,10 @@ mod tests {
     fn upper_bound_dominates_exact_value() {
         let (m, links) = triangle();
         let p = Path::new(m.topology(), vec![links[0]]).unwrap();
-        let bg = vec![Flow::new(
-            Path::new(m.topology(), vec![links[1]]).unwrap(),
-            9.0,
-        )
-        .unwrap()];
-        let exact = available_bandwidth(
-            &m,
-            &bg,
-            &p,
-            &crate::AvailableBandwidthOptions::default(),
-        )
-        .unwrap()
-        .bandwidth_mbps();
+        let bg = vec![Flow::new(Path::new(m.topology(), vec![links[1]]).unwrap(), 9.0).unwrap()];
+        let exact = available_bandwidth(&m, &bg, &p, &crate::AvailableBandwidthOptions::default())
+            .unwrap()
+            .bandwidth_mbps();
         let upper = clique_upper_bound(&m, &bg, &p, &UpperBoundOptions::default()).unwrap();
         assert!(
             upper + 1e-6 >= exact,
@@ -380,14 +358,9 @@ mod tests {
     fn lower_bound_never_exceeds_exact_value() {
         let (m, links) = triangle();
         let p = Path::new(m.topology(), vec![links[0]]).unwrap();
-        let exact = available_bandwidth(
-            &m,
-            &[],
-            &p,
-            &crate::AvailableBandwidthOptions::default(),
-        )
-        .unwrap()
-        .bandwidth_mbps();
+        let exact = available_bandwidth(&m, &[], &p, &crate::AvailableBandwidthOptions::default())
+            .unwrap()
+            .bandwidth_mbps();
         for cap in 1..=3 {
             let lower = lower_bound_max_set_size(&m, &[], &p, cap).unwrap();
             assert!(lower <= exact + 1e-9, "cap {cap}");

@@ -38,8 +38,7 @@ pub fn potential_conflict_components<M: LinkRateModel>(
         }
         parent[i]
     }
-    let rates: Vec<Vec<awb_phy::Rate>> =
-        universe.iter().map(|&l| model.alone_rates(l)).collect();
+    let rates: Vec<Vec<awb_phy::Rate>> = universe.iter().map(|&l| model.alone_rates(l)).collect();
     #[allow(clippy::needless_range_loop)] // i/j jointly index two arrays
     for i in 0..n {
         for j in (i + 1)..n {
@@ -177,7 +176,9 @@ mod tests {
         let comps = potential_conflict_components(&m, &links);
         // links[1] and links[2] are potentially conflicting: one component
         // containing both, links[0] and links[3] now isolated.
-        assert!(comps.iter().any(|c| c.contains(&links[1]) && c.contains(&links[2])));
+        assert!(comps
+            .iter()
+            .any(|c| c.contains(&links[1]) && c.contains(&links[2])));
     }
 
     #[test]
@@ -204,30 +205,21 @@ mod tests {
             );
         }
         // The merged entries mix links of both components.
-        assert!(merged
-            .entries()
-            .iter()
-            .any(|(set, _)| set.len() == 2));
+        assert!(merged.entries().iter().any(|(set, _)| set.len() == 2));
     }
 
     #[test]
     #[should_panic(expected = "two parallel schedules")]
     fn merge_rejects_shared_links() {
         let (_, links) = two_component_model();
-        let s = Schedule::new(vec![(
-            vec![(links[0], r(54.0))].into_iter().collect(),
-            0.5,
-        )]);
+        let s = Schedule::new(vec![(vec![(links[0], r(54.0))].into_iter().collect(), 0.5)]);
         let _ = merge_parallel_schedules(&[s.clone(), s]);
     }
 
     #[test]
     fn merge_handles_empty_and_unequal_lengths() {
         let (_, links) = two_component_model();
-        let s1 = Schedule::new(vec![(
-            vec![(links[0], r(54.0))].into_iter().collect(),
-            0.3,
-        )]);
+        let s1 = Schedule::new(vec![(vec![(links[0], r(54.0))].into_iter().collect(), 0.3)]);
         let merged = merge_parallel_schedules(&[s1, Schedule::empty()]);
         assert!((merged.total_share() - 0.3).abs() < 1e-12);
         assert_eq!(merge_parallel_schedules(&[]).entries().len(), 0);

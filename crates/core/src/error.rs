@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = CoreError::TooManyRateVectors { needed: 1 << 40, cap: 4096 };
+        let e = CoreError::TooManyRateVectors {
+            needed: 1 << 40,
+            cap: 4096,
+        };
         assert!(e.to_string().contains("4096"));
         assert!(CoreError::BackgroundInfeasible.source().is_none());
         assert!(CoreError::Solver(SolveError::Unbounded).source().is_some());

@@ -55,8 +55,8 @@ mod flow;
 mod schedule;
 
 pub use available::{
-    available_bandwidth, available_bandwidth_with_sets, path_capacity, AvailableBandwidth,
-    AvailableBandwidthOptions,
+    available_bandwidth, available_bandwidth_with_sets, link_universe, path_capacity,
+    AvailableBandwidth, AvailableBandwidthOptions,
 };
 pub use error::CoreError;
 pub use flow::Flow;

@@ -7,7 +7,7 @@ use awb_core::{
     available_bandwidth, available_bandwidth_with_sets, feasibility, AvailableBandwidthOptions,
     CoreError, Flow,
 };
-use awb_net::{DeclarativeModel, LinkId, LinkRateModel, Path, Topology};
+use awb_net::{DeclarativeModel, LinkId, Path, Topology};
 use awb_phy::Rate;
 use awb_sets::{enumerate_admissible, maximal_independent_sets, EnumerationOptions};
 use proptest::prelude::*;

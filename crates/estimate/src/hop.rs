@@ -29,11 +29,7 @@ impl Hop {
     }
 
     /// Builds the hop views of an entire path; `None` if any hop is dead.
-    pub fn for_path<M: LinkRateModel>(
-        model: &M,
-        idle: &IdleMap,
-        path: &Path,
-    ) -> Option<Vec<Hop>> {
+    pub fn for_path<M: LinkRateModel>(model: &M, idle: &IdleMap, path: &Path) -> Option<Vec<Hop>> {
         path.links()
             .iter()
             .map(|&l| Hop::for_link(model, idle, l))

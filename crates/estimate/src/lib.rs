@@ -45,8 +45,8 @@ mod path;
 
 pub use hop::Hop;
 pub use idle::IdleMap;
-pub use path::{binding_hop, prefix_estimates};
 pub use metrics::{
     bottleneck_node_bandwidth, clique_constraint, conservative_clique,
     expected_clique_transmission_time, min_clique_and_bottleneck, Estimator,
 };
+pub use path::{binding_hop, prefix_estimates};

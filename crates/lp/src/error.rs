@@ -34,7 +34,10 @@ impl fmt::Display for ProblemError {
                 write!(f, "coefficient or bound is NaN or infinite")
             }
             ProblemError::DuplicateVariable { index } => {
-                write!(f, "variable {index} appears more than once in one constraint")
+                write!(
+                    f,
+                    "variable {index} appears more than once in one constraint"
+                )
             }
         }
     }

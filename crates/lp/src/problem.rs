@@ -225,7 +225,9 @@ mod tests {
     fn non_finite_inputs_are_rejected() {
         let mut p = Problem::new(Direction::Minimize);
         let x = p.add_var("x", 1.0);
-        assert!(p.add_constraint(&[(x, f64::NAN)], Relation::Le, 1.0).is_err());
+        assert!(p
+            .add_constraint(&[(x, f64::NAN)], Relation::Le, 1.0)
+            .is_err());
         assert!(p
             .add_constraint(&[(x, 1.0)], Relation::Le, f64::INFINITY)
             .is_err());

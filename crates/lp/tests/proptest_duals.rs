@@ -40,7 +40,8 @@ fn build(lp: &RandomLp) -> (Problem, Vec<(Vec<f64>, f64)>) {
     let mut all_rows = Vec::new();
     for (coeffs, rhs) in &lp.rows {
         let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
-        p.add_constraint(&terms, Relation::Le, *rhs).expect("fresh vars");
+        p.add_constraint(&terms, Relation::Le, *rhs)
+            .expect("fresh vars");
         all_rows.push((coeffs.clone(), *rhs));
     }
     for (i, &v) in vars.iter().enumerate() {

@@ -20,10 +20,7 @@ struct RandomLp {
 fn random_lp(n: usize, m: usize) -> impl Strategy<Value = RandomLp> {
     let coeff = -3i32..=5i32;
     let obj = proptest::collection::vec(0i32..=6i32, n);
-    let rows = proptest::collection::vec(
-        (proptest::collection::vec(coeff, n), 1i32..=12i32),
-        m,
-    );
+    let rows = proptest::collection::vec((proptest::collection::vec(coeff, n), 1i32..=12i32), m);
     (obj, rows).prop_map(|(obj, rows)| RandomLp {
         objective: obj.into_iter().map(f64::from).collect(),
         rows: rows
@@ -55,9 +52,8 @@ fn all_rows(lp: &RandomLp) -> Vec<(Vec<f64>, f64)> {
 fn gauss_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
-        let piv = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
-        })?;
+        let piv =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[piv][col].abs() < 1e-10 {
             return None;
         }

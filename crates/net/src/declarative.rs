@@ -62,6 +62,15 @@ pub struct DeclarativeModelBuilder {
 }
 
 impl DeclarativeModel {
+    /// The underlying topology.
+    ///
+    /// Inherent mirror of [`LinkRateModel::topology`] so callers holding a
+    /// concrete model don't need the trait in scope (doc examples kept
+    /// writing `LinkRateModel::topology(&model)` in UFCS form).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
     /// Starts building a model over `topology`. All links default to no
     /// alone rates (dead) and no conflicts.
     pub fn builder(topology: Topology) -> DeclarativeModelBuilder {
@@ -193,11 +202,7 @@ impl LinkRateModel for DeclarativeModel {
 
     fn admissible(&self, assignment: &[(LinkId, Rate)]) -> bool {
         for (i, &(a, ra)) in assignment.iter().enumerate() {
-            if !self
-                .alone
-                .get(a.index())
-                .is_some_and(|rs| rs.contains(&ra))
-            {
+            if !self.alone.get(a.index()).is_some_and(|rs| rs.contains(&ra)) {
                 return false;
             }
             for &(b, rb) in &assignment[i + 1..] {
@@ -323,9 +328,7 @@ mod tests {
     #[should_panic(expected = "unknown link")]
     fn foreign_link_panics_in_builder() {
         let t = Topology::new();
-        let _ = DeclarativeModel::builder(t).conflict_all(
-            LinkId::from_index(0),
-            LinkId::from_index(1),
-        );
+        let _ =
+            DeclarativeModel::builder(t).conflict_all(LinkId::from_index(0), LinkId::from_index(1));
     }
 }

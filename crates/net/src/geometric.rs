@@ -72,6 +72,14 @@ impl SinrModel {
         &self.phy
     }
 
+    /// The underlying topology.
+    ///
+    /// Inherent mirror of [`LinkRateModel::topology`] so callers holding a
+    /// concrete model don't need the trait in scope.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
     /// Total interference power at the receiver of `link` when `active`
     /// (excluding `link` itself) transmit concurrently.
     pub fn interference_at(&self, link: LinkId, active: &[LinkId]) -> f64 {
@@ -128,10 +136,7 @@ impl LinkRateModel for SinrModel {
     }
 
     fn alone_rates(&self, link: LinkId) -> Vec<Rate> {
-        self.alone
-            .get(link.index())
-            .cloned()
-            .unwrap_or_default()
+        self.alone.get(link.index()).cloned().unwrap_or_default()
     }
 
     fn admissible(&self, assignment: &[(LinkId, Rate)]) -> bool {
@@ -149,9 +154,7 @@ impl LinkRateModel for SinrModel {
                 .filter(|(other, _)| *other != link)
                 .map(|(other, _)| self.tx_rx_power[other.index()][j])
                 .sum();
-            let sensitivity = self
-                .phy
-                .received_power(spec.max_distance);
+            let sensitivity = self.phy.received_power(spec.max_distance);
             let sinr = pr / (interference + self.phy.noise());
             if pr < sensitivity * (1.0 - 1e-12) || sinr < spec.sinr_linear() * (1.0 - 1e-12) {
                 return false;
@@ -346,8 +349,7 @@ mod tests {
         for gap in [150.0, 200.0, 400.0, 1000.0] {
             let (m, l1, l2) = parallel_pair(gap);
             let set = [l1, l2];
-            let (Some(r1), Some(r2)) =
-                (m.max_rate_in_set(l1, &set), m.max_rate_in_set(l2, &set))
+            let (Some(r1), Some(r2)) = (m.max_rate_in_set(l1, &set), m.max_rate_in_set(l2, &set))
             else {
                 continue;
             };

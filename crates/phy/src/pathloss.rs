@@ -89,10 +89,7 @@ mod tests {
     #[test]
     fn sub_metre_distances_are_clamped() {
         let pl = LogDistance::paper_default();
-        assert_eq!(
-            pl.received_power(1.0, 0.0),
-            pl.received_power(1.0, 1.0)
-        );
+        assert_eq!(pl.received_power(1.0, 0.0), pl.received_power(1.0, 1.0));
     }
 
     #[test]

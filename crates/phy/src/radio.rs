@@ -66,9 +66,7 @@ impl Phy {
             .fold(f64::INFINITY, f64::min);
         // Hearing range defaults to the longest decode range: a node senses
         // the channel busy whenever it could have decoded *something*.
-        let carrier_sense_threshold = *sensitivities
-            .last()
-            .expect("rate tables are non-empty");
+        let carrier_sense_threshold = *sensitivities.last().expect("rate tables are non-empty");
         Phy {
             pathloss,
             rates,
@@ -82,7 +80,11 @@ impl Phy {
     /// The model used throughout the paper's evaluation: 802.11a four-rate
     /// table, propagation exponent 4, unit transmit power.
     pub fn paper_default() -> Phy {
-        Phy::new(LogDistance::paper_default(), RateTable::ieee80211a_paper(), 1.0)
+        Phy::new(
+            LogDistance::paper_default(),
+            RateTable::ieee80211a_paper(),
+            1.0,
+        )
     }
 
     /// Replaces the noise floor (linear units). Lower noise widens SNR
@@ -152,11 +154,7 @@ impl Phy {
     /// Maximum rate of a link of length `distance` whose receiver sees total
     /// interference power `interference` (linear units) from concurrent
     /// transmissions — Eq. 1 with the SINR of Eq. 3.
-    pub fn max_rate_under_interference(
-        &self,
-        distance: f64,
-        interference: f64,
-    ) -> Option<Rate> {
+    pub fn max_rate_under_interference(&self, distance: f64, interference: f64) -> Option<Rate> {
         let pr = self.received_power(distance);
         let sinr = pr / (interference + self.noise);
         self.rates

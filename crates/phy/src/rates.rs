@@ -51,7 +51,10 @@ impl RateTable {
     pub fn new(mut specs: Vec<RateSpec>) -> RateTable {
         assert!(!specs.is_empty(), "a rate table needs at least one rate");
         for s in &specs {
-            assert!(!s.rate.is_zero(), "rate tables must not contain the zero rate");
+            assert!(
+                !s.rate.is_zero(),
+                "rate tables must not contain the zero rate"
+            );
             assert!(
                 s.max_distance.is_finite() && s.max_distance > 0.0,
                 "max_distance must be positive and finite"
@@ -74,10 +77,26 @@ impl RateTable {
     /// 24.56/18.80/10.79/6.02 dB.
     pub fn ieee80211a_paper() -> RateTable {
         RateTable::new(vec![
-            RateSpec { rate: Rate::from_mbps(54.0), max_distance: 59.0, sinr_db: 24.56 },
-            RateSpec { rate: Rate::from_mbps(36.0), max_distance: 79.0, sinr_db: 18.80 },
-            RateSpec { rate: Rate::from_mbps(18.0), max_distance: 119.0, sinr_db: 10.79 },
-            RateSpec { rate: Rate::from_mbps(6.0), max_distance: 158.0, sinr_db: 6.02 },
+            RateSpec {
+                rate: Rate::from_mbps(54.0),
+                max_distance: 59.0,
+                sinr_db: 24.56,
+            },
+            RateSpec {
+                rate: Rate::from_mbps(36.0),
+                max_distance: 79.0,
+                sinr_db: 18.80,
+            },
+            RateSpec {
+                rate: Rate::from_mbps(18.0),
+                max_distance: 119.0,
+                sinr_db: 10.79,
+            },
+            RateSpec {
+                rate: Rate::from_mbps(6.0),
+                max_distance: 158.0,
+                sinr_db: 6.02,
+            },
         ])
     }
 
@@ -87,10 +106,26 @@ impl RateTable {
     /// longer-range radios.
     pub fn ieee80211b_typical() -> RateTable {
         RateTable::new(vec![
-            RateSpec { rate: Rate::from_mbps(11.0), max_distance: 100.0, sinr_db: 11.0 },
-            RateSpec { rate: Rate::from_mbps(5.5), max_distance: 115.0, sinr_db: 9.5 },
-            RateSpec { rate: Rate::from_mbps(2.0), max_distance: 140.0, sinr_db: 6.0 },
-            RateSpec { rate: Rate::from_mbps(1.0), max_distance: 160.0, sinr_db: 4.0 },
+            RateSpec {
+                rate: Rate::from_mbps(11.0),
+                max_distance: 100.0,
+                sinr_db: 11.0,
+            },
+            RateSpec {
+                rate: Rate::from_mbps(5.5),
+                max_distance: 115.0,
+                sinr_db: 9.5,
+            },
+            RateSpec {
+                rate: Rate::from_mbps(2.0),
+                max_distance: 140.0,
+                sinr_db: 6.0,
+            },
+            RateSpec {
+                rate: Rate::from_mbps(1.0),
+                max_distance: 160.0,
+                sinr_db: 4.0,
+            },
         ])
     }
 
@@ -98,8 +133,16 @@ impl RateTable {
     /// example ("all links can only support 36 and 54 Mbps").
     pub fn two_rate_chain() -> RateTable {
         RateTable::new(vec![
-            RateSpec { rate: Rate::from_mbps(54.0), max_distance: 59.0, sinr_db: 24.56 },
-            RateSpec { rate: Rate::from_mbps(36.0), max_distance: 79.0, sinr_db: 18.80 },
+            RateSpec {
+                rate: Rate::from_mbps(54.0),
+                max_distance: 59.0,
+                sinr_db: 24.56,
+            },
+            RateSpec {
+                rate: Rate::from_mbps(36.0),
+                max_distance: 79.0,
+                sinr_db: 18.80,
+            },
         ])
     }
 
@@ -241,7 +284,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate rate")]
     fn duplicate_rates_panic() {
-        let s = RateSpec { rate: Rate::from_mbps(6.0), max_distance: 1.0, sinr_db: 6.0 };
+        let s = RateSpec {
+            rate: Rate::from_mbps(6.0),
+            max_distance: 1.0,
+            sinr_db: 6.0,
+        };
         let _ = RateTable::new(vec![s, s]);
     }
 

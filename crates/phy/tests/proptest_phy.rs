@@ -6,9 +6,8 @@ use proptest::prelude::*;
 
 fn arbitrary_phy() -> impl Strategy<Value = Phy> {
     // Vary the exponent and transmit power; keep the paper's rate table.
-    (prop_oneof![Just(2.0), Just(3.0), Just(4.0)], 0.1f64..10.0).prop_map(|(exp, pt)| {
-        Phy::new(LogDistance::new(exp), RateTable::ieee80211a_paper(), pt)
-    })
+    (prop_oneof![Just(2.0), Just(3.0), Just(4.0)], 0.1f64..10.0)
+        .prop_map(|(exp, pt)| Phy::new(LogDistance::new(exp), RateTable::ieee80211a_paper(), pt))
 }
 
 proptest! {

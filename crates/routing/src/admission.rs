@@ -136,12 +136,7 @@ pub fn admit_sequentially_with_policy<M: LinkRateModel>(
         let (available_mbps, admitted_now, chosen) = match path {
             None => (0.0, false, None),
             Some(p) => {
-                let out = available_bandwidth(
-                    model,
-                    &admitted,
-                    &p,
-                    &config.available_options,
-                )?;
+                let out = available_bandwidth(model, &admitted, &p, &config.available_options)?;
                 let ok = out.bandwidth_mbps() + 1e-9 >= config.demand_mbps;
                 (out.bandwidth_mbps(), ok, Some(p))
             }

@@ -101,11 +101,7 @@ fn path_cost<M: LinkRateModel>(
 ) -> f64 {
     path.links()
         .iter()
-        .map(|&l| {
-            metric
-                .link_cost(model, idle, l)
-                .unwrap_or(f64::INFINITY)
-        })
+        .map(|&l| metric.link_cost(model, idle, l).unwrap_or(f64::INFINITY))
         .sum()
 }
 

@@ -90,8 +90,14 @@ mod tests {
     fn hop_count_is_uniform() {
         let (m, fast, slow) = fixture();
         let idle = IdleMap::from_schedule(&m, &Schedule::empty());
-        assert_eq!(RoutingMetric::HopCount.link_cost(&m, &idle, fast), Some(1.0));
-        assert_eq!(RoutingMetric::HopCount.link_cost(&m, &idle, slow), Some(1.0));
+        assert_eq!(
+            RoutingMetric::HopCount.link_cost(&m, &idle, fast),
+            Some(1.0)
+        );
+        assert_eq!(
+            RoutingMetric::HopCount.link_cost(&m, &idle, slow),
+            Some(1.0)
+        );
     }
 
     #[test]

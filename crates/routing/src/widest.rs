@@ -98,10 +98,8 @@ pub fn widest_estimate_path<M: LinkRateModel>(
             };
             let mut ext = links.clone();
             ext.push(link.id());
-            let hops: Option<Vec<Hop>> = ext
-                .iter()
-                .map(|&l| Hop::for_link(model, idle, l))
-                .collect();
+            let hops: Option<Vec<Hop>> =
+                ext.iter().map(|&l| Hop::for_link(model, idle, l)).collect();
             let Some(hops) = hops else { continue };
             let _ = hop;
             let e = estimator.estimate(model, &hops);
@@ -202,8 +200,7 @@ mod tests {
         ]);
         let idle = IdleMap::from_schedule(&m, &busy);
         // Lower route bottleneck: ~0.01·54 ≈ 0.54; upper: 6 Mbps.
-        let p =
-            widest_estimate_path(&m, &idle, Estimator::ConservativeClique, a, d).unwrap();
+        let p = widest_estimate_path(&m, &idle, Estimator::ConservativeClique, a, d).unwrap();
         assert_eq!(p.links(), &[ab, bd]);
     }
 
@@ -232,6 +229,9 @@ mod tests {
             RoutePolicy::WidestEstimate(Estimator::CliqueConstraint).label(),
             "widest[clique constraint]"
         );
-        assert_eq!(RoutePolicy::Additive(RoutingMetric::HopCount).label(), "hop count");
+        assert_eq!(
+            RoutePolicy::Additive(RoutingMetric::HopCount).label(),
+            "hop count"
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use awb_core::Schedule;
 use awb_estimate::IdleMap;
-use awb_net::{DeclarativeModel, LinkId, LinkRateModel, NodeId, Topology};
+use awb_net::{DeclarativeModel, LinkId, NodeId, Topology};
 use awb_phy::Rate;
 use awb_routing::{admit_sequentially, shortest_path, AdmissionConfig, RoutingMetric};
 use proptest::prelude::*;
@@ -87,7 +87,11 @@ fn brute_force_cost(
             }
             return;
         }
-        let links: Vec<_> = m.topology().links_from(cur).map(|l| (l.id(), l.rx())).collect();
+        let links: Vec<_> = m
+            .topology()
+            .links_from(cur)
+            .map(|l| (l.id(), l.rx()))
+            .collect();
         for (lid, next) in links {
             if visited[next.index()] {
                 continue;
@@ -115,7 +119,11 @@ fn path_cost(
 ) -> f64 {
     path.links()
         .iter()
-        .map(|&l| metric.link_cost(m, idle, l).expect("routed links are usable"))
+        .map(|&l| {
+            metric
+                .link_cost(m, idle, l)
+                .expect("routed links are usable")
+        })
         .sum()
 }
 

@@ -1,0 +1,698 @@
+//! Query execution: topology registry, the two-level cache, coalesced
+//! enumeration, and the per-query handlers.
+//!
+//! # Cache design
+//!
+//! Two LRU layers sit in front of the paper's Eq. 6 pipeline:
+//!
+//! 1. **Sets cache** — the enumerated pool of rate-coupled maximal
+//!    independent sets, keyed by `(topology content hash, link universe,
+//!    enumeration options)`. The universe is part of the key because
+//!    [`awb_core::available_bandwidth`] enumerates over exactly the links
+//!    the background flows and the new path touch — two requests on the
+//!    same topology share a pool only if they touch the same links. A hit
+//!    skips the exponential enumeration and re-solves only the LP, which
+//!    is polynomial in the pool size.
+//! 2. **Result cache** — the fully rendered answer, keyed additionally by
+//!    the background demands, the path, and the query kind. A hit skips
+//!    the LP too and replays the exact JSON (f64s round-trip exactly
+//!    through the shortest-representation formatter, so a cached answer is
+//!    byte-identical to a recomputed one).
+//!
+//! Misses on the sets cache are *coalesced*: concurrent requests for the
+//! same pool elect one leader to enumerate while the rest block for its
+//! result ([`crate::coalesce`]).
+
+use crate::cache::LruCache;
+use crate::coalesce::{Coalescer, Role};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    CacheStatus, ErrorCode, FlowSpec, QueryKind, Request, ServiceError, TopologyRef,
+};
+use crate::spec::{FnvHasher, TopologySpec};
+use awb_core::{
+    available_bandwidth_with_sets, link_universe, AvailableBandwidth, AvailableBandwidthOptions,
+    CoreError, Flow,
+};
+use awb_estimate::{Estimator, Hop, IdleMap};
+use awb_net::{LinkRateModel, Path};
+use awb_sets::{enumerate_admissible, EnumerationOptions, RatedSet};
+use serde_json::{Map, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A topology with its built model, shared across requests.
+pub struct ResolvedTopology {
+    /// The interference model.
+    pub model: Arc<dyn LinkRateModel + Send + Sync>,
+    /// Content hash of the canonical spec.
+    pub content_hash: u64,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Capacity of the enumerated-set-pool LRU.
+    pub sets_cache_capacity: usize,
+    /// Capacity of the rendered-result LRU.
+    pub result_cache_capacity: usize,
+    /// Capacity of the built-model LRU for inline (unregistered) specs.
+    pub model_cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            sets_cache_capacity: 128,
+            result_cache_capacity: 1024,
+            model_cache_capacity: 64,
+        }
+    }
+}
+
+/// The shared, thread-safe query engine.
+pub struct Engine {
+    /// Topologies pinned by `register_topology`, by content hash.
+    registry: Mutex<HashMap<u64, Arc<ResolvedTopology>>>,
+    /// Built models for inline specs (evictable, unlike the registry).
+    models: Mutex<LruCache<ResolvedTopology>>,
+    /// Enumerated independent-set pools.
+    sets: Mutex<LruCache<Vec<RatedSet>>>,
+    /// Rendered results.
+    results: Mutex<LruCache<Value>>,
+    /// Deduplicates concurrent enumerations of the same pool.
+    coalescer: Coalescer<Vec<RatedSet>>,
+    /// Service counters.
+    pub metrics: Metrics,
+}
+
+/// A successful query outcome: the `result` payload plus cache provenance
+/// (`None` for queries without a cacheable stage, e.g. `stats`).
+pub type QueryOutcome = (Value, Option<CacheStatus>);
+
+fn core_error(e: CoreError) -> ServiceError {
+    match e {
+        CoreError::BackgroundInfeasible => ServiceError::new(
+            ErrorCode::InfeasibleBackground,
+            "background flows alone are infeasible",
+        ),
+        CoreError::InvalidDemand(d) => {
+            ServiceError::bad_request(format!("invalid demand {d} Mbps"))
+        }
+        CoreError::Path(e) => ServiceError::bad_request(format!("invalid path: {e}")),
+        other => ServiceError::new(ErrorCode::Internal, format!("solver failure: {other}")),
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given cache capacities.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            registry: Mutex::new(HashMap::new()),
+            models: Mutex::new(LruCache::new(config.model_cache_capacity)),
+            sets: Mutex::new(LruCache::new(config.sets_cache_capacity)),
+            results: Mutex::new(LruCache::new(config.result_cache_capacity)),
+            coalescer: Coalescer::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Executes one parsed request. `deadline` is the absolute instant the
+    /// request must finish by; it is checked between pipeline stages (the
+    /// stages themselves are not interruptible).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] for malformed requests, unknown topology refs,
+    /// missed deadlines, infeasible backgrounds and solver failures.
+    pub fn handle(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<QueryOutcome, ServiceError> {
+        self.check_deadline(deadline)?;
+        match request.query {
+            QueryKind::Stats => Ok((self.metrics.to_value(), None)),
+            QueryKind::RegisterTopology => self.register(request),
+            QueryKind::AvailableBandwidth => {
+                let (value, status) = self.available_bandwidth(request, deadline)?;
+                Ok((value, Some(status)))
+            }
+            QueryKind::Admit => {
+                let demand = request.demand_mbps.expect("parser enforces demand");
+                let (value, status) = self.available_bandwidth(request, deadline)?;
+                let available = value
+                    .get("bandwidth_mbps")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                // Same tolerance as `awb_core::feasibility::admits`.
+                let admitted = available + 1e-9 >= demand;
+                let mut m = Map::new();
+                m.insert("admitted".into(), Value::Bool(admitted));
+                m.insert("demand_mbps".into(), Value::Number(demand));
+                m.insert("available_mbps".into(), Value::Number(available));
+                Ok((Value::Object(m), Some(status)))
+            }
+            QueryKind::Bounds => self.bounds(request, deadline).map(|(v, s)| (v, Some(s))),
+            QueryKind::Estimate => self.estimate(request).map(|v| (v, None)),
+        }
+    }
+
+    fn check_deadline(&self, deadline: Option<Instant>) -> Result<(), ServiceError> {
+        match deadline {
+            Some(d) if Instant::now() >= d => {
+                Metrics::bump(&self.metrics.deadline_exceeded);
+                Err(ServiceError::new(
+                    ErrorCode::DeadlineExceeded,
+                    "deadline elapsed before the request completed",
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Resolves a request's topology to a built model, via the pinned
+    /// registry (hash refs) or the model LRU (inline specs).
+    fn resolve(&self, reference: &TopologyRef) -> Result<Arc<ResolvedTopology>, ServiceError> {
+        match reference {
+            TopologyRef::Registered(hash) => self
+                .registry
+                .lock()
+                .expect("registry lock")
+                .get(hash)
+                .cloned()
+                .ok_or_else(|| {
+                    ServiceError::new(
+                        ErrorCode::UnknownTopology,
+                        format!("no registered topology with hash {hash:016x}"),
+                    )
+                }),
+            TopologyRef::Inline(spec) => {
+                let hash = spec.content_hash();
+                if let Some(found) = self.models.lock().expect("model lock").get(hash) {
+                    return Ok(found);
+                }
+                let built = spec.build()?;
+                let resolved = ResolvedTopology {
+                    model: built.model,
+                    content_hash: built.content_hash,
+                };
+                Ok(self
+                    .models
+                    .lock()
+                    .expect("model lock")
+                    .insert(hash, resolved))
+            }
+        }
+    }
+
+    fn register(&self, request: &Request) -> Result<QueryOutcome, ServiceError> {
+        let Some(TopologyRef::Inline(spec)) = &request.topology else {
+            return Err(ServiceError::bad_request(
+                "`register_topology` requires an inline `topology` spec",
+            ));
+        };
+        let built = spec.build()?;
+        let hash = built.content_hash;
+        let topology = built.model.topology();
+        let mut m = Map::new();
+        m.insert(
+            "topology_hash".into(),
+            Value::String(format!("{hash:016x}")),
+        );
+        m.insert(
+            "num_nodes".into(),
+            Value::Number(topology.num_nodes() as f64),
+        );
+        m.insert(
+            "num_links".into(),
+            Value::Number(topology.num_links() as f64),
+        );
+        self.registry.lock().expect("registry lock").insert(
+            hash,
+            Arc::new(ResolvedTopology {
+                model: built.model,
+                content_hash: hash,
+            }),
+        );
+        Ok((Value::Object(m), None))
+    }
+
+    /// Builds the new path and background flows against a resolved model.
+    fn materialize(
+        &self,
+        resolved: &ResolvedTopology,
+        background: &[FlowSpec],
+        path: &[usize],
+    ) -> Result<(Path, Vec<Flow>), ServiceError> {
+        let topology = resolved.model.topology();
+        let new_path = TopologySpec::parse_path(topology, path)?;
+        let flows = background
+            .iter()
+            .map(|f| {
+                let p = TopologySpec::parse_path(topology, &f.path)?;
+                Flow::new(p, f.demand_mbps).map_err(core_error)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((new_path, flows))
+    }
+
+    fn enumeration_options(request: &Request) -> EnumerationOptions {
+        EnumerationOptions {
+            max_set_size: request.max_set_size,
+            ..EnumerationOptions::default()
+        }
+    }
+
+    /// The key identifying an enumerated set pool: topology, universe and
+    /// enumeration options.
+    fn sets_key(
+        resolved: &ResolvedTopology,
+        universe: &[awb_net::LinkId],
+        options: &EnumerationOptions,
+    ) -> u64 {
+        let mut h = FnvHasher::default();
+        h.write_u64(resolved.content_hash);
+        h.write_u64(universe.len() as u64);
+        for l in universe {
+            h.write_u64(l.index() as u64);
+        }
+        h.write_u64(u64::from(options.prune_dominated));
+        h.write_u64(options.max_set_size.map_or(u64::MAX, |n| n as u64));
+        h.finish()
+    }
+
+    /// The key identifying a full query answer.
+    fn result_key(request: &Request, resolved: &ResolvedTopology) -> u64 {
+        let mut h = FnvHasher::default();
+        // `admit` deliberately shares the available-bandwidth entry: its
+        // answer derives from the same LP value.
+        let kind = match request.query {
+            QueryKind::Admit => QueryKind::AvailableBandwidth,
+            k => k,
+        };
+        h.write_u64(kind as u64);
+        h.write_u64(resolved.content_hash);
+        h.write_u64(request.background.len() as u64);
+        for flow in &request.background {
+            h.write_u64(flow.path.len() as u64);
+            for &l in &flow.path {
+                h.write_u64(l as u64);
+            }
+            h.write_f64(flow.demand_mbps);
+        }
+        h.write_u64(request.path.len() as u64);
+        for &l in &request.path {
+            h.write_u64(l as u64);
+        }
+        h.write_u64(request.max_set_size.map_or(u64::MAX, |n| n as u64));
+        h.finish()
+    }
+
+    /// Returns the set pool for `(resolved, universe, options)`, enumerating
+    /// it (coalesced) on a miss. The second component tells the caller how
+    /// the pool was obtained.
+    fn set_pool(
+        &self,
+        resolved: &ResolvedTopology,
+        universe: &[awb_net::LinkId],
+        options: &EnumerationOptions,
+    ) -> Result<(Arc<Vec<RatedSet>>, CacheStatus), ServiceError> {
+        let key = Engine::sets_key(resolved, universe, options);
+        if let Some(pool) = self.sets.lock().expect("sets lock").get(key) {
+            Metrics::bump(&self.metrics.sets_cache_hits);
+            return Ok((pool, CacheStatus::SetsHit));
+        }
+        let (pool, role) = self.coalescer.run(key, || {
+            let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
+            let started = Instant::now();
+            let sets = enumerate_admissible(&model, universe, options);
+            self.metrics.enumeration_latency.record(started.elapsed());
+            sets
+        });
+        match role {
+            Role::Leader => {
+                Metrics::bump(&self.metrics.sets_cache_misses);
+                let pool = pool.expect("leader always has a result");
+                self.sets
+                    .lock()
+                    .expect("sets lock")
+                    .insert_shared(key, Arc::clone(&pool));
+                Ok((pool, CacheStatus::Miss))
+            }
+            Role::Follower => {
+                Metrics::bump(&self.metrics.coalesced);
+                pool.map(|p| (p, CacheStatus::Coalesced)).ok_or_else(|| {
+                    ServiceError::new(
+                        ErrorCode::Internal,
+                        "coalesced enumeration failed in the leading request",
+                    )
+                })
+            }
+        }
+    }
+
+    /// The full Eq. 6 pipeline with both cache layers.
+    fn available_bandwidth(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<(Value, CacheStatus), ServiceError> {
+        let reference = request.topology.as_ref().expect("parser enforces topology");
+        let resolved = self.resolve(reference)?;
+        let (new_path, flows) = self.materialize(&resolved, &request.background, &request.path)?;
+        let result_key = Engine::result_key(request, &resolved);
+        if let Some(cached) = self.results.lock().expect("results lock").get(result_key) {
+            Metrics::bump(&self.metrics.result_cache_hits);
+            return Ok(((*cached).clone(), CacheStatus::Hit));
+        }
+        Metrics::bump(&self.metrics.result_cache_misses);
+        self.check_deadline(deadline)?;
+
+        let enumeration = Engine::enumeration_options(request);
+        let universe = link_universe(&flows, &new_path);
+        let (pool, status) = self.set_pool(&resolved, &universe, &enumeration)?;
+        self.check_deadline(deadline)?;
+
+        let options = AvailableBandwidthOptions {
+            enumeration,
+            ..AvailableBandwidthOptions::default()
+        };
+        let started = Instant::now();
+        let out = available_bandwidth_with_sets(&pool, &flows, &new_path, &options)
+            .map_err(core_error)?;
+        self.metrics.lp_latency.record(started.elapsed());
+
+        let value = render_available_bandwidth(&out);
+        self.results
+            .lock()
+            .expect("results lock")
+            .insert(result_key, value.clone());
+        Ok((value, status))
+    }
+
+    /// Eq. 7/9 upper bounds and the §3.3 restricted-pool lower bound.
+    fn bounds(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<(Value, CacheStatus), ServiceError> {
+        let reference = request.topology.as_ref().expect("parser enforces topology");
+        let resolved = self.resolve(reference)?;
+        let (new_path, flows) = self.materialize(&resolved, &request.background, &request.path)?;
+        let result_key = Engine::result_key(request, &resolved);
+        if let Some(cached) = self.results.lock().expect("results lock").get(result_key) {
+            Metrics::bump(&self.metrics.result_cache_hits);
+            return Ok(((*cached).clone(), CacheStatus::Hit));
+        }
+        Metrics::bump(&self.metrics.result_cache_misses);
+        self.check_deadline(deadline)?;
+
+        let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
+        let max_set_size = request.max_set_size.unwrap_or(2);
+        let mut m = Map::new();
+        match awb_core::bounds::clique_upper_bound(
+            &model,
+            &flows,
+            &new_path,
+            &awb_core::bounds::UpperBoundOptions::default(),
+        ) {
+            Ok(upper) => {
+                m.insert("upper_mbps".into(), Value::Number(upper));
+            }
+            Err(e) => {
+                m.insert("upper_mbps".into(), Value::Null);
+                m.insert("upper_error".into(), Value::String(e.to_string()));
+            }
+        }
+        self.check_deadline(deadline)?;
+        match awb_core::bounds::lower_bound_max_set_size(&model, &flows, &new_path, max_set_size) {
+            Ok(lower) => {
+                m.insert("lower_mbps".into(), Value::Number(lower));
+            }
+            Err(e) => {
+                m.insert("lower_mbps".into(), Value::Null);
+                m.insert("lower_error".into(), Value::String(e.to_string()));
+            }
+        }
+        m.insert(
+            "lower_max_set_size".into(),
+            Value::Number(max_set_size as f64),
+        );
+        let value = Value::Object(m);
+        self.results
+            .lock()
+            .expect("results lock")
+            .insert(result_key, value.clone());
+        Ok((value, CacheStatus::Miss))
+    }
+
+    /// The §4 distributed estimators (Eq. 10–13/15) against the optimal
+    /// background schedule.
+    fn estimate(&self, request: &Request) -> Result<Value, ServiceError> {
+        let reference = request.topology.as_ref().expect("parser enforces topology");
+        let resolved = self.resolve(reference)?;
+        let (new_path, flows) = self.materialize(&resolved, &request.background, &request.path)?;
+        let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
+        let idle = if flows.is_empty() {
+            IdleMap::from_ratios(vec![1.0; model.topology().num_nodes()])
+        } else {
+            let (_, schedule) =
+                awb_core::feasibility::min_airtime(&model, &flows).map_err(core_error)?;
+            IdleMap::from_schedule(&model, &schedule)
+        };
+        let hops = Hop::for_path(&model, &idle, &new_path).ok_or_else(|| {
+            ServiceError::bad_request("path contains a dead link (no supported rate)")
+        })?;
+        let mut estimates = Map::new();
+        for estimator in Estimator::ALL {
+            estimates.insert(
+                estimator.label().replace(' ', "_"),
+                Value::Number(estimator.estimate(&model, &hops)),
+            );
+        }
+        let hop_rows: Vec<Value> = hops
+            .iter()
+            .map(|h| {
+                let mut row = Map::new();
+                row.insert("link".into(), Value::Number(h.link.index() as f64));
+                row.insert("rate_mbps".into(), Value::Number(h.rate.as_mbps()));
+                row.insert("idle".into(), Value::Number(h.idle));
+                Value::Object(row)
+            })
+            .collect();
+        let mut m = Map::new();
+        m.insert("estimates".into(), Value::Object(estimates));
+        m.insert("hops".into(), Value::Array(hop_rows));
+        Ok(Value::Object(m))
+    }
+}
+
+/// Renders an [`AvailableBandwidth`] as the `result` payload.
+fn render_available_bandwidth(out: &AvailableBandwidth) -> Value {
+    let mut m = Map::new();
+    m.insert("bandwidth_mbps".into(), Value::Number(out.bandwidth_mbps()));
+    m.insert("num_sets".into(), Value::Number(out.num_sets() as f64));
+    m.insert(
+        "universe".into(),
+        Value::Array(
+            out.universe()
+                .iter()
+                .map(|l| Value::Number(l.index() as f64))
+                .collect(),
+        ),
+    );
+    m.insert(
+        "airtime_shadow_price".into(),
+        Value::Number(out.airtime_shadow_price()),
+    );
+    m.insert(
+        "bottleneck_links".into(),
+        Value::Array(
+            out.bottleneck_links()
+                .into_iter()
+                .map(|(l, scarcity)| {
+                    let mut row = Map::new();
+                    row.insert("link".into(), Value::Number(l.index() as f64));
+                    row.insert("scarcity".into(), Value::Number(scarcity));
+                    Value::Object(row)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_core::available_bandwidth;
+
+    fn scenario_two_request(query: &str) -> Request {
+        // Scenario II as a declarative spec: 5-node chain, 4 links,
+        // rates {54, 36}, carrier sensing within two hops, plus the
+        // rate-specific L1/L4 conflicts (paper Table, §2.4).
+        let line = format!(
+            r#"{{"query": "{query}", "topology": {{
+                "nodes": [[0,0],[50,0],[100,0],[150,0],[200,0]],
+                "links": [[0,1],[1,2],[2,3],[3,4]],
+                "alone_rates": [[54,36],[54,36],[54,36],[54,36]],
+                "conflicts": [[0,1],[0,2],[1,2],[1,3],[2,3]],
+                "rate_conflicts": [[0,54,3,54],[0,54,3,36]]
+            }},
+            "path": [0,1,2,3], "demand_mbps": 10}}"#
+        );
+        Request::parse(&line).unwrap()
+    }
+
+    #[test]
+    fn matches_the_direct_library_call_exactly() {
+        let engine = Engine::new(EngineConfig::default());
+        let request = scenario_two_request("available_bandwidth");
+        let (value, status) = engine.handle(&request, None).unwrap();
+        assert_eq!(status, Some(CacheStatus::Miss));
+        let via_service = value.get("bandwidth_mbps").and_then(Value::as_f64).unwrap();
+
+        let scenario = awb_workloads::ScenarioTwo::new();
+        let direct = available_bandwidth(
+            scenario.model(),
+            &[],
+            &scenario.path(),
+            &AvailableBandwidthOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(via_service.to_bits(), direct.bandwidth_mbps().to_bits());
+        // Paper §2.5: Scenario II's available bandwidth is 16.2 Mbps.
+        assert!((via_service - 16.2).abs() < 0.05, "got {via_service}");
+    }
+
+    #[test]
+    fn second_identical_query_hits_the_result_cache_byte_for_byte() {
+        let engine = Engine::new(EngineConfig::default());
+        let request = scenario_two_request("available_bandwidth");
+        let (first, s1) = engine.handle(&request, None).unwrap();
+        let (second, s2) = engine.handle(&request, None).unwrap();
+        assert_eq!(s1, Some(CacheStatus::Miss));
+        assert_eq!(s2, Some(CacheStatus::Hit));
+        assert_eq!(first.to_string(), second.to_string());
+        assert_eq!(
+            engine
+                .metrics
+                .result_cache_hits
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn same_universe_different_demand_reuses_the_set_pool() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut request = scenario_two_request("available_bandwidth");
+        request.background = vec![FlowSpec {
+            path: vec![0, 1, 2, 3],
+            demand_mbps: 1.0,
+        }];
+        let (_, s1) = engine.handle(&request, None).unwrap();
+        assert_eq!(s1, Some(CacheStatus::Miss));
+        request.background[0].demand_mbps = 2.0;
+        let (_, s2) = engine.handle(&request, None).unwrap();
+        assert_eq!(s2, Some(CacheStatus::SetsHit));
+    }
+
+    #[test]
+    fn admit_compares_against_the_lp_value() {
+        let engine = Engine::new(EngineConfig::default());
+        let admit_low = scenario_two_request("admit"); // demand 10 < 16.2
+        let (value, _) = engine.handle(&admit_low, None).unwrap();
+        assert_eq!(value.get("admitted").and_then(Value::as_bool), Some(true));
+        let mut admit_high = scenario_two_request("admit");
+        admit_high.demand_mbps = Some(20.0);
+        let (value, status) = engine.handle(&admit_high, None).unwrap();
+        assert_eq!(value.get("admitted").and_then(Value::as_bool), Some(false));
+        // Both admits share one cached LP answer.
+        assert_eq!(status, Some(CacheStatus::Hit));
+    }
+
+    #[test]
+    fn register_then_query_by_hash() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut register = scenario_two_request("register_topology");
+        register.path = Vec::new();
+        let (value, _) = engine.handle(&register, None).unwrap();
+        let hash = value
+            .get("topology_hash")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(value.get("num_links").and_then(Value::as_u64), Some(4));
+
+        let line = format!(
+            r#"{{"query": "available_bandwidth", "topology": "{hash}", "path": [0,1,2,3]}}"#
+        );
+        let request = Request::parse(&line).unwrap();
+        let (answer, _) = engine.handle(&request, None).unwrap();
+        assert!(
+            answer
+                .get("bandwidth_mbps")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 16.0
+        );
+
+        let unknown = Request::parse(
+            r#"{"query": "available_bandwidth", "topology": "deadbeefdeadbeef", "path": [0]}"#,
+        )
+        .unwrap();
+        let err = engine.handle(&unknown, None).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownTopology);
+    }
+
+    #[test]
+    fn bounds_and_estimate_answer() {
+        let engine = Engine::new(EngineConfig::default());
+        let bounds = scenario_two_request("bounds");
+        let (value, _) = engine.handle(&bounds, None).unwrap();
+        let upper = value.get("upper_mbps").and_then(Value::as_f64).unwrap();
+        // Eq. 9 upper bound must dominate the Eq. 6 exact value (16.2).
+        assert!(upper >= 16.2 - 0.05, "upper bound {upper} too small");
+        let lower = value.get("lower_mbps").and_then(Value::as_f64).unwrap();
+        assert!(lower <= upper + 1e-9);
+
+        let estimate = scenario_two_request("estimate");
+        let (value, _) = engine.handle(&estimate, None).unwrap();
+        let estimates = value.get("estimates").and_then(Value::as_object).unwrap();
+        assert_eq!(estimates.len(), Estimator::ALL.len());
+        assert!(estimates.values().all(|v| v.as_f64().is_some()));
+        let hops = value.get("hops").and_then(Value::as_array).unwrap();
+        assert_eq!(hops.len(), 4);
+    }
+
+    #[test]
+    fn an_elapsed_deadline_rejects_the_request() {
+        let engine = Engine::new(EngineConfig::default());
+        let request = scenario_two_request("available_bandwidth");
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = engine.handle(&request, Some(past)).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert_eq!(
+            engine
+                .metrics
+                .deadline_exceeded
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn infeasible_background_is_a_structured_error() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut request = scenario_two_request("available_bandwidth");
+        request.background = vec![FlowSpec {
+            path: vec![0, 1, 2, 3],
+            demand_mbps: 1000.0,
+        }];
+        let err = engine.handle(&request, None).unwrap_err();
+        assert_eq!(err.code, ErrorCode::InfeasibleBackground);
+    }
+}

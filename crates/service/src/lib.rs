@@ -1,0 +1,64 @@
+//! `awb-service` — a concurrent admission-control daemon for the paper's
+//! available-bandwidth pipeline (Chen, Zhai & Fang, ICDCS 2009).
+//!
+//! The expensive step of answering "how much bandwidth is available on this
+//! path?" (Eq. 6) is enumerating the rate-coupled maximal independent sets
+//! of the link universe — exponential in the number of links. This crate
+//! wraps the workspace's solver crates in a long-lived service that
+//! amortizes that cost:
+//!
+//! * **Topology registry** — clients register a topology once and refer to
+//!   it by content hash afterwards ([`spec`]).
+//! * **Two-level cache** — enumerated set pools and solved results, LRU
+//!   ([`engine`]). Cached answers are byte-identical to direct library
+//!   calls.
+//! * **Coalescing** — concurrent requests on the same uncached pool share
+//!   one enumeration ([`coalesce`]).
+//! * **Backpressure** — a bounded queue rejects excess connections with a
+//!   structured `overloaded` error instead of unbounded buffering
+//!   ([`queue`], [`server`]).
+//! * **Deadlines and graceful shutdown** — per-request `deadline_ms`
+//!   checked between pipeline stages; shutdown drains in-flight work.
+//! * **Metrics** — atomic counters and log2 latency histograms, via the
+//!   `stats` query and the shutdown log ([`metrics`]).
+//!
+//! Wire protocol: newline-delimited JSON over TCP, or single-shot over
+//! stdin/stdout ([`protocol`], [`server::serve_stdio`]).
+//!
+//! # Example
+//!
+//! ```
+//! use awb_service::engine::{Engine, EngineConfig};
+//! use awb_service::protocol::Request;
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let request = Request::parse(
+//!     r#"{"query": "available_bandwidth",
+//!         "topology": {"nodes": [[0,0],[50,0],[100,0]],
+//!                      "links": [[0,1],[1,2]],
+//!                      "alone_rates": [[54],[54]],
+//!                      "conflicts": [[0,1]]},
+//!         "path": [0, 1]}"#,
+//! )?;
+//! let (result, _cache) = engine.handle(&request, None)?;
+//! let mbps = result.get("bandwidth_mbps").and_then(|v| v.as_f64()).unwrap();
+//! assert!((mbps - 27.0).abs() < 1e-6); // two conflicting 54 Mbps hops
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod coalesce;
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod spec;
+
+pub use engine::{Engine, EngineConfig};
+pub use protocol::{CacheStatus, ErrorCode, QueryKind, Request, ServiceError};
+pub use server::{serve, serve_stdio, ServerConfig, ServerHandle};
+pub use spec::TopologySpec;

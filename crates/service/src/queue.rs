@@ -1,0 +1,144 @@
+//! A bounded MPMC work queue with non-blocking admission.
+//!
+//! Backpressure policy: producers never block. [`BoundedQueue::try_push`]
+//! fails immediately when the queue is full, which the server turns into a
+//! structured `overloaded` error so clients can back off. Consumers block on
+//! a condvar until work arrives or the queue is closed for shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed by [`BoundedQueue::close`].
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    nonempty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` pending items.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`PushError`]-tagged `Err` when the
+    /// queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err((PushError::Closed, item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed **and** drained — the worker
+    /// shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.nonempty.wait(state).expect("queue wait");
+        }
+    }
+
+    /// Closes the queue: new pushes fail with [`PushError::Closed`], and
+    /// consumers drain remaining items before seeing `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        drop(state);
+        self.nonempty.notify_all();
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3).unwrap_err(), (PushError::Full, 3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3).unwrap_err(), (PushError::Closed, 3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let first = q2.pop();
+            let second = q2.pop();
+            (first, second)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), (Some(7), None));
+    }
+}

@@ -114,10 +114,7 @@ fn bron_kerbosch(
 
 /// All maximal cliques of `assignment` under `model`, returned as
 /// [`RatedSet`]s carrying the assignment's rates.
-pub fn maximal_rated_cliques<M: LinkRateModel>(
-    model: &M,
-    assignment: &RatedSet,
-) -> Vec<RatedSet> {
+pub fn maximal_rated_cliques<M: LinkRateModel>(model: &M, assignment: &RatedSet) -> Vec<RatedSet> {
     let g = ConflictGraph::new(model, assignment);
     maximal_cliques(&g)
         .into_iter()
@@ -139,11 +136,7 @@ pub fn is_clique<M: LinkRateModel>(model: &M, set: &RatedSet) -> bool {
 /// Whether `set` is a **maximal clique**: a clique such that no couple
 /// `(link, rate)` with `link` outside the set (drawn from `universe` and the
 /// link's alone rates) conflicts with *every* member (§3.1).
-pub fn is_maximal_clique<M: LinkRateModel>(
-    model: &M,
-    set: &RatedSet,
-    universe: &[LinkId],
-) -> bool {
+pub fn is_maximal_clique<M: LinkRateModel>(model: &M, set: &RatedSet, universe: &[LinkId]) -> bool {
     if !is_clique(model, set) {
         return false;
     }

@@ -50,13 +50,13 @@ pub fn greedy_coloring(graph: &ConflictGraph) -> Coloring {
     for &v in &order {
         let mut taken: Vec<bool> = vec![false; used + 1];
         for u in 0..n {
-            if u != v && graph.conflicts(v, u) && colors[u] != usize::MAX {
-                if colors[u] < taken.len() {
-                    taken[colors[u]] = true;
-                }
+            if u != v && graph.conflicts(v, u) && colors[u] < taken.len() {
+                taken[colors[u]] = true;
             }
         }
-        let c = (0..).find(|&c| c >= taken.len() || !taken[c]).expect("unbounded");
+        let c = (0..)
+            .find(|&c| c >= taken.len() || !taken[c])
+            .expect("unbounded");
         colors[v] = c;
         used = used.max(c + 1);
     }
@@ -85,10 +85,7 @@ pub fn clique_number(graph: &ConflictGraph) -> usize {
 /// This is a *feasible* schedule, so each value lower-bounds the link's
 /// max-min throughput under the fixed rates — the constructive counterpart
 /// of the Eq. 7 clique upper bound.
-pub fn tdma_throughput<M: LinkRateModel>(
-    model: &M,
-    assignment: &RatedSet,
-) -> (usize, Vec<f64>) {
+pub fn tdma_throughput<M: LinkRateModel>(model: &M, assignment: &RatedSet) -> (usize, Vec<f64>) {
     let graph = ConflictGraph::new(model, assignment);
     let coloring = greedy_coloring(&graph);
     let k = coloring.num_colors().max(1);

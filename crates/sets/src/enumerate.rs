@@ -200,10 +200,7 @@ fn pareto_filter(sets: Vec<RatedSet>) -> Vec<RatedSet> {
 /// (b) no further link of `universe` can be inserted at any positive rate.
 ///
 /// By Proposition 3 these suffice for the feasibility condition (Eq. 4).
-pub fn maximal_independent_sets<M: LinkRateModel>(
-    model: &M,
-    universe: &[LinkId],
-) -> Vec<RatedSet> {
+pub fn maximal_independent_sets<M: LinkRateModel>(model: &M, universe: &[LinkId]) -> Vec<RatedSet> {
     let all = enumerate_admissible(
         model,
         universe,
@@ -220,11 +217,7 @@ pub fn maximal_independent_sets<M: LinkRateModel>(
 fn is_maximal<M: LinkRateModel>(model: &M, universe: &[LinkId], set: &RatedSet) -> bool {
     // (a) No single rate can be raised.
     for &(link, rate) in set.couples() {
-        for higher in model
-            .alone_rates(link)
-            .into_iter()
-            .filter(|&r| r > rate)
-        {
+        for higher in model.alone_rates(link).into_iter().filter(|&r| r > rate) {
             if model.admissible(set.with_rate(link, higher).couples()) {
                 return false;
             }
@@ -279,7 +272,10 @@ mod tests {
         let all = enumerate_admissible(
             &m,
             &links,
-            &EnumerationOptions { prune_dominated: false, max_set_size: None },
+            &EnumerationOptions {
+                prune_dominated: false,
+                max_set_size: None,
+            },
         );
         assert_eq!(all.len(), 7);
     }
@@ -351,7 +347,10 @@ mod tests {
         let sets = enumerate_admissible(
             &m,
             &links,
-            &EnumerationOptions { prune_dominated: false, max_set_size: Some(2) },
+            &EnumerationOptions {
+                prune_dominated: false,
+                max_set_size: Some(2),
+            },
         );
         assert!(sets.iter().all(|s| s.len() <= 2));
         // 4 singletons + 6 pairs.
@@ -373,11 +372,7 @@ mod tests {
     #[should_panic(expected = "duplicate links")]
     fn duplicate_universe_panics() {
         let (m, links) = free_links(1, &[r(6.0)]);
-        let _ = enumerate_admissible(
-            &m,
-            &[links[0], links[0]],
-            &EnumerationOptions::default(),
-        );
+        let _ = enumerate_admissible(&m, &[links[0], links[0]], &EnumerationOptions::default());
     }
 
     #[test]

@@ -41,10 +41,7 @@ impl LocalClique {
 /// conflicts; maximal windows are those not contained in a longer one. Every
 /// hop belongs to at least one local clique (singletons count), matching the
 /// construction of Zhai & Fang (ICNP'06) that the paper adopts.
-pub fn local_cliques<M: LinkRateModel>(
-    model: &M,
-    hops: &[(LinkId, Rate)],
-) -> Vec<LocalClique> {
+pub fn local_cliques<M: LinkRateModel>(model: &M, hops: &[(LinkId, Rate)]) -> Vec<LocalClique> {
     if hops.is_empty() {
         return Vec::new();
     }
@@ -159,7 +156,9 @@ mod tests {
         // Conflicts: 0-1, 0-2, 1-2 and 2-3. Windows: [0..2] and [2..3];
         // window starting at 1 reaches 2 and is contained in [0..2].
         let mut t = Topology::new();
-        let nodes: Vec<_> = (0..5).map(|i| t.add_node(f64::from(i) * 10.0, 0.0)).collect();
+        let nodes: Vec<_> = (0..5)
+            .map(|i| t.add_node(f64::from(i) * 10.0, 0.0))
+            .collect();
         let links: Vec<LinkId> = nodes
             .windows(2)
             .map(|w| t.add_link(w[0], w[1]).unwrap())

@@ -199,7 +199,10 @@ impl Simulator {
         // DCF state: current contention window and pending backoff counter.
         let (cw_min, cw_max) = match self.config.contention {
             Contention::Dcf { cw_min, cw_max } => {
-                assert!(cw_min >= 1 && cw_max >= cw_min, "need 1 <= cw_min <= cw_max");
+                assert!(
+                    cw_min >= 1 && cw_max >= cw_min,
+                    "need 1 <= cw_min <= cw_max"
+                );
                 (cw_min, cw_max)
             }
             _ => (1, 1),
@@ -258,8 +261,7 @@ impl Simulator {
                         }
                         let link = LinkId::from_index(li);
                         let tx = t.link(link).expect("index in range").tx();
-                        let blocked =
-                            granted.iter().any(|&g| model.node_hears(tx, g));
+                        let blocked = granted.iter().any(|&g| model.node_hears(tx, g));
                         if !blocked {
                             granted.push(link);
                         }
@@ -285,8 +287,7 @@ impl Simulator {
                         }
                         let link = LinkId::from_index(li);
                         let tx = t.link(link).expect("index in range").tx();
-                        let counter = backoff[li]
-                            .get_or_insert_with(|| rng.gen_range(0..cw[li]));
+                        let counter = backoff[li].get_or_insert_with(|| rng.gen_range(0..cw[li]));
                         if busy_last_slot[tx.index()] {
                             continue; // counter frozen while the medium is busy
                         }
@@ -302,7 +303,12 @@ impl Simulator {
             // Outcomes: SINR capture against the full granted set.
             let assignment: Vec<(LinkId, Rate)> = granted
                 .iter()
-                .map(|&l| (l, self.link_rate[l.index()].expect("granted links are live")))
+                .map(|&l| {
+                    (
+                        l,
+                        self.link_rate[l.index()].expect("granted links are live"),
+                    )
+                })
                 .collect();
             for &(link, rate) in &assignment {
                 let li = link.index();
@@ -367,14 +373,8 @@ impl Simulator {
                 .iter()
                 .map(|&b| 1.0 - b as f64 / total)
                 .collect(),
-            link_throughput_mbps: link_delivered_mbit
-                .iter()
-                .map(|&m| m / duration)
-                .collect(),
-            flow_throughput_mbps: flows
-                .iter()
-                .map(|f| f.delivered_mbit / duration)
-                .collect(),
+            link_throughput_mbps: link_delivered_mbit.iter().map(|&m| m / duration).collect(),
+            flow_throughput_mbps: flows.iter().map(|f| f.delivered_mbit / duration).collect(),
             link_tx_slots,
             link_collision_slots,
             slots: self.config.slots,
@@ -406,7 +406,13 @@ mod tests {
     #[test]
     fn saturated_single_link_approaches_line_rate() {
         let (m, p) = chain_model(1, 50.0, Phy::paper_default());
-        let mut sim = Simulator::new(&m, SimConfig { slots: 5_000, ..SimConfig::default() });
+        let mut sim = Simulator::new(
+            &m,
+            SimConfig {
+                slots: 5_000,
+                ..SimConfig::default()
+            },
+        );
         let f = sim.add_flow(p, None);
         let report = sim.run(&m);
         assert!((report.flow_throughput_mbps[f] - 54.0).abs() < 1.0);
@@ -416,20 +422,31 @@ mod tests {
     #[test]
     fn rate_limited_flow_delivers_its_demand() {
         let (m, p) = chain_model(1, 50.0, Phy::paper_default());
-        let mut sim = Simulator::new(&m, SimConfig { slots: 20_000, ..SimConfig::default() });
+        let mut sim = Simulator::new(
+            &m,
+            SimConfig {
+                slots: 20_000,
+                ..SimConfig::default()
+            },
+        );
         let f = sim.add_flow(p, Some(10.0));
         let report = sim.run(&m);
         assert!((report.flow_throughput_mbps[f] - 10.0).abs() < 0.5);
         // The link is busy roughly 10/54 of the time.
-        let tx_share =
-            report.link_tx_slots[0] as f64 / report.slots as f64;
+        let tx_share = report.link_tx_slots[0] as f64 / report.slots as f64;
         assert!((tx_share - 10.0 / 54.0).abs() < 0.05, "tx share {tx_share}");
     }
 
     #[test]
     fn two_hop_relay_halves_saturated_throughput() {
         let (m, p) = chain_model(2, 50.0, Phy::paper_default());
-        let mut sim = Simulator::new(&m, SimConfig { slots: 20_000, ..SimConfig::default() });
+        let mut sim = Simulator::new(
+            &m,
+            SimConfig {
+                slots: 20_000,
+                ..SimConfig::default()
+            },
+        );
         let f = sim.add_flow(p, None);
         let report = sim.run(&m);
         // The two hops share the channel; ideal is 27. The contention MAC
@@ -443,12 +460,18 @@ mod tests {
         let s1 = ScenarioOne::new();
         let m = s1.model();
         let lambda = 0.4;
-        let mut sim = Simulator::new(m, SimConfig { slots: 50_000, ..SimConfig::default() });
+        let mut sim = Simulator::new(
+            m,
+            SimConfig {
+                slots: 50_000,
+                ..SimConfig::default()
+            },
+        );
         for flow in s1.background(lambda) {
             sim.add_flow(flow.path().clone(), Some(flow.demand_mbps()));
         }
         let report = sim.run(m);
-        let t = awb_net::LinkRateModel::topology(m);
+        let t = m.topology();
         let l3_tx = t.link(s1.links()[2]).unwrap().tx();
         let idle = report.node_idle_ratio[l3_tx.index()];
         // Independent λ-loads overlap with probability ≈ λ², so the
@@ -466,11 +489,17 @@ mod tests {
         // Two saturated links that hear each other: throughputs sum to ~54.
         let s1 = ScenarioOne::new();
         let m = s1.model();
-        let t = awb_net::LinkRateModel::topology(m);
+        let t = m.topology();
         let [_, _, l3] = s1.links();
         let p3 = awb_net::Path::new(t, vec![l3]).unwrap();
         let p1 = awb_net::Path::new(t, vec![s1.links()[0]]).unwrap();
-        let mut sim = Simulator::new(m, SimConfig { slots: 30_000, ..SimConfig::default() });
+        let mut sim = Simulator::new(
+            m,
+            SimConfig {
+                slots: 30_000,
+                ..SimConfig::default()
+            },
+        );
         let a = sim.add_flow(p3, None);
         let b = sim.add_flow(p1, None);
         let report = sim.run(m);
@@ -488,7 +517,7 @@ mod tests {
         // fire, so total goodput drops.
         let s1 = ScenarioOne::new();
         let m = s1.model();
-        let t = awb_net::LinkRateModel::topology(m);
+        let t = m.topology();
         let p1 = awb_net::Path::new(t, vec![s1.links()[0]]).unwrap();
         let p3 = awb_net::Path::new(t, vec![s1.links()[2]]).unwrap();
         let run = |contention| {
@@ -569,7 +598,10 @@ mod tests {
             let collisions: u64 = r.link_collision_slots.iter().sum();
             (goodput, collisions)
         };
-        let (g_dcf, c_dcf) = run(Contention::Dcf { cw_min: 16, cw_max: 1024 });
+        let (g_dcf, c_dcf) = run(Contention::Dcf {
+            cw_min: 16,
+            cw_max: 1024,
+        });
         let (g_pp, c_pp) = run(Contention::PPersistent(0.5));
         assert!(
             g_dcf > g_pp,
@@ -613,6 +645,12 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_panics() {
         let (m, _) = chain_model(1, 50.0, Phy::paper_default());
-        let _ = Simulator::new(&m, SimConfig { slots: 0, ..SimConfig::default() });
+        let _ = Simulator::new(
+            &m,
+            SimConfig {
+                slots: 0,
+                ..SimConfig::default()
+            },
+        );
     }
 }

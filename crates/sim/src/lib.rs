@@ -43,7 +43,7 @@
 //!     sim.add_flow(flow.path().clone(), Some(flow.demand_mbps()));
 //! }
 //! let report = sim.run(t);
-//! let l3_tx = awb_net::LinkRateModel::topology(t).link(s1.links()[2]).unwrap().tx();
+//! let l3_tx = t.topology().link(s1.links()[2]).unwrap().tx();
 //! let measured_idle = report.node_idle_ratio[l3_tx.index()];
 //! // Optimal overlap would leave 1 − λ = 0.6 idle; random phases leave less.
 //! assert!(measured_idle < 0.6);

@@ -1,6 +1,6 @@
 //! Regular chain and grid topologies for tests and benches.
 
-use awb_net::{LinkRateModel, Path, SinrModel, Topology};
+use awb_net::{Path, SinrModel, Topology};
 use awb_phy::Phy;
 
 /// A linear chain of `n_hops` links with nodes `hop_length` metres apart,

@@ -183,8 +183,7 @@ mod tests {
         });
         // Overwhelmingly likely to differ.
         let same = a.model().topology().num_links() == c.model().topology().num_links()
-            && a
-                .model()
+            && a.model()
                 .topology()
                 .nodes()
                 .zip(c.model().topology().nodes())
@@ -216,7 +215,9 @@ mod tests {
     #[test]
     fn bfs_distance_on_a_chain() {
         let mut t = Topology::new();
-        let nodes: Vec<_> = (0..4).map(|i| t.add_node(f64::from(i) * 10.0, 0.0)).collect();
+        let nodes: Vec<_> = (0..4)
+            .map(|i| t.add_node(f64::from(i) * 10.0, 0.0))
+            .collect();
         for w in nodes.windows(2) {
             t.add_link(w[0], w[1]).unwrap();
         }

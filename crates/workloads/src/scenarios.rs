@@ -1,7 +1,7 @@
 //! The paper's two hand-constructed micro-topologies (Fig. 1).
 
 use awb_core::{Flow, Schedule};
-use awb_net::{DeclarativeModel, LinkId, LinkRateModel, Path, Topology};
+use awb_net::{DeclarativeModel, LinkId, Path, Topology};
 use awb_phy::Rate;
 
 /// **Scenario I** (paper §1, Fig. 1): three links where `L1` and `L2`
@@ -112,8 +112,7 @@ impl ScenarioOne {
 
     /// The one-hop path over `L3` whose available bandwidth is in question.
     pub fn new_path(&self) -> Path {
-        Path::new(self.model.topology(), vec![self.links[2]])
-            .expect("single-link paths are valid")
+        Path::new(self.model.topology(), vec![self.links[2]]).expect("single-link paths are valid")
     }
 
     /// The *non-overlapping* background schedule a contention MAC produces
@@ -225,8 +224,7 @@ impl ScenarioTwo {
 
     /// The 4-hop path `L1 → L2 → L3 → L4`.
     pub fn path(&self) -> Path {
-        Path::new(self.model.topology(), self.links.to_vec())
-            .expect("the chain links form a path")
+        Path::new(self.model.topology(), self.links.to_vec()).expect("the chain links form a path")
     }
 
     /// The paper's optimal end-to-end throughput for the 4-hop flow.

@@ -25,12 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fixed-rate reasoning: pick a rate vector, find its tightest clique.
     let all54: Vec<_> = [l1, l2, l3, l4].into_iter().map(|l| (l, r54)).collect();
-    let bound54 = equal_throughput_clique_bound(m, &all54)
-        .expect("assignment is non-empty");
+    let bound54 = equal_throughput_clique_bound(m, &all54).expect("assignment is non-empty");
     println!("rate vector (54,54,54,54): clique bound = {bound54:.3} Mbps");
     let mixed = vec![(l1, r36), (l2, r54), (l3, r54), (l4, r54)];
-    let bound36 = equal_throughput_clique_bound(m, &mixed)
-        .expect("assignment is non-empty");
+    let bound36 = equal_throughput_clique_bound(m, &mixed).expect("assignment is non-empty");
     println!("rate vector (36,54,54,54): clique bound = {bound36:.3} Mbps");
 
     // Adaptive scheduling: the Eq. 6 LP over rate-coupled independent sets.

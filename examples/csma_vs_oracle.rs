@@ -32,7 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Behavioural: run the CSMA simulator and feed the measured ratios
         // into the same estimator.
-        let mut sim = Simulator::new(m, SimConfig { slots: 40_000, ..SimConfig::default() });
+        let mut sim = Simulator::new(
+            m,
+            SimConfig {
+                slots: 40_000,
+                ..SimConfig::default()
+            },
+        );
         for flow in s.background(lambda) {
             sim.add_flow(flow.path().clone(), Some(flow.demand_mbps()));
         }

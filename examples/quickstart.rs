@@ -12,7 +12,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A physical layout: five nodes in a line, 70 m apart — each hop
     //    decodes 36 Mbps alone under the paper's 802.11a model.
     let mut topology = Topology::new();
-    let nodes: Vec<_> = (0..5).map(|i| topology.add_node(i as f64 * 70.0, 0.0)).collect();
+    let nodes: Vec<_> = (0..5)
+        .map(|i| topology.add_node(i as f64 * 70.0, 0.0))
+        .collect();
     let mut links = Vec::new();
     for w in nodes.windows(2) {
         links.push(topology.add_link(w[0], w[1])?);
@@ -55,6 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\navailable bandwidth of the 4-hop path with 10 Mbps background: {:.3} Mbps",
         result.bandwidth_mbps()
     );
-    println!("optimal link scheduling achieving it:\n{}", result.schedule());
+    println!(
+        "optimal link scheduling achieving it:\n{}",
+        result.schedule()
+    );
     Ok(())
 }

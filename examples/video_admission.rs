@@ -11,7 +11,6 @@
 
 use awb::core::{feasibility, Schedule};
 use awb::estimate::{Estimator, Hop, IdleMap};
-use awb::net::LinkRateModel;
 use awb::routing::{admit_sequentially, AdmissionConfig, RoutingMetric};
 use awb::workloads::{connected_pairs, RandomTopology, RandomTopologyConfig};
 
@@ -39,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         )?;
         let admitted = outcomes.iter().filter(|o| o.admitted).count();
-        println!("routing by {metric}: {admitted}/{} streams admitted", cameras.len());
+        println!(
+            "routing by {metric}: {admitted}/{} streams admitted",
+            cameras.len()
+        );
         for o in &outcomes {
             match (&o.path, o.admitted) {
                 (Some(p), true) => println!(
@@ -79,8 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|o| o.admitted)
         .take(3)
         .map(|o| {
-            awb::core::Flow::new(o.path.clone().expect("admitted flows have paths"), STREAM_MBPS)
-                .expect("stream demand is valid")
+            awb::core::Flow::new(
+                o.path.clone().expect("admitted flows have paths"),
+                STREAM_MBPS,
+            )
+            .expect("stream demand is valid")
         })
         .collect();
     let schedule = if background.is_empty() {
@@ -96,10 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for e in Estimator::ALL {
             println!("  {e}: {:.2} Mbps", e.estimate(model, &hops));
         }
-        println!(
-            "  (the LP oracle says {:.2} Mbps)",
-            next.available_mbps
-        );
+        println!("  (the LP oracle says {:.2} Mbps)", next.available_mbps);
     }
     Ok(())
 }

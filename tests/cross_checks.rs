@@ -4,7 +4,6 @@
 
 use awb::core::bounds::{clique_upper_bound, UpperBoundOptions};
 use awb::core::{available_bandwidth, AvailableBandwidthOptions};
-use awb::net::LinkRateModel;
 use awb::phy::Phy;
 use awb::sim::{SimConfig, Simulator};
 use awb::workloads::chain_model;
@@ -15,14 +14,10 @@ fn csma_throughput_never_beats_the_oracle() {
     // better. Check across chain lengths and hop distances.
     for (hops, dist) in [(1usize, 50.0), (2, 50.0), (3, 70.0), (4, 100.0)] {
         let (model, path) = chain_model(hops, dist, Phy::paper_default());
-        let capacity = available_bandwidth(
-            &model,
-            &[],
-            &path,
-            &AvailableBandwidthOptions::default(),
-        )
-        .unwrap()
-        .bandwidth_mbps();
+        let capacity =
+            available_bandwidth(&model, &[], &path, &AvailableBandwidthOptions::default())
+                .unwrap()
+                .bandwidth_mbps();
         let mut sim = Simulator::new(
             &model,
             SimConfig {
@@ -49,14 +44,9 @@ fn csma_throughput_never_beats_the_oracle() {
 fn eq9_dominates_eq6_on_geometric_chains() {
     for hops in [2usize, 3, 4] {
         let (model, path) = chain_model(hops, 70.0, Phy::paper_default());
-        let exact = available_bandwidth(
-            &model,
-            &[],
-            &path,
-            &AvailableBandwidthOptions::default(),
-        )
-        .unwrap()
-        .bandwidth_mbps();
+        let exact = available_bandwidth(&model, &[], &path, &AvailableBandwidthOptions::default())
+            .unwrap()
+            .bandwidth_mbps();
         let upper = clique_upper_bound(
             &model,
             &[],
@@ -78,14 +68,9 @@ fn rate_limited_flows_meet_their_demand_under_capacity() {
     // A 2-hop relay has ~13 Mbps capacity at 70 m hops (36 Mbps links);
     // a 5 Mbps flow must be delivered nearly losslessly.
     let (model, path) = chain_model(2, 70.0, Phy::paper_default());
-    let capacity = available_bandwidth(
-        &model,
-        &[],
-        &path,
-        &AvailableBandwidthOptions::default(),
-    )
-    .unwrap()
-    .bandwidth_mbps();
+    let capacity = available_bandwidth(&model, &[], &path, &AvailableBandwidthOptions::default())
+        .unwrap()
+        .bandwidth_mbps();
     assert!(capacity > 10.0);
     let mut sim = Simulator::new(
         &model,
@@ -109,8 +94,14 @@ fn decomposition_is_close_on_geometric_instances() {
     let nb: Vec<_> = (0..3)
         .map(|i| t.add_node(i as f64 * 70.0, 10_000.0))
         .collect();
-    let la: Vec<_> = na.windows(2).map(|w| t.add_link(w[0], w[1]).unwrap()).collect();
-    let lb: Vec<_> = nb.windows(2).map(|w| t.add_link(w[0], w[1]).unwrap()).collect();
+    let la: Vec<_> = na
+        .windows(2)
+        .map(|w| t.add_link(w[0], w[1]).unwrap())
+        .collect();
+    let lb: Vec<_> = nb
+        .windows(2)
+        .map(|w| t.add_link(w[0], w[1]).unwrap())
+        .collect();
     let model = awb::net::SinrModel::new(t, Phy::paper_default());
     let path = awb::net::Path::new(model.topology(), la).unwrap();
     let bg_path = awb::net::Path::new(model.topology(), lb).unwrap();

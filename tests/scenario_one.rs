@@ -5,7 +5,6 @@
 
 use awb::core::{available_bandwidth, AvailableBandwidthOptions};
 use awb::estimate::{Estimator, Hop, IdleMap};
-use awb::net::LinkRateModel;
 use awb::sim::{SimConfig, Simulator};
 use awb::workloads::ScenarioOne;
 

@@ -7,9 +7,7 @@ use awb::core::bounds::{
 };
 use awb::core::{available_bandwidth, AvailableBandwidthOptions};
 use awb::phy::Rate;
-use awb::sets::{
-    is_clique, is_maximal_clique, is_maximal_clique_with_max_rates, RatedSet,
-};
+use awb::sets::{is_clique, is_maximal_clique, is_maximal_clique_with_max_rates, RatedSet};
 use awb::workloads::ScenarioTwo;
 
 fn r(m: f64) -> Rate {
@@ -156,13 +154,8 @@ fn optimal_schedule_uses_link_adaptation_on_l1() {
 #[test]
 fn eq9_upper_bound_dominates_the_adaptive_optimum() {
     let s = ScenarioTwo::new();
-    let upper = clique_upper_bound(
-        s.model(),
-        &[],
-        &s.path(),
-        &UpperBoundOptions::default(),
-    )
-    .unwrap();
+    let upper =
+        clique_upper_bound(s.model(), &[], &s.path(), &UpperBoundOptions::default()).unwrap();
     assert!(
         upper + 1e-6 >= ScenarioTwo::OPTIMAL_THROUGHPUT_MBPS,
         "Eq. 9 bound {upper} below the optimum"

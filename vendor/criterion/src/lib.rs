@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench sources compiling and producing useful numbers without
+//! crates.io access: each benchmark runs a short warmup followed by
+//! `sample_size` timed iterations and prints the mean per-iteration time.
+//! There is no statistical analysis, outlier detection, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            label: name.to_string(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, name),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id.0),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group (a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterised benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `label/parameter`.
+    pub fn new(label: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{label}/{parameter}"))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    label: String,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one warmup call, then `sample_size` measured calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        let mean = start.elapsed() / self.sample_size as u32;
+        println!(
+            "{:<50} time: [{} per iter, {} samples]",
+            self.label,
+            format_duration(mean),
+            self.sample_size
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_compose_labels() {
+        let mut c = Criterion::default();
+        let mut hits = 0;
+        c.bench_function("top", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+            g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+            g.bench_with_input(BenchmarkId::new("label", "p"), &1u8, |b, _| {
+                hits += 1;
+                b.iter(|| ())
+            });
+            g.finish();
+        }
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(4)), "4.00 s");
+    }
+}

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! drastically simplified serde: instead of the visitor-based
+//! `Serializer`/`Deserializer` machinery, [`Serialize`] converts a value
+//! straight to a [`json::Value`] tree and [`Deserialize`] reads one back.
+//! `serde_json` (also vendored) renders and parses that tree. The `derive`
+//! feature re-exports `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! proc-macros that target these traits, so downstream code keeps the
+//! familiar `serde::Serialize` spelling.
+//!
+//! Only JSON is supported; that is the sole format the workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types convertible to a JSON tree.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> json::Value;
+}
+
+/// Types reconstructible from a JSON tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`json::FromJsonError`] when the value has the wrong shape.
+    fn from_json(value: &json::Value) -> Result<Self, json::FromJsonError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+serialize_number!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> json::Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$n.to_json()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_json(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_json(value: &json::Value) -> Result<Self, json::FromJsonError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &json::Value) -> Result<Self, json::FromJsonError> {
+        value
+            .as_bool()
+            .ok_or_else(|| json::FromJsonError::new("expected a boolean"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &json::Value) -> Result<Self, json::FromJsonError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| json::FromJsonError::new("expected a string"))
+    }
+}
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(value: &json::Value) -> Result<Self, json::FromJsonError> {
+                value
+                    .as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| json::FromJsonError::new("expected a number"))
+            }
+        }
+    )*};
+}
+deserialize_float!(f32, f64);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(value: &json::Value) -> Result<Self, json::FromJsonError> {
+                let n = value
+                    .as_f64()
+                    .ok_or_else(|| json::FromJsonError::new("expected a number"))?;
+                if n.fract() != 0.0 {
+                    return Err(json::FromJsonError::new("expected an integer"));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(json::FromJsonError::new("integer out of range"));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &json::Value) -> Result<Self, json::FromJsonError> {
+        value
+            .as_array()
+            .ok_or_else(|| json::FromJsonError::new("expected an array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &json::Value) -> Result<Self, json::FromJsonError> {
+        match value {
+            json::Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(value: &json::Value) -> Result<Self, json::FromJsonError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| json::FromJsonError::new("expected an array"))?;
+                if items.len() != $len {
+                    return Err(json::FromJsonError::new("tuple arity mismatch"));
+                }
+                Ok(($($t::from_json(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}

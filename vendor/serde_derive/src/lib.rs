@@ -1,0 +1,282 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! (which are JSON-tree based, see the vendored `serde` crate) for the shapes
+//! the workspace actually uses: non-generic structs with named fields and
+//! tuple structs. Single-field tuple structs serialize transparently as their
+//! inner value, matching upstream serde's newtype behaviour.
+//!
+//! Parsing is done directly over `proc_macro::TokenStream` so the stub needs
+//! neither `syn` nor `quote` (neither is available offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Fields of a parsed struct.
+enum Shape {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+}
+
+struct Struct {
+    name: String,
+    /// Lifetime parameters, e.g. `'a, 'b` (empty for non-generic structs).
+    generics: String,
+    shape: Shape,
+}
+
+impl Struct {
+    /// `impl` header + self type, e.g. `impl<'a> $trait for Foo<'a>`.
+    fn impl_header(&self, trait_path: &str) -> String {
+        if self.generics.is_empty() {
+            format!("impl {trait_path} for {}", self.name)
+        } else {
+            format!(
+                "impl<{g}> {trait_path} for {}<{g}>",
+                self.name,
+                g = self.generics
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, emit_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, emit_deserialize)
+}
+
+fn expand(input: TokenStream, emit: fn(&Struct) -> String) -> TokenStream {
+    let code = match parse_struct(input) {
+        Ok(s) => emit(&s),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+fn parse_struct(input: TokenStream) -> Result<Struct, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        _ => return Err("this serde stub derives structs only (no enums)".to_string()),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(name)) => {
+            i += 1;
+            name.to_string()
+        }
+        _ => return Err("expected a struct name".to_string()),
+    };
+    let mut generics = String::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                None => return Err("unclosed generics".to_string()),
+                _ => {}
+            }
+            generics.push_str(&tokens[i].to_string());
+            i += 1;
+        }
+        // Only lifetime parameters are supported: every comma-separated
+        // param must be a `'ident` with no bounds.
+        for param in generics.split(',') {
+            let param = param.trim();
+            if !param.starts_with('\'') || param.contains(':') {
+                return Err(format!(
+                    "this serde stub derives lifetime-only generics, found `{param}`"
+                ));
+            }
+        }
+    }
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream())?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        _ => return Err("expected a struct body".to_string()),
+    };
+    Ok(Struct {
+        name,
+        generics,
+        shape,
+    })
+}
+
+/// Advances past any `#[...]` attributes (incl. doc comments) and an optional
+/// `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past a type, stopping at a top-level `,` or the end. Tracks
+/// angle-bracket depth because generic arguments (`BTreeMap<String, V>`) keep
+/// their commas at the same token-tree level.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected a field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the `,` (or one past the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the `,` (or one past the end)
+        count += 1;
+    }
+    count
+}
+
+fn emit_serialize(s: &Struct) -> String {
+    let body = match &s.shape {
+        Shape::Named(fields) => {
+            let mut b = String::from("let mut m = serde::json::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "m.insert(String::from({f:?}), serde::Serialize::to_json(&self.{f}));\n"
+                ));
+            }
+            b.push_str("serde::json::Value::Object(m)");
+            b
+        }
+        // Newtype structs are transparent, like upstream serde.
+        Shape::Tuple(1) => "serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("serde::json::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "serde::json::Value::Null".to_string(),
+    };
+    format!(
+        "{} {{\n\
+         fn to_json(&self) -> serde::json::Value {{\n{body}\n}}\n}}",
+        s.impl_header("serde::Serialize")
+    )
+}
+
+fn emit_deserialize(s: &Struct) -> String {
+    let name = &s.name;
+    let body = match &s.shape {
+        Shape::Named(fields) => {
+            let mut b = format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                 serde::json::FromJsonError::new(\"expected an object for {name}\"))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "{f}: serde::Deserialize::from_json(\
+                     obj.get({f:?}).unwrap_or(&serde::json::Value::Null))\
+                     .map_err(|e| e.in_field({f:?}))?,\n"
+                ));
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_json(value)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_json(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 serde::json::FromJsonError::new(\"expected an array for {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                 return Err(serde::json::FromJsonError::new(\"wrong arity for {name}\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("let _ = value; Ok({name})"),
+    };
+    format!(
+        "{} {{\n\
+         fn from_json(value: &serde::json::Value) -> \
+         Result<Self, serde::json::FromJsonError> {{\n{body}\n}}\n}}",
+        s.impl_header("serde::Deserialize")
+    )
+}

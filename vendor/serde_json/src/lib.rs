@@ -1,0 +1,105 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Renders and parses the JSON tree defined by the vendored `serde` stub
+//! (`serde::json::Value`). The public functions mirror the upstream
+//! signatures the workspace uses: [`to_value`], [`to_string`],
+//! [`to_string_pretty`], and [`from_str`].
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::json::{Map, Value};
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::json::FromJsonError> for Error {
+    fn from(e: serde::json::FromJsonError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any [`serde::Serialize`] value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible in this stub; the `Result` mirrors the upstream signature.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Renders a value as compact JSON.
+///
+/// # Errors
+///
+/// Infallible in this stub; the `Result` mirrors the upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_compact_string())
+}
+
+/// Renders a value as pretty JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible in this stub; the `Result` mirrors the upstream signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_pretty_string())
+}
+
+/// Parses a JSON document into any [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = serde::json::parse(input)?;
+    Ok(T::from_json(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{from_str, to_string, to_string_pretty, to_value, Value};
+
+    #[test]
+    fn value_round_trip() {
+        let v: Value = from_str(r#"{"x": 1, "y": [true, "s"]}"#).unwrap();
+        assert_eq!(v["x"].as_u64(), Some(1));
+        assert_eq!(v["y"][1].as_str(), Some("s"));
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = to_value(vec![1u32, 2]).unwrap();
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let xs: Vec<f64> = from_str("[1, 2.5]").unwrap();
+        assert_eq!(xs, vec![1.0, 2.5]);
+        assert!(from_str::<Vec<f64>>("[1, \"no\"]").is_err());
+    }
+}
