@@ -15,4 +15,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> enum_bench --smoke (engine equivalence + speedup floor)"
+cargo run --release -q -p awb-bench --bin enum_bench -- --smoke
+
 echo "CI green."

@@ -1,10 +1,15 @@
 //! Independent-set enumeration benchmarks: chain-length scaling, the
-//! dominance-pruning ablation (`enum_pruning` in DESIGN.md), and the
-//! pairwise-vs-joint admissibility ablation (`admissibility`).
+//! dominance-pruning ablation (`enum_pruning` in DESIGN.md), the
+//! pairwise-vs-joint admissibility ablation (`admissibility`), and the
+//! compiled-vs-generic engine comparison (`enum_engines`; the `enum_bench`
+//! binary emits the same comparison as machine-readable JSON).
 
+use awb_bench::topo::random_declarative;
 use awb_net::{DeclarativeModel, LinkRateModel, SinrModel};
 use awb_phy::Phy;
-use awb_sets::{enumerate_admissible, EnumerationOptions};
+use awb_sets::{
+    enumerate_admissible, maximal_independent_sets_with, EngineKind, EnumerationOptions,
+};
 use awb_workloads::chain_model;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -55,7 +60,7 @@ fn bench_pruning_ablation(c: &mut Criterion) {
                     &links,
                     &EnumerationOptions {
                         prune_dominated: prune,
-                        max_set_size: None,
+                        ..EnumerationOptions::default()
                     },
                 )
             })
@@ -78,10 +83,41 @@ fn bench_admissibility_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enum_engines");
+    let (model, links) = random_declarative(10, 7);
+    let engines = [
+        ("generic", EngineKind::Generic),
+        ("compiled", EngineKind::Compiled(1)),
+        ("compiled2", EngineKind::Compiled(2)),
+        ("compiled4", EngineKind::Compiled(4)),
+    ];
+    for (label, kind) in engines {
+        g.bench_with_input(BenchmarkId::new("enumerate", label), &kind, |b, &kind| {
+            b.iter(|| {
+                enumerate_admissible(
+                    &model,
+                    &links,
+                    &EnumerationOptions {
+                        prune_dominated: false,
+                        engine: kind,
+                        ..EnumerationOptions::default()
+                    },
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("maximal", label), &kind, |b, &kind| {
+            b.iter(|| maximal_independent_sets_with(&model, &links, kind))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_chain_scaling,
     bench_pruning_ablation,
-    bench_admissibility_ablation
+    bench_admissibility_ablation,
+    bench_engine_comparison
 );
 criterion_main!(benches);

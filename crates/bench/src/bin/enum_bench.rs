@@ -1,0 +1,171 @@
+//! `enum_bench` — machine-readable comparison of the set-enumeration
+//! engines, written to `BENCH_enumeration.json` at the repo root.
+//!
+//! For each topology size it times `maximal_independent_sets_with` and
+//! unpruned `enumerate_admissible` under every engine (generic backtracker,
+//! compiled bitset at 1/2/4 threads) on the same seeded random declarative
+//! model, reporting ns/op (minimum over iterations) and the compiled-vs-
+//! generic speedup. Engine outputs are asserted byte-identical before any
+//! timing is trusted.
+//!
+//! `--smoke` runs a single small topology with loose thresholds and writes
+//! nothing — the CI hook that keeps the engines honest without paying for
+//! the full sweep.
+
+use awb_bench::topo::random_declarative;
+use awb_sets::{
+    enumerate_admissible, maximal_independent_sets_with, EngineKind, EnumerationOptions,
+};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const SEED: u64 = 7;
+
+const ENGINES: [(&str, EngineKind); 4] = [
+    ("generic", EngineKind::Generic),
+    ("compiled1", EngineKind::Compiled(1)),
+    ("compiled2", EngineKind::Compiled(2)),
+    ("compiled4", EngineKind::Compiled(4)),
+];
+
+#[derive(Serialize)]
+struct SizeResult {
+    links: usize,
+    maximal_sets: usize,
+    admissible_sets: usize,
+    /// ns/op of `maximal_independent_sets_with`, per engine.
+    maximal_ns: BTreeMap<String, u64>,
+    /// ns/op of unpruned `enumerate_admissible`, per engine.
+    enumerate_ns: BTreeMap<String, u64>,
+    /// maximal: generic ns / compiled1 ns.
+    maximal_speedup: f64,
+    /// enumerate: generic ns / compiled1 ns.
+    enumerate_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    command: &'static str,
+    seed: u64,
+    /// Cores available to the run — parallel scaling cannot exceed this.
+    cpu_cores: usize,
+    results: Vec<SizeResult>,
+}
+
+/// ns/op: warm up once, then iterate for at least ~60 ms (at least 3 times)
+/// and take the minimum — the usual floor-of-noise estimator.
+fn time_ns(mut f: impl FnMut()) -> u64 {
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_nanos().max(1);
+    let iters = (60_000_000 / once).clamp(3, 10_000) as usize;
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    u64::try_from(best).unwrap_or(u64::MAX)
+}
+
+fn unpruned(engine: EngineKind) -> EnumerationOptions {
+    EnumerationOptions {
+        prune_dominated: false,
+        engine,
+        ..EnumerationOptions::default()
+    }
+}
+
+fn run_size(links: usize, seed: u64) -> SizeResult {
+    let (model, universe) = random_declarative(links, seed);
+
+    // Correctness gate: every engine must agree with the generic reference
+    // byte-for-byte before its timings mean anything.
+    let max_ref = maximal_independent_sets_with(&model, &universe, EngineKind::Generic);
+    let enum_ref = enumerate_admissible(&model, &universe, &unpruned(EngineKind::Generic));
+    for (name, kind) in ENGINES {
+        assert_eq!(
+            maximal_independent_sets_with(&model, &universe, kind),
+            max_ref,
+            "maximal mismatch for engine {name}"
+        );
+        assert_eq!(
+            enumerate_admissible(&model, &universe, &unpruned(kind)),
+            enum_ref,
+            "enumerate mismatch for engine {name}"
+        );
+    }
+
+    let mut maximal_ns = BTreeMap::new();
+    let mut enumerate_ns = BTreeMap::new();
+    for (name, kind) in ENGINES {
+        maximal_ns.insert(
+            name.to_string(),
+            time_ns(|| {
+                maximal_independent_sets_with(&model, &universe, kind);
+            }),
+        );
+        enumerate_ns.insert(
+            name.to_string(),
+            time_ns(|| {
+                enumerate_admissible(&model, &universe, &unpruned(kind));
+            }),
+        );
+    }
+    let ratio = |m: &BTreeMap<String, u64>| m["generic"] as f64 / m["compiled1"] as f64;
+    SizeResult {
+        links,
+        maximal_sets: max_ref.len(),
+        admissible_sets: enum_ref.len(),
+        maximal_speedup: ratio(&maximal_ns),
+        enumerate_speedup: ratio(&enumerate_ns),
+        maximal_ns,
+        enumerate_ns,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cpu_cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    if smoke {
+        let result = run_size(8, SEED);
+        assert!(
+            result.maximal_speedup >= 1.5,
+            "compiled maximal-set engine is not ahead of generic: {:.2}x",
+            result.maximal_speedup
+        );
+        println!(
+            "enum_bench smoke ok: 8 links, {} maximal sets, compiled {:.1}x generic",
+            result.maximal_sets, result.maximal_speedup
+        );
+        return;
+    }
+
+    let report = Report {
+        bench: "enumeration-engines",
+        command: "cargo run --release -p awb-bench --bin enum_bench",
+        seed: SEED,
+        cpu_cores,
+        results: [8, 10, 12, 14].map(|n| run_size(n, SEED)).into(),
+    };
+    for r in &report.results {
+        println!(
+            "{:>2} links: maximal {:>6} sets, generic {:>12} ns, compiled {:>12} ns ({:.1}x); \
+             enumerate {:>6} sets ({:.1}x)",
+            r.links,
+            r.maximal_sets,
+            r.maximal_ns["generic"],
+            r.maximal_ns["compiled1"],
+            r.maximal_speedup,
+            r.admissible_sets,
+            r.enumerate_speedup,
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_enumeration.json", json + "\n").expect("write BENCH_enumeration.json");
+    println!("wrote BENCH_enumeration.json ({} cores)", cpu_cores);
+}

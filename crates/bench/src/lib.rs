@@ -12,3 +12,4 @@ pub mod experiments;
 pub mod rows;
 pub mod svg;
 pub mod table;
+pub mod topo;

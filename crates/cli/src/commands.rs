@@ -254,16 +254,46 @@ struct Scenario2Out {
     schedule: String,
 }
 
+/// Parses `--enum-engine`: `auto`, `generic`, or `compiled[:threads]`
+/// (`compiled` alone means one worker per core).
+fn parse_engine_kind(s: &str) -> Result<awb_sets::EngineKind, Box<dyn Error>> {
+    use awb_sets::EngineKind;
+    match s {
+        "auto" => Ok(EngineKind::Auto),
+        "generic" => Ok(EngineKind::Generic),
+        "compiled" => Ok(EngineKind::Compiled(0)),
+        other => {
+            if let Some(threads) = other.strip_prefix("compiled:") {
+                let threads: usize = threads
+                    .parse()
+                    .map_err(|_| format!("cannot parse --enum-engine value {other:?}"))?;
+                Ok(EngineKind::Compiled(threads))
+            } else {
+                Err(format!(
+                    "unknown --enum-engine {other:?} (expected auto, generic, or compiled[:N])"
+                )
+                .into())
+            }
+        }
+    }
+}
+
 /// `awb serve` — run the admission-control daemon ([`awb_service`]).
 ///
 /// With `--stdio`, serves newline-delimited JSON requests from stdin to
 /// stdout and exits at EOF (single-shot mode). Otherwise binds a TCP
 /// listener (default `127.0.0.1:4810`; `--addr host:0` picks a free port)
-/// and serves until killed.
+/// and serves until killed. `--enum-engine auto|generic|compiled[:N]`
+/// selects the set-enumeration engine (a pure performance knob; results are
+/// identical).
 pub fn serve(args: &Args) -> CmdResult {
     use awb_service::{Engine, EngineConfig, ServerConfig};
+    let engine_config = EngineConfig {
+        enumeration_engine: parse_engine_kind(args.get("enum-engine").unwrap_or("auto"))?,
+        ..EngineConfig::default()
+    };
     if args.has("stdio") {
-        let engine = Engine::new(EngineConfig::default());
+        let engine = Engine::new(engine_config);
         let stdin = std::io::stdin();
         let mut stdout = std::io::stdout();
         let served = awb_service::serve_stdio(&engine, stdin.lock(), &mut stdout)?;
@@ -277,7 +307,7 @@ pub fn serve(args: &Args) -> CmdResult {
         addr: args.get("addr").unwrap_or("127.0.0.1:4810").to_string(),
         workers: args.get_or("workers", 4usize)?.max(1),
         queue_capacity: args.get_or("queue", 64usize)?.max(1),
-        engine: EngineConfig::default(),
+        engine: engine_config,
     };
     let server = awb_service::serve(config)?;
     eprintln!("awb-service listening on {}", server.local_addr());

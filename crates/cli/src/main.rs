@@ -9,6 +9,7 @@
 //!               [--contention ordered|p0.5|dcf] [--json]
 //! awb scenario2 [--json]
 //! awb serve     [--addr 127.0.0.1:4810] [--workers 4] [--queue 64] [--stdio]
+//!               [--enum-engine auto|generic|compiled[:N]]
 //! awb query     [--addr host:port] [--request '<json>']
 //! ```
 
@@ -27,7 +28,8 @@ commands:
   simulate    run the CSMA/CA simulator on a chain
   scenario2   the paper's clique-invalidity counterexample (16.2 Mbps)
   serve       run the admission-control daemon (JSON lines over TCP;
-              --stdio for single-shot stdin/stdout mode)
+              --stdio for single-shot stdin/stdout mode;
+              --enum-engine auto|generic|compiled[:N] picks the enumerator)
   query       send one request to a server (--addr) or answer it in-process
 
 common flags: --json for machine-readable output, --help for this text";

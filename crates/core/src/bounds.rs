@@ -250,6 +250,7 @@ pub fn lower_bound_max_set_size<M: LinkRateModel>(
         &EnumerationOptions {
             prune_dominated: true,
             max_set_size: Some(max_set_size),
+            ..EnumerationOptions::default()
         },
     );
     Ok(available_bandwidth_with_sets(

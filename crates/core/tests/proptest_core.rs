@@ -127,7 +127,7 @@ proptest! {
         };
         let all = enumerate_admissible(
             &model, &universe,
-            &EnumerationOptions { prune_dominated: false, max_set_size: None },
+            &EnumerationOptions { prune_dominated: false, ..EnumerationOptions::default() },
         );
         let maximal = maximal_independent_sets(&model, &universe);
         prop_assert!(maximal.len() <= all.len());

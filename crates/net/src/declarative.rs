@@ -220,6 +220,12 @@ impl LinkRateModel for DeclarativeModel {
         };
         l.tx() == node || l.rx() == node || self.hears.contains(&(node.index(), link.index()))
     }
+
+    fn pairwise_admissibility_exact(&self) -> bool {
+        // `admissible` is exactly "every rate is listed alone and no pair
+        // conflicts" — there is no joint (additive) term.
+        true
+    }
 }
 
 #[cfg(test)]

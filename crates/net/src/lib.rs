@@ -37,6 +37,7 @@ mod geometric;
 mod ids;
 mod model;
 mod path;
+mod snapshot;
 mod topology;
 
 pub use declarative::{DeclarativeModel, DeclarativeModelBuilder};
@@ -45,4 +46,5 @@ pub use geometric::SinrModel;
 pub use ids::{LinkId, NodeId};
 pub use model::LinkRateModel;
 pub use path::Path;
+pub use snapshot::ConflictSnapshot;
 pub use topology::{Link, Node, Point, Topology};

@@ -1,6 +1,7 @@
 //! The interface between a topology and the rate-coupled combinatorics.
 
 use crate::ids::{LinkId, NodeId};
+use crate::snapshot::ConflictSnapshot;
 use crate::topology::Topology;
 use awb_phy::Rate;
 
@@ -64,6 +65,26 @@ pub trait LinkRateModel {
         false
     }
 
+    /// Whether joint admissibility is *equivalent* to checking every couple
+    /// pair with [`conflicts`](Self::conflicts) (given that each rate is
+    /// drawn from the link's [`alone_rates`](Self::alone_rates)).
+    ///
+    /// True for declarative models, whose conflicts are stated per pair;
+    /// false for additive-interference models, where three transmitters can
+    /// jointly deny a rate that every pair allows. Compiled enumeration
+    /// engines use this to decide whether a pairwise conflict bitmask is the
+    /// whole admissibility test or merely a sound pre-filter.
+    fn pairwise_admissibility_exact(&self) -> bool {
+        false
+    }
+
+    /// Bulk snapshot of the per-link rates and pairwise couple conflicts of
+    /// `universe` — the one-time compilation input for fast enumeration
+    /// engines (see [`ConflictSnapshot`]).
+    fn conflict_snapshot(&self, universe: &[LinkId]) -> ConflictSnapshot {
+        ConflictSnapshot::build(self, universe)
+    }
+
     /// The maximum rate `link` itself can sustain while every couple in
     /// `others` transmits concurrently — regardless of whether those other
     /// transmissions succeed (the per-victim "capture" question a MAC
@@ -106,6 +127,12 @@ impl<M: LinkRateModel + ?Sized> LinkRateModel for &M {
     }
     fn rate_independent_interference(&self) -> bool {
         (**self).rate_independent_interference()
+    }
+    fn pairwise_admissibility_exact(&self) -> bool {
+        (**self).pairwise_admissibility_exact()
+    }
+    fn conflict_snapshot(&self, universe: &[LinkId]) -> ConflictSnapshot {
+        (**self).conflict_snapshot(universe)
     }
     fn victim_max_rate(&self, link: LinkId, others: &[(LinkId, Rate)]) -> Option<Rate> {
         (**self).victim_max_rate(link, others)

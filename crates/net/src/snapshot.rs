@@ -1,0 +1,166 @@
+//! Bulk conflict/rate snapshots: the one-time compilation input for fast
+//! set-enumeration engines.
+//!
+//! Enumeration engines (e.g. `awb-sets`' compiled bitset engine) want the
+//! whole pairwise conflict structure of a link universe up front, as flat
+//! arrays, instead of calling back into [`LinkRateModel`] at every search
+//! node. [`ConflictSnapshot`] is that bulk API: one call walks the model
+//! once, and everything after it is plain data — `Send + Sync`, no model
+//! borrows, safe to ship across worker threads.
+
+use crate::ids::LinkId;
+use crate::model::LinkRateModel;
+use awb_phy::Rate;
+
+/// A flattened snapshot of a model's per-link rates and pairwise couple
+/// conflicts over a link universe.
+///
+/// Links of the universe with no alone rate (dead links) are dropped; the
+/// surviving *live* links keep the universe's order. Every `(link, rate)`
+/// combination of a live link is a **couple**, numbered `0..num_couples()`
+/// grouped by link with rates descending — the same visit order the generic
+/// backtracker uses, so engines built on the snapshot can reproduce its
+/// output byte for byte.
+///
+/// The pairwise matrix is *exact* admissibility only when
+/// [`pairwise_exact`](Self::pairwise_exact) is true (declarative models);
+/// for additive-interference models it is still a **sound pruner**: a pair
+/// that conflicts can never appear together in an admissible set, because
+/// admissibility is downward closed.
+#[derive(Debug, Clone)]
+pub struct ConflictSnapshot {
+    links: Vec<LinkId>,
+    rates: Vec<Vec<Rate>>,
+    couples: Vec<(usize, Rate)>,
+    offsets: Vec<usize>,
+    conflicts: Vec<bool>,
+    pairwise_exact: bool,
+    rate_independent: bool,
+}
+
+impl ConflictSnapshot {
+    /// Walks `model` once and snapshots the conflict structure of
+    /// `universe`. O(C²) pairwise conflict queries for C couples.
+    pub fn build<M: LinkRateModel + ?Sized>(model: &M, universe: &[LinkId]) -> ConflictSnapshot {
+        let mut links = Vec::new();
+        let mut rates: Vec<Vec<Rate>> = Vec::new();
+        for &l in universe {
+            let rs = model.alone_rates(l);
+            if !rs.is_empty() {
+                links.push(l);
+                rates.push(rs);
+            }
+        }
+        let mut couples = Vec::new();
+        let mut offsets = vec![0usize];
+        for (i, rs) in rates.iter().enumerate() {
+            for &r in rs {
+                couples.push((i, r));
+            }
+            offsets.push(couples.len());
+        }
+        let c = couples.len();
+        let mut conflicts = vec![false; c * c];
+        for a in 0..c {
+            let (la, ra) = couples[a];
+            for b in (a + 1)..c {
+                let (lb, rb) = couples[b];
+                // Two couples of the same link can never transmit
+                // concurrently (a link uses one rate at a time).
+                let x = la == lb || model.conflicts((links[la], ra), (links[lb], rb));
+                conflicts[a * c + b] = x;
+                conflicts[b * c + a] = x;
+            }
+        }
+        ConflictSnapshot {
+            links,
+            rates,
+            couples,
+            offsets,
+            conflicts,
+            pairwise_exact: model.pairwise_admissibility_exact(),
+            rate_independent: model.rate_independent_interference(),
+        }
+    }
+
+    /// The live links of the universe, in universe order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Descending alone rates of live link `i`.
+    pub fn rates_of(&self, i: usize) -> &[Rate] {
+        &self.rates[i]
+    }
+
+    /// Number of couples.
+    pub fn num_couples(&self) -> usize {
+        self.couples.len()
+    }
+
+    /// Couple `c` as a `(live link index, rate)` pair.
+    pub fn couple(&self, c: usize) -> (usize, Rate) {
+        self.couples[c]
+    }
+
+    /// The couple-id range of live link `i` (rates descending).
+    pub fn couples_of(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Whether couples `a` and `b` conflict (same-link pairs always do; the
+    /// diagonal is `false`).
+    pub fn conflict(&self, a: usize, b: usize) -> bool {
+        self.conflicts[a * self.couples.len() + b]
+    }
+
+    /// Whether pairwise conflict-freedom is *equivalent* to joint
+    /// admissibility for the snapshotted model.
+    pub fn pairwise_exact(&self) -> bool {
+        self.pairwise_exact
+    }
+
+    /// Mirror of [`LinkRateModel::rate_independent_interference`].
+    pub fn rate_independent(&self) -> bool {
+        self.rate_independent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::declarative::DeclarativeModel;
+    use crate::topology::Topology;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    #[test]
+    fn snapshot_reflects_declared_conflicts_and_drops_dead_links() {
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..6).map(|i| t.add_node(i as f64 * 10.0, 0.0)).collect();
+        let l0 = t.add_link(n[0], n[1]).unwrap();
+        let l1 = t.add_link(n[2], n[3]).unwrap();
+        let dead = t.add_link(n[4], n[5]).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(l0, &[r(54.0), r(36.0)])
+            .alone_rates(l1, &[r(54.0)])
+            .conflict_at(l0, r(54.0), l1, r(54.0))
+            .build();
+        let snap = ConflictSnapshot::build(&m, &[l0, l1, dead]);
+        assert_eq!(snap.links(), &[l0, l1]);
+        assert!(snap.pairwise_exact());
+        assert!(!snap.rate_independent());
+        assert_eq!(snap.num_couples(), 3);
+        assert_eq!(snap.couples_of(0), 0..2);
+        assert_eq!(snap.couple(0), (0, r(54.0)));
+        assert_eq!(snap.couple(1), (0, r(36.0)));
+        // Same-link couples conflict; the declared rate pair conflicts; the
+        // (36, 54) cross pair does not.
+        assert!(snap.conflict(0, 1));
+        assert!(snap.conflict(0, 2));
+        assert!(!snap.conflict(1, 2));
+        assert!(!snap.conflict(2, 2));
+    }
+}

@@ -36,7 +36,7 @@ use awb_core::{
 };
 use awb_estimate::{Estimator, Hop, IdleMap};
 use awb_net::{LinkRateModel, Path};
-use awb_sets::{enumerate_admissible, EnumerationOptions, RatedSet};
+use awb_sets::{enumerate_admissible, EngineKind, EnumerationOptions, RatedSet};
 use serde_json::{Map, Value};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -59,6 +59,10 @@ pub struct EngineConfig {
     pub result_cache_capacity: usize,
     /// Capacity of the built-model LRU for inline (unregistered) specs.
     pub model_cache_capacity: usize,
+    /// Enumeration engine used for cold set-pool builds. Every engine is
+    /// byte-identical in output, so switching it never invalidates cached
+    /// pools (and the sets-cache key deliberately excludes it).
+    pub enumeration_engine: EngineKind,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +71,7 @@ impl Default for EngineConfig {
             sets_cache_capacity: 128,
             result_cache_capacity: 1024,
             model_cache_capacity: 64,
+            enumeration_engine: EngineKind::Auto,
         }
     }
 }
@@ -83,6 +88,8 @@ pub struct Engine {
     results: Mutex<LruCache<Value>>,
     /// Deduplicates concurrent enumerations of the same pool.
     coalescer: Coalescer<Vec<RatedSet>>,
+    /// Engine used for cold set-pool builds.
+    enumeration_engine: EngineKind,
     /// Service counters.
     pub metrics: Metrics,
 }
@@ -114,6 +121,7 @@ impl Engine {
             sets: Mutex::new(LruCache::new(config.sets_cache_capacity)),
             results: Mutex::new(LruCache::new(config.result_cache_capacity)),
             coalescer: Coalescer::new(),
+            enumeration_engine: config.enumeration_engine,
             metrics: Metrics::new(),
         }
     }
@@ -258,15 +266,18 @@ impl Engine {
         Ok((new_path, flows))
     }
 
-    fn enumeration_options(request: &Request) -> EnumerationOptions {
+    fn enumeration_options(&self, request: &Request) -> EnumerationOptions {
         EnumerationOptions {
             max_set_size: request.max_set_size,
+            engine: self.enumeration_engine,
             ..EnumerationOptions::default()
         }
     }
 
     /// The key identifying an enumerated set pool: topology, universe and
-    /// enumeration options.
+    /// enumeration options. The engine choice is deliberately **not** part
+    /// of the key: all engines return byte-identical pools, so a pool built
+    /// by one engine is a valid hit for any other.
     fn sets_key(
         resolved: &ResolvedTopology,
         universe: &[awb_net::LinkId],
@@ -370,7 +381,7 @@ impl Engine {
         Metrics::bump(&self.metrics.result_cache_misses);
         self.check_deadline(deadline)?;
 
-        let enumeration = Engine::enumeration_options(request);
+        let enumeration = self.enumeration_options(request);
         let universe = link_universe(&flows, &new_path);
         let (pool, status) = self.set_pool(&resolved, &universe, &enumeration)?;
         self.check_deadline(deadline)?;

@@ -1,0 +1,239 @@
+//! Word-packed compilation of a [`ConflictSnapshot`]: the flat-array model
+//! the bitset enumeration engine (see [`crate::engine`]) searches over.
+//!
+//! A one-time pass turns the snapshot's boolean pair matrix into `u64`
+//! bitmask rows, one per couple, so the inner admissibility test of the
+//! search becomes an O(words) mask intersection instead of a
+//! whole-assignment model callback. The compiled form is plain owned data
+//! (`Send + Sync`), which is what lets the engine fan subtrees out across
+//! threads without borrowing the model.
+
+use awb_net::{ConflictSnapshot, LinkId};
+use awb_phy::Rate;
+
+/// A bitset over couples, `words` words wide.
+pub(crate) type Mask = Vec<u64>;
+
+/// The compiled model: couple tables plus per-couple conflict/compatibility
+/// mask rows.
+#[derive(Debug, Clone)]
+pub(crate) struct Compiled {
+    /// Words per mask row.
+    pub words: usize,
+    /// Live links, universe order.
+    pub links: Vec<LinkId>,
+    /// Descending alone rates per live link.
+    pub rates: Vec<Vec<Rate>>,
+    /// Couple id → live link index.
+    pub couple_link: Vec<usize>,
+    /// Couple id → rate.
+    pub couple_rate: Vec<Rate>,
+    /// Live link index → couple-id range bounds (couples of link `i` are
+    /// `offsets[i]..offsets[i + 1]`, rates descending).
+    pub offsets: Vec<usize>,
+    /// Conflict rows: `conflict[c]` has a bit for every couple that cannot
+    /// transmit concurrently with `c`, *including* every couple of `c`'s own
+    /// link and `c` itself.
+    conflict: Vec<u64>,
+    /// Complement rows, restricted to valid couple bits:
+    /// `compat[c] = !conflict[c] & universe`.
+    compat: Vec<u64>,
+    /// Whether the conflict rows are the whole admissibility test.
+    pub pairwise_exact: bool,
+}
+
+impl Compiled {
+    pub(crate) fn new(snap: &ConflictSnapshot) -> Compiled {
+        let n = snap.num_couples();
+        let num_links = snap.links().len();
+        let words = n.div_ceil(64).max(1);
+        let links = snap.links().to_vec();
+        let rates: Vec<Vec<Rate>> = (0..num_links).map(|i| snap.rates_of(i).to_vec()).collect();
+        let mut couple_link = Vec::with_capacity(n);
+        let mut couple_rate = Vec::with_capacity(n);
+        let mut offsets = vec![0usize];
+        for i in 0..num_links {
+            for c in snap.couples_of(i) {
+                let (link, rate) = snap.couple(c);
+                debug_assert_eq!(link, i);
+                couple_link.push(link);
+                couple_rate.push(rate);
+            }
+            offsets.push(couple_link.len());
+        }
+        let mut conflict = vec![0u64; n * words];
+        for a in 0..n {
+            let row = &mut conflict[a * words..(a + 1) * words];
+            set_bit(row, a); // a couple "conflicts" with itself: once chosen,
+                             // it leaves the candidate pool.
+            for b in 0..n {
+                if a != b && snap.conflict(a, b) {
+                    set_bit(row, b);
+                }
+            }
+        }
+        let mut universe_mask = vec![0u64; words];
+        for c in 0..n {
+            set_bit(&mut universe_mask, c);
+        }
+        let mut compat = vec![0u64; n * words];
+        for c in 0..n {
+            for w in 0..words {
+                compat[c * words + w] = !conflict[c * words + w] & universe_mask[w];
+            }
+        }
+        Compiled {
+            words,
+            links,
+            rates,
+            couple_link,
+            couple_rate,
+            offsets,
+            conflict,
+            compat,
+            pairwise_exact: snap.pairwise_exact(),
+        }
+    }
+
+    /// Number of couples.
+    pub(crate) fn num_couples(&self) -> usize {
+        self.couple_link.len()
+    }
+
+    /// Number of live links.
+    pub(crate) fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Conflict row of couple `c`.
+    pub(crate) fn conflict_row(&self, c: usize) -> &[u64] {
+        &self.conflict[c * self.words..(c + 1) * self.words]
+    }
+
+    /// Compatibility row of couple `c` (valid couples only).
+    pub(crate) fn compat_row(&self, c: usize) -> &[u64] {
+        &self.compat[c * self.words..(c + 1) * self.words]
+    }
+
+    /// The lowest-rate couple of live link `i`.
+    pub(crate) fn lowest_couple(&self, i: usize) -> usize {
+        self.offsets[i + 1] - 1
+    }
+
+    /// A zeroed mask.
+    pub(crate) fn zero_mask(&self) -> Mask {
+        vec![0u64; self.words]
+    }
+
+    /// Whether couple `c` is compatible with every couple in `chosen`.
+    pub(crate) fn compatible_with(&self, c: usize, chosen: &[u64]) -> bool {
+        disjoint(self.conflict_row(c), chosen)
+    }
+}
+
+pub(crate) fn set_bit(mask: &mut [u64], bit: usize) {
+    mask[bit / 64] |= 1u64 << (bit % 64);
+}
+
+pub(crate) fn clear_bit(mask: &mut [u64], bit: usize) {
+    mask[bit / 64] &= !(1u64 << (bit % 64));
+}
+
+pub(crate) fn test_bit(mask: &[u64], bit: usize) -> bool {
+    mask[bit / 64] & (1u64 << (bit % 64)) != 0
+}
+
+pub(crate) fn disjoint(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & y == 0)
+}
+
+pub(crate) fn is_empty(mask: &[u64]) -> bool {
+    mask.iter().all(|&w| w == 0)
+}
+
+/// `out = a & b`, returning the intersection's population count.
+pub(crate) fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) -> u32 {
+    let mut pop = 0;
+    for ((x, y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+        *o = x & y;
+        pop += o.count_ones();
+    }
+    pop
+}
+
+/// Population count of `a & b` without materialising the intersection.
+pub(crate) fn and_count(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+}
+
+/// Indices of the set bits of `mask`, ascending.
+pub(crate) fn iter_bits(mask: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    mask.iter().enumerate().flat_map(|(w, &bits)| {
+        let mut bits = bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(w * 64 + b)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{DeclarativeModel, LinkRateModel, Topology};
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    #[test]
+    fn masks_mirror_the_snapshot() {
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..4).map(|i| t.add_node(i as f64 * 10.0, 0.0)).collect();
+        let l0 = t.add_link(n[0], n[1]).unwrap();
+        let l1 = t.add_link(n[2], n[3]).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(l0, &[r(54.0), r(36.0)])
+            .alone_rates(l1, &[r(54.0), r(36.0)])
+            .conflict_at(l0, r(54.0), l1, r(54.0))
+            .build();
+        let c = Compiled::new(&m.conflict_snapshot(&[l0, l1]));
+        assert_eq!(c.num_couples(), 4);
+        assert_eq!(c.num_links(), 2);
+        assert!(c.pairwise_exact);
+        // Couple 0 = (l0, 54): conflicts with itself, its sibling rate, and
+        // (l1, 54) = couple 2.
+        assert_eq!(c.conflict_row(0)[0], 0b0111);
+        assert_eq!(c.compat_row(0)[0], 0b1000);
+        // Couple 1 = (l0, 36) is compatible with both rates of l1.
+        assert_eq!(c.compat_row(1)[0], 0b1100);
+        assert_eq!(c.lowest_couple(0), 1);
+        let mut mask = c.zero_mask();
+        set_bit(&mut mask, 2);
+        assert!(!c.compatible_with(0, &mask));
+        assert!(c.compatible_with(1, &mask));
+        assert_eq!(iter_bits(&mask).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn bit_helpers_roundtrip() {
+        let mut m = vec![0u64; 2];
+        set_bit(&mut m, 3);
+        set_bit(&mut m, 70);
+        assert!(test_bit(&m, 3) && test_bit(&m, 70));
+        assert_eq!(iter_bits(&m).collect::<Vec<_>>(), vec![3, 70]);
+        assert_eq!(and_count(&m, &m), 2);
+        let mut out = vec![0u64; 2];
+        assert_eq!(and_into(&m, &m, &mut out), 2);
+        clear_bit(&mut m, 3);
+        assert!(!test_bit(&m, 3));
+        assert!(!is_empty(&m));
+        clear_bit(&mut m, 70);
+        assert!(is_empty(&m));
+        assert!(disjoint(&m, &out));
+    }
+}

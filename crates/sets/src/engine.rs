@@ -1,0 +1,531 @@
+//! The compiled enumeration engine: bitset backtracking, maximality during
+//! the search (Bron–Kerbosch style), and the parallel subtree fan-out.
+//!
+//! Three search modes, chosen by [`crate::enumerate`] from the model's
+//! snapshot flags:
+//!
+//! * **Exact** (pairwise-exact models, e.g. declarative conflicts): the
+//!   conflict masks *are* the admissibility test. The inner loop of the
+//!   search is an O(words) mask intersection; no model callback survives
+//!   compilation, so subtrees can be shipped to worker threads.
+//! * **Hybrid** (rate-independent additive interference, e.g. SINR): masks
+//!   prune pairwise-conflicting candidates for free — sound because
+//!   admissibility is downward closed — and the model's joint `admissible`
+//!   confirms the survivors. Sequential (it borrows the model).
+//! * Everything else falls back to the generic backtracker in
+//!   [`crate::enumerate`].
+//!
+//! # Determinism contract
+//!
+//! Every function here produces output **byte-identical** to its sequential
+//! counterpart at any thread count: the parallel fan-out enumerates the
+//! top-of-tree prefixes in the exact order the sequential search would visit
+//! them, runs each subtree as an independent job, and concatenates the
+//! per-job results in prefix order. Work distribution (which thread runs
+//! which job) is racy; the merge order is not.
+
+use crate::compiled::{
+    and_count, and_into, clear_bit, disjoint, is_empty, iter_bits, set_bit, test_bit, Compiled,
+    Mask,
+};
+use crate::concurrent::RatedSet;
+use crate::enumerate::EnumerationOptions;
+use awb_net::{LinkId, LinkRateModel};
+use awb_phy::Rate;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Resolves a user-facing thread count (`0` = all available cores).
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+}
+
+/// Runs `njobs` independent jobs on `threads` workers and concatenates the
+/// results **in job order**, so the output equals the sequential
+/// `(0..njobs).flat_map(f)`.
+fn run_jobs<F>(njobs: usize, threads: usize, f: F) -> Vec<RatedSet>
+where
+    F: Fn(usize) -> Vec<RatedSet> + Sync,
+{
+    let threads = threads.min(njobs);
+    if threads <= 1 {
+        return (0..njobs).flat_map(&f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Vec<RatedSet>>> = Vec::new();
+    slots.resize_with(njobs, || None);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let counter = &counter;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= njobs {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+    });
+    slots.into_iter().flatten().flatten().collect()
+}
+
+// ---------------------------------------------------------------------------
+// Exact enumeration (rated bitset backtracker).
+// ---------------------------------------------------------------------------
+
+/// A suspended search node: the subtree rooted at `index` with `assignment`
+/// already chosen. Running the nodes of a frontier in order reproduces the
+/// sequential depth-first output.
+#[derive(Clone)]
+struct Prefix {
+    assignment: Vec<(LinkId, Rate)>,
+    chosen: Mask,
+    index: usize,
+}
+
+/// Enumerates every admissible rated set (unpruned) over the compiled
+/// model, in the same order as the generic rated backtracker.
+pub(crate) fn enumerate_exact(
+    c: &Compiled,
+    options: &EnumerationOptions,
+    threads: usize,
+) -> Vec<RatedSet> {
+    debug_assert!(c.pairwise_exact);
+    if threads <= 1 {
+        let mut out = Vec::new();
+        let mut assignment = Vec::new();
+        let mut chosen = c.zero_mask();
+        descend_exact(c, options, &mut assignment, &mut chosen, 0, &mut out);
+        return out;
+    }
+    let jobs = split_frontier(c, options, threads.saturating_mul(8));
+    run_jobs(jobs.len(), threads, |i| {
+        let job = &jobs[i];
+        let mut out = Vec::new();
+        let mut assignment = job.assignment.clone();
+        let mut chosen = job.chosen.clone();
+        descend_exact(
+            c,
+            options,
+            &mut assignment,
+            &mut chosen,
+            job.index,
+            &mut out,
+        );
+        out
+    })
+}
+
+/// Expands the root into at least `target` prefixes (or until every prefix
+/// is a leaf), preserving the sequential visit order: the skip branch of a
+/// node precedes its include branches, exactly as in `descend_exact`.
+fn split_frontier(c: &Compiled, options: &EnumerationOptions, target: usize) -> Vec<Prefix> {
+    let mut frontier = vec![Prefix {
+        assignment: Vec::new(),
+        chosen: c.zero_mask(),
+        index: 0,
+    }];
+    while frontier.len() < target && frontier.iter().any(|p| p.index < c.num_links()) {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for node in frontier {
+            if node.index >= c.num_links() {
+                next.push(node);
+                continue;
+            }
+            let mut skip = node.clone();
+            skip.index += 1;
+            next.push(skip);
+            let capped = options
+                .max_set_size
+                .is_some_and(|cap| node.assignment.len() >= cap);
+            if capped {
+                continue;
+            }
+            for couple in c.offsets[node.index]..c.offsets[node.index + 1] {
+                if c.compatible_with(couple, &node.chosen) {
+                    let mut inc = node.clone();
+                    inc.assignment
+                        .push((c.links[node.index], c.couple_rate[couple]));
+                    set_bit(&mut inc.chosen, couple);
+                    inc.index += 1;
+                    next.push(inc);
+                }
+            }
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+fn descend_exact(
+    c: &Compiled,
+    options: &EnumerationOptions,
+    assignment: &mut Vec<(LinkId, Rate)>,
+    chosen: &mut Mask,
+    index: usize,
+    out: &mut Vec<RatedSet>,
+) {
+    if index == c.num_links() {
+        if !assignment.is_empty() {
+            out.push(RatedSet::new(assignment.clone()));
+        }
+        return;
+    }
+    descend_exact(c, options, assignment, chosen, index + 1, out);
+    if options
+        .max_set_size
+        .is_some_and(|cap| assignment.len() >= cap)
+    {
+        return;
+    }
+    for couple in c.offsets[index]..c.offsets[index + 1] {
+        if c.compatible_with(couple, chosen) {
+            assignment.push((c.links[index], c.couple_rate[couple]));
+            set_bit(chosen, couple);
+            descend_exact(c, options, assignment, chosen, index + 1, out);
+            clear_bit(chosen, couple);
+            assignment.pop();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid enumeration (membership bitset + joint admissibility).
+// ---------------------------------------------------------------------------
+
+/// Enumerates every admissible set (unpruned) of a rate-independent model in
+/// the same order as the generic membership backtracker: branch on
+/// membership at the lowest rates, lift to maximum rates at the leaves. The
+/// masks veto pairwise-conflicting candidates before the joint test runs.
+pub(crate) fn enumerate_hybrid<M: LinkRateModel>(
+    model: &M,
+    c: &Compiled,
+    options: &EnumerationOptions,
+) -> Vec<RatedSet> {
+    let mut out = Vec::new();
+    let mut assignment = Vec::new();
+    let mut members = Vec::new();
+    let mut chosen = c.zero_mask();
+    descend_hybrid(
+        model,
+        c,
+        options,
+        &mut assignment,
+        &mut members,
+        &mut chosen,
+        0,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend_hybrid<M: LinkRateModel>(
+    model: &M,
+    c: &Compiled,
+    options: &EnumerationOptions,
+    assignment: &mut Vec<(LinkId, Rate)>,
+    members: &mut Vec<usize>,
+    chosen: &mut Mask,
+    index: usize,
+    out: &mut Vec<RatedSet>,
+) {
+    if index == c.num_links() {
+        if !assignment.is_empty() {
+            out.push(lift_to_max(model, c, members, assignment));
+        }
+        return;
+    }
+    descend_hybrid(
+        model,
+        c,
+        options,
+        assignment,
+        members,
+        chosen,
+        index + 1,
+        out,
+    );
+    if options
+        .max_set_size
+        .is_some_and(|cap| assignment.len() >= cap)
+    {
+        return;
+    }
+    let low = c.lowest_couple(index);
+    if !c.compatible_with(low, chosen) {
+        return; // pairwise conflict ⇒ jointly inadmissible (downward closure)
+    }
+    let lowest = *c.rates[index].last().expect("live links have rates");
+    assignment.push((c.links[index], lowest));
+    if c.pairwise_exact || model.admissible(assignment) {
+        members.push(index);
+        set_bit(chosen, low);
+        descend_hybrid(
+            model,
+            c,
+            options,
+            assignment,
+            members,
+            chosen,
+            index + 1,
+            out,
+        );
+        clear_bit(chosen, low);
+        members.pop();
+    }
+    assignment.pop();
+}
+
+/// Replaces each member's placeholder rate with the maximum rate admissible
+/// while the rest of the set is active (exact for rate-independent
+/// interference). `members[i]` is the live-link index of `assignment[i]` —
+/// the precomputed link→rates index that replaces the old per-link linear
+/// scan of the live table.
+fn lift_to_max<M: LinkRateModel>(
+    model: &M,
+    c: &Compiled,
+    members: &[usize],
+    assignment: &[(LinkId, Rate)],
+) -> RatedSet {
+    let mut lifted = assignment.to_vec();
+    for (i, &live) in members.iter().enumerate() {
+        for &r in &c.rates[live] {
+            lifted[i].1 = r;
+            if model.admissible(&lifted) {
+                break;
+            }
+        }
+    }
+    RatedSet::new(lifted)
+}
+
+// ---------------------------------------------------------------------------
+// Maximal independent sets, exact mode: Bron–Kerbosch over couples.
+// ---------------------------------------------------------------------------
+
+/// Enumerates the maximal independent sets with maximum supported rates of a
+/// pairwise-exact model, detecting maximality **during** the search: a
+/// Bron–Kerbosch recursion over couples carries the candidate set `P`
+/// (couples that can still extend the current set) and the excluded set `X`
+/// (couples already explored that could extend it); a set is emitted only at
+/// nodes where both are empty, i.e. no couple of any link can be inserted. A
+/// final O(words) mask check per member rejects sets where a single link's
+/// rate could be raised (the "maximum supported rates" half of §2.4's
+/// definition), which the couple graph alone cannot see: the lower-rate
+/// variant of a link is BK-maximal too, because its sibling couple is its
+/// same-link "conflict".
+pub(crate) fn maximal_exact(c: &Compiled, threads: usize) -> Vec<RatedSet> {
+    debug_assert!(c.pairwise_exact);
+    let n = c.num_couples();
+    // Top-level fan-out: branch on every couple v in id order with no pivot,
+    // so the jobs are independent and their order is the sequential order.
+    // Job v explores exactly the maximal sets whose lowest-id couple is v
+    // among the not-yet-excluded ones: P = later couples compatible with v,
+    // X = earlier couples compatible with v.
+    run_jobs(n, threads, |v| {
+        let compat = c.compat_row(v);
+        let mut p = c.zero_mask();
+        let mut x = c.zero_mask();
+        for u in iter_bits(compat) {
+            if u > v {
+                set_bit(&mut p, u);
+            } else if u < v {
+                set_bit(&mut x, u);
+            }
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        let mut rmask = c.zero_mask();
+        set_bit(&mut rmask, v);
+        bron_kerbosch_exact(c, &mut stack, &mut rmask, p, x, &mut out);
+        out
+    })
+}
+
+fn bron_kerbosch_exact(
+    c: &Compiled,
+    stack: &mut Vec<usize>,
+    rmask: &mut Mask,
+    mut p: Mask,
+    mut x: Mask,
+    out: &mut Vec<RatedSet>,
+) {
+    if is_empty(&p) {
+        if is_empty(&x) {
+            emit_if_max_rates(c, stack, rmask, out);
+        }
+        return;
+    }
+    // Pivot u ∈ P ∪ X with the most candidates compatible with it (first
+    // maximum wins — deterministic); only candidates *conflicting* with u
+    // need branching: any maximal set missing all of them could take u.
+    let mut pivot = usize::MAX;
+    let mut best = 0;
+    for u in iter_bits(&p).chain(iter_bits(&x)) {
+        let score = and_count(&p, c.compat_row(u));
+        if pivot == usize::MAX || score > best {
+            pivot = u;
+            best = score;
+        }
+    }
+    let branch: Vec<usize> = iter_bits(&p)
+        .filter(|&v| test_bit(c.conflict_row(pivot), v))
+        .collect();
+    for v in branch {
+        let mut p2 = c.zero_mask();
+        let mut x2 = c.zero_mask();
+        and_into(&p, c.compat_row(v), &mut p2);
+        and_into(&x, c.compat_row(v), &mut x2);
+        stack.push(v);
+        set_bit(rmask, v);
+        bron_kerbosch_exact(c, stack, rmask, p2, x2, out);
+        clear_bit(rmask, v);
+        stack.pop();
+        clear_bit(&mut p, v);
+        set_bit(&mut x, v);
+    }
+}
+
+/// Emits the set unless some member's rate can be raised: couple `h` (a
+/// higher rate of the same link — couples are stored rates-descending, so
+/// `h < v` within the link's range) is admissible against the rest of the
+/// set iff its conflict row misses `R \ {v}`.
+fn emit_if_max_rates(c: &Compiled, stack: &[usize], rmask: &mut Mask, out: &mut Vec<RatedSet>) {
+    for &v in stack {
+        let link = c.couple_link[v];
+        clear_bit(rmask, v);
+        let raisable = (c.offsets[link]..v).any(|h| disjoint(c.conflict_row(h), rmask));
+        set_bit(rmask, v);
+        if raisable {
+            return;
+        }
+    }
+    out.push(
+        stack
+            .iter()
+            .map(|&v| (c.links[c.couple_link[v]], c.couple_rate[v]))
+            .collect(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Maximal independent sets, hybrid mode: membership search with maximality
+// checked against the lifted set at each leaf.
+// ---------------------------------------------------------------------------
+
+/// Maximal independent sets of a rate-independent model.
+///
+/// Membership search at the lowest rates (masks veto pairwise conflicts, the
+/// model confirms jointly), then each emitted membership set is lifted to
+/// maximum rates and tested for insertions **against the lifted set**, not
+/// the lowest-rate one. The distinction matters under additive interference:
+/// a link can be insertable next to members at their lowest rates yet
+/// intolerable to a member already lifted to its maximum rate — such a set
+/// *is* maximal by §2.4, so candidate-set pruning keyed on lowest-rate
+/// insertability (Bron–Kerbosch `X`-pruning) would wrongly drop it. Checking
+/// insertions at each candidate's lowest rate only is exact: interference on
+/// the members does not depend on the newcomer's rate, and the newcomer's
+/// own SINR threshold is weakest there, so insertable-at-any-rate ⟺
+/// insertable-at-lowest. The lift makes the rate-raise half of maximality
+/// vacuous for the same reason.
+pub(crate) fn maximal_hybrid<M: LinkRateModel>(model: &M, c: &Compiled) -> Vec<RatedSet> {
+    let mut out = Vec::new();
+    let mut assignment = Vec::new();
+    let mut members = Vec::new();
+    let mut chosen = c.zero_mask();
+    descend_max_hybrid(
+        model,
+        c,
+        &mut assignment,
+        &mut members,
+        &mut chosen,
+        0,
+        &mut out,
+    );
+    out
+}
+
+fn descend_max_hybrid<M: LinkRateModel>(
+    model: &M,
+    c: &Compiled,
+    assignment: &mut Vec<(LinkId, Rate)>,
+    members: &mut Vec<usize>,
+    chosen: &mut Mask,
+    index: usize,
+    out: &mut Vec<RatedSet>,
+) {
+    if index == c.num_links() {
+        if !assignment.is_empty() {
+            emit_if_unextendable(model, c, members, assignment, chosen, out);
+        }
+        return;
+    }
+    descend_max_hybrid(model, c, assignment, members, chosen, index + 1, out);
+    let low = c.lowest_couple(index);
+    if !c.compatible_with(low, chosen) {
+        return; // pairwise conflict ⇒ jointly inadmissible (downward closure)
+    }
+    let lowest = *c.rates[index].last().expect("live links have rates");
+    assignment.push((c.links[index], lowest));
+    if c.pairwise_exact || model.admissible(assignment) {
+        members.push(index);
+        set_bit(chosen, low);
+        descend_max_hybrid(model, c, assignment, members, chosen, index + 1, out);
+        clear_bit(chosen, low);
+        members.pop();
+    }
+    assignment.pop();
+}
+
+/// Lifts the membership set and emits it unless some outside link can join
+/// the **lifted** set at its lowest rate. The mask veto stays sound against
+/// lifted members: a pairwise conflict at the lowest rates can only tighten
+/// when the member's rate (hence its SINR threshold) rises.
+fn emit_if_unextendable<M: LinkRateModel>(
+    model: &M,
+    c: &Compiled,
+    members: &[usize],
+    assignment: &[(LinkId, Rate)],
+    chosen: &Mask,
+    out: &mut Vec<RatedSet>,
+) {
+    let lifted = lift_to_max(model, c, members, assignment);
+    let mut probe: Vec<(LinkId, Rate)> = lifted.couples().to_vec();
+    let mut next_member = 0;
+    for v in 0..c.num_links() {
+        if members.get(next_member) == Some(&v) {
+            next_member += 1;
+            continue;
+        }
+        if !c.compatible_with(c.lowest_couple(v), chosen) {
+            continue;
+        }
+        // Pairwise compatible with every member; for pairwise-exact models
+        // that already means insertable.
+        if c.pairwise_exact {
+            return;
+        }
+        let lowest = *c.rates[v].last().expect("live links have rates");
+        probe.push((c.links[v], lowest));
+        let insertable = model.admissible(&probe);
+        probe.pop();
+        if insertable {
+            return;
+        }
+    }
+    out.push(lifted);
+}

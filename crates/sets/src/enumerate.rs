@@ -1,8 +1,46 @@
 //! Enumeration of admissible rated sets and maximal independent sets.
+//!
+//! Two implementations sit behind the public functions:
+//!
+//! * the **generic backtracker** (this module), which only needs the
+//!   [`LinkRateModel`] callbacks and works for any model, and
+//! * the **compiled engine** ([`crate::engine`]), which first snapshots the
+//!   model into word-packed conflict bitmasks ([`crate::compiled`]) and then
+//!   searches over flat arrays — with maximality detected *during* the
+//!   search and an optional thread fan-out.
+//!
+//! [`EngineKind`] selects between them; every engine produces byte-identical
+//! output, so callers may treat the choice as a pure performance knob.
 
+use crate::compiled::Compiled;
 use crate::concurrent::RatedSet;
+use crate::engine;
 use awb_net::{LinkId, LinkRateModel};
 use awb_phy::Rate;
+use std::collections::HashMap;
+
+/// Which enumeration engine to run. Every variant produces **byte-identical
+/// results** — same sets, same order — so this is purely a performance
+/// choice and is deliberately excluded from result-cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// The best available engine, sequential: the compiled bitset engine for
+    /// models whose pairwise conflicts decide admissibility exactly
+    /// ([`LinkRateModel::pairwise_admissibility_exact`]), the mask-pruned
+    /// hybrid for rate-independent models, and the generic backtracker
+    /// otherwise.
+    #[default]
+    Auto,
+    /// The reference generic backtracker. Always available; the compiled
+    /// engines are property-tested byte-identical against it.
+    Generic,
+    /// The compiled engine with a worker pool of the given size (`0` means
+    /// one worker per available core). Only the exact bitset searches fan
+    /// out — the hybrid and generic fallbacks run sequentially regardless —
+    /// and the fan-out merges deterministically, so results do not depend on
+    /// the thread count.
+    Compiled(usize),
+}
 
 /// Options for [`enumerate_admissible`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +52,9 @@ pub struct EnumerationOptions {
     pub prune_dominated: bool,
     /// Cap on the number of links per set; `None` means unbounded.
     pub max_set_size: Option<usize>,
+    /// Which engine runs the search (a pure performance knob; results are
+    /// identical across engines).
+    pub engine: EngineKind,
 }
 
 impl Default for EnumerationOptions {
@@ -21,6 +62,7 @@ impl Default for EnumerationOptions {
         EnumerationOptions {
             prune_dominated: true,
             max_set_size: None,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -46,6 +88,22 @@ pub fn enumerate_admissible<M: LinkRateModel>(
     universe: &[LinkId],
     options: &EnumerationOptions,
 ) -> Vec<RatedSet> {
+    assert_unique(universe);
+    let out = match options.engine {
+        EngineKind::Generic => enumerate_generic(model, universe, options),
+        EngineKind::Auto => enumerate_compiled(model, universe, options, 1),
+        EngineKind::Compiled(threads) => {
+            enumerate_compiled(model, universe, options, engine::resolve_threads(threads))
+        }
+    };
+    if options.prune_dominated {
+        pareto_filter(out)
+    } else {
+        out
+    }
+}
+
+fn assert_unique(universe: &[LinkId]) {
     let mut sorted = universe.to_vec();
     sorted.sort();
     sorted.dedup();
@@ -53,7 +111,33 @@ pub fn enumerate_admissible<M: LinkRateModel>(
         sorted.len() == universe.len(),
         "universe contains duplicate links"
     );
+}
 
+/// Compiled-engine dispatch: pick the strongest search the model's snapshot
+/// flags justify, falling back to the generic backtracker when neither
+/// applies. Checked *before* paying for the snapshot.
+fn enumerate_compiled<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+    options: &EnumerationOptions,
+    threads: usize,
+) -> Vec<RatedSet> {
+    if model.rate_independent_interference() {
+        let compiled = Compiled::new(&model.conflict_snapshot(universe));
+        engine::enumerate_hybrid(model, &compiled, options)
+    } else if model.pairwise_admissibility_exact() {
+        let compiled = Compiled::new(&model.conflict_snapshot(universe));
+        engine::enumerate_exact(&compiled, options, threads)
+    } else {
+        enumerate_generic(model, universe, options)
+    }
+}
+
+fn enumerate_generic<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+    options: &EnumerationOptions,
+) -> Vec<RatedSet> {
     // Per-link rate choices (descending). Dead links are dropped.
     let live: Vec<(LinkId, Vec<Rate>)> = universe
         .iter()
@@ -62,20 +146,26 @@ pub fn enumerate_admissible<M: LinkRateModel>(
         .collect();
 
     let mut out: Vec<RatedSet> = Vec::new();
+    let mut assignment: Vec<(LinkId, Rate)> = Vec::new();
     if model.rate_independent_interference() {
         // Branch on membership at the lowest rates, then lift to max rates.
-        let mut assignment: Vec<(LinkId, Rate)> = Vec::new();
-        enumerate_membership(model, &live, 0, &mut assignment, options, &mut out);
+        // The link→live-row index is built once per enumeration; the lift at
+        // every emitted leaf uses it instead of scanning `live`.
+        let index_of: HashMap<LinkId, usize> =
+            live.iter().enumerate().map(|(i, &(l, _))| (l, i)).collect();
+        enumerate_membership(
+            model,
+            &live,
+            &index_of,
+            0,
+            &mut assignment,
+            options,
+            &mut out,
+        );
     } else {
-        let mut assignment: Vec<(LinkId, Rate)> = Vec::new();
         enumerate_rated(model, &live, 0, &mut assignment, options, &mut out);
     }
-
-    if options.prune_dominated {
-        pareto_filter(out)
-    } else {
-        out
-    }
+    out
 }
 
 fn enumerate_rated<M: LinkRateModel>(
@@ -111,9 +201,11 @@ fn enumerate_rated<M: LinkRateModel>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn enumerate_membership<M: LinkRateModel>(
     model: &M,
     live: &[(LinkId, Vec<Rate>)],
+    index_of: &HashMap<LinkId, usize>,
     index: usize,
     assignment: &mut Vec<(LinkId, Rate)>,
     options: &EnumerationOptions,
@@ -121,11 +213,11 @@ fn enumerate_membership<M: LinkRateModel>(
 ) {
     if index == live.len() {
         if !assignment.is_empty() {
-            out.push(lift_to_max_rates(model, live, assignment));
+            out.push(lift_to_max_rates(model, live, index_of, assignment));
         }
         return;
     }
-    enumerate_membership(model, live, index + 1, assignment, options, out);
+    enumerate_membership(model, live, index_of, index + 1, assignment, options, out);
     if options
         .max_set_size
         .is_some_and(|cap| assignment.len() >= cap)
@@ -136,7 +228,7 @@ fn enumerate_membership<M: LinkRateModel>(
     let lowest = *rates.last().expect("live links have rates");
     assignment.push((*link, lowest));
     if model.admissible(assignment) {
-        enumerate_membership(model, live, index + 1, assignment, options, out);
+        enumerate_membership(model, live, index_of, index + 1, assignment, options, out);
     }
     assignment.pop();
 }
@@ -146,16 +238,13 @@ fn enumerate_membership<M: LinkRateModel>(
 fn lift_to_max_rates<M: LinkRateModel>(
     model: &M,
     live: &[(LinkId, Vec<Rate>)],
+    index_of: &HashMap<LinkId, usize>,
     assignment: &[(LinkId, Rate)],
 ) -> RatedSet {
     let mut lifted = assignment.to_vec();
     for i in 0..lifted.len() {
         let link = lifted[i].0;
-        let rates = &live
-            .iter()
-            .find(|(l, _)| *l == link)
-            .expect("assignment links come from live")
-            .1;
+        let rates = &live[index_of[&link]].1;
         // Rates are descending: the first admissible one is the max. Because
         // interference is rate-independent, testing with the others at their
         // current (any) rates is exact.
@@ -169,24 +258,45 @@ fn lift_to_max_rates<M: LinkRateModel>(
     RatedSet::new(lifted)
 }
 
-/// Keeps only undominated sets. Equal sets cannot occur (each link subset +
-/// rate combination is visited once).
+/// Keeps only undominated sets (in their original order).
+///
+/// Skyline sweep: sets are visited by descending `(cardinality, total
+/// throughput)` — a strict dominator always sorts ahead of what it dominates
+/// (domination implies ≥ on both components, with equality on both only for
+/// identical sets, where the original-index tiebreak keeps the earlier one
+/// first, matching the old keep-first semantics). Each set is therefore
+/// checked against the *kept* prefix only; domination is transitive, so a
+/// dominator that was itself dropped is covered by whatever dropped it.
 fn pareto_filter(sets: Vec<RatedSet>) -> Vec<RatedSet> {
-    let mut keep: Vec<bool> = vec![true; sets.len()];
-    for i in 0..sets.len() {
-        if !keep[i] {
-            continue;
-        }
-        for j in 0..sets.len() {
-            if i != j && keep[i] && keep[j] && sets[j].dominates(&sets[i]) {
-                // Strict domination check: equal sets were deduplicated by
-                // construction, but mutual domination can still occur when
-                // vectors coincide; keep the first.
-                if sets[i].dominates(&sets[j]) && i < j {
-                    continue;
-                }
-                keep[i] = false;
-            }
+    if sets.len() <= 1 {
+        return sets;
+    }
+    let score: Vec<(usize, f64)> = sets
+        .iter()
+        .map(|s| {
+            let sum: f64 = s.couples().iter().map(|&(_, r)| r.as_mbps()).sum();
+            (s.len(), sum)
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..sets.len()).collect();
+    order.sort_by(|&i, &j| {
+        score[j]
+            .0
+            .cmp(&score[i].0)
+            .then_with(|| {
+                score[j]
+                    .1
+                    .partial_cmp(&score[i].1)
+                    .expect("rates are finite")
+            })
+            .then_with(|| i.cmp(&j))
+    });
+    let mut keep = vec![false; sets.len()];
+    let mut kept: Vec<usize> = Vec::new();
+    for &i in &order {
+        if !kept.iter().any(|&k| sets[k].dominates(&sets[i])) {
+            keep[i] = true;
+            kept.push(i);
         }
     }
     sets.into_iter()
@@ -200,24 +310,101 @@ fn pareto_filter(sets: Vec<RatedSet>) -> Vec<RatedSet> {
 /// (b) no further link of `universe` can be inserted at any positive rate.
 ///
 /// By Proposition 3 these suffice for the feasibility condition (Eq. 4).
+///
+/// Output is sorted canonically (by couple vector); every engine produces
+/// the identical `Vec`. Equivalent to
+/// [`maximal_independent_sets_with`]`(model, universe, EngineKind::Auto)`.
+///
+/// # Panics
+///
+/// Panics if `universe` contains duplicate links.
 pub fn maximal_independent_sets<M: LinkRateModel>(model: &M, universe: &[LinkId]) -> Vec<RatedSet> {
+    maximal_independent_sets_with(model, universe, EngineKind::Auto)
+}
+
+/// [`maximal_independent_sets`] with an explicit engine choice.
+///
+/// `EngineKind::Auto` and `EngineKind::Compiled` detect maximality *during*
+/// the search (a Bron–Kerbosch-style recursion over the compiled conflict
+/// masks) instead of enumerating every admissible set and post-filtering;
+/// `EngineKind::Generic` is the reference enumerate-then-filter pipeline.
+///
+/// # Panics
+///
+/// Panics if `universe` contains duplicate links.
+pub fn maximal_independent_sets_with<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+    engine_kind: EngineKind,
+) -> Vec<RatedSet> {
+    assert_unique(universe);
+    let mut out = match engine_kind {
+        EngineKind::Generic => maximal_generic(model, universe),
+        EngineKind::Auto => maximal_compiled(model, universe, 1),
+        EngineKind::Compiled(threads) => {
+            maximal_compiled(model, universe, engine::resolve_threads(threads))
+        }
+    };
+    out.sort_by_cached_key(canonical_key);
+    out
+}
+
+/// Sort key making the maximal-set output order engine-independent: couples
+/// ordered by link, ties broken toward the *higher* rate first. `Rate` is a
+/// positive finite f64, so `to_bits` is order-preserving.
+fn canonical_key(set: &RatedSet) -> Vec<(usize, std::cmp::Reverse<u64>)> {
+    set.couples()
+        .iter()
+        .map(|&(l, r)| (l.index(), std::cmp::Reverse(r.as_mbps().to_bits())))
+        .collect()
+}
+
+fn maximal_compiled<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+    threads: usize,
+) -> Vec<RatedSet> {
+    if model.rate_independent_interference() {
+        let compiled = Compiled::new(&model.conflict_snapshot(universe));
+        engine::maximal_hybrid(model, &compiled)
+    } else if model.pairwise_admissibility_exact() {
+        let compiled = Compiled::new(&model.conflict_snapshot(universe));
+        engine::maximal_exact(&compiled, threads)
+    } else {
+        maximal_generic(model, universe)
+    }
+}
+
+fn maximal_generic<M: LinkRateModel>(model: &M, universe: &[LinkId]) -> Vec<RatedSet> {
     let all = enumerate_admissible(
         model,
         universe,
         &EnumerationOptions {
             prune_dominated: false,
             max_set_size: None,
+            engine: EngineKind::Generic,
         },
     );
+    // Alone rates memoized once per universe: `is_maximal` consults them for
+    // every (set, link) pair and the model recomputes them on every call.
+    let alone: HashMap<LinkId, Vec<Rate>> = universe
+        .iter()
+        .map(|&l| (l, model.alone_rates(l)))
+        .collect();
     all.into_iter()
-        .filter(|s| is_maximal(model, universe, s))
+        .filter(|s| is_maximal(model, universe, &alone, s))
         .collect()
 }
 
-fn is_maximal<M: LinkRateModel>(model: &M, universe: &[LinkId], set: &RatedSet) -> bool {
+fn is_maximal<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+    alone: &HashMap<LinkId, Vec<Rate>>,
+    set: &RatedSet,
+) -> bool {
     // (a) No single rate can be raised.
     for &(link, rate) in set.couples() {
-        for higher in model.alone_rates(link).into_iter().filter(|&r| r > rate) {
+        for &higher in alone[&link].iter().filter(|&&r| r > rate) {
             if model.admissible(set.with_rate(link, higher).couples()) {
                 return false;
             }
@@ -228,7 +415,7 @@ fn is_maximal<M: LinkRateModel>(model: &M, universe: &[LinkId], set: &RatedSet) 
         if set.contains(link) {
             continue;
         }
-        for r in model.alone_rates(link) {
+        for &r in &alone[&link] {
             if model.admissible(set.with(link, r).couples()) {
                 return false;
             }
@@ -274,7 +461,7 @@ mod tests {
             &links,
             &EnumerationOptions {
                 prune_dominated: false,
-                max_set_size: None,
+                ..EnumerationOptions::default()
             },
         );
         assert_eq!(all.len(), 7);
@@ -323,6 +510,53 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_rate_dependent_conflicts() {
+        let (m0, links) = free_links(3, &[r(54.0), r(36.0)]);
+        let mut b = DeclarativeModel::builder(m0.topology().clone());
+        for &l in &links {
+            b = b.alone_rates(l, &[r(54.0), r(36.0)]);
+        }
+        b = b
+            .conflict_at(links[0], r(54.0), links[1], r(54.0))
+            .conflict_all(links[1], links[2]);
+        let m = b.build();
+        for engine_kind in [
+            EngineKind::Auto,
+            EngineKind::Compiled(1),
+            EngineKind::Compiled(4),
+        ] {
+            for prune in [false, true] {
+                for cap in [None, Some(2)] {
+                    let reference = enumerate_admissible(
+                        &m,
+                        &links,
+                        &EnumerationOptions {
+                            prune_dominated: prune,
+                            max_set_size: cap,
+                            engine: EngineKind::Generic,
+                        },
+                    );
+                    let got = enumerate_admissible(
+                        &m,
+                        &links,
+                        &EnumerationOptions {
+                            prune_dominated: prune,
+                            max_set_size: cap,
+                            engine: engine_kind,
+                        },
+                    );
+                    assert_eq!(got, reference, "{engine_kind:?} prune={prune} cap={cap:?}");
+                }
+            }
+            assert_eq!(
+                maximal_independent_sets_with(&m, &links, engine_kind),
+                maximal_independent_sets_with(&m, &links, EngineKind::Generic),
+                "{engine_kind:?}"
+            );
+        }
+    }
+
+    #[test]
     fn dominance_pruning_preserves_maximal_sets() {
         let (m0, links) = free_links(2, &[r(54.0), r(36.0)]);
         let mut b = DeclarativeModel::builder(m0.topology().clone());
@@ -350,6 +584,7 @@ mod tests {
             &EnumerationOptions {
                 prune_dominated: false,
                 max_set_size: Some(2),
+                ..EnumerationOptions::default()
             },
         );
         assert!(sets.iter().all(|s| s.len() <= 2));
@@ -379,5 +614,6 @@ mod tests {
     fn empty_universe_yields_no_sets() {
         let (m, _) = free_links(1, &[r(6.0)]);
         assert!(enumerate_admissible(&m, &[], &EnumerationOptions::default()).is_empty());
+        assert!(maximal_independent_sets(&m, &[]).is_empty());
     }
 }

@@ -43,7 +43,9 @@
 
 mod clique;
 mod coloring;
+mod compiled;
 mod concurrent;
+mod engine;
 mod enumerate;
 mod local;
 
@@ -53,5 +55,8 @@ pub use clique::{
 };
 pub use coloring::{clique_number, greedy_coloring, tdma_throughput, Coloring};
 pub use concurrent::RatedSet;
-pub use enumerate::{enumerate_admissible, maximal_independent_sets, EnumerationOptions};
+pub use enumerate::{
+    enumerate_admissible, maximal_independent_sets, maximal_independent_sets_with, EngineKind,
+    EnumerationOptions,
+};
 pub use local::{local_cliques, LocalClique};

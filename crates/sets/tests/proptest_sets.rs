@@ -82,7 +82,7 @@ proptest! {
         let (m, links) = build(&rm);
         for opts in [
             EnumerationOptions::default(),
-            EnumerationOptions { prune_dominated: false, max_set_size: None },
+            EnumerationOptions { prune_dominated: false, ..EnumerationOptions::default() },
         ] {
             for s in enumerate_admissible(&m, &links, &opts) {
                 prop_assert!(m.admissible(s.couples()), "inadmissible set {s}");
@@ -95,7 +95,7 @@ proptest! {
         let (m, links) = build(&rm);
         let all = enumerate_admissible(
             &m, &links,
-            &EnumerationOptions { prune_dominated: false, max_set_size: None },
+            &EnumerationOptions { prune_dominated: false, ..EnumerationOptions::default() },
         );
         let pruned = enumerate_admissible(&m, &links, &EnumerationOptions::default());
         prop_assert!(pruned.len() <= all.len());
@@ -150,7 +150,7 @@ proptest! {
         let (m, links) = build(&rm);
         let all = enumerate_admissible(
             &m, &links,
-            &EnumerationOptions { prune_dominated: false, max_set_size: None },
+            &EnumerationOptions { prune_dominated: false, ..EnumerationOptions::default() },
         );
         let pruned = enumerate_admissible(&m, &links, &EnumerationOptions::default());
         for a in &all {
