@@ -18,4 +18,7 @@ cargo fmt --check
 echo "==> enum_bench --smoke (engine equivalence + speedup floor)"
 cargo run --release -q -p awb-bench --bin enum_bench -- --smoke
 
+echo "==> colgen_bench --smoke (solver equivalence + speedup floor)"
+cargo run --release -q -p awb-bench --bin colgen_bench -- --smoke
+
 echo "CI green."

@@ -1,0 +1,288 @@
+//! `colgen_bench` — column generation vs. full enumeration on the §2.5 LP,
+//! written to `BENCH_colgen.json` at the repo root.
+//!
+//! For each topology size both solvers answer the same available-bandwidth
+//! query (single-link new path, light background demand on every other
+//! link) on a seeded rate-coupled random declarative model. The report
+//! records end-to-end wall time (minimum over iterations), simplex pivot
+//! counts, the restricted master's final column count against the maximal
+//! rated-set pool the full solver enumerates, and the optima themselves —
+//! which must agree to 1e-6 before any timing is trusted.
+//!
+//! A 24-link *frontier* entry runs full enumeration in a child process
+//! under a hard timeout: at that size the enumerate-everything LP blows
+//! well past it (tens of seconds), while column generation answers in
+//! well under a second — the measured justification for the solver knob.
+//!
+//! `--smoke` runs the 12-link size with a loose speedup floor and writes
+//! nothing — the CI hook keeping the two solve paths equivalent.
+
+use awb_bench::topo::random_rate_coupled;
+use awb_core::{
+    available_bandwidth, AvailableBandwidth, AvailableBandwidthOptions, Flow, SolverKind,
+};
+use awb_net::{DeclarativeModel, LinkId, Path};
+use awb_sets::maximal_independent_sets;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 7;
+/// Sizes where both solvers run to completion.
+const SIZES: [usize; 3] = [12, 16, 20];
+/// The size at which full enumeration is given a timeout it cannot make.
+const FRONTIER_LINKS: usize = 24;
+const FRONTIER_TIMEOUT: Duration = Duration::from_secs(10);
+
+#[derive(Serialize)]
+struct SizeResult {
+    links: usize,
+    /// Maximal rated-set pool size — the full-enumeration LP's column count.
+    maximal_sets: usize,
+    /// Columns in the final restricted master.
+    colgen_columns: usize,
+    /// colgen_columns / maximal_sets.
+    column_fraction: f64,
+    bandwidth_mbps: f64,
+    /// |full optimum − colgen optimum|; gated at 1e-6.
+    optimum_delta: f64,
+    full_ns: u64,
+    colgen_ns: u64,
+    full_pivots: usize,
+    colgen_pivots: usize,
+    /// full_ns / colgen_ns.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct FrontierResult {
+    links: usize,
+    timeout_s: u64,
+    /// Whether full enumeration was killed at the timeout (expected true).
+    full_timed_out: bool,
+    /// Wall time of the full solve if it finished within the timeout.
+    full_ns: Option<u64>,
+    maximal_sets: usize,
+    colgen_columns: usize,
+    colgen_pivots: usize,
+    colgen_ns: u64,
+    bandwidth_mbps: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    command: &'static str,
+    seed: u64,
+    results: Vec<SizeResult>,
+    frontier: FrontierResult,
+}
+
+/// The benchmark query on an `n`-link topology: the new path is the first
+/// link; every other link carries a light background flow, so stage A has
+/// real work without ever being infeasible.
+fn query(n: usize) -> (DeclarativeModel, Path, Vec<Flow>, Vec<LinkId>) {
+    let (model, links) = random_rate_coupled(n, SEED);
+    let new_path = Path::new(model.topology(), vec![links[0]]).expect("single link path");
+    let background: Vec<Flow> = links[1..]
+        .iter()
+        .map(|&l| {
+            let p = Path::new(model.topology(), vec![l]).expect("single link path");
+            Flow::new(p, 20.0 / n as f64).expect("demand is valid")
+        })
+        .collect();
+    (model, new_path, background, links)
+}
+
+fn options(solver: SolverKind) -> AvailableBandwidthOptions {
+    AvailableBandwidthOptions {
+        solver,
+        ..AvailableBandwidthOptions::default()
+    }
+}
+
+fn solve(
+    model: &DeclarativeModel,
+    background: &[Flow],
+    new_path: &Path,
+    solver: SolverKind,
+) -> AvailableBandwidth {
+    available_bandwidth(model, background, new_path, &options(solver)).expect("query is feasible")
+}
+
+/// Wall time per solve: warm up once, then take the minimum over enough
+/// iterations to fill ~60 ms (at least 3 — the big sizes are seconds each).
+fn time_ns(mut f: impl FnMut()) -> u64 {
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_nanos().max(1);
+    let iters = (60_000_000 / once).clamp(3, 1_000) as usize;
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    u64::try_from(best).unwrap_or(u64::MAX)
+}
+
+fn run_size(links: usize) -> SizeResult {
+    let (model, new_path, background, universe) = query(links);
+    let full = solve(&model, &background, &new_path, SolverKind::FullEnumeration);
+    let colgen = solve(&model, &background, &new_path, SolverKind::ColumnGeneration);
+    let delta = (full.bandwidth_mbps() - colgen.bandwidth_mbps()).abs();
+    assert!(
+        delta < 1e-6,
+        "{links} links: solvers disagree by {delta} ({} vs {})",
+        full.bandwidth_mbps(),
+        colgen.bandwidth_mbps()
+    );
+    let maximal = maximal_independent_sets(&model, &universe).len();
+    let full_ns = time_ns(|| {
+        solve(&model, &background, &new_path, SolverKind::FullEnumeration);
+    });
+    let colgen_ns = time_ns(|| {
+        solve(&model, &background, &new_path, SolverKind::ColumnGeneration);
+    });
+    SizeResult {
+        links,
+        maximal_sets: maximal,
+        colgen_columns: colgen.num_sets(),
+        column_fraction: colgen.num_sets() as f64 / maximal as f64,
+        bandwidth_mbps: full.bandwidth_mbps(),
+        optimum_delta: delta,
+        full_ns,
+        colgen_ns,
+        full_pivots: full.lp_pivots(),
+        colgen_pivots: colgen.lp_pivots(),
+        speedup: full_ns as f64 / colgen_ns as f64,
+    }
+}
+
+/// Runs the full-enumeration solve at the frontier size in a child process
+/// (re-invoking this binary with `--full-once`) and kills it at the
+/// timeout. A thread cannot be cancelled; a process can.
+fn full_with_timeout(timeout: Duration) -> (bool, Option<u64>) {
+    let exe = std::env::current_exe().expect("own path");
+    let started = Instant::now();
+    let mut child = std::process::Command::new(exe)
+        .arg("--full-once")
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn full-enumeration child");
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => {
+                assert!(status.success(), "full-enumeration child failed");
+                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                return (false, Some(ns));
+            }
+            None if started.elapsed() >= timeout => {
+                child.kill().expect("kill timed-out child");
+                let _ = child.wait();
+                return (true, None);
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn run_frontier() -> FrontierResult {
+    let (model, new_path, background, universe) = query(FRONTIER_LINKS);
+    let maximal = maximal_independent_sets(&model, &universe).len();
+    let started = Instant::now();
+    let colgen = solve(&model, &background, &new_path, SolverKind::ColumnGeneration);
+    let colgen_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let (full_timed_out, full_ns) = full_with_timeout(FRONTIER_TIMEOUT);
+    FrontierResult {
+        links: FRONTIER_LINKS,
+        timeout_s: FRONTIER_TIMEOUT.as_secs(),
+        full_timed_out,
+        full_ns,
+        maximal_sets: maximal,
+        colgen_columns: colgen.num_sets(),
+        colgen_pivots: colgen.lp_pivots(),
+        colgen_ns,
+        bandwidth_mbps: colgen.bandwidth_mbps(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--full-once") {
+        // Child mode for the frontier timeout: one full-enumeration solve.
+        let (model, new_path, background, _) = query(FRONTIER_LINKS);
+        let out = solve(&model, &background, &new_path, SolverKind::FullEnumeration);
+        println!("{}", out.bandwidth_mbps());
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        let result = run_size(12);
+        assert!(
+            result.speedup >= 2.0,
+            "column generation is not ahead of full enumeration: {:.2}x",
+            result.speedup
+        );
+        println!(
+            "colgen_bench smoke ok: 12 links, optimum delta {:.1e}, {}/{} columns, \
+             colgen {:.1}x full enumeration",
+            result.optimum_delta, result.colgen_columns, result.maximal_sets, result.speedup
+        );
+        return;
+    }
+
+    let results: Vec<SizeResult> = SIZES.iter().map(|&n| run_size(n)).collect();
+    // The ISSUE's acceptance bar, checked on the 16-link topology.
+    let r16 = results.iter().find(|r| r.links == 16).expect("16 in SIZES");
+    assert!(
+        r16.column_fraction <= 0.10,
+        "colgen generated {:.1}% of the maximal pool at 16 links",
+        100.0 * r16.column_fraction
+    );
+    assert!(
+        r16.speedup >= 10.0,
+        "colgen speedup at 16 links is only {:.1}x",
+        r16.speedup
+    );
+    let frontier = run_frontier();
+    assert!(
+        frontier.full_timed_out,
+        "full enumeration unexpectedly finished {} links within {}s",
+        frontier.links, frontier.timeout_s
+    );
+
+    for r in &results {
+        println!(
+            "{:>2} links: {:>5} maximal sets vs {:>3} columns ({:>4.1}%); \
+             full {:>11} ns / {:>4} pivots, colgen {:>10} ns / {:>4} pivots ({:.1}x)",
+            r.links,
+            r.maximal_sets,
+            r.colgen_columns,
+            100.0 * r.column_fraction,
+            r.full_ns,
+            r.full_pivots,
+            r.colgen_ns,
+            r.colgen_pivots,
+            r.speedup,
+        );
+    }
+    println!(
+        "{:>2} links: full enumeration killed at {}s; colgen solved in {:.2}s \
+         ({} columns of {} maximal sets)",
+        frontier.links,
+        frontier.timeout_s,
+        frontier.colgen_ns as f64 / 1e9,
+        frontier.colgen_columns,
+        frontier.maximal_sets,
+    );
+    let report = Report {
+        bench: "colgen-vs-full-enumeration",
+        command: "cargo run --release -p awb-bench --bin colgen_bench",
+        seed: SEED,
+        results,
+        frontier,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_colgen.json", json + "\n").expect("write BENCH_colgen.json");
+    println!("wrote BENCH_colgen.json");
+}

@@ -42,6 +42,45 @@ pub fn random_declarative(n: usize, seed: u64) -> (DeclarativeModel, Vec<LinkId>
     (b.build(), links)
 }
 
+/// A more rate-coupled variant of [`random_declarative`] for the
+/// column-generation benchmark: each unordered pair draws "conflict at all
+/// rates" with probability 1/6 and "conflict whenever either side transmits
+/// above 36 Mbps" (the 54–54, 54–36 and 36–54 pairs) with probability 1/3.
+/// The partial conflicts multiply the number of *rated* maximal sets — the
+/// full-enumeration LP's column count — while leaving the link count, which
+/// is what column generation scales with, unchanged.
+pub fn random_rate_coupled(n: usize, seed: u64) -> (DeclarativeModel, Vec<LinkId>) {
+    let r54 = Rate::from_mbps(54.0);
+    let r36 = Rate::from_mbps(36.0);
+    let r18 = Rate::from_mbps(18.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let mut links = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = t.add_node(i as f64 * 10.0, 0.0);
+        let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+        links.push(t.add_link(a, b).expect("fresh nodes"));
+    }
+    let mut b = DeclarativeModel::builder(t);
+    for &l in &links {
+        b = b.alone_rates(l, &[r54, r36, r18]);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match rng.gen_range(0u8..6) {
+                0 => b = b.conflict_all(links[i], links[j]),
+                1 | 2 => {
+                    b = b.conflict_at(links[i], r54, links[j], r54);
+                    b = b.conflict_at(links[i], r54, links[j], r36);
+                    b = b.conflict_at(links[i], r36, links[j], r54);
+                }
+                _ => {}
+            }
+        }
+    }
+    (b.build(), links)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

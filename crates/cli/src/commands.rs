@@ -84,12 +84,11 @@ pub fn available(args: &Args) -> CmdResult {
     } else {
         Vec::new()
     };
-    let out = available_bandwidth(
-        &model,
-        &background,
-        &path,
-        &AvailableBandwidthOptions::default(),
-    )?;
+    let options = AvailableBandwidthOptions {
+        solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
+        ..AvailableBandwidthOptions::default()
+    };
+    let out = available_bandwidth(&model, &background, &path, &options)?;
     let view = AvailableOut {
         hops,
         hop_length_m: hop_length,
@@ -278,18 +277,31 @@ fn parse_engine_kind(s: &str) -> Result<awb_sets::EngineKind, Box<dyn Error>> {
     }
 }
 
+/// Parses `--solver`: `full` (enumerate every independent set, the
+/// default) or `colgen` (column generation — price sets in on demand).
+/// Both certify the same optimum; the choice is a pure performance knob.
+fn parse_solver_kind(s: &str) -> Result<awb_core::SolverKind, Box<dyn Error>> {
+    use awb_core::SolverKind;
+    match s {
+        "full" | "enumerate" => Ok(SolverKind::FullEnumeration),
+        "colgen" | "column-generation" => Ok(SolverKind::ColumnGeneration),
+        other => Err(format!("unknown --solver {other:?} (expected full or colgen)").into()),
+    }
+}
+
 /// `awb serve` — run the admission-control daemon ([`awb_service`]).
 ///
 /// With `--stdio`, serves newline-delimited JSON requests from stdin to
 /// stdout and exits at EOF (single-shot mode). Otherwise binds a TCP
 /// listener (default `127.0.0.1:4810`; `--addr host:0` picks a free port)
 /// and serves until killed. `--enum-engine auto|generic|compiled[:N]`
-/// selects the set-enumeration engine (a pure performance knob; results are
-/// identical).
+/// selects the set-enumeration engine and `--solver full|colgen` the LP
+/// strategy (both pure performance knobs; results are identical).
 pub fn serve(args: &Args) -> CmdResult {
     use awb_service::{Engine, EngineConfig, ServerConfig};
     let engine_config = EngineConfig {
         enumeration_engine: parse_engine_kind(args.get("enum-engine").unwrap_or("auto"))?,
+        solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
         ..EngineConfig::default()
     };
     if args.has("stdio") {
@@ -337,7 +349,10 @@ pub fn query(args: &Args) -> CmdResult {
         Some(addr) => awb_service::server::query_once(addr, &request)?,
         None => {
             use awb_service::{Engine, EngineConfig};
-            let engine = Engine::new(EngineConfig::default());
+            let engine = Engine::new(EngineConfig {
+                solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
+                ..EngineConfig::default()
+            });
             awb_service::server::handle_line(&engine, &request)
         }
     };

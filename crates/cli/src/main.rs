@@ -2,15 +2,16 @@
 //!
 //! ```text
 //! awb topology  [--nodes 30] [--width 400] [--height 600] [--seed 7] [--json]
-//! awb available [--hops 4] [--hop-length 70] [--background 0] [--json]
+//! awb available [--hops 4] [--hop-length 70] [--background 0]
+//!               [--solver full|colgen] [--json]
 //! awb admission [--flows 8] [--metric average-e2eD] [--demand 2]
 //!               [--seed 7] [--pairs-seed 5] [--json]
 //! awb simulate  [--hops 3] [--hop-length 70] [--slots 50000] [--demand sat]
 //!               [--contention ordered|p0.5|dcf] [--json]
 //! awb scenario2 [--json]
 //! awb serve     [--addr 127.0.0.1:4810] [--workers 4] [--queue 64] [--stdio]
-//!               [--enum-engine auto|generic|compiled[:N]]
-//! awb query     [--addr host:port] [--request '<json>']
+//!               [--enum-engine auto|generic|compiled[:N]] [--solver full|colgen]
+//! awb query     [--addr host:port] [--request '<json>'] [--solver full|colgen]
 //! ```
 
 mod args;
@@ -29,7 +30,8 @@ commands:
   scenario2   the paper's clique-invalidity counterexample (16.2 Mbps)
   serve       run the admission-control daemon (JSON lines over TCP;
               --stdio for single-shot stdin/stdout mode;
-              --enum-engine auto|generic|compiled[:N] picks the enumerator)
+              --enum-engine auto|generic|compiled[:N] picks the enumerator;
+              --solver full|colgen picks the LP strategy)
   query       send one request to a server (--addr) or answer it in-process
 
 common flags: --json for machine-readable output, --help for this text";

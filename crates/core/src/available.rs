@@ -8,10 +8,30 @@ use awb_lp::{Direction, Problem, Relation};
 use awb_net::{LinkId, LinkRateModel, Path};
 use awb_sets::{enumerate_admissible, EnumerationOptions, RatedSet};
 
+/// Which LP solve strategy [`available_bandwidth`] uses. Both reach the
+/// same optimum (certified by LP duality); they differ in how the
+/// independent-set columns are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverKind {
+    /// Enumerate every admissible rate-coupled independent set up front and
+    /// solve one LP over the full pool. Exponential in the number of links,
+    /// but the pool doubles as an exhaustive witness — kept as the
+    /// equivalence reference.
+    #[default]
+    FullEnumeration,
+    /// Delayed column generation (see [`crate::colgen`]): a restricted
+    /// master seeded with singletons plus a greedy cover, extended by a
+    /// branch-and-bound pricing oracle until no column has positive reduced
+    /// cost. Orders of magnitude faster on topologies whose maximal-set
+    /// pool is large.
+    ColumnGeneration,
+}
+
 /// Options for [`available_bandwidth`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AvailableBandwidthOptions {
-    /// How to enumerate the independent-set pool.
+    /// How to enumerate the independent-set pool (unused under
+    /// [`SolverKind::ColumnGeneration`], which never enumerates).
     pub enumeration: EnumerationOptions,
     /// Schedule entries with a smaller time share are dropped from the
     /// returned witness.
@@ -21,6 +41,9 @@ pub struct AvailableBandwidthOptions {
     /// pairwise models; slightly optimistic for additive-interference models
     /// (cross-component interference residue is ignored). Off by default.
     pub decompose: bool,
+    /// Which solve strategy to use. Defaults to
+    /// [`SolverKind::FullEnumeration`].
+    pub solver: SolverKind,
 }
 
 impl Default for AvailableBandwidthOptions {
@@ -29,6 +52,7 @@ impl Default for AvailableBandwidthOptions {
             enumeration: EnumerationOptions::default(),
             dust_epsilon: 1e-9,
             decompose: false,
+            solver: SolverKind::default(),
         }
     }
 }
@@ -41,6 +65,8 @@ pub struct AvailableBandwidth {
     schedule: Schedule,
     universe: Vec<LinkId>,
     num_sets: usize,
+    /// Simplex pivots spent producing this result.
+    lp_pivots: usize,
     /// Shadow price of the unit time budget (max over components when
     /// decomposed).
     airtime_dual: f64,
@@ -50,6 +76,29 @@ pub struct AvailableBandwidth {
 }
 
 impl AvailableBandwidth {
+    /// Assembles a result from already-extracted LP pieces (shared by the
+    /// enumeration and column-generation solve paths).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        bandwidth_mbps: f64,
+        schedule: Schedule,
+        universe: Vec<LinkId>,
+        num_sets: usize,
+        lp_pivots: usize,
+        airtime_dual: f64,
+        link_scarcity: Vec<f64>,
+    ) -> AvailableBandwidth {
+        AvailableBandwidth {
+            bandwidth_mbps,
+            schedule,
+            universe,
+            num_sets,
+            lp_pivots,
+            airtime_dual,
+            link_scarcity,
+        }
+    }
+
     /// The maximum additional throughput of the new path, in Mbps
     /// (`f_{K+1}` at the LP optimum).
     pub fn bandwidth_mbps(&self) -> f64 {
@@ -68,9 +117,22 @@ impl AvailableBandwidth {
         &self.universe
     }
 
-    /// Number of independent-set columns in the LP.
+    /// Number of independent-set columns in the LP that produced this
+    /// result. Under [`SolverKind::FullEnumeration`] this is the size of the
+    /// exhaustively enumerated pool; under [`SolverKind::ColumnGeneration`]
+    /// it counts the columns actually present in the final restricted
+    /// master — typically a small fraction of the full pool, and exactly
+    /// what the solve paid for.
     pub fn num_sets(&self) -> usize {
         self.num_sets
+    }
+
+    /// Total simplex pivots spent producing this result — one solve's worth
+    /// under [`SolverKind::FullEnumeration`], the sum across every master
+    /// (including warm re-optimizations) under
+    /// [`SolverKind::ColumnGeneration`].
+    pub fn lp_pivots(&self) -> usize {
+        self.lp_pivots
     }
 
     /// Shadow price of the scheduling period: the Mbps the new flow would
@@ -138,6 +200,16 @@ pub fn available_bandwidth<M: LinkRateModel>(
     new_path: &Path,
     options: &AvailableBandwidthOptions,
 ) -> Result<AvailableBandwidth, CoreError> {
+    if options.solver == SolverKind::ColumnGeneration {
+        return crate::colgen::available_bandwidth_colgen(
+            model,
+            background,
+            new_path,
+            &[],
+            options,
+        )
+        .map(|outcome| outcome.result);
+    }
     let universe = link_universe(background, new_path);
     if universe.is_empty() {
         return Err(CoreError::EmptyUniverse);
@@ -258,6 +330,7 @@ fn solve_decomposed<M: LinkRateModel>(
         schedule,
         universe: universe.to_vec(),
         num_sets: pools.iter().map(Vec::len).sum(),
+        lp_pivots: solution.pivots(),
         airtime_dual,
         link_scarcity,
     })
@@ -373,6 +446,7 @@ fn solve_over_sets(
         schedule,
         universe: universe.to_vec(),
         num_sets: sets.len(),
+        lp_pivots: solution.pivots(),
         airtime_dual,
         link_scarcity,
     })

@@ -1,0 +1,716 @@
+//! Delayed column generation for the §2.5 LP (Eq. 6).
+//!
+//! Instead of enumerating every admissible rate-coupled independent set up
+//! front (exponential in links) and handing the full pool to the simplex,
+//! this module keeps a **restricted master problem** over a small seed pool
+//! (per-link singletons plus a greedy cover), solves it, and asks a
+//! [`MaxWeightOracle`] — a branch-and-bound maximum-weight rated-set search
+//! over the compiled conflict bitmasks — for the column with the most
+//! positive reduced cost under the master's link duals. Columns are appended
+//! to the warm [`IncrementalSolver`] (a few pivots per round instead of a
+//! from-scratch two-phase solve) until the oracle certifies that **no**
+//! admissible set prices in, at which point LP duality guarantees the
+//! restricted optimum equals the full-enumeration optimum.
+//!
+//! The solve runs in two stages:
+//!
+//! 1. **Stage A (feasibility)** — per component, minimize total airtime
+//!    `Σ λ` subject to every demanded link being delivered, pricing columns
+//!    in by delivery duals (`enter iff Σ y_e R_S[e] > 1`). The seed
+//!    singletons make this master feasible whenever the demands are
+//!    schedulable at all; if the certified minimum airtime exceeds 1 the
+//!    background is infeasible — exactly the condition
+//!    [`CoreError::BackgroundInfeasible`] reports.
+//! 2. **Stage B (throughput)** — one joint master maximizing `f` with a unit
+//!    time budget per component and the Eq. 6 delivery rows, seeded with the
+//!    stage-A pool (so it starts feasible), pricing per component with
+//!    `enter iff Σ scarcity_e · R_S[e] > airtime dual`.
+//!
+//! Every pricing round is deterministic (oracle ties break first-found,
+//! duplicate proposals are treated as convergence), so repeated runs produce
+//! identical columns, bases, and duals.
+
+use crate::available::{link_universe, AvailableBandwidth, AvailableBandwidthOptions};
+use crate::error::CoreError;
+use crate::flow::Flow;
+use crate::schedule::Schedule;
+use awb_lp::{Direction, IncrementalSolver, Problem, Relation, SolverOptions, VarId};
+use awb_net::{LinkId, LinkRateModel, Path};
+use awb_sets::{MaxWeightOracle, RatedSet};
+
+/// Reduced costs must clear this margin before a column is generated; keeps
+/// the loop from chasing LP-tolerance noise.
+const PRICE_TOL: f64 = 1e-7;
+
+/// Slack allowed on the stage-A airtime certificate, matching the simplex
+/// phase-1 infeasibility tolerance.
+const FEAS_TOL: f64 = 1e-7;
+
+/// Hard cap on pricing rounds per master — a backstop against numerical
+/// stalling, far above anything a real topology needs.
+const MAX_ROUNDS: usize = 10_000;
+
+/// Counters describing a column-generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColgenStats {
+    /// Master re-optimizations driven by the pricing oracle (both stages).
+    pub pricing_rounds: usize,
+    /// Columns the oracle generated beyond the seed pool.
+    pub columns_generated: usize,
+    /// Total simplex pivots across every master, including warm restarts.
+    pub pivots: usize,
+}
+
+/// Result of a column-generation solve: the Eq. 6 outcome plus the final
+/// master's column pool (reusable as the seed of a later solve on the same
+/// topology) and run counters.
+#[derive(Debug, Clone)]
+pub struct ColgenOutcome {
+    /// The solved LP, identical in meaning to [`crate::available_bandwidth`].
+    pub result: AvailableBandwidth,
+    /// All independent-set columns in the final master, component by
+    /// component. Feeding these back as `seed` warm-starts the next solve.
+    pub pool: Vec<RatedSet>,
+    /// Pricing-loop counters.
+    pub stats: ColgenStats,
+}
+
+/// Column-generation counterpart of [`crate::available_bandwidth`]: same
+/// optimum and dual prices, but the independent-set pool is priced in on
+/// demand instead of enumerated exhaustively. `seed` columns (e.g. the pool
+/// of a previous solve on the same topology) join the initial master;
+/// `&[]` is always valid.
+///
+/// Honors `options.decompose` (per-component budgets, like the enumeration
+/// path) and `options.dust_epsilon`; `options.enumeration` is unused — no
+/// enumeration happens.
+///
+/// # Errors
+///
+/// As [`crate::available_bandwidth`].
+pub fn available_bandwidth_colgen<M: LinkRateModel>(
+    model: &M,
+    background: &[Flow],
+    new_path: &Path,
+    seed: &[RatedSet],
+    options: &AvailableBandwidthOptions,
+) -> Result<ColgenOutcome, CoreError> {
+    let universe = link_universe(background, new_path);
+    if universe.is_empty() {
+        return Err(CoreError::EmptyUniverse);
+    }
+    let components: Vec<Vec<LinkId>> = if options.decompose {
+        crate::decomposition::potential_conflict_components(model, &universe)
+    } else {
+        vec![universe.clone()]
+    };
+    let oracles: Vec<MaxWeightOracle> = components
+        .iter()
+        .map(|c| MaxWeightOracle::new(model, c))
+        .collect();
+    let oracle_refs: Vec<&MaxWeightOracle> = oracles.iter().collect();
+    solve_components(
+        model,
+        &universe,
+        &components,
+        &oracle_refs,
+        background,
+        new_path,
+        options.dust_epsilon,
+        seed,
+    )
+}
+
+/// Like [`available_bandwidth_colgen`], but over a caller-supplied oracle
+/// compiled once for this `(model, universe)` pair — the reuse hook for a
+/// service answering admission sequences on the same topology. The oracle
+/// must have been built with `MaxWeightOracle::new(model,
+/// &link_universe(background, new_path))`; the universe is treated as a
+/// single component (`options.decompose` is ignored).
+///
+/// # Errors
+///
+/// As [`crate::available_bandwidth`].
+pub fn available_bandwidth_colgen_with_oracle<M: LinkRateModel>(
+    model: &M,
+    oracle: &MaxWeightOracle,
+    background: &[Flow],
+    new_path: &Path,
+    seed: &[RatedSet],
+    options: &AvailableBandwidthOptions,
+) -> Result<ColgenOutcome, CoreError> {
+    let universe = link_universe(background, new_path);
+    if universe.is_empty() {
+        return Err(CoreError::EmptyUniverse);
+    }
+    debug_assert!(
+        oracle
+            .links()
+            .iter()
+            .all(|l| universe.binary_search(l).is_ok()),
+        "oracle was compiled for a different universe"
+    );
+    let components = vec![universe.clone()];
+    solve_components(
+        model,
+        &universe,
+        &components,
+        &[oracle],
+        background,
+        new_path,
+        options.dust_epsilon,
+        seed,
+    )
+}
+
+/// Demand per universe link from the background flows.
+fn demand_vector(universe: &[LinkId], background: &[Flow]) -> Vec<f64> {
+    let mut demand = vec![0.0f64; universe.len()];
+    for flow in background {
+        for link in flow.path().links() {
+            let idx = universe
+                .binary_search(link)
+                .expect("universe contains all path links");
+            demand[idx] += flow.demand_mbps();
+        }
+    }
+    demand
+}
+
+/// Seeds one component's pool: caller-provided seed sets that live entirely
+/// inside the component, every live link's max-rate singleton, and a greedy
+/// cover of the live links by oracle calls.
+fn seed_pool<M: LinkRateModel>(
+    model: &M,
+    component: &[LinkId],
+    oracle: &MaxWeightOracle,
+    seed: &[RatedSet],
+) -> Vec<RatedSet> {
+    let mut pool: Vec<RatedSet> = Vec::new();
+    for set in seed {
+        if set.is_empty() || pool.contains(set) {
+            continue;
+        }
+        if set.couples().iter().all(|(l, _)| component.contains(l)) {
+            pool.push(set.clone());
+        }
+    }
+    for &link in oracle.links() {
+        let rate = model.max_alone_rate(link).expect("oracle links are live");
+        let singleton = RatedSet::new(vec![(link, rate)]);
+        if !pool.contains(&singleton) {
+            pool.push(singleton);
+        }
+    }
+    // Greedy cover: repeatedly ask for the heaviest set over the still
+    // uncovered links; wide sets make the initial master's budget realistic.
+    let mut covered = vec![false; oracle.links().len()];
+    for _ in 0..oracle.links().len() {
+        let weights: Vec<f64> = covered.iter().map(|&c| if c { 0.0 } else { 1.0 }).collect();
+        let Some((set, _)) = oracle.max_weight_set(model, &weights) else {
+            break;
+        };
+        let mut progressed = false;
+        for (i, &l) in oracle.links().iter().enumerate() {
+            if !covered[i] && set.contains(l) {
+                covered[i] = true;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+        if !pool.contains(&set) {
+            pool.push(set);
+        }
+        if covered.iter().all(|&c| c) {
+            break;
+        }
+    }
+    pool
+}
+
+/// Stage A for one component: certify the background demands schedulable
+/// within the unit budget, generating delivery columns along the way.
+#[allow(clippy::too_many_arguments)]
+fn stage_a<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+    demand: &[f64],
+    component: &[LinkId],
+    oracle: &MaxWeightOracle,
+    pool: &mut Vec<RatedSet>,
+    stats: &mut ColgenStats,
+) -> Result<(), CoreError> {
+    // Universe indices of this component's demanded links.
+    let demanded: Vec<usize> = component
+        .iter()
+        .map(|l| universe.binary_search(l).expect("component ⊆ universe"))
+        .filter(|&idx| demand[idx] > 0.0)
+        .collect();
+    if demanded.is_empty() {
+        return Ok(());
+    }
+    let mut lp = Problem::new(Direction::Minimize);
+    let vars: Vec<VarId> = (0..pool.len())
+        .map(|i| lp.add_var(format!("a{i}"), 1.0))
+        .collect();
+    for (row, &idx) in demanded.iter().enumerate() {
+        let link = universe[idx];
+        let terms: Vec<(VarId, f64)> = pool
+            .iter()
+            .zip(&vars)
+            .filter_map(|(set, &var)| set.rate_of(link).map(|r| (var, r.as_mbps())))
+            .collect();
+        lp.add_constraint(&terms, Relation::Ge, demand[idx])
+            .expect("fresh variables");
+        debug_assert_eq!(row, lp.num_constraints() - 1);
+    }
+    let mut inc = IncrementalSolver::new(&lp, SolverOptions::default()).map_err(CoreError::from)?;
+    for _round in 0..MAX_ROUNDS {
+        let sol = inc.solution();
+        // Delivery duals: in the minimize direction a binding >= row prices
+        // positive — the airtime cost of one more Mbps on that link.
+        let mut weights = vec![0.0f64; oracle.links().len()];
+        for (row, &idx) in demanded.iter().enumerate() {
+            let link = universe[idx];
+            if let Some(pos) = oracle.links().iter().position(|&l| l == link) {
+                weights[pos] = sol.dual(row).max(0.0);
+            }
+        }
+        let Some((set, value)) = oracle.max_weight_set(model, &weights) else {
+            break;
+        };
+        if value <= 1.0 + PRICE_TOL || pool.contains(&set) {
+            break;
+        }
+        let terms: Vec<(usize, f64)> = demanded
+            .iter()
+            .enumerate()
+            .filter_map(|(row, &idx)| set.rate_of(universe[idx]).map(|r| (row, r.as_mbps())))
+            .collect();
+        inc.add_column(format!("a{}", pool.len()), 1.0, &terms)
+            .map_err(CoreError::from)?;
+        pool.push(set);
+        inc.reoptimize().map_err(CoreError::from)?;
+        stats.pricing_rounds += 1;
+        stats.columns_generated += 1;
+    }
+    let airtime = inc.solution().objective();
+    stats.pivots += inc.pivots();
+    if airtime > 1.0 + FEAS_TOL {
+        return Err(CoreError::BackgroundInfeasible);
+    }
+    Ok(())
+}
+
+/// Index maps of one stage-B master build.
+struct MasterLayout {
+    /// Budget row per component (`None` for empty pools).
+    budget_rows: Vec<Option<usize>>,
+    /// Delivery row per universe index.
+    link_rows: Vec<usize>,
+    /// λ variable per `(component, pool position)`, flattened per component.
+    lambdas: Vec<Vec<VarId>>,
+    f: VarId,
+}
+
+/// Builds the joint stage-B master over the current pools and solves it.
+fn build_master(
+    pools: &[Vec<RatedSet>],
+    components: &[Vec<LinkId>],
+    universe: &[LinkId],
+    demand: &[f64],
+    new_path: &Path,
+) -> Result<(IncrementalSolver, MasterLayout), CoreError> {
+    let mut lp = Problem::new(Direction::Maximize);
+    let f = lp.add_var("f", 1.0);
+    let lambdas: Vec<Vec<VarId>> = pools
+        .iter()
+        .enumerate()
+        .map(|(ci, pool)| {
+            (0..pool.len())
+                .map(|i| lp.add_var(format!("l{ci}_{i}"), 0.0))
+                .collect()
+        })
+        .collect();
+    let mut constraint_index = 0usize;
+    let mut budget_rows = Vec::with_capacity(pools.len());
+    for vars in &lambdas {
+        if vars.is_empty() {
+            budget_rows.push(None);
+            continue;
+        }
+        let budget: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(&budget, Relation::Le, 1.0)
+            .expect("fresh variables");
+        budget_rows.push(Some(constraint_index));
+        constraint_index += 1;
+    }
+    let mut link_rows = vec![usize::MAX; universe.len()];
+    for (ci, component) in components.iter().enumerate() {
+        for &link in component {
+            let idx = universe.binary_search(&link).expect("component ⊆ universe");
+            let mut terms: Vec<_> = pools[ci]
+                .iter()
+                .zip(&lambdas[ci])
+                .filter_map(|(set, &var)| set.rate_of(link).map(|r| (var, r.as_mbps())))
+                .collect();
+            if new_path.contains(link) {
+                terms.push((f, -1.0));
+            }
+            lp.add_constraint(&terms, Relation::Ge, demand[idx])
+                .expect("fresh variables");
+            link_rows[idx] = constraint_index;
+            constraint_index += 1;
+        }
+    }
+    let inc = IncrementalSolver::new(&lp, SolverOptions::default()).map_err(CoreError::from)?;
+    Ok((
+        inc,
+        MasterLayout {
+            budget_rows,
+            link_rows,
+            lambdas,
+            f,
+        },
+    ))
+}
+
+/// The full two-stage column-generation solve over prepared components.
+#[allow(clippy::too_many_arguments)]
+fn solve_components<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+    components: &[Vec<LinkId>],
+    oracles: &[&MaxWeightOracle],
+    background: &[Flow],
+    new_path: &Path,
+    dust_epsilon: f64,
+    seed: &[RatedSet],
+) -> Result<ColgenOutcome, CoreError> {
+    let demand = demand_vector(universe, background);
+    let mut stats = ColgenStats::default();
+
+    let mut pools: Vec<Vec<RatedSet>> = components
+        .iter()
+        .zip(oracles)
+        .map(|(component, oracle)| seed_pool(model, component, oracle, seed))
+        .collect();
+
+    // Stage A: per-component feasibility, growing the pools.
+    for (ci, component) in components.iter().enumerate() {
+        stage_a(
+            model,
+            universe,
+            &demand,
+            component,
+            oracles[ci],
+            &mut pools[ci],
+            &mut stats,
+        )?;
+    }
+
+    // Stage B: joint throughput master with per-component pricing. A master
+    // rebuild (cold start) only happens in the rare case the warm append is
+    // refused because phase 1 dropped a redundant row.
+    let (mut master, mut layout) = build_master(&pools, components, universe, &demand, new_path)?;
+    for _round in 0..MAX_ROUNDS {
+        let sol = master.solution();
+        let mut added = false;
+        let mut rebuild = false;
+        for (ci, oracle) in oracles.iter().enumerate() {
+            let Some(budget_row) = layout.budget_rows[ci] else {
+                continue;
+            };
+            let airtime = sol.dual(budget_row).max(0.0);
+            let weights: Vec<f64> = oracle
+                .links()
+                .iter()
+                .map(|l| {
+                    let idx = universe.binary_search(l).expect("oracle ⊆ universe");
+                    (-sol.dual(layout.link_rows[idx])).max(0.0)
+                })
+                .collect();
+            let Some((set, value)) = oracle.max_weight_set(model, &weights) else {
+                continue;
+            };
+            if value <= airtime + PRICE_TOL || pools[ci].contains(&set) {
+                continue;
+            }
+            let mut terms: Vec<(usize, f64)> = vec![(budget_row, 1.0)];
+            for &(link, rate) in set.couples() {
+                let idx = universe.binary_search(&link).expect("set ⊆ universe");
+                terms.push((layout.link_rows[idx], rate.as_mbps()));
+            }
+            let name = format!("l{ci}_{}", pools[ci].len());
+            match master.add_column(name, 0.0, &terms) {
+                Ok(var) => {
+                    layout.lambdas[ci].push(var);
+                    pools[ci].push(set);
+                    added = true;
+                }
+                Err(awb_lp::SolveError::Problem(awb_lp::ProblemError::RedundantRowsEliminated)) => {
+                    pools[ci].push(set);
+                    added = true;
+                    rebuild = true;
+                }
+                Err(e) => return Err(CoreError::from(e)),
+            }
+            stats.columns_generated += 1;
+        }
+        if !added {
+            break;
+        }
+        stats.pricing_rounds += 1;
+        if rebuild {
+            stats.pivots += master.pivots();
+            let (m, l) = build_master(&pools, components, universe, &demand, new_path)?;
+            master = m;
+            layout = l;
+        } else {
+            master.reoptimize().map_err(CoreError::from)?;
+        }
+    }
+    stats.pivots += master.pivots();
+
+    // Extract the Eq. 6 outcome exactly like the enumeration path does.
+    let solution = master.solution();
+    let mut parts = Vec::with_capacity(components.len());
+    for (ci, pool) in pools.iter().enumerate() {
+        let entries: Vec<(RatedSet, f64)> = pool
+            .iter()
+            .zip(&layout.lambdas[ci])
+            .map(|(set, &var)| (set.clone(), solution.value(var)))
+            .filter(|(_, share)| *share > dust_epsilon)
+            .collect();
+        let total: f64 = entries.iter().map(|(_, s)| s).sum();
+        let entries = if total > 1.0 {
+            entries
+                .into_iter()
+                .map(|(s, share)| (s, share / total))
+                .collect()
+        } else {
+            entries
+        };
+        parts.push(Schedule::new(entries));
+    }
+    // One component: the schedule is already joint (and may legitimately use
+    // a link in several entries, which the parallel merge forbids).
+    let schedule = if parts.len() == 1 {
+        parts.pop().expect("one part")
+    } else {
+        crate::decomposition::merge_parallel_schedules(&parts)
+    };
+    let airtime_dual = layout
+        .budget_rows
+        .iter()
+        .flatten()
+        .map(|&row| solution.dual(row).max(0.0))
+        .fold(0.0, f64::max);
+    let link_scarcity: Vec<f64> = layout
+        .link_rows
+        .iter()
+        .map(|&row| {
+            if row == usize::MAX {
+                0.0
+            } else {
+                (-solution.dual(row)).max(0.0)
+            }
+        })
+        .collect();
+    let num_sets = pools.iter().map(Vec::len).sum();
+    let result = AvailableBandwidth::from_parts(
+        solution.value(layout.f).max(0.0),
+        schedule,
+        universe.to_vec(),
+        num_sets,
+        stats.pivots,
+        airtime_dual,
+        link_scarcity,
+    );
+    Ok(ColgenOutcome {
+        result,
+        pool: pools.into_iter().flatten().collect(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::available::{available_bandwidth, AvailableBandwidthOptions, SolverKind};
+    use awb_net::{DeclarativeModel, Topology};
+    use awb_phy::Rate;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// `n` disjoint links in a row; conflicts as declared.
+    fn line_model(
+        n: usize,
+        rates: &[Rate],
+        conflicts: &[(usize, usize)],
+    ) -> (DeclarativeModel, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let mut links = Vec::new();
+        for i in 0..n {
+            let a = t.add_node(i as f64 * 10.0, 0.0);
+            let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+            links.push(t.add_link(a, b).unwrap());
+        }
+        let mut b = DeclarativeModel::builder(t);
+        for &l in &links {
+            b = b.alone_rates(l, rates);
+        }
+        for &(i, j) in conflicts {
+            b = b.conflict_all(links[i], links[j]);
+        }
+        (b.build(), links)
+    }
+
+    fn colgen_options() -> AvailableBandwidthOptions {
+        AvailableBandwidthOptions {
+            solver: SolverKind::ColumnGeneration,
+            ..AvailableBandwidthOptions::default()
+        }
+    }
+
+    #[test]
+    fn relay_capacity_matches_enumeration() {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(10.0, 0.0);
+        let c = t.add_node(20.0, 0.0);
+        let ab = t.add_link(a, b).unwrap();
+        let bc = t.add_link(b, c).unwrap();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(ab, &[r(54.0)])
+            .alone_rates(bc, &[r(54.0)])
+            .conflict_all(ab, bc)
+            .build();
+        let p = Path::new(m.topology(), vec![ab, bc]).unwrap();
+        let out = available_bandwidth(&m, &[], &p, &colgen_options()).unwrap();
+        assert!((out.bandwidth_mbps() - 27.0).abs() < 1e-7);
+        assert!(out.schedule().is_valid(&m));
+        for &l in p.links() {
+            assert!(out.schedule().link_throughput(l) >= 27.0 - 1e-7);
+        }
+    }
+
+    #[test]
+    fn matches_enumeration_with_background_and_duals() {
+        let (m, links) = line_model(3, &[r(54.0), r(18.0)], &[(0, 1), (1, 2)]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[1]]).unwrap();
+        for bg in [0.0, 10.0, 27.0] {
+            let background = vec![Flow::new(bg_path.clone(), bg).unwrap()];
+            let full = available_bandwidth(
+                &m,
+                &background,
+                &new_path,
+                &AvailableBandwidthOptions::default(),
+            )
+            .unwrap();
+            let cg = available_bandwidth(&m, &background, &new_path, &colgen_options()).unwrap();
+            assert!(
+                (full.bandwidth_mbps() - cg.bandwidth_mbps()).abs() < 1e-6,
+                "bg {bg}: full {} vs colgen {}",
+                full.bandwidth_mbps(),
+                cg.bandwidth_mbps()
+            );
+            assert!((full.airtime_shadow_price() - cg.airtime_shadow_price()).abs() < 1e-6);
+            for &l in full.universe() {
+                let a = full.link_scarcity(l).unwrap();
+                let b = cg.link_scarcity(l).unwrap();
+                assert!((a - b).abs() < 1e-6, "link {l:?}: {a} vs {b}");
+            }
+            assert!(cg.schedule().is_valid(&m));
+            assert!(cg.num_sets() <= full.num_sets());
+        }
+    }
+
+    #[test]
+    fn infeasible_background_is_reported() {
+        let (m, links) = line_model(2, &[r(54.0)], &[(0, 1)]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[1]]).unwrap();
+        let background = vec![Flow::new(bg_path, 60.0).unwrap()];
+        let err = available_bandwidth(&m, &background, &new_path, &colgen_options()).unwrap_err();
+        assert_eq!(err, CoreError::BackgroundInfeasible);
+    }
+
+    #[test]
+    fn dead_link_on_new_path_gives_zero() {
+        let (m0, links) = line_model(2, &[r(54.0)], &[]);
+        let mut b = DeclarativeModel::builder(m0.topology().clone());
+        b = b.alone_rates(links[0], &[r(54.0)]);
+        let m = b.build();
+        let p = Path::new(m.topology(), vec![links[1]]).unwrap();
+        let out = available_bandwidth(&m, &[], &p, &colgen_options()).unwrap();
+        assert_eq!(out.bandwidth_mbps(), 0.0);
+    }
+
+    #[test]
+    fn decomposed_components_match_enumeration() {
+        // Two independent components: {0,1} conflicting, {2} alone.
+        let (m, links) = line_model(3, &[r(54.0)], &[(0, 1)]);
+        let bg_path = Path::new(m.topology(), vec![links[2]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let background = vec![Flow::new(bg_path, 20.0).unwrap()];
+        let opts_full = AvailableBandwidthOptions {
+            decompose: true,
+            ..AvailableBandwidthOptions::default()
+        };
+        let opts_cg = AvailableBandwidthOptions {
+            decompose: true,
+            ..colgen_options()
+        };
+        let full = available_bandwidth(&m, &background, &new_path, &opts_full).unwrap();
+        let cg = available_bandwidth(&m, &background, &new_path, &opts_cg).unwrap();
+        assert!((full.bandwidth_mbps() - cg.bandwidth_mbps()).abs() < 1e-6);
+        assert!(cg.schedule().is_valid(&m));
+    }
+
+    #[test]
+    fn seed_pool_reuse_reaches_same_optimum_with_fewer_rounds() {
+        let (m, links) = line_model(4, &[r(54.0), r(18.0)], &[(0, 1), (1, 2), (2, 3)]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[2]]).unwrap();
+        let background = vec![Flow::new(bg_path, 12.0).unwrap()];
+        let opts = colgen_options();
+        let first = available_bandwidth_colgen(&m, &background, &new_path, &[], &opts).unwrap();
+        let second =
+            available_bandwidth_colgen(&m, &background, &new_path, &first.pool, &opts).unwrap();
+        assert!(
+            (first.result.bandwidth_mbps() - second.result.bandwidth_mbps()).abs() < 1e-9,
+            "{} vs {}",
+            first.result.bandwidth_mbps(),
+            second.result.bandwidth_mbps()
+        );
+        assert!(second.stats.columns_generated <= first.stats.columns_generated);
+    }
+
+    #[test]
+    fn oracle_variant_matches_fresh_solve() {
+        let (m, links) = line_model(3, &[r(54.0)], &[(0, 1), (1, 2)]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[1]]).unwrap();
+        let background = vec![Flow::new(bg_path, 13.5).unwrap()];
+        let opts = colgen_options();
+        let universe = link_universe(&background, &new_path);
+        let oracle = MaxWeightOracle::new(&m, &universe);
+        let fresh = available_bandwidth_colgen(&m, &background, &new_path, &[], &opts).unwrap();
+        let cached = available_bandwidth_colgen_with_oracle(
+            &m,
+            &oracle,
+            &background,
+            &new_path,
+            &fresh.pool,
+            &opts,
+        )
+        .unwrap();
+        assert!((fresh.result.bandwidth_mbps() - cached.result.bandwidth_mbps()).abs() < 1e-9);
+    }
+}

@@ -9,6 +9,10 @@
 //!   the `{(E_i, R_i*, λ_i)}` witness of Eq. 2.
 //! * [`feasibility`] — Eq. 2/Eq. 4 feasibility tests and minimum-airtime
 //!   computation for a set of flows.
+//! * [`colgen`] — a delayed column-generation solve path for the same LP:
+//!   prices independent sets in on demand via a branch-and-bound oracle
+//!   instead of enumerating them all (select with
+//!   [`SolverKind::ColumnGeneration`]).
 //! * [`bounds`] — the Eq. 7 fixed-rate clique bounds, the corrected Eq. 9
 //!   upper bound (the clique constraint itself being *invalid* under link
 //!   adaptation is demonstrated in this workspace's Scenario II tests), and
@@ -48,6 +52,7 @@
 
 mod available;
 pub mod bounds;
+pub mod colgen;
 pub mod decomposition;
 mod error;
 pub mod feasibility;
@@ -56,7 +61,10 @@ mod schedule;
 
 pub use available::{
     available_bandwidth, available_bandwidth_with_sets, link_universe, path_capacity,
-    AvailableBandwidth, AvailableBandwidthOptions,
+    AvailableBandwidth, AvailableBandwidthOptions, SolverKind,
+};
+pub use colgen::{
+    available_bandwidth_colgen, available_bandwidth_colgen_with_oracle, ColgenOutcome, ColgenStats,
 };
 pub use error::CoreError;
 pub use flow::Flow;

@@ -21,6 +21,23 @@ pub enum ProblemError {
         /// Index of the variable that was repeated.
         index: usize,
     },
+    /// An appended column referenced a constraint row that does not exist.
+    UnknownConstraint {
+        /// Index of the offending constraint row.
+        index: usize,
+        /// Number of constraints on the solved problem.
+        declared: usize,
+    },
+    /// The same constraint row appeared more than once in an appended column.
+    DuplicateConstraint {
+        /// Index of the constraint row that was repeated.
+        index: usize,
+    },
+    /// Columns cannot be appended to an
+    /// [`IncrementalSolver`](crate::IncrementalSolver) after phase 1
+    /// eliminated redundant rows: the per-row basis bookkeeping the append
+    /// relies on no longer covers the dropped rows.
+    RedundantRowsEliminated,
 }
 
 impl fmt::Display for ProblemError {
@@ -37,6 +54,19 @@ impl fmt::Display for ProblemError {
                 write!(
                     f,
                     "variable {index} appears more than once in one constraint"
+                )
+            }
+            ProblemError::UnknownConstraint { index, declared } => write!(
+                f,
+                "column references constraint {index} but only {declared} exist"
+            ),
+            ProblemError::DuplicateConstraint { index } => {
+                write!(f, "constraint {index} appears more than once in one column")
+            }
+            ProblemError::RedundantRowsEliminated => {
+                write!(
+                    f,
+                    "cannot append columns after redundant rows were eliminated"
                 )
             }
         }

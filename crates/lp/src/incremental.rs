@@ -1,0 +1,299 @@
+//! Warm-startable simplex for column generation.
+//!
+//! [`IncrementalSolver`] solves a [`Problem`] once with the ordinary two-phase
+//! method, then keeps the final tableau and basis alive so that columns priced
+//! in by an external oracle can be appended and the solver re-optimized from
+//! the current (still feasible) basis in a handful of pivots, instead of
+//! rebuilding and re-solving from scratch on every pricing round.
+//!
+//! Appending a column never disturbs the right-hand side, so primal
+//! feasibility of the current basis is preserved and phase 1 never has to run
+//! again; [`IncrementalSolver::reoptimize`] is pure phase 2. The appended
+//! column's representation in the current basis is assembled from the identity
+//! columns carried through every pivot (`B^{-1} e_i`), which is exactly the
+//! bookkeeping the dual recovery already relies on.
+
+use crate::error::SolveError;
+use crate::problem::{Direction, Problem, VarId};
+use crate::simplex::{Instance, SolverOptions};
+use crate::solution::Solution;
+
+/// A simplex solve that stays warm across appended columns.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use awb_lp::{Direction, IncrementalSolver, Problem, Relation, SolverOptions};
+///
+/// // max x s.t. x + y <= 4; then price in a better column z with the same
+/// // row footprint and a bigger objective.
+/// let mut p = Problem::new(Direction::Maximize);
+/// let _x = p.add_var("x", 1.0);
+/// let y = p.add_var("y", 0.0);
+/// p.add_constraint(&[(_x, 1.0), (y, 1.0)], Relation::Le, 4.0)?;
+/// let mut inc = IncrementalSolver::new(&p, SolverOptions::default())?;
+/// assert!((inc.solution().objective() - 4.0).abs() < 1e-9);
+///
+/// let z = inc.add_column("z", 2.0, &[(0, 1.0)])?;
+/// inc.reoptimize()?;
+/// let s = inc.solution();
+/// assert!((s.objective() - 8.0).abs() < 1e-9);
+/// assert!((s.value(z) - 4.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct IncrementalSolver {
+    inst: Instance,
+    options: SolverOptions,
+    direction: Direction,
+    names: Vec<String>,
+    /// User-direction objective, original + appended.
+    objective: Vec<f64>,
+}
+
+impl IncrementalSolver {
+    /// Solves `problem` to optimality and retains the warm state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::solve`].
+    pub fn new(problem: &Problem, options: SolverOptions) -> Result<Self, SolveError> {
+        let mut inst = Instance::build(problem, &options);
+        inst.phase1(&options)?;
+        inst.phase2(&options)?;
+        Ok(IncrementalSolver {
+            inst,
+            options,
+            direction: problem.direction(),
+            names: problem.var_names().to_vec(),
+            objective: problem.objective_coeffs().to_vec(),
+        })
+    }
+
+    /// Appends a non-negative structural column: `objective` is its objective
+    /// coefficient (in the problem's own direction) and `terms` its sparse
+    /// coefficients as `(constraint index, coefficient)` pairs over the
+    /// *original* constraints. The column enters nonbasic; call
+    /// [`IncrementalSolver::reoptimize`] once the pricing round is done.
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::UnknownConstraint`](crate::ProblemError) for an
+    /// out-of-range row, [`ProblemError::DuplicateConstraint`](crate::ProblemError)
+    /// for a repeated row, [`ProblemError::NonFiniteCoefficient`](crate::ProblemError)
+    /// for NaN/infinite input, and
+    /// [`ProblemError::RedundantRowsEliminated`](crate::ProblemError) if phase 1
+    /// dropped redundant rows (the append bookkeeping no longer covers them).
+    pub fn add_column(
+        &mut self,
+        name: impl Into<String>,
+        objective: f64,
+        terms: &[(usize, f64)],
+    ) -> Result<VarId, SolveError> {
+        let index = self.inst.add_column(objective, terms)?;
+        debug_assert_eq!(index, self.objective.len());
+        self.names.push(name.into());
+        self.objective.push(objective);
+        Ok(VarId(index))
+    }
+
+    /// Re-optimizes from the current basis after columns were appended.
+    /// A no-op (zero pivots) when the appended columns price out.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Unbounded`] or [`SolveError::IterationLimit`]; the
+    /// current basis stays primal-feasible, so infeasibility cannot arise.
+    pub fn reoptimize(&mut self) -> Result<(), SolveError> {
+        self.inst.phase2(&self.options)
+    }
+
+    /// The primal/dual solution at the current basis. Valid after
+    /// [`IncrementalSolver::new`] and after every successful
+    /// [`IncrementalSolver::reoptimize`].
+    pub fn solution(&self) -> Solution {
+        self.inst.extract(&self.objective, self.names.clone())
+    }
+
+    /// Number of variables (original + appended).
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of original constraints (valid row indices for
+    /// [`IncrementalSolver::add_column`]).
+    pub fn num_constraints(&self) -> usize {
+        self.inst.num_original_rows()
+    }
+
+    /// Total simplex pivots across the initial solve and all re-optimizations.
+    pub fn pivots(&self) -> usize {
+        self.inst.pivots()
+    }
+
+    /// The optimization direction of the underlying problem.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ProblemError;
+    use crate::problem::{Problem, Relation};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    /// Incremental solve with appended columns must match solving the fully
+    /// stated problem from scratch.
+    #[test]
+    fn appended_columns_match_from_scratch_solve() {
+        // max 3a + 5b + 4c s.t. a + b + c <= 10, 2a + b <= 8, b + 3c >= 3.
+        let build_full = || {
+            let mut p = Problem::new(Direction::Maximize);
+            let a = p.add_var("a", 3.0);
+            let b = p.add_var("b", 5.0);
+            let c = p.add_var("c", 4.0);
+            p.add_constraint(&[(a, 1.0), (b, 1.0), (c, 1.0)], Relation::Le, 10.0)
+                .unwrap();
+            p.add_constraint(&[(a, 2.0), (b, 1.0)], Relation::Le, 8.0)
+                .unwrap();
+            p.add_constraint(&[(b, 1.0), (c, 3.0)], Relation::Ge, 3.0)
+                .unwrap();
+            p
+        };
+        let full = build_full().solve().unwrap();
+
+        // Same problem, but c arrives later as a priced-in column.
+        let mut p = Problem::new(Direction::Maximize);
+        let a = p.add_var("a", 3.0);
+        let b = p.add_var("b", 5.0);
+        p.add_constraint(&[(a, 1.0), (b, 1.0)], Relation::Le, 10.0)
+            .unwrap();
+        p.add_constraint(&[(a, 2.0), (b, 1.0)], Relation::Le, 8.0)
+            .unwrap();
+        p.add_constraint(&[(b, 1.0)], Relation::Ge, 3.0).unwrap();
+        let mut inc = IncrementalSolver::new(&p, SolverOptions::default()).unwrap();
+        let c = inc.add_column("c", 4.0, &[(0, 1.0), (2, 3.0)]).unwrap();
+        inc.reoptimize().unwrap();
+        let s = inc.solution();
+        approx(s.objective(), full.objective());
+        approx(s.value(c), full.value_by_name("c").unwrap());
+        for i in 0..3 {
+            approx(s.dual(i), full.dual(i));
+        }
+    }
+
+    #[test]
+    fn column_that_prices_out_leaves_solution_unchanged() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 5.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 3.0).unwrap();
+        let mut inc = IncrementalSolver::new(&p, SolverOptions::default()).unwrap();
+        let before = inc.solution();
+        let pivots_before = inc.pivots();
+        // Worse objective per unit of the same resource: never enters.
+        let z = inc.add_column("z", 1.0, &[(0, 1.0)]).unwrap();
+        inc.reoptimize().unwrap();
+        let after = inc.solution();
+        approx(after.objective(), before.objective());
+        approx(after.value(z), 0.0);
+        assert_eq!(inc.pivots(), pivots_before, "no pivots were needed");
+    }
+
+    #[test]
+    fn appended_column_respects_flipped_rows() {
+        // min x s.t. -x <= -3 (flipped to x >= 3 internally); append y with
+        // coefficient -1 on the *stated* row, i.e. y also relieves the bound.
+        let mut p = Problem::new(Direction::Minimize);
+        let x = p.add_var("x", 2.0);
+        p.add_constraint(&[(x, -1.0)], Relation::Le, -3.0).unwrap();
+        let mut inc = IncrementalSolver::new(&p, SolverOptions::default()).unwrap();
+        approx(inc.solution().objective(), 6.0);
+        let y = inc.add_column("y", 1.0, &[(0, -1.0)]).unwrap();
+        inc.reoptimize().unwrap();
+        let s = inc.solution();
+        approx(s.objective(), 3.0);
+        approx(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn add_column_validates_rows() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0).unwrap();
+        let mut inc = IncrementalSolver::new(&p, SolverOptions::default()).unwrap();
+        assert!(matches!(
+            inc.add_column("bad", 1.0, &[(7, 1.0)]),
+            Err(SolveError::Problem(ProblemError::UnknownConstraint {
+                index: 7,
+                declared: 1
+            }))
+        ));
+        assert!(matches!(
+            inc.add_column("dup", 1.0, &[(0, 1.0), (0, 2.0)]),
+            Err(SolveError::Problem(ProblemError::DuplicateConstraint {
+                index: 0
+            }))
+        ));
+        assert!(matches!(
+            inc.add_column("nan", f64::NAN, &[(0, 1.0)]),
+            Err(SolveError::Problem(ProblemError::NonFiniteCoefficient))
+        ));
+        // The solver is still usable after rejected appends.
+        assert_eq!(inc.num_vars(), 1);
+        approx(inc.solution().objective(), 1.0);
+    }
+
+    #[test]
+    fn add_column_refuses_after_redundant_row_drop() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        p.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Eq, 4.0)
+            .unwrap();
+        let mut inc = IncrementalSolver::new(&p, SolverOptions::default()).unwrap();
+        assert!(matches!(
+            inc.add_column("z", 1.0, &[(0, 1.0)]),
+            Err(SolveError::Problem(ProblemError::RedundantRowsEliminated))
+        ));
+    }
+
+    #[test]
+    fn repeated_appends_stay_consistent() {
+        // Start from a single slot and keep pricing in better columns; after
+        // each reoptimize the objective equals the best column seen so far.
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x0", 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0).unwrap();
+        let mut inc = IncrementalSolver::new(&p, SolverOptions::default()).unwrap();
+        for k in 1..6 {
+            inc.add_column(format!("x{k}"), 1.0 + k as f64, &[(0, 1.0)])
+                .unwrap();
+            inc.reoptimize().unwrap();
+            approx(inc.solution().objective(), 1.0 + k as f64);
+        }
+        assert_eq!(inc.num_vars(), 6);
+        assert_eq!(inc.num_constraints(), 1);
+        assert_eq!(inc.direction(), Direction::Maximize);
+    }
+
+    #[test]
+    fn infeasible_problem_is_rejected_at_construction() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        assert_eq!(
+            IncrementalSolver::new(&p, SolverOptions::default()).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+}

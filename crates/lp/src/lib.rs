@@ -30,16 +30,22 @@
 //! uses Dantzig pricing with an automatic switch to Bland's rule when cycling
 //! is suspected. Both pricing rules can be forced through [`SolverOptions`]
 //! (exercised by the workspace's ablation benches).
+//!
+//! For column generation, [`IncrementalSolver`] keeps the final tableau and
+//! basis warm so priced-in columns can be appended and re-optimized in a few
+//! pivots instead of a from-scratch two-phase solve per pricing round.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
+mod incremental;
 mod problem;
 mod simplex;
 mod solution;
 
 pub use error::{ProblemError, SolveError};
+pub use incremental::IncrementalSolver;
 pub use problem::{Direction, Problem, Relation, VarId};
 pub use simplex::{Pricing, SolverOptions};
 pub use solution::Solution;

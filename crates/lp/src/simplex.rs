@@ -2,11 +2,14 @@
 //!
 //! The implementation keeps an explicit full tableau. Sizes in this workspace
 //! are tiny (tens of rows, at most a few thousand columns for the Eq. 9 upper
-//! bound), so clarity wins over sparsity tricks.
+//! bound), so clarity wins over sparsity tricks. The tableau is stored as one
+//! row-major allocation with stride indexing so pivots stream through memory
+//! instead of chasing per-row pointers.
 
-use crate::error::SolveError;
+use crate::error::{ProblemError, SolveError};
 use crate::problem::{Direction, Problem, Relation};
 use crate::solution::Solution;
+use std::ops::Range;
 
 /// Column-selection (pricing) rule used by the simplex iterations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -46,44 +49,68 @@ impl Default for SolverOptions {
 /// switches to Bland's rule.
 const DEGENERATE_STREAK_LIMIT: usize = 40;
 
+#[derive(Debug)]
 struct Tableau {
-    /// `rows x (cols + 1)`; the last entry of each row is the rhs.
-    rows: Vec<Vec<f64>>,
+    /// Row-major `rows x stride` storage with `stride == cols + 1`; the last
+    /// entry of each row is the rhs.
+    data: Vec<f64>,
+    stride: usize,
     /// Basic variable (column index) of each row.
     basis: Vec<usize>,
-    /// Total number of structural + slack + artificial columns.
+    /// Total number of structural + slack + artificial (+ appended) columns.
     cols: usize,
     tol: f64,
+    /// Scratch copy of the pivot row, reused across pivots.
+    scratch: Vec<f64>,
 }
 
 impl Tableau {
+    fn num_rows(&self) -> usize {
+        self.basis.len()
+    }
+
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.stride + col]
+    }
+
+    #[inline]
+    fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.stride..(row + 1) * self.stride]
+    }
+
     fn rhs(&self, row: usize) -> f64 {
-        self.rows[row][self.cols]
+        self.at(row, self.cols)
     }
 
     fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
-        let pivot_val = self.rows[pivot_row][pivot_col];
+        let pivot_val = self.at(pivot_row, pivot_col);
         debug_assert!(pivot_val.abs() > self.tol);
         let inv = 1.0 / pivot_val;
-        for v in &mut self.rows[pivot_row] {
+        let start = pivot_row * self.stride;
+        for v in &mut self.data[start..start + self.stride] {
             *v *= inv;
         }
         // Re-normalize the pivot entry exactly to avoid drift.
-        self.rows[pivot_row][pivot_col] = 1.0;
-        let pivot_row_copy = self.rows[pivot_row].clone();
-        for (r, row) in self.rows.iter_mut().enumerate() {
+        self.data[start + pivot_col] = 1.0;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(self.row(pivot_row));
+        for r in 0..self.num_rows() {
             if r == pivot_row {
                 continue;
             }
-            let factor = row[pivot_col];
+            let factor = self.at(r, pivot_col);
             if factor == 0.0 {
                 continue;
             }
-            for (v, p) in row.iter_mut().zip(&pivot_row_copy) {
+            let row = &mut self.data[r * self.stride..(r + 1) * self.stride];
+            for (v, p) in row.iter_mut().zip(&scratch) {
                 *v -= factor * p;
             }
             row[pivot_col] = 0.0;
         }
+        self.scratch = scratch;
         self.basis[pivot_row] = pivot_col;
     }
 
@@ -92,8 +119,8 @@ impl Tableau {
     /// smallest basic variable index (lexicographic/Bland-compatible).
     fn leaving_row(&self, entering: usize) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
-        for r in 0..self.rows.len() {
-            let a = self.rows[r][entering];
+        for r in 0..self.num_rows() {
+            let a = self.at(r, entering);
             if a > self.tol {
                 let ratio = self.rhs(r) / a;
                 match best {
@@ -110,26 +137,52 @@ impl Tableau {
         }
         best.map(|(r, _)| r)
     }
+
+    /// Removes row `r` from the tableau (redundant after phase 1).
+    fn remove_row(&mut self, r: usize) {
+        self.data.drain(r * self.stride..(r + 1) * self.stride);
+        self.basis.remove(r);
+    }
+
+    /// Appends a column (already expressed in the current basis) just before
+    /// the rhs. Grows the stride, so the storage is rebuilt once per append.
+    fn push_column(&mut self, col_vals: &[f64]) {
+        debug_assert_eq!(col_vals.len(), self.num_rows());
+        let old_stride = self.stride;
+        let mut data = Vec::with_capacity(self.num_rows() * (old_stride + 1));
+        for (r, &v) in col_vals.iter().enumerate() {
+            let row = &self.data[r * old_stride..(r + 1) * old_stride];
+            data.extend_from_slice(&row[..self.cols]);
+            data.push(v);
+            data.push(row[self.cols]);
+        }
+        self.data = data;
+        self.cols += 1;
+        self.stride += 1;
+    }
 }
 
 /// Runs simplex iterations to optimality for the *minimization* objective
-/// `cost`, given a starting basic feasible solution already in `t`.
+/// `cost`, given a starting basic feasible solution already in `t`. Columns
+/// `0..main_cols` and `extra` (appended columns living past the artificial
+/// block) are priced; everything else is frozen out of the basis.
 ///
-/// Returns `Err(SolveError::Unbounded)` or `Err(SolveError::IterationLimit)`.
+/// Returns the number of pivots performed, or
+/// `Err(SolveError::Unbounded)` / `Err(SolveError::IterationLimit)`.
 fn optimize(
     t: &mut Tableau,
     cost: &[f64],
     options: &SolverOptions,
-    allow_cols: usize,
-) -> Result<(), SolveError> {
-    let m = t.rows.len();
-    let limit = options
-        .max_iterations
-        .unwrap_or(2_000 + 200 * (m + allow_cols));
+    main_cols: usize,
+    extra: Range<usize>,
+) -> Result<usize, SolveError> {
+    let m = t.num_rows();
+    let priced = main_cols + extra.len();
+    let limit = options.max_iterations.unwrap_or(2_000 + 200 * (m + priced));
     // Reduced-cost row maintained incrementally would be faster; recomputing
     // from the basis keeps the code simple and numerically self-correcting.
     let mut degenerate_streak = 0usize;
-    for _ in 0..limit {
+    for pivots in 0..limit {
         // Price: r_j = c_j - sum_i c_B(i) * T[i][j]
         let mut multipliers = vec![0.0; m];
         for (i, &b) in t.basis.iter().enumerate() {
@@ -141,14 +194,14 @@ fn optimize(
             Pricing::Auto => degenerate_streak >= DEGENERATE_STREAK_LIMIT,
         };
         let mut entering: Option<(usize, f64)> = None;
-        for j in 0..allow_cols {
+        for j in (0..main_cols).chain(extra.clone()) {
             if t.basis.contains(&j) {
                 continue;
             }
             let mut rc = cost.get(j).copied().unwrap_or(0.0);
-            for (mu, row) in multipliers.iter().zip(&t.rows) {
+            for (i, mu) in multipliers.iter().enumerate() {
                 if *mu != 0.0 {
-                    rc -= mu * row[j];
+                    rc -= mu * t.at(i, j);
                 }
             }
             if rc < -options.tolerance {
@@ -164,7 +217,7 @@ fn optimize(
             }
         }
         let Some((col, _)) = entering else {
-            return Ok(()); // optimal
+            return Ok(pivots); // optimal
         };
         let Some(row) = t.leaving_row(col) else {
             return Err(SolveError::Unbounded);
@@ -179,181 +232,321 @@ fn optimize(
     Err(SolveError::IterationLimit { limit })
 }
 
-/// Solves `problem`, translating to/from the internal minimization form.
-pub(crate) fn solve(problem: &Problem, options: SolverOptions) -> Result<Solution, SolveError> {
-    let n = problem.num_vars();
-    let cons = problem.constraints();
-    let m = cons.len();
+/// A built simplex instance: the tableau plus the bookkeeping required to run
+/// both phases, recover a [`Solution`], and append priced-in columns for the
+/// incremental (column-generation) driver.
+#[derive(Debug)]
+pub(crate) struct Instance {
+    t: Tableau,
+    /// Whether each *original* row was sign-flipped during normalization.
+    flips: Vec<bool>,
+    /// The column holding each original row's +1 identity entry, from which
+    /// dual values (and appended columns' basis representations) are
+    /// recovered.
+    identity_col: Vec<usize>,
+    /// Original structural variable count.
+    n: usize,
+    artificial_start: usize,
+    /// One past the last artificial column; appended columns live from here.
+    artificial_end: usize,
+    /// Internal minimization cost, kept in lockstep with the columns.
+    cost: Vec<f64>,
+    direction: Direction,
+    rows_dropped: bool,
+    pivots: usize,
+}
 
-    // Count slack and artificial columns. Every row gets exactly one of:
-    //   Le with rhs>=0: slack; Ge with rhs>=0: surplus + artificial;
-    //   Eq: artificial. Rows with negative rhs are sign-flipped first.
-    #[derive(Clone, Copy)]
-    struct RowPlan {
-        flip: bool,
-        relation: Relation,
-    }
-    let plans: Vec<RowPlan> = cons
-        .iter()
-        .map(|c| {
-            let flip = c.rhs < 0.0;
-            let relation = if flip {
-                match c.relation {
-                    Relation::Le => Relation::Ge,
-                    Relation::Ge => Relation::Le,
-                    Relation::Eq => Relation::Eq,
+impl Instance {
+    pub(crate) fn build(problem: &Problem, options: &SolverOptions) -> Instance {
+        let n = problem.num_vars();
+        let cons = problem.constraints();
+        let m = cons.len();
+
+        // Every row gets exactly one of:
+        //   Le with rhs>=0: slack; Ge with rhs>=0: surplus + artificial;
+        //   Eq: artificial. Rows with negative rhs are sign-flipped first.
+        let plans: Vec<(bool, Relation)> = cons
+            .iter()
+            .map(|c| {
+                let flip = c.rhs < 0.0;
+                let relation = if flip {
+                    match c.relation {
+                        Relation::Le => Relation::Ge,
+                        Relation::Ge => Relation::Le,
+                        Relation::Eq => Relation::Eq,
+                    }
+                } else {
+                    c.relation
+                };
+                (flip, relation)
+            })
+            .collect();
+
+        let num_slack = plans
+            .iter()
+            .filter(|(_, rel)| !matches!(rel, Relation::Eq))
+            .count();
+        let num_artificial = plans
+            .iter()
+            .filter(|(_, rel)| matches!(rel, Relation::Ge | Relation::Eq))
+            .count();
+        let cols = n + num_slack + num_artificial;
+        let artificial_start = n + num_slack;
+        let stride = cols + 1;
+
+        let mut data = vec![0.0; m * stride];
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = n;
+        let mut next_artificial = artificial_start;
+        let mut identity_col = vec![0usize; m];
+        for (r, (c, &(flip, relation))) in cons.iter().zip(&plans).enumerate() {
+            let sign = if flip { -1.0 } else { 1.0 };
+            let row = &mut data[r * stride..(r + 1) * stride];
+            for (j, &a) in c.coeffs.iter().enumerate() {
+                row[j] = sign * a;
+            }
+            row[cols] = sign * c.rhs;
+            match relation {
+                Relation::Le => {
+                    row[next_slack] = 1.0;
+                    basis[r] = next_slack;
+                    identity_col[r] = next_slack;
+                    next_slack += 1;
                 }
-            } else {
-                c.relation
-            };
-            RowPlan { flip, relation }
-        })
-        .collect();
-
-    let num_slack = plans
-        .iter()
-        .filter(|p| !matches!(p.relation, Relation::Eq))
-        .count();
-    let num_artificial = plans
-        .iter()
-        .filter(|p| matches!(p.relation, Relation::Ge | Relation::Eq))
-        .count();
-    let cols = n + num_slack + num_artificial;
-    let artificial_start = n + num_slack;
-
-    let mut rows = vec![vec![0.0; cols + 1]; m];
-    let mut basis = vec![usize::MAX; m];
-    let mut next_slack = n;
-    let mut next_artificial = artificial_start;
-    // The column holding each original row's +1 identity entry, from which
-    // dual values are recovered after phase 2.
-    let mut identity_col = vec![0usize; m];
-    for (r, (c, plan)) in cons.iter().zip(&plans).enumerate() {
-        let sign = if plan.flip { -1.0 } else { 1.0 };
-        for (j, &a) in c.coeffs.iter().enumerate() {
-            rows[r][j] = sign * a;
+                Relation::Ge => {
+                    row[next_slack] = -1.0;
+                    next_slack += 1;
+                    row[next_artificial] = 1.0;
+                    basis[r] = next_artificial;
+                    identity_col[r] = next_artificial;
+                    next_artificial += 1;
+                }
+                Relation::Eq => {
+                    row[next_artificial] = 1.0;
+                    basis[r] = next_artificial;
+                    identity_col[r] = next_artificial;
+                    next_artificial += 1;
+                }
+            }
         }
-        rows[r][cols] = sign * c.rhs;
-        match plan.relation {
-            Relation::Le => {
-                rows[r][next_slack] = 1.0;
-                basis[r] = next_slack;
-                identity_col[r] = next_slack;
-                next_slack += 1;
-            }
-            Relation::Ge => {
-                rows[r][next_slack] = -1.0;
-                next_slack += 1;
-                rows[r][next_artificial] = 1.0;
-                basis[r] = next_artificial;
-                identity_col[r] = next_artificial;
-                next_artificial += 1;
-            }
-            Relation::Eq => {
-                rows[r][next_artificial] = 1.0;
-                basis[r] = next_artificial;
-                identity_col[r] = next_artificial;
-                next_artificial += 1;
-            }
+
+        // Phase-2 internal minimization cost over the original structurals.
+        let mut cost = vec![0.0; cols];
+        let obj = problem.objective_coeffs();
+        for j in 0..n {
+            cost[j] = match problem.direction() {
+                Direction::Maximize => -obj[j],
+                Direction::Minimize => obj[j],
+            };
+        }
+
+        Instance {
+            t: Tableau {
+                data,
+                stride,
+                basis,
+                cols,
+                tol: options.tolerance,
+                scratch: Vec::new(),
+            },
+            flips: plans.iter().map(|&(flip, _)| flip).collect(),
+            identity_col,
+            n,
+            artificial_start,
+            artificial_end: cols,
+            cost,
+            direction: problem.direction(),
+            rows_dropped: false,
+            pivots: 0,
         }
     }
 
-    let mut t = Tableau {
-        rows,
-        basis,
-        cols,
-        tol: options.tolerance,
-    };
-
-    // Phase 1: minimize the sum of artificials, if any are present.
-    if num_artificial > 0 {
-        let mut phase1_cost = vec![0.0; cols];
-        for c in phase1_cost.iter_mut().skip(artificial_start) {
+    /// Phase 1: minimize the sum of artificials, if any are present, then
+    /// drive residual artificials out of the basis (dropping redundant rows).
+    pub(crate) fn phase1(&mut self, options: &SolverOptions) -> Result<(), SolveError> {
+        if self.artificial_end == self.artificial_start {
+            return Ok(());
+        }
+        let mut phase1_cost = vec![0.0; self.artificial_end];
+        for c in phase1_cost.iter_mut().skip(self.artificial_start) {
             *c = 1.0;
         }
-        optimize(&mut t, &phase1_cost, &options, cols)?;
-        let infeasibility: f64 = t
+        let all_cols = self.t.cols;
+        self.pivots += optimize(&mut self.t, &phase1_cost, options, all_cols, 0..0)?;
+        let infeasibility: f64 = self
+            .t
             .basis
             .iter()
             .enumerate()
-            .filter(|(_, &b)| b >= artificial_start)
-            .map(|(r, _)| t.rhs(r))
+            .filter(|(_, &b)| b >= self.artificial_start)
+            .map(|(r, _)| self.t.rhs(r))
             .sum();
         if infeasibility > options.tolerance.max(1e-7) {
             return Err(SolveError::Infeasible);
         }
         // Drive any residual (zero-valued) artificials out of the basis.
         let mut r = 0;
-        while r < t.rows.len() {
-            if t.basis[r] >= artificial_start {
-                let pivot_col = (0..artificial_start)
-                    .find(|&j| t.rows[r][j].abs() > options.tolerance.max(1e-8));
+        while r < self.t.num_rows() {
+            if self.t.basis[r] >= self.artificial_start {
+                let pivot_col = (0..self.artificial_start)
+                    .find(|&j| self.t.at(r, j).abs() > options.tolerance.max(1e-8));
                 match pivot_col {
-                    Some(j) => t.pivot(r, j),
+                    Some(j) => self.t.pivot(r, j),
                     None => {
                         // Redundant row: remove it entirely.
-                        t.rows.remove(r);
-                        t.basis.remove(r);
+                        self.t.remove_row(r);
+                        self.rows_dropped = true;
                         continue;
                     }
                 }
             }
             r += 1;
         }
+        Ok(())
     }
 
-    // Phase 2: minimize the (possibly negated) objective over structural and
-    // slack columns only.
-    let mut cost = vec![0.0; cols];
-    let obj = problem.objective_coeffs();
-    for j in 0..n {
-        cost[j] = match problem.direction() {
-            Direction::Maximize => -obj[j],
-            Direction::Minimize => obj[j],
-        };
+    /// Phase 2: minimize the internal cost over structural, slack, and
+    /// appended columns (artificials stay frozen out).
+    pub(crate) fn phase2(&mut self, options: &SolverOptions) -> Result<(), SolveError> {
+        let extra = self.artificial_end..self.t.cols;
+        self.pivots += optimize(
+            &mut self.t,
+            &self.cost,
+            options,
+            self.artificial_start,
+            extra,
+        )?;
+        Ok(())
     }
-    optimize(&mut t, &cost, &options, artificial_start)?;
 
-    let mut x = vec![0.0; n];
-    for (r, &b) in t.basis.iter().enumerate() {
-        if b < n {
-            // Clamp tiny negatives produced by roundoff.
-            x[b] = t.rhs(r).max(0.0);
+    /// Appends a structural column with the given *user-direction* objective
+    /// coefficient and sparse per-original-constraint coefficients, expressed
+    /// in the current basis via the identity columns. The column enters
+    /// nonbasic; call [`Instance::phase2`] to re-optimize.
+    ///
+    /// Returns the solution-vector index of the new variable.
+    pub(crate) fn add_column(
+        &mut self,
+        objective: f64,
+        terms: &[(usize, f64)],
+    ) -> Result<usize, ProblemError> {
+        if self.rows_dropped {
+            return Err(ProblemError::RedundantRowsEliminated);
         }
+        let m = self.flips.len();
+        if !objective.is_finite() {
+            return Err(ProblemError::NonFiniteCoefficient);
+        }
+        let mut seen = vec![false; m];
+        for &(row, a) in terms {
+            if row >= m {
+                return Err(ProblemError::UnknownConstraint {
+                    index: row,
+                    declared: m,
+                });
+            }
+            if !a.is_finite() {
+                return Err(ProblemError::NonFiniteCoefficient);
+            }
+            if seen[row] {
+                return Err(ProblemError::DuplicateConstraint { index: row });
+            }
+            seen[row] = true;
+        }
+        // The initial-tableau column is `a` with per-row sign flips; its
+        // representation in the current basis is `B^{-1} a`, assembled from
+        // the identity columns: `B^{-1} e_i` sits at `identity_col[i]`.
+        let mut col = vec![0.0; self.t.num_rows()];
+        for &(row, a) in terms {
+            let signed = if self.flips[row] { -a } else { a };
+            if signed == 0.0 {
+                continue;
+            }
+            let ic = self.identity_col[row];
+            for (r, v) in col.iter_mut().enumerate() {
+                *v += signed * self.t.at(r, ic);
+            }
+        }
+        self.t.push_column(&col);
+        self.cost.push(match self.direction {
+            Direction::Maximize => -objective,
+            Direction::Minimize => objective,
+        });
+        Ok(self.n + (self.t.cols - 1 - self.artificial_end))
     }
-    let objective: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
 
-    // Dual values (shadow prices). The identity column of original row `i`
-    // carries `B^{-1} e_i` in the final tableau, so the internal dual is
-    // `y_i = ĉ_B · T[·][identity_col(i)]`; translate back through the
-    // direction and sign normalizations. Rows dropped as redundant get 0.
-    let dir_sign = match problem.direction() {
-        Direction::Maximize => -1.0,
-        Direction::Minimize => 1.0,
-    };
-    let multipliers: Vec<f64> = t
-        .basis
-        .iter()
-        .map(|&b| cost.get(b).copied().unwrap_or(0.0))
-        .collect();
-    let duals: Vec<f64> = (0..m)
-        .map(|i| {
-            let col = identity_col[i];
-            let y_internal: f64 = multipliers
-                .iter()
-                .zip(&t.rows)
-                .map(|(&mu, row)| mu * row[col])
-                .sum();
-            let flip_sign = if plans[i].flip { -1.0 } else { 1.0 };
-            dir_sign * flip_sign * y_internal
-        })
-        .collect();
-    Ok(Solution::new(
-        x,
-        objective,
-        problem.var_names().to_vec(),
-        duals,
-    ))
+    /// Number of variables in the solution vector (original + appended).
+    pub(crate) fn num_solution_vars(&self) -> usize {
+        self.n + (self.t.cols - self.artificial_end)
+    }
+
+    /// Number of original constraints (valid row indices for
+    /// [`Instance::add_column`]).
+    pub(crate) fn num_original_rows(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Total simplex pivots performed so far, across both phases and every
+    /// re-optimization.
+    pub(crate) fn pivots(&self) -> usize {
+        self.pivots
+    }
+
+    /// Recovers the primal/dual solution at the current (optimal) basis.
+    /// `objective` must cover original + appended variables, user direction.
+    pub(crate) fn extract(&self, objective: &[f64], names: Vec<String>) -> Solution {
+        let mut x = vec![0.0; self.num_solution_vars()];
+        for (r, &b) in self.t.basis.iter().enumerate() {
+            let var = if b < self.n {
+                Some(b)
+            } else if b >= self.artificial_end {
+                Some(self.n + (b - self.artificial_end))
+            } else {
+                None
+            };
+            if let Some(j) = var {
+                // Clamp tiny negatives produced by roundoff.
+                x[j] = self.t.rhs(r).max(0.0);
+            }
+        }
+        let objective_value: f64 = objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+
+        // Dual values (shadow prices). The identity column of original row `i`
+        // carries `B^{-1} e_i` in the final tableau, so the internal dual is
+        // `y_i = ĉ_B · T[·][identity_col(i)]`; translate back through the
+        // direction and sign normalizations. Rows dropped as redundant get 0.
+        let dir_sign = match self.direction {
+            Direction::Maximize => -1.0,
+            Direction::Minimize => 1.0,
+        };
+        let multipliers: Vec<f64> = self
+            .t
+            .basis
+            .iter()
+            .map(|&b| self.cost.get(b).copied().unwrap_or(0.0))
+            .collect();
+        let duals: Vec<f64> = (0..self.flips.len())
+            .map(|i| {
+                let col = self.identity_col[i];
+                let y_internal: f64 = multipliers
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &mu)| mu * self.t.at(r, col))
+                    .sum();
+                let flip_sign = if self.flips[i] { -1.0 } else { 1.0 };
+                dir_sign * flip_sign * y_internal
+            })
+            .collect();
+        Solution::new(x, objective_value, names, duals, self.pivots)
+    }
+}
+
+/// Solves `problem`, translating to/from the internal minimization form.
+pub(crate) fn solve(problem: &Problem, options: SolverOptions) -> Result<Solution, SolveError> {
+    let mut inst = Instance::build(problem, &options);
+    inst.phase1(&options)?;
+    inst.phase2(&options)?;
+    Ok(inst.extract(problem.objective_coeffs(), problem.var_names().to_vec()))
 }
 
 #[cfg(test)]
@@ -529,5 +722,15 @@ mod tests {
             .unwrap();
         let s = p.solve().unwrap();
         approx(s.objective(), 27.0);
+    }
+
+    #[test]
+    fn solution_reports_pivot_count() {
+        let mut p = Problem::new(Direction::Maximize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 2.0).unwrap();
+        let s = p.solve().unwrap();
+        // One pivot brings x into the basis; no phase 1 needed.
+        assert_eq!(s.pivots(), 1);
     }
 }

@@ -7,6 +7,7 @@ pub struct Solution {
     objective: f64,
     names: Vec<String>,
     duals: Vec<f64>,
+    pivots: usize,
 }
 
 impl Solution {
@@ -15,12 +16,14 @@ impl Solution {
         objective: f64,
         names: Vec<String>,
         duals: Vec<f64>,
+        pivots: usize,
     ) -> Self {
         Solution {
             values,
             objective,
             names,
             duals,
+            pivots,
         }
     }
 
@@ -76,6 +79,13 @@ impl Solution {
     /// All constraint duals in declaration order.
     pub fn duals(&self) -> &[f64] {
         &self.duals
+    }
+
+    /// Total simplex pivots performed to reach this solution, across both
+    /// phases and — for the incremental solver — every re-optimization since
+    /// construction.
+    pub fn pivots(&self) -> usize {
+        self.pivots
     }
 }
 

@@ -31,12 +31,12 @@ use crate::protocol::{
 };
 use crate::spec::{FnvHasher, TopologySpec};
 use awb_core::{
-    available_bandwidth_with_sets, link_universe, AvailableBandwidth, AvailableBandwidthOptions,
-    CoreError, Flow,
+    available_bandwidth_colgen_with_oracle, available_bandwidth_with_sets, link_universe,
+    AvailableBandwidth, AvailableBandwidthOptions, CoreError, Flow, SolverKind,
 };
 use awb_estimate::{Estimator, Hop, IdleMap};
 use awb_net::{LinkRateModel, Path};
-use awb_sets::{enumerate_admissible, EngineKind, EnumerationOptions, RatedSet};
+use awb_sets::{enumerate_admissible, EngineKind, EnumerationOptions, MaxWeightOracle, RatedSet};
 use serde_json::{Map, Value};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -63,6 +63,12 @@ pub struct EngineConfig {
     /// byte-identical in output, so switching it never invalidates cached
     /// pools (and the sets-cache key deliberately excludes it).
     pub enumeration_engine: EngineKind,
+    /// LP solve strategy. Under [`SolverKind::ColumnGeneration`] the engine
+    /// skips set enumeration entirely and instead caches one compiled
+    /// pricing oracle plus the evolving column pool per `(topology,
+    /// universe)`, so an `admit` sequence on the same topology re-solves
+    /// each query from the previous master's columns.
+    pub solver: SolverKind,
 }
 
 impl Default for EngineConfig {
@@ -72,8 +78,17 @@ impl Default for EngineConfig {
             result_cache_capacity: 1024,
             model_cache_capacity: 64,
             enumeration_engine: EngineKind::Auto,
+            solver: SolverKind::default(),
         }
     }
+}
+
+/// Cached column-generation state for one `(topology, universe)` pair: the
+/// compiled pricing oracle (immutable) and the last solve's master columns
+/// (refreshed after every solve so later admissions start warm).
+struct ColgenState {
+    oracle: MaxWeightOracle,
+    pool: Mutex<Vec<RatedSet>>,
 }
 
 /// The shared, thread-safe query engine.
@@ -88,8 +103,12 @@ pub struct Engine {
     results: Mutex<LruCache<Value>>,
     /// Deduplicates concurrent enumerations of the same pool.
     coalescer: Coalescer<Vec<RatedSet>>,
+    /// Compiled pricing oracles and warm column pools (column generation).
+    colgen: Mutex<LruCache<ColgenState>>,
     /// Engine used for cold set-pool builds.
     enumeration_engine: EngineKind,
+    /// LP solve strategy for available-bandwidth queries.
+    solver: SolverKind,
     /// Service counters.
     pub metrics: Metrics,
 }
@@ -121,7 +140,9 @@ impl Engine {
             sets: Mutex::new(LruCache::new(config.sets_cache_capacity)),
             results: Mutex::new(LruCache::new(config.result_cache_capacity)),
             coalescer: Coalescer::new(),
+            colgen: Mutex::new(LruCache::new(config.sets_cache_capacity)),
             enumeration_engine: config.enumeration_engine,
+            solver: config.solver,
             metrics: Metrics::new(),
         }
     }
@@ -364,6 +385,72 @@ impl Engine {
         }
     }
 
+    /// The key identifying cached column-generation state: topology and
+    /// universe only — the oracle and the column pool are valid for any
+    /// demands on those links.
+    fn colgen_key(resolved: &ResolvedTopology, universe: &[awb_net::LinkId]) -> u64 {
+        let mut h = FnvHasher::default();
+        h.write_u64(resolved.content_hash);
+        h.write_u64(universe.len() as u64);
+        for l in universe {
+            h.write_u64(l.index() as u64);
+        }
+        h.finish()
+    }
+
+    /// Column-generation solve: reuses (or compiles) the pricing oracle for
+    /// this `(topology, universe)` and seeds the restricted master with the
+    /// previous solve's columns, so repeated admissions on one topology pay
+    /// only a few warm pivots each.
+    fn solve_colgen(
+        &self,
+        resolved: &ResolvedTopology,
+        flows: &[Flow],
+        new_path: &Path,
+        universe: &[awb_net::LinkId],
+    ) -> Result<(AvailableBandwidth, CacheStatus), ServiceError> {
+        let key = Engine::colgen_key(resolved, universe);
+        let cached = self.colgen.lock().expect("colgen lock").get(key);
+        let (state, status) = match cached {
+            Some(state) => {
+                Metrics::bump(&self.metrics.sets_cache_hits);
+                (state, CacheStatus::SetsHit)
+            }
+            None => {
+                Metrics::bump(&self.metrics.sets_cache_misses);
+                let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
+                let started = Instant::now();
+                let oracle = MaxWeightOracle::new(&model, universe);
+                self.metrics.enumeration_latency.record(started.elapsed());
+                let state = ColgenState {
+                    oracle,
+                    pool: Mutex::new(Vec::new()),
+                };
+                let state = self.colgen.lock().expect("colgen lock").insert(key, state);
+                (state, CacheStatus::Miss)
+            }
+        };
+        let seed = state.pool.lock().expect("pool lock").clone();
+        let options = AvailableBandwidthOptions {
+            solver: SolverKind::ColumnGeneration,
+            ..AvailableBandwidthOptions::default()
+        };
+        let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
+        let started = Instant::now();
+        let outcome = available_bandwidth_colgen_with_oracle(
+            &model,
+            &state.oracle,
+            flows,
+            new_path,
+            &seed,
+            &options,
+        )
+        .map_err(core_error)?;
+        self.metrics.lp_latency.record(started.elapsed());
+        *state.pool.lock().expect("pool lock") = outcome.pool;
+        Ok((outcome.result, status))
+    }
+
     /// The full Eq. 6 pipeline with both cache layers.
     fn available_bandwidth(
         &self,
@@ -381,19 +468,24 @@ impl Engine {
         Metrics::bump(&self.metrics.result_cache_misses);
         self.check_deadline(deadline)?;
 
-        let enumeration = self.enumeration_options(request);
         let universe = link_universe(&flows, &new_path);
-        let (pool, status) = self.set_pool(&resolved, &universe, &enumeration)?;
-        self.check_deadline(deadline)?;
+        let (out, status) = if self.solver == SolverKind::ColumnGeneration {
+            self.solve_colgen(&resolved, &flows, &new_path, &universe)?
+        } else {
+            let enumeration = self.enumeration_options(request);
+            let (pool, status) = self.set_pool(&resolved, &universe, &enumeration)?;
+            self.check_deadline(deadline)?;
 
-        let options = AvailableBandwidthOptions {
-            enumeration,
-            ..AvailableBandwidthOptions::default()
+            let options = AvailableBandwidthOptions {
+                enumeration,
+                ..AvailableBandwidthOptions::default()
+            };
+            let started = Instant::now();
+            let out = available_bandwidth_with_sets(&pool, &flows, &new_path, &options)
+                .map_err(core_error)?;
+            self.metrics.lp_latency.record(started.elapsed());
+            (out, status)
         };
-        let started = Instant::now();
-        let out = available_bandwidth_with_sets(&pool, &flows, &new_path, &options)
-            .map_err(core_error)?;
-        self.metrics.lp_latency.record(started.elapsed());
 
         let value = render_available_bandwidth(&out);
         self.results
@@ -693,6 +785,42 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
+    }
+
+    #[test]
+    fn colgen_engine_matches_enumeration_and_reuses_its_oracle() {
+        let enumerating = Engine::new(EngineConfig::default());
+        let colgen = Engine::new(EngineConfig {
+            solver: SolverKind::ColumnGeneration,
+            ..EngineConfig::default()
+        });
+        let request = scenario_two_request("available_bandwidth");
+        let (full, s_full) = enumerating.handle(&request, None).unwrap();
+        let (cg, s_cg) = colgen.handle(&request, None).unwrap();
+        assert_eq!(s_full, Some(CacheStatus::Miss));
+        assert_eq!(s_cg, Some(CacheStatus::Miss));
+        let full_bw = full.get("bandwidth_mbps").and_then(Value::as_f64).unwrap();
+        let cg_bw = cg.get("bandwidth_mbps").and_then(Value::as_f64).unwrap();
+        assert!((full_bw - cg_bw).abs() < 1e-6, "{full_bw} vs {cg_bw}");
+        // num_sets reports the restricted master's column count, which on
+        // a topology this small may exceed the dominance-pruned full pool
+        // (the singleton seeds are dominated columns).
+        assert!(cg.get("num_sets").and_then(Value::as_u64).unwrap() > 0);
+
+        // An admission sequence on the same topology and universe reuses
+        // the compiled oracle and warm column pool (bypassing the result
+        // cache by varying the demand).
+        let mut admit = scenario_two_request("admit");
+        admit.background = vec![FlowSpec {
+            path: vec![0, 1, 2, 3],
+            demand_mbps: 1.0,
+        }];
+        let (_, s1) = colgen.handle(&admit, None).unwrap();
+        admit.background[0].demand_mbps = 2.0;
+        let (value, s2) = colgen.handle(&admit, None).unwrap();
+        assert_eq!(s1, Some(CacheStatus::SetsHit));
+        assert_eq!(s2, Some(CacheStatus::SetsHit));
+        assert_eq!(value.get("admitted").and_then(Value::as_bool), Some(true));
     }
 
     #[test]

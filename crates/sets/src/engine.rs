@@ -295,7 +295,7 @@ fn descend_hybrid<M: LinkRateModel>(
 /// interference). `members[i]` is the live-link index of `assignment[i]` —
 /// the precomputed link→rates index that replaces the old per-link linear
 /// scan of the live table.
-fn lift_to_max<M: LinkRateModel>(
+pub(crate) fn lift_to_max<M: LinkRateModel + ?Sized>(
     model: &M,
     c: &Compiled,
     members: &[usize],

@@ -48,6 +48,7 @@ mod concurrent;
 mod engine;
 mod enumerate;
 mod local;
+mod price;
 
 pub use clique::{
     is_clique, is_maximal_clique, is_maximal_clique_with_max_rates, maximal_cliques,
@@ -60,3 +61,4 @@ pub use enumerate::{
     EnumerationOptions,
 };
 pub use local::{local_cliques, LocalClique};
+pub use price::MaxWeightOracle;

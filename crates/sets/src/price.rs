@@ -1,0 +1,445 @@
+//! Maximum-weight rated-set pricing oracle for column generation.
+//!
+//! Given non-negative per-link weights `w_e` (the link duals of a restricted
+//! master LP), [`MaxWeightOracle`] finds the admissible rated set `S`
+//! maximizing `sum_{e in S} w_e * R_S[e]` — the most violated column of the
+//! Eq. 6 scheduling LP — by branch and bound over the compiled `u64` conflict
+//! bitmasks of [`crate::enumerate`]'s bitset engine, instead of enumerating
+//! the exponential admissible pool.
+//!
+//! Three search modes cover the model taxonomy:
+//!
+//! - **exact** (pairwise-exact models, e.g. declarative conflict tables):
+//!   branches over (link, rate) couples; the mask intersection *is* the
+//!   admissibility test.
+//! - **rate-independent** (e.g. SINR models, where membership decides
+//!   admissibility and each member's rate is then lifted): branches over
+//!   membership with the lowest-rate couple masks as a sound prefilter, then
+//!   confirms joint admissibility through the model and values the node by
+//!   lifting every member to its maximum supported rate.
+//! - **generic** (neither property): branches over couples with the mask
+//!   prefilter, confirming every extension through the model.
+//!
+//! All three are exact searches: the upper bound at a node adds each
+//! remaining link's best-case contribution (`w_e` times its maximum alone
+//! rate — valid because admissibility is downward closed and interference
+//! only lowers supported rates), so pruned subtrees cannot contain a better
+//! set. Ties are broken deterministically (first best found wins, links in
+//! descending-potential order).
+
+use crate::compiled::{clear_bit, set_bit, Compiled, Mask};
+use crate::concurrent::RatedSet;
+use crate::engine::lift_to_max;
+use awb_net::{LinkId, LinkRateModel};
+use awb_phy::Rate;
+
+/// Weights below this are treated as zero: their links can never improve the
+/// objective and are excluded from the search.
+const WEIGHT_EPS: f64 = 1e-12;
+
+/// Improvement margin for replacing the incumbent (keeps tie-breaking
+/// deterministic: the first best found wins).
+const VALUE_EPS: f64 = 1e-12;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Exact,
+    RateIndependent,
+    Generic,
+}
+
+/// A reusable branch-and-bound maximum-weight rated-set searcher over one
+/// `(model, universe)` pair.
+///
+/// Construction compiles the model's conflict snapshot once (the same
+/// word-packed form the enumeration engine uses); each
+/// [`MaxWeightOracle::max_weight_set`] call then runs a fresh search against
+/// new weights, which is what a column-generation loop needs — one compile,
+/// many pricing rounds.
+#[derive(Debug, Clone)]
+pub struct MaxWeightOracle {
+    c: Compiled,
+    mode: Mode,
+}
+
+impl MaxWeightOracle {
+    /// Compiles the oracle for `model` over `universe`. Dead links (no alone
+    /// rates) are excluded; the remaining live links, in universe order, are
+    /// exposed through [`MaxWeightOracle::links`] and index the weight
+    /// vector.
+    pub fn new<M: LinkRateModel + ?Sized>(model: &M, universe: &[LinkId]) -> MaxWeightOracle {
+        let c = Compiled::new(&model.conflict_snapshot(universe));
+        let mode = if model.pairwise_admissibility_exact() {
+            Mode::Exact
+        } else if model.rate_independent_interference() {
+            Mode::RateIndependent
+        } else {
+            Mode::Generic
+        };
+        MaxWeightOracle { c, mode }
+    }
+
+    /// The live links this oracle searches over, in universe order. Weight
+    /// vectors passed to [`MaxWeightOracle::max_weight_set`] are indexed by
+    /// position in this slice.
+    pub fn links(&self) -> &[LinkId] {
+        &self.c.links
+    }
+
+    /// Finds an admissible rated set maximizing `sum w_i * rate_i` over the
+    /// live links, together with its weight. Returns `None` when no set has
+    /// positive weight (all weights effectively zero, or no live links).
+    ///
+    /// `model` must be the model the oracle was compiled from; weights must
+    /// be finite and are clamped at zero from below (negative or NaN weights
+    /// exclude their links — an admissible set never benefits from them,
+    /// since dropping a link keeps the set admissible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.links().len()`.
+    pub fn max_weight_set<M: LinkRateModel + ?Sized>(
+        &self,
+        model: &M,
+        weights: &[f64],
+    ) -> Option<(RatedSet, f64)> {
+        assert_eq!(
+            weights.len(),
+            self.c.num_links(),
+            "one weight per live link"
+        );
+        // Search order: links with usable weight, by descending best-case
+        // contribution (weight x max alone rate), ties by universe position.
+        let potential: Vec<f64> = (0..self.c.num_links())
+            .map(|i| {
+                if weights[i] > WEIGHT_EPS {
+                    weights[i] * self.c.rates[i][0].as_mbps()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..self.c.num_links())
+            .filter(|&i| potential[i] > 0.0)
+            .collect();
+        order.sort_by(|&a, &b| {
+            potential[b]
+                .partial_cmp(&potential[a])
+                .expect("finite potentials")
+                .then(a.cmp(&b))
+        });
+        if order.is_empty() {
+            return None;
+        }
+        // suffix[k] = best-case contribution of order[k..].
+        let mut suffix = vec![0.0; order.len() + 1];
+        for k in (0..order.len()).rev() {
+            suffix[k] = suffix[k + 1] + potential[order[k]];
+        }
+
+        let mut search = Search {
+            c: &self.c,
+            model,
+            weights,
+            order: &order,
+            suffix: &suffix,
+            chosen_mask: self.c.zero_mask(),
+            members: Vec::new(),
+            assignment: Vec::new(),
+            best: None,
+        };
+        match self.mode {
+            Mode::Exact => search.exact(0, 0.0),
+            Mode::RateIndependent => search.rate_independent(0, 0.0),
+            Mode::Generic => search.generic(0, 0.0),
+        }
+        search.best
+    }
+}
+
+struct Search<'a, M: LinkRateModel + ?Sized> {
+    c: &'a Compiled,
+    model: &'a M,
+    weights: &'a [f64],
+    order: &'a [usize],
+    suffix: &'a [f64],
+    /// Bits of the chosen couples (exact/generic) or the chosen links'
+    /// lowest-rate couples (rate-independent prefilter).
+    chosen_mask: Mask,
+    /// Chosen live link indices, in choice order.
+    members: Vec<usize>,
+    /// Chosen couples as a model assignment, parallel to `members`.
+    assignment: Vec<(LinkId, Rate)>,
+    best: Option<(RatedSet, f64)>,
+}
+
+impl<M: LinkRateModel + ?Sized> Search<'_, M> {
+    fn best_value(&self) -> f64 {
+        self.best.as_ref().map_or(0.0, |&(_, v)| v)
+    }
+
+    fn offer(&mut self, set: RatedSet, value: f64) {
+        if value > self.best_value() + VALUE_EPS {
+            self.best = Some((set, value));
+        }
+    }
+
+    /// Pairwise-exact models: the conflict masks decide admissibility, so a
+    /// couple compatible with every chosen couple extends the set.
+    fn exact(&mut self, pos: usize, value: f64) {
+        if pos == self.order.len() || value + self.suffix[pos] <= self.best_value() + VALUE_EPS {
+            return;
+        }
+        let i = self.order[pos];
+        for couple in self.c.offsets[i]..self.c.offsets[i + 1] {
+            if !self.c.compatible_with(couple, &self.chosen_mask) {
+                continue;
+            }
+            let rate = self.c.couple_rate[couple];
+            let gain = self.weights[i] * rate.as_mbps();
+            self.assignment.push((self.c.links[i], rate));
+            set_bit(&mut self.chosen_mask, couple);
+            self.offer(RatedSet::new(self.assignment.clone()), value + gain);
+            self.exact(pos + 1, value + gain);
+            clear_bit(&mut self.chosen_mask, couple);
+            self.assignment.pop();
+        }
+        self.exact(pos + 1, value);
+    }
+
+    /// Rate-independent models: membership decides admissibility; the chosen
+    /// links' lowest-rate couple masks prefilter, the model confirms, and the
+    /// node is valued by lifting every member to its maximum supported rate.
+    fn rate_independent(&mut self, pos: usize, value: f64) {
+        if pos == self.order.len() || value + self.suffix[pos] <= self.best_value() + VALUE_EPS {
+            return;
+        }
+        let i = self.order[pos];
+        let low = self.c.lowest_couple(i);
+        if self.c.compatible_with(low, &self.chosen_mask) {
+            let low_rate = self.c.couple_rate[low];
+            self.assignment.push((self.c.links[i], low_rate));
+            self.members.push(i);
+            if self.model.admissible(&self.assignment) {
+                let lifted = lift_to_max(self.model, self.c, &self.members, &self.assignment);
+                // `RatedSet` orders couples by link id, not choice order, so
+                // match weights up by link.
+                let lifted_value: f64 = lifted
+                    .couples()
+                    .iter()
+                    .map(|&(l, r)| {
+                        let i = self
+                            .c
+                            .links
+                            .iter()
+                            .position(|&cl| cl == l)
+                            .expect("lifted member is a live link");
+                        self.weights[i] * r.as_mbps()
+                    })
+                    .sum();
+                self.offer(lifted.clone(), lifted_value);
+                set_bit(&mut self.chosen_mask, low);
+                // Growing the set can only lower the members' lifted rates,
+                // so `lifted_value` bounds the chosen part of any descendant.
+                self.rate_independent(pos + 1, lifted_value);
+                clear_bit(&mut self.chosen_mask, low);
+            }
+            self.members.pop();
+            self.assignment.pop();
+        }
+        self.rate_independent(pos + 1, value);
+    }
+
+    /// Generic models: branch over couples with the mask prefilter, but let
+    /// the model confirm every extension.
+    fn generic(&mut self, pos: usize, value: f64) {
+        if pos == self.order.len() || value + self.suffix[pos] <= self.best_value() + VALUE_EPS {
+            return;
+        }
+        let i = self.order[pos];
+        for couple in self.c.offsets[i]..self.c.offsets[i + 1] {
+            if !self.c.compatible_with(couple, &self.chosen_mask) {
+                continue;
+            }
+            let rate = self.c.couple_rate[couple];
+            self.assignment.push((self.c.links[i], rate));
+            if self.model.admissible(&self.assignment) {
+                let gain = self.weights[i] * rate.as_mbps();
+                set_bit(&mut self.chosen_mask, couple);
+                self.offer(RatedSet::new(self.assignment.clone()), value + gain);
+                self.generic(pos + 1, value + gain);
+                clear_bit(&mut self.chosen_mask, couple);
+            }
+            self.assignment.pop();
+        }
+        self.generic(pos + 1, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_admissible, EnumerationOptions};
+    use awb_net::{DeclarativeModel, SinrModel, Topology};
+    use awb_phy::Phy;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// Reference: score every admissible set (unpruned enumeration).
+    fn brute_force<M: LinkRateModel>(
+        model: &M,
+        universe: &[LinkId],
+        weights: &[(LinkId, f64)],
+    ) -> f64 {
+        let opts = EnumerationOptions {
+            prune_dominated: false,
+            ..EnumerationOptions::default()
+        };
+        enumerate_admissible(model, universe, &opts)
+            .iter()
+            .map(|s| {
+                s.couples()
+                    .iter()
+                    .map(|&(l, rate)| {
+                        weights
+                            .iter()
+                            .find(|&&(wl, _)| wl == l)
+                            .map_or(0.0, |&(_, w)| w.max(0.0) * rate.as_mbps())
+                    })
+                    .sum()
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    fn weight_of(set: &RatedSet, weights: &[(LinkId, f64)]) -> f64 {
+        set.couples()
+            .iter()
+            .map(|&(l, rate)| {
+                weights
+                    .iter()
+                    .find(|&&(wl, _)| wl == l)
+                    .map_or(0.0, |&(_, w)| w * rate.as_mbps())
+            })
+            .sum()
+    }
+
+    fn declarative_fixture() -> (DeclarativeModel, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let nodes: Vec<_> = (0..8).map(|i| t.add_node(i as f64 * 10.0, 0.0)).collect();
+        let links: Vec<_> = (0..4)
+            .map(|i| t.add_link(nodes[2 * i], nodes[2 * i + 1]).unwrap())
+            .collect();
+        let m = DeclarativeModel::builder(t)
+            .alone_rates(links[0], &[r(54.0), r(18.0)])
+            .alone_rates(links[1], &[r(54.0), r(36.0)])
+            .alone_rates(links[2], &[r(36.0)])
+            .alone_rates(links[3], &[r(54.0), r(36.0), r(18.0)])
+            .conflict_all(links[0], links[1])
+            .conflict_at(links[0], r(54.0), links[2], r(36.0))
+            .conflict_at(links[1], r(54.0), links[3], r(54.0))
+            .build();
+        (m, links)
+    }
+
+    #[test]
+    fn exact_mode_matches_brute_force() {
+        let (m, links) = declarative_fixture();
+        for weights in [
+            vec![
+                (links[0], 1.0),
+                (links[1], 1.0),
+                (links[2], 1.0),
+                (links[3], 1.0),
+            ],
+            vec![
+                (links[0], 0.3),
+                (links[1], 2.0),
+                (links[2], 0.0),
+                (links[3], 0.1),
+            ],
+            vec![
+                (links[0], 5.0),
+                (links[1], 0.01),
+                (links[2], 1.5),
+                (links[3], 0.7),
+            ],
+        ] {
+            let oracle = MaxWeightOracle::new(&m, &links);
+            let w: Vec<f64> = oracle
+                .links()
+                .iter()
+                .map(|&l| weights.iter().find(|&&(wl, _)| wl == l).unwrap().1)
+                .collect();
+            let (set, value) = oracle.max_weight_set(&m, &w).expect("positive weights");
+            let reference = brute_force(&m, &links, &weights);
+            assert!(
+                (value - reference).abs() < 1e-9,
+                "oracle {value} != brute force {reference}"
+            );
+            assert!((weight_of(&set, &weights) - value).abs() < 1e-9);
+            assert!(m.admissible(set.couples()));
+        }
+    }
+
+    #[test]
+    fn rate_independent_mode_matches_brute_force() {
+        // A 3-hop geometric chain: additive interference makes pairwise
+        // compatibility insufficient, exercising the confirm + lift path.
+        let mut t = Topology::new();
+        let nodes: Vec<_> = (0..6).map(|i| t.add_node(i as f64 * 30.0, 0.0)).collect();
+        let links: Vec<_> = (0..5)
+            .map(|i| t.add_link(nodes[i], nodes[i + 1]).unwrap())
+            .collect();
+        let m = SinrModel::new(t, Phy::paper_default());
+        assert!(m.rate_independent_interference());
+        let weights: Vec<(LinkId, f64)> = links
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, 0.5 + i as f64 * 0.4))
+            .collect();
+        let oracle = MaxWeightOracle::new(&m, &links);
+        let w: Vec<f64> = oracle
+            .links()
+            .iter()
+            .map(|&l| weights.iter().find(|&&(wl, _)| wl == l).unwrap().1)
+            .collect();
+        let (set, value) = oracle.max_weight_set(&m, &w).expect("positive weights");
+        let reference = brute_force(&m, &links, &weights);
+        assert!(
+            (value - reference).abs() < 1e-9,
+            "oracle {value} != brute force {reference}"
+        );
+        assert!(m.admissible(set.couples()));
+    }
+
+    #[test]
+    fn zero_and_negative_weights_return_none() {
+        let (m, links) = declarative_fixture();
+        let oracle = MaxWeightOracle::new(&m, &links);
+        assert!(oracle.max_weight_set(&m, &[0.0; 4]).is_none());
+        assert!(oracle.max_weight_set(&m, &[-1.0, 0.0, -0.5, 0.0]).is_none());
+    }
+
+    #[test]
+    fn single_positive_weight_picks_that_links_best_singleton_superset() {
+        let (m, links) = declarative_fixture();
+        let oracle = MaxWeightOracle::new(&m, &links);
+        let mut w = vec![0.0; 4];
+        let pos = oracle.links().iter().position(|&l| l == links[3]).unwrap();
+        w[pos] = 2.0;
+        let (set, value) = oracle.max_weight_set(&m, &w).unwrap();
+        // Only link 3 carries weight; its max alone rate is 54.
+        assert!((value - 108.0).abs() < 1e-9);
+        assert_eq!(set.rate_of(links[3]), Some(r(54.0)));
+    }
+
+    #[test]
+    fn weight_vector_length_is_enforced() {
+        let (m, links) = declarative_fixture();
+        let oracle = MaxWeightOracle::new(&m, &links);
+        let result = std::panic::catch_unwind(|| oracle.max_weight_set(&m, &[1.0]));
+        assert!(result.is_err());
+    }
+}
