@@ -15,6 +15,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> awb-audit --deny (panic-freedom / float-eq / determinism / lint-header)"
+cargo run --release -q -p awb-audit -- --deny
+
+echo "==> cargo test --features debug-invariants (runtime LP/colgen guards)"
+cargo test -q -p awb-lp --features debug-invariants
+cargo test -q -p awb-core --features debug-invariants --lib
+
 echo "==> enum_bench --smoke (engine equivalence + speedup floor)"
 cargo run --release -q -p awb-bench --bin enum_bench -- --smoke
 

@@ -1,0 +1,397 @@
+//! A lightweight Rust source lexer for line-oriented lint rules.
+//!
+//! The auditor does not need a full parse — only a faithful separation of
+//! *code* from *non-code* (comments, string/char literals) plus the line
+//! ranges occupied by `#[cfg(test)]` items. [`mask`] produces a copy of the
+//! source with every comment and literal body replaced by spaces, preserving
+//! the line/column structure, so the rule matchers can run plain substring
+//! scans without ever firing inside a doc comment or a format string.
+//!
+//! Handled: line comments, (nested) block comments, string literals with
+//! escapes, raw strings `r#"…"#` at any hash depth, byte and byte-raw
+//! strings, char literals, and the `'lifetime` ambiguity.
+
+/// One comment extracted during masking, for waiver parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Whether only whitespace precedes the comment on its line — an
+    /// own-line comment waives the next code line, a trailing one its own.
+    pub own_line: bool,
+    /// The comment body, without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The result of [`mask`]: blanked source plus the extracted comments.
+#[derive(Debug, Clone)]
+pub struct Masked {
+    /// The source with comment and literal bodies replaced by spaces.
+    /// Newlines are preserved, so line numbers match the original; columns
+    /// match for all code outside literals.
+    pub text: String,
+    /// Every comment in source order.
+    pub comments: Vec<Comment>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Blanks comments and literals out of `source` (see module docs).
+pub fn mask(source: &str) -> Masked {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut comments = Vec::new();
+    let mut state = State::Code;
+    let mut line = 1usize;
+    let mut line_had_code = false;
+    let mut comment_text = String::new();
+    let mut comment_start = (1usize, true);
+    let mut i = 0usize;
+
+    // Pushes `c` through to the output, blanked unless it is structural.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    comment_start = (line, !line_had_code);
+                    comment_text.clear();
+                    state = State::LineComment;
+                    blank(&mut out, c);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    comment_start = (line, !line_had_code);
+                    comment_text.clear();
+                    state = State::BlockComment(1);
+                    blank(&mut out, c);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                }
+                'r' | 'b' if !prev_is_ident(&chars, i) && raw_str_hashes(&chars, i).is_some() => {
+                    // r"…", r#"…"#, b"…", br#"…"# — blank through the guard.
+                    // Non-raw byte strings still process escapes, so they go
+                    // through the ordinary string state.
+                    let (raw, hashes, skip) = raw_str_hashes(&chars, i).unwrap_or((false, 0, 1));
+                    state = if raw {
+                        State::RawStr(hashes)
+                    } else {
+                        State::Str
+                    };
+                    for &g in chars.iter().skip(i).take(skip) {
+                        blank(&mut out, g);
+                    }
+                    i += skip;
+                    line_had_code = true;
+                    continue;
+                }
+                '\'' => {
+                    if is_char_literal(&chars, i) {
+                        state = State::Char;
+                    }
+                    out.push('\'');
+                }
+                _ => {
+                    out.push(c);
+                    if c == '\n' {
+                        line_had_code = false;
+                    } else if !c.is_whitespace() {
+                        line_had_code = true;
+                    }
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    comments.push(Comment {
+                        line: comment_start.0,
+                        own_line: comment_start.1,
+                        text: std::mem::take(&mut comment_text),
+                    });
+                    state = State::Code;
+                    line_had_code = false;
+                    out.push('\n');
+                } else {
+                    comment_text.push(c);
+                    blank(&mut out, c);
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    blank(&mut out, c);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    if depth == 1 {
+                        comments.push(Comment {
+                            line: comment_start.0,
+                            own_line: comment_start.1,
+                            text: std::mem::take(&mut comment_text),
+                        });
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    blank(&mut out, c);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                comment_text.push(c);
+                blank(&mut out, c);
+            }
+            State::Str => match c {
+                '\\' => {
+                    blank(&mut out, c);
+                    if let Some(&next) = chars.get(i + 1) {
+                        blank(&mut out, next);
+                        i += 2;
+                        if next == '\n' {
+                            line += 1;
+                        }
+                        continue;
+                    }
+                }
+                '"' => {
+                    out.push('"');
+                    state = State::Code;
+                }
+                _ => blank(&mut out, c),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closing_hashes(&chars, i + 1) >= hashes {
+                    for &g in chars.iter().skip(i).take(1 + hashes as usize) {
+                        blank(&mut out, g);
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                    continue;
+                }
+                blank(&mut out, c);
+            }
+            State::Char => match c {
+                '\\' => {
+                    blank(&mut out, c);
+                    if let Some(&next) = chars.get(i + 1) {
+                        blank(&mut out, next);
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    out.push('\'');
+                    state = State::Code;
+                }
+                _ => blank(&mut out, c),
+            },
+        }
+        i += 1;
+    }
+    if state == State::LineComment || matches!(state, State::BlockComment(_)) {
+        comments.push(Comment {
+            line: comment_start.0,
+            own_line: comment_start.1,
+            text: comment_text,
+        });
+    }
+    Masked {
+        text: out,
+        comments,
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If position `i` starts a raw/byte string guard (`r`, `br`, `b`, followed
+/// by hashes and a quote), returns
+/// `(is_raw, hash_count, chars_through_opening_quote)`.
+fn raw_str_hashes(chars: &[char], i: usize) -> Option<(bool, u32, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') && (raw || (hashes == 0 && j > i)) {
+        // b"…" (j > i: consumed the b), r"…", r#"…"#, br#"…"#.
+        Some((raw, hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+fn closing_hashes(chars: &[char], from: usize) -> u32 {
+    let mut n = 0u32;
+    while chars.get(from + n as usize) == Some(&'#') {
+        n += 1;
+    }
+    n
+}
+
+/// Distinguishes a char literal from a lifetime: `'x'` and `'\n'` are
+/// literals; `'a` followed by anything but a closing quote is a lifetime.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Inclusive 1-based line ranges of `#[cfg(test)]` items in masked text.
+///
+/// The attribute's item body is found by scanning to the first `{` (or a
+/// terminating `;` for `mod name;` forms) and matching braces — safe on
+/// masked text, where braces inside literals have been blanked.
+pub fn cfg_test_ranges(masked: &str) -> Vec<(usize, usize)> {
+    const NEEDLE: &str = "#[cfg(test)]";
+    let mut ranges = Vec::new();
+    let bytes = masked.as_bytes();
+    let mut search_from = 0usize;
+    while let Some(pos) = masked[search_from..].find(NEEDLE) {
+        let start = search_from + pos;
+        search_from = start + NEEDLE.len();
+        let start_line = 1 + masked[..start].bytes().filter(|&b| b == b'\n').count();
+        let mut depth = 0usize;
+        let mut end = None;
+        for (off, &b) in bytes.iter().enumerate().skip(start + NEEDLE.len()) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(off);
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = Some(off);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end_off = end.unwrap_or(bytes.len().saturating_sub(1));
+        let end_line = 1 + masked[..=end_off.min(masked.len() - 1)]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count();
+        ranges.push((start_line, end_line));
+        search_from = search_from.max(end_off);
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings_preserving_lines() {
+        let src = "let x = \"a.unwrap()\"; // trailing unwrap()\nlet y = 1;\n";
+        let m = mask(src);
+        assert!(!m.text.contains("unwrap"));
+        assert_eq!(m.text.lines().count(), src.lines().count());
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].line, 1);
+        assert!(!m.comments[0].own_line);
+        assert_eq!(m.comments[0].text, " trailing unwrap()");
+    }
+
+    #[test]
+    fn own_line_comment_is_detected() {
+        let m = mask("    // waiver here\ncode();\n");
+        assert!(m.comments[0].own_line);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let m = mask("/* outer /* inner */ still */ code.unwrap()");
+        assert!(m.text.contains(".unwrap()"));
+        assert_eq!(m.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let m = mask("let s = r#\"panic!(\"oops\")\"#; s.len();");
+        assert!(!m.text.contains("panic"));
+        assert!(m.text.contains("s.len()"));
+    }
+
+    #[test]
+    fn byte_and_plain_raw_strings() {
+        let m = mask("let a = b\"unwrap()\"; let b2 = r\"expect(\";");
+        assert!(!m.text.contains("unwrap"));
+        assert!(!m.text.contains("expect"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let m = mask("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; \"s\"");
+        assert!(m.text.contains("fn f<'a>"));
+        // The trailing string is still recognized and blanked.
+        assert!(!m.text.contains('s') || !m.text.ends_with("\"s\""));
+    }
+
+    #[test]
+    fn escaped_quote_in_string_does_not_terminate() {
+        let m = mask("let s = \"a\\\"b.unwrap()\"; x();");
+        assert!(!m.text.contains("unwrap"));
+        assert!(m.text.contains("x()"));
+    }
+
+    #[test]
+    fn char_escape_of_quote() {
+        let m = mask("let q = '\\''; y.unwrap();");
+        assert!(m.text.contains("y.unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_range_covers_module() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let m = mask(src);
+        let ranges = cfg_test_ranges(&m.text);
+        assert_eq!(ranges, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)]\nfn helper() {\n    1\n}\nfn real() {}\n";
+        let ranges = cfg_test_ranges(&mask(src).text);
+        assert_eq!(ranges, vec![(1, 4)]);
+    }
+}

@@ -1,0 +1,322 @@
+//! `awb-audit` — workspace-native static analysis for the `awb` crates.
+//!
+//! The LP certificates produced by the colgen solver are only as trustworthy
+//! as the numerics underneath them: one `unwrap()` on a degenerate pivot or a
+//! float `==` in a reduced-cost test silently voids the duality argument.
+//! This crate tokenizes the workspace's Rust sources with a lightweight lexer
+//! (no `syn` — the build environment vendors its dependencies) and enforces a
+//! registry of domain-specific rules:
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | `no-panic-in-lib`  | no `unwrap`/`expect`/`panic!` family in `lp`/`core`/`sets`/`service` non-test code |
+//! | `no-float-eq`      | no `==`/`!=` against float literals — tolerance helpers only |
+//! | `determinism`      | no `HashMap`/`HashSet` in `core`/`sets`/`service` (iteration order leaks into output) |
+//! | `lint-header`      | every crate root carries `#![forbid(unsafe_code)]` (+ `missing_docs` on lib roots) |
+//! | `invalid-waiver`   | waivers must name known rules and carry a justification |
+//!
+//! A finding is silenced per-site with
+//!
+//! ```text
+//! // awb-audit: allow(no-panic-in-lib) — pool index comes from enumerate() above
+//! ```
+//!
+//! on the offending line (trailing) or the line before (own-line). Rules run
+//! on *masked* source — comments, strings and `#[cfg(test)]` items never
+//! fire — and files under `tests/`, `benches/` and `examples/` are skipped
+//! entirely.
+//!
+//! The binary (`cargo run -p awb-audit`) prints human diagnostics by default,
+//! `--json` for machines, and exits non-zero under `--deny` when any finding
+//! survives; `crates/audit/tests/` additionally runs the auditor over the
+//! live workspace so `cargo test` fails if a violation lands.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lexer;
+mod rules;
+
+pub use lexer::{cfg_test_ranges, mask, Comment, Masked};
+pub use rules::{classify, FileKind, Finding, Rule};
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Options controlling one audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditOptions {
+    /// Also report the advisory `strict-indexing` rule (never denied).
+    pub strict_indexing: bool,
+}
+
+/// The outcome of auditing a file set.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Deny-able findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Advisory findings (`strict-indexing`), reported but never denied.
+    pub advisories: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the audited set is free of deny-able findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable diagnostic listing.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.findings.iter().chain(&self.advisories) {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                f.file,
+                f.line,
+                f.col,
+                f.rule.name(),
+                f.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "awb-audit: {} file(s), {} finding(s), {} advisory note(s)",
+            self.files_scanned,
+            self.findings.len(),
+            self.advisories.len()
+        );
+        out
+    }
+
+    /// Renders the machine-readable JSON report (hand-rolled — this crate is
+    /// deliberately dependency-free).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn row(f: &Finding) -> String {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                f.rule.name(),
+                esc(&f.file),
+                f.line,
+                f.col,
+                esc(&f.message)
+            )
+        }
+        let findings: Vec<String> = self.findings.iter().map(row).collect();
+        let advisories: Vec<String> = self.advisories.iter().map(row).collect();
+        format!(
+            "{{\"clean\":{},\"files_scanned\":{},\"findings\":[{}],\"advisories\":[{}]}}",
+            self.is_clean(),
+            self.files_scanned,
+            findings.join(","),
+            advisories.join(",")
+        )
+    }
+}
+
+/// Audits a single file's source text.
+///
+/// * `crate_name` — the crate directory name (`"lp"`, `"core"`, …; `"awb"`
+///   for the workspace facade) used for rule scoping.
+/// * `rel_path` — path under the crate directory (drives the `lint-header`
+///   classification); the same string is echoed into findings.
+pub fn audit_source(
+    crate_name: &str,
+    rel_path: &str,
+    source: &str,
+    options: &AuditOptions,
+) -> Report {
+    let masked = lexer::mask(source);
+    let mut findings = Vec::new();
+    let mut advisories = Vec::new();
+    let waivers = rules::parse_waivers(rel_path, &masked, &mut findings);
+    let waived = |rule: Rule, line: usize| {
+        waivers
+            .iter()
+            .any(|w| w.target_line == line && w.rules.contains(&rule))
+    };
+    let file_waived = |rule: Rule| waivers.iter().any(|w| w.rules.contains(&rule));
+
+    let test_ranges = lexer::cfg_test_ranges(&masked.text);
+    let in_test = |line: usize| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+
+    for (idx, line) in masked.text.lines().enumerate() {
+        let lineno = idx + 1;
+        if in_test(lineno) {
+            continue;
+        }
+        let run = |rule: Rule, hits: Vec<(usize, String)>, sink: &mut Vec<Finding>| {
+            if !rule.applies_to(crate_name) || waived(rule, lineno) {
+                return;
+            }
+            for (col, message) in hits {
+                sink.push(Finding {
+                    rule,
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    col,
+                    message,
+                });
+            }
+        };
+        run(Rule::NoPanicInLib, rules::scan_panics(line), &mut findings);
+        run(Rule::NoFloatEq, rules::scan_float_eq(line), &mut findings);
+        run(
+            Rule::Determinism,
+            rules::scan_hash_collections(line),
+            &mut findings,
+        );
+        if options.strict_indexing {
+            run(
+                Rule::StrictIndexing,
+                rules::scan_indexing(line),
+                &mut advisories,
+            );
+        }
+    }
+
+    // R4: crate-root lint headers, checked on masked text so a doc-comment
+    // mention cannot satisfy the requirement.
+    let kind = rules::classify(rel_path);
+    if kind != FileKind::Module && !file_waived(Rule::LintHeader) {
+        let mut missing = Vec::new();
+        if !masked.text.contains("#![forbid(unsafe_code)]") {
+            missing.push("#![forbid(unsafe_code)]");
+        }
+        if kind == FileKind::LibRoot
+            && !masked.text.contains("#![warn(missing_docs)]")
+            && !masked.text.contains("#![deny(missing_docs)]")
+        {
+            missing.push("#![warn(missing_docs)]");
+        }
+        for attr in missing {
+            findings.push(Finding {
+                rule: Rule::LintHeader,
+                file: rel_path.to_string(),
+                line: 1,
+                col: 1,
+                message: format!("crate root is missing `{attr}`"),
+            });
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Report {
+        findings,
+        advisories,
+        files_scanned: 1,
+    }
+}
+
+/// Locates the workspace root at or above `start` (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Audits every workspace source file under `root`: `src/` of the facade
+/// crate and of each `crates/*` member. `vendor/`, `target/`, `tests/`,
+/// `benches/` and `examples/` are never scanned.
+pub fn audit_workspace(root: &Path, options: &AuditOptions) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut units: Vec<(String, PathBuf)> = vec![("awb".to_string(), root.join("src"))];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for member in entries {
+            let name = member
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            units.push((name, member.join("src")));
+        }
+    }
+    for (crate_name, src_dir) in units {
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let source = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            // The crate-relative path (e.g. `src/lib.rs`) drives header
+            // classification; the workspace-relative one labels findings.
+            let crate_rel = file
+                .strip_prefix(src_dir.parent().unwrap_or(&src_dir))
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let mut one = audit_source(&crate_name, &crate_rel, &source, options);
+            for f in one.findings.iter_mut().chain(one.advisories.iter_mut()) {
+                f.file = rel.clone();
+            }
+            report.findings.extend(one.findings);
+            report.advisories.extend(one.advisories);
+            report.files_scanned += 1;
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if matches!(
+                name.as_deref(),
+                Some("tests") | Some("benches") | Some("examples") | Some("target")
+            ) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Command-line entry point for the workspace auditor.
+//!
+//! ```text
+//! cargo run -p awb-audit                # human diagnostics, exit 0
+//! cargo run -p awb-audit -- --deny      # exit 1 if any finding survives
+//! cargo run -p awb-audit -- --json      # machine-readable report
+//! cargo run -p awb-audit -- --list-rules
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use awb_audit::{audit_workspace, find_workspace_root, AuditOptions, Rule};
+
+const USAGE: &str = "usage: awb-audit [--deny] [--json] [--strict-indexing] [--list-rules] [ROOT]
+
+Audits the awb workspace sources for panic-freedom, float-equality,
+determinism and lint-header violations.
+
+  --deny             exit with status 1 when any finding survives waivers
+  --json             emit the machine-readable JSON report instead of text
+  --strict-indexing  also report advisory `[idx]` indexing notes (never denied)
+  --list-rules       print the rule registry and exit
+  ROOT               workspace root (default: discovered from the current dir)";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut list_rules = false;
+    let mut options = AuditOptions::default();
+    let mut root_arg: Option<PathBuf> = None;
+
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--strict-indexing" => options.strict_indexing = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("awb-audit: unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => {
+                if root_arg.replace(PathBuf::from(path)).is_some() {
+                    eprintln!("awb-audit: multiple ROOT arguments\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in Rule::all() {
+            println!("{:18} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("awb-audit: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "awb-audit: no workspace Cargo.toml found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match audit_workspace(&root, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("awb-audit: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+
+    if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

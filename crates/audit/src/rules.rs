@@ -1,0 +1,496 @@
+//! The rule registry and the per-rule matchers.
+//!
+//! Every rule runs over the *masked* source (comments and literals blanked,
+//! see [`crate::lexer`]), outside `#[cfg(test)]` ranges, and honors per-site
+//! waivers of the form
+//!
+//! ```text
+//! // awb-audit: allow(no-float-eq) — exact-zero fast path, not a tolerance test
+//! ```
+//!
+//! An own-line waiver covers the next code line; a trailing waiver covers its
+//! own line. A waiver **must** carry a justification after the closing
+//! parenthesis — a bare `allow(...)` is itself reported (`invalid-waiver`),
+//! as is a waiver naming an unknown rule.
+
+use std::collections::BTreeSet;
+
+/// A lint rule identity. `Rule::all()` is the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: no `unwrap()`/`expect()`/`panic!`-family calls in library code of
+    /// the solver crates.
+    NoPanicInLib,
+    /// R2: no `==`/`!=` against float literals — tolerance comparisons only.
+    NoFloatEq,
+    /// R3: no `HashMap`/`HashSet` in crates whose iteration order can reach
+    /// serialized output, set pools, or LP column order.
+    Determinism,
+    /// R4: every crate root carries `#![forbid(unsafe_code)]` (and, for
+    /// library roots, a `missing_docs` lint).
+    LintHeader,
+    /// A malformed or unjustified waiver comment.
+    InvalidWaiver,
+    /// Advisory (opt-in via `--strict-indexing`): `[idx]` indexing in the
+    /// panic-free crates. Reported but never fails `--deny`.
+    StrictIndexing,
+}
+
+impl Rule {
+    /// Every deny-able rule, in report order.
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::NoPanicInLib,
+            Rule::NoFloatEq,
+            Rule::Determinism,
+            Rule::LintHeader,
+            Rule::InvalidWaiver,
+        ]
+    }
+
+    /// The kebab-case name used in waivers, JSON output and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanicInLib => "no-panic-in-lib",
+            Rule::NoFloatEq => "no-float-eq",
+            Rule::Determinism => "determinism",
+            Rule::LintHeader => "lint-header",
+            Rule::InvalidWaiver => "invalid-waiver",
+            Rule::StrictIndexing => "strict-indexing",
+        }
+    }
+
+    /// Parses a waiver rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-panic-in-lib" => Some(Rule::NoPanicInLib),
+            "no-float-eq" => Some(Rule::NoFloatEq),
+            "determinism" => Some(Rule::Determinism),
+            "lint-header" => Some(Rule::LintHeader),
+            "invalid-waiver" => Some(Rule::InvalidWaiver),
+            "strict-indexing" => Some(Rule::StrictIndexing),
+            _ => None,
+        }
+    }
+
+    /// Whether this rule audits the given crate (by directory name, e.g.
+    /// `"lp"`; the workspace facade crate is `"awb"`).
+    pub fn applies_to(self, crate_name: &str) -> bool {
+        match self {
+            Rule::NoPanicInLib | Rule::NoFloatEq | Rule::StrictIndexing => {
+                matches!(crate_name, "lp" | "core" | "sets" | "service")
+            }
+            Rule::Determinism => matches!(crate_name, "core" | "sets" | "service"),
+            Rule::LintHeader | Rule::InvalidWaiver => true,
+        }
+    }
+
+    /// One-line description shown by `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::NoPanicInLib => {
+                "library code of lp/core/sets/service must not unwrap(), expect() or panic!"
+            }
+            Rule::NoFloatEq => "floats must be compared through tolerances, never == / !=",
+            Rule::Determinism => {
+                "core/sets/service must not use HashMap/HashSet (iteration order leaks)"
+            }
+            Rule::LintHeader => {
+                "crate roots must carry #![forbid(unsafe_code)] (+ missing_docs on lib roots)"
+            }
+            Rule::InvalidWaiver => "awb-audit waivers must name known rules and justify themselves",
+            Rule::StrictIndexing => {
+                "advisory: [idx] indexing in panic-free crates (opt-in, never denied)"
+            }
+        }
+    }
+}
+
+/// One rule violation at one site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub col: usize,
+    /// What was matched, for the human report.
+    pub message: String,
+}
+
+/// How a file's path classifies it for the `lint-header` rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/lib.rs` — needs `forbid(unsafe_code)` and a `missing_docs` lint.
+    LibRoot,
+    /// `src/main.rs` or `src/bin/*.rs` — needs `forbid(unsafe_code)`.
+    BinRoot,
+    /// Any other module file — no header requirement.
+    Module,
+}
+
+/// Classifies `rel_path` (path under the crate directory, e.g.
+/// `src/bin/foo.rs`).
+pub fn classify(rel_path: &str) -> FileKind {
+    let normalized = rel_path.replace('\\', "/");
+    if normalized.ends_with("src/lib.rs") || normalized == "lib.rs" {
+        FileKind::LibRoot
+    } else if normalized.ends_with("src/main.rs")
+        || normalized == "main.rs"
+        || normalized.contains("src/bin/")
+    {
+        FileKind::BinRoot
+    } else {
+        FileKind::Module
+    }
+}
+
+/// A parsed waiver: the rules it allows on its target line.
+#[derive(Debug, Clone)]
+pub(crate) struct Waiver {
+    pub target_line: usize,
+    pub rules: BTreeSet<Rule>,
+}
+
+pub(crate) const WAIVER_MARK: &str = "awb-audit:";
+
+/// Extracts waivers (and invalid-waiver findings) from the comments.
+pub(crate) fn parse_waivers(
+    file: &str,
+    masked: &crate::lexer::Masked,
+    findings: &mut Vec<Finding>,
+) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    // Line numbers (1-based) whose masked content is blank — own-line waiver
+    // comments skip over these to find their target code line.
+    let blank: Vec<bool> = masked.text.lines().map(|l| l.trim().is_empty()).collect();
+    for comment in &masked.comments {
+        let Some(mark) = comment.text.find(WAIVER_MARK) else {
+            continue;
+        };
+        let rest = comment.text[mark + WAIVER_MARK.len()..].trim_start();
+        let Some(open) = rest.strip_prefix("allow(") else {
+            findings.push(Finding {
+                rule: Rule::InvalidWaiver,
+                file: file.to_string(),
+                line: comment.line,
+                col: 1,
+                message: "awb-audit comment without a recognizable allow(...) clause".to_string(),
+            });
+            continue;
+        };
+        let Some(close) = open.find(')') else {
+            findings.push(Finding {
+                rule: Rule::InvalidWaiver,
+                file: file.to_string(),
+                line: comment.line,
+                col: 1,
+                message: "unterminated allow(: missing closing parenthesis".to_string(),
+            });
+            continue;
+        };
+        let mut rules = BTreeSet::new();
+        let mut bad_name = None;
+        for name in open[..close].split(',') {
+            let name = name.trim();
+            match Rule::from_name(name) {
+                Some(rule) => {
+                    rules.insert(rule);
+                }
+                None => bad_name = Some(name.to_string()),
+            }
+        }
+        if let Some(name) = bad_name {
+            findings.push(Finding {
+                rule: Rule::InvalidWaiver,
+                file: file.to_string(),
+                line: comment.line,
+                col: 1,
+                message: format!("waiver names unknown rule `{name}`"),
+            });
+            continue;
+        }
+        let justification = open[close + 1..]
+            .trim_start_matches([' ', '\t', ':', '-', '—', '–'])
+            .trim();
+        if justification.is_empty() {
+            findings.push(Finding {
+                rule: Rule::InvalidWaiver,
+                file: file.to_string(),
+                line: comment.line,
+                col: 1,
+                message: "waiver has no justification — say why the site is safe".to_string(),
+            });
+            continue;
+        }
+        let target_line = if comment.own_line {
+            // Skip forward over blank / comment-only lines to the code line.
+            let mut l = comment.line + 1;
+            while blank.get(l - 1).copied().unwrap_or(false) {
+                l += 1;
+            }
+            l
+        } else {
+            comment.line
+        };
+        waivers.push(Waiver { target_line, rules });
+    }
+    waivers
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds R1 matches (panic-family calls) on one masked code line.
+pub(crate) fn scan_panics(line: &str) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    for method in [".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("] {
+        let name = method.trim_matches(|c| c == '.' || c == '(' || c == ')');
+        let mut from = 0usize;
+        while let Some(pos) = find_from(&chars, method, from) {
+            hits.push((pos + 1, format!("`{name}()` call")));
+            from = pos + method.len();
+        }
+    }
+    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        let mut from = 0usize;
+        while let Some(pos) = find_from(&chars, mac, from) {
+            let bounded = pos == 0 || !is_ident_char(chars[pos - 1]);
+            if bounded {
+                hits.push((pos + 1, format!("`{mac}` macro")));
+            }
+            from = pos + mac.len();
+        }
+    }
+    hits.sort();
+    hits
+}
+
+/// Finds R2 matches: `==` / `!=` where either operand is a float literal.
+pub(crate) fn scan_float_eq(line: &str) -> Vec<(usize, String)> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut hits = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < chars.len() {
+        let op = match (chars[i], chars[i + 1], chars.get(i + 2)) {
+            ('=', '=', next) if next != Some(&'=') => {
+                // Exclude <=, >=, ==-continuations, != handled below, and =>.
+                let prev = if i == 0 { ' ' } else { chars[i - 1] };
+                if matches!(
+                    prev,
+                    '=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'
+                ) {
+                    None
+                } else {
+                    Some("==")
+                }
+            }
+            ('!', '=', next) if next != Some(&'=') => Some("!="),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let lhs_float = prev_token_is_float(&chars, i);
+            let rhs_float = next_token_is_float(&chars, i + 2);
+            if lhs_float || rhs_float {
+                hits.push((i + 1, format!("float compared with `{op}`")));
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    hits
+}
+
+/// Finds R3 matches: `HashMap` / `HashSet` identifiers.
+pub(crate) fn scan_hash_collections(line: &str) -> Vec<(usize, String)> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut hits = Vec::new();
+    for ident in ["HashMap", "HashSet"] {
+        let mut from = 0usize;
+        while let Some(pos) = find_from(&chars, ident, from) {
+            let left_ok = pos == 0 || !is_ident_char(chars[pos - 1]);
+            let right = pos + ident.len();
+            let right_ok = right >= chars.len() || !is_ident_char(chars[right]);
+            if left_ok && right_ok {
+                hits.push((pos + 1, format!("`{ident}` (unordered iteration)")));
+            }
+            from = pos + ident.len();
+        }
+    }
+    hits.sort();
+    hits
+}
+
+/// Finds advisory indexing matches: an index expression `expr[...]` where
+/// `expr` ends in an identifier, `)` or `]`. Attribute (`#[...]`), macro
+/// (`vec![...]`) and type (`: [T; N]`) brackets never match.
+pub(crate) fn scan_indexing(line: &str) -> Vec<(usize, String)> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut hits = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = chars[i - 1];
+        if is_ident_char(prev) || prev == ')' || prev == ']' {
+            // `&x[..]` full-range slicing is not an indexing panic risk when
+            // written as `[..]`; still reported — the reviewer decides.
+            hits.push((i + 1, "`[...]` index expression".to_string()));
+        }
+    }
+    hits
+}
+
+fn find_from(chars: &[char], needle: &str, from: usize) -> Option<usize> {
+    let needle: Vec<char> = needle.chars().collect();
+    if needle.is_empty() || chars.len() < needle.len() {
+        return None;
+    }
+    (from..=chars.len() - needle.len())
+        .find(|&start| chars[start..start + needle.len()] == needle[..])
+}
+
+/// Scans backwards from the operator at `op_start` for the previous token and
+/// tests it for float-literal-ness. Tuple-field accesses (`x.0`) are excluded
+/// by inspecting the character before the token.
+fn prev_token_is_float(chars: &[char], op_start: usize) -> bool {
+    let mut end = op_start;
+    while end > 0 && chars[end - 1] == ' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && (is_ident_char(chars[start - 1]) || chars[start - 1] == '.') {
+        start -= 1;
+    }
+    if start == end {
+        return false;
+    }
+    let token: String = chars[start..end].iter().collect();
+    // `w[0].0 != …`: the token reads `.0`-ish but follows an expression.
+    if token.starts_with('.')
+        && start > 0
+        && (is_ident_char(chars[start - 1]) || chars[start - 1] == ')' || chars[start - 1] == ']')
+    {
+        return false;
+    }
+    is_float_literal(&token)
+}
+
+fn next_token_is_float(chars: &[char], mut i: usize) -> bool {
+    while i < chars.len() && chars[i] == ' ' {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'-') {
+        i += 1;
+        while i < chars.len() && chars[i] == ' ' {
+            i += 1;
+        }
+    }
+    let start = i;
+    while i < chars.len() && (is_ident_char(chars[i]) || chars[i] == '.') {
+        i += 1;
+    }
+    if start == i {
+        return false;
+    }
+    let token: String = chars[start..i].iter().collect();
+    is_float_literal(&token)
+}
+
+/// Whether `token` is a Rust float literal: digits with a decimal point, an
+/// exponent, or an `f32`/`f64` suffix. Plain integers are *not* floats.
+fn is_float_literal(token: &str) -> bool {
+    let stripped = token.trim_end_matches("f64").trim_end_matches("f32");
+    let had_suffix = stripped.len() != token.len();
+    if stripped.is_empty() || !stripped.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    for c in stripped.chars() {
+        match c {
+            '0'..='9' | '_' => {}
+            '.' if !saw_dot && !saw_exp => saw_dot = true,
+            'e' | 'E' if !saw_exp => saw_exp = true,
+            _ => return false,
+        }
+    }
+    saw_dot || saw_exp || had_suffix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_family_is_caught() {
+        let hits = scan_panics("let x = v.last().unwrap(); panic!(\"no\");");
+        assert_eq!(hits.len(), 2);
+        assert!(scan_panics("x.unwrap_or(0.0)").is_empty());
+        assert!(scan_panics("x.unwrap_or_else(|| 1)").is_empty());
+        assert!(scan_panics("x.expected_value()").is_empty());
+        assert!(scan_panics("debug_assert!(ok)").is_empty());
+        assert_eq!(scan_panics("unreachable!()").len(), 1);
+        assert!(scan_panics("not_unreachable!()").is_empty());
+    }
+
+    #[test]
+    fn float_eq_is_caught_but_int_and_field_access_are_not() {
+        assert_eq!(scan_float_eq("if factor == 0.0 {").len(), 1);
+        assert_eq!(scan_float_eq("if *mu != 0.0 {").len(), 1);
+        assert_eq!(scan_float_eq("if 1.5e3 == x {").len(), 1);
+        assert!(scan_float_eq("if n == 0 {").is_empty());
+        assert!(scan_float_eq("if w[0].0 != w[1].0 {").is_empty());
+        assert!(scan_float_eq("if a <= 0.0 {").is_empty());
+        assert!(scan_float_eq("if a >= 0.0 {").is_empty());
+        assert!(scan_float_eq("let f = |x| x == y;").is_empty());
+        assert_eq!(scan_float_eq("x == 2.0f64").len(), 1);
+        assert!(scan_float_eq("match x { _ => 0.0 }").is_empty());
+    }
+
+    #[test]
+    fn hash_collections_are_caught() {
+        assert_eq!(
+            scan_hash_collections("use std::collections::HashMap;").len(),
+            1
+        );
+        assert_eq!(
+            scan_hash_collections("let m: HashMap<u64, HashSet<u32>> = x;").len(),
+            2
+        );
+        assert!(scan_hash_collections("let m = BTreeMap::new();").is_empty());
+        assert!(scan_hash_collections("struct MyHashMapLike;").is_empty());
+    }
+
+    #[test]
+    fn indexing_advisory_matches_only_expressions() {
+        assert_eq!(scan_indexing("let v = data[i];").len(), 1);
+        assert_eq!(scan_indexing("m[r * stride + c]").len(), 1);
+        assert!(scan_indexing("#[derive(Debug)]").is_empty());
+        assert!(scan_indexing("let v = vec![1, 2];").is_empty());
+        assert!(scan_indexing("let a: [f64; 3] = x;").is_empty());
+        assert_eq!(scan_indexing("f(x)[0]").len(), 1);
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("src/lib.rs"), FileKind::LibRoot);
+        assert_eq!(classify("src/main.rs"), FileKind::BinRoot);
+        assert_eq!(classify("src/bin/enum_bench.rs"), FileKind::BinRoot);
+        assert_eq!(classify("src/simplex.rs"), FileKind::Module);
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for &rule in Rule::all() {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,249 @@
+//! Fixture-driven tests for the audit rules: hit, miss, and waiver cases per
+//! rule, the CLI `--deny` exit codes, and a self-check that the live
+//! workspace stays clean.
+
+use awb_audit::{audit_source, audit_workspace, AuditOptions, Rule};
+use std::path::{Path, PathBuf};
+
+fn audit_fixture(crate_name: &str, rel_path: &str, source: &str) -> Vec<(Rule, usize)> {
+    audit_source(crate_name, rel_path, source, &AuditOptions::default())
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+fn line_of(source: &str, needle: &str) -> usize {
+    source
+        .lines()
+        .position(|l| l.contains(needle))
+        .map(|i| i + 1)
+        .unwrap_or_else(|| panic!("fixture does not contain {needle:?}"))
+}
+
+#[test]
+fn r1_flags_panic_family_outside_tests_only() {
+    let src = include_str!("fixtures/r1_panic.rs");
+    let found = audit_fixture("lp", "src/panic.rs", src);
+    let r1: Vec<usize> = found
+        .iter()
+        .filter(|(r, _)| *r == Rule::NoPanicInLib)
+        .map(|&(_, l)| l)
+        .collect();
+    for needle in [
+        "v.unwrap();",
+        "r.expect(\"boom\");",
+        "panic!(\"zero\");",
+        "unreachable!()",
+        "todo!()",
+        "unimplemented!()",
+    ] {
+        assert!(
+            r1.contains(&line_of(src, needle)),
+            "R1 missed {needle:?}; found {found:?}"
+        );
+    }
+    // Total-function forms and #[cfg(test)] code never fire.
+    for needle in ["unwrap_or(0)", "unwrap_or_else(|| 1)", "v.unwrap(), 1"] {
+        assert!(
+            !r1.contains(&line_of(src, needle)),
+            "R1 falsely flagged {needle:?}"
+        );
+    }
+    assert_eq!(r1.len(), 6, "unexpected extra R1 findings: {found:?}");
+}
+
+#[test]
+fn r2_flags_float_literal_comparisons_only() {
+    let src = include_str!("fixtures/r2_float_eq.rs");
+    let found = audit_fixture("core", "src/float.rs", src);
+    let r2: Vec<usize> = found
+        .iter()
+        .filter(|(r, _)| *r == Rule::NoFloatEq)
+        .map(|&(_, l)| l)
+        .collect();
+    for needle in ["x == 0.0;", "x != 1.5;", "2.0 == x;", "y != 3.0f32;"] {
+        assert!(
+            r2.contains(&line_of(src, needle)),
+            "R2 missed {needle:?}; found {found:?}"
+        );
+    }
+    for needle in ["n == 0;", "w[0].0 != w[1].0;", "\"x == 0.0\""] {
+        assert!(
+            !r2.contains(&line_of(src, needle)),
+            "R2 falsely flagged {needle:?}"
+        );
+    }
+    assert_eq!(r2.len(), 4);
+}
+
+#[test]
+fn r3_flags_hash_collections_in_scoped_crates_only() {
+    let src = include_str!("fixtures/r3_hash.rs");
+    let found = audit_fixture("service", "src/state.rs", src);
+    let r3 = found
+        .iter()
+        .filter(|(r, _)| *r == Rule::Determinism)
+        .count();
+    // Two imports + two constructor mentions, with the BTree variants clean.
+    assert_eq!(r3, 6, "findings: {found:?}");
+
+    // The same file in a crate outside R3's scope (e.g. `bench`) is clean.
+    let outside = audit_fixture("bench", "src/state.rs", src);
+    assert!(
+        outside.iter().all(|(r, _)| *r != Rule::Determinism),
+        "R3 fired outside its crate scope: {outside:?}"
+    );
+}
+
+#[test]
+fn r4_flags_missing_crate_root_headers() {
+    let src = include_str!("fixtures/r4_header.rs");
+    // As a lib root both attributes are required.
+    let found = audit_fixture("core", "src/lib.rs", src);
+    let r4 = found.iter().filter(|(r, _)| *r == Rule::LintHeader).count();
+    assert_eq!(r4, 2, "lib root should miss both attributes: {found:?}");
+
+    // As a bin root only `forbid(unsafe_code)` is required.
+    let found = audit_fixture("cli", "src/main.rs", src);
+    let r4 = found.iter().filter(|(r, _)| *r == Rule::LintHeader).count();
+    assert_eq!(r4, 1, "bin root should miss only forbid: {found:?}");
+
+    // As an ordinary module no header is required.
+    let found = audit_fixture("core", "src/helpers.rs", src);
+    assert!(found.iter().all(|(r, _)| *r != Rule::LintHeader));
+}
+
+#[test]
+fn waivers_silence_their_target_line_and_rule_only() {
+    let src = include_str!("fixtures/waived.rs");
+    let found = audit_fixture("lp", "src/waived.rs", src);
+    // The own-line and trailing waivers silence their sites; the wrong-rule
+    // waiver leaves the unwrap in `waiver_is_rule_scoped` flagged.
+    assert_eq!(
+        found,
+        vec![(
+            Rule::NoPanicInLib,
+            line_of(src, "fixture: wrong rule, unwrap still fires") + 1
+        )],
+        "expected exactly the wrong-rule site to survive"
+    );
+}
+
+#[test]
+fn invalid_waivers_are_findings_and_do_not_silence() {
+    let src = include_str!("fixtures/bad_waiver.rs");
+    let found = audit_fixture("lp", "src/bad_waiver.rs", src);
+    let invalid = found
+        .iter()
+        .filter(|(r, _)| *r == Rule::InvalidWaiver)
+        .count();
+    assert_eq!(
+        invalid, 2,
+        "unknown rule + missing justification: {found:?}"
+    );
+    // The unjustified waiver must not have silenced the unwrap under it.
+    assert!(
+        found
+            .iter()
+            .any(|&(r, l)| r == Rule::NoPanicInLib && l == line_of(src, "v.unwrap()")),
+        "unjustified waiver still silenced its target: {found:?}"
+    );
+}
+
+/// Builds a throwaway mini-workspace seeded with one violation per rule and
+/// returns its root.
+fn seed_violation_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("awb-audit-fixture-{tag}-{}", std::process::id()));
+    let src = root.join("crates").join("core").join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+    // lib.rs with no lint header (R4), an unwrap (R1), a float == (R2), and
+    // a HashMap (R3).
+    std::fs::write(
+        src.join("lib.rs"),
+        "use std::collections::HashMap;\n\
+         pub fn f(v: Option<f64>) -> bool {\n\
+             let m: HashMap<u32, u32> = HashMap::new();\n\
+             v.unwrap() == 0.0 && m.is_empty()\n\
+         }\n",
+    )
+    .unwrap();
+    root
+}
+
+#[test]
+fn deny_exits_nonzero_on_each_seeded_rule_violation() {
+    let root = seed_violation_workspace("deny");
+    let report = audit_workspace(&root, &AuditOptions::default()).unwrap();
+    for rule in [
+        Rule::NoPanicInLib,
+        Rule::NoFloatEq,
+        Rule::Determinism,
+        Rule::LintHeader,
+    ] {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "seeded workspace should violate {}: {report:?}",
+            rule.name()
+        );
+    }
+
+    // The actual binary must refuse it under --deny...
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_awb-audit"))
+        .arg("--deny")
+        .arg(&root)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1), "--deny must exit 1 on violations");
+    // ...and accept it without --deny (report-only mode).
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_awb-audit"))
+        .arg(&root)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0), "report-only mode must exit 0");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn json_report_is_valid_and_stable_across_runs() {
+    let root = seed_violation_workspace("json");
+    let a = audit_workspace(&root, &AuditOptions::default())
+        .unwrap()
+        .to_json();
+    let b = audit_workspace(&root, &AuditOptions::default())
+        .unwrap()
+        .to_json();
+    assert_eq!(a, b, "audit output must be deterministic");
+    let parsed = serde::json::parse(&a).expect("report is valid JSON");
+    assert_eq!(
+        parsed.get("clean").and_then(|v| v.as_bool()),
+        Some(false),
+        "seeded workspace must report clean=false"
+    );
+    assert!(parsed
+        .get("findings")
+        .and_then(|v| v.as_array())
+        .is_some_and(|f| !f.is_empty()));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/audit sits two levels under the workspace root");
+    let report = audit_workspace(root, &AuditOptions::default()).unwrap();
+    assert!(
+        report.is_clean(),
+        "the workspace has unwaived audit findings:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+}

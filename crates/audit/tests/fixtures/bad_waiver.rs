@@ -1,0 +1,12 @@
+//! Invalid-waiver fixture: unknown rules and missing justifications are
+//! themselves findings, and the waiver then does not silence anything.
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // awb-audit: allow(no-such-rule) — the rule name is not in the registry
+    v.unwrap_or(0)
+}
+
+pub fn missing_justification(v: Option<u32>) -> u32 {
+    // awb-audit: allow(no-panic-in-lib)
+    v.unwrap()
+}

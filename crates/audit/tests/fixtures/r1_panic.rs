@@ -1,0 +1,34 @@
+//! R1 fixture: panic-family calls in library code must be flagged, while
+//! the same constructs inside `#[cfg(test)]` must not.
+
+pub fn hits(v: Option<u32>, r: Result<u32, u32>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("boom");
+    if a + b == 0 {
+        panic!("zero");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        n => n,
+    }
+}
+
+pub fn misses(v: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_else / unwrap_or_default are total, not panics.
+    v.unwrap_or(0);
+    v.unwrap_or_else(|| 1);
+    v.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, u32> = Ok(2);
+        r.expect("fine in tests");
+    }
+}

@@ -1,0 +1,20 @@
+//! R2 fixture: `==`/`!=` against float literals is flagged; integer
+//! comparisons, tuple-field access, and comments/strings are not.
+
+pub fn hits(x: f64, y: f32) -> bool {
+    let a = x == 0.0;
+    let b = x != 1.5;
+    let c = 2.0 == x;
+    let d = y != 3.0f32;
+    a || b || c || d
+}
+
+pub fn misses(n: usize, w: &[(f64, f64)]) -> bool {
+    // Integer equality is fine, and `w[0].0` is a tuple field, not a float
+    // literal adjacent to the operator.
+    let a = n == 0;
+    let b = w[0].0 != w[1].0;
+    // A comment mentioning x == 0.0 must not fire, nor a string: "x == 0.0".
+    let _s = "x == 0.0";
+    a || b
+}

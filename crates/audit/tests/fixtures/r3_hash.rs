@@ -1,0 +1,17 @@
+//! R3 fixture: `HashMap`/`HashSet` in determinism-scoped crates is flagged;
+//! ordered collections are not.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn hits() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}
+
+pub fn misses() -> usize {
+    let m: std::collections::BTreeMap<u32, u32> = Default::default();
+    let s: std::collections::BTreeSet<u32> = Default::default();
+    m.len() + s.len()
+}

@@ -1,0 +1,4 @@
+//! R4 fixture: a crate root (this file is audited as `src/lib.rs`) without
+//! `#![forbid(unsafe_code)]` or a `missing_docs` lint must be flagged twice.
+
+pub fn nothing_else_wrong() {}

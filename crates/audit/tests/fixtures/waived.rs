@@ -1,0 +1,17 @@
+//! Waiver fixture: own-line and trailing waivers with justifications
+//! silence exactly their target line and rule.
+
+pub fn own_line_waiver(v: Option<u32>) -> u32 {
+    // awb-audit: allow(no-panic-in-lib) — fixture: value is always present here
+    v.unwrap()
+}
+
+pub fn trailing_waiver(x: f64) -> bool {
+    x == 0.0 // awb-audit: allow(no-float-eq) — fixture: exact sentinel comparison
+}
+
+pub fn waiver_is_rule_scoped(v: Option<u32>) -> u32 {
+    // A waiver for one rule must not silence another on the same line.
+    // awb-audit: allow(no-float-eq) — fixture: wrong rule, unwrap still fires
+    v.unwrap()
+}

@@ -17,6 +17,8 @@
 //! `--smoke` runs the 12-link size with a loose speedup floor and writes
 //! nothing — the CI hook keeping the two solve paths equivalent.
 
+#![forbid(unsafe_code)]
+
 use awb_bench::topo::random_rate_coupled;
 use awb_core::{
     available_bandwidth, AvailableBandwidth, AvailableBandwidthOptions, Flow, SolverKind,

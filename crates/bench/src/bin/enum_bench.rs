@@ -12,6 +12,8 @@
 //! nothing — the CI hook that keeps the engines honest without paying for
 //! the full sweep.
 
+#![forbid(unsafe_code)]
+
 use awb_bench::topo::random_declarative;
 use awb_sets::{
     enumerate_admissible, maximal_independent_sets_with, EngineKind, EnumerationOptions,

@@ -2,6 +2,8 @@
 //! the paths each routing metric finds for the eight flows. Pass `--json`
 //! for machine-readable output, `--svg` for an SVG rendering.
 
+#![forbid(unsafe_code)]
+
 use awb_bench::experiments::{fig2_paths, paper_random_instance};
 
 fn main() {

@@ -2,6 +2,8 @@
 //! the three routing metrics, flows joining one by one (2 Mbps each) until
 //! the first unsatisfied demand. Pass `--json` for machine-readable output.
 
+#![forbid(unsafe_code)]
+
 use awb_bench::experiments::{fig3, FLOW_DEMAND_MBPS};
 use awb_bench::table::{f3, print_table};
 

@@ -2,6 +2,8 @@
 //! truth on the paths found by average-e2eD. Pass `--json` for
 //! machine-readable output.
 
+#![forbid(unsafe_code)]
+
 use awb_bench::experiments::fig4;
 use awb_bench::table::{f3, print_table};
 use serde::Serialize;

@@ -4,6 +4,8 @@
 //! faster links but more self-interference. The Eq. 6 LP scores every
 //! configuration exactly.
 
+#![forbid(unsafe_code)]
+
 use awb_core::path_capacity;
 use awb_phy::{Phy, Rate};
 use awb_workloads::chain_model;

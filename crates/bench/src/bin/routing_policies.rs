@@ -3,6 +3,8 @@
 //! *widest-path routing by estimated available bandwidth* for every §4
 //! estimator, on the same random instance and admission procedure.
 
+#![forbid(unsafe_code)]
+
 use awb_bench::experiments::paper_random_instance;
 use awb_bench::table::{f3, print_table};
 use awb_estimate::Estimator;

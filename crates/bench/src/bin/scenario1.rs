@@ -2,6 +2,8 @@
 //! available bandwidth over `L3` vs the idle-time estimate, sweeping the
 //! background load λ. Pass `--json` for machine-readable output.
 
+#![forbid(unsafe_code)]
+
 use awb_bench::experiments::scenario1_sweep;
 use awb_bench::table::{f3, print_table};
 

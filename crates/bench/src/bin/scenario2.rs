@@ -2,6 +2,8 @@
 //! the clique constraint becomes invalid. Pass `--json` for machine-readable
 //! output.
 
+#![forbid(unsafe_code)]
+
 use awb_bench::experiments::scenario2_report;
 
 fn main() {

@@ -3,6 +3,8 @@
 //! representative instance for the Fig. 3 story (the paper does not publish
 //! its random draw). Usage: `seed_scan [max_topo_seed] [max_pairs_seed]`.
 
+#![forbid(unsafe_code)]
+
 use awb_routing::{admit_sequentially, AdmissionConfig, RoutingMetric};
 use awb_workloads::{connected_pairs, RandomTopology, RandomTopologyConfig};
 

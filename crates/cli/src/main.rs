@@ -14,6 +14,8 @@
 //! awb query     [--addr host:port] [--request '<json>'] [--solver full|colgen]
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

@@ -164,7 +164,7 @@ impl AvailableBandwidth {
             .zip(self.link_scarcity.iter().copied())
             .filter(|&(_, s)| s > 1e-9)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scarcity is finite"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 }
@@ -240,7 +240,7 @@ fn solve_decomposed<M: LinkRateModel>(
         for link in flow.path().links() {
             let idx = universe
                 .binary_search(link)
-                .expect("universe contains all path links");
+                .map_err(|_| CoreError::Invariant("universe contains all path links"))?;
             demand[idx] += flow.demand_mbps();
         }
     }
@@ -267,15 +267,16 @@ fn solve_decomposed<M: LinkRateModel>(
             continue;
         }
         let budget: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
-        lp.add_constraint(&budget, Relation::Le, 1.0)
-            .expect("fresh variables");
+        lp.add_constraint(&budget, Relation::Le, 1.0)?;
         budget_rows.push(constraint_index);
         constraint_index += 1;
     }
     let mut link_rows = vec![usize::MAX; universe.len()];
     for (ci, component) in components.iter().enumerate() {
         for &link in component {
-            let idx = universe.binary_search(&link).expect("component ⊆ universe");
+            let idx = universe
+                .binary_search(&link)
+                .map_err(|_| CoreError::Invariant("component is a subset of the universe"))?;
             let mut terms: Vec<_> = pools[ci]
                 .iter()
                 .zip(&lambdas[ci])
@@ -284,8 +285,7 @@ fn solve_decomposed<M: LinkRateModel>(
             if new_path.contains(link) {
                 terms.push((f, -1.0));
             }
-            lp.add_constraint(&terms, Relation::Ge, demand[idx])
-                .expect("fresh variables");
+            lp.add_constraint(&terms, Relation::Ge, demand[idx])?;
             link_rows[idx] = constraint_index;
             constraint_index += 1;
         }
@@ -386,7 +386,7 @@ fn solve_over_sets(
         for link in flow.path().links() {
             let idx = universe
                 .binary_search(link)
-                .expect("universe contains all path links");
+                .map_err(|_| CoreError::Invariant("universe contains all path links"))?;
             demand[idx] += flow.demand_mbps();
         }
     }
@@ -399,8 +399,7 @@ fn solve_over_sets(
 
     // Σ λ_α ≤ 1.
     let budget: Vec<_> = lambdas.iter().map(|&v| (v, 1.0)).collect();
-    lp.add_constraint(&budget, Relation::Le, 1.0)
-        .expect("fresh variables");
+    lp.add_constraint(&budget, Relation::Le, 1.0)?;
 
     // Per link: Σ_α λ_α R_α[e] − f·I_e(new) ≥ Σ_k x_k I_e(P_k).
     for (idx, &link) in universe.iter().enumerate() {
@@ -412,8 +411,7 @@ fn solve_over_sets(
         if new_path.contains(link) {
             terms.push((f, -1.0));
         }
-        lp.add_constraint(&terms, Relation::Ge, demand[idx])
-            .expect("fresh variables");
+        lp.add_constraint(&terms, Relation::Ge, demand[idx])?;
     }
 
     let solution = lp.solve().map_err(CoreError::from)?;

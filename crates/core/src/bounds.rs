@@ -47,7 +47,7 @@ pub fn equal_throughput_clique_bound<M: LinkRateModel>(
             let t: f64 = c
                 .couples()
                 .iter()
-                .map(|(_, r)| r.unit_time().expect("rated sets have non-zero rates"))
+                .map(|(_, r)| r.unit_time().unwrap_or(f64::INFINITY))
                 .sum();
             1.0 / t
         })
@@ -65,7 +65,7 @@ pub fn clique_time_share(clique: &RatedSet, mut throughput_of: impl FnMut(LinkId
     clique
         .couples()
         .iter()
-        .map(|&(l, r)| throughput_of(l) * r.unit_time().expect("rated sets have non-zero rates"))
+        .map(|&(l, r)| throughput_of(l) * r.unit_time().unwrap_or(f64::INFINITY))
         .sum()
 }
 
@@ -118,7 +118,7 @@ pub fn clique_upper_bound<M: LinkRateModel>(
         for link in flow.path().links() {
             let idx = universe
                 .binary_search(link)
-                .expect("universe contains all path links");
+                .map_err(|_| CoreError::Invariant("universe contains all path links"))?;
             demand[idx] += flow.demand_mbps();
         }
     }
@@ -177,18 +177,16 @@ pub fn clique_upper_bound<M: LinkRateModel>(
 
     // Σ γ_i ≤ 1.
     let budget: Vec<_> = gammas.iter().map(|&g| (g, 1.0)).collect();
-    lp.add_constraint(&budget, Relation::Le, 1.0)
-        .expect("fresh variables");
+    lp.add_constraint(&budget, Relation::Le, 1.0)?;
 
     for (i, vector) in vectors.iter().enumerate() {
         // h_ik ≤ γ_i · r_ik.
         for (k, (link, _)) in live.iter().enumerate() {
             let r = vector
                 .rate_of(*link)
-                .expect("vector assigns every live link")
+                .ok_or(CoreError::Invariant("vector assigns every live link"))?
                 .as_mbps();
-            lp.add_constraint(&[(hs[i][k], 1.0), (gammas[i], -r)], Relation::Le, 0.0)
-                .expect("fresh variables");
+            lp.add_constraint(&[(hs[i][k], 1.0), (gammas[i], -r)], Relation::Le, 0.0)?;
         }
         // Per-clique: Σ_{k ∈ C} h_ik / r_ik ≤ γ_i.
         for clique in maximal_rated_cliques(model, vector) {
@@ -199,25 +197,25 @@ pub fn clique_upper_bound<M: LinkRateModel>(
                     let k = live
                         .iter()
                         .position(|(l, _)| *l == link)
-                        .expect("clique links are live");
-                    (hs[i][k], 1.0 / r.as_mbps())
+                        .ok_or(CoreError::Invariant("clique links are live"))?;
+                    Ok((hs[i][k], 1.0 / r.as_mbps()))
                 })
-                .collect();
+                .collect::<Result<_, CoreError>>()?;
             terms.push((gammas[i], -1.0));
-            lp.add_constraint(&terms, Relation::Le, 0.0)
-                .expect("fresh variables");
+            lp.add_constraint(&terms, Relation::Le, 0.0)?;
         }
     }
 
     // Delivery: Σ_i h_ie ≥ demand_e + f · I_e(new).
     for (k, (link, _)) in live.iter().enumerate() {
-        let idx = universe.binary_search(link).expect("live ⊆ universe");
+        let idx = universe
+            .binary_search(link)
+            .map_err(|_| CoreError::Invariant("live links are a subset of the universe"))?;
         let mut terms: Vec<_> = (0..vectors.len()).map(|i| (hs[i][k], 1.0)).collect();
         if new_path.contains(*link) {
             terms.push((f, -1.0));
         }
-        lp.add_constraint(&terms, Relation::Ge, demand[idx])
-            .expect("fresh variables");
+        lp.add_constraint(&terms, Relation::Ge, demand[idx])?;
     }
 
     match lp.solve() {

@@ -163,18 +163,41 @@ pub fn available_bandwidth_colgen_with_oracle<M: LinkRateModel>(
     )
 }
 
+/// Colgen-side runtime guards (active only with the `debug-invariants`
+/// feature): the dual-derived pricing weights handed to the max-weight
+/// oracle must be finite and non-negative — the oracle's branch-and-bound
+/// pruning assumes both, and a NaN weight silently disables pruning and can
+/// certify a bogus "optimal" master.
+#[cfg(feature = "debug-invariants")]
+fn assert_pricing_weights(weights: &[f64]) {
+    debug_assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "pricing weights must be finite and non-negative: {weights:?}"
+    );
+}
+
+/// The master objective must stay finite after every re-solve (active only
+/// with the `debug-invariants` feature).
+#[cfg(feature = "debug-invariants")]
+fn assert_finite_objective(objective: f64) {
+    debug_assert!(
+        objective.is_finite(),
+        "master LP produced a non-finite objective: {objective}"
+    );
+}
+
 /// Demand per universe link from the background flows.
-fn demand_vector(universe: &[LinkId], background: &[Flow]) -> Vec<f64> {
+fn demand_vector(universe: &[LinkId], background: &[Flow]) -> Result<Vec<f64>, CoreError> {
     let mut demand = vec![0.0f64; universe.len()];
     for flow in background {
         for link in flow.path().links() {
             let idx = universe
                 .binary_search(link)
-                .expect("universe contains all path links");
+                .map_err(|_| CoreError::Invariant("universe contains all path links"))?;
             demand[idx] += flow.demand_mbps();
         }
     }
-    demand
+    Ok(demand)
 }
 
 /// Seeds one component's pool: caller-provided seed sets that live entirely
@@ -196,7 +219,9 @@ fn seed_pool<M: LinkRateModel>(
         }
     }
     for &link in oracle.links() {
-        let rate = model.max_alone_rate(link).expect("oracle links are live");
+        let Some(rate) = model.max_alone_rate(link) else {
+            continue; // dead link: no singleton to seed
+        };
         let singleton = RatedSet::new(vec![(link, rate)]);
         if !pool.contains(&singleton) {
             pool.push(singleton);
@@ -243,11 +268,15 @@ fn stage_a<M: LinkRateModel>(
     stats: &mut ColgenStats,
 ) -> Result<(), CoreError> {
     // Universe indices of this component's demanded links.
-    let demanded: Vec<usize> = component
-        .iter()
-        .map(|l| universe.binary_search(l).expect("component ⊆ universe"))
-        .filter(|&idx| demand[idx] > 0.0)
-        .collect();
+    let mut demanded: Vec<usize> = Vec::with_capacity(component.len());
+    for l in component {
+        let idx = universe
+            .binary_search(l)
+            .map_err(|_| CoreError::Invariant("component is a subset of the universe"))?;
+        if demand[idx] > 0.0 {
+            demanded.push(idx);
+        }
+    }
     if demanded.is_empty() {
         return Ok(());
     }
@@ -262,8 +291,7 @@ fn stage_a<M: LinkRateModel>(
             .zip(&vars)
             .filter_map(|(set, &var)| set.rate_of(link).map(|r| (var, r.as_mbps())))
             .collect();
-        lp.add_constraint(&terms, Relation::Ge, demand[idx])
-            .expect("fresh variables");
+        lp.add_constraint(&terms, Relation::Ge, demand[idx])?;
         debug_assert_eq!(row, lp.num_constraints() - 1);
     }
     let mut inc = IncrementalSolver::new(&lp, SolverOptions::default()).map_err(CoreError::from)?;
@@ -278,6 +306,8 @@ fn stage_a<M: LinkRateModel>(
                 weights[pos] = sol.dual(row).max(0.0);
             }
         }
+        #[cfg(feature = "debug-invariants")]
+        assert_pricing_weights(&weights);
         let Some((set, value)) = oracle.max_weight_set(model, &weights) else {
             break;
         };
@@ -342,15 +372,16 @@ fn build_master(
             continue;
         }
         let budget: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
-        lp.add_constraint(&budget, Relation::Le, 1.0)
-            .expect("fresh variables");
+        lp.add_constraint(&budget, Relation::Le, 1.0)?;
         budget_rows.push(Some(constraint_index));
         constraint_index += 1;
     }
     let mut link_rows = vec![usize::MAX; universe.len()];
     for (ci, component) in components.iter().enumerate() {
         for &link in component {
-            let idx = universe.binary_search(&link).expect("component ⊆ universe");
+            let idx = universe
+                .binary_search(&link)
+                .map_err(|_| CoreError::Invariant("component is a subset of the universe"))?;
             let mut terms: Vec<_> = pools[ci]
                 .iter()
                 .zip(&lambdas[ci])
@@ -359,8 +390,7 @@ fn build_master(
             if new_path.contains(link) {
                 terms.push((f, -1.0));
             }
-            lp.add_constraint(&terms, Relation::Ge, demand[idx])
-                .expect("fresh variables");
+            lp.add_constraint(&terms, Relation::Ge, demand[idx])?;
             link_rows[idx] = constraint_index;
             constraint_index += 1;
         }
@@ -389,7 +419,7 @@ fn solve_components<M: LinkRateModel>(
     dust_epsilon: f64,
     seed: &[RatedSet],
 ) -> Result<ColgenOutcome, CoreError> {
-    let demand = demand_vector(universe, background);
+    let demand = demand_vector(universe, background)?;
     let mut stats = ColgenStats::default();
 
     let mut pools: Vec<Vec<RatedSet>> = components
@@ -428,10 +458,14 @@ fn solve_components<M: LinkRateModel>(
                 .links()
                 .iter()
                 .map(|l| {
-                    let idx = universe.binary_search(l).expect("oracle ⊆ universe");
-                    (-sol.dual(layout.link_rows[idx])).max(0.0)
+                    let idx = universe
+                        .binary_search(l)
+                        .map_err(|_| CoreError::Invariant("oracle links are in the universe"))?;
+                    Ok((-sol.dual(layout.link_rows[idx])).max(0.0))
                 })
-                .collect();
+                .collect::<Result<_, CoreError>>()?;
+            #[cfg(feature = "debug-invariants")]
+            assert_pricing_weights(&weights);
             let Some((set, value)) = oracle.max_weight_set(model, &weights) else {
                 continue;
             };
@@ -440,7 +474,9 @@ fn solve_components<M: LinkRateModel>(
             }
             let mut terms: Vec<(usize, f64)> = vec![(budget_row, 1.0)];
             for &(link, rate) in set.couples() {
-                let idx = universe.binary_search(&link).expect("set ⊆ universe");
+                let idx = universe
+                    .binary_search(&link)
+                    .map_err(|_| CoreError::Invariant("priced set is inside the universe"))?;
                 terms.push((layout.link_rows[idx], rate.as_mbps()));
             }
             let name = format!("l{ci}_{}", pools[ci].len());
@@ -471,6 +507,8 @@ fn solve_components<M: LinkRateModel>(
         } else {
             master.reoptimize().map_err(CoreError::from)?;
         }
+        #[cfg(feature = "debug-invariants")]
+        assert_finite_objective(master.solution().objective());
     }
     stats.pivots += master.pivots();
 
@@ -498,7 +536,9 @@ fn solve_components<M: LinkRateModel>(
     // One component: the schedule is already joint (and may legitimately use
     // a link in several entries, which the parallel merge forbids).
     let schedule = if parts.len() == 1 {
-        parts.pop().expect("one part")
+        parts
+            .pop()
+            .ok_or(CoreError::Invariant("single-component split is non-empty"))?
     } else {
         crate::decomposition::merge_parallel_schedules(&parts)
     };

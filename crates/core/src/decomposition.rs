@@ -81,7 +81,7 @@ pub fn potential_conflict_components<M: LinkRateModel>(
 /// Panics if two input schedules share a link (they would not be parallel).
 pub fn merge_parallel_schedules(parts: &[Schedule]) -> Schedule {
     // Collect per-part cumulative breakpoints.
-    let mut seen_links: std::collections::HashSet<LinkId> = Default::default();
+    let mut seen_links: std::collections::BTreeSet<LinkId> = Default::default();
     for p in parts {
         for (set, _) in p.entries() {
             for l in set.links() {
@@ -100,7 +100,7 @@ pub fn merge_parallel_schedules(parts: &[Schedule]) -> Schedule {
             breakpoints.push(t);
         }
     }
-    breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("shares are finite"));
+    breakpoints.sort_by(|a, b| a.total_cmp(b));
     breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     let mut entries: Vec<(RatedSet, f64)> = Vec::new();

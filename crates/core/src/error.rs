@@ -28,6 +28,9 @@ pub enum CoreError {
     Solver(SolveError),
     /// The link universe is empty — no live link on any involved path.
     EmptyUniverse,
+    /// An internal invariant was violated (a bug in this crate, not in the
+    /// caller's input); the message names the broken assumption.
+    Invariant(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -44,6 +47,7 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Solver(e) => write!(f, "lp solver failed: {e}"),
             CoreError::EmptyUniverse => write!(f, "no live links on the involved paths"),
+            CoreError::Invariant(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }
@@ -61,6 +65,12 @@ impl Error for CoreError {
 impl From<PathError> for CoreError {
     fn from(e: PathError) -> Self {
         CoreError::Path(e)
+    }
+}
+
+impl From<awb_lp::ProblemError> for CoreError {
+    fn from(e: awb_lp::ProblemError) -> Self {
+        CoreError::Solver(SolveError::Problem(e))
     }
 }
 

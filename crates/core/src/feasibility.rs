@@ -56,7 +56,7 @@ fn min_airtime_with_sets(
         for link in flow.path().links() {
             let idx = universe
                 .binary_search(link)
-                .expect("universe contains all path links");
+                .map_err(|_| CoreError::Invariant("universe contains all path links"))?;
             demand[idx] += flow.demand_mbps();
         }
     }
@@ -66,10 +66,9 @@ fn min_airtime_with_sets(
         .map(|i| lp.add_var(format!("lambda{i}"), 1.0))
         .collect();
     let budget: Vec<_> = lambdas.iter().map(|&v| (v, 1.0)).collect();
-    lp.add_constraint(&budget, Relation::Le, 1.0)
-        .expect("fresh variables");
+    lp.add_constraint(&budget, Relation::Le, 1.0)?;
     for (idx, &link) in universe.iter().enumerate() {
-        if demand[idx] == 0.0 {
+        if demand[idx] <= 0.0 {
             continue;
         }
         let terms: Vec<_> = sets

@@ -101,6 +101,8 @@ impl Tableau {
                 continue;
             }
             let factor = self.at(r, pivot_col);
+            // awb-audit: allow(no-float-eq) — exact-zero fast path: skipping the row
+            // elimination is only sound when the factor is bit-for-bit zero.
             if factor == 0.0 {
                 continue;
             }
@@ -112,6 +114,11 @@ impl Tableau {
         }
         self.scratch = scratch;
         self.basis[pivot_row] = pivot_col;
+        #[cfg(feature = "debug-invariants")]
+        {
+            invariants::tableau_finite(self);
+            invariants::rhs_feasible(self);
+        }
     }
 
     /// Ratio test: returns the leaving row for `entering`, or `None` if the
@@ -200,6 +207,8 @@ fn optimize(
             }
             let mut rc = cost.get(j).copied().unwrap_or(0.0);
             for (i, mu) in multipliers.iter().enumerate() {
+                // awb-audit: allow(no-float-eq) — exact-zero sparsity skip; a tolerance
+                // here would silently drop small-but-real dual contributions.
                 if *mu != 0.0 {
                     rc -= mu * t.at(i, j);
                 }
@@ -459,6 +468,8 @@ impl Instance {
         let mut col = vec![0.0; self.t.num_rows()];
         for &(row, a) in terms {
             let signed = if self.flips[row] { -a } else { a };
+            // awb-audit: allow(no-float-eq) — exact-zero sparsity skip on caller-given
+            // coefficients; only bit-zero entries may be omitted from B^{-1}a.
             if signed == 0.0 {
                 continue;
             }
@@ -537,6 +548,8 @@ impl Instance {
                 dir_sign * flip_sign * y_internal
             })
             .collect();
+        #[cfg(feature = "debug-invariants")]
+        invariants::duals_finite(&duals);
         Solution::new(x, objective_value, names, duals, self.pivots)
     }
 }
@@ -547,6 +560,46 @@ pub(crate) fn solve(problem: &Problem, options: SolverOptions) -> Result<Solutio
     inst.phase1(&options)?;
     inst.phase2(&options)?;
     Ok(inst.extract(problem.objective_coeffs(), problem.var_names().to_vec()))
+}
+
+/// Runtime invariant guards at pivot and solve boundaries, compiled in only
+/// under the `debug-invariants` feature. All checks are `debug_assert!`s, so
+/// even with the feature on they vanish from release builds; enabling the
+/// feature in CI's debug test leg makes the solver self-checking.
+#[cfg(feature = "debug-invariants")]
+mod invariants {
+    use super::Tableau;
+
+    /// Every tableau entry (including the rhs column) must stay finite: a
+    /// NaN or infinity here silently corrupts every later pivot and the
+    /// duals extracted from the final basis.
+    pub(super) fn tableau_finite(t: &Tableau) {
+        debug_assert!(
+            t.data.iter().all(|v| v.is_finite()),
+            "tableau contains a non-finite entry after a pivot"
+        );
+    }
+
+    /// The simplex ratio test preserves primal feasibility: every basic
+    /// variable's value (the rhs) stays non-negative up to tolerance.
+    pub(super) fn rhs_feasible(t: &Tableau) {
+        for r in 0..t.num_rows() {
+            debug_assert!(
+                t.rhs(r) >= -t.tol.max(1e-7),
+                "pivot broke primal feasibility: rhs[{r}] = {}",
+                t.rhs(r)
+            );
+        }
+    }
+
+    /// Extracted shadow prices feed the colgen pricing oracle; a non-finite
+    /// dual would poison the reduced-cost test without failing loudly.
+    pub(super) fn duals_finite(duals: &[f64]) {
+        debug_assert!(
+            duals.iter().all(|d| d.is_finite()),
+            "extracted a non-finite dual value"
+        );
+    }
 }
 
 #[cfg(test)]

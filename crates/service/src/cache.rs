@@ -6,7 +6,7 @@
 //! (tens to hundreds of entries) a linear eviction scan is cheaper and far
 //! simpler than an intrusive list.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// An LRU map from `u64` keys (content hashes) to shared values.
@@ -14,7 +14,7 @@ use std::sync::Arc;
 pub struct LruCache<V> {
     capacity: usize,
     stamp: u64,
-    entries: HashMap<u64, (u64, Arc<V>)>,
+    entries: BTreeMap<u64, (u64, Arc<V>)>,
 }
 
 impl<V> LruCache<V> {
@@ -24,7 +24,7 @@ impl<V> LruCache<V> {
         LruCache {
             capacity,
             stamp: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 

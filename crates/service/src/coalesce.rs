@@ -7,7 +7,8 @@
 //! content hashes the caches use, so "same uncached topology" coalesces by
 //! construction.
 
-use std::collections::HashMap;
+use crate::lock::{lock_recover, wait_recover};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// In-flight slot: the leader fills `result` and flips `done`.
@@ -32,13 +33,13 @@ pub enum Role {
 
 /// Deduplicates concurrent computations by key.
 pub struct Coalescer<V> {
-    inflight: Mutex<HashMap<u64, Arc<Inflight<V>>>>,
+    inflight: Mutex<BTreeMap<u64, Arc<Inflight<V>>>>,
 }
 
 impl<V> Default for Coalescer<V> {
     fn default() -> Self {
         Coalescer {
-            inflight: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -62,7 +63,7 @@ impl<V> Coalescer<V> {
         F: FnOnce() -> V,
     {
         let (slot, leader) = {
-            let mut map = self.inflight.lock().expect("coalescer lock");
+            let mut map = lock_recover(&self.inflight);
             match map.get(&key) {
                 Some(slot) => (Arc::clone(slot), false),
                 None => {
@@ -88,10 +89,10 @@ impl<V> Coalescer<V> {
             }
             impl<V> Drop for CloseOnDrop<'_, V> {
                 fn drop(&mut self) {
-                    let mut map = self.coalescer.inflight.lock().expect("coalescer lock");
+                    let mut map = lock_recover(&self.coalescer.inflight);
                     map.remove(&self.key);
                     drop(map);
-                    let mut state = self.slot.state.lock().expect("inflight lock");
+                    let mut state = lock_recover(&self.slot.state);
                     state.done = true;
                     self.slot.ready.notify_all();
                 }
@@ -103,15 +104,15 @@ impl<V> Coalescer<V> {
             };
             let value = Arc::new(compute());
             {
-                let mut state = slot.state.lock().expect("inflight lock");
+                let mut state = lock_recover(&slot.state);
                 state.result = Some(Arc::clone(&value));
             }
             drop(guard); // removes the slot, sets done, wakes followers
             (Some(value), Role::Leader)
         } else {
-            let mut state = slot.state.lock().expect("inflight lock");
+            let mut state = lock_recover(&slot.state);
             while !state.done {
-                state = slot.ready.wait(state).expect("inflight wait");
+                state = wait_recover(&slot.ready, state);
             }
             (state.result.clone(), Role::Follower)
         }

@@ -25,6 +25,7 @@
 
 use crate::cache::LruCache;
 use crate::coalesce::{Coalescer, Role};
+use crate::lock::lock_recover;
 use crate::metrics::Metrics;
 use crate::protocol::{
     CacheStatus, ErrorCode, FlowSpec, QueryKind, Request, ServiceError, TopologyRef,
@@ -38,7 +39,7 @@ use awb_estimate::{Estimator, Hop, IdleMap};
 use awb_net::{LinkRateModel, Path};
 use awb_sets::{enumerate_admissible, EngineKind, EnumerationOptions, MaxWeightOracle, RatedSet};
 use serde_json::{Map, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -94,7 +95,7 @@ struct ColgenState {
 /// The shared, thread-safe query engine.
 pub struct Engine {
     /// Topologies pinned by `register_topology`, by content hash.
-    registry: Mutex<HashMap<u64, Arc<ResolvedTopology>>>,
+    registry: Mutex<BTreeMap<u64, Arc<ResolvedTopology>>>,
     /// Built models for inline specs (evictable, unlike the registry).
     models: Mutex<LruCache<ResolvedTopology>>,
     /// Enumerated independent-set pools.
@@ -135,7 +136,7 @@ impl Engine {
     /// Creates an engine with the given cache capacities.
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
-            registry: Mutex::new(HashMap::new()),
+            registry: Mutex::new(BTreeMap::new()),
             models: Mutex::new(LruCache::new(config.model_cache_capacity)),
             sets: Mutex::new(LruCache::new(config.sets_cache_capacity)),
             results: Mutex::new(LruCache::new(config.result_cache_capacity)),
@@ -169,7 +170,9 @@ impl Engine {
                 Ok((value, Some(status)))
             }
             QueryKind::Admit => {
-                let demand = request.demand_mbps.expect("parser enforces demand");
+                let demand = request
+                    .demand_mbps
+                    .ok_or_else(|| ServiceError::bad_request("`admit` requires `demand_mbps`"))?;
                 let (value, status) = self.available_bandwidth(request, deadline)?;
                 let available = value
                     .get("bandwidth_mbps")
@@ -205,10 +208,7 @@ impl Engine {
     /// registry (hash refs) or the model LRU (inline specs).
     fn resolve(&self, reference: &TopologyRef) -> Result<Arc<ResolvedTopology>, ServiceError> {
         match reference {
-            TopologyRef::Registered(hash) => self
-                .registry
-                .lock()
-                .expect("registry lock")
+            TopologyRef::Registered(hash) => lock_recover(&self.registry)
                 .get(hash)
                 .cloned()
                 .ok_or_else(|| {
@@ -219,7 +219,7 @@ impl Engine {
                 }),
             TopologyRef::Inline(spec) => {
                 let hash = spec.content_hash();
-                if let Some(found) = self.models.lock().expect("model lock").get(hash) {
+                if let Some(found) = lock_recover(&self.models).get(hash) {
                     return Ok(found);
                 }
                 let built = spec.build()?;
@@ -227,11 +227,7 @@ impl Engine {
                     model: built.model,
                     content_hash: built.content_hash,
                 };
-                Ok(self
-                    .models
-                    .lock()
-                    .expect("model lock")
-                    .insert(hash, resolved))
+                Ok(lock_recover(&self.models).insert(hash, resolved))
             }
         }
     }
@@ -258,7 +254,7 @@ impl Engine {
             "num_links".into(),
             Value::Number(topology.num_links() as f64),
         );
-        self.registry.lock().expect("registry lock").insert(
+        lock_recover(&self.registry).insert(
             hash,
             Arc::new(ResolvedTopology {
                 model: built.model,
@@ -352,7 +348,7 @@ impl Engine {
         options: &EnumerationOptions,
     ) -> Result<(Arc<Vec<RatedSet>>, CacheStatus), ServiceError> {
         let key = Engine::sets_key(resolved, universe, options);
-        if let Some(pool) = self.sets.lock().expect("sets lock").get(key) {
+        if let Some(pool) = lock_recover(&self.sets).get(key) {
             Metrics::bump(&self.metrics.sets_cache_hits);
             return Ok((pool, CacheStatus::SetsHit));
         }
@@ -366,11 +362,10 @@ impl Engine {
         match role {
             Role::Leader => {
                 Metrics::bump(&self.metrics.sets_cache_misses);
-                let pool = pool.expect("leader always has a result");
-                self.sets
-                    .lock()
-                    .expect("sets lock")
-                    .insert_shared(key, Arc::clone(&pool));
+                let pool = pool.ok_or_else(|| {
+                    ServiceError::new(ErrorCode::Internal, "coalescing leader produced no result")
+                })?;
+                lock_recover(&self.sets).insert_shared(key, Arc::clone(&pool));
                 Ok((pool, CacheStatus::Miss))
             }
             Role::Follower => {
@@ -410,7 +405,7 @@ impl Engine {
         universe: &[awb_net::LinkId],
     ) -> Result<(AvailableBandwidth, CacheStatus), ServiceError> {
         let key = Engine::colgen_key(resolved, universe);
-        let cached = self.colgen.lock().expect("colgen lock").get(key);
+        let cached = lock_recover(&self.colgen).get(key);
         let (state, status) = match cached {
             Some(state) => {
                 Metrics::bump(&self.metrics.sets_cache_hits);
@@ -426,11 +421,11 @@ impl Engine {
                     oracle,
                     pool: Mutex::new(Vec::new()),
                 };
-                let state = self.colgen.lock().expect("colgen lock").insert(key, state);
+                let state = lock_recover(&self.colgen).insert(key, state);
                 (state, CacheStatus::Miss)
             }
         };
-        let seed = state.pool.lock().expect("pool lock").clone();
+        let seed = lock_recover(&state.pool).clone();
         let options = AvailableBandwidthOptions {
             solver: SolverKind::ColumnGeneration,
             ..AvailableBandwidthOptions::default()
@@ -447,7 +442,7 @@ impl Engine {
         )
         .map_err(core_error)?;
         self.metrics.lp_latency.record(started.elapsed());
-        *state.pool.lock().expect("pool lock") = outcome.pool;
+        *lock_recover(&state.pool) = outcome.pool;
         Ok((outcome.result, status))
     }
 
@@ -457,11 +452,14 @@ impl Engine {
         request: &Request,
         deadline: Option<Instant>,
     ) -> Result<(Value, CacheStatus), ServiceError> {
-        let reference = request.topology.as_ref().expect("parser enforces topology");
+        let reference = request
+            .topology
+            .as_ref()
+            .ok_or_else(|| ServiceError::bad_request("this query requires a `topology`"))?;
         let resolved = self.resolve(reference)?;
         let (new_path, flows) = self.materialize(&resolved, &request.background, &request.path)?;
         let result_key = Engine::result_key(request, &resolved);
-        if let Some(cached) = self.results.lock().expect("results lock").get(result_key) {
+        if let Some(cached) = lock_recover(&self.results).get(result_key) {
             Metrics::bump(&self.metrics.result_cache_hits);
             return Ok(((*cached).clone(), CacheStatus::Hit));
         }
@@ -488,10 +486,7 @@ impl Engine {
         };
 
         let value = render_available_bandwidth(&out);
-        self.results
-            .lock()
-            .expect("results lock")
-            .insert(result_key, value.clone());
+        lock_recover(&self.results).insert(result_key, value.clone());
         Ok((value, status))
     }
 
@@ -501,11 +496,14 @@ impl Engine {
         request: &Request,
         deadline: Option<Instant>,
     ) -> Result<(Value, CacheStatus), ServiceError> {
-        let reference = request.topology.as_ref().expect("parser enforces topology");
+        let reference = request
+            .topology
+            .as_ref()
+            .ok_or_else(|| ServiceError::bad_request("this query requires a `topology`"))?;
         let resolved = self.resolve(reference)?;
         let (new_path, flows) = self.materialize(&resolved, &request.background, &request.path)?;
         let result_key = Engine::result_key(request, &resolved);
-        if let Some(cached) = self.results.lock().expect("results lock").get(result_key) {
+        if let Some(cached) = lock_recover(&self.results).get(result_key) {
             Metrics::bump(&self.metrics.result_cache_hits);
             return Ok(((*cached).clone(), CacheStatus::Hit));
         }
@@ -544,17 +542,17 @@ impl Engine {
             Value::Number(max_set_size as f64),
         );
         let value = Value::Object(m);
-        self.results
-            .lock()
-            .expect("results lock")
-            .insert(result_key, value.clone());
+        lock_recover(&self.results).insert(result_key, value.clone());
         Ok((value, CacheStatus::Miss))
     }
 
     /// The §4 distributed estimators (Eq. 10–13/15) against the optimal
     /// background schedule.
     fn estimate(&self, request: &Request) -> Result<Value, ServiceError> {
-        let reference = request.topology.as_ref().expect("parser enforces topology");
+        let reference = request
+            .topology
+            .as_ref()
+            .ok_or_else(|| ServiceError::bad_request("this query requires a `topology`"))?;
         let resolved = self.resolve(reference)?;
         let (new_path, flows) = self.materialize(&resolved, &request.background, &request.path)?;
         let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;

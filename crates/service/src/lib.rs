@@ -52,6 +52,7 @@
 pub mod cache;
 pub mod coalesce;
 pub mod engine;
+mod lock;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;

@@ -1,0 +1,38 @@
+//! Poison-tolerant locking helpers.
+//!
+//! A panicking worker must not cascade into every later request erroring on
+//! a poisoned mutex. Every critical section in this crate leaves its data
+//! structurally consistent before any operation that can panic, so
+//! recovering the inner value is always sound here.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Waits on `cv`, recovering the guard if a holder panicked mid-wait.
+pub(crate) fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+    }
+}

@@ -5,6 +5,7 @@
 //! structured `overloaded` error so clients can back off. Consumers block on
 //! a condvar until work arrives or the queue is closed for shutdown.
 
+use crate::lock::{lock_recover, wait_recover};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -49,7 +50,7 @@ impl<T> BoundedQueue<T> {
     /// Returns the item back inside [`PushError`]-tagged `Err` when the
     /// queue is full or closed.
     pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_recover(&self.state);
         if state.closed {
             return Err((PushError::Closed, item));
         }
@@ -66,7 +67,7 @@ impl<T> BoundedQueue<T> {
     /// `None` once the queue is closed **and** drained — the worker
     /// shutdown signal.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_recover(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -74,14 +75,14 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.nonempty.wait(state).expect("queue wait");
+            state = wait_recover(&self.nonempty, state);
         }
     }
 
     /// Closes the queue: new pushes fail with [`PushError::Closed`], and
     /// consumers drain remaining items before seeing `None`.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_recover(&self.state);
         state.closed = true;
         drop(state);
         self.nonempty.notify_all();
@@ -89,7 +90,7 @@ impl<T> BoundedQueue<T> {
 
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        lock_recover(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty.

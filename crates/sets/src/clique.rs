@@ -88,12 +88,14 @@ fn bron_kerbosch(
         return;
     }
     // Pivot: vertex of P ∪ X with the most neighbours in P.
-    let pivot = p
+    let Some(pivot) = p
         .iter()
         .chain(x.iter())
         .copied()
         .max_by_key(|&u| p.iter().filter(|&&v| g.conflicts(u, v)).count())
-        .expect("P or X is non-empty here");
+    else {
+        return; // unreachable: the empty-P-and-X case exited above
+    };
     let candidates: Vec<usize> = p
         .iter()
         .copied()

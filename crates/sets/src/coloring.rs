@@ -54,9 +54,7 @@ pub fn greedy_coloring(graph: &ConflictGraph) -> Coloring {
                 taken[colors[u]] = true;
             }
         }
-        let c = (0..)
-            .find(|&c| c >= taken.len() || !taken[c])
-            .expect("unbounded");
+        let c = (0..taken.len()).find(|&c| !taken[c]).unwrap_or(taken.len());
         colors[v] = c;
         used = used.max(c + 1);
     }

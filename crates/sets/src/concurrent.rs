@@ -91,6 +91,7 @@ impl RatedSet {
         let mut couples = self.couples.clone();
         let i = couples
             .binary_search_by_key(&link, |&(l, _)| l)
+            // awb-audit: allow(no-panic-in-lib) — documented `# Panics` contract of with_rate
             .unwrap_or_else(|_| panic!("link {link} not in set"));
         couples[i].1 = rate;
         RatedSet { couples }

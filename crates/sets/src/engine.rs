@@ -269,7 +269,9 @@ fn descend_hybrid<M: LinkRateModel>(
     if !c.compatible_with(low, chosen) {
         return; // pairwise conflict ⇒ jointly inadmissible (downward closure)
     }
-    let lowest = *c.rates[index].last().expect("live links have rates");
+    let Some(&lowest) = c.rates[index].last() else {
+        return; // a rate-less link can join no set
+    };
     assignment.push((c.links[index], lowest));
     if c.pairwise_exact || model.admissible(assignment) {
         members.push(index);
@@ -479,7 +481,9 @@ fn descend_max_hybrid<M: LinkRateModel>(
     if !c.compatible_with(low, chosen) {
         return; // pairwise conflict ⇒ jointly inadmissible (downward closure)
     }
-    let lowest = *c.rates[index].last().expect("live links have rates");
+    let Some(&lowest) = c.rates[index].last() else {
+        return; // a rate-less link can join no set
+    };
     assignment.push((c.links[index], lowest));
     if c.pairwise_exact || model.admissible(assignment) {
         members.push(index);
@@ -519,7 +523,9 @@ fn emit_if_unextendable<M: LinkRateModel>(
         if c.pairwise_exact {
             return;
         }
-        let lowest = *c.rates[v].last().expect("live links have rates");
+        let Some(&lowest) = c.rates[v].last() else {
+            continue; // a rate-less link can never be inserted
+        };
         probe.push((c.links[v], lowest));
         let insertable = model.admissible(&probe);
         probe.pop();

@@ -17,7 +17,7 @@ use crate::concurrent::RatedSet;
 use crate::engine;
 use awb_net::{LinkId, LinkRateModel};
 use awb_phy::Rate;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which enumeration engine to run. Every variant produces **byte-identical
 /// results** — same sets, same order — so this is purely a performance
@@ -151,7 +151,7 @@ fn enumerate_generic<M: LinkRateModel>(
         // Branch on membership at the lowest rates, then lift to max rates.
         // The link→live-row index is built once per enumeration; the lift at
         // every emitted leaf uses it instead of scanning `live`.
-        let index_of: HashMap<LinkId, usize> =
+        let index_of: BTreeMap<LinkId, usize> =
             live.iter().enumerate().map(|(i, &(l, _))| (l, i)).collect();
         enumerate_membership(
             model,
@@ -205,7 +205,7 @@ fn enumerate_rated<M: LinkRateModel>(
 fn enumerate_membership<M: LinkRateModel>(
     model: &M,
     live: &[(LinkId, Vec<Rate>)],
-    index_of: &HashMap<LinkId, usize>,
+    index_of: &BTreeMap<LinkId, usize>,
     index: usize,
     assignment: &mut Vec<(LinkId, Rate)>,
     options: &EnumerationOptions,
@@ -225,7 +225,9 @@ fn enumerate_membership<M: LinkRateModel>(
         return;
     }
     let (link, rates) = &live[index];
-    let lowest = *rates.last().expect("live links have rates");
+    let Some(&lowest) = rates.last() else {
+        return; // a rate-less link can join no set
+    };
     assignment.push((*link, lowest));
     if model.admissible(assignment) {
         enumerate_membership(model, live, index_of, index + 1, assignment, options, out);
@@ -238,7 +240,7 @@ fn enumerate_membership<M: LinkRateModel>(
 fn lift_to_max_rates<M: LinkRateModel>(
     model: &M,
     live: &[(LinkId, Vec<Rate>)],
-    index_of: &HashMap<LinkId, usize>,
+    index_of: &BTreeMap<LinkId, usize>,
     assignment: &[(LinkId, Rate)],
 ) -> RatedSet {
     let mut lifted = assignment.to_vec();
@@ -283,12 +285,7 @@ fn pareto_filter(sets: Vec<RatedSet>) -> Vec<RatedSet> {
         score[j]
             .0
             .cmp(&score[i].0)
-            .then_with(|| {
-                score[j]
-                    .1
-                    .partial_cmp(&score[i].1)
-                    .expect("rates are finite")
-            })
+            .then_with(|| score[j].1.total_cmp(&score[i].1))
             .then_with(|| i.cmp(&j))
     });
     let mut keep = vec![false; sets.len()];
@@ -387,7 +384,7 @@ fn maximal_generic<M: LinkRateModel>(model: &M, universe: &[LinkId]) -> Vec<Rate
     );
     // Alone rates memoized once per universe: `is_maximal` consults them for
     // every (set, link) pair and the model recomputes them on every call.
-    let alone: HashMap<LinkId, Vec<Rate>> = universe
+    let alone: BTreeMap<LinkId, Vec<Rate>> = universe
         .iter()
         .map(|&l| (l, model.alone_rates(l)))
         .collect();
@@ -399,7 +396,7 @@ fn maximal_generic<M: LinkRateModel>(model: &M, universe: &[LinkId]) -> Vec<Rate
 fn is_maximal<M: LinkRateModel>(
     model: &M,
     universe: &[LinkId],
-    alone: &HashMap<LinkId, Vec<Rate>>,
+    alone: &BTreeMap<LinkId, Vec<Rate>>,
     set: &RatedSet,
 ) -> bool {
     // (a) No single rate can be raised.

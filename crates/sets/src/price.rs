@@ -122,12 +122,7 @@ impl MaxWeightOracle {
         let mut order: Vec<usize> = (0..self.c.num_links())
             .filter(|&i| potential[i] > 0.0)
             .collect();
-        order.sort_by(|&a, &b| {
-            potential[b]
-                .partial_cmp(&potential[a])
-                .expect("finite potentials")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| potential[b].total_cmp(&potential[a]).then(a.cmp(&b)));
         if order.is_empty() {
             return None;
         }
@@ -228,13 +223,11 @@ impl<M: LinkRateModel + ?Sized> Search<'_, M> {
                     .couples()
                     .iter()
                     .map(|&(l, r)| {
-                        let i = self
-                            .c
+                        self.c
                             .links
                             .iter()
                             .position(|&cl| cl == l)
-                            .expect("lifted member is a live link");
-                        self.weights[i] * r.as_mbps()
+                            .map_or(0.0, |i| self.weights[i] * r.as_mbps())
                     })
                     .sum();
                 self.offer(lifted.clone(), lifted_value);

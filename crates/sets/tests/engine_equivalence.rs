@@ -176,3 +176,30 @@ proptest! {
         check_all_engines(&m, &links)?;
     }
 }
+
+/// Determinism regression (audit rule R3): two fresh enumerations of the same
+/// model must return identical `Vec`s — same sets, same order. The pool feeds
+/// LP column order and serialized service output, so iteration-order
+/// nondeterminism here would leak all the way into response bytes.
+#[test]
+fn repeated_enumeration_is_order_identical() {
+    let mut t = Topology::new();
+    let nodes: Vec<_> = (0..5).map(|i| t.add_node((i * 40) as f64, 0.0)).collect();
+    let links: Vec<_> = (0..4)
+        .map(|i| t.add_link(nodes[i], nodes[i + 1]).unwrap())
+        .collect();
+    let mut b = DeclarativeModel::builder(t);
+    for &l in &links {
+        b = b.alone_rates(l, &[r(54.0), r(36.0)]);
+    }
+    for w in links.windows(2) {
+        b = b.conflict_all(w[0], w[1]);
+    }
+    let model = b.build();
+    let options = EnumerationOptions::default();
+    let first = enumerate_admissible(&model, &links, &options);
+    for _ in 0..5 {
+        let again = enumerate_admissible(&model, &links, &options);
+        assert_eq!(again, first, "enumeration order changed between runs");
+    }
+}

@@ -13,6 +13,7 @@
 //! bandwidth of a path with background traffic via the Eq. 6 linear program.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use awb_core as core;
 pub use awb_estimate as estimate;
