@@ -28,4 +28,7 @@ cargo run --release -q -p awb-bench --bin enum_bench -- --smoke
 echo "==> colgen_bench --smoke (solver equivalence + speedup floor)"
 cargo run --release -q -p awb-bench --bin colgen_bench -- --smoke
 
+echo "==> session_bench --smoke (warm-session bit-identity + speedup floor)"
+cargo run --release -q -p awb-bench --bin session_bench -- --smoke
+
 echo "CI green."

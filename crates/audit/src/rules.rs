@@ -78,9 +78,15 @@ impl Rule {
     pub fn applies_to(self, crate_name: &str) -> bool {
         match self {
             Rule::NoPanicInLib | Rule::NoFloatEq | Rule::StrictIndexing => {
-                matches!(crate_name, "lp" | "core" | "sets" | "service")
+                matches!(
+                    crate_name,
+                    "lp" | "core" | "sets" | "service" | "routing" | "estimate" | "sim"
+                )
             }
-            Rule::Determinism => matches!(crate_name, "core" | "sets" | "service"),
+            Rule::Determinism => matches!(
+                crate_name,
+                "core" | "sets" | "service" | "routing" | "estimate" | "sim"
+            ),
             Rule::LintHeader | Rule::InvalidWaiver => true,
         }
     }
@@ -89,11 +95,13 @@ impl Rule {
     pub fn describe(self) -> &'static str {
         match self {
             Rule::NoPanicInLib => {
-                "library code of lp/core/sets/service must not unwrap(), expect() or panic!"
+                "library code of lp/core/sets/service/routing/estimate/sim must not unwrap(), \
+                 expect() or panic!"
             }
             Rule::NoFloatEq => "floats must be compared through tolerances, never == / !=",
             Rule::Determinism => {
-                "core/sets/service must not use HashMap/HashSet (iteration order leaks)"
+                "core/sets/service/routing/estimate/sim must not use HashMap/HashSet \
+                 (iteration order leaks)"
             }
             Rule::LintHeader => {
                 "crate roots must carry #![forbid(unsafe_code)] (+ missing_docs on lib roots)"

@@ -1,0 +1,235 @@
+//! `session_bench` — cold per-call solves vs. a warm compiled-query
+//! [`Session`] on a routing-style sweep, written to `BENCH_session.json`
+//! at the repo root.
+//!
+//! The sweep reproduces the query mix of an admission/routing loop: a few
+//! candidate paths, each evaluated against many background demand levels.
+//! Every query on one candidate touches the same link universe, so the
+//! cold path re-enumerates the identical rate-coupled independent-set pool
+//! over and over while the warm path compiles each universe once and
+//! answers the rest from the session's instance cache.
+//!
+//! Results are asserted bit-for-bit identical between the two paths before
+//! any timing is trusted — the session API is a caching layer, not an
+//! approximation.
+//!
+//! `--smoke` runs the small sweep with a loose speedup floor and writes
+//! nothing — the CI hook keeping the two query paths equivalent.
+
+#![forbid(unsafe_code)]
+
+use awb_bench::topo::random_rate_coupled;
+use awb_core::{available_bandwidth, AvailableBandwidthOptions, Flow, Session};
+use awb_net::{DeclarativeModel, LinkId, Path};
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 7;
+/// Background demand multipliers swept per candidate path (all feasible:
+/// the 20-link seeded topology accepts ~1 Mbps per link).
+const LAMBDAS: [f64; 12] = [
+    0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6,
+];
+
+/// One sweep configuration: `spurs` candidate paths on an `links`-link
+/// topology, each with background flows on a `window`-link neighborhood
+/// (universe size = window + 1).
+struct SweepConfig {
+    links: usize,
+    spurs: usize,
+    window: usize,
+}
+
+/// The full-bench configuration gated by the acceptance bar: 16-link
+/// universes on a 20-link topology.
+const MAIN: SweepConfig = SweepConfig {
+    links: 20,
+    spurs: 4,
+    window: 15,
+};
+const SMALL: SweepConfig = SweepConfig {
+    links: 12,
+    spurs: 2,
+    window: 9,
+};
+
+#[derive(Serialize)]
+struct SweepResult {
+    links: usize,
+    universe_links: usize,
+    /// Distinct link universes in the sweep (= compiled instances).
+    universes: usize,
+    /// Total (path, background) queries.
+    queries: usize,
+    /// Session counters after one warm pass.
+    instances_compiled: usize,
+    warm_queries: usize,
+    /// Whole-sweep wall time, min over iterations.
+    cold_ns: u64,
+    warm_ns: u64,
+    /// cold_ns / warm_ns.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    command: &'static str,
+    seed: u64,
+    results: Vec<SweepResult>,
+}
+
+/// Builds the sweep's query list: for spur `s`, the new path is link `s`
+/// and the background loads the next `window` links at each λ.
+fn build_sweep(config: &SweepConfig) -> (DeclarativeModel, Vec<(Path, Vec<Flow>)>) {
+    let (model, links) = random_rate_coupled(config.links, SEED);
+    let t = model.topology();
+    let base = 20.0 / config.links as f64;
+    let mut queries = Vec::new();
+    for s in 0..config.spurs {
+        let new_path = Path::new(t, vec![links[s]]).expect("single link path");
+        let neighborhood: Vec<LinkId> = links[s + 1..s + 1 + config.window].to_vec();
+        for lambda in LAMBDAS {
+            let background: Vec<Flow> = neighborhood
+                .iter()
+                .map(|&l| {
+                    let p = Path::new(t, vec![l]).expect("single link path");
+                    Flow::new(p, lambda * base).expect("demand is valid")
+                })
+                .collect();
+            queries.push((new_path.clone(), background));
+        }
+    }
+    (model, queries)
+}
+
+fn run_cold(model: &DeclarativeModel, queries: &[(Path, Vec<Flow>)]) -> Vec<u64> {
+    let options = AvailableBandwidthOptions::default();
+    queries
+        .iter()
+        .map(|(path, background)| {
+            available_bandwidth(model, background, path, &options)
+                .expect("sweep backgrounds are feasible")
+                .bandwidth_mbps()
+                .to_bits()
+        })
+        .collect()
+}
+
+fn run_warm(model: &DeclarativeModel, queries: &[(Path, Vec<Flow>)]) -> (Vec<u64>, usize, usize) {
+    let mut session = Session::new(model, AvailableBandwidthOptions::default());
+    let bits = queries
+        .iter()
+        .map(|(path, background)| {
+            session
+                .query(background, path)
+                .expect("sweep backgrounds are feasible")
+                .bandwidth_mbps()
+                .to_bits()
+        })
+        .collect();
+    let stats = session.stats();
+    (bits, stats.compiles, stats.warm_queries)
+}
+
+/// Wall time per sweep: warm up once, then take the minimum over enough
+/// iterations to fill ~60 ms (at least 3).
+fn time_ns(mut f: impl FnMut()) -> u64 {
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_nanos().max(1);
+    let iters = (60_000_000 / once).clamp(3, 1_000) as usize;
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    u64::try_from(best).unwrap_or(u64::MAX)
+}
+
+fn run_sweep(config: &SweepConfig) -> SweepResult {
+    let (model, queries) = build_sweep(config);
+    let cold_bits = run_cold(&model, &queries);
+    let (warm_bits, compiles, warm_queries) = run_warm(&model, &queries);
+    assert_eq!(
+        cold_bits, warm_bits,
+        "{} links: warm session answers diverge from cold solves",
+        config.links
+    );
+    assert_eq!(compiles, config.spurs, "one instance per distinct universe");
+    let cold_ns = time_ns(|| {
+        run_cold(&model, &queries);
+    });
+    let warm_ns = time_ns(|| {
+        run_warm(&model, &queries);
+    });
+    SweepResult {
+        links: config.links,
+        universe_links: config.window + 1,
+        universes: config.spurs,
+        queries: queries.len(),
+        instances_compiled: compiles,
+        warm_queries,
+        cold_ns,
+        warm_ns,
+        speedup: cold_ns as f64 / warm_ns as f64,
+    }
+}
+
+fn print_result(r: &SweepResult) {
+    println!(
+        "{:>2}-link universes: {:>2} queries over {} universes; \
+         cold {:>12} ns, warm {:>11} ns ({:.1}x, {} compiles + {} warm hits)",
+        r.universe_links,
+        r.queries,
+        r.universes,
+        r.cold_ns,
+        r.warm_ns,
+        r.speedup,
+        r.instances_compiled,
+        r.warm_queries,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        let result = run_sweep(&SMALL);
+        assert!(
+            result.speedup >= 2.0,
+            "warm session is not ahead of cold solves: {:.2}x",
+            result.speedup
+        );
+        println!(
+            "session_bench smoke ok: {}-link universes, bit-identical answers, \
+             warm {:.1}x cold",
+            result.universe_links, result.speedup
+        );
+        return;
+    }
+
+    let results = vec![run_sweep(&SMALL), run_sweep(&MAIN)];
+    for r in &results {
+        print_result(r);
+    }
+    // The ISSUE's acceptance bar: ≥ 5x warm-query speedup on 16-link
+    // universes.
+    let main = results.last().expect("MAIN ran");
+    assert!(
+        main.speedup >= 5.0,
+        "warm-session speedup on {}-link universes is only {:.1}x",
+        main.universe_links,
+        main.speedup
+    );
+    let report = Report {
+        bench: "session-warm-vs-cold",
+        command: "cargo run --release -p awb-bench --bin session_bench",
+        seed: SEED,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_session.json", json + "\n").expect("write BENCH_session.json");
+    println!("wrote BENCH_session.json");
+}

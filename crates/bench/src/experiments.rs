@@ -2,7 +2,9 @@
 
 use crate::rows::{EstimatorError, Fig2Path, Fig3Row, Fig4Row, Scenario1Row, Scenario2Report};
 use awb_core::bounds::{clique_time_share, clique_upper_bound, UpperBoundOptions};
-use awb_core::{available_bandwidth, feasibility, AvailableBandwidthOptions, Flow, Schedule};
+use awb_core::{
+    available_bandwidth, feasibility, AvailableBandwidthOptions, Flow, Schedule, Session,
+};
 use awb_estimate::{Estimator, Hop, IdleMap};
 use awb_net::{NodeId, SinrModel};
 use awb_phy::Rate;
@@ -26,17 +28,16 @@ pub fn scenario1_sweep(lambdas: &[f64], sim_slots: u64) -> Vec<Scenario1Row> {
     let s = ScenarioOne::new();
     let m = s.model();
     let r = s.rate().as_mbps();
+    // Every λ queries the same link universe: one session compiles the
+    // instance once and answers the whole sweep from it.
+    let mut session = Session::new(m, AvailableBandwidthOptions::default());
     lambdas
         .iter()
         .map(|&lambda| {
-            let optimal = available_bandwidth(
-                m,
-                &s.background(lambda),
-                &s.new_path(),
-                &AvailableBandwidthOptions::default(),
-            )
-            .expect("scenario I backgrounds are feasible for λ ≤ 0.5")
-            .bandwidth_mbps();
+            let optimal = session
+                .query(&s.background(lambda), &s.new_path())
+                .expect("scenario I backgrounds are feasible for λ ≤ 0.5")
+                .bandwidth_mbps();
             let idle = IdleMap::from_schedule(m, &s.naive_background_schedule(lambda));
             let hops = Hop::for_path(m, &idle, &s.new_path()).expect("L3 is live");
             let idle_estimate = Estimator::BottleneckNode.estimate(m, &hops);
@@ -207,6 +208,9 @@ pub fn fig4() -> (Vec<Fig4Row>, Vec<EstimatorError>) {
     let (model, pairs) = paper_random_instance();
     let mut admitted: Vec<Flow> = Vec::new();
     let mut rows = Vec::new();
+    // Ground-truth queries share one session across the admission loop, so
+    // flows touching previously seen link universes skip recompilation.
+    let mut session = Session::new(&model, AvailableBandwidthOptions::default());
     for (index, &(src, dst)) in pairs.iter().enumerate() {
         let schedule = if admitted.is_empty() {
             Schedule::empty()
@@ -220,14 +224,10 @@ pub fn fig4() -> (Vec<Fig4Row>, Vec<EstimatorError>) {
         else {
             break;
         };
-        let truth = available_bandwidth(
-            &model,
-            &admitted,
-            &path,
-            &AvailableBandwidthOptions::default(),
-        )
-        .expect("admitted background is feasible")
-        .bandwidth_mbps();
+        let truth = session
+            .query(&admitted, &path)
+            .expect("admitted background is feasible")
+            .bandwidth_mbps();
         let hops = Hop::for_path(&model, &idle, &path).expect("routed paths are live");
         let est = |e: Estimator| e.estimate(&model, &hops);
         rows.push(Fig4Row {

@@ -6,7 +6,7 @@ use crate::flow::Flow;
 use crate::schedule::Schedule;
 use awb_lp::{Direction, Problem, Relation};
 use awb_net::{LinkId, LinkRateModel, Path};
-use awb_sets::{enumerate_admissible, EnumerationOptions, RatedSet};
+use awb_sets::{EnumerationOptions, RatedSet};
 
 /// Which LP solve strategy [`available_bandwidth`] uses. Both reach the
 /// same optimum (certified by LP duality); they differ in how the
@@ -174,20 +174,57 @@ impl AvailableBandwidth {
 /// over. Public so callers that pre-enumerate set pools (e.g. a caching
 /// service feeding [`available_bandwidth_with_sets`]) reproduce it verbatim.
 pub fn link_universe(background: &[Flow], new_path: &Path) -> Vec<LinkId> {
-    let mut universe: Vec<LinkId> = background
-        .iter()
-        .flat_map(|f| f.path().links().iter().copied())
-        .chain(new_path.links().iter().copied())
-        .collect();
-    universe.sort_unstable();
-    universe.dedup();
+    let mut universe = Vec::new();
+    link_universe_into(background, new_path, &mut universe);
     universe
+}
+
+/// [`link_universe`] into a caller-owned buffer — the allocation-free form
+/// the session query path uses.
+pub(crate) fn link_universe_into(background: &[Flow], new_path: &Path, out: &mut Vec<LinkId>) {
+    out.clear();
+    out.extend(
+        background
+            .iter()
+            .flat_map(|f| f.path().links().iter().copied())
+            .chain(new_path.links().iter().copied()),
+    );
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Per-universe-link demand from the background flows, into a caller-owned
+/// buffer (shared by the enumeration, decomposition, and colgen solve
+/// paths).
+pub(crate) fn demand_into(
+    universe: &[LinkId],
+    background: &[Flow],
+    out: &mut Vec<f64>,
+) -> Result<(), CoreError> {
+    out.clear();
+    out.resize(universe.len(), 0.0);
+    for flow in background {
+        for link in flow.path().links() {
+            let idx = universe
+                .binary_search(link)
+                .map_err(|_| CoreError::Invariant("universe contains all path links"))?;
+            out[idx] += flow.demand_mbps();
+        }
+    }
+    Ok(())
 }
 
 /// Computes the available bandwidth of `new_path` given `background` flows
 /// (§2.5, Eq. 6): enumerates the admissible rate-coupled independent sets of
 /// the involved links and maximizes the new flow's throughput over their
 /// time shares, subject to every background demand being delivered.
+///
+/// This is the one-shot form of [`crate::Session`]: it compiles a
+/// [`crate::CompiledInstance`] for the query's link universe, answers the
+/// single query, and discards the instance. Callers issuing many queries
+/// against the same model should hold a [`crate::Session`] instead and let
+/// it reuse the compiled instance across queries — the results are
+/// bit-for-bit identical either way.
 ///
 /// # Errors
 ///
@@ -200,55 +237,21 @@ pub fn available_bandwidth<M: LinkRateModel>(
     new_path: &Path,
     options: &AvailableBandwidthOptions,
 ) -> Result<AvailableBandwidth, CoreError> {
-    if options.solver == SolverKind::ColumnGeneration {
-        return crate::colgen::available_bandwidth_colgen(
-            model,
-            background,
-            new_path,
-            &[],
-            options,
-        )
-        .map(|outcome| outcome.result);
-    }
-    let universe = link_universe(background, new_path);
-    if universe.is_empty() {
-        return Err(CoreError::EmptyUniverse);
-    }
-    if options.decompose {
-        let components = crate::decomposition::potential_conflict_components(model, &universe);
-        if components.len() > 1 {
-            return solve_decomposed(model, &components, &universe, background, new_path, options);
-        }
-    }
-    let sets = enumerate_admissible(model, &universe, &options.enumeration);
-    solve_over_sets(&sets, &universe, background, new_path, options.dust_epsilon)
+    crate::session::Session::new(model, *options).query(background, new_path)
 }
 
-/// Eq. 6 over independent components: one joint LP with a unit time budget
-/// *per component* (parallel components schedule independently), whose
-/// witness schedules are superimposed afterwards.
-fn solve_decomposed<M: LinkRateModel>(
-    model: &M,
+/// Eq. 6 over independent components and their pre-enumerated pools: one
+/// joint LP with a unit time budget *per component* (parallel components
+/// schedule independently), whose witness schedules are superimposed
+/// afterwards.
+pub(crate) fn solve_decomposed_with_pools(
+    pools: &[Vec<RatedSet>],
     components: &[Vec<LinkId>],
     universe: &[LinkId],
-    background: &[Flow],
+    demand: &[f64],
     new_path: &Path,
-    options: &AvailableBandwidthOptions,
+    dust_epsilon: f64,
 ) -> Result<AvailableBandwidth, CoreError> {
-    let mut demand = vec![0.0f64; universe.len()];
-    for flow in background {
-        for link in flow.path().links() {
-            let idx = universe
-                .binary_search(link)
-                .map_err(|_| CoreError::Invariant("universe contains all path links"))?;
-            demand[idx] += flow.demand_mbps();
-        }
-    }
-    let pools: Vec<Vec<RatedSet>> = components
-        .iter()
-        .map(|c| enumerate_admissible(model, c, &options.enumeration))
-        .collect();
-
     let mut lp = Problem::new(Direction::Maximize);
     let f = lp.add_var("f", 1.0);
     let lambdas: Vec<Vec<_>> = pools
@@ -297,7 +300,7 @@ fn solve_decomposed<M: LinkRateModel>(
             .iter()
             .zip(&lambdas[ci])
             .map(|(set, &var)| (set.clone(), solution.value(var)))
-            .filter(|(_, share)| *share > options.dust_epsilon)
+            .filter(|(_, share)| *share > dust_epsilon)
             .collect();
         let total: f64 = entries.iter().map(|(_, s)| s).sum();
         let entries = if total > 1.0 {
@@ -370,27 +373,21 @@ pub fn available_bandwidth_with_sets(
     if universe.is_empty() {
         return Err(CoreError::EmptyUniverse);
     }
-    solve_over_sets(sets, &universe, background, new_path, options.dust_epsilon)
+    let mut demand = Vec::new();
+    demand_into(&universe, background, &mut demand)?;
+    solve_over_sets(sets, &universe, &demand, new_path, options.dust_epsilon)
 }
 
-fn solve_over_sets(
+/// The single-component Eq. 6 LP over a prepared pool and demand vector —
+/// the common kernel of the enumeration solve path and the warm session
+/// query path.
+pub(crate) fn solve_over_sets(
     sets: &[RatedSet],
     universe: &[LinkId],
-    background: &[Flow],
+    demand: &[f64],
     new_path: &Path,
     dust_epsilon: f64,
 ) -> Result<AvailableBandwidth, CoreError> {
-    // Demand per universe link from background flows.
-    let mut demand = vec![0.0f64; universe.len()];
-    for flow in background {
-        for link in flow.path().links() {
-            let idx = universe
-                .binary_search(link)
-                .map_err(|_| CoreError::Invariant("universe contains all path links"))?;
-            demand[idx] += flow.demand_mbps();
-        }
-    }
-
     let mut lp = Problem::new(Direction::Maximize);
     let f = lp.add_var("f", 1.0);
     let lambdas: Vec<_> = (0..sets.len())
@@ -455,6 +452,7 @@ mod tests {
     use super::*;
     use awb_net::{DeclarativeModel, Topology};
     use awb_phy::Rate;
+    use awb_sets::enumerate_admissible;
 
     fn r(m: f64) -> Rate {
         Rate::from_mbps(m)

@@ -30,7 +30,7 @@
 //! duplicate proposals are treated as convergence), so repeated runs produce
 //! identical columns, bases, and duals.
 
-use crate::available::{link_universe, AvailableBandwidth, AvailableBandwidthOptions};
+use crate::available::{demand_into, link_universe, AvailableBandwidth, AvailableBandwidthOptions};
 use crate::error::CoreError;
 use crate::flow::Flow;
 use crate::schedule::Schedule;
@@ -99,26 +99,9 @@ pub fn available_bandwidth_colgen<M: LinkRateModel>(
     if universe.is_empty() {
         return Err(CoreError::EmptyUniverse);
     }
-    let components: Vec<Vec<LinkId>> = if options.decompose {
-        crate::decomposition::potential_conflict_components(model, &universe)
-    } else {
-        vec![universe.clone()]
-    };
-    let oracles: Vec<MaxWeightOracle> = components
-        .iter()
-        .map(|c| MaxWeightOracle::new(model, c))
-        .collect();
-    let oracle_refs: Vec<&MaxWeightOracle> = oracles.iter().collect();
-    solve_components(
-        model,
-        &universe,
-        &components,
-        &oracle_refs,
-        background,
-        new_path,
-        options.dust_epsilon,
-        seed,
-    )
+    let instance =
+        crate::session::CompiledInstance::compile_colgen_seeded(model, &universe, options, seed)?;
+    instance.query_colgen(model, background, new_path)
 }
 
 /// Like [`available_bandwidth_colgen`], but over a caller-supplied oracle
@@ -151,15 +134,18 @@ pub fn available_bandwidth_colgen_with_oracle<M: LinkRateModel>(
         "oracle was compiled for a different universe"
     );
     let components = vec![universe.clone()];
-    solve_components(
+    let pools = vec![seed_pool(model, &components[0], oracle, seed)];
+    let mut demand = Vec::new();
+    demand_into(&universe, background, &mut demand)?;
+    solve_with_pools(
         model,
         &universe,
         &components,
         &[oracle],
-        background,
+        pools,
+        &demand,
         new_path,
         options.dust_epsilon,
-        seed,
     )
 }
 
@@ -186,24 +172,10 @@ fn assert_finite_objective(objective: f64) {
     );
 }
 
-/// Demand per universe link from the background flows.
-fn demand_vector(universe: &[LinkId], background: &[Flow]) -> Result<Vec<f64>, CoreError> {
-    let mut demand = vec![0.0f64; universe.len()];
-    for flow in background {
-        for link in flow.path().links() {
-            let idx = universe
-                .binary_search(link)
-                .map_err(|_| CoreError::Invariant("universe contains all path links"))?;
-            demand[idx] += flow.demand_mbps();
-        }
-    }
-    Ok(demand)
-}
-
 /// Seeds one component's pool: caller-provided seed sets that live entirely
 /// inside the component, every live link's max-rate singleton, and a greedy
 /// cover of the live links by oracle calls.
-fn seed_pool<M: LinkRateModel>(
+pub(crate) fn seed_pool<M: LinkRateModel>(
     model: &M,
     component: &[LinkId],
     oracle: &MaxWeightOracle,
@@ -407,33 +379,29 @@ fn build_master(
     ))
 }
 
-/// The full two-stage column-generation solve over prepared components.
+/// The full two-stage column-generation solve over prepared components and
+/// their seed pools. Stage A/B grow `pools` in place; the seed pools are the
+/// query-independent part a [`crate::CompiledInstance`] precomputes, the
+/// demand vector and everything after it are per-query.
 #[allow(clippy::too_many_arguments)]
-fn solve_components<M: LinkRateModel>(
+pub(crate) fn solve_with_pools<M: LinkRateModel>(
     model: &M,
     universe: &[LinkId],
     components: &[Vec<LinkId>],
     oracles: &[&MaxWeightOracle],
-    background: &[Flow],
+    mut pools: Vec<Vec<RatedSet>>,
+    demand: &[f64],
     new_path: &Path,
     dust_epsilon: f64,
-    seed: &[RatedSet],
 ) -> Result<ColgenOutcome, CoreError> {
-    let demand = demand_vector(universe, background)?;
     let mut stats = ColgenStats::default();
-
-    let mut pools: Vec<Vec<RatedSet>> = components
-        .iter()
-        .zip(oracles)
-        .map(|(component, oracle)| seed_pool(model, component, oracle, seed))
-        .collect();
 
     // Stage A: per-component feasibility, growing the pools.
     for (ci, component) in components.iter().enumerate() {
         stage_a(
             model,
             universe,
-            &demand,
+            demand,
             component,
             oracles[ci],
             &mut pools[ci],
@@ -444,7 +412,7 @@ fn solve_components<M: LinkRateModel>(
     // Stage B: joint throughput master with per-component pricing. A master
     // rebuild (cold start) only happens in the rare case the warm append is
     // refused because phase 1 dropped a redundant row.
-    let (mut master, mut layout) = build_master(&pools, components, universe, &demand, new_path)?;
+    let (mut master, mut layout) = build_master(&pools, components, universe, demand, new_path)?;
     for _round in 0..MAX_ROUNDS {
         let sol = master.solution();
         let mut added = false;
@@ -501,7 +469,7 @@ fn solve_components<M: LinkRateModel>(
         stats.pricing_rounds += 1;
         if rebuild {
             stats.pivots += master.pivots();
-            let (m, l) = build_master(&pools, components, universe, &demand, new_path)?;
+            let (m, l) = build_master(&pools, components, universe, demand, new_path)?;
             master = m;
             layout = l;
         } else {

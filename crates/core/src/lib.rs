@@ -13,6 +13,10 @@
 //!   prices independent sets in on demand via a branch-and-bound oracle
 //!   instead of enumerating them all (select with
 //!   [`SolverKind::ColumnGeneration`]).
+//! * [`Session`] / [`CompiledInstance`] — the compile-once / query-many
+//!   split: per-universe compiled state (enumerated set pools, pricing
+//!   oracles, seed columns) cached across many Eq. 6 queries, bit-for-bit
+//!   identical to the one-shot functions.
 //! * [`bounds`] — the Eq. 7 fixed-rate clique bounds, the corrected Eq. 9
 //!   upper bound (the clique constraint itself being *invalid* under link
 //!   adaptation is demonstrated in this workspace's Scenario II tests), and
@@ -58,6 +62,7 @@ mod error;
 pub mod feasibility;
 mod flow;
 mod schedule;
+mod session;
 
 pub use available::{
     available_bandwidth, available_bandwidth_with_sets, link_universe, path_capacity,
@@ -69,3 +74,4 @@ pub use colgen::{
 pub use error::CoreError;
 pub use flow::Flow;
 pub use schedule::Schedule;
+pub use session::{CompiledInstance, Session, SessionStats};

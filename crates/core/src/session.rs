@@ -1,0 +1,551 @@
+//! Compiled query sessions: the two-phase split between **topology
+//! compilation** and **per-query solving** for the Eq. 6 LP.
+//!
+//! Every Eq. 6 query works over a *link universe* (the union of the
+//! background paths' links and the new path's links). For a fixed model and
+//! universe, a large part of the solve is query-independent: the conflict
+//! structure, the enumerated independent-set pool (under
+//! [`SolverKind::FullEnumeration`]), the compiled-bitmask pricing oracle and
+//! its deterministic seed pool (under [`SolverKind::ColumnGeneration`]), and
+//! the potential-conflict component split. [`CompiledInstance`] captures
+//! exactly that state, built once; [`Session`] caches instances per universe
+//! and answers many `(background, path)` queries against them, reusing
+//! scratch buffers for the universe and demand vectors so the warm query
+//! path performs no recompilation.
+//!
+//! # Determinism
+//!
+//! A [`CompiledInstance`] is a pure function of `(model, universe, options)`
+//! — it carries **no** state that evolves across queries. In particular the
+//! column-generation seed pool is the deterministic
+//! singleton-plus-greedy-cover seed, *not* the converged pool of earlier
+//! queries: carrying converged columns forward would make low-order float
+//! bits depend on query order. Consequently every session answer is
+//! bit-for-bit identical to a fresh one-shot solve of the same query, the
+//! free functions [`crate::available_bandwidth`] and
+//! [`crate::available_bandwidth_colgen`] are thin wrappers over a one-shot
+//! session, and a warm session replaying queries in any order reproduces the
+//! cold answers exactly (see `tests/proptest_session.rs`).
+
+use std::collections::BTreeMap;
+
+use crate::available::{
+    demand_into, link_universe_into, solve_decomposed_with_pools, solve_over_sets,
+    AvailableBandwidth, AvailableBandwidthOptions, SolverKind,
+};
+use crate::colgen::{seed_pool, solve_with_pools, ColgenOutcome};
+use crate::error::CoreError;
+use crate::flow::Flow;
+use awb_net::{LinkId, LinkRateModel, Path};
+use awb_sets::{enumerate_admissible, MaxWeightOracle, RatedSet};
+
+/// The query-independent, precompiled state for Eq. 6 solves over one
+/// `(model, universe, options)` triple.
+///
+/// Under [`SolverKind::FullEnumeration`] this is the per-component
+/// exhaustive independent-set pools; under
+/// [`SolverKind::ColumnGeneration`] it is the per-component compiled
+/// max-weight pricing oracles plus their deterministic seed pools. Both
+/// honor `options.decompose` by splitting the universe into
+/// potential-conflict components first.
+///
+/// Instances are immutable once compiled: [`CompiledInstance::query`] takes
+/// `&self`, so a single instance can serve concurrent queries (the service
+/// layer shares instances behind `Arc`).
+#[derive(Debug, Clone)]
+pub struct CompiledInstance {
+    universe: Vec<LinkId>,
+    components: Vec<Vec<LinkId>>,
+    dust_epsilon: f64,
+    kind: InstanceKind,
+}
+
+#[derive(Debug, Clone)]
+enum InstanceKind {
+    /// Exhaustively enumerated admissible-set pool per component.
+    Enumerated { pools: Vec<Vec<RatedSet>> },
+    /// Pricing oracle plus deterministic seed pool per component.
+    Colgen {
+        oracles: Vec<MaxWeightOracle>,
+        seeds: Vec<Vec<RatedSet>>,
+    },
+}
+
+impl CompiledInstance {
+    /// Compiles the query-independent state for `universe` under `model`,
+    /// honoring `options.solver`, `options.decompose`, and
+    /// `options.enumeration`. The universe is sorted and deduplicated; it
+    /// must cover every link later queries mention.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyUniverse`] when `universe` is empty.
+    pub fn compile<M: LinkRateModel>(
+        model: &M,
+        universe: &[LinkId],
+        options: &AvailableBandwidthOptions,
+    ) -> Result<CompiledInstance, CoreError> {
+        match options.solver {
+            SolverKind::FullEnumeration => Self::compile_enumerated(model, universe, options),
+            SolverKind::ColumnGeneration => {
+                Self::compile_colgen_seeded(model, universe, options, &[])
+            }
+        }
+    }
+
+    fn normalized_universe(universe: &[LinkId]) -> Result<Vec<LinkId>, CoreError> {
+        let mut universe = universe.to_vec();
+        universe.sort_unstable();
+        universe.dedup();
+        if universe.is_empty() {
+            return Err(CoreError::EmptyUniverse);
+        }
+        Ok(universe)
+    }
+
+    fn split_components<M: LinkRateModel>(
+        model: &M,
+        universe: &[LinkId],
+        options: &AvailableBandwidthOptions,
+    ) -> Vec<Vec<LinkId>> {
+        if options.decompose {
+            crate::decomposition::potential_conflict_components(model, universe)
+        } else {
+            vec![universe.to_vec()]
+        }
+    }
+
+    fn compile_enumerated<M: LinkRateModel>(
+        model: &M,
+        universe: &[LinkId],
+        options: &AvailableBandwidthOptions,
+    ) -> Result<CompiledInstance, CoreError> {
+        let universe = Self::normalized_universe(universe)?;
+        let components = Self::split_components(model, &universe, options);
+        let pools: Vec<Vec<RatedSet>> = components
+            .iter()
+            .map(|c| enumerate_admissible(model, c, &options.enumeration))
+            .collect();
+        Ok(CompiledInstance {
+            universe,
+            components,
+            dust_epsilon: options.dust_epsilon,
+            kind: InstanceKind::Enumerated { pools },
+        })
+    }
+
+    /// Compiles a column-generation instance whose seed pools additionally
+    /// include the caller-supplied `seed` columns — the compile-side of
+    /// [`crate::available_bandwidth_colgen`]'s `seed` parameter. Used with
+    /// `seed = &[]` this is exactly [`CompiledInstance::compile`] for
+    /// [`SolverKind::ColumnGeneration`].
+    pub(crate) fn compile_colgen_seeded<M: LinkRateModel>(
+        model: &M,
+        universe: &[LinkId],
+        options: &AvailableBandwidthOptions,
+        seed: &[RatedSet],
+    ) -> Result<CompiledInstance, CoreError> {
+        let universe = Self::normalized_universe(universe)?;
+        let components = Self::split_components(model, &universe, options);
+        let oracles: Vec<MaxWeightOracle> = components
+            .iter()
+            .map(|c| MaxWeightOracle::new(model, c))
+            .collect();
+        let seeds: Vec<Vec<RatedSet>> = components
+            .iter()
+            .zip(&oracles)
+            .map(|(component, oracle)| seed_pool(model, component, oracle, seed))
+            .collect();
+        Ok(CompiledInstance {
+            universe,
+            components,
+            dust_epsilon: options.dust_epsilon,
+            kind: InstanceKind::Colgen { oracles, seeds },
+        })
+    }
+
+    /// The sorted, deduplicated link universe this instance was compiled
+    /// for.
+    pub fn universe(&self) -> &[LinkId] {
+        &self.universe
+    }
+
+    /// Number of precompiled columns: the full pool size under enumeration,
+    /// the seed-pool size under column generation.
+    pub fn num_columns(&self) -> usize {
+        match &self.kind {
+            InstanceKind::Enumerated { pools } => pools.iter().map(Vec::len).sum(),
+            InstanceKind::Colgen { seeds, .. } => seeds.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Answers one Eq. 6 query against the compiled state. Every link of
+    /// `background` and `new_path` must lie inside [`Self::universe`];
+    /// results are bit-for-bit identical to
+    /// [`crate::available_bandwidth`] called with the options this instance
+    /// was compiled under, provided the universe matches
+    /// [`crate::link_universe`] of the query.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::available_bandwidth`], plus
+    /// [`CoreError::Invariant`] when a query link lies outside the compiled
+    /// universe.
+    pub fn query<M: LinkRateModel>(
+        &self,
+        model: &M,
+        background: &[Flow],
+        new_path: &Path,
+    ) -> Result<AvailableBandwidth, CoreError> {
+        let mut demand = Vec::new();
+        self.query_with_scratch(model, background, new_path, &mut demand)
+    }
+
+    /// [`Self::query`] with a caller-owned demand buffer — the form
+    /// [`Session`] uses so warm queries allocate nothing for the demand
+    /// vector.
+    pub(crate) fn query_with_scratch<M: LinkRateModel>(
+        &self,
+        model: &M,
+        background: &[Flow],
+        new_path: &Path,
+        demand: &mut Vec<f64>,
+    ) -> Result<AvailableBandwidth, CoreError> {
+        self.check_covers(new_path)?;
+        demand_into(&self.universe, background, demand)?;
+        match &self.kind {
+            InstanceKind::Enumerated { pools } => {
+                if self.components.len() > 1 {
+                    solve_decomposed_with_pools(
+                        pools,
+                        &self.components,
+                        &self.universe,
+                        demand,
+                        new_path,
+                        self.dust_epsilon,
+                    )
+                } else {
+                    let pool = pools
+                        .first()
+                        .ok_or(CoreError::Invariant("compiled instance has a component"))?;
+                    solve_over_sets(pool, &self.universe, demand, new_path, self.dust_epsilon)
+                }
+            }
+            InstanceKind::Colgen { oracles, seeds } => {
+                let oracle_refs: Vec<&MaxWeightOracle> = oracles.iter().collect();
+                solve_with_pools(
+                    model,
+                    &self.universe,
+                    &self.components,
+                    &oracle_refs,
+                    seeds.clone(),
+                    demand,
+                    new_path,
+                    self.dust_epsilon,
+                )
+                .map(|outcome| outcome.result)
+            }
+        }
+    }
+
+    /// Like [`Self::query`], but returns the full [`ColgenOutcome`]
+    /// (final pool and pricing counters). Only valid on instances compiled
+    /// with [`SolverKind::ColumnGeneration`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::query`]; [`CoreError::Invariant`] on an enumeration
+    /// instance.
+    pub fn query_colgen<M: LinkRateModel>(
+        &self,
+        model: &M,
+        background: &[Flow],
+        new_path: &Path,
+    ) -> Result<ColgenOutcome, CoreError> {
+        self.check_covers(new_path)?;
+        let InstanceKind::Colgen { oracles, seeds } = &self.kind else {
+            return Err(CoreError::Invariant(
+                "colgen query requires a column-generation instance",
+            ));
+        };
+        let mut demand = Vec::new();
+        demand_into(&self.universe, background, &mut demand)?;
+        let oracle_refs: Vec<&MaxWeightOracle> = oracles.iter().collect();
+        solve_with_pools(
+            model,
+            &self.universe,
+            &self.components,
+            &oracle_refs,
+            seeds.clone(),
+            &demand,
+            new_path,
+            self.dust_epsilon,
+        )
+    }
+
+    /// Background links are validated by the demand vector's binary search;
+    /// path links need an explicit check because a missing path link would
+    /// otherwise silently drop its delivery constraint.
+    fn check_covers(&self, new_path: &Path) -> Result<(), CoreError> {
+        for link in new_path.links() {
+            self.universe
+                .binary_search(link)
+                .map_err(|_| CoreError::Invariant("compiled universe covers the query path"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Counters describing a [`Session`]'s cache behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries that had to compile a new [`CompiledInstance`] (cold).
+    pub compiles: usize,
+    /// Queries answered by an already-compiled instance (warm).
+    pub warm_queries: usize,
+}
+
+/// A query session over one model: caches a [`CompiledInstance`] per link
+/// universe and answers `(background, path)` queries through them.
+///
+/// Each query derives its universe exactly like
+/// [`crate::available_bandwidth`] does (via [`crate::link_universe`]), so
+/// answers are bit-for-bit identical to one-shot solves; what the session
+/// saves is the per-universe compilation — set enumeration, oracle bitmask
+/// compilation, seed-pool construction — plus the universe/demand buffer
+/// allocations, which are scratch space owned by the session and reused
+/// across queries.
+///
+/// Typical use: routing admission evaluates many candidate paths against an
+/// evolving background through one session; repeated universes (the common
+/// case when candidates share links) hit the cache.
+#[derive(Debug)]
+pub struct Session<'m, M: LinkRateModel> {
+    model: &'m M,
+    options: AvailableBandwidthOptions,
+    instances: BTreeMap<Vec<LinkId>, CompiledInstance>,
+    universe_scratch: Vec<LinkId>,
+    demand_scratch: Vec<f64>,
+    stats: SessionStats,
+}
+
+impl<'m, M: LinkRateModel> Session<'m, M> {
+    /// Creates an empty session over `model`; instances compile lazily on
+    /// first use of each universe.
+    pub fn new(model: &'m M, options: AvailableBandwidthOptions) -> Session<'m, M> {
+        Session {
+            model,
+            options,
+            instances: BTreeMap::new(),
+            universe_scratch: Vec::new(),
+            demand_scratch: Vec::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The model this session solves against.
+    pub fn model(&self) -> &'m M {
+        self.model
+    }
+
+    /// The options every instance of this session compiles under.
+    pub fn options(&self) -> &AvailableBandwidthOptions {
+        &self.options
+    }
+
+    /// Cache counters so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Number of distinct universes compiled so far.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Answers one Eq. 6 query, compiling and caching the universe's
+    /// instance on first sight. Bit-for-bit identical to
+    /// [`crate::available_bandwidth`] with the session's options.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::available_bandwidth`].
+    pub fn query(
+        &mut self,
+        background: &[Flow],
+        new_path: &Path,
+    ) -> Result<AvailableBandwidth, CoreError> {
+        link_universe_into(background, new_path, &mut self.universe_scratch);
+        if self.universe_scratch.is_empty() {
+            return Err(CoreError::EmptyUniverse);
+        }
+        let instance = match self.instances.get(self.universe_scratch.as_slice()) {
+            Some(instance) => {
+                self.stats.warm_queries += 1;
+                instance
+            }
+            None => {
+                let compiled =
+                    CompiledInstance::compile(self.model, &self.universe_scratch, &self.options)?;
+                self.stats.compiles += 1;
+                self.instances
+                    .entry(self.universe_scratch.clone())
+                    .or_insert(compiled)
+            }
+        };
+        instance.query_with_scratch(self.model, background, new_path, &mut self.demand_scratch)
+    }
+
+    /// The compiled instance for the universe of `(background, new_path)`,
+    /// compiling it on first sight — for callers that want to inspect or
+    /// share the compiled state directly.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyUniverse`] when the query involves no links.
+    pub fn instance_for(
+        &mut self,
+        background: &[Flow],
+        new_path: &Path,
+    ) -> Result<&CompiledInstance, CoreError> {
+        link_universe_into(background, new_path, &mut self.universe_scratch);
+        if self.universe_scratch.is_empty() {
+            return Err(CoreError::EmptyUniverse);
+        }
+        if !self
+            .instances
+            .contains_key(self.universe_scratch.as_slice())
+        {
+            let compiled =
+                CompiledInstance::compile(self.model, &self.universe_scratch, &self.options)?;
+            self.stats.compiles += 1;
+            self.instances
+                .insert(self.universe_scratch.clone(), compiled);
+        }
+        self.instances
+            .get(self.universe_scratch.as_slice())
+            .ok_or(CoreError::Invariant("instance was just inserted"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::available::{available_bandwidth, link_universe};
+    use awb_net::{DeclarativeModel, Topology};
+    use awb_phy::Rate;
+
+    fn r(m: f64) -> Rate {
+        Rate::from_mbps(m)
+    }
+
+    /// `n` disjoint links in a row; conflicts as declared.
+    fn line_model(
+        n: usize,
+        rates: &[Rate],
+        conflicts: &[(usize, usize)],
+    ) -> (DeclarativeModel, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let mut links = Vec::new();
+        for i in 0..n {
+            let a = t.add_node(i as f64 * 10.0, 0.0);
+            let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+            links.push(t.add_link(a, b).unwrap());
+        }
+        let mut b = DeclarativeModel::builder(t);
+        for &l in &links {
+            b = b.alone_rates(l, rates);
+        }
+        for &(i, j) in conflicts {
+            b = b.conflict_all(links[i], links[j]);
+        }
+        (b.build(), links)
+    }
+
+    #[test]
+    fn warm_queries_match_one_shot_solves_bitwise() {
+        let (m, links) = line_model(3, &[r(54.0), r(18.0)], &[(0, 1), (1, 2)]);
+        let bg_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[1]]).unwrap();
+        for solver in [SolverKind::FullEnumeration, SolverKind::ColumnGeneration] {
+            let options = AvailableBandwidthOptions {
+                solver,
+                ..AvailableBandwidthOptions::default()
+            };
+            let mut session = Session::new(&m, options);
+            for bg in [0.0, 10.0, 27.0, 10.0, 0.0] {
+                let background = vec![Flow::new(bg_path.clone(), bg).unwrap()];
+                let warm = session.query(&background, &new_path).unwrap();
+                let cold = available_bandwidth(&m, &background, &new_path, &options).unwrap();
+                assert_eq!(
+                    warm.bandwidth_mbps().to_bits(),
+                    cold.bandwidth_mbps().to_bits(),
+                    "solver {solver:?}, bg {bg}"
+                );
+                assert_eq!(warm, cold);
+            }
+            // Five queries over one universe: one compile, four warm hits.
+            assert_eq!(session.stats().compiles, 1);
+            assert_eq!(session.stats().warm_queries, 4);
+            assert_eq!(session.instance_count(), 1);
+        }
+    }
+
+    #[test]
+    fn distinct_universes_get_distinct_instances() {
+        let (m, links) = line_model(3, &[r(54.0)], &[(0, 1)]);
+        let p0 = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let p2 = Path::new(m.topology(), vec![links[2]]).unwrap();
+        let mut session = Session::new(&m, AvailableBandwidthOptions::default());
+        session.query(&[], &p0).unwrap();
+        session.query(&[], &p2).unwrap();
+        session.query(&[], &p0).unwrap();
+        assert_eq!(session.stats().compiles, 2);
+        assert_eq!(session.stats().warm_queries, 1);
+    }
+
+    #[test]
+    fn instance_rejects_queries_outside_its_universe() {
+        let (m, links) = line_model(2, &[r(54.0)], &[]);
+        let p0 = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let p1 = Path::new(m.topology(), vec![links[1]]).unwrap();
+        let universe = link_universe(&[], &p0);
+        let instance =
+            CompiledInstance::compile(&m, &universe, &AvailableBandwidthOptions::default())
+                .unwrap();
+        assert_eq!(instance.universe(), &universe[..]);
+        assert!(instance.query(&m, &[], &p1).is_err());
+    }
+
+    #[test]
+    fn decomposed_instances_answer_like_the_free_function() {
+        let (m, links) = line_model(3, &[r(54.0)], &[(0, 1)]);
+        let bg_path = Path::new(m.topology(), vec![links[2]]).unwrap();
+        let new_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let background = vec![Flow::new(bg_path, 20.0).unwrap()];
+        for solver in [SolverKind::FullEnumeration, SolverKind::ColumnGeneration] {
+            let options = AvailableBandwidthOptions {
+                decompose: true,
+                solver,
+                ..AvailableBandwidthOptions::default()
+            };
+            let mut session = Session::new(&m, options);
+            let warm = session.query(&background, &new_path).unwrap();
+            let again = session.query(&background, &new_path).unwrap();
+            let cold = available_bandwidth(&m, &background, &new_path, &options).unwrap();
+            assert_eq!(warm, cold);
+            assert_eq!(again, cold);
+        }
+    }
+
+    #[test]
+    fn colgen_query_on_enumeration_instance_is_an_error() {
+        let (m, links) = line_model(1, &[r(54.0)], &[]);
+        let p = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let universe = link_universe(&[], &p);
+        let instance =
+            CompiledInstance::compile(&m, &universe, &AvailableBandwidthOptions::default())
+                .unwrap();
+        assert!(instance.query_colgen(&m, &[], &p).is_err());
+    }
+}

@@ -60,7 +60,7 @@ pub fn conservative_clique<M: LinkRateModel>(model: &M, hops: &[Hop]) -> f64 {
         .into_iter()
         .map(|c| {
             let mut members: Vec<&Hop> = c.hops().map(|i| &hops[i]).collect();
-            members.sort_by(|a, b| a.idle.partial_cmp(&b.idle).expect("idle is finite"));
+            members.sort_by(|a, b| a.idle.total_cmp(&b.idle));
             let mut prefix_time = 0.0;
             let mut best = f64::INFINITY;
             for h in members {

@@ -8,9 +8,7 @@
 
 use crate::metric::RoutingMetric;
 use crate::widest::RoutePolicy;
-use awb_core::{
-    available_bandwidth, feasibility, AvailableBandwidthOptions, CoreError, Flow, Schedule,
-};
+use awb_core::{feasibility, AvailableBandwidthOptions, CoreError, Flow, Schedule, Session};
 use awb_estimate::IdleMap;
 use awb_net::{LinkRateModel, NodeId, Path};
 use std::error::Error;
@@ -119,6 +117,11 @@ pub fn admit_sequentially_with_policy<M: LinkRateModel>(
     policy: RoutePolicy,
     config: &AdmissionConfig,
 ) -> Result<Vec<FlowOutcome>, AdmissionError> {
+    // One compiled-query session serves the whole experiment: every
+    // candidate evaluation — the policy's own oracle queries and the
+    // ground-truth admission check — shares the per-universe compiled
+    // instances instead of recompiling them per flow.
+    let mut session = Session::new(model, config.available_options);
     let mut admitted: Vec<Flow> = Vec::new();
     let mut outcomes = Vec::with_capacity(pairs.len());
     for (index, &(src, dst)) in pairs.iter().enumerate() {
@@ -132,22 +135,23 @@ pub fn admit_sequentially_with_policy<M: LinkRateModel>(
                 .1
         };
         let idle = IdleMap::from_schedule(model, &schedule);
-        let path = policy.route(model, &idle, src, dst);
-        let (available_mbps, admitted_now, chosen) = match path {
-            None => (0.0, false, None),
+        let path = policy.route_with_session(&mut session, &idle, &admitted, src, dst);
+        let (available_mbps, new_flow, chosen) = match path {
+            None => (0.0, None, None),
             Some(p) => {
-                let out = available_bandwidth(model, &admitted, &p, &config.available_options)?;
-                let ok = out.bandwidth_mbps() + 1e-9 >= config.demand_mbps;
-                (out.bandwidth_mbps(), ok, Some(p))
+                let out = session.query(&admitted, &p)?;
+                let flow = if out.bandwidth_mbps() + 1e-9 >= config.demand_mbps {
+                    Some(Flow::new(p.clone(), config.demand_mbps).map_err(AdmissionError::from)?)
+                } else {
+                    None
+                };
+                (out.bandwidth_mbps(), flow, Some(p))
             }
         };
-        if admitted_now {
-            let p = chosen.clone().expect("admitted flows have paths");
-            admitted.push(
-                Flow::new(p, config.demand_mbps).expect("config demand is validated by Flow"),
-            );
+        let admitted_now = new_flow.is_some();
+        if let Some(flow) = new_flow {
+            admitted.push(flow);
         }
-        let failed = !admitted_now;
         outcomes.push(FlowOutcome {
             index,
             src,
@@ -156,7 +160,7 @@ pub fn admit_sequentially_with_policy<M: LinkRateModel>(
             available_mbps,
             admitted: admitted_now,
         });
-        if failed && config.stop_on_first_failure {
+        if !admitted_now && config.stop_on_first_failure {
             break;
         }
     }

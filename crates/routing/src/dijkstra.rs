@@ -28,8 +28,7 @@ impl Ord for Entry {
         // Reverse: BinaryHeap is a max-heap, we want the smallest cost.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("costs are finite")
+            .total_cmp(&self.cost)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -91,9 +90,9 @@ pub fn shortest_path<M: LinkRateModel>(
     let mut links = Vec::new();
     let mut cur = dst;
     while cur != src {
-        let l = prev[cur.index()].expect("reached nodes have predecessors");
+        let l = prev[cur.index()]?;
         links.push(l);
-        cur = t.link(l).expect("links come from this topology").tx();
+        cur = t.link(l).ok()?.tx();
     }
     links.reverse();
     Path::new(t, links).ok()

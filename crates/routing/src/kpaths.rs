@@ -9,7 +9,7 @@
 
 use crate::dijkstra::shortest_path;
 use crate::metric::RoutingMetric;
-use awb_core::{available_bandwidth, AvailableBandwidthOptions, Flow};
+use awb_core::{AvailableBandwidthOptions, Flow, Session};
 use awb_estimate::IdleMap;
 use awb_net::{LinkId, LinkRateModel, NodeId, Path};
 
@@ -35,15 +35,18 @@ pub fn k_shortest_paths<M: LinkRateModel>(
     let t = model.topology();
 
     while found.len() < k {
-        let last = found.last().expect("found is non-empty").clone();
+        let Some(last) = found.last().cloned() else {
+            break;
+        };
         // Spur from every prefix of the last found path.
         for spur_idx in 0..last.len() {
             let spur_node = if spur_idx == 0 {
                 src
             } else {
-                t.link(last.links()[spur_idx - 1])
-                    .expect("paths hold valid links")
-                    .rx()
+                match t.link(last.links()[spur_idx - 1]) {
+                    Ok(link) => link.rx(),
+                    Err(_) => continue,
+                }
             };
             let root: Vec<LinkId> = last.links()[..spur_idx].to_vec();
             // Ban the next edge of every found path sharing this root, and
@@ -56,7 +59,9 @@ pub fn k_shortest_paths<M: LinkRateModel>(
             }
             let mut banned_nodes: Vec<NodeId> = vec![src];
             for &l in &root {
-                banned_nodes.push(t.link(l).expect("valid link").rx());
+                if let Ok(link) = t.link(l) {
+                    banned_nodes.push(link.rx());
+                }
             }
             banned_nodes.retain(|&n| n != spur_node);
 
@@ -84,7 +89,7 @@ pub fn k_shortest_paths<M: LinkRateModel>(
             .iter()
             .enumerate()
             .map(|(i, p)| (i, path_cost(model, idle, metric, p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
         else {
             break;
         };
@@ -171,7 +176,7 @@ fn shortest_path_with_bans<M: LinkRateModel>(
     while cur != src {
         let l = prev[cur.index()]?;
         links.push(l);
-        cur = t.link(l).expect("own link").tx();
+        cur = t.link(l).ok()?.tx();
     }
     links.reverse();
     Path::new(t, links).ok()
@@ -183,7 +188,7 @@ impl Eq for Ordered {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for Ordered {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("finite costs")
+        self.0.total_cmp(&other.0)
     }
 }
 fn ordered(v: f64) -> Ordered {
@@ -205,8 +210,27 @@ pub fn oracle_route<M: LinkRateModel>(
     dst: NodeId,
     k: usize,
 ) -> Option<(Path, f64)> {
+    let mut session = Session::new(model, AvailableBandwidthOptions::default());
+    oracle_route_with_session(&mut session, idle, background, src, dst, k)
+}
+
+/// [`oracle_route`] through a caller-owned [`Session`]: the `k` candidates
+/// are evaluated against one shared session instead of `k` independent
+/// solves, so candidates sharing a link universe (the common case — they
+/// connect the same endpoints through overlapping links) reuse the compiled
+/// instance, as do later calls for the same endpoints. Results are
+/// bit-for-bit identical to [`oracle_route`] when the session uses default
+/// options.
+pub fn oracle_route_with_session<M: LinkRateModel>(
+    session: &mut Session<'_, M>,
+    idle: &IdleMap,
+    background: &[Flow],
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> Option<(Path, f64)> {
     let candidates = k_shortest_paths(
-        model,
+        session.model(),
         idle,
         RoutingMetric::E2eTransmissionDelay,
         src,
@@ -215,9 +239,7 @@ pub fn oracle_route<M: LinkRateModel>(
     );
     let mut best: Option<(Path, f64)> = None;
     for p in candidates {
-        let Ok(out) =
-            available_bandwidth(model, background, &p, &AvailableBandwidthOptions::default())
-        else {
+        let Ok(out) = session.query(background, &p) else {
             continue;
         };
         let v = out.bandwidth_mbps();

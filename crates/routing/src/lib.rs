@@ -44,6 +44,6 @@ pub use admission::{
     FlowOutcome,
 };
 pub use dijkstra::shortest_path;
-pub use kpaths::{k_shortest_paths, oracle_route};
+pub use kpaths::{k_shortest_paths, oracle_route, oracle_route_with_session};
 pub use metric::RoutingMetric;
 pub use widest::{widest_estimate_path, RoutePolicy};

@@ -13,6 +13,7 @@
 //! determined by a bounded local window, heuristic in general.
 
 use crate::metric::RoutingMetric;
+use awb_core::{Flow, Session};
 use awb_estimate::{Estimator, Hop, IdleMap};
 use awb_net::{LinkRateModel, NodeId, Path};
 use std::collections::BinaryHeap;
@@ -34,8 +35,7 @@ impl Ord for Label {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap by estimate; deterministic tie-break by node id.
         self.estimate
-            .partial_cmp(&other.estimate)
-            .expect("estimates are finite")
+            .total_cmp(&other.estimate)
             .then_with(|| other.node.cmp(&self.node))
     }
 }
@@ -88,7 +88,7 @@ pub fn widest_estimate_path<M: LinkRateModel>(
             // Avoid revisiting nodes (simple paths only).
             if links
                 .iter()
-                .any(|&l| t.link(l).expect("own links").tx() == next)
+                .any(|&l| t.link(l).is_ok_and(|link| link.tx() == next))
                 || next == src
             {
                 continue;
@@ -116,18 +116,27 @@ pub fn widest_estimate_path<M: LinkRateModel>(
     None
 }
 
-/// Convenience: route with an additive metric or a widest-estimate policy
-/// under one name, for experiment sweeps mixing both families.
+/// Convenience: route with an additive metric, a widest-estimate policy, or
+/// the k-best Eq. 6 oracle under one name, for experiment sweeps mixing the
+/// families.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RoutePolicy {
     /// One of the paper's additive metrics (§5.2).
     Additive(RoutingMetric),
     /// Widest path under a §4 estimator.
     WidestEstimate(Estimator),
+    /// Evaluate the true Eq. 6 available bandwidth of the `k` best e2eTD
+    /// candidates through a shared [`Session`] and pick the widest (see
+    /// [`crate::oracle_route_with_session`]).
+    OracleKBest(usize),
 }
 
 impl RoutePolicy {
-    /// Runs the policy.
+    /// Runs the policy without background knowledge. For
+    /// [`RoutePolicy::OracleKBest`] this evaluates candidates against an
+    /// empty background with a one-shot session; admission loops that know
+    /// the admitted background should use
+    /// [`RoutePolicy::route_with_session`] instead.
     pub fn route<M: LinkRateModel>(
         self,
         model: &M,
@@ -135,9 +144,32 @@ impl RoutePolicy {
         src: NodeId,
         dst: NodeId,
     ) -> Option<Path> {
+        let mut session = Session::new(model, awb_core::AvailableBandwidthOptions::default());
+        self.route_with_session(&mut session, idle, &[], src, dst)
+    }
+
+    /// Runs the policy through a caller-owned [`Session`] against the given
+    /// background flows. The additive and widest-estimate families only use
+    /// the session's model (their metrics come from the idle map);
+    /// [`RoutePolicy::OracleKBest`] evaluates every candidate path's Eq. 6
+    /// LP through the shared session, reusing its compiled instances.
+    pub fn route_with_session<M: LinkRateModel>(
+        self,
+        session: &mut Session<'_, M>,
+        idle: &IdleMap,
+        background: &[Flow],
+        src: NodeId,
+        dst: NodeId,
+    ) -> Option<Path> {
         match self {
-            RoutePolicy::Additive(m) => crate::shortest_path(model, idle, m, src, dst),
-            RoutePolicy::WidestEstimate(e) => widest_estimate_path(model, idle, e, src, dst),
+            RoutePolicy::Additive(m) => crate::shortest_path(session.model(), idle, m, src, dst),
+            RoutePolicy::WidestEstimate(e) => {
+                widest_estimate_path(session.model(), idle, e, src, dst)
+            }
+            RoutePolicy::OracleKBest(k) => {
+                crate::oracle_route_with_session(session, idle, background, src, dst, k)
+                    .map(|(path, _)| path)
+            }
         }
     }
 
@@ -146,6 +178,7 @@ impl RoutePolicy {
         match self {
             RoutePolicy::Additive(m) => m.label().to_string(),
             RoutePolicy::WidestEstimate(e) => format!("widest[{e}]"),
+            RoutePolicy::OracleKBest(k) => format!("oracle[k={k}]"),
         }
     }
 }
@@ -233,5 +266,10 @@ mod tests {
             RoutePolicy::Additive(RoutingMetric::HopCount).label(),
             "hop count"
         );
+        // The oracle policy picks the route whose Eq. 6 value is widest:
+        // the un-conflicted 54 Mbps lower route, not the 6 Mbps upper hop.
+        let oracle = RoutePolicy::OracleKBest(4).route(&m, &idle, a, d).unwrap();
+        assert_eq!(oracle.len(), 2);
+        assert_eq!(RoutePolicy::OracleKBest(4).label(), "oracle[k=4]");
     }
 }

@@ -1,27 +1,28 @@
 //! Query execution: topology registry, the two-level cache, coalesced
-//! enumeration, and the per-query handlers.
+//! compilation, and the per-query handlers.
 //!
 //! # Cache design
 //!
 //! Two LRU layers sit in front of the paper's Eq. 6 pipeline:
 //!
-//! 1. **Sets cache** — the enumerated pool of rate-coupled maximal
-//!    independent sets, keyed by `(topology content hash, link universe,
-//!    enumeration options)`. The universe is part of the key because
-//!    [`awb_core::available_bandwidth`] enumerates over exactly the links
-//!    the background flows and the new path touch — two requests on the
-//!    same topology share a pool only if they touch the same links. A hit
-//!    skips the exponential enumeration and re-solves only the LP, which
-//!    is polynomial in the pool size.
+//! 1. **Instance cache** — a compiled [`awb_core::CompiledInstance`]
+//!    (enumerated set pools under full enumeration; pricing oracles plus
+//!    deterministic seed columns under column generation), keyed by
+//!    `(topology content hash, link universe, solve options)`. The
+//!    universe is part of the key because the Eq. 6 LP ranges over exactly
+//!    the links the background flows and the new path touch — two
+//!    requests on the same topology share an instance only if they touch
+//!    the same links. A hit skips the exponential compile step and
+//!    re-solves only the LP, which is polynomial in the column count.
 //! 2. **Result cache** — the fully rendered answer, keyed additionally by
 //!    the background demands, the path, and the query kind. A hit skips
 //!    the LP too and replays the exact JSON (f64s round-trip exactly
 //!    through the shortest-representation formatter, so a cached answer is
 //!    byte-identical to a recomputed one).
 //!
-//! Misses on the sets cache are *coalesced*: concurrent requests for the
-//! same pool elect one leader to enumerate while the rest block for its
-//! result ([`crate::coalesce`]).
+//! Misses on the instance cache are *coalesced*: concurrent requests for
+//! the same instance elect one leader to compile while the rest block for
+//! its result ([`crate::coalesce`]).
 
 use crate::cache::LruCache;
 use crate::coalesce::{Coalescer, Role};
@@ -32,12 +33,12 @@ use crate::protocol::{
 };
 use crate::spec::{FnvHasher, TopologySpec};
 use awb_core::{
-    available_bandwidth_colgen_with_oracle, available_bandwidth_with_sets, link_universe,
-    AvailableBandwidth, AvailableBandwidthOptions, CoreError, Flow, SolverKind,
+    link_universe, AvailableBandwidth, AvailableBandwidthOptions, CompiledInstance, CoreError,
+    Flow, SolverKind,
 };
 use awb_estimate::{Estimator, Hop, IdleMap};
 use awb_net::{LinkRateModel, Path};
-use awb_sets::{enumerate_admissible, EngineKind, EnumerationOptions, MaxWeightOracle, RatedSet};
+use awb_sets::{EngineKind, EnumerationOptions};
 use serde_json::{Map, Value};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -54,7 +55,7 @@ pub struct ResolvedTopology {
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
-    /// Capacity of the enumerated-set-pool LRU.
+    /// Capacity of the compiled-instance LRU.
     pub sets_cache_capacity: usize,
     /// Capacity of the rendered-result LRU.
     pub result_cache_capacity: usize,
@@ -66,9 +67,10 @@ pub struct EngineConfig {
     pub enumeration_engine: EngineKind,
     /// LP solve strategy. Under [`SolverKind::ColumnGeneration`] the engine
     /// skips set enumeration entirely and instead caches one compiled
-    /// pricing oracle plus the evolving column pool per `(topology,
-    /// universe)`, so an `admit` sequence on the same topology re-solves
-    /// each query from the previous master's columns.
+    /// pricing oracle plus a deterministic seed-column pool per
+    /// `(topology, universe)`, so an `admit` sequence on the same topology
+    /// pays the oracle compile once and answers are independent of the
+    /// order requests arrive in.
     pub solver: SolverKind,
 }
 
@@ -84,28 +86,18 @@ impl Default for EngineConfig {
     }
 }
 
-/// Cached column-generation state for one `(topology, universe)` pair: the
-/// compiled pricing oracle (immutable) and the last solve's master columns
-/// (refreshed after every solve so later admissions start warm).
-struct ColgenState {
-    oracle: MaxWeightOracle,
-    pool: Mutex<Vec<RatedSet>>,
-}
-
 /// The shared, thread-safe query engine.
 pub struct Engine {
     /// Topologies pinned by `register_topology`, by content hash.
     registry: Mutex<BTreeMap<u64, Arc<ResolvedTopology>>>,
     /// Built models for inline specs (evictable, unlike the registry).
     models: Mutex<LruCache<ResolvedTopology>>,
-    /// Enumerated independent-set pools.
-    sets: Mutex<LruCache<Vec<RatedSet>>>,
+    /// Compiled per-universe instances (set pools or pricing oracles).
+    instances: Mutex<LruCache<CompiledInstance>>,
     /// Rendered results.
     results: Mutex<LruCache<Value>>,
-    /// Deduplicates concurrent enumerations of the same pool.
-    coalescer: Coalescer<Vec<RatedSet>>,
-    /// Compiled pricing oracles and warm column pools (column generation).
-    colgen: Mutex<LruCache<ColgenState>>,
+    /// Deduplicates concurrent compilations of the same instance.
+    coalescer: Coalescer<Result<CompiledInstance, CoreError>>,
     /// Engine used for cold set-pool builds.
     enumeration_engine: EngineKind,
     /// LP solve strategy for available-bandwidth queries.
@@ -138,10 +130,9 @@ impl Engine {
         Engine {
             registry: Mutex::new(BTreeMap::new()),
             models: Mutex::new(LruCache::new(config.model_cache_capacity)),
-            sets: Mutex::new(LruCache::new(config.sets_cache_capacity)),
+            instances: Mutex::new(LruCache::new(config.sets_cache_capacity)),
             results: Mutex::new(LruCache::new(config.result_cache_capacity)),
             coalescer: Coalescer::new(),
-            colgen: Mutex::new(LruCache::new(config.sets_cache_capacity)),
             enumeration_engine: config.enumeration_engine,
             solver: config.solver,
             metrics: Metrics::new(),
@@ -291,14 +282,17 @@ impl Engine {
         }
     }
 
-    /// The key identifying an enumerated set pool: topology, universe and
-    /// enumeration options. The engine choice is deliberately **not** part
-    /// of the key: all engines return byte-identical pools, so a pool built
-    /// by one engine is a valid hit for any other.
-    fn sets_key(
+    /// The key identifying a compiled instance: topology, universe and the
+    /// options that shape the compiled artifact. The enumeration engine
+    /// choice is deliberately **not** part of the key: all engines return
+    /// byte-identical pools, so an instance built by one engine is a valid
+    /// hit for any other. Under column generation the enumeration options
+    /// are irrelevant (nothing is enumerated) and stay out of the key, so
+    /// `admit` sweeps varying `max_set_size` still share one oracle.
+    fn instance_key(
         resolved: &ResolvedTopology,
         universe: &[awb_net::LinkId],
-        options: &EnumerationOptions,
+        options: &AvailableBandwidthOptions,
     ) -> u64 {
         let mut h = FnvHasher::default();
         h.write_u64(resolved.content_hash);
@@ -306,8 +300,18 @@ impl Engine {
         for l in universe {
             h.write_u64(l.index() as u64);
         }
-        h.write_u64(u64::from(options.prune_dominated));
-        h.write_u64(options.max_set_size.map_or(u64::MAX, |n| n as u64));
+        h.write_u64(options.solver as u64);
+        h.write_u64(u64::from(options.decompose));
+        h.write_f64(options.dust_epsilon);
+        if options.solver == SolverKind::FullEnumeration {
+            h.write_u64(u64::from(options.enumeration.prune_dominated));
+            h.write_u64(
+                options
+                    .enumeration
+                    .max_set_size
+                    .map_or(u64::MAX, |n| n as u64),
+            );
+        }
         h.finish()
     }
 
@@ -338,112 +342,57 @@ impl Engine {
         h.finish()
     }
 
-    /// Returns the set pool for `(resolved, universe, options)`, enumerating
-    /// it (coalesced) on a miss. The second component tells the caller how
-    /// the pool was obtained.
-    fn set_pool(
+    /// Returns the compiled instance for `(resolved, universe, options)`,
+    /// compiling it (coalesced) on a miss. The second component tells the
+    /// caller how the instance was obtained.
+    fn instance(
         &self,
         resolved: &ResolvedTopology,
         universe: &[awb_net::LinkId],
-        options: &EnumerationOptions,
-    ) -> Result<(Arc<Vec<RatedSet>>, CacheStatus), ServiceError> {
-        let key = Engine::sets_key(resolved, universe, options);
-        if let Some(pool) = lock_recover(&self.sets).get(key) {
+        options: &AvailableBandwidthOptions,
+    ) -> Result<(Arc<CompiledInstance>, CacheStatus), ServiceError> {
+        let key = Engine::instance_key(resolved, universe, options);
+        if let Some(instance) = lock_recover(&self.instances).get(key) {
             Metrics::bump(&self.metrics.sets_cache_hits);
-            return Ok((pool, CacheStatus::SetsHit));
+            return Ok((instance, CacheStatus::SetsHit));
         }
-        let (pool, role) = self.coalescer.run(key, || {
+        let (compiled, role) = self.coalescer.run(key, || {
             let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
             let started = Instant::now();
-            let sets = enumerate_admissible(&model, universe, options);
+            let compiled = CompiledInstance::compile(&model, universe, options);
             self.metrics.enumeration_latency.record(started.elapsed());
-            sets
+            compiled
         });
-        match role {
+        let (compiled, status) = match role {
             Role::Leader => {
                 Metrics::bump(&self.metrics.sets_cache_misses);
-                let pool = pool.ok_or_else(|| {
+                let compiled = compiled.ok_or_else(|| {
                     ServiceError::new(ErrorCode::Internal, "coalescing leader produced no result")
                 })?;
-                lock_recover(&self.sets).insert_shared(key, Arc::clone(&pool));
-                Ok((pool, CacheStatus::Miss))
+                (compiled, CacheStatus::Miss)
             }
             Role::Follower => {
                 Metrics::bump(&self.metrics.coalesced);
-                pool.map(|p| (p, CacheStatus::Coalesced)).ok_or_else(|| {
+                let compiled = compiled.ok_or_else(|| {
                     ServiceError::new(
                         ErrorCode::Internal,
-                        "coalesced enumeration failed in the leading request",
+                        "coalesced compilation failed in the leading request",
                     )
-                })
+                })?;
+                (compiled, CacheStatus::Coalesced)
             }
-        }
-    }
-
-    /// The key identifying cached column-generation state: topology and
-    /// universe only — the oracle and the column pool are valid for any
-    /// demands on those links.
-    fn colgen_key(resolved: &ResolvedTopology, universe: &[awb_net::LinkId]) -> u64 {
-        let mut h = FnvHasher::default();
-        h.write_u64(resolved.content_hash);
-        h.write_u64(universe.len() as u64);
-        for l in universe {
-            h.write_u64(l.index() as u64);
-        }
-        h.finish()
-    }
-
-    /// Column-generation solve: reuses (or compiles) the pricing oracle for
-    /// this `(topology, universe)` and seeds the restricted master with the
-    /// previous solve's columns, so repeated admissions on one topology pay
-    /// only a few warm pivots each.
-    fn solve_colgen(
-        &self,
-        resolved: &ResolvedTopology,
-        flows: &[Flow],
-        new_path: &Path,
-        universe: &[awb_net::LinkId],
-    ) -> Result<(AvailableBandwidth, CacheStatus), ServiceError> {
-        let key = Engine::colgen_key(resolved, universe);
-        let cached = lock_recover(&self.colgen).get(key);
-        let (state, status) = match cached {
-            Some(state) => {
-                Metrics::bump(&self.metrics.sets_cache_hits);
-                (state, CacheStatus::SetsHit)
-            }
-            None => {
-                Metrics::bump(&self.metrics.sets_cache_misses);
-                let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
-                let started = Instant::now();
-                let oracle = MaxWeightOracle::new(&model, universe);
-                self.metrics.enumeration_latency.record(started.elapsed());
-                let state = ColgenState {
-                    oracle,
-                    pool: Mutex::new(Vec::new()),
+        };
+        match &*compiled {
+            Ok(instance) => {
+                let shared = if status == CacheStatus::Miss {
+                    lock_recover(&self.instances).insert(key, instance.clone())
+                } else {
+                    Arc::new(instance.clone())
                 };
-                let state = lock_recover(&self.colgen).insert(key, state);
-                (state, CacheStatus::Miss)
+                Ok((shared, status))
             }
-        };
-        let seed = lock_recover(&state.pool).clone();
-        let options = AvailableBandwidthOptions {
-            solver: SolverKind::ColumnGeneration,
-            ..AvailableBandwidthOptions::default()
-        };
-        let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
-        let started = Instant::now();
-        let outcome = available_bandwidth_colgen_with_oracle(
-            &model,
-            &state.oracle,
-            flows,
-            new_path,
-            &seed,
-            &options,
-        )
-        .map_err(core_error)?;
-        self.metrics.lp_latency.record(started.elapsed());
-        *lock_recover(&state.pool) = outcome.pool;
-        Ok((outcome.result, status))
+            Err(e) => Err(core_error(e.clone())),
+        }
     }
 
     /// The full Eq. 6 pipeline with both cache layers.
@@ -466,24 +415,25 @@ impl Engine {
         Metrics::bump(&self.metrics.result_cache_misses);
         self.check_deadline(deadline)?;
 
+        // One key derivation for both solver families: the universe is
+        // computed exactly as the core library would, so a cached instance
+        // answers queries bit-identically to a cold
+        // [`awb_core::available_bandwidth`] call.
         let universe = link_universe(&flows, &new_path);
-        let (out, status) = if self.solver == SolverKind::ColumnGeneration {
-            self.solve_colgen(&resolved, &flows, &new_path, &universe)?
-        } else {
-            let enumeration = self.enumeration_options(request);
-            let (pool, status) = self.set_pool(&resolved, &universe, &enumeration)?;
-            self.check_deadline(deadline)?;
-
-            let options = AvailableBandwidthOptions {
-                enumeration,
-                ..AvailableBandwidthOptions::default()
-            };
-            let started = Instant::now();
-            let out = available_bandwidth_with_sets(&pool, &flows, &new_path, &options)
-                .map_err(core_error)?;
-            self.metrics.lp_latency.record(started.elapsed());
-            (out, status)
+        let options = AvailableBandwidthOptions {
+            enumeration: self.enumeration_options(request),
+            solver: self.solver,
+            ..AvailableBandwidthOptions::default()
         };
+        let (instance, status) = self.instance(&resolved, &universe, &options)?;
+        self.check_deadline(deadline)?;
+
+        let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
+        let started = Instant::now();
+        let out = instance
+            .query(&model, &flows, &new_path)
+            .map_err(core_error)?;
+        self.metrics.lp_latency.record(started.elapsed());
 
         let value = render_available_bandwidth(&out);
         lock_recover(&self.results).insert(result_key, value.clone());

@@ -260,7 +260,9 @@ impl Simulator {
                             continue;
                         }
                         let link = LinkId::from_index(li);
-                        let tx = t.link(link).expect("index in range").tx();
+                        let Ok(tx) = t.link(link).map(|l| l.tx()) else {
+                            continue;
+                        };
                         let blocked = granted.iter().any(|&g| model.node_hears(tx, g));
                         if !blocked {
                             granted.push(link);
@@ -273,7 +275,9 @@ impl Simulator {
                             continue;
                         }
                         let link = LinkId::from_index(li);
-                        let tx = t.link(link).expect("index in range").tx();
+                        let Ok(tx) = t.link(link).map(|l| l.tx()) else {
+                            continue;
+                        };
                         if !busy_last_slot[tx.index()] && rng.gen_bool(p.clamp(0.0, 1.0)) {
                             granted.push(link);
                         }
@@ -286,7 +290,9 @@ impl Simulator {
                             continue;
                         }
                         let link = LinkId::from_index(li);
-                        let tx = t.link(link).expect("index in range").tx();
+                        let Ok(tx) = t.link(link).map(|l| l.tx()) else {
+                            continue;
+                        };
                         let counter = backoff[li].get_or_insert_with(|| rng.gen_range(0..cw[li]));
                         if busy_last_slot[tx.index()] {
                             continue; // counter frozen while the medium is busy
@@ -301,14 +307,11 @@ impl Simulator {
             }
 
             // Outcomes: SINR capture against the full granted set.
+            // Dead links are never backlogged, so every granted link has a
+            // live rate; `filter_map` keeps that invariant panic-free.
             let assignment: Vec<(LinkId, Rate)> = granted
                 .iter()
-                .map(|&l| {
-                    (
-                        l,
-                        self.link_rate[l.index()].expect("granted links are live"),
-                    )
-                })
+                .filter_map(|&l| self.link_rate[l.index()].map(|rate| (l, rate)))
                 .collect();
             for &(link, rate) in &assignment {
                 let li = link.index();

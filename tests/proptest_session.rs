@@ -1,0 +1,209 @@
+//! Property tests for the compiled-query [`Session`] API: a warm session
+//! answering an arbitrary (shuffled) query sequence must be bit-for-bit
+//! identical to fresh one-shot solves, on declarative and SINR models and
+//! under both solvers.
+//!
+//! This is the contract that makes the session a pure caching layer: the
+//! compiled instance holds only query-independent state, so neither the
+//! order queries arrive in nor how many came before can change an answer.
+
+use awb::core::{available_bandwidth, AvailableBandwidthOptions, Flow, Session, SolverKind};
+use awb::net::{DeclarativeModel, LinkId, LinkRateModel, Path, SinrModel, Topology};
+use awb::phy::{Phy, Rate};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// One query in a sweep, as fractions of the chain: a sub-chain new path
+/// and one background flow on another sub-chain.
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    start: usize,
+    len: usize,
+    bg_start: usize,
+    bg_len: usize,
+    demand_mbps: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Sweep {
+    links: usize,
+    /// Per-link rate-menu code (0..4).
+    rates: Vec<u8>,
+    /// Bitmask of extra non-adjacent conflict pairs.
+    extra_conflicts: u32,
+    queries: Vec<QuerySpec>,
+    /// Rotation applied to the query order (the "shuffle").
+    rotation: usize,
+}
+
+fn sweep() -> impl Strategy<Value = Sweep> {
+    (3usize..=6)
+        .prop_flat_map(|links| {
+            (
+                Just(links),
+                proptest::collection::vec(0u8..4, links),
+                0u32..=u32::MAX,
+                proptest::collection::vec(
+                    (0usize..64, 1usize..=2, 0usize..64, 1usize..=2, 0.05f64..0.4),
+                    2..=6,
+                ),
+                0usize..8,
+            )
+        })
+        .prop_map(|(links, rates, extra_conflicts, raw, rotation)| Sweep {
+            links,
+            rates,
+            extra_conflicts,
+            queries: raw
+                .into_iter()
+                .map(|(start, len, bg_start, bg_len, demand_mbps)| QuerySpec {
+                    start,
+                    len,
+                    bg_start,
+                    bg_len,
+                    demand_mbps,
+                })
+                .collect(),
+            rotation,
+        })
+}
+
+fn rate_menu(code: u8) -> Vec<Rate> {
+    let mbps: &[f64] = match code {
+        0 => &[54.0],
+        1 => &[54.0, 36.0],
+        2 => &[36.0],
+        _ => &[12.0],
+    };
+    mbps.iter().map(|&m| Rate::from_mbps(m)).collect()
+}
+
+/// A straight chain topology with `n` links.
+fn chain(n: usize) -> (Topology, Vec<LinkId>) {
+    let mut t = Topology::new();
+    let nodes: Vec<_> = (0..=n).map(|i| t.add_node(i as f64 * 60.0, 0.0)).collect();
+    let links: Vec<_> = nodes
+        .windows(2)
+        .map(|w| t.add_link(w[0], w[1]).expect("fresh nodes"))
+        .collect();
+    (t, links)
+}
+
+/// Declarative chain: adjacent links always conflict; `extra` adds random
+/// non-adjacent conflict pairs.
+fn declarative(s: &Sweep) -> (DeclarativeModel, Vec<LinkId>) {
+    let (t, links) = chain(s.links);
+    let mut builder = DeclarativeModel::builder(t);
+    for (i, &l) in links.iter().enumerate() {
+        builder = builder.alone_rates(l, &rate_menu(s.rates[i]));
+    }
+    for w in links.windows(2) {
+        builder = builder.conflict_all(w[0], w[1]);
+    }
+    let mut bit = 0;
+    for i in 0..links.len() {
+        for j in (i + 2)..links.len() {
+            if s.extra_conflicts & (1 << (bit % 32)) != 0 {
+                builder = builder.conflict_all(links[i], links[j]);
+            }
+            bit += 1;
+        }
+    }
+    (builder.build(), links)
+}
+
+/// SINR chain under the paper's PHY: interference falls out of geometry.
+fn sinr(s: &Sweep) -> (SinrModel, Vec<LinkId>) {
+    let (t, links) = chain(s.links);
+    (SinrModel::new(t, Phy::paper_default()), links)
+}
+
+/// Materializes one query against the model's chain.
+fn build_query<M: LinkRateModel>(model: &M, links: &[LinkId], q: &QuerySpec) -> (Path, Vec<Flow>) {
+    let t = model.topology();
+    let n = links.len();
+    let len = q.len.min(n);
+    let start = q.start % (n - len + 1);
+    let path = Path::new(t, links[start..start + len].to_vec()).expect("chain sub-path");
+    let bg_len = q.bg_len.min(n);
+    let bg_start = q.bg_start % (n - bg_len + 1);
+    let bg_path =
+        Path::new(t, links[bg_start..bg_start + bg_len].to_vec()).expect("chain sub-path");
+    let background = vec![Flow::new(bg_path, q.demand_mbps).expect("demand is valid")];
+    (path, background)
+}
+
+/// The property: every warm answer matches a fresh one-shot solve bitwise,
+/// under the given solver, in rotated order — and asking again later (after
+/// other universes were compiled in between) returns the same bits.
+fn check_model<M: LinkRateModel>(
+    model: &M,
+    links: &[LinkId],
+    s: &Sweep,
+    solver: SolverKind,
+) -> Result<(), TestCaseError> {
+    let options = AvailableBandwidthOptions {
+        solver,
+        ..AvailableBandwidthOptions::default()
+    };
+    let mut session = Session::new(model, options);
+    let n = s.queries.len();
+    let mut warm_bits: Vec<Option<u64>> = vec![None; n];
+    for step in 0..n {
+        let i = (step + s.rotation) % n;
+        let (path, background) = build_query(model, links, &s.queries[i]);
+        let warm = session.query(&background, &path);
+        let cold = available_bandwidth(model, &background, &path, &options);
+        match (warm, cold) {
+            (Ok(w), Ok(c)) => {
+                prop_assert_eq!(
+                    w.bandwidth_mbps().to_bits(),
+                    c.bandwidth_mbps().to_bits(),
+                    "warm session diverges from one-shot solve (query {})",
+                    i
+                );
+                warm_bits[i] = Some(w.bandwidth_mbps().to_bits());
+            }
+            (Err(w), Err(c)) => prop_assert_eq!(w, c),
+            (w, c) => prop_assert!(
+                false,
+                "warm/cold outcomes disagree on query {}: {:?} vs {:?}",
+                i,
+                w.map(|o| o.bandwidth_mbps()),
+                c.map(|o| o.bandwidth_mbps())
+            ),
+        }
+    }
+    // Replay in natural order on the same (now fully warm) session: the
+    // answers must not have drifted with session history.
+    for (i, expected) in warm_bits.iter().enumerate() {
+        let (path, background) = build_query(model, links, &s.queries[i]);
+        if let Ok(w) = session.query(&background, &path) {
+            prop_assert_eq!(
+                Some(w.bandwidth_mbps().to_bits()),
+                *expected,
+                "answer drifted on replay (query {})",
+                i
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn warm_sessions_match_one_shot_solves_declarative(s in sweep()) {
+        let (model, links) = declarative(&s);
+        check_model(&model, &links, &s, SolverKind::FullEnumeration)?;
+        check_model(&model, &links, &s, SolverKind::ColumnGeneration)?;
+    }
+
+    #[test]
+    fn warm_sessions_match_one_shot_solves_sinr(s in sweep()) {
+        let (model, links) = sinr(&s);
+        check_model(&model, &links, &s, SolverKind::FullEnumeration)?;
+        check_model(&model, &links, &s, SolverKind::ColumnGeneration)?;
+    }
+}
