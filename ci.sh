@@ -31,4 +31,7 @@ cargo run --release -q -p awb-bench --bin colgen_bench -- --smoke
 echo "==> session_bench --smoke (warm-session bit-identity + speedup floor)"
 cargo run --release -q -p awb-bench --bin session_bench -- --smoke
 
+echo "==> service_load_bench --smoke (reactor + blocking servers under load)"
+cargo run --release -q -p awb-bench --bin service_load_bench -- --smoke
+
 echo "CI green."

@@ -80,12 +80,12 @@ impl Rule {
             Rule::NoPanicInLib | Rule::NoFloatEq | Rule::StrictIndexing => {
                 matches!(
                     crate_name,
-                    "lp" | "core" | "sets" | "service" | "routing" | "estimate" | "sim"
+                    "lp" | "core" | "sets" | "service" | "routing" | "estimate" | "sim" | "reactor"
                 )
             }
             Rule::Determinism => matches!(
                 crate_name,
-                "core" | "sets" | "service" | "routing" | "estimate" | "sim"
+                "core" | "sets" | "service" | "routing" | "estimate" | "sim" | "reactor"
             ),
             Rule::LintHeader | Rule::InvalidWaiver => true,
         }
@@ -95,12 +95,12 @@ impl Rule {
     pub fn describe(self) -> &'static str {
         match self {
             Rule::NoPanicInLib => {
-                "library code of lp/core/sets/service/routing/estimate/sim must not unwrap(), \
-                 expect() or panic!"
+                "library code of lp/core/sets/service/routing/estimate/sim/reactor must not \
+                 unwrap(), expect() or panic!"
             }
             Rule::NoFloatEq => "floats must be compared through tolerances, never == / !=",
             Rule::Determinism => {
-                "core/sets/service/routing/estimate/sim must not use HashMap/HashSet \
+                "core/sets/service/routing/estimate/sim/reactor must not use HashMap/HashSet \
                  (iteration order leaks)"
             }
             Rule::LintHeader => {

@@ -293,15 +293,22 @@ fn parse_solver_kind(s: &str) -> Result<awb_core::SolverKind, Box<dyn Error>> {
 ///
 /// With `--stdio`, serves newline-delimited JSON requests from stdin to
 /// stdout and exits at EOF (single-shot mode). Otherwise binds a TCP
-/// listener (default `127.0.0.1:4810`; `--addr host:0` picks a free port)
-/// and serves until killed. `--enum-engine auto|generic|compiled[:N]`
-/// selects the set-enumeration engine and `--solver full|colgen` the LP
-/// strategy (both pure performance knobs; results are identical).
+/// listener (default `127.0.0.1:4810`; `--addr host:0` picks a free port).
+/// The default server is the nonblocking reactor (epoll event loop plus a
+/// worker pool): it installs a SIGTERM/SIGINT handler, drains in-flight
+/// and queued requests within `--drain-ms`, and exits 0. `--blocking`
+/// selects the legacy thread-per-connection-style server instead (kept
+/// for differential testing; it serves until killed).
+/// `--enum-engine auto|generic|compiled[:N]` selects the set-enumeration
+/// engine and `--solver full|colgen` the LP strategy (both pure
+/// performance knobs; results are identical); `--shards N` splits the
+/// compiled-instance cache and `--max-frame BYTES` caps request frames.
 pub fn serve(args: &Args) -> CmdResult {
-    use awb_service::{Engine, EngineConfig, ServerConfig};
+    use awb_service::{Engine, EngineConfig, ReactorServerConfig, ServerConfig};
     let engine_config = EngineConfig {
         enumeration_engine: parse_engine_kind(args.get("enum-engine").unwrap_or("auto"))?,
         solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
+        shards: args.get_or("shards", 8usize)?.max(1),
         ..EngineConfig::default()
     };
     if args.has("stdio") {
@@ -315,15 +322,41 @@ pub fn serve(args: &Args) -> CmdResult {
         );
         return Ok(());
     }
-    let config = ServerConfig {
-        addr: args.get("addr").unwrap_or("127.0.0.1:4810").to_string(),
-        workers: args.get_or("workers", 4usize)?.max(1),
-        queue_capacity: args.get_or("queue", 64usize)?.max(1),
+    let addr = args.get("addr").unwrap_or("127.0.0.1:4810").to_string();
+    let max_frame_len = args.get_or("max-frame", 1usize << 20)?.max(1);
+    if args.has("blocking") {
+        let config = ServerConfig {
+            addr,
+            workers: args.get_or("workers", 4usize)?.max(1),
+            queue_capacity: args.get_or("queue", 64usize)?.max(1),
+            max_frame_len,
+            engine: engine_config,
+        };
+        let server = awb_service::serve(config)?;
+        eprintln!(
+            "awb-service (blocking) listening on {}",
+            server.local_addr()
+        );
+        server.join();
+        return Ok(());
+    }
+    let defaults = ReactorServerConfig::default();
+    let config = ReactorServerConfig {
+        addr,
+        workers: args.get_or("workers", defaults.workers)?.max(1),
+        queue_capacity: args.get_or("queue", defaults.queue_capacity)?.max(1),
+        max_frame_len,
+        drain_deadline: std::time::Duration::from_millis(args.get_or("drain-ms", 5000u64)?),
+        install_signal_handler: true,
         engine: engine_config,
+        ..defaults
     };
-    let server = awb_service::serve(config)?;
-    eprintln!("awb-service listening on {}", server.local_addr());
-    server.join();
+    let server = awb_service::serve_reactor(config)?;
+    eprintln!("awb-service (reactor) listening on {}", server.local_addr());
+    // Returns once a SIGTERM/SIGINT-triggered drain completes.
+    let engine = std::sync::Arc::clone(server.engine());
+    server.join()?;
+    eprintln!("awb-service drained: {}", engine.metrics.summary());
     Ok(())
 }
 

@@ -9,7 +9,8 @@
 //! awb simulate  [--hops 3] [--hop-length 70] [--slots 50000] [--demand sat]
 //!               [--contention ordered|p0.5|dcf] [--json]
 //! awb scenario2 [--json]
-//! awb serve     [--addr 127.0.0.1:4810] [--workers 4] [--queue 64] [--stdio]
+//! awb serve     [--addr 127.0.0.1:4810] [--workers N] [--queue N] [--stdio]
+//!               [--blocking] [--shards 8] [--max-frame BYTES] [--drain-ms 5000]
 //!               [--enum-engine auto|generic|compiled[:N]] [--solver full|colgen]
 //! awb query     [--addr host:port] [--request '<json>'] [--solver full|colgen]
 //! ```
@@ -31,7 +32,10 @@ commands:
   simulate    run the CSMA/CA simulator on a chain
   scenario2   the paper's clique-invalidity counterexample (16.2 Mbps)
   serve       run the admission-control daemon (JSON lines over TCP;
+              nonblocking reactor by default — SIGTERM drains and exits 0;
+              --blocking for the legacy thread-pool server;
               --stdio for single-shot stdin/stdout mode;
+              --shards N instance-cache shards, --max-frame BYTES frame cap;
               --enum-engine auto|generic|compiled[:N] picks the enumerator;
               --solver full|colgen picks the LP strategy)
   query       send one request to a server (--addr) or answer it in-process

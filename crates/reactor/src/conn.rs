@@ -1,0 +1,261 @@
+//! Per-connection state machine: framing, pipelining, and write buffering.
+//!
+//! A connection may pipeline many requests; solves complete on worker
+//! threads in whatever order the cache and solver dictate, but responses
+//! must leave the socket in request order. Each parsed frame is assigned a
+//! monotone sequence number; completions park in an ordered map until the
+//! next-expected sequence arrives, then flush contiguously into the write
+//! buffer. The write buffer tracks a consumed prefix so a partial
+//! nonblocking write resumes exactly where it stopped.
+//!
+//! This module is pure bookkeeping — no sockets — so the ordering and
+//! partial-write logic is testable without an event loop.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::frame::{FrameError, LineFramer};
+
+/// State for one client connection.
+#[derive(Debug)]
+pub struct Conn {
+    framer: LineFramer,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Sequence number the next parsed frame will receive.
+    next_seq: u64,
+    /// Sequence number the next flushed response must carry.
+    next_out: u64,
+    /// Completed responses waiting for their turn; `None` marks a frame
+    /// that produces no response bytes.
+    ready: BTreeMap<u64, Option<String>>,
+    /// Frames dispatched to workers and not yet completed.
+    inflight: usize,
+    /// The peer half-closed its read side (EOF seen).
+    read_closed: bool,
+    /// Fatal condition: close as soon as the write buffer drains.
+    closing: bool,
+    read_deadline: Option<Instant>,
+    write_deadline: Option<Instant>,
+}
+
+impl Conn {
+    /// Creates connection state with the given per-frame byte cap.
+    pub fn new(max_frame: usize) -> Conn {
+        Conn {
+            framer: LineFramer::new(max_frame),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            next_seq: 0,
+            next_out: 0,
+            ready: BTreeMap::new(),
+            inflight: 0,
+            read_closed: false,
+            closing: false,
+            read_deadline: None,
+            write_deadline: None,
+        }
+    }
+
+    /// Feeds freshly read bytes to the framer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameError::TooLarge`] when the frame cap is exceeded.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Result<(), FrameError> {
+        self.framer.push(bytes)
+    }
+
+    /// Pops the next complete request line, if one is buffered.
+    pub fn next_line(&mut self) -> Option<Vec<u8>> {
+        self.framer.next_line()
+    }
+
+    /// Whether an unterminated partial frame is buffered.
+    pub fn has_partial_frame(&self) -> bool {
+        self.framer.has_partial()
+    }
+
+    /// Assigns the sequence number for a newly dispatched frame.
+    pub fn assign_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight += 1;
+        seq
+    }
+
+    /// Records the outcome of frame `seq`; `None` means the frame emits no
+    /// bytes. Stale or duplicate sequence numbers are ignored.
+    pub fn complete(&mut self, seq: u64, response: Option<String>) {
+        if seq < self.next_out || self.ready.contains_key(&seq) {
+            return;
+        }
+        self.ready.insert(seq, response);
+        self.inflight = self.inflight.saturating_sub(1);
+    }
+
+    /// Moves every contiguous completed response into the write buffer,
+    /// newline-terminated, returning how many response lines moved.
+    pub fn flush_ready(&mut self) -> usize {
+        let mut moved = 0;
+        while let Some(response) = self.ready.remove(&self.next_out) {
+            self.next_out += 1;
+            if let Some(text) = response {
+                self.write_buf.extend_from_slice(text.as_bytes());
+                self.write_buf.push(b'\n');
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// The not-yet-written suffix of the write buffer.
+    pub fn pending_write(&self) -> &[u8] {
+        &self.write_buf[self.write_pos..]
+    }
+
+    /// Records that `n` bytes of [`pending_write`](Conn::pending_write)
+    /// reached the socket; reclaims the buffer once fully flushed.
+    pub fn consume_written(&mut self, n: usize) {
+        self.write_pos = (self.write_pos + n).min(self.write_buf.len());
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+    }
+
+    /// Whether unwritten response bytes are pending.
+    pub fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Whether any dispatched frame has not yet flushed into the write
+    /// buffer (in flight on a worker, or parked out of order).
+    pub fn has_unanswered(&self) -> bool {
+        self.inflight > 0 || !self.ready.is_empty()
+    }
+
+    /// Frames currently in flight on workers.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Marks the peer's write side as closed (EOF observed).
+    pub fn mark_read_closed(&mut self) {
+        self.read_closed = true;
+    }
+
+    /// Whether EOF was observed on the read side.
+    pub fn read_closed(&self) -> bool {
+        self.read_closed
+    }
+
+    /// Marks the connection for closure once the write buffer drains.
+    pub fn mark_closing(&mut self) {
+        self.closing = true;
+    }
+
+    /// Whether the connection is fatally marked for closure.
+    pub fn closing(&self) -> bool {
+        self.closing
+    }
+
+    /// True when nothing further can ever be written: all dispatched work
+    /// answered and the write buffer flushed.
+    pub fn fully_flushed(&self) -> bool {
+        !self.wants_write() && !self.has_unanswered()
+    }
+
+    /// Arms the read (partial-frame) deadline.
+    pub fn arm_read_deadline(&mut self, at: Instant) {
+        self.read_deadline = Some(at);
+    }
+
+    /// Clears the read deadline.
+    pub fn clear_read_deadline(&mut self) {
+        self.read_deadline = None;
+    }
+
+    /// The armed read deadline, if any.
+    pub fn read_deadline(&self) -> Option<Instant> {
+        self.read_deadline
+    }
+
+    /// Arms the write (slow-consumer) deadline.
+    pub fn arm_write_deadline(&mut self, at: Instant) {
+        self.write_deadline = Some(at);
+    }
+
+    /// Clears the write deadline.
+    pub fn clear_write_deadline(&mut self) {
+        self.write_deadline = None;
+    }
+
+    /// The armed write deadline, if any.
+    pub fn write_deadline(&self) -> Option<Instant> {
+        self.write_deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_completions_flush_in_request_order() {
+        let mut c = Conn::new(1024);
+        let a = c.assign_seq();
+        let b = c.assign_seq();
+        let d = c.assign_seq();
+        assert_eq!((a, b, d), (0, 1, 2));
+        assert_eq!(c.inflight(), 3);
+
+        c.complete(d, Some("third".into()));
+        assert_eq!(c.flush_ready(), 0, "seq 0 still outstanding");
+        c.complete(a, Some("first".into()));
+        assert_eq!(c.flush_ready(), 1);
+        c.complete(b, Some("second".into()));
+        assert_eq!(c.flush_ready(), 2, "second unblocks parked third");
+        assert_eq!(c.pending_write(), b"first\nsecond\nthird\n");
+        assert!(!c.fully_flushed());
+        c.consume_written(c.pending_write().len());
+        assert!(c.fully_flushed());
+    }
+
+    #[test]
+    fn silent_frames_unblock_ordering_without_bytes() {
+        let mut c = Conn::new(1024);
+        let a = c.assign_seq();
+        let b = c.assign_seq();
+        c.complete(b, Some("answer".into()));
+        c.complete(a, None);
+        assert_eq!(c.flush_ready(), 1);
+        assert_eq!(c.pending_write(), b"answer\n");
+    }
+
+    #[test]
+    fn partial_writes_resume_where_they_stopped() {
+        let mut c = Conn::new(1024);
+        let s = c.assign_seq();
+        c.complete(s, Some("abcdef".into()));
+        c.flush_ready();
+        c.consume_written(3);
+        assert_eq!(c.pending_write(), b"def\n");
+        assert!(c.wants_write());
+        c.consume_written(4);
+        assert!(!c.wants_write());
+        assert_eq!(c.pending_write(), b"");
+    }
+
+    #[test]
+    fn duplicate_and_stale_completions_are_ignored() {
+        let mut c = Conn::new(1024);
+        let s = c.assign_seq();
+        c.complete(s, Some("one".into()));
+        c.complete(s, Some("dup".into()));
+        assert_eq!(c.flush_ready(), 1);
+        c.complete(s, Some("late".into()));
+        assert_eq!(c.flush_ready(), 0);
+        assert_eq!(c.pending_write(), b"one\n");
+    }
+}

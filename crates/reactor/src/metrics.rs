@@ -1,0 +1,96 @@
+//! Event-loop observability counters and gauges.
+//!
+//! One [`ReactorMetrics`] is shared between the loop thread, the workers,
+//! and whoever serves the `stats` verb. Everything is a relaxed atomic:
+//! the counters are monotone tallies whose exact interleaving does not
+//! matter, and the gauges are last-writer-wins snapshots maintained by the
+//! loop thread alone. [`snapshot`](ReactorMetrics::snapshot) returns plain
+//! `(name, value)` pairs so the service layer can render them in its own
+//! wire format without this crate growing a serializer dependency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters and gauges for one reactor instance.
+#[derive(Debug, Default)]
+pub struct ReactorMetrics {
+    /// Event-loop iterations (poll wakeups).
+    pub ticks: AtomicU64,
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections closed (any reason).
+    pub closed: AtomicU64,
+    /// Connections refused because `max_connections` was reached.
+    pub refused: AtomicU64,
+    /// Complete frames parsed off sockets.
+    pub frames: AtomicU64,
+    /// Responses flushed to sockets.
+    pub responses: AtomicU64,
+    /// Frames answered with `overloaded` because the job queue was full.
+    pub rejected_overload: AtomicU64,
+    /// Connections answered with `frame_too_large` and closed.
+    pub frame_too_large: AtomicU64,
+    /// Connections closed by a read or write deadline.
+    pub deadline_closes: AtomicU64,
+    /// Connections force-closed when the drain deadline expired.
+    pub drain_force_closes: AtomicU64,
+    /// Current job-queue depth (gauge).
+    pub queue_depth: AtomicU64,
+    /// Current open connections (gauge).
+    pub connections: AtomicU64,
+}
+
+impl ReactorMetrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> ReactorMetrics {
+        ReactorMetrics::default()
+    }
+
+    /// Adds one to `counter`.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets a gauge to `value`.
+    pub(crate) fn set(gauge: &AtomicU64, value: u64) {
+        gauge.store(value, Ordering::Relaxed);
+    }
+
+    /// A deterministic, stably-ordered view of every counter and gauge.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("ticks", read(&self.ticks)),
+            ("accepted", read(&self.accepted)),
+            ("closed", read(&self.closed)),
+            ("refused", read(&self.refused)),
+            ("frames", read(&self.frames)),
+            ("responses", read(&self.responses)),
+            ("rejected_overload", read(&self.rejected_overload)),
+            ("frame_too_large", read(&self.frame_too_large)),
+            ("deadline_closes", read(&self.deadline_closes)),
+            ("drain_force_closes", read(&self.drain_force_closes)),
+            ("queue_depth", read(&self.queue_depth)),
+            ("connections", read(&self.connections)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps_in_stable_order() {
+        let m = ReactorMetrics::new();
+        ReactorMetrics::bump(&m.frames);
+        ReactorMetrics::bump(&m.frames);
+        ReactorMetrics::set(&m.queue_depth, 5);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names[0], "ticks");
+        let get = |name: &str| snap.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+        assert_eq!(get("frames"), Some(2));
+        assert_eq!(get("queue_depth"), Some(5));
+        assert_eq!(get("closed"), Some(0));
+    }
+}

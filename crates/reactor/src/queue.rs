@@ -1,0 +1,152 @@
+//! Bounded MPMC job queue between the event loop and the worker pool.
+//!
+//! Admission is strictly non-blocking: the event loop must never sleep on
+//! a full queue, so [`JobQueue::try_push`] fails fast and the caller turns
+//! the failure into a structured `overloaded` response. Workers block in
+//! [`JobQueue::pop`] until a job or [`JobQueue::close`] arrives; close
+//! semantics let queued work drain (pop keeps returning items) while new
+//! pushes are refused, which is exactly the graceful-shutdown order.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::{lock_recover, wait_recover};
+
+/// Why a push was refused; the job is handed back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — the service is overloaded.
+    Full(T),
+    /// The queue was closed — the service is shutting down.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](JobQueue::close); both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = lock_recover(&self.inner);
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed and empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = lock_recover(&self.inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = wait_recover(&self.nonempty, inner);
+        }
+    }
+
+    /// Refuses further pushes; queued items still drain through `pop`, and
+    /// blocked consumers wake to observe the close.
+    pub fn close(&self) {
+        lock_recover(&self.inner).closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Items currently queued (the queue-depth gauge).
+    pub fn len(&self) -> usize {
+        lock_recover(&self.inner).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q: JobQueue<u32> = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_wakes_consumers() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(8));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        assert_eq!(q.pop(), Some(7), "queued work survives close");
+        assert_eq!(q.pop(), None);
+
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn items_cross_threads_in_fifo_order() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(64));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for v in 0..32 {
+            while q.try_push(v).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+}

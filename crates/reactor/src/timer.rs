@@ -1,0 +1,192 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The reactor needs thousands of coarse timers (read/write deadlines, the
+//! shutdown drain bound) with O(1) insertion and batched expiry — exactly
+//! the regime timer wheels were designed for. The wheel hashes each
+//! deadline into one of `slots` buckets of `tick` width; an entry whose
+//! deadline lies more than one revolution out carries a `rounds` counter
+//! and is skipped (decremented) until its revolution arrives.
+//!
+//! Cancellation is lazy: the owner validates each fired token (connection
+//! generation, armed-deadline instant) and ignores stale ones, which keeps
+//! the wheel free of back-pointers and the data structure deterministic —
+//! entries fire in insertion order within a slot.
+
+use std::time::{Duration, Instant};
+
+/// One scheduled entry.
+#[derive(Debug, Clone, Copy)]
+struct Entry<T> {
+    token: T,
+    /// Remaining full revolutions before this entry fires.
+    rounds: u32,
+}
+
+/// A fixed-size hashed timer wheel over copyable tokens.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    slots: Vec<Vec<Entry<T>>>,
+    tick: Duration,
+    /// Wheel origin; slot `i` covers `origin + i*tick` on revolution 0.
+    origin: Instant,
+    /// Ticks fully processed so far (cursor = ticked % slots).
+    ticked: u64,
+    /// Live entries, so idle loops can skip timer bookkeeping entirely.
+    len: usize,
+}
+
+impl<T: Copy> TimerWheel<T> {
+    /// Creates a wheel of `slots` buckets, each `tick` wide, starting at
+    /// `now`. `slots` is clamped to at least 2, `tick` to at least 1ms.
+    pub fn new(slots: usize, tick: Duration, now: Instant) -> TimerWheel<T> {
+        let slots = slots.max(2);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick: tick.max(Duration::from_millis(1)),
+            origin: now,
+            ticked: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of scheduled (possibly stale) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tick `fire_at` hashes to, relative to the wheel origin.
+    fn tick_index(&self, fire_at: Instant) -> u64 {
+        let since = fire_at.saturating_duration_since(self.origin);
+        // Round up: an entry never fires before its deadline.
+        let ticks = since.as_nanos().div_ceil(self.tick.as_nanos().max(1));
+        (ticks as u64).max(self.ticked + 1)
+    }
+
+    /// Schedules `token` to fire at (or just after) `fire_at`.
+    pub fn schedule(&mut self, token: T, fire_at: Instant) {
+        let tick = self.tick_index(fire_at);
+        let ahead = tick - self.ticked;
+        let slot = (tick % self.slots.len() as u64) as usize;
+        let rounds = ((ahead - 1) / self.slots.len() as u64) as u32;
+        self.slots[slot].push(Entry { token, rounds });
+        self.len += 1;
+    }
+
+    /// Advances the wheel to `now`, appending every fired token to `out`
+    /// in deterministic (slot, insertion) order.
+    pub fn advance(&mut self, now: Instant, out: &mut Vec<T>) {
+        if self.len == 0 {
+            // Keep the cursor current so a later schedule() maps correctly.
+            self.ticked = self.elapsed_ticks(now);
+            return;
+        }
+        let target = self.elapsed_ticks(now);
+        while self.ticked < target {
+            self.ticked += 1;
+            let slot = (self.ticked % self.slots.len() as u64) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut kept = 0usize;
+            for i in 0..bucket.len() {
+                if bucket[i].rounds == 0 {
+                    out.push(bucket[i].token);
+                    self.len -= 1;
+                } else {
+                    bucket[i].rounds -= 1;
+                    bucket[kept] = bucket[i];
+                    kept += 1;
+                }
+            }
+            bucket.truncate(kept);
+        }
+    }
+
+    /// Whole ticks elapsed between the origin and `now`.
+    fn elapsed_ticks(&self, now: Instant) -> u64 {
+        (now.saturating_duration_since(self.origin).as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// How long until the next tick boundary that could fire an entry —
+    /// the poll timeout while timers are pending. `None` when the wheel is
+    /// empty (sleep indefinitely).
+    pub fn next_wake(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let next_tick = self.ticked + 1;
+        let at = self.origin + self.tick * (next_tick as u32).max(1);
+        Some(at.saturating_duration_since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_or_after_the_deadline_in_order() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<u32> = TimerWheel::new(8, Duration::from_millis(10), t0);
+        w.schedule(1, t0 + Duration::from_millis(25));
+        w.schedule(2, t0 + Duration::from_millis(5));
+        w.schedule(3, t0 + Duration::from_millis(25));
+        assert_eq!(w.len(), 3);
+
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_millis(4), &mut fired);
+        assert!(fired.is_empty(), "nothing is due at 4ms");
+
+        w.advance(t0 + Duration::from_millis(12), &mut fired);
+        assert_eq!(fired, vec![2]);
+
+        fired.clear();
+        w.advance(t0 + Duration::from_millis(100), &mut fired);
+        assert_eq!(fired, vec![1, 3], "same slot fires in insertion order");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn entries_beyond_one_revolution_wait_their_round() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<&'static str> = TimerWheel::new(4, Duration::from_millis(10), t0);
+        w.schedule("late", t0 + Duration::from_millis(95)); // >2 revolutions
+        w.schedule("soon", t0 + Duration::from_millis(15));
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_millis(50), &mut fired);
+        assert_eq!(fired, vec!["soon"]);
+        fired.clear();
+        w.advance(t0 + Duration::from_millis(91), &mut fired);
+        assert!(fired.is_empty(), "late is still a round away");
+        w.advance(t0 + Duration::from_millis(101), &mut fired);
+        assert_eq!(fired, vec!["late"]);
+    }
+
+    #[test]
+    fn next_wake_tracks_pending_entries() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<u8> = TimerWheel::new(8, Duration::from_millis(10), t0);
+        assert_eq!(w.next_wake(t0), None);
+        w.schedule(1, t0 + Duration::from_millis(30));
+        let wake = w.next_wake(t0).unwrap();
+        assert!(wake <= Duration::from_millis(10));
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_millis(40), &mut fired);
+        assert_eq!(fired, vec![1]);
+        assert_eq!(w.next_wake(t0), None);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_tick() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<u8> = TimerWheel::new(8, Duration::from_millis(10), t0);
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_millis(35), &mut fired); // cursor moves idle
+        w.schedule(9, t0); // already elapsed
+        w.advance(t0 + Duration::from_millis(45), &mut fired);
+        assert_eq!(fired, vec![9]);
+    }
+}

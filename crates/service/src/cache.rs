@@ -14,6 +14,7 @@ use std::sync::Arc;
 pub struct LruCache<V> {
     capacity: usize,
     stamp: u64,
+    evictions: u64,
     entries: BTreeMap<u64, (u64, Arc<V>)>,
 }
 
@@ -24,6 +25,7 @@ impl<V> LruCache<V> {
         LruCache {
             capacity,
             stamp: 0,
+            evictions: 0,
             entries: BTreeMap::new(),
         }
     }
@@ -60,6 +62,7 @@ impl<V> LruCache<V> {
                 .map(|(k, _)| *k)
             {
                 self.entries.remove(&oldest);
+                self.evictions += 1;
             }
         }
         self.entries.insert(key, (self.stamp, Arc::clone(&value)));
@@ -69,6 +72,11 @@ impl<V> LruCache<V> {
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Entries evicted to make room since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Whether the cache is empty.
@@ -89,6 +97,7 @@ mod tests {
         assert_eq!(c.get(1).as_deref(), Some(&"one")); // refresh 1
         c.insert(3, "three"); // evicts 2
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
         assert!(c.get(2).is_none());
         assert_eq!(c.get(1).as_deref(), Some(&"one"));
         assert_eq!(c.get(3).as_deref(), Some(&"three"));

@@ -25,16 +25,17 @@
 //! its result ([`crate::coalesce`]).
 
 use crate::cache::LruCache;
-use crate::coalesce::{Coalescer, Role};
+use crate::coalesce::Role;
 use crate::lock::lock_recover;
 use crate::metrics::Metrics;
 use crate::protocol::{
     CacheStatus, ErrorCode, FlowSpec, QueryKind, Request, ServiceError, TopologyRef,
 };
+use crate::shards::ShardedLru;
 use crate::spec::{FnvHasher, TopologySpec};
 use awb_core::{
     link_universe, AvailableBandwidth, AvailableBandwidthOptions, CompiledInstance, CoreError,
-    Flow, SolverKind,
+    Flow, Session, SolverKind,
 };
 use awb_estimate::{Estimator, Hop, IdleMap};
 use awb_net::{LinkRateModel, Path};
@@ -55,8 +56,12 @@ pub struct ResolvedTopology {
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
-    /// Capacity of the compiled-instance LRU.
+    /// Capacity of the compiled-instance LRU (split across the shards).
     pub sets_cache_capacity: usize,
+    /// Number of independent instance-cache shards. Lookups for different
+    /// instances never contend; same-instance compiles still coalesce
+    /// within a shard.
+    pub shards: usize,
     /// Capacity of the rendered-result LRU.
     pub result_cache_capacity: usize,
     /// Capacity of the built-model LRU for inline (unregistered) specs.
@@ -78,6 +83,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             sets_cache_capacity: 128,
+            shards: 8,
             result_cache_capacity: 1024,
             model_cache_capacity: 64,
             enumeration_engine: EngineKind::Auto,
@@ -92,16 +98,19 @@ pub struct Engine {
     registry: Mutex<BTreeMap<u64, Arc<ResolvedTopology>>>,
     /// Built models for inline specs (evictable, unlike the registry).
     models: Mutex<LruCache<ResolvedTopology>>,
-    /// Compiled per-universe instances (set pools or pricing oracles).
-    instances: Mutex<LruCache<CompiledInstance>>,
+    /// Compiled per-universe instances (set pools or pricing oracles),
+    /// sharded so concurrent lookups for different instances never
+    /// contend; compiles of the same instance coalesce within a shard.
+    instances: ShardedLru<CompiledInstance, Result<CompiledInstance, CoreError>>,
     /// Rendered results.
     results: Mutex<LruCache<Value>>,
-    /// Deduplicates concurrent compilations of the same instance.
-    coalescer: Coalescer<Result<CompiledInstance, CoreError>>,
     /// Engine used for cold set-pool builds.
     enumeration_engine: EngineKind,
     /// LP solve strategy for available-bandwidth queries.
     solver: SolverKind,
+    /// Reactor-core counters, attached when the nonblocking server fronts
+    /// this engine; merged into `stats` responses.
+    reactor_metrics: Mutex<Option<Arc<awb_reactor::ReactorMetrics>>>,
     /// Service counters.
     pub metrics: Metrics,
 }
@@ -130,13 +139,35 @@ impl Engine {
         Engine {
             registry: Mutex::new(BTreeMap::new()),
             models: Mutex::new(LruCache::new(config.model_cache_capacity)),
-            instances: Mutex::new(LruCache::new(config.sets_cache_capacity)),
+            instances: ShardedLru::new(config.shards, config.sets_cache_capacity),
             results: Mutex::new(LruCache::new(config.result_cache_capacity)),
-            coalescer: Coalescer::new(),
             enumeration_engine: config.enumeration_engine,
             solver: config.solver,
+            reactor_metrics: Mutex::new(None),
             metrics: Metrics::new(),
         }
+    }
+
+    /// Attaches the reactor's counters so `stats` responses include them.
+    pub fn attach_reactor_metrics(&self, metrics: Arc<awb_reactor::ReactorMetrics>) {
+        *lock_recover(&self.reactor_metrics) = Some(metrics);
+    }
+
+    /// Renders the `stats` payload: service counters, per-shard instance
+    /// cache state, and (when attached) the reactor's event-loop gauges.
+    fn stats_value(&self) -> Value {
+        let mut value = self.metrics.to_value();
+        if let Value::Object(m) = &mut value {
+            m.insert("instance_shards".into(), self.instances.stats_value());
+            if let Some(reactor) = lock_recover(&self.reactor_metrics).as_ref() {
+                let mut r = Map::new();
+                for (name, v) in reactor.snapshot() {
+                    r.insert(name.into(), Value::Number(v as f64));
+                }
+                m.insert("reactor".into(), Value::Object(r));
+            }
+        }
+        value
     }
 
     /// Executes one parsed request. `deadline` is the absolute instant the
@@ -154,7 +185,7 @@ impl Engine {
     ) -> Result<QueryOutcome, ServiceError> {
         self.check_deadline(deadline)?;
         match request.query {
-            QueryKind::Stats => Ok((self.metrics.to_value(), None)),
+            QueryKind::Stats => Ok((self.stats_value(), None)),
             QueryKind::RegisterTopology => self.register(request),
             QueryKind::AvailableBandwidth => {
                 let (value, status) = self.available_bandwidth(request, deadline)?;
@@ -177,6 +208,9 @@ impl Engine {
                 m.insert("available_mbps".into(), Value::Number(available));
                 Ok((Value::Object(m), Some(status)))
             }
+            QueryKind::AdmitBatch => self
+                .admit_batch(request, deadline)
+                .map(|(v, s)| (v, Some(s))),
             QueryKind::Bounds => self.bounds(request, deadline).map(|(v, s)| (v, Some(s))),
             QueryKind::Estimate => self.estimate(request).map(|v| (v, None)),
         }
@@ -338,6 +372,14 @@ impl Engine {
         for &l in &request.path {
             h.write_u64(l as u64);
         }
+        h.write_u64(request.arrivals.len() as u64);
+        for flow in &request.arrivals {
+            h.write_u64(flow.path.len() as u64);
+            for &l in &flow.path {
+                h.write_u64(l as u64);
+            }
+            h.write_f64(flow.demand_mbps);
+        }
         h.write_u64(request.max_set_size.map_or(u64::MAX, |n| n as u64));
         h.finish()
     }
@@ -352,11 +394,11 @@ impl Engine {
         options: &AvailableBandwidthOptions,
     ) -> Result<(Arc<CompiledInstance>, CacheStatus), ServiceError> {
         let key = Engine::instance_key(resolved, universe, options);
-        if let Some(instance) = lock_recover(&self.instances).get(key) {
+        if let Some(instance) = self.instances.get(key) {
             Metrics::bump(&self.metrics.sets_cache_hits);
             return Ok((instance, CacheStatus::SetsHit));
         }
-        let (compiled, role) = self.coalescer.run(key, || {
+        let (compiled, role) = self.instances.coalesce(key, || {
             let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
             let started = Instant::now();
             let compiled = CompiledInstance::compile(&model, universe, options);
@@ -385,7 +427,7 @@ impl Engine {
         match &*compiled {
             Ok(instance) => {
                 let shared = if status == CacheStatus::Miss {
-                    lock_recover(&self.instances).insert(key, instance.clone())
+                    self.instances.insert(key, instance.clone())
                 } else {
                     Arc::new(instance.clone())
                 };
@@ -438,6 +480,97 @@ impl Engine {
         let value = render_available_bandwidth(&out);
         lock_recover(&self.results).insert(result_key, value.clone());
         Ok((value, status))
+    }
+
+    /// The whole-arrival-sequence admission sweep (`admit_batch`).
+    ///
+    /// Arrivals are evaluated in order against the initial background plus
+    /// every previously admitted arrival — each answer bit-identical to
+    /// the equivalent single `admit` request a client would have issued at
+    /// that point. One warm [`Session`] carries the sweep: arrivals whose
+    /// link universe repeats (the common case when flows share links) pay
+    /// zero compilation, and the LP scratch buffers are reused throughout.
+    fn admit_batch(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<(Value, CacheStatus), ServiceError> {
+        let reference = request
+            .topology
+            .as_ref()
+            .ok_or_else(|| ServiceError::bad_request("this query requires a `topology`"))?;
+        let resolved = self.resolve(reference)?;
+        let result_key = Engine::result_key(request, &resolved);
+        if let Some(cached) = lock_recover(&self.results).get(result_key) {
+            Metrics::bump(&self.metrics.result_cache_hits);
+            return Ok(((*cached).clone(), CacheStatus::Hit));
+        }
+        Metrics::bump(&self.metrics.result_cache_misses);
+        self.check_deadline(deadline)?;
+
+        let topology = resolved.model.topology();
+        let mut flows = request
+            .background
+            .iter()
+            .map(|f| {
+                let p = TopologySpec::parse_path(topology, &f.path)?;
+                Flow::new(p, f.demand_mbps).map_err(core_error)
+            })
+            .collect::<Result<Vec<_>, ServiceError>>()?;
+        let arrivals = request
+            .arrivals
+            .iter()
+            .map(|f| {
+                let p = TopologySpec::parse_path(topology, &f.path)?;
+                Ok((p, f.demand_mbps))
+            })
+            .collect::<Result<Vec<_>, ServiceError>>()?;
+
+        let options = AvailableBandwidthOptions {
+            enumeration: self.enumeration_options(request),
+            solver: self.solver,
+            ..AvailableBandwidthOptions::default()
+        };
+        let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
+        let mut session = Session::new(&model, options);
+        let mut rows = Vec::with_capacity(arrivals.len());
+        let mut admitted_count = 0u64;
+        for (path, demand) in arrivals {
+            self.check_deadline(deadline)?;
+            let started = Instant::now();
+            let out = session.query(&flows, &path).map_err(core_error)?;
+            self.metrics.lp_latency.record(started.elapsed());
+            let available = out.bandwidth_mbps();
+            // Same tolerance as `awb_core::feasibility::admits` and the
+            // single-request `admit` path.
+            let admitted = available + 1e-9 >= demand;
+            let mut row = Map::new();
+            row.insert("admitted".into(), Value::Bool(admitted));
+            row.insert("demand_mbps".into(), Value::Number(demand));
+            row.insert("available_mbps".into(), Value::Number(available));
+            rows.push(Value::Object(row));
+            if admitted {
+                admitted_count += 1;
+                flows.push(Flow::new(path, demand).map_err(core_error)?);
+            }
+        }
+        let stats = session.stats();
+        let mut m = Map::new();
+        m.insert("results".into(), Value::Array(rows));
+        m.insert(
+            "admitted_count".into(),
+            Value::Number(admitted_count as f64),
+        );
+        let mut s = Map::new();
+        s.insert("compiles".into(), Value::Number(stats.compiles as f64));
+        s.insert(
+            "warm_queries".into(),
+            Value::Number(stats.warm_queries as f64),
+        );
+        m.insert("session".into(), Value::Object(s));
+        let value = Value::Object(m);
+        lock_recover(&self.results).insert(result_key, value.clone());
+        Ok((value, CacheStatus::Miss))
     }
 
     /// Eq. 7/9 upper bounds and the §3.3 restricted-pool lower bound.

@@ -56,10 +56,13 @@ mod lock;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+pub mod reactor_server;
 pub mod server;
+pub mod shards;
 pub mod spec;
 
 pub use engine::{Engine, EngineConfig};
 pub use protocol::{CacheStatus, ErrorCode, QueryKind, Request, ServiceError};
+pub use reactor_server::{serve_reactor, serve_reactor_with, ReactorServer, ReactorServerConfig};
 pub use server::{serve, serve_stdio, ServerConfig, ServerHandle};
 pub use spec::TopologySpec;

@@ -16,11 +16,26 @@
 //! ```
 //!
 //! `query` is one of `available_bandwidth`, `bounds`, `estimate`, `admit`,
-//! `stats`, `register_topology`. `id` (any JSON value) is echoed back.
-//! `topology` accepts either an inline spec (see [`crate::spec`]) or the
-//! hash string returned by `register_topology`. `demand_mbps` is only
-//! meaningful for `admit`; `max_set_size` caps the enumerated set size
-//! (`bounds` requires it for the lower bound, default 2).
+//! `admit_batch`, `stats`, `register_topology`. `id` (any JSON value) is
+//! echoed back. `topology` accepts either an inline spec (see
+//! [`crate::spec`]) or the hash string returned by `register_topology`.
+//! `demand_mbps` is only meaningful for `admit`; `max_set_size` caps the
+//! enumerated set size (`bounds` requires it for the lower bound,
+//! default 2).
+//!
+//! `admit_batch` carries a whole flow-arrival sequence in one request:
+//!
+//! ```json
+//! {"query": "admit_batch", "topology": "<hash>",
+//!  "background": [{"path": [0], "demand_mbps": 1.0}],
+//!  "arrivals": [{"path": [1, 2], "demand_mbps": 2.0},
+//!               {"path": [2, 3], "demand_mbps": 4.0}]}
+//! ```
+//!
+//! Arrivals are evaluated in order against the background plus every
+//! *previously admitted* arrival — exactly the answers a client would get
+//! issuing the equivalent `admit` sequence one request at a time, but
+//! solved in a single warm session sweep on the server.
 //!
 //! # Responses
 //!
@@ -45,6 +60,8 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The request's `deadline_ms` elapsed before completion.
     DeadlineExceeded,
+    /// A single request frame exceeded the server's byte cap.
+    FrameTooLarge,
     /// `topology` referenced a hash that was never registered.
     UnknownTopology,
     /// The background flows alone are infeasible.
@@ -61,6 +78,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::FrameTooLarge => "frame_too_large",
             ErrorCode::UnknownTopology => "unknown_topology",
             ErrorCode::InfeasibleBackground => "infeasible_background",
             ErrorCode::Internal => "internal",
@@ -135,6 +153,8 @@ pub enum QueryKind {
     Estimate,
     /// Admission control: does `demand_mbps` fit?
     Admit,
+    /// A whole flow-arrival sequence admitted in one warm sweep.
+    AdmitBatch,
     /// Metrics snapshot.
     Stats,
     /// Register a topology for by-hash reuse.
@@ -149,6 +169,7 @@ impl QueryKind {
             QueryKind::Bounds => "bounds",
             QueryKind::Estimate => "estimate",
             QueryKind::Admit => "admit",
+            QueryKind::AdmitBatch => "admit_batch",
             QueryKind::Stats => "stats",
             QueryKind::RegisterTopology => "register_topology",
         }
@@ -168,6 +189,8 @@ pub struct Request {
     pub background: Vec<FlowSpec>,
     /// The new flow's path, as link indices.
     pub path: Vec<usize>,
+    /// The arrival sequence for `admit_batch` (empty otherwise).
+    pub arrivals: Vec<FlowSpec>,
     /// Candidate demand for `admit`.
     pub demand_mbps: Option<f64>,
     /// Enumerated set-size cap (`None` = unbounded).
@@ -202,6 +225,7 @@ impl Request {
             Some("bounds") => QueryKind::Bounds,
             Some("estimate") => QueryKind::Estimate,
             Some("admit") => QueryKind::Admit,
+            Some("admit_batch") => QueryKind::AdmitBatch,
             Some("stats") => QueryKind::Stats,
             Some("register_topology") => QueryKind::RegisterTopology,
             Some(other) => {
@@ -227,29 +251,13 @@ impl Request {
                 query.as_str()
             )));
         }
-        let background = match obj.get("background") {
-            None | Some(Value::Null) => Vec::new(),
-            Some(Value::Array(items)) => items
-                .iter()
-                .map(|item| {
-                    let path = parse_index_array(item.get("path").unwrap_or(&Value::Null))
-                        .ok_or_else(|| {
-                            ServiceError::bad_request("background flows need a `path` array")
-                        })?;
-                    let demand_mbps = item
-                        .get("demand_mbps")
-                        .and_then(Value::as_f64)
-                        .filter(|d| d.is_finite() && *d >= 0.0)
-                        .ok_or_else(|| {
-                            ServiceError::bad_request(
-                                "background flows need a non-negative `demand_mbps`",
-                            )
-                        })?;
-                    Ok(FlowSpec { path, demand_mbps })
-                })
-                .collect::<Result<_, ServiceError>>()?,
-            Some(_) => return Err(ServiceError::bad_request("`background` must be an array")),
-        };
+        let background = parse_flow_list(obj.get("background"), "background")?;
+        let arrivals = parse_flow_list(obj.get("arrivals"), "arrivals")?;
+        if query == QueryKind::AdmitBatch && arrivals.is_empty() {
+            return Err(ServiceError::bad_request(
+                "`admit_batch` requires a non-empty `arrivals` array",
+            ));
+        }
         let path = match obj.get("path") {
             None | Some(Value::Null) => Vec::new(),
             Some(v) => parse_index_array(v)
@@ -299,10 +307,39 @@ impl Request {
             topology,
             background,
             path,
+            arrivals,
             demand_mbps,
             max_set_size,
             deadline_ms,
         })
+    }
+}
+
+/// Parses an optional array of `{path, demand_mbps}` flow objects.
+fn parse_flow_list(value: Option<&Value>, field: &str) -> Result<Vec<FlowSpec>, ServiceError> {
+    match value {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|item| {
+                let path = parse_index_array(item.get("path").unwrap_or(&Value::Null)).ok_or_else(
+                    || ServiceError::bad_request(format!("`{field}` flows need a `path` array")),
+                )?;
+                let demand_mbps = item
+                    .get("demand_mbps")
+                    .and_then(Value::as_f64)
+                    .filter(|d| d.is_finite() && *d >= 0.0)
+                    .ok_or_else(|| {
+                        ServiceError::bad_request(format!(
+                            "`{field}` flows need a non-negative `demand_mbps`"
+                        ))
+                    })?;
+                Ok(FlowSpec { path, demand_mbps })
+            })
+            .collect(),
+        Some(_) => Err(ServiceError::bad_request(format!(
+            "`{field}` must be an array"
+        ))),
     }
 }
 

@@ -33,6 +33,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Connections admitted to the queue before `overloaded` rejections.
     pub queue_capacity: usize,
+    /// Bytes a single unterminated frame may buffer before the connection
+    /// is answered with `frame_too_large` and closed.
+    pub max_frame_len: usize,
     /// Engine (cache) configuration.
     pub engine: EngineConfig,
 }
@@ -43,6 +46,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_capacity: 64,
+            max_frame_len: 1 << 20,
             engine: EngineConfig::default(),
         }
     }
@@ -71,6 +75,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_capacity.max(1)));
 
+    let max_frame_len = config.max_frame_len.max(1);
     let workers = (0..config.workers.max(1))
         .map(|_| {
             let engine = Arc::clone(&engine);
@@ -78,7 +83,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             let shutdown = Arc::clone(&shutdown);
             std::thread::spawn(move || {
                 while let Some(stream) = queue.pop() {
-                    serve_connection(&engine, stream, &shutdown);
+                    serve_connection(&engine, stream, &shutdown, max_frame_len);
                 }
             })
         })
@@ -170,7 +175,7 @@ impl ServerHandle {
 
 /// Serves every request line on one connection until EOF (or until a
 /// shutdown is requested and the client goes quiet).
-fn serve_connection(engine: &Engine, stream: TcpStream, shutdown: &AtomicBool) {
+fn serve_connection(engine: &Engine, stream: TcpStream, shutdown: &AtomicBool, max_frame: usize) {
     // Poll reads so the worker can notice a shutdown between lines.
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let mut writer = match stream.try_clone() {
@@ -195,6 +200,19 @@ fn serve_connection(engine: &Engine, stream: TcpStream, shutdown: &AtomicBool) {
             {
                 return;
             }
+        }
+        // Whatever remains is an unterminated partial frame; cap it so a
+        // client streaming garbage without newlines cannot grow the buffer
+        // unboundedly.
+        if pending.len() > max_frame {
+            let error = ServiceError::new(
+                ErrorCode::FrameTooLarge,
+                format!("frame exceeds the {max_frame}-byte cap"),
+            );
+            let line = protocol::error_response(&Value::Null, &error);
+            let _ = writer.write_all(line.as_bytes());
+            let _ = writer.write_all(b"\n");
+            return;
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // EOF

@@ -1,0 +1,254 @@
+//! A sharded LRU with per-shard coalescing for the compiled-instance
+//! cache.
+//!
+//! The single-mutex instance cache serializes every lookup; under the
+//! reactor's sustained load that mutex is the first thing worker threads
+//! pile up on, even though the expensive work (compilation) happens
+//! outside it. Sharding splits the key space over N independent
+//! `Mutex<LruCache>` shards, so concurrent requests for *different*
+//! instances never contend, while requests for the *same* instance keep
+//! the leader/follower coalescing they had before — the coalescer is
+//! per-shard too, which keeps its inflight map short.
+//!
+//! Keys are FNV content hashes (already uniformly mixed), so shard
+//! selection is a simple modulo. Per-shard hit/miss counters are relaxed
+//! atomics; eviction counts live inside each [`LruCache`]. The `stats`
+//! verb reports all of them per shard.
+
+use crate::cache::LruCache;
+use crate::coalesce::{Coalescer, Role};
+use crate::lock::lock_recover;
+use serde_json::{Map, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One shard: an LRU slice plus its counters and coalescer.
+struct Shard<V, C> {
+    cache: Mutex<LruCache<V>>,
+    coalescer: Coalescer<C>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Observable state of one shard, for the `stats` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Cache hits on this shard.
+    pub hits: u64,
+    /// Cache misses on this shard.
+    pub misses: u64,
+    /// Entries evicted from this shard.
+    pub evictions: u64,
+    /// Entries currently cached in this shard.
+    pub len: usize,
+}
+
+/// An N-way sharded LRU over `u64` content-hash keys. `V` is the cached
+/// value; `C` is the per-key coalesced computation result (they differ for
+/// the instance cache, which coalesces `Result<_, _>` but caches only the
+/// `Ok` arm).
+pub struct ShardedLru<V, C> {
+    shards: Vec<Shard<V, C>>,
+}
+
+impl<V, C> ShardedLru<V, C> {
+    /// Creates `shards` shards (clamped to ≥ 1) sharing `total_capacity`
+    /// entries as evenly as possible (each shard gets the ceiling, so the
+    /// effective capacity rounds up rather than down).
+    pub fn new(shards: usize, total_capacity: usize) -> ShardedLru<V, C> {
+        let shards = shards.max(1);
+        let per_shard = total_capacity.div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    cache: Mutex::new(LruCache::new(per_shard)),
+                    coalescer: Coalescer::new(),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: u64) -> &Shard<V, C> {
+        // FNV keys are uniformly mixed; plain modulo spreads them evenly.
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key` in its shard, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<V>> {
+        let shard = self.shard(key);
+        let found = lock_recover(&shard.cache).get(key);
+        match found {
+            Some(v) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value` into its shard.
+    pub fn insert(&self, key: u64, value: V) -> Arc<V> {
+        lock_recover(&self.shard(key).cache).insert(key, value)
+    }
+
+    /// Runs `compute` for `key` through the shard's coalescer: concurrent
+    /// callers for the same key share one execution.
+    pub fn coalesce<F>(&self, key: u64, compute: F) -> (Option<Arc<C>>, Role)
+    where
+        F: FnOnce() -> C,
+    {
+        self.shard(key).coalescer.run(key, compute)
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_recover(&s.cache).len())
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let cache = lock_recover(&s.cache);
+                ShardStats {
+                    hits: s.hits.load(Ordering::Relaxed),
+                    misses: s.misses.load(Ordering::Relaxed),
+                    evictions: cache.evictions(),
+                    len: cache.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// The `stats`-verb rendering: one JSON row per shard plus totals.
+    pub fn stats_value(&self) -> Value {
+        let stats = self.stats();
+        let mut total = ShardStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            len: 0,
+        };
+        let rows: Vec<Value> = stats
+            .iter()
+            .map(|s| {
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.evictions += s.evictions;
+                total.len += s.len;
+                let mut row = Map::new();
+                row.insert("hits".into(), Value::Number(s.hits as f64));
+                row.insert("misses".into(), Value::Number(s.misses as f64));
+                row.insert("evictions".into(), Value::Number(s.evictions as f64));
+                row.insert("len".into(), Value::Number(s.len as f64));
+                Value::Object(row)
+            })
+            .collect();
+        let mut m = Map::new();
+        m.insert("shards".into(), Value::Array(rows));
+        m.insert("hits".into(), Value::Number(total.hits as f64));
+        m.insert("misses".into(), Value::Number(total.misses as f64));
+        m.insert("evictions".into(), Value::Number(total.evictions as f64));
+        m.insert("len".into(), Value::Number(total.len as f64));
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_route_to_fixed_shards_and_count_hits() {
+        let cache: ShardedLru<&'static str, ()> = ShardedLru::new(4, 16);
+        assert_eq!(cache.shard_count(), 4);
+        assert!(cache.get(5).is_none());
+        cache.insert(5, "five");
+        assert_eq!(cache.get(5).as_deref(), Some(&"five"));
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        // Key 5 lives in shard 1 (5 % 4); its counters saw one miss, one hit.
+        assert_eq!(stats[1].misses, 1);
+        assert_eq!(stats[1].hits, 1);
+        assert_eq!(stats[0].hits + stats[2].hits + stats[3].hits, 0);
+    }
+
+    #[test]
+    fn eviction_is_per_shard() {
+        // 2 shards × 1 entry each: keys 0,2,4 share shard 0.
+        let cache: ShardedLru<u32, ()> = ShardedLru::new(2, 2);
+        cache.insert(0, 10);
+        cache.insert(2, 12); // evicts 0 within shard 0
+        cache.insert(1, 11); // shard 1, untouched
+        assert!(cache.get(0).is_none());
+        assert_eq!(cache.get(2).as_deref(), Some(&12));
+        assert_eq!(cache.get(1).as_deref(), Some(&11));
+        let stats = cache.stats();
+        assert_eq!(stats[0].evictions, 1);
+        assert_eq!(stats[1].evictions, 0);
+    }
+
+    #[test]
+    fn coalescing_still_dedups_within_a_shard() {
+        use std::sync::atomic::AtomicUsize;
+        let cache: Arc<ShardedLru<(), u64>> = Arc::new(ShardedLru::new(4, 16));
+        let runs = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let runs = Arc::clone(&runs);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (value, _role) = cache.coalesce(9, || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        77u64
+                    });
+                    *value.expect("leader ran the computation")
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 77);
+        }
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one leader ran");
+    }
+
+    #[test]
+    fn stats_value_sums_shards() {
+        let cache: ShardedLru<u32, ()> = ShardedLru::new(3, 9);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        let _ = cache.get(1);
+        let _ = cache.get(99);
+        let v = cache.stats_value();
+        assert_eq!(v.get("len").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("hits").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("misses").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("shards").and_then(Value::as_array).map(|a| a.len()),
+            Some(3)
+        );
+    }
+}
