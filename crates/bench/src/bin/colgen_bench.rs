@@ -13,15 +13,31 @@
 //! under a hard timeout: at that size the enumerate-everything LP blows
 //! well past it (tens of seconds), while column generation answers in
 //! well under a second — the measured justification for the solver knob.
+//! The same 24-link instance doubles as the *pricing ablation*: the solve
+//! runs once with heuristic-first pricing and once exact-only, and the
+//! report gates on the heuristic cutting exact branch-and-bound
+//! invocations by at least 3x while certifying the identical optimum.
+//!
+//! A *frontier sweep* then scales to 32–128 links on clustered topologies
+//! (conflict clusters of 24 links, solved with `decompose: true`): each row
+//! records the colgen wall time, pricing-loop counters, and the
+//! heuristic-vs-exact pricing wall-clock split, with the full-enumeration
+//! baseline run under the same timed kill (it dies inside any 24-link
+//! cluster, so every sweep size times out).
 //!
 //! `--smoke` runs the 12-link size with a loose speedup floor and writes
 //! nothing — the CI hook keeping the two solve paths equivalent.
+//! `--frontier-smoke` solves the 64-link clustered instance once under a
+//! wall-clock budget — the CI hook keeping the frontier reachable.
+//! `--ablate-probe` is a dev mode printing per-(pricing, `stab_alpha`)
+//! round/column/exact-call counts on the 24-link instance.
 
 #![forbid(unsafe_code)]
 
-use awb_bench::topo::random_rate_coupled;
+use awb_bench::topo::{clustered_rate_coupled, random_rate_coupled};
 use awb_core::{
-    available_bandwidth, AvailableBandwidth, AvailableBandwidthOptions, Flow, SolverKind,
+    available_bandwidth, available_bandwidth_colgen, AvailableBandwidth, AvailableBandwidthOptions,
+    ColgenOutcome, Flow, PricingMode, SolverKind,
 };
 use awb_net::{DeclarativeModel, LinkId, Path};
 use awb_sets::maximal_independent_sets;
@@ -34,6 +50,12 @@ const SIZES: [usize; 3] = [12, 16, 20];
 /// The size at which full enumeration is given a timeout it cannot make.
 const FRONTIER_LINKS: usize = 24;
 const FRONTIER_TIMEOUT: Duration = Duration::from_secs(10);
+/// Clustered sizes for the frontier sweep (conflict clusters of
+/// [`SWEEP_CLUSTER`] links, `decompose: true`).
+const SWEEP: [usize; 4] = [32, 64, 96, 128];
+const SWEEP_CLUSTER: usize = 24;
+/// Budget each sweep solve must fit in (also the full-enum kill timeout).
+const SWEEP_BUDGET: Duration = Duration::from_secs(10);
 
 #[derive(Serialize)]
 struct SizeResult {
@@ -71,12 +93,56 @@ struct FrontierResult {
 }
 
 #[derive(Serialize)]
+struct AblationResult {
+    links: usize,
+    /// Exact branch-and-bound invocations with heuristic-first pricing.
+    heuristic_mode_exact_calls: usize,
+    /// Exact invocations with exact-only pricing (every pricing call).
+    exact_mode_exact_calls: usize,
+    /// exact_mode_exact_calls / heuristic_mode_exact_calls; gated at 3x.
+    exact_call_reduction: f64,
+    /// Columns the heuristic priced in without touching the exact oracle.
+    heuristic_columns: usize,
+    /// Whether the two modes' optima are bit-identical f64s (they must be:
+    /// both converge to the same support and the canonical final re-solve
+    /// makes the answer a pure function of it).
+    optimum_bits_equal: bool,
+    heuristic_mode_ns: u64,
+    exact_mode_ns: u64,
+}
+
+#[derive(Serialize)]
+struct SweepResult {
+    links: usize,
+    clusters: usize,
+    colgen_ns: u64,
+    pricing_rounds: usize,
+    columns_generated: usize,
+    /// Columns in the final restricted master (all components).
+    colgen_columns: usize,
+    lp_pivots: usize,
+    /// Wall clock spent inside heuristic pricing across the solve.
+    pricing_heuristic_ns: u64,
+    /// Wall clock spent inside exact branch-and-bound pricing.
+    pricing_exact_ns: u64,
+    heuristic_columns: usize,
+    exact_calls: usize,
+    /// Whether full enumeration was killed at the timeout (expected true:
+    /// it dies inside any 24-link cluster).
+    full_timed_out: bool,
+    full_ns: Option<u64>,
+    bandwidth_mbps: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     bench: &'static str,
     command: &'static str,
     seed: u64,
     results: Vec<SizeResult>,
     frontier: FrontierResult,
+    ablation: AblationResult,
+    sweep: Vec<SweepResult>,
 }
 
 /// The benchmark query on an `n`-link topology: the new path is the first
@@ -100,6 +166,41 @@ fn options(solver: SolverKind) -> AvailableBandwidthOptions {
         solver,
         ..AvailableBandwidthOptions::default()
     }
+}
+
+/// The sweep query on an `n`-link clustered topology, solved with
+/// `decompose: true` so every 24-link conflict cluster becomes its own
+/// component.
+fn clustered_query(n: usize) -> (DeclarativeModel, Path, Vec<Flow>) {
+    let (model, links) = clustered_rate_coupled(n, SWEEP_CLUSTER, SEED);
+    let new_path = Path::new(model.topology(), vec![links[0]]).expect("single link path");
+    let background: Vec<Flow> = links[1..]
+        .iter()
+        .map(|&l| {
+            let p = Path::new(model.topology(), vec![l]).expect("single link path");
+            Flow::new(p, 20.0 / n as f64).expect("demand is valid")
+        })
+        .collect();
+    (model, new_path, background)
+}
+
+fn colgen_options(pricing: PricingMode, decompose: bool) -> AvailableBandwidthOptions {
+    AvailableBandwidthOptions {
+        solver: SolverKind::ColumnGeneration,
+        pricing,
+        decompose,
+        ..AvailableBandwidthOptions::default()
+    }
+}
+
+fn solve_colgen(
+    model: &DeclarativeModel,
+    background: &[Flow],
+    new_path: &Path,
+    options: &AvailableBandwidthOptions,
+) -> ColgenOutcome {
+    available_bandwidth_colgen(model, background, new_path, &[], options)
+        .expect("query is feasible")
 }
 
 fn solve(
@@ -161,14 +262,14 @@ fn run_size(links: usize) -> SizeResult {
     }
 }
 
-/// Runs the full-enumeration solve at the frontier size in a child process
-/// (re-invoking this binary with `--full-once`) and kills it at the
-/// timeout. A thread cannot be cancelled; a process can.
-fn full_with_timeout(timeout: Duration) -> (bool, Option<u64>) {
+/// Runs one full-enumeration solve in a child process (re-invoking this
+/// binary with the given child-mode args) and kills it at the timeout. A
+/// thread cannot be cancelled; a process can.
+fn full_with_timeout(timeout: Duration, child_args: &[String]) -> (bool, Option<u64>) {
     let exe = std::env::current_exe().expect("own path");
     let started = Instant::now();
     let mut child = std::process::Command::new(exe)
-        .arg("--full-once")
+        .args(child_args)
         .stdout(std::process::Stdio::null())
         .spawn()
         .expect("spawn full-enumeration child");
@@ -195,7 +296,8 @@ fn run_frontier() -> FrontierResult {
     let started = Instant::now();
     let colgen = solve(&model, &background, &new_path, SolverKind::ColumnGeneration);
     let colgen_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    let (full_timed_out, full_ns) = full_with_timeout(FRONTIER_TIMEOUT);
+    let (full_timed_out, full_ns) =
+        full_with_timeout(FRONTIER_TIMEOUT, &["--full-once".to_string()]);
     FrontierResult {
         links: FRONTIER_LINKS,
         timeout_s: FRONTIER_TIMEOUT.as_secs(),
@@ -209,6 +311,66 @@ fn run_frontier() -> FrontierResult {
     }
 }
 
+/// Heuristic-first vs exact-only pricing on the 24-link frontier instance.
+fn run_ablation() -> AblationResult {
+    let (model, new_path, background, _) = query(FRONTIER_LINKS);
+    let started = Instant::now();
+    let heur = solve_colgen(
+        &model,
+        &background,
+        &new_path,
+        &colgen_options(PricingMode::HeuristicFirst, false),
+    );
+    let heuristic_mode_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let started = Instant::now();
+    let exact = solve_colgen(
+        &model,
+        &background,
+        &new_path,
+        &colgen_options(PricingMode::ExactOnly, false),
+    );
+    let exact_mode_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    AblationResult {
+        links: FRONTIER_LINKS,
+        heuristic_mode_exact_calls: heur.stats.exact_calls,
+        exact_mode_exact_calls: exact.stats.exact_calls,
+        exact_call_reduction: exact.stats.exact_calls as f64 / heur.stats.exact_calls.max(1) as f64,
+        heuristic_columns: heur.stats.heuristic_columns,
+        optimum_bits_equal: heur.result.bandwidth_mbps().to_bits()
+            == exact.result.bandwidth_mbps().to_bits(),
+        heuristic_mode_ns,
+        exact_mode_ns,
+    }
+}
+
+fn run_sweep_size(links: usize) -> SweepResult {
+    let (model, new_path, background) = clustered_query(links);
+    let opts = colgen_options(PricingMode::HeuristicFirst, true);
+    let started = Instant::now();
+    let out = solve_colgen(&model, &background, &new_path, &opts);
+    let colgen_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let (full_timed_out, full_ns) = full_with_timeout(
+        SWEEP_BUDGET,
+        &["--full-clustered".to_string(), links.to_string()],
+    );
+    SweepResult {
+        links,
+        clusters: links.div_ceil(SWEEP_CLUSTER),
+        colgen_ns,
+        pricing_rounds: out.stats.pricing_rounds,
+        columns_generated: out.stats.columns_generated,
+        colgen_columns: out.result.num_sets(),
+        lp_pivots: out.result.lp_pivots(),
+        pricing_heuristic_ns: out.stats.heuristic_ns,
+        pricing_exact_ns: out.stats.exact_ns,
+        heuristic_columns: out.stats.heuristic_columns,
+        exact_calls: out.stats.exact_calls,
+        full_timed_out,
+        full_ns,
+        bandwidth_mbps: out.result.bandwidth_mbps(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--full-once") {
@@ -216,6 +378,77 @@ fn main() {
         let (model, new_path, background, _) = query(FRONTIER_LINKS);
         let out = solve(&model, &background, &new_path, SolverKind::FullEnumeration);
         println!("{}", out.bandwidth_mbps());
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--full-clustered") {
+        // Child mode for the sweep timeout: one full-enumeration solve of
+        // the clustered instance, with the same decomposition colgen gets.
+        let links: usize = args
+            .get(pos + 1)
+            .expect("--full-clustered takes a size")
+            .parse()
+            .expect("--full-clustered size parses");
+        let (model, new_path, background) = clustered_query(links);
+        let opts = AvailableBandwidthOptions {
+            solver: SolverKind::FullEnumeration,
+            decompose: true,
+            ..AvailableBandwidthOptions::default()
+        };
+        let out =
+            available_bandwidth(&model, &background, &new_path, &opts).expect("query is feasible");
+        println!("{}", out.bandwidth_mbps());
+        return;
+    }
+    if args.iter().any(|a| a == "--frontier-smoke") {
+        // CI hook: the 64-link clustered frontier must stay solvable well
+        // inside the sweep budget.
+        let (model, new_path, background) = clustered_query(64);
+        let opts = colgen_options(PricingMode::HeuristicFirst, true);
+        let started = Instant::now();
+        let out = solve_colgen(&model, &background, &new_path, &opts);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed <= SWEEP_BUDGET,
+            "64-link frontier solve took {elapsed:?} (budget {SWEEP_BUDGET:?})"
+        );
+        println!(
+            "colgen_bench frontier smoke ok: 64 links in {:.2}s \
+             ({} rounds, {} columns, {} exact calls, {:.3} Mbps)",
+            elapsed.as_secs_f64(),
+            out.stats.pricing_rounds,
+            out.result.num_sets(),
+            out.stats.exact_calls,
+            out.result.bandwidth_mbps(),
+        );
+        return;
+    }
+    if args.iter().any(|a| a == "--ablate-probe") {
+        // Hidden dev mode: exact-call counts per (pricing, stab_alpha).
+        let (model, new_path, background, _) = query(FRONTIER_LINKS);
+        for (label, pricing, alpha) in [
+            ("exact  a=1.0", PricingMode::ExactOnly, 1.0),
+            ("exact  a=0.5", PricingMode::ExactOnly, 0.5),
+            ("heur   a=1.0", PricingMode::HeuristicFirst, 1.0),
+            ("heur   a=0.7", PricingMode::HeuristicFirst, 0.7),
+            ("heur   a=0.5", PricingMode::HeuristicFirst, 0.5),
+            ("heur   a=0.3", PricingMode::HeuristicFirst, 0.3),
+        ] {
+            let mut opts = colgen_options(pricing, false);
+            opts.stab_alpha = alpha;
+            let started = Instant::now();
+            let out = solve_colgen(&model, &background, &new_path, &opts);
+            println!(
+                "{label}: {} rounds, {} columns ({} heuristic), {} exact calls, \
+                 {} pivots, {:.1}ms, f={:.17e}",
+                out.stats.pricing_rounds,
+                out.stats.columns_generated,
+                out.stats.heuristic_columns,
+                out.stats.exact_calls,
+                out.result.lp_pivots(),
+                started.elapsed().as_secs_f64() * 1e3,
+                out.result.bandwidth_mbps(),
+            );
+        }
         return;
     }
     if args.iter().any(|a| a == "--smoke") {
@@ -252,6 +485,34 @@ fn main() {
         "full enumeration unexpectedly finished {} links within {}s",
         frontier.links, frontier.timeout_s
     );
+    let ablation = run_ablation();
+    assert!(
+        ablation.exact_call_reduction >= 3.0,
+        "heuristic-first pricing only cut exact calls by {:.2}x ({} vs {})",
+        ablation.exact_call_reduction,
+        ablation.exact_mode_exact_calls,
+        ablation.heuristic_mode_exact_calls
+    );
+    assert!(
+        ablation.optimum_bits_equal,
+        "heuristic-first and exact-only pricing disagree on the optimum"
+    );
+    let sweep: Vec<SweepResult> = SWEEP.iter().map(|&n| run_sweep_size(n)).collect();
+    for s in &sweep {
+        assert!(
+            s.full_timed_out,
+            "full enumeration unexpectedly finished {} clustered links within {}s",
+            s.links,
+            SWEEP_BUDGET.as_secs()
+        );
+        assert!(
+            Duration::from_nanos(s.colgen_ns) <= SWEEP_BUDGET,
+            "{} links: colgen took {:.2}s (budget {}s)",
+            s.links,
+            s.colgen_ns as f64 / 1e9,
+            SWEEP_BUDGET.as_secs()
+        );
+    }
 
     for r in &results {
         println!(
@@ -277,12 +538,40 @@ fn main() {
         frontier.colgen_columns,
         frontier.maximal_sets,
     );
+    println!(
+        "ablation at {} links: exact calls {} -> {} ({:.1}x cut), \
+         {} heuristic columns, optima bit-identical: {}",
+        ablation.links,
+        ablation.exact_mode_exact_calls,
+        ablation.heuristic_mode_exact_calls,
+        ablation.exact_call_reduction,
+        ablation.heuristic_columns,
+        ablation.optimum_bits_equal,
+    );
+    for s in &sweep {
+        println!(
+            "{:>3} links / {} clusters: colgen {:>6.2}s ({} rounds, {} columns, {} pivots; \
+             pricing {:.0}ms heuristic + {:.0}ms exact, {} exact calls); full enum killed: {}",
+            s.links,
+            s.clusters,
+            s.colgen_ns as f64 / 1e9,
+            s.pricing_rounds,
+            s.colgen_columns,
+            s.lp_pivots,
+            s.pricing_heuristic_ns as f64 / 1e6,
+            s.pricing_exact_ns as f64 / 1e6,
+            s.exact_calls,
+            s.full_timed_out,
+        );
+    }
     let report = Report {
         bench: "colgen-vs-full-enumeration",
         command: "cargo run --release -p awb-bench --bin colgen_bench",
         seed: SEED,
         results,
         frontier,
+        ablation,
+        sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_colgen.json", json + "\n").expect("write BENCH_colgen.json");

@@ -14,7 +14,9 @@
 //!   session sweep);
 //! - **phase**: `cold` (per-request distinct demands — every request pays
 //!   an LP solve; the compiled instance warms once per universe) vs `warm`
-//!   (the identical request sequence replayed — result-cache hits).
+//!   (the identical request sequence replayed over the *same keep-alive
+//!   connections* the cold phase established — result-cache hits, no
+//!   reconnect storm).
 //!
 //! Each cell reports sustained request and query throughput plus
 //! p50/p99/p999 latency. Responses are checked for `"status": "ok"` so a
@@ -136,7 +138,8 @@ fn request_line(mode: Mode, phase: Phase, conn: usize, iter: usize) -> String {
 }
 
 /// One load-generator connection: a nonblocking socket keeping exactly one
-/// request in flight.
+/// request in flight. Connections persist across phases (keep-alive): the
+/// warm phase replays over the sockets the cold phase drove.
 struct ClientConn {
     stream: TcpStream,
     out: Vec<u8>,
@@ -146,20 +149,17 @@ struct ClientConn {
     iter: usize,
     sent_at: Instant,
     interest: Interest,
+    /// Finished the current phase's iterations.
     done: bool,
+    /// Closed or errored; unusable for later phases.
+    dead: bool,
 }
 
-/// Runs one (server, mode, phase) cell against `addr`, returning
-/// per-request latencies (µs) plus the error count and wall time.
-fn drive(
-    addr: SocketAddr,
-    grid: &GridConfig,
-    mode: Mode,
-    phase: Phase,
-) -> io::Result<(Vec<u64>, usize, Duration)> {
-    let poller = Poller::new()?;
-    let mut conns: Vec<ClientConn> = Vec::with_capacity(grid.connections);
-    for c in 0..grid.connections {
+/// Connects the load generator's keep-alive connection set and registers
+/// every socket with `poller` (token = connection index).
+fn connect_all(poller: &Poller, addr: SocketAddr, n: usize) -> io::Result<Vec<ClientConn>> {
+    let mut conns: Vec<ClientConn> = Vec::with_capacity(n);
+    for c in 0..n {
         // Loopback connects complete at SYN-ACK; retry briefly if the
         // listen backlog is momentarily full.
         let stream = {
@@ -178,30 +178,59 @@ fn drive(
         };
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
-        let first = request_line(mode, phase, c, 0);
-        let mut out = first.into_bytes();
-        out.push(b'\n');
         poller.register(stream.as_raw_fd(), c as u64, Interest::BOTH)?;
         conns.push(ClientConn {
             stream,
-            out,
+            out: Vec::new(),
             out_pos: 0,
             inbuf: Vec::new(),
-            iter: 1,
+            iter: 0,
             sent_at: Instant::now(),
             interest: Interest::BOTH,
-            done: false,
+            done: true,
+            dead: false,
         });
     }
+    Ok(conns)
+}
 
-    let started = Instant::now();
-    for conn in &mut conns {
-        conn.sent_at = started;
-    }
+/// Runs one (server, mode, phase) cell over the established keep-alive
+/// connections, returning per-request latencies (µs) plus the error count
+/// and wall time. Reusing connections across phases means a warm phase
+/// measures result-cache replay, not a reconnect storm.
+fn drive(
+    poller: &Poller,
+    conns: &mut [ClientConn],
+    grid: &GridConfig,
+    mode: Mode,
+    phase: Phase,
+) -> io::Result<(Vec<u64>, usize, Duration)> {
     let expected = grid.connections * grid.iterations;
     let mut latencies: Vec<u64> = Vec::with_capacity(expected);
     let mut errors = 0usize;
-    let mut open = grid.connections;
+    let mut open = 0usize;
+    let started = Instant::now();
+    for (c, conn) in conns.iter_mut().enumerate() {
+        if conn.dead {
+            // A connection lost in an earlier phase cannot answer; its
+            // share of this phase counts as errors.
+            errors += grid.iterations;
+            continue;
+        }
+        let mut out = request_line(mode, phase, c, 0).into_bytes();
+        out.push(b'\n');
+        conn.out = out;
+        conn.out_pos = 0;
+        conn.inbuf.clear();
+        conn.iter = 1;
+        conn.done = false;
+        conn.sent_at = started;
+        if conn.interest != Interest::BOTH {
+            poller.modify(conn.stream.as_raw_fd(), c as u64, Interest::BOTH)?;
+            conn.interest = Interest::BOTH;
+        }
+        open += 1;
+    }
     let mut events = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     while open > 0 {
@@ -231,6 +260,7 @@ fn drive(
                             // request as an error.
                             errors += 1 + grid.iterations.saturating_sub(conn.iter);
                             conn.done = true;
+                            conn.dead = true;
                             open -= 1;
                             break;
                         }
@@ -273,6 +303,7 @@ fn drive(
                         Err(_) => {
                             errors += 1 + grid.iterations.saturating_sub(conn.iter);
                             conn.done = true;
+                            conn.dead = true;
                             open -= 1;
                             break;
                         }
@@ -282,7 +313,9 @@ fn drive(
                     }
                 }
             }
-            if conn.done {
+            if conn.dead {
+                // Only dead sockets leave the poller; completed ones stay
+                // registered for the next phase (keep-alive).
                 let _ = poller.deregister(conn.stream.as_raw_fd());
                 continue;
             }
@@ -319,14 +352,15 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 fn run_cell(
-    addr: SocketAddr,
+    poller: &Poller,
+    conns: &mut [ClientConn],
     grid: &GridConfig,
     server: &'static str,
     mode: Mode,
     phase: Phase,
 ) -> Row {
     let (mut latencies, errors, elapsed) =
-        drive(addr, grid, mode, phase).expect("load generator I/O failed");
+        drive(poller, conns, grid, mode, phase).expect("load generator I/O failed");
     latencies.sort_unstable();
     let requests = latencies.len();
     let per_request = match mode {
@@ -359,10 +393,16 @@ fn run_cell(
 }
 
 /// Runs the cold and warm phases for one mode against a running server.
+/// Both phases share one keep-alive connection set: the warm phase replays
+/// over the very sockets the cold phase drove, so its numbers measure
+/// result-cache replay rather than a fresh connect storm.
 fn run_mode(addr: SocketAddr, grid: &GridConfig, server: &'static str, mode: Mode) -> Vec<Row> {
+    let poller = Poller::new().expect("load generator poller");
+    let mut conns =
+        connect_all(&poller, addr, grid.connections).expect("load generator connect failed");
     vec![
-        run_cell(addr, grid, server, mode, Phase::Cold),
-        run_cell(addr, grid, server, mode, Phase::Warm),
+        run_cell(&poller, &mut conns, grid, server, mode, Phase::Cold),
+        run_cell(&poller, &mut conns, grid, server, mode, Phase::Warm),
     ]
 }
 

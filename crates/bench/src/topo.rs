@@ -81,10 +81,88 @@ pub fn random_rate_coupled(n: usize, seed: u64) -> (DeclarativeModel, Vec<LinkId
     (b.build(), links)
 }
 
+/// A clustered variant of [`random_rate_coupled`] for the solver-frontier
+/// benchmark: `n` links split into clusters of at most `cluster` links, with
+/// the rate-coupled conflict draw applied *within* clusters only and no
+/// conflicts across them. Under `decompose: true` each cluster becomes one
+/// potential-conflict component, so the instance exercises exactly the
+/// per-component machinery (independent pricing oracles, parallel pricing,
+/// parallel schedule merge) that lets column generation scale past the
+/// single-component frontier.
+pub fn clustered_rate_coupled(
+    n: usize,
+    cluster: usize,
+    seed: u64,
+) -> (DeclarativeModel, Vec<LinkId>) {
+    let cluster = cluster.max(1);
+    let r54 = Rate::from_mbps(54.0);
+    let r36 = Rate::from_mbps(36.0);
+    let r18 = Rate::from_mbps(18.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let mut links = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = t.add_node(i as f64 * 10.0, 0.0);
+        let b = t.add_node(i as f64 * 10.0 + 5.0, 0.0);
+        links.push(t.add_link(a, b).expect("fresh nodes"));
+    }
+    let mut b = DeclarativeModel::builder(t);
+    for &l in &links {
+        b = b.alone_rates(l, &[r54, r36, r18]);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if i / cluster != j / cluster {
+                continue;
+            }
+            match rng.gen_range(0u8..6) {
+                0 => b = b.conflict_all(links[i], links[j]),
+                1 | 2 => {
+                    b = b.conflict_at(links[i], r54, links[j], r54);
+                    b = b.conflict_at(links[i], r54, links[j], r36);
+                    b = b.conflict_at(links[i], r36, links[j], r54);
+                }
+                _ => {}
+            }
+        }
+    }
+    (b.build(), links)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use awb_net::LinkRateModel;
+
+    #[test]
+    fn clustered_generator_is_deterministic_and_cluster_local() {
+        let (m1, links1) = clustered_rate_coupled(12, 4, 7);
+        let (m2, links2) = clustered_rate_coupled(12, 4, 7);
+        assert_eq!(links1, links2);
+        // No conflicts across cluster boundaries, at any rate pair.
+        for (i, &a) in links1.iter().enumerate() {
+            for (j, &b) in links1.iter().enumerate().skip(i + 1) {
+                if i / 4 == j / 4 {
+                    continue;
+                }
+                for &ra in &m1.alone_rates(a) {
+                    for &rb in &m1.alone_rates(b) {
+                        assert!(!m1.conflicts((a, ra), (b, rb)), "{a} vs {b}");
+                    }
+                }
+            }
+        }
+        // Same seed, same conflicts.
+        let r54 = Rate::from_mbps(54.0);
+        for (i, &a) in links1.iter().enumerate() {
+            for &b in &links1[i + 1..] {
+                assert_eq!(
+                    m1.conflicts((a, r54), (b, r54)),
+                    m2.conflicts((a, r54), (b, r54))
+                );
+            }
+        }
+    }
 
     #[test]
     fn generator_is_deterministic_and_live() {

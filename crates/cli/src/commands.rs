@@ -84,8 +84,12 @@ pub fn available(args: &Args) -> CmdResult {
     } else {
         Vec::new()
     };
+    let (pricing, stab_alpha, pricing_threads) = pricing_args(args)?;
     let options = AvailableBandwidthOptions {
         solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
+        pricing,
+        stab_alpha,
+        pricing_threads,
         ..AvailableBandwidthOptions::default()
     };
     let out = available_bandwidth(&model, &background, &path, &options)?;
@@ -289,6 +293,31 @@ fn parse_solver_kind(s: &str) -> Result<awb_core::SolverKind, Box<dyn Error>> {
     }
 }
 
+/// Parses `--pricing`: `heuristic` (greedy-plus-local-search first, exact
+/// branch-and-bound only as the fallback and final certificate — the
+/// default) or `exact` (exact oracle on every pricing round). Both certify
+/// the same optimum; the choice is a pure performance knob.
+fn parse_pricing_mode(s: &str) -> Result<awb_core::PricingMode, Box<dyn Error>> {
+    use awb_core::PricingMode;
+    match s {
+        "heuristic" | "heuristic-first" => Ok(PricingMode::HeuristicFirst),
+        "exact" | "exact-only" => Ok(PricingMode::ExactOnly),
+        other => Err(format!("unknown --pricing {other:?} (expected heuristic or exact)").into()),
+    }
+}
+
+/// Reads the colgen pricing knobs shared by `available`, `serve`, and
+/// `query`: `--pricing heuristic|exact`, `--stab-alpha A` (dual smoothing,
+/// 1.0 disables), `--pricing-threads N` (0 = all cores).
+fn pricing_args(args: &Args) -> Result<(awb_core::PricingMode, f64, usize), Box<dyn Error>> {
+    let defaults = AvailableBandwidthOptions::default();
+    Ok((
+        parse_pricing_mode(args.get("pricing").unwrap_or("heuristic"))?,
+        args.get_or("stab-alpha", defaults.stab_alpha)?,
+        args.get_or("pricing-threads", defaults.pricing_threads)?,
+    ))
+}
+
 /// `awb serve` — run the admission-control daemon ([`awb_service`]).
 ///
 /// With `--stdio`, serves newline-delimited JSON requests from stdin to
@@ -305,10 +334,14 @@ fn parse_solver_kind(s: &str) -> Result<awb_core::SolverKind, Box<dyn Error>> {
 /// compiled-instance cache and `--max-frame BYTES` caps request frames.
 pub fn serve(args: &Args) -> CmdResult {
     use awb_service::{Engine, EngineConfig, ReactorServerConfig, ServerConfig};
+    let (pricing, stab_alpha, pricing_threads) = pricing_args(args)?;
     let engine_config = EngineConfig {
         enumeration_engine: parse_engine_kind(args.get("enum-engine").unwrap_or("auto"))?,
         solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
         shards: args.get_or("shards", 8usize)?.max(1),
+        pricing,
+        stab_alpha,
+        pricing_threads,
         ..EngineConfig::default()
     };
     if args.has("stdio") {
@@ -382,8 +415,12 @@ pub fn query(args: &Args) -> CmdResult {
         Some(addr) => awb_service::server::query_once(addr, &request)?,
         None => {
             use awb_service::{Engine, EngineConfig};
+            let (pricing, stab_alpha, pricing_threads) = pricing_args(args)?;
             let engine = Engine::new(EngineConfig {
                 solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
+                pricing,
+                stab_alpha,
+                pricing_threads,
                 ..EngineConfig::default()
             });
             awb_service::server::handle_line(&engine, &request)

@@ -3,7 +3,8 @@
 //! ```text
 //! awb topology  [--nodes 30] [--width 400] [--height 600] [--seed 7] [--json]
 //! awb available [--hops 4] [--hop-length 70] [--background 0]
-//!               [--solver full|colgen] [--json]
+//!               [--solver full|colgen] [--pricing heuristic|exact]
+//!               [--stab-alpha A] [--pricing-threads N] [--json]
 //! awb admission [--flows 8] [--metric average-e2eD] [--demand 2]
 //!               [--seed 7] [--pairs-seed 5] [--json]
 //! awb simulate  [--hops 3] [--hop-length 70] [--slots 50000] [--demand sat]
@@ -12,7 +13,9 @@
 //! awb serve     [--addr 127.0.0.1:4810] [--workers N] [--queue N] [--stdio]
 //!               [--blocking] [--shards 8] [--max-frame BYTES] [--drain-ms 5000]
 //!               [--enum-engine auto|generic|compiled[:N]] [--solver full|colgen]
+//!               [--pricing heuristic|exact] [--stab-alpha A] [--pricing-threads N]
 //! awb query     [--addr host:port] [--request '<json>'] [--solver full|colgen]
+//!               [--pricing heuristic|exact] [--stab-alpha A] [--pricing-threads N]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,7 +40,9 @@ commands:
               --stdio for single-shot stdin/stdout mode;
               --shards N instance-cache shards, --max-frame BYTES frame cap;
               --enum-engine auto|generic|compiled[:N] picks the enumerator;
-              --solver full|colgen picks the LP strategy)
+              --solver full|colgen picks the LP strategy;
+              --pricing heuristic|exact, --stab-alpha A, and
+              --pricing-threads N tune colgen column pricing)
   query       send one request to a server (--addr) or answer it in-process
 
 common flags: --json for machine-readable output, --help for this text";

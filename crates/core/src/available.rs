@@ -27,6 +27,26 @@ pub enum SolverKind {
     ColumnGeneration,
 }
 
+/// How the column-generation pricing rounds drive the max-weight oracle.
+///
+/// Both modes converge to the same certified optimum: the exact
+/// branch-and-bound search is always the convergence judge (a round only
+/// terminates the loop after the exact oracle fails to price a column in),
+/// and the final answer is re-solved canonically from the converged support,
+/// so the choice affects *cost*, not the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PricingMode {
+    /// Run a cheap greedy/local-search column constructor first and fall
+    /// back to the exact branch-and-bound only when the heuristic column
+    /// fails the reduced-cost test — the expensive search then runs roughly
+    /// once per converged component instead of once per round.
+    #[default]
+    HeuristicFirst,
+    /// Run the exact branch-and-bound every round (the original behavior);
+    /// kept as the certification reference and for A/B benchmarking.
+    ExactOnly,
+}
+
 /// Options for [`available_bandwidth`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AvailableBandwidthOptions {
@@ -44,6 +64,22 @@ pub struct AvailableBandwidthOptions {
     /// Which solve strategy to use. Defaults to
     /// [`SolverKind::FullEnumeration`].
     pub solver: SolverKind,
+    /// How column-generation pricing rounds drive the oracle (unused under
+    /// [`SolverKind::FullEnumeration`]).
+    pub pricing: PricingMode,
+    /// Dual-stabilization smoothing factor in `(0, 1]` for the stage-B
+    /// pricing weights: the heuristic proposal is steered by
+    /// `α·duals + (1−α)·previous duals`, damping the dual oscillation that
+    /// inflates column-generation round counts. `1.0` disables smoothing.
+    /// Exactness is unaffected — the reduced-cost accept test and the exact
+    /// fallback always use the raw duals. Ignored under
+    /// [`PricingMode::ExactOnly`].
+    pub stab_alpha: f64,
+    /// Worker threads for per-conflict-component pricing and stage-A solves
+    /// under column generation (`0` = all available cores). Answers are
+    /// bit-identical for any value. Only pays off with `decompose: true` on
+    /// multi-component universes.
+    pub pricing_threads: usize,
 }
 
 impl Default for AvailableBandwidthOptions {
@@ -53,6 +89,9 @@ impl Default for AvailableBandwidthOptions {
             dust_epsilon: 1e-9,
             decompose: false,
             solver: SolverKind::default(),
+            pricing: PricingMode::default(),
+            stab_alpha: 0.5,
+            pricing_threads: 1,
         }
     }
 }

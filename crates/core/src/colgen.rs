@@ -26,17 +26,48 @@
 //!    stage-A pool (so it starts feasible), pricing per component with
 //!    `enter iff Σ scarcity_e · R_S[e] > airtime dual`.
 //!
+//! Three levers keep the pricing loop fast at the 64–256-link frontier,
+//! none of which may change the certified optimum:
+//!
+//! - **Heuristic-first pricing** ([`PricingMode::HeuristicFirst`]): a
+//!   greedy-plus-local-search constructor proposes a column in near-linear
+//!   time; only
+//!   when its value under the *raw* duals fails the reduced-cost test (or it
+//!   is already pooled) does the exact branch-and-bound run. Convergence is
+//!   only ever declared on an exact-search failure, so the optimality
+//!   certificate rests on the exact oracle alone.
+//! - **Dual stabilization** (`stab_alpha`): the heuristic proposal is
+//!   steered by smoothed duals `α·y + (1−α)·y_prev`, damping the dual
+//!   oscillation that inflates round counts; accept tests always use raw
+//!   duals.
+//! - **Parallel per-component pricing** (`pricing_threads`): stage-A solves
+//!   and stage-B pricing fan out across conflict components with the
+//!   deterministic chunked-merge discipline of the enumeration engine, so
+//!   answers are bit-identical for any thread count.
+//!
 //! Every pricing round is deterministic (oracle ties break first-found,
-//! duplicate proposals are treated as convergence), so repeated runs produce
-//! identical columns, bases, and duals.
+//! duplicate proposals fall back to the exact search), so repeated runs
+//! produce identical columns, bases, and duals. After convergence the answer
+//! is **re-solved canonically**: the optimal support columns are extracted,
+//! sorted canonically, and a fresh minimal master is solved from scratch —
+//! making the reported optimum, schedule, and duals a pure function of the
+//! converged support rather than of the column-discovery path, which is what
+//! lets heuristic-first and exact-only pricing certify bit-identical
+//! answers.
 
-use crate::available::{demand_into, link_universe, AvailableBandwidth, AvailableBandwidthOptions};
+use std::cmp::Ordering;
+
+use crate::available::{
+    demand_into, link_universe, AvailableBandwidth, AvailableBandwidthOptions, PricingMode,
+};
 use crate::error::CoreError;
 use crate::flow::Flow;
 use crate::schedule::Schedule;
 use awb_lp::{Direction, IncrementalSolver, Problem, Relation, SolverOptions, VarId};
 use awb_net::{LinkId, LinkRateModel, Path};
-use awb_sets::{MaxWeightOracle, RatedSet};
+use awb_sets::{
+    price_component, price_components, MaxWeightOracle, PriceScratch, PricingRequest, RatedSet,
+};
 
 /// Reduced costs must clear this margin before a column is generated; keeps
 /// the loop from chasing LP-tolerance noise.
@@ -50,6 +81,11 @@ const FEAS_TOL: f64 = 1e-7;
 /// stalling, far above anything a real topology needs.
 const MAX_ROUNDS: usize = 10_000;
 
+/// λ values at or below this are not part of the converged support the
+/// canonical final re-solve is built over (they are LP-arithmetic noise, far
+/// below any meaningful time share).
+const SUPPORT_EPS: f64 = 1e-12;
+
 /// Counters describing a column-generation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ColgenStats {
@@ -57,8 +93,73 @@ pub struct ColgenStats {
     pub pricing_rounds: usize,
     /// Columns the oracle generated beyond the seed pool.
     pub columns_generated: usize,
-    /// Total simplex pivots across every master, including warm restarts.
+    /// Total simplex pivots across every master, including warm restarts
+    /// and the canonical final re-solve.
     pub pivots: usize,
+    /// Generated columns that came from the heuristic constructor (the
+    /// exact search never ran for these).
+    pub heuristic_columns: usize,
+    /// Exact branch-and-bound invocations — the expensive certifier.
+    /// Under [`PricingMode::ExactOnly`] every pricing call counts here.
+    pub exact_calls: usize,
+    /// Wall-clock nanoseconds spent in the heuristic constructor.
+    pub heuristic_ns: u64,
+    /// Wall-clock nanoseconds spent in the exact branch-and-bound.
+    pub exact_ns: u64,
+}
+
+impl ColgenStats {
+    /// Accumulates another run's (or component's) counters into `self`.
+    fn absorb(&mut self, other: ColgenStats) {
+        self.pricing_rounds += other.pricing_rounds;
+        self.columns_generated += other.columns_generated;
+        self.pivots += other.pivots;
+        self.heuristic_columns += other.heuristic_columns;
+        self.exact_calls += other.exact_calls;
+        self.heuristic_ns += other.heuristic_ns;
+        self.exact_ns += other.exact_ns;
+    }
+}
+
+/// The solver-tuning slice of [`AvailableBandwidthOptions`] the pricing loop
+/// consumes; copied into a [`crate::CompiledInstance`] at compile time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PricingTuning {
+    pub(crate) mode: PricingMode,
+    pub(crate) stab_alpha: f64,
+    pub(crate) threads: usize,
+}
+
+impl PricingTuning {
+    pub(crate) fn from_options(options: &AvailableBandwidthOptions) -> PricingTuning {
+        PricingTuning {
+            mode: options.pricing,
+            // Clamp away of nonsense values rather than erroring: smoothing
+            // is a performance knob, never a correctness one.
+            stab_alpha: if options.stab_alpha.is_finite() {
+                options.stab_alpha.clamp(f64::MIN_POSITIVE, 1.0)
+            } else {
+                1.0
+            },
+            threads: options.pricing_threads,
+        }
+    }
+
+    fn heuristic_first(&self) -> bool {
+        self.mode == PricingMode::HeuristicFirst
+    }
+
+    fn stabilized(&self) -> bool {
+        self.heuristic_first() && self.stab_alpha < 1.0
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        }
+    }
 }
 
 /// Result of a column-generation solve: the Eq. 6 outcome plus the final
@@ -146,6 +247,7 @@ pub fn available_bandwidth_colgen_with_oracle<M: LinkRateModel>(
         &demand,
         new_path,
         options.dust_epsilon,
+        &PricingTuning::from_options(options),
     )
 }
 
@@ -202,9 +304,13 @@ pub(crate) fn seed_pool<M: LinkRateModel>(
     // Greedy cover: repeatedly ask for the heaviest set over the still
     // uncovered links; wide sets make the initial master's budget realistic.
     let mut covered = vec![false; oracle.links().len()];
+    let mut scratch = oracle.new_scratch();
+    let mut weights = vec![0.0f64; oracle.links().len()];
     for _ in 0..oracle.links().len() {
-        let weights: Vec<f64> = covered.iter().map(|&c| if c { 0.0 } else { 1.0 }).collect();
-        let Some((set, _)) = oracle.max_weight_set(model, &weights) else {
+        for (w, &c) in weights.iter_mut().zip(&covered) {
+            *w = if c { 0.0 } else { 1.0 };
+        }
+        let Some((set, _)) = oracle.max_weight_set_with(model, &weights, &mut scratch) else {
             break;
         };
         let mut progressed = false;
@@ -229,6 +335,8 @@ pub(crate) fn seed_pool<M: LinkRateModel>(
 
 /// Stage A for one component: certify the background demands schedulable
 /// within the unit budget, generating delivery columns along the way.
+/// Returns this component's counters so the parallel driver can merge them
+/// in component order.
 #[allow(clippy::too_many_arguments)]
 fn stage_a<M: LinkRateModel>(
     model: &M,
@@ -237,8 +345,10 @@ fn stage_a<M: LinkRateModel>(
     component: &[LinkId],
     oracle: &MaxWeightOracle,
     pool: &mut Vec<RatedSet>,
-    stats: &mut ColgenStats,
-) -> Result<(), CoreError> {
+    scratch: &mut PriceScratch,
+    tuning: &PricingTuning,
+) -> Result<ColgenStats, CoreError> {
+    let mut stats = ColgenStats::default();
     // Universe indices of this component's demanded links.
     let mut demanded: Vec<usize> = Vec::with_capacity(component.len());
     for l in component {
@@ -250,7 +360,7 @@ fn stage_a<M: LinkRateModel>(
         }
     }
     if demanded.is_empty() {
-        return Ok(());
+        return Ok(stats);
     }
     let mut lp = Problem::new(Direction::Minimize);
     let vars: Vec<VarId> = (0..pool.len())
@@ -267,11 +377,12 @@ fn stage_a<M: LinkRateModel>(
         debug_assert_eq!(row, lp.num_constraints() - 1);
     }
     let mut inc = IncrementalSolver::new(&lp, SolverOptions::default()).map_err(CoreError::from)?;
+    let mut weights = vec![0.0f64; oracle.links().len()];
     for _round in 0..MAX_ROUNDS {
         let sol = inc.solution();
         // Delivery duals: in the minimize direction a binding >= row prices
         // positive — the airtime cost of one more Mbps on that link.
-        let mut weights = vec![0.0f64; oracle.links().len()];
+        weights.fill(0.0);
         for (row, &idx) in demanded.iter().enumerate() {
             let link = universe[idx];
             if let Some(pos) = oracle.links().iter().position(|&l| l == link) {
@@ -280,11 +391,26 @@ fn stage_a<M: LinkRateModel>(
         }
         #[cfg(feature = "debug-invariants")]
         assert_pricing_weights(&weights);
-        let Some((set, value)) = oracle.max_weight_set(model, &weights) else {
+        // Stage-A duals are not smoothed (the feasibility loop is short);
+        // heuristic-first still applies.
+        let request = PricingRequest {
+            oracle,
+            raw_weights: &weights,
+            search_weights: &weights,
+            threshold: 1.0 + PRICE_TOL,
+            pool,
+        };
+        let answer = price_component(model, &request, tuning.heuristic_first(), scratch);
+        stats.heuristic_ns += answer.heuristic_ns;
+        stats.exact_ns += answer.exact_ns;
+        if answer.exact_invoked {
+            stats.exact_calls += 1;
+        }
+        let Some((set, _value)) = answer.column else {
             break;
         };
-        if value <= 1.0 + PRICE_TOL || pool.contains(&set) {
-            break;
+        if answer.by_heuristic {
+            stats.heuristic_columns += 1;
         }
         let terms: Vec<(usize, f64)> = demanded
             .iter()
@@ -302,6 +428,74 @@ fn stage_a<M: LinkRateModel>(
     stats.pivots += inc.pivots();
     if airtime > 1.0 + FEAS_TOL {
         return Err(CoreError::BackgroundInfeasible);
+    }
+    Ok(stats)
+}
+
+/// Runs stage A over every component, fanning the per-component solves out
+/// across `tuning` threads in contiguous chunks. Results (counters and
+/// errors) are merged in component order, so the outcome — including which
+/// error is reported when several components fail — is identical to the
+/// sequential loop for any thread count.
+#[allow(clippy::too_many_arguments)]
+fn stage_a_all<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+    demand: &[f64],
+    components: &[Vec<LinkId>],
+    oracles: &[&MaxWeightOracle],
+    pools: &mut [Vec<RatedSet>],
+    scratches: &mut [PriceScratch],
+    tuning: &PricingTuning,
+    stats: &mut ColgenStats,
+) -> Result<(), CoreError> {
+    let threads = tuning.resolved_threads().min(components.len().max(1));
+    if threads <= 1 || components.len() <= 1 {
+        for ci in 0..components.len() {
+            let delta = stage_a(
+                model,
+                universe,
+                demand,
+                &components[ci],
+                oracles[ci],
+                &mut pools[ci],
+                &mut scratches[ci],
+                tuning,
+            )?;
+            stats.absorb(delta);
+        }
+        return Ok(());
+    }
+    let chunk = components.len().div_ceil(threads);
+    let mut slots: Vec<Option<Result<ColgenStats, CoreError>>> = Vec::new();
+    slots.resize_with(components.len(), || None);
+    std::thread::scope(|scope| {
+        for ((((comps, orcs), pls), scrs), slts) in components
+            .chunks(chunk)
+            .zip(oracles.chunks(chunk))
+            .zip(pools.chunks_mut(chunk))
+            .zip(scratches.chunks_mut(chunk))
+            .zip(slots.chunks_mut(chunk))
+        {
+            scope.spawn(move || {
+                for i in 0..comps.len() {
+                    slts[i] = Some(stage_a(
+                        model,
+                        universe,
+                        demand,
+                        &comps[i],
+                        orcs[i],
+                        &mut pls[i],
+                        &mut scrs[i],
+                        tuning,
+                    ));
+                }
+            });
+        }
+    });
+    for slot in slots {
+        let delta = slot.ok_or(CoreError::Invariant("every stage-A job completed"))??;
+        stats.absorb(delta);
     }
     Ok(())
 }
@@ -379,6 +573,25 @@ fn build_master(
     ))
 }
 
+/// Canonical total order on rated sets (shorter first, then couples
+/// lexicographically by link id and rate): the order the canonical final
+/// master's columns are laid out in, so the answer depends only on *which*
+/// columns converged into the support, never on when they were discovered.
+fn canonical_set_cmp(a: &RatedSet, b: &RatedSet) -> Ordering {
+    let (ac, bc) = (a.couples(), b.couples());
+    ac.len().cmp(&bc.len()).then_with(|| {
+        for ((la, ra), (lb, rb)) in ac.iter().zip(bc) {
+            let by_couple = la
+                .cmp(lb)
+                .then_with(|| ra.as_mbps().total_cmp(&rb.as_mbps()));
+            if by_couple != Ordering::Equal {
+                return by_couple;
+            }
+        }
+        Ordering::Equal
+    })
+}
+
 /// The full two-stage column-generation solve over prepared components and
 /// their seed pools. Stage A/B grow `pools` in place; the seed pools are the
 /// query-independent part a [`crate::CompiledInstance`] precomputes, the
@@ -393,52 +606,111 @@ pub(crate) fn solve_with_pools<M: LinkRateModel>(
     demand: &[f64],
     new_path: &Path,
     dust_epsilon: f64,
+    tuning: &PricingTuning,
 ) -> Result<ColgenOutcome, CoreError> {
     let mut stats = ColgenStats::default();
+    let mut scratches: Vec<PriceScratch> = oracles.iter().map(|o| o.new_scratch()).collect();
 
     // Stage A: per-component feasibility, growing the pools.
-    for (ci, component) in components.iter().enumerate() {
-        stage_a(
-            model,
-            universe,
-            demand,
-            component,
-            oracles[ci],
-            &mut pools[ci],
-            &mut stats,
-        )?;
-    }
+    stage_a_all(
+        model,
+        universe,
+        demand,
+        components,
+        oracles,
+        &mut pools,
+        &mut scratches,
+        tuning,
+        &mut stats,
+    )?;
 
     // Stage B: joint throughput master with per-component pricing. A master
     // rebuild (cold start) only happens in the rare case the warm append is
     // refused because phase 1 dropped a redundant row.
     let (mut master, mut layout) = build_master(&pools, components, universe, demand, new_path)?;
+    // Per-component weight buffers, reused across rounds. `centers` holds
+    // the previous round's raw duals when stabilization is on.
+    let mut raw_w: Vec<Vec<f64>> = oracles
+        .iter()
+        .map(|o| vec![0.0f64; o.links().len()])
+        .collect();
+    let mut search_w: Vec<Vec<f64>> = raw_w.clone();
+    let mut centers: Vec<Vec<f64>> = if tuning.stabilized() {
+        raw_w.clone()
+    } else {
+        Vec::new()
+    };
+    let mut airtimes = vec![0.0f64; oracles.len()];
+    let mut have_center = false;
     for _round in 0..MAX_ROUNDS {
         let sol = master.solution();
+        for (ci, oracle) in oracles.iter().enumerate() {
+            let Some(budget_row) = layout.budget_rows[ci] else {
+                airtimes[ci] = 0.0;
+                continue;
+            };
+            airtimes[ci] = sol.dual(budget_row).max(0.0);
+            for (j, l) in oracle.links().iter().enumerate() {
+                let idx = universe
+                    .binary_search(l)
+                    .map_err(|_| CoreError::Invariant("oracle links are in the universe"))?;
+                raw_w[ci][j] = (-sol.dual(layout.link_rows[idx])).max(0.0);
+            }
+            #[cfg(feature = "debug-invariants")]
+            assert_pricing_weights(&raw_w[ci]);
+            if tuning.stabilized() {
+                if have_center {
+                    for j in 0..raw_w[ci].len() {
+                        search_w[ci][j] = tuning.stab_alpha * raw_w[ci][j]
+                            + (1.0 - tuning.stab_alpha) * centers[ci][j];
+                    }
+                } else {
+                    search_w[ci].copy_from_slice(&raw_w[ci]);
+                }
+                centers[ci].copy_from_slice(&raw_w[ci]);
+            }
+        }
+        have_center = true;
+        let answers = {
+            let requests: Vec<PricingRequest<'_>> = (0..oracles.len())
+                .map(|ci| PricingRequest {
+                    oracle: oracles[ci],
+                    raw_weights: &raw_w[ci],
+                    search_weights: if tuning.stabilized() {
+                        &search_w[ci]
+                    } else {
+                        &raw_w[ci]
+                    },
+                    threshold: airtimes[ci] + PRICE_TOL,
+                    pool: &pools[ci],
+                })
+                .collect();
+            price_components(
+                model,
+                &requests,
+                tuning.heuristic_first(),
+                tuning.threads,
+                &mut scratches,
+            )
+        };
         let mut added = false;
         let mut rebuild = false;
-        for (ci, oracle) in oracles.iter().enumerate() {
+        for (ci, answer) in answers.into_iter().enumerate() {
+            stats.heuristic_ns += answer.heuristic_ns;
+            stats.exact_ns += answer.exact_ns;
+            if answer.exact_invoked {
+                stats.exact_calls += 1;
+            }
             let Some(budget_row) = layout.budget_rows[ci] else {
                 continue;
             };
-            let airtime = sol.dual(budget_row).max(0.0);
-            let weights: Vec<f64> = oracle
-                .links()
-                .iter()
-                .map(|l| {
-                    let idx = universe
-                        .binary_search(l)
-                        .map_err(|_| CoreError::Invariant("oracle links are in the universe"))?;
-                    Ok((-sol.dual(layout.link_rows[idx])).max(0.0))
-                })
-                .collect::<Result<_, CoreError>>()?;
-            #[cfg(feature = "debug-invariants")]
-            assert_pricing_weights(&weights);
-            let Some((set, value)) = oracle.max_weight_set(model, &weights) else {
+            let Some((set, _value)) = answer.column else {
+                // `price_component` only reports "no column" after the exact
+                // search failed to price one in — the exactness certificate.
                 continue;
             };
-            if value <= airtime + PRICE_TOL || pools[ci].contains(&set) {
-                continue;
+            if answer.by_heuristic {
+                stats.heuristic_columns += 1;
             }
             let mut terms: Vec<(usize, f64)> = vec![(budget_row, 1.0)];
             for &(link, rate) in set.couples() {
@@ -480,11 +752,56 @@ pub(crate) fn solve_with_pools<M: LinkRateModel>(
     }
     stats.pivots += master.pivots();
 
-    // Extract the Eq. 6 outcome exactly like the enumeration path does.
-    let solution = master.solution();
-    let mut parts = Vec::with_capacity(components.len());
+    // Duals come from the *converged* master: its priced-out columns pin
+    // the dual solution to the one the full-enumeration LP reports, whereas
+    // the minimal support master below is dual-degenerate (fewer columns ⟹
+    // a larger dual polytope, so the solver may pick a different vertex).
+    let converged = master.solution();
+    let airtime_dual = layout
+        .budget_rows
+        .iter()
+        .flatten()
+        .map(|&row| converged.dual(row).max(0.0))
+        .fold(0.0, f64::max);
+    let link_scarcity: Vec<f64> = layout
+        .link_rows
+        .iter()
+        .map(|&row| {
+            if row == usize::MAX {
+                0.0
+            } else {
+                (-converged.dual(row)).max(0.0)
+            }
+        })
+        .collect();
+
+    // Canonical final re-solve: extract the converged support (λ above
+    // noise), lay its columns out in canonical order, and solve that minimal
+    // master from scratch. The reported optimum and schedule become a pure
+    // function of the converged support — identical for heuristic-first vs
+    // exact-only pricing, any thread count, and any column-discovery order
+    // that converges to the same support.
+    let mut support: Vec<Vec<RatedSet>> = Vec::with_capacity(pools.len());
     for (ci, pool) in pools.iter().enumerate() {
-        let entries: Vec<(RatedSet, f64)> = pool
+        let mut sup: Vec<RatedSet> = pool
+            .iter()
+            .zip(&layout.lambdas[ci])
+            .filter(|(_, &var)| converged.value(var) > SUPPORT_EPS)
+            .map(|(set, _)| set.clone())
+            .collect();
+        sup.sort_by(canonical_set_cmp);
+        support.push(sup);
+    }
+    let (final_master, final_layout) =
+        build_master(&support, components, universe, demand, new_path)?;
+    stats.pivots += final_master.pivots();
+    let layout = final_layout;
+
+    // Extract the Eq. 6 outcome exactly like the enumeration path does.
+    let solution = final_master.solution();
+    let mut parts = Vec::with_capacity(components.len());
+    for (ci, sup) in support.iter().enumerate() {
+        let entries: Vec<(RatedSet, f64)> = sup
             .iter()
             .zip(&layout.lambdas[ci])
             .map(|(set, &var)| (set.clone(), solution.value(var)))
@@ -510,23 +827,6 @@ pub(crate) fn solve_with_pools<M: LinkRateModel>(
     } else {
         crate::decomposition::merge_parallel_schedules(&parts)
     };
-    let airtime_dual = layout
-        .budget_rows
-        .iter()
-        .flatten()
-        .map(|&row| solution.dual(row).max(0.0))
-        .fold(0.0, f64::max);
-    let link_scarcity: Vec<f64> = layout
-        .link_rows
-        .iter()
-        .map(|&row| {
-            if row == usize::MAX {
-                0.0
-            } else {
-                (-solution.dual(row)).max(0.0)
-            }
-        })
-        .collect();
     let num_sets = pools.iter().map(Vec::len).sum();
     let result = AvailableBandwidth::from_parts(
         solution.value(layout.f).max(0.0),

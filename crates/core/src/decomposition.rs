@@ -80,15 +80,15 @@ pub fn potential_conflict_components<M: LinkRateModel>(
 ///
 /// Panics if two input schedules share a link (they would not be parallel).
 pub fn merge_parallel_schedules(parts: &[Schedule]) -> Schedule {
-    // Collect per-part cumulative breakpoints.
-    let mut seen_links: std::collections::BTreeSet<LinkId> = Default::default();
-    for p in parts {
+    // A link may appear in several entries of one part (time-sharing rated
+    // sets of the same link), but never in two different parts — the parts
+    // would not be parallel.
+    let mut seen_links: std::collections::BTreeMap<LinkId, usize> = Default::default();
+    for (pi, p) in parts.iter().enumerate() {
         for (set, _) in p.entries() {
             for l in set.links() {
-                assert!(
-                    seen_links.insert(l),
-                    "link {l} appears in two parallel schedules"
-                );
+                let owner = *seen_links.entry(l).or_insert(pi);
+                assert!(owner == pi, "link {l} appears in two parallel schedules");
             }
         }
     }

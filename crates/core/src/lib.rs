@@ -66,7 +66,7 @@ mod session;
 
 pub use available::{
     available_bandwidth, available_bandwidth_with_sets, link_universe, path_capacity,
-    AvailableBandwidth, AvailableBandwidthOptions, SolverKind,
+    AvailableBandwidth, AvailableBandwidthOptions, PricingMode, SolverKind,
 };
 pub use colgen::{
     available_bandwidth_colgen, available_bandwidth_colgen_with_oracle, ColgenOutcome, ColgenStats,

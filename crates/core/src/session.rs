@@ -33,7 +33,7 @@ use crate::available::{
     demand_into, link_universe_into, solve_decomposed_with_pools, solve_over_sets,
     AvailableBandwidth, AvailableBandwidthOptions, SolverKind,
 };
-use crate::colgen::{seed_pool, solve_with_pools, ColgenOutcome};
+use crate::colgen::{seed_pool, solve_with_pools, ColgenOutcome, PricingTuning};
 use crate::error::CoreError;
 use crate::flow::Flow;
 use awb_net::{LinkId, LinkRateModel, Path};
@@ -64,10 +64,15 @@ pub struct CompiledInstance {
 enum InstanceKind {
     /// Exhaustively enumerated admissible-set pool per component.
     Enumerated { pools: Vec<Vec<RatedSet>> },
-    /// Pricing oracle plus deterministic seed pool per component.
+    /// Pricing oracle plus deterministic seed pool per component, and the
+    /// pricing strategy the instance was compiled under. The tuning only
+    /// steers *how* columns are searched for, never which answer converges
+    /// (see [`crate::PricingMode`]), but it is part of the compiled state so
+    /// an instance keeps answering under the options it was built with.
     Colgen {
         oracles: Vec<MaxWeightOracle>,
         seeds: Vec<Vec<RatedSet>>,
+        tuning: PricingTuning,
     },
 }
 
@@ -160,7 +165,11 @@ impl CompiledInstance {
             universe,
             components,
             dust_epsilon: options.dust_epsilon,
-            kind: InstanceKind::Colgen { oracles, seeds },
+            kind: InstanceKind::Colgen {
+                oracles,
+                seeds,
+                tuning: PricingTuning::from_options(options),
+            },
         })
     }
 
@@ -231,7 +240,11 @@ impl CompiledInstance {
                     solve_over_sets(pool, &self.universe, demand, new_path, self.dust_epsilon)
                 }
             }
-            InstanceKind::Colgen { oracles, seeds } => {
+            InstanceKind::Colgen {
+                oracles,
+                seeds,
+                tuning,
+            } => {
                 let oracle_refs: Vec<&MaxWeightOracle> = oracles.iter().collect();
                 solve_with_pools(
                     model,
@@ -242,6 +255,7 @@ impl CompiledInstance {
                     demand,
                     new_path,
                     self.dust_epsilon,
+                    tuning,
                 )
                 .map(|outcome| outcome.result)
             }
@@ -263,7 +277,12 @@ impl CompiledInstance {
         new_path: &Path,
     ) -> Result<ColgenOutcome, CoreError> {
         self.check_covers(new_path)?;
-        let InstanceKind::Colgen { oracles, seeds } = &self.kind else {
+        let InstanceKind::Colgen {
+            oracles,
+            seeds,
+            tuning,
+        } = &self.kind
+        else {
             return Err(CoreError::Invariant(
                 "colgen query requires a column-generation instance",
             ));
@@ -280,6 +299,7 @@ impl CompiledInstance {
             &demand,
             new_path,
             self.dust_epsilon,
+            tuning,
         )
     }
 

@@ -1,0 +1,236 @@
+//! Property tests for the pricing strategies of the column-generation
+//! solver: heuristic-first pricing (greedy constructor + exact fallback)
+//! must certify the *same* optimum as exact-only pricing bit-for-bit — the
+//! convergence certificate is always an exact oracle round, and the final
+//! canonical re-solve makes the answer a pure function of the converged
+//! support — and parallel per-component pricing must be bit-identical to
+//! sequential pricing for any thread count.
+
+use awb_core::{AvailableBandwidthOptions, Flow, PricingMode, Session, SolverKind};
+use awb_net::{DeclarativeModel, LinkId, Path, SinrModel, Topology};
+use awb_phy::{Phy, Rate};
+use proptest::prelude::*;
+
+fn r(m: f64) -> Rate {
+    Rate::from_mbps(m)
+}
+
+fn opts(pricing: PricingMode) -> AvailableBandwidthOptions {
+    AvailableBandwidthOptions {
+        solver: SolverKind::ColumnGeneration,
+        pricing,
+        ..AvailableBandwidthOptions::default()
+    }
+}
+
+/// The "chain + cross traffic" family of `proptest_colgen.rs`: an n-hop
+/// declarative chain with interference spread, plus one background link
+/// conflicting with a random hop.
+#[derive(Debug, Clone)]
+struct Instance {
+    hops: usize,
+    spread: usize,
+    bg_conflicts_with: usize,
+    bg_demand: f64,
+    two_rates: bool,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (2usize..=5, 1usize..=2, any::<bool>(), 0.0f64..10.0).prop_flat_map(
+        |(hops, spread, two_rates, bg_demand)| {
+            (0..hops).prop_map(move |bg_conflicts_with| Instance {
+                hops,
+                spread,
+                bg_conflicts_with,
+                bg_demand,
+                two_rates,
+            })
+        },
+    )
+}
+
+fn build(inst: &Instance) -> (DeclarativeModel, Path, Vec<Flow>) {
+    let mut t = Topology::new();
+    let nodes: Vec<_> = (0..=inst.hops)
+        .map(|i| t.add_node(i as f64 * 10.0, 0.0))
+        .collect();
+    let chain: Vec<LinkId> = nodes
+        .windows(2)
+        .map(|w| t.add_link(w[0], w[1]).expect("fresh nodes"))
+        .collect();
+    let ba = t.add_node(0.0, 100.0);
+    let bb = t.add_node(10.0, 100.0);
+    let bg = t.add_link(ba, bb).expect("fresh nodes");
+    let rates: Vec<Rate> = if inst.two_rates {
+        vec![r(54.0), r(36.0)]
+    } else {
+        vec![r(54.0)]
+    };
+    let mut b = DeclarativeModel::builder(t);
+    for &l in chain.iter().chain([&bg]) {
+        b = b.alone_rates(l, &rates);
+    }
+    for i in 0..inst.hops {
+        for j in (i + 1)..inst.hops.min(i + inst.spread + 1) {
+            b = b.conflict_all(chain[i], chain[j]);
+        }
+    }
+    b = b.conflict_all(bg, chain[inst.bg_conflicts_with]);
+    let model = b.build();
+    let path = Path::new(model.topology(), chain).expect("chain links form a path");
+    let bg_path = Path::new(model.topology(), vec![bg]).expect("single link path");
+    let background = vec![Flow::new(bg_path, inst.bg_demand).expect("demand is valid")];
+    (model, path, background)
+}
+
+/// A clustered declarative model for decomposition: `clusters` groups of
+/// `size` links, all-rate conflicts within a group and none across, so each
+/// group is one potential-conflict component. The new path is the first link
+/// of the first group; every other link carries light background to pull it
+/// into the universe.
+fn build_clustered(
+    clusters: usize,
+    size: usize,
+    bg_demand: f64,
+) -> (DeclarativeModel, Path, Vec<Flow>) {
+    let mut t = Topology::new();
+    let mut groups: Vec<Vec<LinkId>> = Vec::new();
+    for c in 0..clusters {
+        let mut g = Vec::new();
+        for i in 0..size {
+            let a = t.add_node(c as f64 * 1000.0, i as f64 * 10.0);
+            let b = t.add_node(c as f64 * 1000.0 + 5.0, i as f64 * 10.0);
+            g.push(t.add_link(a, b).expect("fresh nodes"));
+        }
+        groups.push(g);
+    }
+    let mut b = DeclarativeModel::builder(t);
+    for g in &groups {
+        for &l in g {
+            b = b.alone_rates(l, &[r(54.0), r(36.0), r(18.0)]);
+        }
+        for i in 0..g.len() {
+            for j in (i + 1)..g.len() {
+                b = b.conflict_at(g[i], r(54.0), g[j], r(54.0));
+                b = b.conflict_at(g[i], r(54.0), g[j], r(36.0));
+                b = b.conflict_at(g[i], r(36.0), g[j], r(54.0));
+            }
+        }
+    }
+    let model = b.build();
+    let path = Path::new(model.topology(), vec![groups[0][0]]).expect("single link path");
+    let background: Vec<Flow> = groups
+        .iter()
+        .flat_map(|g| g.iter())
+        .filter(|&&l| l != groups[0][0])
+        .map(|&l| {
+            let p = Path::new(model.topology(), vec![l]).expect("single link path");
+            Flow::new(p, bg_demand).expect("demand is valid")
+        })
+        .collect();
+    (model, path, background)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heuristic_first_certifies_the_exact_optimum_bitwise(inst in instance()) {
+        let (model, path, background) = build(&inst);
+        let mut heur = Session::new(&model, opts(PricingMode::HeuristicFirst));
+        let mut exact = Session::new(&model, opts(PricingMode::ExactOnly));
+        let a = heur.query(&background, &path).expect("instance is feasible");
+        let b = exact.query(&background, &path).expect("instance is feasible");
+        prop_assert_eq!(
+            a.bandwidth_mbps().to_bits(),
+            b.bandwidth_mbps().to_bits(),
+            "heuristic-first {} vs exact-only {}",
+            a.bandwidth_mbps(),
+            b.bandwidth_mbps()
+        );
+        // The warm path (cached instance, seeded pools) reproduces both.
+        let aw = heur.query(&background, &path).expect("warm re-query");
+        prop_assert_eq!(heur.stats().warm_queries, 1);
+        prop_assert_eq!(a.bandwidth_mbps().to_bits(), aw.bandwidth_mbps().to_bits());
+    }
+
+    #[test]
+    fn heuristic_first_matches_exact_on_sinr_chains(
+        hops in 2usize..=4,
+        hop_length in 40.0f64..120.0,
+        bg_demand in 0.0f64..4.0,
+    ) {
+        // SINR is rate-independent, so this exercises the membership-greedy
+        // + rate-lift heuristic and the model-confirmed exact fallback.
+        let mut t = Topology::new();
+        let nodes: Vec<_> = (0..=hops)
+            .map(|i| t.add_node(i as f64 * hop_length, 0.0))
+            .collect();
+        let chain: Vec<LinkId> = nodes
+            .windows(2)
+            .map(|w| t.add_link(w[0], w[1]).expect("fresh nodes"))
+            .collect();
+        let model = SinrModel::new(t, Phy::paper_default());
+        let path = Path::new(model.topology(), chain.clone()).expect("chain is a path");
+        let background = if bg_demand > 0.0 {
+            let first = Path::new(model.topology(), vec![chain[0]]).expect("one link");
+            vec![Flow::new(first, bg_demand).expect("demand is valid")]
+        } else {
+            Vec::new()
+        };
+        let mut heur = Session::new(&model, opts(PricingMode::HeuristicFirst));
+        let mut exact = Session::new(&model, opts(PricingMode::ExactOnly));
+        match (heur.query(&background, &path), exact.query(&background, &path)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                a.bandwidth_mbps().to_bits(),
+                b.bandwidth_mbps().to_bits(),
+                "sinr heuristic-first {} vs exact-only {}",
+                a.bandwidth_mbps(),
+                b.bandwidth_mbps()
+            ),
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            (a, b) => return Err(TestCaseError::fail(format!(
+                "pricing modes disagree on feasibility: {a:?} vs {b:?}"
+            ))),
+        }
+    }
+
+    #[test]
+    fn parallel_pricing_is_bit_identical_to_sequential(
+        clusters in 2usize..=4,
+        size in 2usize..=4,
+        threads in 2usize..=8,
+        bg_demand in 0.0f64..6.0,
+        heuristic in any::<bool>(),
+    ) {
+        let (model, path, background) = build_clustered(clusters, size, bg_demand);
+        let pricing = if heuristic {
+            PricingMode::HeuristicFirst
+        } else {
+            PricingMode::ExactOnly
+        };
+        let base = AvailableBandwidthOptions {
+            decompose: true,
+            ..opts(pricing)
+        };
+        let mut seq = Session::new(&model, AvailableBandwidthOptions {
+            pricing_threads: 1,
+            ..base
+        });
+        let mut par = Session::new(&model, AvailableBandwidthOptions {
+            pricing_threads: threads,
+            ..base
+        });
+        let a = seq.query(&background, &path).expect("instance is feasible");
+        let b = par.query(&background, &path).expect("instance is feasible");
+        prop_assert_eq!(
+            a.bandwidth_mbps().to_bits(),
+            b.bandwidth_mbps().to_bits(),
+            "sequential {} vs {}-thread {}",
+            a.bandwidth_mbps(),
+            threads,
+            b.bandwidth_mbps()
+        );
+        prop_assert_eq!(a.schedule().entries().len(), b.schedule().entries().len());
+    }
+}

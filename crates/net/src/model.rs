@@ -19,7 +19,11 @@ use awb_phy::Rate;
 /// from an admissible assignment keeps it admissible) and **rate-monotone**
 /// (lowering a couple's rate keeps it admissible). Both bundled models have
 /// these properties; set enumeration and dominance pruning rely on them.
-pub trait LinkRateModel {
+///
+/// `Sync` is a supertrait so that solvers may price conflict components in
+/// parallel by sharing `&M` across threads; models are plain owned data, so
+/// every reasonable implementation already satisfies it.
+pub trait LinkRateModel: Sync {
     /// The underlying topology.
     fn topology(&self) -> &Topology;
 

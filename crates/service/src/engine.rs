@@ -35,7 +35,7 @@ use crate::shards::ShardedLru;
 use crate::spec::{FnvHasher, TopologySpec};
 use awb_core::{
     link_universe, AvailableBandwidth, AvailableBandwidthOptions, CompiledInstance, CoreError,
-    Flow, Session, SolverKind,
+    Flow, PricingMode, Session, SolverKind,
 };
 use awb_estimate::{Estimator, Hop, IdleMap};
 use awb_net::{LinkRateModel, Path};
@@ -77,6 +77,18 @@ pub struct EngineConfig {
     /// pays the oracle compile once and answers are independent of the
     /// order requests arrive in.
     pub solver: SolverKind,
+    /// Column-pricing strategy under [`SolverKind::ColumnGeneration`].
+    /// Heuristic-first vs exact-only only steers how columns are searched
+    /// for — every converged answer carries the same exact-oracle
+    /// certificate — so it stays out of the instance-cache key like the
+    /// enumeration engine does.
+    pub pricing: PricingMode,
+    /// Dual-smoothing factor for stage-B pricing (1.0 disables).
+    pub stab_alpha: f64,
+    /// Threads for per-component pricing inside one solve (0 = all cores).
+    /// Orthogonal to the server's request-level parallelism; the default 1
+    /// is right unless single queries over very large universes dominate.
+    pub pricing_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +100,9 @@ impl Default for EngineConfig {
             model_cache_capacity: 64,
             enumeration_engine: EngineKind::Auto,
             solver: SolverKind::default(),
+            pricing: PricingMode::default(),
+            stab_alpha: AvailableBandwidthOptions::default().stab_alpha,
+            pricing_threads: 1,
         }
     }
 }
@@ -108,6 +123,13 @@ pub struct Engine {
     enumeration_engine: EngineKind,
     /// LP solve strategy for available-bandwidth queries.
     solver: SolverKind,
+    /// Pricing strategy under column generation (constant per process, so
+    /// it stays out of the instance-cache key).
+    pricing: PricingMode,
+    /// Dual-smoothing factor for stage-B pricing.
+    stab_alpha: f64,
+    /// Per-solve pricing thread count.
+    pricing_threads: usize,
     /// Reactor-core counters, attached when the nonblocking server fronts
     /// this engine; merged into `stats` responses.
     reactor_metrics: Mutex<Option<Arc<awb_reactor::ReactorMetrics>>>,
@@ -143,6 +165,9 @@ impl Engine {
             results: Mutex::new(LruCache::new(config.result_cache_capacity)),
             enumeration_engine: config.enumeration_engine,
             solver: config.solver,
+            pricing: config.pricing,
+            stab_alpha: config.stab_alpha,
+            pricing_threads: config.pricing_threads,
             reactor_metrics: Mutex::new(None),
             metrics: Metrics::new(),
         }
@@ -316,6 +341,18 @@ impl Engine {
         }
     }
 
+    /// The solve options every Eq. 6 query in this engine runs under.
+    fn solve_options(&self, request: &Request) -> AvailableBandwidthOptions {
+        AvailableBandwidthOptions {
+            enumeration: self.enumeration_options(request),
+            solver: self.solver,
+            pricing: self.pricing,
+            stab_alpha: self.stab_alpha,
+            pricing_threads: self.pricing_threads,
+            ..AvailableBandwidthOptions::default()
+        }
+    }
+
     /// The key identifying a compiled instance: topology, universe and the
     /// options that shape the compiled artifact. The enumeration engine
     /// choice is deliberately **not** part of the key: all engines return
@@ -462,11 +499,7 @@ impl Engine {
         // answers queries bit-identically to a cold
         // [`awb_core::available_bandwidth`] call.
         let universe = link_universe(&flows, &new_path);
-        let options = AvailableBandwidthOptions {
-            enumeration: self.enumeration_options(request),
-            solver: self.solver,
-            ..AvailableBandwidthOptions::default()
-        };
+        let options = self.solve_options(request);
         let (instance, status) = self.instance(&resolved, &universe, &options)?;
         self.check_deadline(deadline)?;
 
@@ -526,11 +559,7 @@ impl Engine {
             })
             .collect::<Result<Vec<_>, ServiceError>>()?;
 
-        let options = AvailableBandwidthOptions {
-            enumeration: self.enumeration_options(request),
-            solver: self.solver,
-            ..AvailableBandwidthOptions::default()
-        };
+        let options = self.solve_options(request);
         let model: &(dyn LinkRateModel + Send + Sync) = &*resolved.model;
         let mut session = Session::new(&model, options);
         let mut rows = Vec::with_capacity(arrivals.len());

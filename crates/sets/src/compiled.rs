@@ -120,6 +120,11 @@ impl Compiled {
         self.offsets[i + 1] - 1
     }
 
+    /// The couple-id range of live link `i`, rates descending.
+    pub(crate) fn couples_of(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
     /// A zeroed mask.
     pub(crate) fn zero_mask(&self) -> Mask {
         vec![0u64; self.words]

@@ -61,4 +61,6 @@ pub use enumerate::{
     EnumerationOptions,
 };
 pub use local::{local_cliques, LocalClique};
-pub use price::MaxWeightOracle;
+pub use price::{
+    price_component, price_components, MaxWeightOracle, PriceScratch, PricingAnswer, PricingRequest,
+};
