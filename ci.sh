@@ -37,4 +37,7 @@ cargo run --release -q -p awb-bench --bin session_bench -- --smoke
 echo "==> service_load_bench --smoke (reactor + blocking servers under load)"
 cargo run --release -q -p awb-bench --bin service_load_bench -- --smoke
 
+echo "==> estimators_bench --smoke (kernel bit-identity + speedup floor + campaign determinism)"
+cargo run --release -q -p awb-bench --bin estimators_bench -- --smoke
+
 echo "CI green."

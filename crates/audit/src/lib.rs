@@ -9,9 +9,9 @@
 //!
 //! | rule | meaning |
 //! |------|---------|
-//! | `no-panic-in-lib`  | no `unwrap`/`expect`/`panic!` family in `lp`/`core`/`sets`/`service`/`routing`/`estimate`/`sim` non-test code |
+//! | `no-panic-in-lib`  | no `unwrap`/`expect`/`panic!` family in `lp`/`core`/`sets`/`service`/`routing`/`estimate`/`sim`/`workloads` non-test code |
 //! | `no-float-eq`      | no `==`/`!=` against float literals — tolerance helpers only |
-//! | `determinism`      | no `HashMap`/`HashSet` in `core`/`sets`/`service`/`routing`/`estimate`/`sim` (iteration order leaks into output) |
+//! | `determinism`      | no `HashMap`/`HashSet` in `core`/`sets`/`service`/`routing`/`estimate`/`sim`/`workloads` (iteration order leaks into output) |
 //! | `lint-header`      | every crate root carries `#![forbid(unsafe_code)]` (+ `missing_docs` on lib roots) |
 //! | `invalid-waiver`   | waivers must name known rules and carry a justification |
 //!

@@ -80,12 +80,26 @@ impl Rule {
             Rule::NoPanicInLib | Rule::NoFloatEq | Rule::StrictIndexing => {
                 matches!(
                     crate_name,
-                    "lp" | "core" | "sets" | "service" | "routing" | "estimate" | "sim" | "reactor"
+                    "lp" | "core"
+                        | "sets"
+                        | "service"
+                        | "routing"
+                        | "estimate"
+                        | "sim"
+                        | "reactor"
+                        | "workloads"
                 )
             }
             Rule::Determinism => matches!(
                 crate_name,
-                "core" | "sets" | "service" | "routing" | "estimate" | "sim" | "reactor"
+                "core"
+                    | "sets"
+                    | "service"
+                    | "routing"
+                    | "estimate"
+                    | "sim"
+                    | "reactor"
+                    | "workloads"
             ),
             Rule::LintHeader | Rule::InvalidWaiver => true,
         }
@@ -95,13 +109,13 @@ impl Rule {
     pub fn describe(self) -> &'static str {
         match self {
             Rule::NoPanicInLib => {
-                "library code of lp/core/sets/service/routing/estimate/sim/reactor must not \
-                 unwrap(), expect() or panic!"
+                "library code of lp/core/sets/service/routing/estimate/sim/reactor/workloads \
+                 must not unwrap(), expect() or panic!"
             }
             Rule::NoFloatEq => "floats must be compared through tolerances, never == / !=",
             Rule::Determinism => {
-                "core/sets/service/routing/estimate/sim/reactor must not use HashMap/HashSet \
-                 (iteration order leaks)"
+                "core/sets/service/routing/estimate/sim/reactor/workloads must not use \
+                 HashMap/HashSet (iteration order leaks)"
             }
             Rule::LintHeader => {
                 "crate roots must carry #![forbid(unsafe_code)] (+ missing_docs on lib roots)"

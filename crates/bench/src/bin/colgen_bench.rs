@@ -56,6 +56,14 @@ const SWEEP: [usize; 4] = [32, 64, 96, 128];
 const SWEEP_CLUSTER: usize = 24;
 /// Budget each sweep solve must fit in (also the full-enum kill timeout).
 const SWEEP_BUDGET: Duration = Duration::from_secs(10);
+/// The single-component frontier: one 64-link conflict web solved by ONE
+/// pricing oracle (`decompose: false`) — the contrast row to the clustered
+/// 64-link sweep entry, which the component split answers in well under
+/// [`SWEEP_BUDGET`].
+const SINGLE_FRONTIER_LINKS: usize = 64;
+/// Generous ceiling for the single-oracle solve (measured ~2.5 min): the
+/// row exists to *quantify* the single-component wall, not to win it.
+const SINGLE_FRONTIER_BUDGET: Duration = Duration::from_secs(600);
 
 #[derive(Serialize)]
 struct SizeResult {
@@ -111,6 +119,27 @@ struct AblationResult {
     exact_mode_ns: u64,
 }
 
+/// The 64-link single-component row: the same rate-coupled draw as the
+/// [`SIZES`]/[`FRONTIER_LINKS`] instances, four clusters' worth of links in
+/// one conflict web, priced by one oracle.
+#[derive(Serialize)]
+struct SingleFrontierResult {
+    links: usize,
+    budget_s: u64,
+    colgen_ns: u64,
+    pricing_rounds: usize,
+    columns_generated: usize,
+    colgen_columns: usize,
+    /// High-water mark of the stage-B master's column pool.
+    pool_peak: usize,
+    lp_pivots: usize,
+    pricing_heuristic_ns: u64,
+    pricing_exact_ns: u64,
+    heuristic_columns: usize,
+    exact_calls: usize,
+    bandwidth_mbps: f64,
+}
+
 #[derive(Serialize)]
 struct SweepResult {
     links: usize,
@@ -120,6 +149,8 @@ struct SweepResult {
     columns_generated: usize,
     /// Columns in the final restricted master (all components).
     colgen_columns: usize,
+    /// High-water mark of the stage-B masters' column pools.
+    pool_peak: usize,
     lp_pivots: usize,
     /// Wall clock spent inside heuristic pricing across the solve.
     pricing_heuristic_ns: u64,
@@ -143,6 +174,7 @@ struct Report {
     frontier: FrontierResult,
     ablation: AblationResult,
     sweep: Vec<SweepResult>,
+    single_frontier: SingleFrontierResult,
 }
 
 /// The benchmark query on an `n`-link topology: the new path is the first
@@ -343,6 +375,38 @@ fn run_ablation() -> AblationResult {
     }
 }
 
+/// One giant oracle, no clusters: how far a single component can be pushed
+/// before the clustered decomposition becomes the only viable path. No
+/// full-enumeration child runs here — enumerating a 64-link conflict web
+/// would exhaust memory long before any timeout fires.
+fn run_single_frontier() -> SingleFrontierResult {
+    let (model, new_path, background, _) = query(SINGLE_FRONTIER_LINKS);
+    let opts = colgen_options(PricingMode::HeuristicFirst, false);
+    let started = Instant::now();
+    let out = solve_colgen(&model, &background, &new_path, &opts);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed <= SINGLE_FRONTIER_BUDGET,
+        "{SINGLE_FRONTIER_LINKS}-link single-component solve took {elapsed:?} \
+         (budget {SINGLE_FRONTIER_BUDGET:?})"
+    );
+    SingleFrontierResult {
+        links: SINGLE_FRONTIER_LINKS,
+        budget_s: SINGLE_FRONTIER_BUDGET.as_secs(),
+        colgen_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        pricing_rounds: out.stats.pricing_rounds,
+        columns_generated: out.stats.columns_generated,
+        colgen_columns: out.result.num_sets(),
+        pool_peak: out.stats.pool_peak,
+        lp_pivots: out.result.lp_pivots(),
+        pricing_heuristic_ns: out.stats.heuristic_ns,
+        pricing_exact_ns: out.stats.exact_ns,
+        heuristic_columns: out.stats.heuristic_columns,
+        exact_calls: out.stats.exact_calls,
+        bandwidth_mbps: out.result.bandwidth_mbps(),
+    }
+}
+
 fn run_sweep_size(links: usize) -> SweepResult {
     let (model, new_path, background) = clustered_query(links);
     let opts = colgen_options(PricingMode::HeuristicFirst, true);
@@ -360,6 +424,7 @@ fn run_sweep_size(links: usize) -> SweepResult {
         pricing_rounds: out.stats.pricing_rounds,
         columns_generated: out.stats.columns_generated,
         colgen_columns: out.result.num_sets(),
+        pool_peak: out.stats.pool_peak,
         lp_pivots: out.result.lp_pivots(),
         pricing_heuristic_ns: out.stats.heuristic_ns,
         pricing_exact_ns: out.stats.exact_ns,
@@ -498,6 +563,7 @@ fn main() {
         "heuristic-first and exact-only pricing disagree on the optimum"
     );
     let sweep: Vec<SweepResult> = SWEEP.iter().map(|&n| run_sweep_size(n)).collect();
+    let single_frontier = run_single_frontier();
     for s in &sweep {
         assert!(
             s.full_timed_out,
@@ -564,6 +630,16 @@ fn main() {
             s.full_timed_out,
         );
     }
+    println!(
+        "{:>3} links / 1 component: colgen {:>6.2}s ({} rounds, {} columns, peak pool {}, \
+         {} exact calls) — the single-oracle wall the clustered sweep avoids",
+        single_frontier.links,
+        single_frontier.colgen_ns as f64 / 1e9,
+        single_frontier.pricing_rounds,
+        single_frontier.colgen_columns,
+        single_frontier.pool_peak,
+        single_frontier.exact_calls,
+    );
     let report = Report {
         bench: "colgen-vs-full-enumeration",
         command: "cargo run --release -p awb-bench --bin colgen_bench",
@@ -572,6 +648,7 @@ fn main() {
         frontier,
         ablation,
         sweep,
+        single_frontier,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_colgen.json", json + "\n").expect("write BENCH_colgen.json");

@@ -1,0 +1,682 @@
+//! `estimators_bench` — the estimator campaign at scale, written to
+//! `BENCH_estimators.json` at the repo root.
+//!
+//! Three questions, one artifact:
+//!
+//! 1. **Kernel ablation** — on the paper's 30-node instance with saturated
+//!    flows, the compiled slot kernels ([`SimEngine::Compiled`]) must
+//!    produce a **bit-identical** report to the generic engine and run at
+//!    least 5× faster per slot. Both facts are asserted, then recorded.
+//! 2. **Error surface** — a deterministic scenario matrix
+//!    (density × contention × seed, up to 300 nodes) runs the paper's §5.2
+//!    experiment in each cell: flows arrive one by one, each routed on the
+//!    channel idleness *measured by simulating the already-admitted flows*,
+//!    its true available bandwidth computed via Eq. 6 (column-generation
+//!    [`Session`]), and the five §4 estimators evaluated on the same
+//!    measured idleness. Per-cell mean errors and campaign-wide error
+//!    quantiles land in the report.
+//! 3. **Deterministic parallelism** — the whole cell list is re-run under
+//!    `awb_sim::campaign::fan_out` with several worker counts; the merged
+//!    results must serialize to the **same bytes** as the sequential run
+//!    (asserted, then recorded together with the parallel speedup).
+//!
+//! A final *scale* section pushes the compiled engine to 300/1000/3000
+//! nodes at constant node density; rows whose projected SINR-table memory
+//! exceeds the budget are skipped with the projection recorded, not
+//! silently dropped.
+//!
+//! `--smoke` runs a reduced ablation + a two-cell matrix with the same
+//! assertions and writes nothing — the CI hook keeping the compiled
+//! kernels honest.
+
+#![forbid(unsafe_code)]
+
+use awb_bench::rows::{EstimatorError, Fig4Row};
+use awb_core::{AvailableBandwidthOptions, Flow, Schedule, Session, SolverKind};
+use awb_estimate::{Estimator, Hop, IdleMap};
+use awb_net::{NodeId, Path, SinrModel};
+use awb_phy::Phy;
+use awb_routing::{shortest_path, RoutingMetric};
+use awb_sim::{campaign, Contention, RatePolicy, SimConfig, SimEngine, Simulator};
+use awb_workloads::{
+    shortest_hop_distance, ContentionSpec, DensityPoint, RandomTopology, RateMix, ScenarioCell,
+    ScenarioMatrix, TrafficSpec,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Slots per campaign-cell simulation.
+const CELL_SLOTS: u64 = 6_000;
+const CELL_SLOTS_SMOKE: u64 = 1_200;
+/// Slots for the 30-node kernel ablation.
+const ABLATION_SLOTS: u64 = 40_000;
+const ABLATION_SLOTS_SMOKE: u64 = 40_000;
+/// Timing iterations (minimum taken).
+const ITERS: usize = 3;
+/// The ablation gate: compiled must be at least this many times faster.
+const SPEEDUP_FLOOR: f64 = 5.0;
+/// Scale rows are skipped when the projected SINR power table exceeds this.
+const SCALE_MEMORY_BUDGET_BYTES: u64 = 1_500_000_000;
+/// Worker counts exercised by the parallel section.
+const THREAD_COUNTS: [usize; 3] = [2, 4, 0];
+
+#[derive(Serialize)]
+struct AblationResult {
+    num_nodes: usize,
+    num_links: usize,
+    flows: usize,
+    slots: u64,
+    /// Whole-run wall time, min over iterations.
+    generic_ns: u64,
+    compiled_ns: u64,
+    per_slot_generic_ns: f64,
+    per_slot_compiled_ns: f64,
+    /// generic_ns / compiled_ns; gated at [`SPEEDUP_FLOOR`].
+    speedup: f64,
+    /// Whether the two engines' reports are `==` (gated: must be true).
+    bit_identical: bool,
+}
+
+#[derive(Clone, Serialize)]
+struct CellResult {
+    index: usize,
+    num_nodes: usize,
+    num_links: usize,
+    contention: String,
+    rate_mix: String,
+    seed: u64,
+    flows_routed: usize,
+    flows_admitted: usize,
+    wall_ns: u64,
+    rows: Vec<Fig4Row>,
+    errors: Vec<EstimatorError>,
+}
+
+/// Campaign-wide |error| quantiles for one estimator, across every flow row
+/// of every cell.
+#[derive(Serialize)]
+struct ErrorQuantiles {
+    estimator: String,
+    samples: usize,
+    mean_abs_mbps: f64,
+    p50_abs_mbps: f64,
+    p90_abs_mbps: f64,
+    max_abs_mbps: f64,
+}
+
+#[derive(Serialize)]
+struct ParallelRow {
+    threads_requested: usize,
+    threads_used: usize,
+    wall_ns: u64,
+    /// wall of the sequential run / this wall.
+    speedup_vs_sequential: f64,
+    /// Whether this run's serialized cells byte-match the sequential run's
+    /// (gated: must be true).
+    bit_identical: bool,
+    /// FNV-1a of the serialized cells, for eyeballing across runs.
+    results_hash: String,
+}
+
+#[derive(Serialize)]
+struct ScaleRow {
+    num_nodes: usize,
+    field_w: f64,
+    field_h: f64,
+    /// Links projected from the density before building anything.
+    projected_links: u64,
+    projected_table_bytes: u64,
+    skipped: bool,
+    skip_reason: Option<String>,
+    num_links: Option<usize>,
+    flows: Option<usize>,
+    slots: Option<u64>,
+    build_ns: Option<u64>,
+    sim_ns: Option<u64>,
+    per_slot_ns: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    command: &'static str,
+    cell_slots: u64,
+    ablation: AblationResult,
+    cells: Vec<CellResult>,
+    error_quantiles: Vec<ErrorQuantiles>,
+    parallel: Vec<ParallelRow>,
+    scale: Vec<ScaleRow>,
+}
+
+/// Draws up to `count` distinct connected pairs with BFS hop distance in
+/// `[min_hops, max_hops]`, returning however many a bounded number of draws
+/// finds (unlike `awb_workloads::connected_pairs`, which panics — a sparse
+/// high-density draw must degrade to fewer flows, not kill the campaign).
+fn draw_pairs(
+    model: &SinrModel,
+    count: usize,
+    min_hops: usize,
+    max_hops: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let t = model.topology();
+    let nodes: Vec<NodeId> = t.nodes().map(|n| n.id()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<(NodeId, NodeId)> = Vec::with_capacity(count);
+    for _ in 0..10_000 {
+        if out.len() == count {
+            break;
+        }
+        let src = nodes[rng.gen_range(0..nodes.len())];
+        let dst = nodes[rng.gen_range(0..nodes.len())];
+        if src == dst || out.contains(&(src, dst)) {
+            continue;
+        }
+        if shortest_hop_distance(t, src, dst).is_some_and(|d| d >= min_hops && d <= max_hops) {
+            out.push((src, dst));
+        }
+    }
+    out
+}
+
+fn to_contention(spec: ContentionSpec) -> Contention {
+    match spec {
+        ContentionSpec::OrderedCsma => Contention::OrderedCsma,
+        ContentionSpec::PPersistent(p) => Contention::PPersistent(p),
+        ContentionSpec::Dcf { cw_min, cw_max } => Contention::Dcf { cw_min, cw_max },
+    }
+}
+
+fn to_rate_policy(mix: RateMix) -> RatePolicy {
+    match mix {
+        RateMix::AloneMax => RatePolicy::AloneMax,
+        RateMix::Lowest => RatePolicy::Lowest,
+    }
+}
+
+/// Ground-truth solver options: column generation (full enumeration would
+/// blow up on the larger cells' link universes).
+fn truth_options() -> AvailableBandwidthOptions {
+    AvailableBandwidthOptions {
+        solver: SolverKind::ColumnGeneration,
+        ..AvailableBandwidthOptions::default()
+    }
+}
+
+/// Simulates `admitted` under the cell's MAC and returns the measured
+/// per-node idleness.
+fn measured_idle(model: &SinrModel, admitted: &[Flow], cell: &ScenarioCell, slots: u64) -> IdleMap {
+    let mut sim = Simulator::new(
+        model,
+        SimConfig {
+            slots,
+            contention: to_contention(cell.contention),
+            rate_policy: to_rate_policy(cell.rate_mix),
+            seed: cell.seed,
+            ..SimConfig::default()
+        },
+    );
+    for f in admitted {
+        sim.add_flow(f.path().clone(), Some(f.demand_mbps()));
+    }
+    IdleMap::from_ratios(sim.run(model).node_idle_ratio)
+}
+
+/// One campaign cell: the §5.2 arrival loop with simulated idleness.
+fn run_cell(cell: &ScenarioCell, slots: u64) -> CellResult {
+    let start = Instant::now();
+    let topo = RandomTopology::generate_with_phy(
+        cell.density.topology_config(cell.seed),
+        Phy::paper_default(),
+    );
+    let model = topo.into_model();
+    let pairs = draw_pairs(
+        &model,
+        cell.traffic.num_flows,
+        cell.traffic.min_hops,
+        cell.traffic.max_hops,
+        // Decorrelate pair choice from node placement.
+        cell.seed.wrapping_mul(0x9e37_79b9).wrapping_add(5),
+    );
+    let mut session = Session::new(&model, truth_options());
+    let mut admitted: Vec<Flow> = Vec::new();
+    let mut rows: Vec<Fig4Row> = Vec::new();
+    for (index, &(src, dst)) in pairs.iter().enumerate() {
+        // The distributed view: idleness as the MAC actually measures it
+        // with the current background running.
+        let idle = measured_idle(&model, &admitted, cell, slots);
+        let Some(path) = shortest_path(&model, &idle, RoutingMetric::AverageE2eDelay, src, dst)
+        else {
+            continue;
+        };
+        let Ok(truth) = session.query(&admitted, &path) else {
+            continue;
+        };
+        let truth = truth.bandwidth_mbps();
+        let Some(hops) = Hop::for_path(&model, &idle, &path) else {
+            continue;
+        };
+        let est = |e: Estimator| e.estimate(&model, &hops);
+        rows.push(Fig4Row {
+            flow: index + 1,
+            truth_mbps: truth,
+            clique_mbps: est(Estimator::CliqueConstraint),
+            bottleneck_mbps: est(Estimator::BottleneckNode),
+            min_both_mbps: est(Estimator::MinOfBoth),
+            conservative_mbps: est(Estimator::ConservativeClique),
+            expected_time_mbps: est(Estimator::ExpectedCliqueTime),
+        });
+        if let Some(demand) = cell.traffic.demand_mbps {
+            if truth + 1e-9 >= demand {
+                admitted.push(Flow::new(path, demand).expect("demand is valid"));
+            }
+        }
+    }
+    let errors = summarize_errors(&rows);
+    CellResult {
+        index: cell.index,
+        num_nodes: cell.density.num_nodes,
+        num_links: model.topology().num_links(),
+        contention: cell.contention.label(),
+        rate_mix: format!("{:?}", cell.rate_mix),
+        seed: cell.seed,
+        flows_routed: rows.len(),
+        flows_admitted: admitted.len(),
+        wall_ns: start.elapsed().as_nanos() as u64,
+        rows,
+        errors,
+    }
+}
+
+fn estimate_of(row: &Fig4Row, e: Estimator) -> f64 {
+    match e {
+        Estimator::CliqueConstraint => row.clique_mbps,
+        Estimator::BottleneckNode => row.bottleneck_mbps,
+        Estimator::MinOfBoth => row.min_both_mbps,
+        Estimator::ConservativeClique => row.conservative_mbps,
+        Estimator::ExpectedCliqueTime => row.expected_time_mbps,
+    }
+}
+
+fn summarize_errors(rows: &[Fig4Row]) -> Vec<EstimatorError> {
+    let n = rows.len().max(1) as f64;
+    Estimator::ALL
+        .iter()
+        .map(|&e| EstimatorError {
+            estimator: e.label().to_string(),
+            mean_abs_error_mbps: rows
+                .iter()
+                .map(|r| (estimate_of(r, e) - r.truth_mbps).abs())
+                .sum::<f64>()
+                / n,
+            mean_signed_error_mbps: rows
+                .iter()
+                .map(|r| estimate_of(r, e) - r.truth_mbps)
+                .sum::<f64>()
+                / n,
+        })
+        .collect()
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn error_quantiles(cells: &[CellResult]) -> Vec<ErrorQuantiles> {
+    Estimator::ALL
+        .iter()
+        .map(|&e| {
+            let mut abs: Vec<f64> = cells
+                .iter()
+                .flat_map(|c| c.rows.iter())
+                .map(|r| (estimate_of(r, e) - r.truth_mbps).abs())
+                .collect();
+            abs.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+            let n = abs.len();
+            ErrorQuantiles {
+                estimator: e.label().to_string(),
+                samples: n,
+                mean_abs_mbps: abs.iter().sum::<f64>() / n.max(1) as f64,
+                p50_abs_mbps: quantile(&abs, 0.5),
+                p90_abs_mbps: quantile(&abs, 0.9),
+                max_abs_mbps: quantile(&abs, 1.0),
+            }
+        })
+        .collect()
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The 30-node saturated instance of the kernel ablation: the paper
+/// topology with every §5.2 flow pushed to saturation, so per-slot
+/// contention and capture — not idle queues — dominate both engines.
+fn ablation_instance() -> (SinrModel, Vec<Path>) {
+    let (model, pairs) = awb_bench::experiments::paper_random_instance();
+    let idle = IdleMap::from_schedule(&model, &Schedule::empty());
+    let paths = pairs
+        .iter()
+        .filter_map(|&(src, dst)| {
+            shortest_path(&model, &idle, RoutingMetric::AverageE2eDelay, src, dst)
+        })
+        .collect();
+    (model, paths)
+}
+
+fn run_ablation(slots: u64) -> AblationResult {
+    let (model, paths) = ablation_instance();
+    let run = |engine: SimEngine| {
+        let mut sim = Simulator::new(
+            &model,
+            SimConfig {
+                slots,
+                engine,
+                ..SimConfig::default()
+            },
+        );
+        for p in &paths {
+            sim.add_flow(p.clone(), None);
+        }
+        sim.run(&model)
+    };
+    let time = |engine: SimEngine| {
+        (0..ITERS)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = run(engine);
+                t.elapsed().as_nanos() as u64
+            })
+            .min()
+            .expect("at least one iteration")
+    };
+    let bit_identical = run(SimEngine::Generic) == run(SimEngine::Compiled);
+    let generic_ns = time(SimEngine::Generic);
+    let compiled_ns = time(SimEngine::Compiled);
+    AblationResult {
+        num_nodes: model.topology().num_nodes(),
+        num_links: model.topology().num_links(),
+        flows: paths.len(),
+        slots,
+        generic_ns,
+        compiled_ns,
+        per_slot_generic_ns: generic_ns as f64 / slots as f64,
+        per_slot_compiled_ns: compiled_ns as f64 / slots as f64,
+        speedup: generic_ns as f64 / compiled_ns as f64,
+        bit_identical,
+    }
+}
+
+fn campaign_matrix(smoke: bool) -> ScenarioMatrix {
+    if smoke {
+        ScenarioMatrix {
+            densities: vec![DensityPoint::paper_base()],
+            rate_mixes: vec![RateMix::AloneMax],
+            contentions: vec![
+                ContentionSpec::OrderedCsma,
+                ContentionSpec::Dcf {
+                    cw_min: 16,
+                    cw_max: 1024,
+                },
+            ],
+            traffics: vec![TrafficSpec::paper_default()],
+            seeds: vec![7],
+        }
+    } else {
+        ScenarioMatrix {
+            densities: vec![
+                DensityPoint::paper_base(),
+                DensityPoint::paper_density(120),
+                DensityPoint::paper_density(300),
+            ],
+            rate_mixes: vec![RateMix::AloneMax],
+            contentions: vec![
+                ContentionSpec::OrderedCsma,
+                ContentionSpec::PPersistent(0.5),
+                ContentionSpec::Dcf {
+                    cw_min: 16,
+                    cw_max: 1024,
+                },
+            ],
+            traffics: vec![TrafficSpec::paper_default()],
+            seeds: vec![7, 11],
+        }
+    }
+}
+
+/// Runs the cell list under `threads` workers; returns (results, wall).
+fn run_campaign(cells: &[ScenarioCell], threads: usize, slots: u64) -> (Vec<CellResult>, u64) {
+    let t = Instant::now();
+    let results = campaign::fan_out(cells.len(), threads, |i| run_cell(&cells[i], slots));
+    (results, t.elapsed().as_nanos() as u64)
+}
+
+/// Serializes campaign results with the (run-dependent) wall times zeroed,
+/// so equality means the *data* is bit-identical.
+fn canonical_json(results: &[CellResult]) -> String {
+    let scrubbed: Vec<CellResult> = results
+        .iter()
+        .map(|c| CellResult {
+            wall_ns: 0,
+            ..c.clone()
+        })
+        .collect();
+    serde_json::to_string(&scrubbed).expect("cells serialize")
+}
+
+fn parallel_section(
+    cells: &[ScenarioCell],
+    sequential: &[CellResult],
+    sequential_ns: u64,
+    slots: u64,
+) -> Vec<ParallelRow> {
+    let canonical = canonical_json(sequential);
+    THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let (results, wall_ns) = run_campaign(cells, threads, slots);
+            let json = canonical_json(&results);
+            let bit_identical = json == canonical;
+            assert!(
+                bit_identical,
+                "parallel campaign diverged at {threads} threads"
+            );
+            ParallelRow {
+                threads_requested: threads,
+                threads_used: campaign::resolve_threads(threads).min(cells.len().max(1)),
+                wall_ns,
+                speedup_vs_sequential: sequential_ns as f64 / wall_ns as f64,
+                bit_identical,
+                results_hash: format!("{:016x}", fnv1a(json.as_bytes())),
+            }
+        })
+        .collect()
+}
+
+/// Projects the SINR table footprint of an `n`-node row at paper density
+/// before building it: expected directed links ≈ n·(n−1)·(πr²/area) and the
+/// dominant allocation is the links² pairwise power table.
+fn scale_projection(density: &DensityPoint, phy: &Phy) -> (u64, u64) {
+    let r = phy.max_range();
+    let area = density.width * density.height;
+    let n = density.num_nodes as f64;
+    let p_in_range = (std::f64::consts::PI * r * r / area).min(1.0);
+    let links = (n * (n - 1.0) * p_in_range).ceil() as u64;
+    (links, links * links * 8)
+}
+
+fn run_scale_row(num_nodes: usize, slots: u64) -> ScaleRow {
+    let density = DensityPoint::paper_density(num_nodes);
+    let phy = Phy::paper_default();
+    let (projected_links, projected_table_bytes) = scale_projection(&density, &phy);
+    let mut row = ScaleRow {
+        num_nodes,
+        field_w: density.width,
+        field_h: density.height,
+        projected_links,
+        projected_table_bytes,
+        skipped: false,
+        skip_reason: None,
+        num_links: None,
+        flows: None,
+        slots: None,
+        build_ns: None,
+        sim_ns: None,
+        per_slot_ns: None,
+    };
+    if projected_table_bytes > SCALE_MEMORY_BUDGET_BYTES {
+        row.skipped = true;
+        row.skip_reason = Some(format!(
+            "projected {projected_links}-link pairwise power table \
+             ({projected_table_bytes} B) exceeds the {SCALE_MEMORY_BUDGET_BYTES} B budget"
+        ));
+        return row;
+    }
+    let build = Instant::now();
+    let topo = RandomTopology::generate_with_phy(density.topology_config(7), phy);
+    let model = topo.into_model();
+    row.build_ns = Some(build.elapsed().as_nanos() as u64);
+    row.num_links = Some(model.topology().num_links());
+    // Saturated flows routed on a fully-idle map: pure MAC pressure.
+    let idle = IdleMap::from_schedule(&model, &Schedule::empty());
+    let pairs = draw_pairs(&model, 8, 2, 4, 5);
+    let paths: Vec<Path> = pairs
+        .iter()
+        .filter_map(|&(src, dst)| {
+            shortest_path(&model, &idle, RoutingMetric::AverageE2eDelay, src, dst)
+        })
+        .collect();
+    row.flows = Some(paths.len());
+    let mut sim = Simulator::new(
+        &model,
+        SimConfig {
+            slots,
+            ..SimConfig::default()
+        },
+    );
+    for p in &paths {
+        sim.add_flow(p.clone(), None);
+    }
+    let t = Instant::now();
+    let _ = sim.run(&model);
+    let sim_ns = t.elapsed().as_nanos() as u64;
+    row.slots = Some(slots);
+    row.sim_ns = Some(sim_ns);
+    row.per_slot_ns = Some(sim_ns as f64 / slots as f64);
+    row
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (ablation_slots, cell_slots) = if smoke {
+        (ABLATION_SLOTS_SMOKE, CELL_SLOTS_SMOKE)
+    } else {
+        (ABLATION_SLOTS, CELL_SLOTS)
+    };
+
+    println!("== kernel ablation (30-node saturated instance) ==");
+    let ablation = run_ablation(ablation_slots);
+    println!(
+        "  links {} flows {} slots {}: generic {:.1} µs/slot, compiled {:.1} µs/slot, \
+         speedup {:.1}x, bit-identical {}",
+        ablation.num_links,
+        ablation.flows,
+        ablation.slots,
+        ablation.per_slot_generic_ns / 1e3,
+        ablation.per_slot_compiled_ns / 1e3,
+        ablation.speedup,
+        ablation.bit_identical,
+    );
+    assert!(
+        ablation.bit_identical,
+        "engines diverged on the 30-node instance"
+    );
+    assert!(
+        ablation.speedup >= SPEEDUP_FLOOR,
+        "compiled kernels only {:.1}x faster (floor {SPEEDUP_FLOOR}x)",
+        ablation.speedup
+    );
+
+    println!("== estimator campaign ==");
+    let matrix = campaign_matrix(smoke);
+    let cells = matrix.cells();
+    println!("  {} cells", cells.len());
+    let (sequential, sequential_ns) = run_campaign(&cells, 1, cell_slots);
+    for c in &sequential {
+        println!(
+            "  cell {:>2}: n={} {} seed {}: {} routed / {} admitted ({:.1} s)",
+            c.index,
+            c.num_nodes,
+            c.contention,
+            c.seed,
+            c.flows_routed,
+            c.flows_admitted,
+            c.wall_ns as f64 / 1e9,
+        );
+    }
+
+    println!("== parallel determinism ==");
+    let parallel = parallel_section(&cells, &sequential, sequential_ns, cell_slots);
+    for p in &parallel {
+        println!(
+            "  threads {} (used {}): {:.2}x vs sequential, identical {}",
+            p.threads_requested, p.threads_used, p.speedup_vs_sequential, p.bit_identical
+        );
+    }
+
+    if smoke {
+        println!("smoke ok: bit-identity and {SPEEDUP_FLOOR}x kernel floor hold");
+        return;
+    }
+
+    println!("== scale rows ==");
+    let scale: Vec<ScaleRow> = [(300usize, 2_000u64), (1_000, 1_000), (3_000, 500)]
+        .iter()
+        .map(|&(n, slots)| {
+            let row = run_scale_row(n, slots);
+            match (&row.skip_reason, row.per_slot_ns) {
+                (Some(reason), _) => println!("  n={n}: skipped — {reason}"),
+                (None, Some(ns)) => println!(
+                    "  n={n}: {} links, {:.1} µs/slot",
+                    row.num_links.unwrap_or(0),
+                    ns / 1e3
+                ),
+                _ => {}
+            }
+            row
+        })
+        .collect();
+
+    let quantiles = error_quantiles(&sequential);
+    for q in &quantiles {
+        println!(
+            "  {:<28} mean |err| {:.3} p50 {:.3} p90 {:.3} max {:.3} ({} samples)",
+            q.estimator, q.mean_abs_mbps, q.p50_abs_mbps, q.p90_abs_mbps, q.max_abs_mbps, q.samples
+        );
+    }
+
+    let report = Report {
+        bench: "estimators",
+        command: "cargo run --release -p awb-bench --bin estimators_bench",
+        cell_slots,
+        ablation,
+        cells: sequential,
+        error_quantiles: quantiles,
+        parallel,
+        scale,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_estimators.json", json + "\n").expect("write BENCH_estimators.json");
+    println!("wrote BENCH_estimators.json");
+}

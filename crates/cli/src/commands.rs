@@ -5,7 +5,7 @@ use awb_core::{available_bandwidth, AvailableBandwidthOptions, Flow};
 use awb_net::Path;
 use awb_phy::Phy;
 use awb_routing::{admit_sequentially, AdmissionConfig, RoutingMetric};
-use awb_sim::{Contention, SimConfig, Simulator};
+use awb_sim::{Contention, SimConfig, SimEngine, Simulator};
 use awb_workloads::{chain_model, connected_pairs, RandomTopology, RandomTopologyConfig};
 use serde::Serialize;
 use std::error::Error;
@@ -84,12 +84,13 @@ pub fn available(args: &Args) -> CmdResult {
     } else {
         Vec::new()
     };
-    let (pricing, stab_alpha, pricing_threads) = pricing_args(args)?;
+    let (pricing, stab_alpha, pricing_threads, column_pool_cap) = pricing_args(args)?;
     let options = AvailableBandwidthOptions {
         solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
         pricing,
         stab_alpha,
         pricing_threads,
+        column_pool_cap,
         ..AvailableBandwidthOptions::default()
     };
     let out = available_bandwidth(&model, &background, &path, &options)?;
@@ -189,7 +190,13 @@ pub fn admission(args: &Args) -> CmdResult {
 struct SimulateOut {
     hops: usize,
     slots: u64,
+    engine: String,
+    seeds: usize,
+    /// Mean end-to-end throughput across seeds (the single seed's value
+    /// when `--seeds 1`).
     throughput_mbps: f64,
+    per_seed_mbps: Vec<f64>,
+    /// Collision slots and idle ratios of the first seed's run.
     collision_slots: u64,
     node_idle_ratios: Vec<f64>,
 }
@@ -198,6 +205,18 @@ pub fn simulate(args: &Args) -> CmdResult {
     let hops = args.get_or("hops", 3usize)?;
     let hop_length = args.get_or("hop-length", 70.0f64)?;
     let slots = args.get_or("slots", 50_000u64)?;
+    let engine = match args.get("sim-engine").unwrap_or("compiled") {
+        "compiled" => SimEngine::Compiled,
+        "generic" => SimEngine::Generic,
+        other => {
+            return Err(
+                format!("unknown --sim-engine {other:?} (expected compiled or generic)").into(),
+            )
+        }
+    };
+    let base_seed = args.get_or("seed", SimConfig::default().seed)?;
+    let num_seeds = args.get_or("seeds", 1usize)?.max(1);
+    let sim_threads = args.get_or("sim-threads", 1usize)?;
     let contention = match args.get("contention").unwrap_or("ordered") {
         "ordered" => Contention::OrderedCsma,
         "dcf" => Contention::Dcf {
@@ -214,29 +233,51 @@ pub fn simulate(args: &Args) -> CmdResult {
         Some(v) => Some(v.parse::<f64>().map_err(|_| format!("bad demand {v:?}"))?),
     };
     let (model, path) = chain_model(hops, hop_length, Phy::paper_default());
-    let mut sim = Simulator::new(
-        &model,
-        SimConfig {
-            slots,
-            contention,
-            ..SimConfig::default()
-        },
-    );
-    let f = sim.add_flow(path, demand);
-    let report = sim.run(&model);
+    // One job per seed, fanned out deterministically: results are merged in
+    // seed order, so the report is identical for any --sim-threads.
+    let reports = awb_sim::campaign::fan_out(num_seeds, sim_threads, |i| {
+        let mut sim = Simulator::new(
+            &model,
+            SimConfig {
+                slots,
+                contention,
+                engine,
+                seed: base_seed + i as u64,
+                ..SimConfig::default()
+            },
+        );
+        let f = sim.add_flow(path.clone(), demand);
+        let report = sim.run(&model);
+        (report.flow_throughput_mbps[f], report)
+    });
+    let per_seed_mbps: Vec<f64> = reports.iter().map(|(t, _)| *t).collect();
+    let first = &reports[0].1;
     let out = SimulateOut {
         hops,
         slots,
-        throughput_mbps: report.flow_throughput_mbps[f],
-        collision_slots: report.link_collision_slots.iter().sum(),
-        node_idle_ratios: report.node_idle_ratio.clone(),
+        engine: format!("{engine:?}").to_lowercase(),
+        seeds: num_seeds,
+        throughput_mbps: per_seed_mbps.iter().sum::<f64>() / per_seed_mbps.len() as f64,
+        per_seed_mbps,
+        collision_slots: first.link_collision_slots.iter().sum(),
+        node_idle_ratios: first.node_idle_ratio.clone(),
     };
     emit(args, &out, || {
         println!(
-            "{hops}-hop chain, {slots} slots, contention {:?}",
-            contention
+            "{hops}-hop chain, {slots} slots, contention {:?}, {} engine, {} seed(s)",
+            contention, out.engine, out.seeds
         );
         println!("end-to-end throughput: {:.3} Mbps", out.throughput_mbps);
+        if out.seeds > 1 {
+            println!(
+                "per-seed: {}",
+                out.per_seed_mbps
+                    .iter()
+                    .map(|t| format!("{t:.3}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
         println!("collision slots: {}", out.collision_slots);
         println!(
             "node idle ratios: {}",
@@ -308,13 +349,15 @@ fn parse_pricing_mode(s: &str) -> Result<awb_core::PricingMode, Box<dyn Error>> 
 
 /// Reads the colgen pricing knobs shared by `available`, `serve`, and
 /// `query`: `--pricing heuristic|exact`, `--stab-alpha A` (dual smoothing,
-/// 1.0 disables), `--pricing-threads N` (0 = all cores).
-fn pricing_args(args: &Args) -> Result<(awb_core::PricingMode, f64, usize), Box<dyn Error>> {
+/// 1.0 disables), `--pricing-threads N` (0 = all cores), `--pool-cap N`
+/// (per-component stage-B column cap, 0 = unbounded).
+fn pricing_args(args: &Args) -> Result<(awb_core::PricingMode, f64, usize, usize), Box<dyn Error>> {
     let defaults = AvailableBandwidthOptions::default();
     Ok((
         parse_pricing_mode(args.get("pricing").unwrap_or("heuristic"))?,
         args.get_or("stab-alpha", defaults.stab_alpha)?,
         args.get_or("pricing-threads", defaults.pricing_threads)?,
+        args.get_or("pool-cap", defaults.column_pool_cap)?,
     ))
 }
 
@@ -334,7 +377,7 @@ fn pricing_args(args: &Args) -> Result<(awb_core::PricingMode, f64, usize), Box<
 /// compiled-instance cache and `--max-frame BYTES` caps request frames.
 pub fn serve(args: &Args) -> CmdResult {
     use awb_service::{Engine, EngineConfig, ReactorServerConfig, ServerConfig};
-    let (pricing, stab_alpha, pricing_threads) = pricing_args(args)?;
+    let (pricing, stab_alpha, pricing_threads, column_pool_cap) = pricing_args(args)?;
     let engine_config = EngineConfig {
         enumeration_engine: parse_engine_kind(args.get("enum-engine").unwrap_or("auto"))?,
         solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
@@ -342,6 +385,7 @@ pub fn serve(args: &Args) -> CmdResult {
         pricing,
         stab_alpha,
         pricing_threads,
+        column_pool_cap,
         ..EngineConfig::default()
     };
     if args.has("stdio") {
@@ -415,12 +459,13 @@ pub fn query(args: &Args) -> CmdResult {
         Some(addr) => awb_service::server::query_once(addr, &request)?,
         None => {
             use awb_service::{Engine, EngineConfig};
-            let (pricing, stab_alpha, pricing_threads) = pricing_args(args)?;
+            let (pricing, stab_alpha, pricing_threads, column_pool_cap) = pricing_args(args)?;
             let engine = Engine::new(EngineConfig {
                 solver: parse_solver_kind(args.get("solver").unwrap_or("full"))?,
                 pricing,
                 stab_alpha,
                 pricing_threads,
+                column_pool_cap,
                 ..EngineConfig::default()
             });
             awb_service::server::handle_line(&engine, &request)

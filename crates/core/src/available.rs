@@ -80,6 +80,16 @@ pub struct AvailableBandwidthOptions {
     /// bit-identical for any value. Only pays off with `decompose: true` on
     /// multi-component universes.
     pub pricing_threads: usize,
+    /// Per-component cap on the stage-B restricted master's column pool
+    /// under column generation (`0` = unbounded). Past the cap, columns
+    /// whose λ has never left the basis floor are dropped and the master is
+    /// rebuilt, so long-lived sessions never accumulate unbounded masters.
+    /// Exactness is unaffected — an evicted column the optimum still needs
+    /// is simply priced back in — but the column-discovery trajectory (and
+    /// hence low-order float bits of the answer in degenerate ties) can
+    /// differ from the unbounded run. Peak pool size and eviction counts
+    /// are surfaced in [`crate::ColgenStats`].
+    pub column_pool_cap: usize,
 }
 
 impl Default for AvailableBandwidthOptions {
@@ -92,6 +102,7 @@ impl Default for AvailableBandwidthOptions {
             pricing: PricingMode::default(),
             stab_alpha: 0.5,
             pricing_threads: 1,
+            column_pool_cap: 0,
         }
     }
 }

@@ -106,6 +106,12 @@ pub struct ColgenStats {
     pub heuristic_ns: u64,
     /// Wall-clock nanoseconds spent in the exact branch-and-bound.
     pub exact_ns: u64,
+    /// Largest column count any stage-B master reached (all components
+    /// together) — the pool-size figure
+    /// [`AvailableBandwidthOptions::column_pool_cap`] bounds.
+    pub pool_peak: usize,
+    /// Columns evicted from stage-B masters by the pool cap.
+    pub pool_evicted: usize,
 }
 
 impl ColgenStats {
@@ -118,6 +124,9 @@ impl ColgenStats {
         self.exact_calls += other.exact_calls;
         self.heuristic_ns += other.heuristic_ns;
         self.exact_ns += other.exact_ns;
+        // Peaks are concurrent high-water marks, not additive counts.
+        self.pool_peak = self.pool_peak.max(other.pool_peak);
+        self.pool_evicted += other.pool_evicted;
     }
 }
 
@@ -128,6 +137,8 @@ pub(crate) struct PricingTuning {
     pub(crate) mode: PricingMode,
     pub(crate) stab_alpha: f64,
     pub(crate) threads: usize,
+    /// Per-component stage-B pool cap; `0` = unbounded.
+    pub(crate) pool_cap: usize,
 }
 
 impl PricingTuning {
@@ -142,6 +153,7 @@ impl PricingTuning {
                 1.0
             },
             threads: options.pricing_threads,
+            pool_cap: options.column_pool_cap,
         }
     }
 
@@ -642,7 +654,45 @@ pub(crate) fn solve_with_pools<M: LinkRateModel>(
     };
     let mut airtimes = vec![0.0f64; oracles.len()];
     let mut have_center = false;
+    // Per-column "was ever basic" flags, parallel to `pools`: the survivors
+    // when the pool cap forces an eviction.
+    let mut ever_basic: Vec<Vec<bool>> = pools.iter().map(|p| vec![false; p.len()]).collect();
+    stats.pool_peak = stats.pool_peak.max(pools.iter().map(Vec::len).sum());
     for _round in 0..MAX_ROUNDS {
+        if tuning.pool_cap > 0 {
+            // Mark this master's basic columns, then drop never-basic ones
+            // from any component over the cap. Evicted columns stay exact:
+            // if the optimum needs one, pricing regenerates it (the oracle
+            // certificate never consults the pool).
+            let mut evicted_any = false;
+            {
+                let sol = master.solution();
+                for (flags, vars) in ever_basic.iter_mut().zip(&layout.lambdas) {
+                    for (flag, &var) in flags.iter_mut().zip(vars) {
+                        *flag |= sol.value(var) > SUPPORT_EPS;
+                    }
+                }
+            }
+            for (pool, flags) in pools.iter_mut().zip(&mut ever_basic) {
+                if pool.len() <= tuning.pool_cap {
+                    continue;
+                }
+                let before = pool.len();
+                let mut keep = flags.iter().copied();
+                pool.retain(|_| keep.next().unwrap_or(true));
+                flags.retain(|&f| f);
+                if pool.len() < before {
+                    stats.pool_evicted += before - pool.len();
+                    evicted_any = true;
+                }
+            }
+            if evicted_any {
+                stats.pivots += master.pivots();
+                let (m, l) = build_master(&pools, components, universe, demand, new_path)?;
+                master = m;
+                layout = l;
+            }
+        }
         let sol = master.solution();
         for (ci, oracle) in oracles.iter().enumerate() {
             let Some(budget_row) = layout.budget_rows[ci] else {
@@ -724,10 +774,12 @@ pub(crate) fn solve_with_pools<M: LinkRateModel>(
                 Ok(var) => {
                     layout.lambdas[ci].push(var);
                     pools[ci].push(set);
+                    ever_basic[ci].push(false);
                     added = true;
                 }
                 Err(awb_lp::SolveError::Problem(awb_lp::ProblemError::RedundantRowsEliminated)) => {
                     pools[ci].push(set);
+                    ever_basic[ci].push(false);
                     added = true;
                     rebuild = true;
                 }
@@ -738,6 +790,7 @@ pub(crate) fn solve_with_pools<M: LinkRateModel>(
         if !added {
             break;
         }
+        stats.pool_peak = stats.pool_peak.max(pools.iter().map(Vec::len).sum());
         stats.pricing_rounds += 1;
         if rebuild {
             stats.pivots += master.pivots();
@@ -937,6 +990,51 @@ mod tests {
             assert!(cg.schedule().is_valid(&m));
             assert!(cg.num_sets() <= full.num_sets());
         }
+    }
+
+    #[test]
+    fn pool_cap_bounds_the_master_and_preserves_the_optimum() {
+        // A dense conflict chain with rate choices: stage B prices a pool
+        // comfortably larger than the cap below.
+        let n = 10;
+        let conflicts: Vec<(usize, usize)> = (0..n - 1)
+            .map(|i| (i, i + 1))
+            .chain((0..n - 2).map(|i| (i, i + 2)))
+            .collect();
+        let (m, links) = line_model(n, &[r(54.0), r(36.0), r(18.0)], &conflicts);
+        let new_path = Path::new(m.topology(), vec![links[0]]).unwrap();
+        let background: Vec<Flow> = links[1..]
+            .iter()
+            .map(|&l| {
+                let p = Path::new(m.topology(), vec![l]).unwrap();
+                Flow::new(p, 2.0).unwrap()
+            })
+            .collect();
+        let unbounded =
+            available_bandwidth_colgen(&m, &background, &new_path, &[], &colgen_options()).unwrap();
+        assert!(unbounded.stats.pool_peak >= unbounded.pool.len());
+        assert_eq!(unbounded.stats.pool_evicted, 0);
+        let capped_opts = AvailableBandwidthOptions {
+            column_pool_cap: 8,
+            ..colgen_options()
+        };
+        let capped =
+            available_bandwidth_colgen(&m, &background, &new_path, &[], &capped_opts).unwrap();
+        // Exactness: the evicting solve certifies the same optimum.
+        assert!(
+            (capped.result.bandwidth_mbps() - unbounded.result.bandwidth_mbps()).abs() < 1e-6,
+            "capped {} vs unbounded {}",
+            capped.result.bandwidth_mbps(),
+            unbounded.result.bandwidth_mbps()
+        );
+        assert!(
+            capped.stats.pool_evicted > 0,
+            "cap 8 never triggered (peak {}, pool {})",
+            capped.stats.pool_peak,
+            capped.pool.len()
+        );
+        assert!(capped.stats.pool_peak >= capped.pool.len());
+        assert!(capped.result.schedule().is_valid(&m));
     }
 
     #[test]

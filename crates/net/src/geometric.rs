@@ -191,6 +191,21 @@ impl LinkRateModel for SinrModel {
             .collect();
         self.max_rate_in_set(link, &active)
     }
+
+    fn additive_capture(&self) -> Option<crate::AdditiveCapture> {
+        let n = self.topology.num_links();
+        let mut power = Vec::with_capacity(n * n);
+        for row in &self.tx_rx_power {
+            power.extend_from_slice(row);
+        }
+        Some(crate::AdditiveCapture {
+            num_links: n,
+            power,
+            signal: self.signal.clone(),
+            noise: self.phy.noise(),
+            steps: self.phy.capture_thresholds(),
+        })
+    }
 }
 
 #[cfg(test)]

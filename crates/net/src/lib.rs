@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod capture;
 mod declarative;
 mod error;
 mod geometric;
@@ -40,6 +41,7 @@ mod path;
 mod snapshot;
 mod topology;
 
+pub use capture::AdditiveCapture;
 pub use declarative::{DeclarativeModel, DeclarativeModelBuilder};
 pub use error::{PathError, TopologyError};
 pub use geometric::SinrModel;

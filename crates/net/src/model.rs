@@ -1,5 +1,6 @@
 //! The interface between a topology and the rate-coupled combinatorics.
 
+use crate::capture::AdditiveCapture;
 use crate::ids::{LinkId, NodeId};
 use crate::snapshot::ConflictSnapshot;
 use crate::topology::Topology;
@@ -106,6 +107,20 @@ pub trait LinkRateModel: Sync {
                 .all(|&o| !self.conflicts((link, r), o))
         })
     }
+
+    /// The precompiled additive-interference capture tables of this model,
+    /// if it is additive: per-pair received powers, signals, noise and the
+    /// tolerance-scaled decode ladder, from which
+    /// [`victim_max_rate`](Self::victim_max_rate) can be replayed
+    /// bit-for-bit (see [`AdditiveCapture`]).
+    ///
+    /// `None` (the default) means the model carries no additive tables;
+    /// compiled MAC kernels then fall back to pairwise conflict masks (when
+    /// [`pairwise_admissibility_exact`](Self::pairwise_admissibility_exact))
+    /// or to calling the model directly.
+    fn additive_capture(&self) -> Option<AdditiveCapture> {
+        None
+    }
 }
 
 // Blanket impl so `&M` works wherever `M` does (routing and estimation take
@@ -140,5 +155,8 @@ impl<M: LinkRateModel + ?Sized> LinkRateModel for &M {
     }
     fn victim_max_rate(&self, link: LinkId, others: &[(LinkId, Rate)]) -> Option<Rate> {
         (**self).victim_max_rate(link, others)
+    }
+    fn additive_capture(&self) -> Option<AdditiveCapture> {
+        (**self).additive_capture()
     }
 }

@@ -34,6 +34,6 @@ mod rates;
 mod units;
 
 pub use pathloss::LogDistance;
-pub use radio::Phy;
+pub use radio::{CaptureThreshold, Phy};
 pub use rates::{RateSpec, RateTable};
 pub use units::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm, Rate};

@@ -164,6 +164,28 @@ impl Phy {
             .map(|(s, _)| s.rate)
     }
 
+    /// The decode ladder of [`Phy::max_rate_under_interference`] as
+    /// precompiled thresholds, rates descending: a received power `pr` and
+    /// an interference-plus-noise SINR pass step `k` iff
+    /// `pr >= min_signal` and `sinr >= min_sinr`.
+    ///
+    /// The thresholds bake in the same `1 - 1e-12` tolerance factors the
+    /// live test applies, so a caller replaying the comparisons against
+    /// these constants reproduces [`Phy::max_rate_under_interference`]
+    /// bit-for-bit. This is the compile-time surface of the `awb-sim`
+    /// capture kernels.
+    pub fn capture_thresholds(&self) -> Vec<CaptureThreshold> {
+        self.rates
+            .iter()
+            .zip(&self.sensitivities)
+            .map(|(s, &rx)| CaptureThreshold {
+                rate: s.rate,
+                min_signal: rx * (1.0 - 1e-12),
+                min_sinr: s.sinr_linear() * (1.0 - 1e-12),
+            })
+            .collect()
+    }
+
     /// Whether a node at `distance` from a transmitter senses the channel
     /// busy.
     pub fn can_sense(&self, distance: f64) -> bool {
@@ -190,6 +212,20 @@ impl Default for Phy {
     fn default() -> Self {
         Phy::paper_default()
     }
+}
+
+/// One rung of the precompiled decode ladder returned by
+/// [`Phy::capture_thresholds`]: `rate` decodes iff the received signal meets
+/// `min_signal` (sensitivity) and the SINR meets `min_sinr` (Eq. 1), both
+/// thresholds already scaled by the `1 - 1e-12` comparison tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureThreshold {
+    /// The rate this rung decodes.
+    pub rate: Rate,
+    /// Minimum received signal power (linear units, tolerance applied).
+    pub min_signal: f64,
+    /// Minimum SINR (linear, tolerance applied).
+    pub min_sinr: f64,
 }
 
 #[cfg(test)]

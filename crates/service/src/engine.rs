@@ -89,6 +89,10 @@ pub struct EngineConfig {
     /// Orthogonal to the server's request-level parallelism; the default 1
     /// is right unless single queries over very large universes dominate.
     pub pricing_threads: usize,
+    /// Per-component cap on the colgen stage-B column pool (0 = unbounded).
+    /// A perf/memory knob like the pricing mode, so it stays out of the
+    /// instance-cache key.
+    pub column_pool_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +107,7 @@ impl Default for EngineConfig {
             pricing: PricingMode::default(),
             stab_alpha: AvailableBandwidthOptions::default().stab_alpha,
             pricing_threads: 1,
+            column_pool_cap: AvailableBandwidthOptions::default().column_pool_cap,
         }
     }
 }
@@ -130,6 +135,8 @@ pub struct Engine {
     stab_alpha: f64,
     /// Per-solve pricing thread count.
     pricing_threads: usize,
+    /// Per-component colgen pool cap (0 = unbounded).
+    column_pool_cap: usize,
     /// Reactor-core counters, attached when the nonblocking server fronts
     /// this engine; merged into `stats` responses.
     reactor_metrics: Mutex<Option<Arc<awb_reactor::ReactorMetrics>>>,
@@ -168,6 +175,7 @@ impl Engine {
             pricing: config.pricing,
             stab_alpha: config.stab_alpha,
             pricing_threads: config.pricing_threads,
+            column_pool_cap: config.column_pool_cap,
             reactor_metrics: Mutex::new(None),
             metrics: Metrics::new(),
         }
@@ -349,6 +357,7 @@ impl Engine {
             pricing: self.pricing,
             stab_alpha: self.stab_alpha,
             pricing_threads: self.pricing_threads,
+            column_pool_cap: self.column_pool_cap,
             ..AvailableBandwidthOptions::default()
         }
     }

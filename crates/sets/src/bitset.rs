@@ -1,0 +1,152 @@
+//! Word-packed `u64` bitset primitives shared by the compiled engines.
+//!
+//! The enumeration engine (§5d), the pricing oracle (§5e) and the compiled
+//! MAC-simulator kernels (§5j, in `awb-sim`) all reduce their inner loops to
+//! the same handful of operations over `&[u64]` masks: set/test a bit,
+//! intersect, popcount, iterate set bits. This module is that shared
+//! surface — plain free functions over word slices, so callers own their
+//! storage layout (a `Vec<u64>` per row, or one flat row-major buffer).
+//!
+//! All masks passed to a binary operation must have the same word width;
+//! the functions zip the slices and silently ignore any excess words of the
+//! longer operand, exactly like `Iterator::zip`.
+
+/// Words needed for a mask over `bits` bits (at least one, so empty
+/// universes still get a valid zero mask).
+#[must_use]
+pub fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64).max(1)
+}
+
+/// A fresh zero mask over `bits` bits.
+#[must_use]
+pub fn zero_mask(bits: usize) -> Vec<u64> {
+    vec![0u64; words_for(bits)]
+}
+
+/// Sets bit `bit`.
+pub fn set_bit(mask: &mut [u64], bit: usize) {
+    mask[bit / 64] |= 1u64 << (bit % 64);
+}
+
+/// Clears bit `bit`.
+pub fn clear_bit(mask: &mut [u64], bit: usize) {
+    mask[bit / 64] &= !(1u64 << (bit % 64));
+}
+
+/// Whether bit `bit` is set.
+#[must_use]
+pub fn test_bit(mask: &[u64], bit: usize) -> bool {
+    mask[bit / 64] & (1u64 << (bit % 64)) != 0
+}
+
+/// Whether `a` and `b` share no set bit.
+#[must_use]
+pub fn disjoint(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & y == 0)
+}
+
+/// Whether no bit is set.
+#[must_use]
+pub fn is_empty(mask: &[u64]) -> bool {
+    mask.iter().all(|&w| w == 0)
+}
+
+/// `out = a & b`, returning the intersection's population count.
+pub fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) -> u32 {
+    let mut pop = 0;
+    for ((x, y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+        *o = x & y;
+        pop += o.count_ones();
+    }
+    pop
+}
+
+/// Population count of `a & b` without materialising the intersection.
+#[must_use]
+pub fn and_count(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+}
+
+/// `acc |= other`.
+pub fn or_into(acc: &mut [u64], other: &[u64]) {
+    for (a, o) in acc.iter_mut().zip(other) {
+        *a |= o;
+    }
+}
+
+/// Zeroes every word of `mask`.
+pub fn clear_all(mask: &mut [u64]) {
+    for w in mask.iter_mut() {
+        *w = 0;
+    }
+}
+
+/// Total population count.
+#[must_use]
+pub fn count(mask: &[u64]) -> u32 {
+    mask.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Indices of the set bits of `mask`, ascending.
+pub fn iter_bits(mask: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    mask.iter().enumerate().flat_map(|(w, &bits)| {
+        let mut bits = bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(w * 64 + b)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_sizing_and_zero_masks() {
+        assert_eq!(words_for(0), 1);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(zero_mask(130).len(), 3);
+        assert!(is_empty(&zero_mask(0)));
+    }
+
+    #[test]
+    fn bit_ops_roundtrip() {
+        let mut m = zero_mask(128);
+        set_bit(&mut m, 3);
+        set_bit(&mut m, 70);
+        assert!(test_bit(&m, 3) && test_bit(&m, 70) && !test_bit(&m, 4));
+        assert_eq!(iter_bits(&m).collect::<Vec<_>>(), vec![3, 70]);
+        assert_eq!(count(&m), 2);
+        clear_bit(&mut m, 3);
+        assert!(!test_bit(&m, 3));
+        clear_all(&mut m);
+        assert!(is_empty(&m));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = zero_mask(128);
+        let mut b = zero_mask(128);
+        set_bit(&mut a, 1);
+        set_bit(&mut a, 100);
+        set_bit(&mut b, 100);
+        assert!(!disjoint(&a, &b));
+        assert_eq!(and_count(&a, &b), 1);
+        let mut out = zero_mask(128);
+        assert_eq!(and_into(&a, &b, &mut out), 1);
+        assert_eq!(iter_bits(&out).collect::<Vec<_>>(), vec![100]);
+        or_into(&mut b, &a);
+        assert_eq!(iter_bits(&b).collect::<Vec<_>>(), vec![1, 100]);
+        clear_all(&mut b);
+        set_bit(&mut b, 2);
+        assert!(disjoint(&a, &[0u64]) && disjoint(&b, &a));
+    }
+}

@@ -136,55 +136,13 @@ impl Compiled {
     }
 }
 
-pub(crate) fn set_bit(mask: &mut [u64], bit: usize) {
-    mask[bit / 64] |= 1u64 << (bit % 64);
-}
-
-pub(crate) fn clear_bit(mask: &mut [u64], bit: usize) {
-    mask[bit / 64] &= !(1u64 << (bit % 64));
-}
-
-pub(crate) fn test_bit(mask: &[u64], bit: usize) -> bool {
-    mask[bit / 64] & (1u64 << (bit % 64)) != 0
-}
-
-pub(crate) fn disjoint(a: &[u64], b: &[u64]) -> bool {
-    a.iter().zip(b).all(|(x, y)| x & y == 0)
-}
-
-pub(crate) fn is_empty(mask: &[u64]) -> bool {
-    mask.iter().all(|&w| w == 0)
-}
-
-/// `out = a & b`, returning the intersection's population count.
-pub(crate) fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) -> u32 {
-    let mut pop = 0;
-    for ((x, y), o) in a.iter().zip(b).zip(out.iter_mut()) {
-        *o = x & y;
-        pop += o.count_ones();
-    }
-    pop
-}
-
-/// Population count of `a & b` without materialising the intersection.
-pub(crate) fn and_count(a: &[u64], b: &[u64]) -> u32 {
-    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
-}
-
-/// Indices of the set bits of `mask`, ascending.
-pub(crate) fn iter_bits(mask: &[u64]) -> impl Iterator<Item = usize> + '_ {
-    mask.iter().enumerate().flat_map(|(w, &bits)| {
-        let mut bits = bits;
-        std::iter::from_fn(move || {
-            if bits == 0 {
-                return None;
-            }
-            let b = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            Some(w * 64 + b)
-        })
-    })
-}
+// The bit primitives live in the public [`crate::bitset`] module (they are
+// shared with the compiled MAC-simulator kernels in `awb-sim`); re-export
+// them under the old crate-private paths so the engine/pricing internals
+// keep reading naturally.
+pub(crate) use crate::bitset::{
+    and_count, and_into, clear_bit, disjoint, is_empty, iter_bits, set_bit, test_bit,
+};
 
 #[cfg(test)]
 mod tests {

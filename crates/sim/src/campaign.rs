@@ -1,0 +1,100 @@
+//! Deterministic parallel fan-out for simulation campaigns.
+//!
+//! A scenario matrix (density × rate mix × contention × traffic × seed) is a
+//! list of independent jobs, each of which runs its own [`Simulator`] with
+//! its own seeded RNG. Because every job is self-contained, parallelism
+//! cannot change any job's result — only the *order of completion*. This
+//! module pins the order of *collection* too: results come back indexed by
+//! job, so the merged output is bit-for-bit identical for any thread count
+//! (property-tested in `tests/proptest_kernels.rs`).
+//!
+//! [`Simulator`]: crate::Simulator
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Resolves a `--sim-threads`-style knob: `0` means "ask the OS", anything
+/// else is taken literally (capped at the job count by [`fan_out`]).
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Runs `jobs(0..num_jobs)` across `threads` workers and returns the results
+/// in job order.
+///
+/// Work is assigned by **striping**: worker `w` runs jobs `w`, `w + T`,
+/// `w + 2T`, … — a static schedule, so which thread runs which job is a
+/// pure function of `(num_jobs, threads)` and never of timing. `threads = 0`
+/// resolves to the machine's available parallelism; `threads = 1` runs the
+/// plain sequential loop (no worker threads at all). Either way the returned
+/// vector is identical: element `i` is `job(i)`.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn fan_out<T, F>(num_jobs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(num_jobs.max(1));
+    if threads <= 1 {
+        return (0..num_jobs).map(job).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..num_jobs).map(|_| None).collect();
+    thread::scope(|scope| {
+        let job = &job;
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            handles.push(scope.spawn(move || {
+                (w..num_jobs)
+                    .step_by(threads)
+                    .map(|i| (i, job(i)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            // awb-audit: allow(no-panic-in-lib) — a worker panic is a job-closure bug; propagating it is the contract
+            for (i, r) in h.join().expect("campaign worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        // awb-audit: allow(no-panic-in-lib) — worker w owns indices w, w+T, 2T, … — together they cover 0..num_jobs
+        .map(|s| s.expect("striping covers every job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_preserves_job_order() {
+        let seq = fan_out(17, 1, |i| i * i);
+        for threads in [0, 2, 3, 8, 64] {
+            assert_eq!(fan_out(17, threads, |i| i * i), seq, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_matrices() {
+        assert_eq!(fan_out(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out(1, 4, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_machine_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

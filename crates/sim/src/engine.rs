@@ -45,6 +45,24 @@ pub enum Contention {
     },
 }
 
+/// Which per-slot implementation [`Simulator::run`] executes.
+///
+/// Both engines simulate the **same** slot process and consume the RNG in
+/// the same order, so their reports are bit-for-bit identical (this is
+/// property-tested); the choice is a pure performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimEngine {
+    /// The reference implementation: per-slot scans that call the model's
+    /// `node_hears`/`victim_max_rate` for every contender.
+    Generic,
+    /// Compiled slot kernels (§5j): hearing, interference and conflict
+    /// relations precompiled into word-packed `u64` masks, per-slot checks
+    /// reduced to AND/OR/popcount over a reused scratch arena — no per-slot
+    /// allocation.
+    #[default]
+    Compiled,
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -59,6 +77,8 @@ pub struct SimConfig {
     pub contention: Contention,
     /// RNG seed for contention order and arrival phases.
     pub seed: u64,
+    /// Per-slot implementation (bit-identical results either way).
+    pub engine: SimEngine,
 }
 
 impl Default for SimConfig {
@@ -69,19 +89,20 @@ impl Default for SimConfig {
             rate_policy: RatePolicy::AloneMax,
             contention: Contention::OrderedCsma,
             seed: 1,
+            engine: SimEngine::Compiled,
         }
     }
 }
 
-struct SimFlow {
-    hops: Vec<LinkId>,
+pub(crate) struct SimFlow {
+    pub(crate) hops: Vec<LinkId>,
     /// Probability of a full-slot packet arriving each slot; `None` =
     /// saturated source.
-    arrival_probability: Option<f64>,
+    pub(crate) arrival_probability: Option<f64>,
     /// Mbit queued at each hop.
-    queues: Vec<f64>,
+    pub(crate) queues: Vec<f64>,
     /// Mbit delivered end-to-end.
-    delivered_mbit: f64,
+    pub(crate) delivered_mbit: f64,
 }
 
 /// A configured simulation: add flows, then [`run`](Simulator::run).
@@ -89,14 +110,14 @@ struct SimFlow {
 /// See the [crate-level documentation](crate) for the slot model.
 #[derive(Debug)]
 pub struct Simulator {
-    config: SimConfig,
+    pub(crate) config: SimConfig,
     /// Per-link chosen transmission rate (Mbps), `None` for dead links.
-    link_rate: Vec<Option<Rate>>,
-    flows: Vec<FlowSpec>,
+    pub(crate) link_rate: Vec<Option<Rate>>,
+    pub(crate) flows: Vec<FlowSpec>,
 }
 
 #[derive(Debug, Clone)]
-struct FlowSpec {
+pub(crate) struct FlowSpec {
     path: Path,
     demand_mbps: Option<f64>,
 }
@@ -142,13 +163,15 @@ impl Simulator {
     ///
     /// `model` must be the same model the simulator was built over.
     pub fn run<M: LinkRateModel>(&self, model: &M) -> SimReport {
-        let t = model.topology();
-        let num_links = t.num_links();
-        let num_nodes = t.num_nodes();
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        match self.config.engine {
+            SimEngine::Generic => self.run_generic(model),
+            SimEngine::Compiled => crate::kernel::run_compiled(self, model),
+        }
+    }
 
-        let mut flows: Vec<SimFlow> = self
-            .flows
+    /// Builds the per-flow runtime state shared by both engines.
+    pub(crate) fn sim_flows(&self) -> Vec<SimFlow> {
+        self.flows
             .iter()
             .map(|f| {
                 // A rate-limited source emits full-slot packets as a
@@ -167,16 +190,45 @@ impl Simulator {
                     delivered_mbit: 0.0,
                 }
             })
-            .collect();
+            .collect()
+    }
 
-        // Which flow+hop feeds each link (multiple flows may share a link;
-        // they are drained in arrival order).
+    /// Which flow+hop feeds each link (multiple flows may share a link;
+    /// they are drained in arrival order).
+    pub(crate) fn feeders(flows: &[SimFlow], num_links: usize) -> Vec<Vec<(usize, usize)>> {
         let mut feeders: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_links];
         for (fi, f) in flows.iter().enumerate() {
             for (hi, &l) in f.hops.iter().enumerate() {
                 feeders[l.index()].push((fi, hi));
             }
         }
+        feeders
+    }
+
+    /// Validated DCF window bounds; `(1, 1)` for the other contention
+    /// modes (whose backoff state is never consulted).
+    pub(crate) fn cw_bounds(&self) -> (u32, u32) {
+        match self.config.contention {
+            Contention::Dcf { cw_min, cw_max } => {
+                assert!(
+                    cw_min >= 1 && cw_max >= cw_min,
+                    "need 1 <= cw_min <= cw_max"
+                );
+                (cw_min, cw_max)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    /// The reference per-slot implementation ([`SimEngine::Generic`]).
+    fn run_generic<M: LinkRateModel>(&self, model: &M) -> SimReport {
+        let t = model.topology();
+        let num_links = t.num_links();
+        let num_nodes = t.num_nodes();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+
+        let mut flows = self.sim_flows();
+        let feeders = Simulator::feeders(&flows, num_links);
 
         // Precompute hearing: for each link, the nodes that hear it.
         let hearers: Vec<Vec<usize>> = t
@@ -194,19 +246,9 @@ impl Simulator {
         let mut link_tx_slots = vec![0u64; num_links];
         let mut link_collision_slots = vec![0u64; num_links];
 
-        let mut order: Vec<usize> = (0..num_links).collect();
         let mut busy_last_slot = vec![false; num_nodes];
         // DCF state: current contention window and pending backoff counter.
-        let (cw_min, cw_max) = match self.config.contention {
-            Contention::Dcf { cw_min, cw_max } => {
-                assert!(
-                    cw_min >= 1 && cw_max >= cw_min,
-                    "need 1 <= cw_min <= cw_max"
-                );
-                (cw_min, cw_max)
-            }
-            _ => (1, 1),
-        };
+        let (cw_min, cw_max) = self.cw_bounds();
         let mut cw = vec![cw_min; num_links];
         let mut backoff: Vec<Option<u32>> = vec![None; num_links];
         for _ in 0..self.config.slots {
@@ -252,13 +294,13 @@ impl Simulator {
             let mut granted: Vec<LinkId> = Vec::new();
             match self.config.contention {
                 Contention::OrderedCsma => {
-                    // Random order, grant iff the transmitter hears no
-                    // already-granted link.
-                    order.shuffle(&mut rng);
-                    for &li in &order {
-                        if !backlogged[li] {
-                            continue;
-                        }
+                    // Contenders are visited in a uniformly random order;
+                    // only backlogged links enter the draw, so the shuffle
+                    // cost tracks the offered load, not the topology size.
+                    let mut contenders: Vec<usize> =
+                        (0..num_links).filter(|&li| backlogged[li]).collect();
+                    contenders.shuffle(&mut rng);
+                    for &li in &contenders {
                         let link = LinkId::from_index(li);
                         let Ok(tx) = t.link(link).map(|l| l.tx()) else {
                             continue;
@@ -389,7 +431,7 @@ impl Simulator {
 /// Whether `link` at `rate` survives the concurrent set `assignment`
 /// (capture test for one victim; the aggressors' own fates are judged
 /// separately via [`LinkRateModel::victim_max_rate`]).
-fn is_capture_ok<M: LinkRateModel>(
+pub(crate) fn is_capture_ok<M: LinkRateModel>(
     model: &M,
     link: LinkId,
     rate: Rate,

@@ -52,8 +52,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 mod engine;
+mod kernel;
 mod report;
 
-pub use engine::{Contention, RatePolicy, SimConfig, Simulator};
+pub use engine::{Contention, RatePolicy, SimConfig, SimEngine, Simulator};
 pub use report::SimReport;

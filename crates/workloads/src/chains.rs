@@ -30,9 +30,11 @@ pub fn chain_model(n_hops: usize, hop_length: f64, phy: Phy) -> (SinrModel, Path
         .collect();
     let links: Vec<_> = nodes
         .windows(2)
+        // awb-audit: allow(no-panic-in-lib) — both endpoints were just added to a fresh topology
         .map(|w| t.add_link(w[0], w[1]).expect("fresh nodes"))
         .collect();
     let model = SinrModel::new(t, phy);
+    // awb-audit: allow(no-panic-in-lib) — windows(2) over the node line yields consecutive links
     let path = Path::new(model.topology(), links).expect("consecutive links chain");
     (model, path)
 }
@@ -59,7 +61,9 @@ pub fn grid_model(rows: usize, cols: usize, spacing: f64, phy: Phy) -> SinrModel
     let range = phy.max_range();
     for &a in &nodes {
         for &b in &nodes {
+            // awb-audit: allow(no-panic-in-lib) — distinct nodes in the same fresh topology
             if a != b && t.distance(a, b).expect("fresh nodes") <= range {
+                // awb-audit: allow(no-panic-in-lib) — each ordered pair is linked at most once
                 t.add_link(a, b).expect("pairs visited once");
             }
         }

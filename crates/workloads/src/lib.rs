@@ -15,9 +15,13 @@
 #![warn(missing_docs)]
 
 mod chains;
+mod matrix;
 mod random;
 mod scenarios;
 
 pub use chains::{chain_model, grid_model};
+pub use matrix::{
+    ContentionSpec, DensityPoint, RateMix, ScenarioCell, ScenarioMatrix, TrafficSpec,
+};
 pub use random::{connected_pairs, shortest_hop_distance, RandomTopology, RandomTopologyConfig};
 pub use scenarios::{ScenarioOne, ScenarioTwo};

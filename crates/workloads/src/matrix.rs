@@ -1,0 +1,258 @@
+//! The estimator-campaign scenario matrix (§5.2 at scale).
+//!
+//! A campaign is the cartesian product of a few experimental axes — node
+//! density, rate policy, contention model, traffic matrix, topology/traffic
+//! seed — flattened into a deterministic list of [`ScenarioCell`]s. Cells
+//! are pure *data* (this crate knows nothing about the simulator): the bench
+//! layer materialises each cell into a topology + flows + `SimConfig` and
+//! fans the list out over worker threads (`awb_sim::campaign::fan_out`),
+//! which cannot change any cell's result because every cell carries its own
+//! seeds.
+//!
+//! The axis order of [`ScenarioMatrix::cells`] is part of the output
+//! contract: cell `index` identifies the same experiment in every run, so
+//! benchmark JSON rows can be diffed across commits.
+
+use crate::RandomTopologyConfig;
+
+/// A node-density point: a node count and the field it is scattered over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DensityPoint {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Field width in metres.
+    pub width: f64,
+    /// Field height in metres.
+    pub height: f64,
+}
+
+impl DensityPoint {
+    /// The paper's base instance: 30 nodes on 400 m × 600 m.
+    #[must_use]
+    pub fn paper_base() -> DensityPoint {
+        DensityPoint {
+            num_nodes: 30,
+            width: 400.0,
+            height: 600.0,
+        }
+    }
+
+    /// A point with `num_nodes` nodes at the **same density** as the paper
+    /// base: linear dimensions scale by `sqrt(num_nodes / 30)`, so the mean
+    /// neighbourhood size — and with it the contention structure — stays
+    /// constant while the network grows.
+    #[must_use]
+    pub fn paper_density(num_nodes: usize) -> DensityPoint {
+        let base = DensityPoint::paper_base();
+        let scale = (num_nodes as f64 / base.num_nodes as f64).sqrt();
+        DensityPoint {
+            num_nodes,
+            width: base.width * scale,
+            height: base.height * scale,
+        }
+    }
+
+    /// The topology-generator config for this density point with the given
+    /// placement seed.
+    #[must_use]
+    pub fn topology_config(&self, seed: u64) -> RandomTopologyConfig {
+        RandomTopologyConfig {
+            width: self.width,
+            height: self.height,
+            num_nodes: self.num_nodes,
+            seed,
+        }
+    }
+}
+
+/// How transmitting links pick their rate (mirrors `awb_sim::RatePolicy`
+/// without depending on the simulator crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RateMix {
+    /// Every link uses its maximum alone-rate.
+    AloneMax,
+    /// Every link uses its lowest (most robust) rate.
+    Lowest,
+}
+
+/// How backlogged links contend (mirrors `awb_sim::Contention` as plain
+/// data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ContentionSpec {
+    /// Idealized ordered CSMA (collision-free among mutual hearers).
+    OrderedCsma,
+    /// p-persistent slotted CSMA with the given attempt probability.
+    PPersistent(f64),
+    /// 802.11 DCF-style binary exponential backoff.
+    Dcf {
+        /// Minimum contention window.
+        cw_min: u32,
+        /// Maximum contention window.
+        cw_max: u32,
+    },
+}
+
+impl ContentionSpec {
+    /// A short stable label for benchmark rows.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ContentionSpec::OrderedCsma => "ordered".into(),
+            ContentionSpec::PPersistent(p) => format!("p{p}"),
+            ContentionSpec::Dcf { cw_min, cw_max } => format!("dcf{cw_min}-{cw_max}"),
+        }
+    }
+}
+
+/// A traffic matrix: how many random connected source/destination pairs, the
+/// admissible BFS hop range, and the per-flow demand.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrafficSpec {
+    /// Number of flows (random connected pairs).
+    pub num_flows: usize,
+    /// Minimum BFS hop distance between the endpoints.
+    pub min_hops: usize,
+    /// Maximum BFS hop distance between the endpoints.
+    pub max_hops: usize,
+    /// Per-flow demand in Mbps; `None` = saturated sources.
+    pub demand_mbps: Option<f64>,
+}
+
+impl TrafficSpec {
+    /// The paper's §5.2 traffic: 8 random pairs, 2–4 hops, 2 Mbps each.
+    #[must_use]
+    pub fn paper_default() -> TrafficSpec {
+        TrafficSpec {
+            num_flows: 8,
+            min_hops: 2,
+            max_hops: 4,
+            demand_mbps: Some(2.0),
+        }
+    }
+}
+
+/// The full campaign: a cartesian product of axes, flattened in a fixed
+/// order by [`cells`](ScenarioMatrix::cells).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScenarioMatrix {
+    /// Node-density axis.
+    pub densities: Vec<DensityPoint>,
+    /// Rate-policy axis.
+    pub rate_mixes: Vec<RateMix>,
+    /// Contention-model axis.
+    pub contentions: Vec<ContentionSpec>,
+    /// Traffic-matrix axis.
+    pub traffics: Vec<TrafficSpec>,
+    /// Seed axis (drives node placement, pair selection and the MAC RNG).
+    pub seeds: Vec<u64>,
+}
+
+/// One experiment: a point of the cartesian product, tagged with its stable
+/// flat index.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScenarioCell {
+    /// Position in [`ScenarioMatrix::cells`] — stable across runs.
+    pub index: usize,
+    /// Node density.
+    pub density: DensityPoint,
+    /// Rate policy.
+    pub rate_mix: RateMix,
+    /// Contention model.
+    pub contention: ContentionSpec,
+    /// Traffic matrix.
+    pub traffic: TrafficSpec,
+    /// Seed for placement, pair selection and the MAC RNG.
+    pub seed: u64,
+}
+
+impl ScenarioMatrix {
+    /// Flattens the product with seeds innermost and densities outermost
+    /// (densities vary slowest, so consecutive cells share a topology
+    /// scale).
+    #[must_use]
+    pub fn cells(&self) -> Vec<ScenarioCell> {
+        let mut out = Vec::new();
+        for density in &self.densities {
+            for rate_mix in &self.rate_mixes {
+                for contention in &self.contentions {
+                    for traffic in &self.traffics {
+                        for &seed in &self.seeds {
+                            out.push(ScenarioCell {
+                                index: out.len(),
+                                density: *density,
+                                rate_mix: *rate_mix,
+                                contention: *contention,
+                                traffic: traffic.clone(),
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of cells without materialising them.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.densities.len()
+            * self.rate_mixes.len()
+            * self.contentions.len()
+            * self.traffics.len()
+            * self.seeds.len()
+    }
+
+    /// Whether any axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_density_scaling_preserves_area_per_node() {
+        let base = DensityPoint::paper_base();
+        let big = DensityPoint::paper_density(300);
+        let base_area = base.width * base.height / base.num_nodes as f64;
+        let big_area = big.width * big.height / big.num_nodes as f64;
+        assert!((base_area - big_area).abs() < 1e-6 * base_area);
+        assert_eq!(big.num_nodes, 300);
+    }
+
+    #[test]
+    fn cells_enumerate_the_full_product_with_stable_indices() {
+        let m = ScenarioMatrix {
+            densities: vec![DensityPoint::paper_base(), DensityPoint::paper_density(60)],
+            rate_mixes: vec![RateMix::AloneMax],
+            contentions: vec![
+                ContentionSpec::OrderedCsma,
+                ContentionSpec::PPersistent(0.5),
+            ],
+            traffics: vec![TrafficSpec::paper_default()],
+            seeds: vec![1, 2, 3],
+        };
+        let cells = m.cells();
+        assert_eq!(cells.len(), m.len());
+        assert_eq!(cells.len(), 12);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Seeds innermost: the first three cells differ only by seed.
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[2].seed, 3);
+        assert_eq!(cells[0].density, cells[2].density);
+        // Densities outermost.
+        assert_eq!(cells[6].density.num_nodes, 60);
+    }
+}

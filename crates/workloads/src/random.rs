@@ -68,7 +68,9 @@ impl RandomTopology {
         let range = phy.max_range();
         for &a in &nodes {
             for &b in &nodes {
+                // awb-audit: allow(no-panic-in-lib) — distinct nodes in the same fresh topology
                 if a != b && t.distance(a, b).expect("fresh nodes") <= range {
+                    // awb-audit: allow(no-panic-in-lib) — each ordered pair is linked at most once
                     t.add_link(a, b).expect("pairs are visited once");
                 }
             }
@@ -110,6 +112,7 @@ pub fn shortest_hop_distance(
     dist[src.index()] = Some(0);
     let mut queue = VecDeque::from([src]);
     while let Some(u) = queue.pop_front() {
+        // awb-audit: allow(no-panic-in-lib) — nodes are enqueued only after their distance is set
         let d = dist[u.index()].expect("queued nodes have distances");
         for link in topology.links_from(u) {
             let v = link.rx();

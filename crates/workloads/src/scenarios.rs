@@ -44,8 +44,11 @@ impl ScenarioOne {
                 (tx, rx)
             })
             .collect();
+        // awb-audit: allow(no-panic-in-lib) — both endpoints were just added to a fresh topology
         let l1 = t.add_link(ends[0].0, ends[0].1).expect("fresh nodes");
+        // awb-audit: allow(no-panic-in-lib) — both endpoints were just added to a fresh topology
         let l2 = t.add_link(ends[1].0, ends[1].1).expect("fresh nodes");
+        // awb-audit: allow(no-panic-in-lib) — both endpoints were just added to a fresh topology
         let l3 = t.add_link(ends[2].0, ends[2].1).expect("fresh nodes");
         let model = DeclarativeModel::builder(t)
             .alone_rates(l1, &[rate])
@@ -102,9 +105,11 @@ impl ScenarioOne {
             .into_iter()
             .map(|l| {
                 Flow::new(
+                    // awb-audit: allow(no-panic-in-lib) — a one-link path is trivially consecutive
                     Path::new(t, vec![l]).expect("single-link paths are valid"),
                     demand,
                 )
+                // awb-audit: allow(no-panic-in-lib) — demand = λ·rate with finite λ and rate
                 .expect("demand is finite and non-negative")
             })
             .collect()
@@ -112,6 +117,7 @@ impl ScenarioOne {
 
     /// The one-hop path over `L3` whose available bandwidth is in question.
     pub fn new_path(&self) -> Path {
+        // awb-audit: allow(no-panic-in-lib) — a one-link path is trivially consecutive
         Path::new(self.model.topology(), vec![self.links[2]]).expect("single-link paths are valid")
     }
 
@@ -192,6 +198,7 @@ impl ScenarioTwo {
         let nodes: Vec<_> = (0..5).map(|i| t.add_node(i as f64 * 50.0, 0.0)).collect();
         let links: Vec<LinkId> = nodes
             .windows(2)
+            // awb-audit: allow(no-panic-in-lib) — windows(2) over the node line yields consecutive links
             .map(|w| t.add_link(w[0], w[1]).expect("fresh nodes"))
             .collect();
         let mut b = DeclarativeModel::builder(t);
@@ -224,6 +231,7 @@ impl ScenarioTwo {
 
     /// The 4-hop path `L1 → L2 → L3 → L4`.
     pub fn path(&self) -> Path {
+        // awb-audit: allow(no-panic-in-lib) — the chain links share endpoints by construction
         Path::new(self.model.topology(), self.links.to_vec()).expect("the chain links form a path")
     }
 
