@@ -15,8 +15,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> awb-audit --deny (panic-freedom / float-eq / determinism / lint-header)"
+echo "==> awb-audit --deny (R1-R4 lexical lints + R5 unsafe-confinement / R6 lock-order / R7 hot-path-alloc / R8 reactor-blocking)"
 cargo run --release -q -p awb-audit -- --deny
+
+# Best-effort ThreadSanitizer leg over the concurrency-heavy crates. TSan
+# needs a nightly toolchain (-Zsanitizer) plus the matching rust-src; when
+# either is missing the leg is skipped with a visible notice so the rest of
+# the gate still runs everywhere.
+echo "==> ThreadSanitizer (reactor + service test suites, best effort)"
+if rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then
+    RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Z build-std -q -p awb-reactor -p awb-service \
+        --target "$(rustc -vV | sed -n 's/^host: //p')"
+else
+    echo "    SKIPPED: no nightly toolchain with rust-src; install via" \
+         "'rustup toolchain install nightly --component rust-src' to enable"
+fi
 
 echo "==> cargo test --features debug-invariants (runtime LP/colgen guards)"
 cargo test -q -p awb-lp --features debug-invariants

@@ -1,0 +1,582 @@
+//! The per-crate call graph and the interprocedural rules built on it.
+//!
+//! Nodes are the `fn` items extracted by [`crate::parse`]; edges come from
+//! call-site resolution by name:
+//!
+//! * **free calls** resolve to free functions of the *same crate* first,
+//!   then workspace-wide when the name is unique;
+//! * **path calls** resolve `Type::name` against impl methods (same crate,
+//!   then unique workspace-wide), `Self::name` against the caller's impl
+//!   block, and `awb_xxx::name` / `module::name` against free functions of
+//!   the named (or current) crate;
+//! * **method calls** (`x.name(…)`) resolve to *every* same-crate impl
+//!   method with that bare name — an over-approximation (no trait dispatch
+//!   or receiver types), except that ubiquitous std-container names
+//!   ([`crate::parse::COMMON_METHODS`]) produce no edge at all — an
+//!   under-approximation. Both choices are documented in DESIGN.md §5k.
+//!
+//! On top of the graph:
+//!
+//! * **R6 `lock-order`** — every ordered pair *(held, acquired)* of lock
+//!   classes is reported as an advisory; a cycle in the pair digraph is a
+//!   deny finding, as is any blocking call made while a lock is held (the
+//!   condvar pattern — waiting on the guard's own lock — is exempt), and,
+//!   on the event-loop path, any call made under a lock into a function
+//!   that may transitively block.
+//! * **R7 `hot-path-alloc`** — allocation-shaped sites in any function
+//!   reachable from a `// awb-audit: hot` root.
+//! * **R8 `reactor-blocking`** — blocking-shaped sites in any function
+//!   reachable from a `// awb-audit: event-loop` root.
+//!
+//! Lock classes are crate-qualified last-segment names (`service::cache`);
+//! two different mutexes stored in fields of the same name share a class —
+//! an over-approximation that can only add pairs, never hide them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{CallKind, FnItem, COMMON_METHODS, LOCK_INTRINSICS, TAG_EVENT_LOOP, TAG_HOT};
+use crate::rules::{Finding, Rule};
+
+/// One graph node: a parsed `fn` item plus where it lives.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub crate_name: String,
+    pub file: String,
+    pub item: FnItem,
+}
+
+/// Interprocedural findings and advisories for one workspace.
+#[derive(Debug, Default)]
+pub(crate) struct GraphReport {
+    pub findings: Vec<Finding>,
+    pub advisories: Vec<Finding>,
+}
+
+struct Graph {
+    nodes: Vec<Node>,
+    /// Resolved call edges, parallel to `nodes[i].item.calls`.
+    edges: Vec<Vec<usize>>,
+    /// Transitive lock classes acquired by each node (crate-qualified).
+    acq_all: Vec<BTreeSet<String>>,
+    /// Whether each node contains (or transitively calls) a blocking site.
+    blocks_any: Vec<bool>,
+}
+
+/// Runs R6/R7/R8 over the parsed items of the whole file set.
+pub(crate) fn analyze_graph(nodes: Vec<Node>) -> GraphReport {
+    let graph = Graph::build(nodes);
+    let mut report = GraphReport::default();
+    graph.rule_hot_path(&mut report);
+    graph.rule_event_loop(&mut report);
+    graph.rule_lock_order(&mut report);
+    report
+}
+
+impl Graph {
+    fn build(nodes: Vec<Node>) -> Graph {
+        // Name indexes. Free functions have `qualified == name`.
+        let mut free_by_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut methods_by_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut qual_by_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_global: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut qual_global: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, node) in nodes.iter().enumerate() {
+            if LOCK_INTRINSICS.contains(&node.item.name.as_str()) {
+                // The lock helpers are analysis intrinsics: call sites to
+                // them already became acquisitions, and their own `m.lock()`
+                // bodies must not introduce a phantom `m` class.
+                continue;
+            }
+            let key = (node.crate_name.clone(), node.item.name.clone());
+            if node.item.qualified == node.item.name {
+                free_by_crate.entry(key).or_default().push(id);
+                free_global
+                    .entry(node.item.name.clone())
+                    .or_default()
+                    .push(id);
+            } else {
+                methods_by_crate.entry(key).or_default().push(id);
+            }
+            qual_by_crate
+                .entry((node.crate_name.clone(), node.item.qualified.clone()))
+                .or_default()
+                .push(id);
+            qual_global
+                .entry(node.item.qualified.clone())
+                .or_default()
+                .push(id);
+        }
+
+        let resolve = |caller: &Node, kind: &CallKind, name: &str| -> Vec<usize> {
+            if LOCK_INTRINSICS.contains(&name) || name == "drop" {
+                return Vec::new();
+            }
+            let crate_name = caller.crate_name.as_str();
+            match kind {
+                CallKind::Free => {
+                    if let Some(ids) =
+                        free_by_crate.get(&(crate_name.to_string(), name.to_string()))
+                    {
+                        return ids.clone();
+                    }
+                    match free_global.get(name) {
+                        Some(ids) if ids.len() == 1 => ids.clone(),
+                        _ => Vec::new(),
+                    }
+                }
+                CallKind::Method => {
+                    if COMMON_METHODS.contains(&name) {
+                        return Vec::new();
+                    }
+                    methods_by_crate
+                        .get(&(crate_name.to_string(), name.to_string()))
+                        .cloned()
+                        .unwrap_or_default()
+                }
+                CallKind::Path(path) => {
+                    let segs: Vec<&str> = path.split("::").collect();
+                    let qual = segs.get(segs.len().wrapping_sub(2)).copied().unwrap_or("");
+                    if qual == "Self" {
+                        let ty = caller.item.qualified.split("::").next().unwrap_or("");
+                        let q = format!("{ty}::{name}");
+                        return qual_by_crate
+                            .get(&(crate_name.to_string(), q))
+                            .cloned()
+                            .unwrap_or_default();
+                    }
+                    if qual.starts_with(char::is_uppercase) {
+                        let q = format!("{qual}::{name}");
+                        if let Some(ids) = qual_by_crate.get(&(crate_name.to_string(), q.clone())) {
+                            return ids.clone();
+                        }
+                        return match qual_global.get(&q) {
+                            Some(ids) if ids.len() == 1 => ids.clone(),
+                            _ => Vec::new(),
+                        };
+                    }
+                    // Module-qualified free call. `awb_xxx::…` names a
+                    // workspace crate; anything else is a same-crate module
+                    // path (modules are flattened per crate).
+                    let target = if qual == "awb" || qual.starts_with("awb_") {
+                        qual.trim_start_matches("awb_").to_string()
+                    } else {
+                        crate_name.to_string()
+                    };
+                    free_by_crate
+                        .get(&(target, name.to_string()))
+                        .cloned()
+                        .unwrap_or_default()
+                }
+            }
+        };
+
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+        for node in &nodes {
+            let mut outs: Vec<usize> = Vec::new();
+            for call in &node.item.calls {
+                outs.extend(resolve(node, &call.kind, &call.name));
+            }
+            outs.sort_unstable();
+            outs.dedup();
+            edges.push(outs);
+        }
+
+        // Fixpoint: transitive lock classes and may-block bits.
+        let mut acq_all: Vec<BTreeSet<String>> = nodes
+            .iter()
+            .map(|n| {
+                n.item
+                    .locks
+                    .iter()
+                    .map(|l| qualify(&n.crate_name, &l.class))
+                    .collect()
+            })
+            .collect();
+        let mut blocks_any: Vec<bool> = nodes.iter().map(|n| !n.item.blocking.is_empty()).collect();
+        loop {
+            let mut changed = false;
+            for id in 0..nodes.len() {
+                for &callee in &edges[id] {
+                    if callee == id {
+                        continue;
+                    }
+                    if blocks_any[callee] && !blocks_any[id] {
+                        blocks_any[id] = true;
+                        changed = true;
+                    }
+                    let extra: Vec<String> = acq_all[callee]
+                        .iter()
+                        .filter(|c| !acq_all[id].contains(*c))
+                        .cloned()
+                        .collect();
+                    if !extra.is_empty() {
+                        acq_all[id].extend(extra);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        Graph {
+            nodes,
+            edges,
+            acq_all,
+            blocks_any,
+        }
+    }
+
+    /// BFS from every node tagged `tag`; returns, per reached node, the call
+    /// chain from its root (as `root → … → fn` qualified names).
+    fn reach(&self, tag: &str) -> BTreeMap<usize, String> {
+        let mut chain: BTreeMap<usize, String> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.item.has_tag(tag) {
+                chain.insert(id, node.item.qualified.clone());
+                queue.push(id);
+            }
+        }
+        let mut head = 0usize;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            let prefix = chain.get(&id).cloned().unwrap_or_default();
+            for &callee in &self.edges[id] {
+                if chain.contains_key(&callee) {
+                    continue;
+                }
+                let label = format!("{prefix} → {}", self.nodes[callee].item.qualified);
+                chain.insert(callee, label);
+                queue.push(callee);
+            }
+        }
+        chain
+    }
+
+    /// R7: allocation-shaped sites reachable from a `hot` root.
+    fn rule_hot_path(&self, report: &mut GraphReport) {
+        for (id, chain) in self.reach(TAG_HOT) {
+            let node = &self.nodes[id];
+            for site in &node.item.allocs {
+                report.findings.push(Finding {
+                    rule: Rule::HotPathAlloc,
+                    file: node.file.clone(),
+                    line: site.line,
+                    col: 1,
+                    message: format!("{} on the hot path ({chain})", site.what),
+                });
+            }
+        }
+    }
+
+    /// R8: blocking-shaped sites reachable from an `event-loop` root.
+    fn rule_event_loop(&self, report: &mut GraphReport) {
+        for (id, chain) in self.reach(TAG_EVENT_LOOP) {
+            let node = &self.nodes[id];
+            for site in &node.item.blocking {
+                report.findings.push(Finding {
+                    rule: Rule::ReactorBlocking,
+                    file: node.file.clone(),
+                    line: site.line,
+                    col: 1,
+                    message: format!("{} reachable from the event loop ({chain})", site.what),
+                });
+            }
+        }
+    }
+
+    /// R6: ordered lock pairs (advisories), pair-digraph cycles, blocking
+    /// under a held lock, and held calls into may-block functions on the
+    /// event-loop path (deny findings).
+    fn rule_lock_order(&self, report: &mut GraphReport) {
+        // Ordered pairs with their first witnessing site.
+        let mut pairs: BTreeMap<(String, String), (String, usize, String)> = BTreeMap::new();
+        for node in &self.nodes {
+            for acq in &node.item.locks {
+                let to = qualify(&node.crate_name, &acq.class);
+                for held in &acq.held {
+                    let from = qualify(&node.crate_name, held);
+                    pairs
+                        .entry((from.clone(), to.clone()))
+                        .or_insert_with(|| (node.file.clone(), acq.line, "direct".to_string()));
+                }
+            }
+        }
+        for (id, node) in self.nodes.iter().enumerate() {
+            for (call, _) in node.item.calls.iter().zip(0..) {
+                if call.held.is_empty() {
+                    continue;
+                }
+                // Edges this call resolves to were already merged into
+                // `edges[id]`; recompute the per-call resolution cheaply by
+                // matching callee names.
+                for &callee in &self.edges[id] {
+                    if self.nodes[callee].item.name != call.name {
+                        continue;
+                    }
+                    for to in &self.acq_all[callee] {
+                        for held in &call.held {
+                            let from = qualify(&node.crate_name, held);
+                            if from == *to {
+                                continue;
+                            }
+                            pairs.entry((from.clone(), to.clone())).or_insert_with(|| {
+                                (
+                                    node.file.clone(),
+                                    call.line,
+                                    format!("via call to `{}`", self.nodes[callee].item.qualified),
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        for ((from, to), (file, line, how)) in &pairs {
+            report.advisories.push(Finding {
+                rule: Rule::LockOrder,
+                file: file.clone(),
+                line: *line,
+                col: 1,
+                message: format!("lock `{from}` held while acquiring `{to}` ({how})"),
+            });
+        }
+
+        // Cycle detection over the pair digraph.
+        for cycle in find_cycles(&pairs) {
+            let key = (cycle[0].clone(), cycle[1].clone());
+            let (file, line, _) = pairs.get(&key).cloned().unwrap_or_default();
+            report.findings.push(Finding {
+                rule: Rule::LockOrder,
+                file,
+                line,
+                col: 1,
+                message: format!("lock-order cycle: {}", cycle.join(" → ")),
+            });
+        }
+
+        // Blocking while holding a lock (workspace-wide, condvar-exempt).
+        for node in &self.nodes {
+            for site in &node.item.blocking {
+                if site.held.is_empty() {
+                    continue;
+                }
+                let held: Vec<String> = site
+                    .held
+                    .iter()
+                    .map(|h| qualify(&node.crate_name, h))
+                    .collect();
+                report.findings.push(Finding {
+                    rule: Rule::LockOrder,
+                    file: node.file.clone(),
+                    line: site.line,
+                    col: 1,
+                    message: format!("{} while holding lock(s) {}", site.what, held.join(", ")),
+                });
+            }
+        }
+
+        // Held call into a may-block function, on the event-loop path only
+        // (elsewhere the advisory pair listing already surfaces the shape).
+        let loop_reach = self.reach(TAG_EVENT_LOOP);
+        for (id, chain) in &loop_reach {
+            let node = &self.nodes[*id];
+            for call in &node.item.calls {
+                if call.held.is_empty() {
+                    continue;
+                }
+                for &callee in &self.edges[*id] {
+                    if self.nodes[callee].item.name != call.name || !self.blocks_any[callee] {
+                        continue;
+                    }
+                    let held: Vec<String> = call
+                        .held
+                        .iter()
+                        .map(|h| qualify(&node.crate_name, h))
+                        .collect();
+                    report.findings.push(Finding {
+                        rule: Rule::LockOrder,
+                        file: node.file.clone(),
+                        line: call.line,
+                        col: 1,
+                        message: format!(
+                            "call to `{}` (may block) while holding {} on the event-loop path ({chain})",
+                            self.nodes[callee].item.qualified,
+                            held.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn qualify(crate_name: &str, class: &str) -> String {
+    format!("{crate_name}::{class}")
+}
+
+/// Finds elementary cycles in the pair digraph — one representative per
+/// strongly connected component with ≥ 2 nodes, plus every self-loop. The
+/// returned vector lists the cycle's classes with the start repeated last.
+fn find_cycles(pairs: &BTreeMap<(String, String), (String, usize, String)>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in pairs.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+        adj.entry(to.as_str()).or_default();
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    for ((from, to), _) in pairs.iter() {
+        if from == to {
+            cycles.push(vec![from.clone(), to.clone()]);
+        }
+    }
+    // DFS from each node looking for a path back to it (the graphs here are
+    // tiny — dozens of classes — so the quadratic sweep is fine).
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut seen_cycle_keys: BTreeSet<String> = BTreeSet::new();
+    for &start in &nodes {
+        // Find the shortest path start → … → start of length ≥ 2 via BFS.
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: Vec<&str> = vec![start];
+        let mut head = 0;
+        let mut found = false;
+        while head < queue.len() && !found {
+            let u = queue[head];
+            head += 1;
+            for &v in adj.get(u).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if v == start && u != start {
+                    parent.insert("__back__", u);
+                    found = true;
+                    break;
+                }
+                if v != start && !parent.contains_key(v) {
+                    parent.insert(v, u);
+                    queue.push(v);
+                }
+            }
+        }
+        if !found {
+            continue;
+        }
+        let mut path = vec![start.to_string()];
+        let mut cur = *parent.get("__back__").unwrap_or(&start);
+        let mut tail = Vec::new();
+        while cur != start {
+            tail.push(cur.to_string());
+            cur = parent.get(cur).copied().unwrap_or(start);
+        }
+        tail.reverse();
+        path.extend(tail);
+        path.push(start.to_string());
+        // Canonical key so A→B→A and B→A→B report once.
+        let mut sorted = path.clone();
+        sorted.sort();
+        sorted.dedup();
+        let key = sorted.join("|");
+        if seen_cycle_keys.insert(key) {
+            cycles.push(path);
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask;
+    use crate::parse::analyze;
+
+    fn nodes_of(crate_name: &str, file: &str, src: &str) -> Vec<Node> {
+        analyze(&mask(src))
+            .items
+            .into_iter()
+            .map(|item| Node {
+                crate_name: crate_name.to_string(),
+                file: file.to_string(),
+                item,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_and_transitive_hot_reach() {
+        let src = "// awb-audit: hot\nfn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() { let v: Vec<u8> = Vec::new(); }\nfn cold() { let s = String::new(); }\n";
+        let report = analyze_graph(nodes_of("sim", "src/k.rs", src));
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("root → mid → leaf"));
+    }
+
+    #[test]
+    fn recursive_edges_terminate() {
+        let src =
+            "// awb-audit: hot\nfn a() { b(); }\nfn b() { a(); c(); }\nfn c() { x.collect(); }\n";
+        let report = analyze_graph(nodes_of("sim", "src/k.rs", src));
+        assert_eq!(report.findings.len(), 1);
+    }
+
+    #[test]
+    fn method_calls_resolve_same_crate_only() {
+        let hot = "// awb-audit: hot\nfn root(&self) { self.helper(); }\n";
+        let other = "impl Widget {\n    fn helper(&self) { let s = format!(\"x\"); }\n}\n";
+        let mut nodes = nodes_of("sim", "src/a.rs", hot);
+        nodes.extend(nodes_of("sim", "src/b.rs", other));
+        let report = analyze_graph(nodes);
+        assert_eq!(report.findings.len(), 1);
+
+        // Same shape, different crates: no edge.
+        let mut nodes = nodes_of("sim", "src/a.rs", hot);
+        nodes.extend(nodes_of("sets", "src/b.rs", other));
+        let report = analyze_graph(nodes);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn common_method_names_do_not_resolve() {
+        let src = "// awb-audit: hot\nfn root(&self) { self.push(1); }\nimpl Pile {\n    fn push(&self, x: u8) { let s = format!(\"{x}\"); }\n}\n";
+        let report = analyze_graph(nodes_of("sim", "src/k.rs", src));
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn lock_cycle_is_a_finding_and_order_is_advisory() {
+        let src = "impl S {\n    fn ab(&self) {\n        let a = lock_recover(&self.alpha);\n        let b = lock_recover(&self.beta);\n    }\n    fn ba(&self) {\n        let b = lock_recover(&self.beta);\n        let a = lock_recover(&self.alpha);\n    }\n}\n";
+        let report = analyze_graph(nodes_of("service", "src/s.rs", src));
+        assert_eq!(report.advisories.len(), 2);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("lock-order cycle")));
+    }
+
+    #[test]
+    fn consistent_order_is_not_a_cycle() {
+        let src = "impl S {\n    fn one(&self) {\n        let a = lock_recover(&self.alpha);\n        let b = lock_recover(&self.beta);\n    }\n    fn two(&self) {\n        let a = lock_recover(&self.alpha);\n        let b = lock_recover(&self.beta);\n    }\n}\n";
+        let report = analyze_graph(nodes_of("service", "src/s.rs", src));
+        assert_eq!(report.advisories.len(), 1);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn interprocedural_pair_via_call() {
+        let src = "impl S {\n    fn outer(&self) {\n        let a = lock_recover(&self.alpha);\n        self.take_beta();\n    }\n    fn take_beta(&self) {\n        let b = lock_recover(&self.beta);\n    }\n}\n";
+        let report = analyze_graph(nodes_of("service", "src/s.rs", src));
+        assert!(report
+            .advisories
+            .iter()
+            .any(|a| a.message.contains("via call to `S::take_beta`")));
+    }
+
+    #[test]
+    fn blocking_under_lock_is_denied() {
+        let src = "fn f(&self) {\n    let g = lock_recover(&self.state);\n    std::thread::sleep(d);\n}\n";
+        let report = analyze_graph(nodes_of("service", "src/s.rs", src));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("while holding lock(s) service::state")));
+    }
+}

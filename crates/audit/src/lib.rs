@@ -34,11 +34,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod graph;
 mod lexer;
+mod parse;
 mod rules;
 
 pub use lexer::{cfg_test_ranges, mask, Comment, Masked};
 pub use rules::{classify, FileKind, Finding, Rule};
+
+/// The version of the JSON report layout. Bump when a field changes meaning
+/// so CI trend tooling can detect incompatible reports.
+pub const SCHEMA_VERSION: u32 = 2;
 
 use std::fmt::Write as _;
 use std::fs;
@@ -50,6 +56,20 @@ use std::path::{Path, PathBuf};
 pub struct AuditOptions {
     /// Also report the advisory `strict-indexing` rule (never denied).
     pub strict_indexing: bool,
+}
+
+/// One source file handed to [`audit_units`].
+#[derive(Debug, Clone)]
+pub struct SourceUnit {
+    /// Crate directory name (`"lp"`, `"core"`, …; `"awb"` for the facade).
+    pub crate_name: String,
+    /// Path echoed into findings; `lint-header` classification and the
+    /// unsafe allowlist match on its suffix, so both crate-relative
+    /// (`src/lib.rs`) and workspace-relative (`crates/lp/src/lib.rs`)
+    /// spellings work.
+    pub rel_path: String,
+    /// The file's source text.
+    pub source: String,
 }
 
 /// The outcome of auditing a file set.
@@ -124,33 +144,239 @@ impl Report {
         }
         let findings: Vec<String> = self.findings.iter().map(row).collect();
         let advisories: Vec<String> = self.advisories.iter().map(row).collect();
+        let mut counts = String::new();
+        let mut all_rules: Vec<Rule> = Rule::all().to_vec();
+        all_rules.push(Rule::StrictIndexing);
+        for (i, rule) in all_rules.iter().enumerate() {
+            let n = self
+                .findings
+                .iter()
+                .chain(&self.advisories)
+                .filter(|f| f.rule == *rule)
+                .count();
+            if i > 0 {
+                counts.push(',');
+            }
+            let _ = write!(counts, "\"{}\":{}", rule.name(), n);
+        }
         format!(
-            "{{\"clean\":{},\"files_scanned\":{},\"findings\":[{}],\"advisories\":[{}]}}",
+            "{{\"schema_version\":{},\"clean\":{},\"files_scanned\":{},\"rule_counts\":{{{}}},\"findings\":[{}],\"advisories\":[{}]}}",
+            SCHEMA_VERSION,
             self.is_clean(),
             self.files_scanned,
+            counts,
             findings.join(","),
             advisories.join(",")
         )
     }
+
+    /// Removes every finding matched by a baseline entry (`rule` + `file` +
+    /// `message`; line numbers drift and are deliberately ignored), multiset
+    /// style — N baseline entries absorb at most N findings. Returns the
+    /// number of findings suppressed.
+    pub fn apply_baseline(&mut self, baseline: &[BaselineEntry]) -> usize {
+        let mut budget: std::collections::BTreeMap<(String, String, String), usize> =
+            std::collections::BTreeMap::new();
+        for e in baseline {
+            *budget
+                .entry((e.rule.clone(), e.file.clone(), e.message.clone()))
+                .or_insert(0) += 1;
+        }
+        let before = self.findings.len();
+        self.findings.retain(|f| {
+            let key = (f.rule.name().to_string(), f.file.clone(), f.message.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    false
+                }
+                _ => true,
+            }
+        });
+        before - self.findings.len()
+    }
 }
 
-/// Audits a single file's source text.
-///
-/// * `crate_name` — the crate directory name (`"lp"`, `"core"`, …; `"awb"`
-///   for the workspace facade) used for rule scoping.
-/// * `rel_path` — path under the crate directory (drives the `lint-header`
-///   classification); the same string is echoed into findings.
+/// One recorded finding from a `--write-baseline` report, used by the
+/// `--baseline` ratchet to fail only on *new* findings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule name as serialized (`"lock-order"`, …).
+    pub rule: String,
+    /// Workspace-relative path as serialized.
+    pub file: String,
+    /// Finding message as serialized.
+    pub message: String,
+}
+
+/// Extracts the baseline entries from a previously written JSON report.
+/// The reader only understands the reports this crate writes (objects in a
+/// top-level `"findings"` array) — it is not a general JSON parser; the
+/// crate stays dependency-free.
+pub fn parse_baseline(json: &str) -> Vec<BaselineEntry> {
+    let Some(start) = json.find("\"findings\":[") else {
+        return Vec::new();
+    };
+    let body = &json[start + "\"findings\":[".len()..];
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = None;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = obj_start.take() {
+                        let obj = &body[s..=i];
+                        if let (Some(rule), Some(file), Some(message)) = (
+                            json_str_value(obj, "rule"),
+                            json_str_value(obj, "file"),
+                            json_str_value(obj, "message"),
+                        ) {
+                            entries.push(BaselineEntry {
+                                rule,
+                                file,
+                                message,
+                            });
+                        }
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    entries
+}
+
+/// Extracts the string value of `"key":"…"` from a flat JSON object,
+/// reversing the escapes [`Report::to_json`] writes.
+fn json_str_value(obj: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = obj.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = obj[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Audits a single file's source text — the graph rules run over the file
+/// in isolation (fixtures and tests use this; the workspace entry point is
+/// [`audit_units`]).
 pub fn audit_source(
     crate_name: &str,
     rel_path: &str,
     source: &str,
     options: &AuditOptions,
 ) -> Report {
-    let masked = lexer::mask(source);
+    audit_units(
+        &[SourceUnit {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            source: source.to_string(),
+        }],
+        options,
+    )
+}
+
+/// Per-file scan results that feed the workspace-level graph rules.
+struct UnitScan {
+    findings: Vec<Finding>,
+    advisories: Vec<Finding>,
+    nodes: Vec<graph::Node>,
+    waivers: Vec<rules::Waiver>,
+    rel_path: String,
+}
+
+/// Audits a set of source files as one workspace: per-file rules (R1–R5)
+/// run on each unit, then the call graph is assembled across all of them
+/// and the interprocedural rules (R6–R8) run on top.
+pub fn audit_units(units: &[SourceUnit], options: &AuditOptions) -> Report {
+    let mut scans: Vec<UnitScan> = units.iter().map(|u| scan_unit(u, options)).collect();
+
+    let mut nodes = Vec::new();
+    for scan in &mut scans {
+        nodes.append(&mut scan.nodes);
+    }
+    let graph_report = graph::analyze_graph(nodes);
+
+    let mut report = Report::default();
+    for scan in &mut scans {
+        report.findings.append(&mut scan.findings);
+        report.advisories.append(&mut scan.advisories);
+        report.files_scanned += 1;
+    }
+    let waived = |f: &Finding| {
+        scans.iter().any(|s| {
+            s.rel_path == f.file
+                && s.waivers
+                    .iter()
+                    .any(|w| w.target_line == f.line && w.rules.contains(&f.rule))
+        })
+    };
+    for f in graph_report.findings {
+        if !waived(&f) {
+            report.findings.push(f);
+        }
+    }
+    for a in graph_report.advisories {
+        if !waived(&a) {
+            report.advisories.push(a);
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report
+        .advisories
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report.findings.dedup();
+    report
+}
+
+/// Runs the per-file rules over one unit and extracts its graph nodes.
+fn scan_unit(unit: &SourceUnit, options: &AuditOptions) -> UnitScan {
+    let crate_name = unit.crate_name.as_str();
+    let rel_path = unit.rel_path.as_str();
+    let masked = lexer::mask(&unit.source);
     let mut findings = Vec::new();
     let mut advisories = Vec::new();
     let waivers = rules::parse_waivers(rel_path, &masked, &mut findings);
-    let waived = |rule: Rule, line: usize| {
+    let waived = |rule: Rule, line: usize, waivers: &[rules::Waiver]| {
         waivers
             .iter()
             .any(|w| w.target_line == line && w.rules.contains(&rule))
@@ -166,7 +392,7 @@ pub fn audit_source(
             continue;
         }
         let run = |rule: Rule, hits: Vec<(usize, String)>, sink: &mut Vec<Finding>| {
-            if !rule.applies_to(crate_name) || waived(rule, lineno) {
+            if !rule.applies_to(crate_name) || waived(rule, lineno, &waivers) {
                 return;
             }
             for (col, message) in hits {
@@ -220,12 +446,69 @@ pub fn audit_source(
         }
     }
 
-    findings
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    Report {
+    // Item parse: R5 unsafe-confinement, tag validation, and the graph
+    // nodes (test items never feed the graph).
+    let analysis = parse::analyze(&masked);
+    for (line, msg) in &analysis.tag_errors {
+        if !in_test(*line) {
+            findings.push(Finding {
+                rule: Rule::InvalidWaiver,
+                file: rel_path.to_string(),
+                line: *line,
+                col: 1,
+                message: msg.clone(),
+            });
+        }
+    }
+    let allowlisted = rules::unsafe_allowlisted(crate_name, rel_path);
+    let unsafe_sites = analysis
+        .items
+        .iter()
+        .flat_map(|it| it.unsafes.iter())
+        .chain(analysis.file_unsafes.iter());
+    for site in unsafe_sites {
+        if in_test(site.line) || waived(Rule::UnsafeConfinement, site.line, &waivers) {
+            continue;
+        }
+        if !allowlisted {
+            findings.push(Finding {
+                rule: Rule::UnsafeConfinement,
+                file: rel_path.to_string(),
+                line: site.line,
+                col: 1,
+                message: format!(
+                    "{} outside the allowlisted files (only reactor/src/sys.rs may hold unsafe code)",
+                    site.what
+                ),
+            });
+        }
+        if !site.has_safety {
+            findings.push(Finding {
+                rule: Rule::UnsafeConfinement,
+                file: rel_path.to_string(),
+                line: site.line,
+                col: 1,
+                message: format!("{} without an adjacent `// SAFETY:` comment", site.what),
+            });
+        }
+    }
+    let nodes = analysis
+        .items
+        .into_iter()
+        .filter(|it| !in_test(it.line))
+        .map(|item| graph::Node {
+            crate_name: crate_name.to_string(),
+            file: rel_path.to_string(),
+            item,
+        })
+        .collect();
+
+    UnitScan {
         findings,
         advisories,
-        files_scanned: 1,
+        nodes,
+        waivers,
+        rel_path: rel_path.to_string(),
     }
 }
 
@@ -249,7 +532,6 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 /// crate and of each `crates/*` member. `vendor/`, `target/`, `tests/`,
 /// `benches/` and `examples/` are never scanned.
 pub fn audit_workspace(root: &Path, options: &AuditOptions) -> io::Result<Report> {
-    let mut report = Report::default();
     let mut units: Vec<(String, PathBuf)> = vec![("awb".to_string(), root.join("src"))];
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -266,6 +548,7 @@ pub fn audit_workspace(root: &Path, options: &AuditOptions) -> io::Result<Report
             units.push((name, member.join("src")));
         }
     }
+    let mut sources: Vec<SourceUnit> = Vec::new();
     for (crate_name, src_dir) in units {
         if !src_dir.is_dir() {
             continue;
@@ -275,31 +558,21 @@ pub fn audit_workspace(root: &Path, options: &AuditOptions) -> io::Result<Report
         files.sort();
         for file in files {
             let source = fs::read_to_string(&file)?;
+            // Findings carry the workspace-relative path; `lint-header`
+            // classification and the unsafe allowlist match on its suffix.
             let rel = file
                 .strip_prefix(root)
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            // The crate-relative path (e.g. `src/lib.rs`) drives header
-            // classification; the workspace-relative one labels findings.
-            let crate_rel = file
-                .strip_prefix(src_dir.parent().unwrap_or(&src_dir))
-                .unwrap_or(&file)
-                .to_string_lossy()
-                .replace('\\', "/");
-            let mut one = audit_source(&crate_name, &crate_rel, &source, options);
-            for f in one.findings.iter_mut().chain(one.advisories.iter_mut()) {
-                f.file = rel.clone();
-            }
-            report.findings.extend(one.findings);
-            report.advisories.extend(one.advisories);
-            report.files_scanned += 1;
+            sources.push(SourceUnit {
+                crate_name: crate_name.clone(),
+                rel_path: rel,
+                source,
+            });
         }
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    Ok(report)
+    Ok(audit_units(&sources, options))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

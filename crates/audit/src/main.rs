@@ -12,18 +12,24 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use awb_audit::{audit_workspace, find_workspace_root, AuditOptions, Rule};
+use awb_audit::{audit_workspace, find_workspace_root, parse_baseline, AuditOptions, Rule};
 
-const USAGE: &str = "usage: awb-audit [--deny] [--json] [--strict-indexing] [--list-rules] [ROOT]
+const USAGE: &str = "usage: awb-audit [--deny] [--json] [--strict-indexing] [--list-rules]
+                 [--baseline FILE] [--write-baseline FILE] [ROOT]
 
-Audits the awb workspace sources for panic-freedom, float-equality,
-determinism and lint-header violations.
+Audits the awb workspace sources: panic-freedom, float-equality,
+determinism and lint-header lints plus the graph rules (unsafe
+confinement, lock-order/deadlock, hot-path allocation, reactor
+blocking-call).
 
-  --deny             exit with status 1 when any finding survives waivers
-  --json             emit the machine-readable JSON report instead of text
-  --strict-indexing  also report advisory `[idx]` indexing notes (never denied)
-  --list-rules       print the rule registry and exit
-  ROOT               workspace root (default: discovered from the current dir)";
+  --deny                 exit with status 1 when any finding survives waivers
+  --json                 emit the machine-readable JSON report instead of text
+  --strict-indexing      also report advisory `[idx]` indexing notes (never denied)
+  --list-rules           print the rule registry and exit
+  --baseline FILE        ratchet mode: suppress findings recorded in FILE,
+                         fail (under --deny) only on new ones
+  --write-baseline FILE  record the current findings as the baseline and exit 0
+  ROOT                   workspace root (default: discovered from the current dir)";
 
 fn main() -> ExitCode {
     let mut deny = false;
@@ -31,13 +37,27 @@ fn main() -> ExitCode {
     let mut list_rules = false;
     let mut options = AuditOptions::default();
     let mut root_arg: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline_path: Option<PathBuf> = None;
 
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
             "--strict-indexing" => options.strict_indexing = true,
             "--list-rules" => list_rules = true,
+            "--baseline" | "--write-baseline" => {
+                let Some(value) = args.next() else {
+                    eprintln!("awb-audit: `{arg}` requires a FILE argument\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if arg == "--baseline" {
+                    baseline_path = Some(PathBuf::from(value));
+                } else {
+                    write_baseline_path = Some(PathBuf::from(value));
+                }
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -85,13 +105,41 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match audit_workspace(&root, &options) {
+    let mut report = match audit_workspace(&root, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("awb-audit: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = write_baseline_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("awb-audit: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "awb-audit: recorded {} finding(s) as baseline in {}",
+            report.findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("awb-audit: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let suppressed = report.apply_baseline(&parse_baseline(&text));
+        eprintln!(
+            "awb-audit: {suppressed} baseline finding(s) suppressed; {} new",
+            report.findings.len()
+        );
+    }
 
     if json {
         println!("{}", report.to_json());

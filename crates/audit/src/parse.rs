@@ -1,0 +1,1168 @@
+//! A brace-matching item parser over the masked source.
+//!
+//! The per-line rules (R1–R4) never need to know where a function starts or
+//! which guard is live; the graph rules (R5–R8) do. This module walks the
+//! masked text once and extracts, per `fn` item:
+//!
+//! * the item identity (`Type::name` inside an `impl` block, bare name
+//!   otherwise) and its body span,
+//! * every call site, classified as free (`helper(…)`), path
+//!   (`rules::helper(…)`, `Vec::new(…)`) or method (`x.helper(…)`),
+//! * every lock acquisition (`.lock()`, `lock_recover(&…)`) with the set of
+//!   guards already held at that point, tracked through a lexical guard
+//!   stack (let-bound guards live to the end of their block or an explicit
+//!   `drop(name)`; unbound temporaries live to the end of their statement,
+//!   which for `if let`/`match` scrutinees extends through the body — the
+//!   same rule Rust's temporary-lifetime extension applies),
+//! * condvar waits (`wait_recover(&cv, guard)`, `cv.wait(guard)`) — these
+//!   re-acquire an already-held guard and are therefore *blocking sites*,
+//!   never new acquisitions,
+//! * `unsafe` sites (blocks, fns, impls) and whether a `// SAFETY:` comment
+//!   sits within the three lines above,
+//! * allocation-shaped sites (`Vec::new`, `vec!`, `format!`, `.clone()`,
+//!   `.collect()`, …) and blocking-shaped sites (`thread::sleep`, argless
+//!   `.recv()`/`.join()`, blocking `read_*` calls, condvar waits),
+//! * `// awb-audit: hot` / `// awb-audit: event-loop` tags attached to the
+//!   next `fn` item (attribute lines may intervene).
+//!
+//! The parser is deliberately not a full grammar: it tracks brace, paren and
+//! bracket depth, statement boundaries and `impl` headers, which is enough
+//! to scope guards and attribute sites to the innermost enclosing function.
+//! Closure bodies are attributed to the enclosing `fn` (a guard held at the
+//! point a closure is *defined* is treated as held inside it — an
+//! over-approximation, see DESIGN.md §5k).
+
+use crate::lexer::Masked;
+
+/// A call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CallKind {
+    /// `helper(…)` — no receiver, no path qualifier.
+    Free,
+    /// `a::b::helper(…)` — the full path is kept for resolution.
+    Path(String),
+    /// `recv.helper(…)` — resolved by bare name within the crate only.
+    Method,
+}
+
+/// One call site: kind, callee name (last path segment) and source line.
+#[derive(Debug, Clone)]
+pub(crate) struct CallSite {
+    pub kind: CallKind,
+    pub name: String,
+    pub line: usize,
+    /// Lock classes held when the call is made (crate-unqualified).
+    pub held: Vec<String>,
+}
+
+/// One lock acquisition: the lock class (receiver / argument's last field
+/// segment) and the classes already held when it was taken.
+#[derive(Debug, Clone)]
+pub(crate) struct LockAcq {
+    pub class: String,
+    pub line: usize,
+    pub held: Vec<String>,
+}
+
+/// An `unsafe` block / fn / impl site.
+#[derive(Debug, Clone)]
+pub(crate) struct UnsafeSite {
+    pub line: usize,
+    pub what: &'static str,
+    /// A comment containing `SAFETY` sits on this line or ≤ 3 lines above.
+    pub has_safety: bool,
+}
+
+/// An allocation-shaped or blocking-shaped site.
+#[derive(Debug, Clone)]
+pub(crate) struct Site {
+    pub line: usize,
+    pub what: String,
+    /// For blocking sites: lock classes still held at the site (a condvar
+    /// wait's own guard is excluded — the wait releases it).
+    pub held: Vec<String>,
+}
+
+/// One parsed `fn` item with everything the graph rules need.
+#[derive(Debug, Clone)]
+pub(crate) struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` inside an `impl Type` block, else the bare name.
+    pub qualified: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// `// awb-audit: hot` / `event-loop` tags attached to this item.
+    pub tags: Vec<String>,
+    pub calls: Vec<CallSite>,
+    pub locks: Vec<LockAcq>,
+    pub unsafes: Vec<UnsafeSite>,
+    pub allocs: Vec<Site>,
+    pub blocking: Vec<Site>,
+}
+
+impl FnItem {
+    /// Whether the item carries the given tag.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+/// The parse result for one file.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FileAnalysis {
+    pub items: Vec<FnItem>,
+    /// `unsafe` sites outside any `fn` body (e.g. `unsafe impl Send`).
+    pub file_unsafes: Vec<UnsafeSite>,
+    /// Tag comments that could not be attached to a following `fn`.
+    pub tag_errors: Vec<(usize, String)>,
+}
+
+/// Tags recognized after `// awb-audit:` that are annotations, not waivers.
+pub(crate) const TAG_HOT: &str = "hot";
+/// The event-loop root tag (see [`TAG_HOT`]).
+pub(crate) const TAG_EVENT_LOOP: &str = "event-loop";
+
+/// Method names too generic to resolve by bare name: linking every `.len()`
+/// to every same-crate `fn len` would wire unrelated types together. Calls
+/// to these names produce no graph edge (an under-approximation — a tagged
+/// hot path calling e.g. a custom `push` through a method call is not
+/// followed; name the call through a path to make it resolvable).
+pub(crate) const COMMON_METHODS: &[&str] = &[
+    "as_mut",
+    "as_ref",
+    "clear",
+    "clone",
+    "cmp",
+    "contains",
+    "default",
+    "drain",
+    "drop",
+    "eq",
+    "extend",
+    "flush",
+    "fmt",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "len",
+    "ne",
+    "new",
+    "next",
+    "partial_cmp",
+    "pop",
+    "push",
+    "read",
+    "remove",
+    "to_string",
+    "write",
+];
+
+/// Lock-class names that are std stream locks, not mutexes.
+const STREAM_LOCKS: &[&str] = &["stdin", "stdout", "stderr"];
+
+/// The poison-recovering lock helpers are *intrinsics* of the analysis: a
+/// call to one IS the acquisition, so no call edge is created and their own
+/// bodies are not analyzed.
+pub(crate) const LOCK_INTRINSICS: &[&str] = &["lock_recover", "wait_recover"];
+
+const KEYWORDS: &[&str] = &[
+    "as", "break", "continue", "else", "fn", "for", "if", "impl", "in", "let", "loop", "match",
+    "mod", "move", "mut", "pub", "ref", "return", "static", "struct", "trait", "use", "where",
+    "while",
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+#[derive(Debug)]
+enum ScopeKind {
+    Impl(String),
+    Fn { item: usize, guard_mark: usize },
+    Other,
+}
+
+struct Scope {
+    kind: ScopeKind,
+    /// Brace depth *inside* this scope (depth after its `{`).
+    depth: usize,
+}
+
+#[derive(Debug)]
+struct Guard {
+    class: String,
+    /// Binding name for let-bound guards; `None` for statement temporaries.
+    name: Option<String>,
+    /// Brace depth at the acquisition site.
+    depth: usize,
+    temp: bool,
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    i: usize,
+    line: usize,
+    depth: usize,
+    paren: usize,
+    scopes: Vec<Scope>,
+    guards: Vec<Guard>,
+    pending_impl: Option<String>,
+    pending_fn: Option<FnItem>,
+    /// `let [mut] name =` seen since the last statement boundary.
+    pending_let: Option<String>,
+    items: Vec<FnItem>,
+    file_unsafes: Vec<UnsafeSite>,
+}
+
+/// Parses the masked source of one file.
+pub(crate) fn analyze(masked: &Masked) -> FileAnalysis {
+    let chars: Vec<char> = masked.text.chars().collect();
+    let mut p = Parser {
+        chars: &chars,
+        i: 0,
+        line: 1,
+        depth: 0,
+        paren: 0,
+        scopes: Vec::new(),
+        guards: Vec::new(),
+        pending_impl: None,
+        pending_fn: None,
+        pending_let: None,
+        items: Vec::new(),
+        file_unsafes: Vec::new(),
+    };
+    p.run();
+    let mut analysis = FileAnalysis {
+        items: p.items,
+        file_unsafes: p.file_unsafes,
+        tag_errors: Vec::new(),
+    };
+    attach_tags(masked, &mut analysis);
+    mark_safety(masked, &mut analysis);
+    analysis
+}
+
+impl Parser<'_> {
+    fn run(&mut self) {
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                '{' => {
+                    self.open_brace();
+                    self.i += 1;
+                }
+                '}' => {
+                    self.close_brace();
+                    self.i += 1;
+                }
+                '(' => {
+                    self.paren += 1;
+                    self.i += 1;
+                }
+                ')' => {
+                    self.paren = self.paren.saturating_sub(1);
+                    self.i += 1;
+                }
+                ';' => {
+                    self.statement_end();
+                    self.i += 1;
+                }
+                c if is_ident_start(c) && !self.prev_is_ident() => self.word(),
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn prev_is_ident(&self) -> bool {
+        self.i > 0 && is_ident_char(self.chars[self.i - 1])
+    }
+
+    fn open_brace(&mut self) {
+        self.depth += 1;
+        let kind = if let Some(item) = self.pending_fn.take() {
+            let idx = self.items.len();
+            self.items.push(item);
+            ScopeKind::Fn {
+                item: idx,
+                guard_mark: self.guards.len(),
+            }
+        } else if let Some(name) = self.pending_impl.take() {
+            ScopeKind::Impl(name)
+        } else {
+            ScopeKind::Other
+        };
+        self.scopes.push(Scope {
+            kind,
+            depth: self.depth,
+        });
+    }
+
+    fn close_brace(&mut self) {
+        if self.depth == 0 {
+            return;
+        }
+        // End-of-statement for temporaries whose statement's block construct
+        // (if let / match body) closes here, and for everything deeper.
+        let after = self.depth - 1;
+        self.guards.retain(|g| {
+            if g.temp {
+                g.depth < after
+            } else {
+                g.depth <= after
+            }
+        });
+        while self.scopes.last().is_some_and(|s| s.depth > after) {
+            if let Some(scope) = self.scopes.pop() {
+                if let ScopeKind::Fn { guard_mark, .. } = scope.kind {
+                    let mark = guard_mark.min(self.guards.len());
+                    self.guards.truncate(mark);
+                }
+            }
+        }
+        self.depth = after;
+        self.pending_let = None;
+    }
+
+    fn statement_end(&mut self) {
+        if self.paren == 0 {
+            let d = self.depth;
+            self.guards.retain(|g| !(g.temp && g.depth == d));
+            self.pending_let = None;
+            // A `;` at paren depth 0 before the body `{` means a bodyless
+            // trait-method declaration — discard it.
+            self.pending_fn = None;
+        }
+    }
+
+    /// The innermost enclosing fn item index, if any.
+    fn current_fn(&self) -> Option<usize> {
+        self.scopes.iter().rev().find_map(|s| match s.kind {
+            ScopeKind::Fn { item, .. } => Some(item),
+            _ => None,
+        })
+    }
+
+    /// The innermost enclosing impl type name, if any.
+    fn current_impl(&self) -> Option<&str> {
+        self.scopes.iter().rev().find_map(|s| match &s.kind {
+            ScopeKind::Impl(name) => Some(name.as_str()),
+            _ => None,
+        })
+    }
+
+    fn held_classes(&self) -> Vec<String> {
+        self.guards.iter().map(|g| g.class.clone()).collect()
+    }
+
+    fn word(&mut self) {
+        let start = self.i;
+        while self.i < self.chars.len() && is_ident_char(self.chars[self.i]) {
+            self.i += 1;
+        }
+        let word: String = self.chars[start..self.i].iter().collect();
+        match word.as_str() {
+            // `impl` inside a pending fn signature is return-position
+            // `impl Trait`, not an impl block header.
+            "impl" if self.pending_fn.is_none() => self.pending_impl = Some(self.read_impl_type()),
+            "impl" => {}
+            "fn" => self.read_fn_signature(),
+            "unsafe" => self.read_unsafe(),
+            "let" => self.read_let_binding(),
+            _ => self.maybe_call(start, &word),
+        }
+    }
+
+    /// Looks ahead (without consuming) from after `impl` to the body `{` and
+    /// extracts the implemented type's last path segment.
+    fn read_impl_type(&self) -> String {
+        let mut j = self.i;
+        let mut header = String::new();
+        while j < self.chars.len() && self.chars[j] != '{' && self.chars[j] != ';' {
+            header.push(self.chars[j]);
+            j += 1;
+        }
+        extract_impl_type(&header)
+    }
+
+    fn read_fn_signature(&mut self) {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.chars.len() && is_ident_char(self.chars[self.i]) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return;
+        }
+        let name: String = self.chars[start..self.i].iter().collect();
+        let qualified = match self.current_impl() {
+            Some(ty) => format!("{ty}::{name}"),
+            None => name.clone(),
+        };
+        self.pending_fn = Some(FnItem {
+            name,
+            qualified,
+            line: self.line,
+            tags: Vec::new(),
+            calls: Vec::new(),
+            locks: Vec::new(),
+            unsafes: Vec::new(),
+            allocs: Vec::new(),
+            blocking: Vec::new(),
+        });
+    }
+
+    fn read_unsafe(&mut self) {
+        let mut j = self.i;
+        while j < self.chars.len() && self.chars[j].is_whitespace() {
+            j += 1;
+        }
+        let what = match self.chars.get(j) {
+            Some('{') => "unsafe block",
+            Some(c) if is_ident_start(*c) => {
+                let mut k = j;
+                while k < self.chars.len() && is_ident_char(self.chars[k]) {
+                    k += 1;
+                }
+                match self.chars[j..k].iter().collect::<String>().as_str() {
+                    "fn" => "unsafe fn",
+                    "impl" => "unsafe impl",
+                    "trait" => "unsafe trait",
+                    _ => return,
+                }
+            }
+            _ => return,
+        };
+        let site = UnsafeSite {
+            line: self.line,
+            what,
+            has_safety: false,
+        };
+        match self.current_fn() {
+            Some(idx) => self.items[idx].unsafes.push(site),
+            None => self.file_unsafes.push(site),
+        }
+    }
+
+    fn read_let_binding(&mut self) {
+        self.pending_let = None;
+        let save = self.i;
+        self.skip_ws();
+        let mut start = self.i;
+        while self.i < self.chars.len() && is_ident_char(self.chars[self.i]) {
+            self.i += 1;
+        }
+        let first: String = self.chars[start..self.i].iter().collect();
+        if first == "mut" {
+            self.skip_ws();
+            start = self.i;
+            while self.i < self.chars.len() && is_ident_char(self.chars[self.i]) {
+                self.i += 1;
+            }
+        }
+        let name: String = self.chars[start..self.i].iter().collect();
+        // Only a plain `let [mut] name =` binds a guard; destructuring
+        // patterns (`let Some(x) = …`, `let (a, b) = …`) bind through a
+        // temporary, which the statement-scoped rule covers.
+        let mut j = self.i;
+        while j < self.chars.len() && self.chars[j].is_whitespace() {
+            j += 1;
+        }
+        if !name.is_empty()
+            && self.chars.get(j) == Some(&'=')
+            && self.chars.get(j + 1) != Some(&'=')
+        {
+            self.pending_let = Some(name);
+        } else {
+            self.i = save;
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            if c == '\n' {
+                self.line += 1;
+            } else if !c.is_whitespace() {
+                break;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// After reading identifier `word` starting at `start`, decides whether
+    /// it is a call / macro / lock site and records it.
+    fn maybe_call(&mut self, start: usize, word: &str) {
+        if KEYWORDS.contains(&word) {
+            return;
+        }
+        // Look past optional whitespace and a `::<…>` turbofish.
+        let mut j = self.i;
+        while j < self.chars.len() && self.chars[j] == ' ' {
+            j += 1;
+        }
+        let mut turbofish = false;
+        if self.chars.get(j) == Some(&':')
+            && self.chars.get(j + 1) == Some(&':')
+            && self.chars.get(j + 2) == Some(&'<')
+        {
+            let mut angle = 0usize;
+            let mut k = j + 2;
+            while k < self.chars.len() {
+                match self.chars[k] {
+                    '<' => angle += 1,
+                    '>' => {
+                        angle -= 1;
+                        if angle == 0 {
+                            break;
+                        }
+                    }
+                    ';' | '{' => return,
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k + 1;
+            turbofish = true;
+            while j < self.chars.len() && self.chars[j] == ' ' {
+                j += 1;
+            }
+        }
+        let is_macro = self.chars.get(j) == Some(&'!') && !turbofish;
+        if is_macro {
+            self.record_macro(word);
+            return;
+        }
+        if self.chars.get(j) != Some(&'(') {
+            return;
+        }
+        let before = start.checked_sub(1).map(|k| self.chars[k]);
+        let kind = match before {
+            Some('.') => CallKind::Method,
+            Some(':') if start >= 2 && self.chars[start - 2] == ':' => {
+                CallKind::Path(self.read_path_backwards(start, word))
+            }
+            _ => CallKind::Free,
+        };
+        self.record_call(kind, word, j);
+    }
+
+    /// Reconstructs `a::b::word` scanning left from `start`.
+    fn read_path_backwards(&self, start: usize, word: &str) -> String {
+        let mut segs = vec![word.to_string()];
+        let mut k = start;
+        while k >= 2 && self.chars[k - 1] == ':' && self.chars[k - 2] == ':' {
+            // A `>` before the `::` would be generic args (`Foo<T>::bar`) —
+            // rare in this workspace; stop at the unqualifiable segment.
+            let e = k - 2;
+            let mut s = e;
+            while s > 0 && is_ident_char(self.chars[s - 1]) {
+                s -= 1;
+            }
+            if s == e {
+                break;
+            }
+            segs.push(self.chars[s..e].iter().collect());
+            k = s;
+        }
+        segs.reverse();
+        segs.join("::")
+    }
+
+    fn record_macro(&mut self, name: &str) {
+        let banned = matches!(name, "format" | "vec");
+        if !banned {
+            return;
+        }
+        let Some(idx) = self.current_fn() else { return };
+        let line = self.line;
+        self.items[idx].allocs.push(Site {
+            line,
+            what: format!("`{name}!` macro"),
+            held: Vec::new(),
+        });
+    }
+
+    /// Records a call site at the open paren `open`, including lock/alloc/
+    /// blocking classification.
+    fn record_call(&mut self, kind: CallKind, name: &str, open: usize) {
+        let line = self.line;
+        let args = self.call_args(open);
+        let close = self.matching_paren(open);
+
+        // Lock intrinsics and std mutex locks become acquisitions / waits.
+        if name == "wait_recover" {
+            self.record_condvar_wait(args.get(1).cloned().unwrap_or_default(), line);
+            return;
+        }
+        if name == "lock_recover" {
+            let class = last_segment(args.first().map(String::as_str).unwrap_or(""));
+            self.record_acquisition(class, line, close);
+            return;
+        }
+        if name == "lock" && kind == CallKind::Method && args.is_empty() {
+            let class = self.receiver_segment(open);
+            if !STREAM_LOCKS.contains(&class.as_str()) {
+                self.record_acquisition(class, line, close);
+            }
+            return;
+        }
+        if name == "wait" && kind == CallKind::Method && args.len() == 1 {
+            let arg = last_segment(&args[0]);
+            if self.guards.iter().any(|g| g.name.as_deref() == Some(&arg)) {
+                self.record_condvar_wait(args[0].clone(), line);
+                return;
+            }
+        }
+        if name == "drop" && kind == CallKind::Free && args.len() == 1 {
+            let target = args[0].trim();
+            self.guards.retain(|g| g.name.as_deref() != Some(target));
+            return;
+        }
+
+        // Allocation-shaped sites.
+        let alloc_what: Option<String> = match &kind {
+            CallKind::Path(path) => {
+                let qual = path.rsplit("::").nth(1).unwrap_or("");
+                match (qual, name) {
+                    ("Vec" | "Box" | "String", "new") | ("String", "from") => {
+                        Some(format!("`{path}(…)`"))
+                    }
+                    _ => None,
+                }
+            }
+            CallKind::Method
+                if matches!(
+                    name,
+                    "clone" | "collect" | "to_string" | "to_owned" | "to_vec"
+                ) =>
+            {
+                Some(format!("`.{name}()` call"))
+            }
+            _ => None,
+        };
+
+        // Blocking-shaped sites.
+        let blocking_what: Option<String> = match &kind {
+            CallKind::Path(path) if name == "sleep" && path.contains("thread") => {
+                Some(format!("`{path}(…)`"))
+            }
+            CallKind::Method if matches!(name, "recv" | "join") && args.is_empty() => {
+                Some(format!("`.{name}()` call"))
+            }
+            _ if matches!(
+                name,
+                "read_to_end" | "read_to_string" | "read_line" | "read_exact"
+            ) =>
+            {
+                Some(format!("`{name}(…)` call"))
+            }
+            _ => None,
+        };
+
+        let held = self.held_classes();
+        if let Some(idx) = self.current_fn() {
+            if let Some(what) = alloc_what {
+                self.items[idx].allocs.push(Site {
+                    line,
+                    what,
+                    held: Vec::new(),
+                });
+            }
+            if let Some(what) = blocking_what {
+                self.items[idx].blocking.push(Site {
+                    line,
+                    what,
+                    held: held.clone(),
+                });
+            }
+            self.items[idx].calls.push(CallSite {
+                kind,
+                name: name.to_string(),
+                line,
+                held,
+            });
+        }
+    }
+
+    /// Registers a lock acquisition: emits the site (with held classes) and
+    /// pushes the new guard, let-bound or statement-temporary.
+    fn record_acquisition(&mut self, class: String, line: usize, close: Option<usize>) {
+        if class.is_empty() {
+            return;
+        }
+        let held = self.held_classes();
+        if let Some(idx) = self.current_fn() {
+            self.items[idx].locks.push(LockAcq {
+                class: class.clone(),
+                line,
+                held,
+            });
+        }
+        // Bound iff the acquisition call is the whole initializer:
+        // `let g = lock_recover(&x);` — next non-space after `)` is `;`.
+        let bound = match (close, &self.pending_let) {
+            (Some(cl), Some(_)) => {
+                let mut k = cl + 1;
+                while k < self.chars.len() && matches!(self.chars[k], ' ' | '\n') {
+                    k += 1;
+                }
+                self.chars.get(k) == Some(&';')
+            }
+            _ => false,
+        };
+        let name = if bound {
+            self.pending_let.clone()
+        } else {
+            None
+        };
+        let temp = name.is_none();
+        self.guards.push(Guard {
+            class,
+            name,
+            depth: self.depth,
+            temp,
+        });
+    }
+
+    /// A condvar wait releases and re-acquires `guard_expr`'s lock: the
+    /// waited guard is exempt from "blocking while holding".
+    fn record_condvar_wait(&mut self, guard_expr: String, line: usize) {
+        let waited = last_segment(&guard_expr);
+        let waited_class: Vec<String> = self
+            .guards
+            .iter()
+            .filter(|g| g.name.as_deref() == Some(&waited))
+            .map(|g| g.class.clone())
+            .collect();
+        let held: Vec<String> = self
+            .guards
+            .iter()
+            .filter(|g| g.name.as_deref() != Some(&waited) && !waited_class.contains(&g.class))
+            .map(|g| g.class.clone())
+            .collect();
+        if let Some(idx) = self.current_fn() {
+            self.items[idx].blocking.push(Site {
+                line,
+                what: "condvar wait".to_string(),
+                held,
+            });
+        }
+    }
+
+    /// Splits the top-level arguments of the call whose `(` is at `open`.
+    fn call_args(&self, open: usize) -> Vec<String> {
+        let mut args = Vec::new();
+        let mut cur = String::new();
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < self.chars.len() {
+            let c = self.chars[k];
+            match c {
+                '(' | '[' | '{' => {
+                    depth += 1;
+                    if depth > 1 {
+                        cur.push(c);
+                    }
+                }
+                ')' | ']' | '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                    cur.push(c);
+                }
+                ',' if depth == 1 => {
+                    args.push(cur.trim().to_string());
+                    cur.clear();
+                }
+                _ => {
+                    if depth >= 1 {
+                        cur.push(c);
+                    }
+                }
+            }
+            k += 1;
+        }
+        let last = cur.trim().to_string();
+        if !last.is_empty() {
+            args.push(last);
+        }
+        args
+    }
+
+    fn matching_paren(&self, open: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for (k, &c) in self.chars.iter().enumerate().skip(open) {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// The identifier immediately before `.name(` — the lock receiver's last
+    /// field segment (`self.inner.lock()` → `inner`).
+    fn receiver_segment(&self, open: usize) -> String {
+        // open points at `(`; walk back over `name`, the `.`, then the
+        // receiver identifier.
+        let mut k = open;
+        while k > 0 && self.chars[k - 1] == ' ' {
+            k -= 1;
+        }
+        // skip the method name
+        while k > 0 && is_ident_char(self.chars[k - 1]) {
+            k -= 1;
+        }
+        if k == 0 || self.chars[k - 1] != '.' {
+            return String::new();
+        }
+        k -= 1;
+        let end = k;
+        while k > 0 && is_ident_char(self.chars[k - 1]) {
+            k -= 1;
+        }
+        self.chars[k..end].iter().collect()
+    }
+}
+
+/// Extracts the implemented type's last path segment from an impl header
+/// (the text between `impl` and the body `{`).
+fn extract_impl_type(header: &str) -> String {
+    let mut rest = header;
+    // Drop leading generic parameters `impl<T: Bound> …`.
+    if rest.trim_start().starts_with('<') {
+        let t = rest.trim_start();
+        let mut depth = 0usize;
+        let mut cut = t.len();
+        for (i, c) in t.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &t[cut..];
+    }
+    if let Some(pos) = rest.find(" for ") {
+        rest = &rest[pos + 5..];
+    }
+    if let Some(pos) = rest.find(" where ") {
+        rest = &rest[..pos];
+    }
+    let rest = rest.trim().trim_start_matches('&');
+    let rest = rest.split('<').next().unwrap_or(rest);
+    rest.rsplit("::")
+        .next()
+        .unwrap_or(rest)
+        .trim()
+        .trim_matches(|c: char| !is_ident_char(c))
+        .to_string()
+}
+
+/// The last `.`-separated identifier segment of an expression like
+/// `&mut self.inner` → `inner`.
+fn last_segment(expr: &str) -> String {
+    let expr = expr
+        .trim()
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim();
+    let tail = expr.rsplit(['.', ':']).next().unwrap_or(expr);
+    tail.chars().filter(|&c| is_ident_char(c)).collect()
+}
+
+/// Attaches `// awb-audit: hot` / `event-loop` comments to the next `fn`
+/// item (blank and `#[…]` attribute lines may intervene).
+fn attach_tags(masked: &Masked, analysis: &mut FileAnalysis) {
+    let lines: Vec<&str> = masked.text.lines().collect();
+    for comment in &masked.comments {
+        // Same anchoring as waivers: the mark must open the comment.
+        let Some(rest) = comment
+            .text
+            .trim_start()
+            .strip_prefix(crate::rules::WAIVER_MARK)
+        else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let first_word = rest
+            .split(|c: char| c.is_whitespace())
+            .next()
+            .unwrap_or_default();
+        let tag = if first_word == TAG_EVENT_LOOP {
+            TAG_EVENT_LOOP
+        } else if first_word == TAG_HOT {
+            TAG_HOT
+        } else {
+            continue;
+        };
+        let target = if comment.own_line {
+            // The tagged fn's signature line: skip blanks and attributes.
+            let mut l = comment.line + 1;
+            loop {
+                match lines.get(l - 1) {
+                    Some(text) if text.trim().is_empty() || text.trim().starts_with("#[") => l += 1,
+                    _ => break,
+                }
+            }
+            l
+        } else {
+            comment.line
+        };
+        match analysis.items.iter_mut().find(|it| it.line == target) {
+            Some(item) => item.tags.push(tag.to_string()),
+            None => analysis.tag_errors.push((
+                comment.line,
+                format!("`awb-audit: {tag}` tag does not precede a `fn` item"),
+            )),
+        }
+    }
+}
+
+/// Marks `unsafe` sites that carry a `SAFETY` comment: either trailing on
+/// the site's own line, or anywhere in the *contiguous* block of comment
+/// lines directly above it (multi-line justifications keep their marker on
+/// the first line; a blank or code line breaks adjacency).
+fn mark_safety(masked: &Masked, analysis: &mut FileAnalysis) {
+    let mut comment_lines: std::collections::BTreeMap<usize, bool> =
+        std::collections::BTreeMap::new();
+    for c in &masked.comments {
+        let has = comment_lines.entry(c.line).or_insert(false);
+        *has |= c.text.contains("SAFETY");
+    }
+    let covered = |line: usize| {
+        if comment_lines.get(&line).copied().unwrap_or(false) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l > 0 {
+            match comment_lines.get(&l) {
+                Some(true) => return true,
+                Some(false) => l -= 1,
+                None => return false,
+            }
+        }
+        false
+    };
+    for site in analysis
+        .items
+        .iter_mut()
+        .flat_map(|it| it.unsafes.iter_mut())
+        .chain(analysis.file_unsafes.iter_mut())
+    {
+        site.has_safety = covered(site.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask;
+
+    fn parse(src: &str) -> FileAnalysis {
+        analyze(&mask(src))
+    }
+
+    #[test]
+    fn fn_items_and_impl_qualification() {
+        let a = parse(
+            "fn free_one() { helper(); }\n\
+             impl Widget {\n    fn method_one(&self) { self.other(); }\n}\n\
+             impl<T: Clone> Holder<T> {\n    fn generic(&self) {}\n}\n\
+             impl Display for Badge {\n    fn fmt(&self) {}\n}\n",
+        );
+        let names: Vec<&str> = a.items.iter().map(|i| i.qualified.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "free_one",
+                "Widget::method_one",
+                "Holder::generic",
+                "Badge::fmt"
+            ]
+        );
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let a = parse(
+            "fn caller() {\n    helper();\n    rules::scan(x);\n    recv.dispatch(y);\n    vec![1];\n    format!(\"x\");\n}\n",
+        );
+        let item = &a.items[0];
+        let kinds: Vec<(&str, &CallKind)> = item
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), &c.kind))
+            .collect();
+        assert!(kinds.contains(&("helper", &CallKind::Free)));
+        assert!(item.calls.iter().any(
+            |c| c.name == "scan" && matches!(&c.kind, CallKind::Path(p) if p == "rules::scan")
+        ));
+        assert!(kinds.contains(&("dispatch", &CallKind::Method)));
+        assert_eq!(item.allocs.len(), 2); // vec! and format!
+    }
+
+    #[test]
+    fn nested_fns_attribute_to_innermost() {
+        let a = parse("fn outer() {\n    fn inner() { leaf(); }\n    trunk();\n}\n");
+        let outer = a.items.iter().find(|i| i.name == "outer").unwrap();
+        let inner = a.items.iter().find(|i| i.name == "inner").unwrap();
+        assert_eq!(outer.calls.len(), 1);
+        assert_eq!(outer.calls[0].name, "trunk");
+        assert_eq!(inner.calls[0].name, "leaf");
+    }
+
+    #[test]
+    fn let_bound_guard_spans_block_and_drop_releases() {
+        let a = parse(
+            "fn f(&self) {\n    let a = lock_recover(&self.alpha);\n    let b = lock_recover(&self.beta);\n    drop(a);\n    let c = lock_recover(&self.gamma);\n}\n",
+        );
+        let item = &a.items[0];
+        assert_eq!(item.locks.len(), 3);
+        assert_eq!(item.locks[0].held, Vec::<String>::new());
+        assert_eq!(item.locks[1].held, vec!["alpha"]);
+        // `a` was dropped before `gamma`.
+        assert_eq!(item.locks[2].held, vec!["beta"]);
+    }
+
+    #[test]
+    fn statement_temporary_guard_ends_at_semicolon() {
+        let a = parse(
+            "fn f(&self) {\n    let n = lock_recover(&self.first).len();\n    let g = lock_recover(&self.second);\n}\n",
+        );
+        let item = &a.items[0];
+        assert_eq!(item.locks[1].held, Vec::<String>::new());
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_spans_the_body() {
+        let a = parse(
+            "fn f(&self) {\n    if let Some(v) = lock_recover(&self.map).get(k) {\n        let g = lock_recover(&self.state);\n    }\n    let h = lock_recover(&self.other);\n}\n",
+        );
+        let item = &a.items[0];
+        // Inside the body, `map` is held.
+        assert_eq!(item.locks[1].held, vec!["map"]);
+        // After the body closes, it is not.
+        assert_eq!(item.locks[2].held, Vec::<String>::new());
+    }
+
+    #[test]
+    fn method_lock_and_guard_scope_in_block() {
+        let a = parse(
+            "fn f(&self) {\n    {\n        let g = self.inner.lock();\n        g.push(1);\n    }\n    let h = self.outer.lock();\n}\n",
+        );
+        let item = &a.items[0];
+        assert_eq!(item.locks[0].class, "inner");
+        assert_eq!(item.locks[1].class, "outer");
+        assert_eq!(item.locks[1].held, Vec::<String>::new());
+    }
+
+    #[test]
+    fn condvar_wait_is_blocking_not_acquisition() {
+        let a = parse(
+            "fn pop(&self) {\n    let mut inner = lock_recover(&self.inner);\n    inner = wait_recover(&self.nonempty, inner);\n}\n",
+        );
+        let item = &a.items[0];
+        assert_eq!(item.locks.len(), 1);
+        assert_eq!(item.blocking.len(), 1);
+        assert_eq!(item.blocking[0].what, "condvar wait");
+        // The waited guard is exempt: nothing else held.
+        assert!(item.blocking[0].held.is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_with_second_lock_held_reports_it() {
+        let a = parse(
+            "fn f(&self) {\n    let extra = lock_recover(&self.extra);\n    let mut inner = lock_recover(&self.inner);\n    inner = wait_recover(&self.cv, inner);\n}\n",
+        );
+        let item = &a.items[0];
+        assert_eq!(item.blocking[0].held, vec!["extra"]);
+    }
+
+    #[test]
+    fn unsafe_sites_and_safety_comments() {
+        let a = parse(
+            "fn f() {\n    // SAFETY: fd is freshly returned and owned here\n    unsafe { claim(fd) };\n\n\n    unsafe { no_comment() };\n}\nunsafe impl Send for T {}\n",
+        );
+        let item = &a.items[0];
+        assert_eq!(item.unsafes.len(), 2);
+        assert!(item.unsafes[0].has_safety);
+        assert!(!item.unsafes[1].has_safety);
+        assert_eq!(a.file_unsafes.len(), 1);
+        assert_eq!(a.file_unsafes[0].what, "unsafe impl");
+    }
+
+    #[test]
+    fn unsafe_code_attribute_is_not_an_unsafe_site() {
+        let a = parse("#[allow(unsafe_code)]\nfn f() { g(); }\n");
+        assert!(a.items[0].unsafes.is_empty());
+        assert!(a.file_unsafes.is_empty());
+    }
+
+    #[test]
+    fn tags_attach_through_attributes() {
+        let a = parse(
+            "// awb-audit: hot\n#[inline]\nfn step() {}\n\nfn plain() {} // awb-audit: event-loop\n\n// awb-audit: hot\nlet x = 3;\n",
+        );
+        assert!(a.items[0].has_tag(TAG_HOT));
+        assert!(a.items[1].has_tag(TAG_EVENT_LOOP));
+        assert_eq!(a.tag_errors.len(), 1);
+    }
+
+    #[test]
+    fn blocking_sites_are_detected() {
+        let a = parse(
+            "fn f(&self) {\n    std::thread::sleep(d);\n    let x = rx.recv();\n    handle.join();\n    rd.read_to_end(&mut buf);\n    rx.recv_timeout(d);\n}\n",
+        );
+        let item = &a.items[0];
+        assert_eq!(item.blocking.len(), 4);
+    }
+
+    #[test]
+    fn alloc_sites_are_detected_but_with_capacity_is_not() {
+        let a = parse(
+            "fn f() {\n    let v: Vec<u8> = Vec::new();\n    let w = Vec::with_capacity(8);\n    let s = x.iter().collect();\n    let t = y.clone();\n    let b = Box::new(z);\n}\n",
+        );
+        assert_eq!(a.items[0].allocs.len(), 4);
+    }
+
+    #[test]
+    fn stdin_lock_is_not_a_mutex() {
+        let a = parse("fn f() {\n    serve(stdin.lock());\n}\n");
+        assert!(a.items[0].locks.is_empty());
+    }
+
+    #[test]
+    fn collect_turbofish_is_an_alloc() {
+        let a = parse("fn f() {\n    let v = it.collect::<Vec<_>>();\n}\n");
+        assert_eq!(a.items[0].allocs.len(), 1);
+    }
+}

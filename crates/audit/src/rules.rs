@@ -31,6 +31,18 @@ pub enum Rule {
     LintHeader,
     /// A malformed or unjustified waiver comment.
     InvalidWaiver,
+    /// R5: every `unsafe` site needs an adjacent `// SAFETY:` comment, and
+    /// `unsafe` is confined to an allowlisted set of files.
+    UnsafeConfinement,
+    /// R6: lock-order pairs (advisory), pair-digraph cycles, and blocking
+    /// calls made while a lock is held (deny).
+    LockOrder,
+    /// R7: no allocation-shaped calls reachable from a `// awb-audit: hot`
+    /// function.
+    HotPathAlloc,
+    /// R8: no blocking-shaped calls reachable from a
+    /// `// awb-audit: event-loop` function.
+    ReactorBlocking,
     /// Advisory (opt-in via `--strict-indexing`): `[idx]` indexing in the
     /// panic-free crates. Reported but never fails `--deny`.
     StrictIndexing,
@@ -45,6 +57,10 @@ impl Rule {
             Rule::Determinism,
             Rule::LintHeader,
             Rule::InvalidWaiver,
+            Rule::UnsafeConfinement,
+            Rule::LockOrder,
+            Rule::HotPathAlloc,
+            Rule::ReactorBlocking,
         ]
     }
 
@@ -56,6 +72,10 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::LintHeader => "lint-header",
             Rule::InvalidWaiver => "invalid-waiver",
+            Rule::UnsafeConfinement => "unsafe-confinement",
+            Rule::LockOrder => "lock-order",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::ReactorBlocking => "reactor-blocking",
             Rule::StrictIndexing => "strict-indexing",
         }
     }
@@ -68,6 +88,10 @@ impl Rule {
             "determinism" => Some(Rule::Determinism),
             "lint-header" => Some(Rule::LintHeader),
             "invalid-waiver" => Some(Rule::InvalidWaiver),
+            "unsafe-confinement" => Some(Rule::UnsafeConfinement),
+            "lock-order" => Some(Rule::LockOrder),
+            "hot-path-alloc" => Some(Rule::HotPathAlloc),
+            "reactor-blocking" => Some(Rule::ReactorBlocking),
             "strict-indexing" => Some(Rule::StrictIndexing),
             _ => None,
         }
@@ -101,7 +125,12 @@ impl Rule {
                     | "reactor"
                     | "workloads"
             ),
-            Rule::LintHeader | Rule::InvalidWaiver => true,
+            Rule::LintHeader
+            | Rule::InvalidWaiver
+            | Rule::UnsafeConfinement
+            | Rule::LockOrder
+            | Rule::HotPathAlloc
+            | Rule::ReactorBlocking => true,
         }
     }
 
@@ -121,6 +150,23 @@ impl Rule {
                 "crate roots must carry #![forbid(unsafe_code)] (+ missing_docs on lib roots)"
             }
             Rule::InvalidWaiver => "awb-audit waivers must name known rules and justify themselves",
+            Rule::UnsafeConfinement => {
+                "unsafe sites need an adjacent // SAFETY: comment and may only \
+                 appear in allowlisted files (reactor/src/sys.rs)"
+            }
+            Rule::LockOrder => {
+                "lock-acquisition pairs are reported; pair cycles and blocking \
+                 calls under a held lock are denied"
+            }
+            Rule::HotPathAlloc => {
+                "functions reachable from an `// awb-audit: hot` root must not \
+                 allocate (Vec::new/vec!/Box::new/format!/clone/collect/…)"
+            }
+            Rule::ReactorBlocking => {
+                "functions reachable from an `// awb-audit: event-loop` root must \
+                 not block (thread::sleep, argless recv()/join(), blocking reads, \
+                 condvar waits)"
+            }
             Rule::StrictIndexing => {
                 "advisory: [idx] indexing in panic-free crates (opt-in, never denied)"
             }
@@ -179,6 +225,19 @@ pub(crate) struct Waiver {
 
 pub(crate) const WAIVER_MARK: &str = "awb-audit:";
 
+/// Files in which `unsafe` is permitted (crate directory name, crate-relative
+/// path suffix). Everything else gets an `unsafe-confinement` finding for any
+/// `unsafe` site, SAFETY-commented or not.
+pub(crate) const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[("reactor", "src/sys.rs")];
+
+/// Whether `rel_path` of `crate_name` may contain `unsafe` code.
+pub(crate) fn unsafe_allowlisted(crate_name: &str, rel_path: &str) -> bool {
+    let normalized = rel_path.replace('\\', "/");
+    UNSAFE_ALLOWLIST.iter().any(|(c, p)| {
+        *c == crate_name && (normalized == *p || normalized.ends_with(&format!("/{p}")))
+    })
+}
+
 /// Extracts waivers (and invalid-waiver findings) from the comments.
 pub(crate) fn parse_waivers(
     file: &str,
@@ -190,10 +249,21 @@ pub(crate) fn parse_waivers(
     // comments skip over these to find their target code line.
     let blank: Vec<bool> = masked.text.lines().map(|l| l.trim().is_empty()).collect();
     for comment in &masked.comments {
-        let Some(mark) = comment.text.find(WAIVER_MARK) else {
+        // The mark must open the comment: doc prose *mentioning* a waiver
+        // (backticked examples, rule descriptions) never matches.
+        let Some(rest) = comment.text.trim_start().strip_prefix(WAIVER_MARK) else {
             continue;
         };
-        let rest = comment.text[mark + WAIVER_MARK.len()..].trim_start();
+        let rest = rest.trim_start();
+        // `// awb-audit: hot` / `event-loop` are annotations consumed by the
+        // item parser, not waivers.
+        let first_word = rest
+            .split(|c: char| c.is_whitespace())
+            .next()
+            .unwrap_or_default();
+        if matches!(first_word, "hot" | "event-loop") {
+            continue;
+        }
         let Some(open) = rest.strip_prefix("allow(") else {
             findings.push(Finding {
                 rule: Rule::InvalidWaiver,

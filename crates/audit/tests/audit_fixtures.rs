@@ -151,6 +151,144 @@ fn invalid_waivers_are_findings_and_do_not_silence() {
     );
 }
 
+#[test]
+fn r5_confines_unsafe_to_the_allowlist_and_requires_safety_comments() {
+    let src = include_str!("fixtures/r5_unsafe.rs");
+    // Outside the allowlist: every live site is out of bounds, and the one
+    // without a SAFETY comment is flagged twice. The waived and #[cfg(test)]
+    // sites stay silent.
+    let found = audit_fixture("lp", "src/unsafe_mod.rs", src);
+    let r5: Vec<usize> = found
+        .iter()
+        .filter(|(r, _)| *r == Rule::UnsafeConfinement)
+        .map(|&(_, l)| l)
+        .collect();
+    let covered = line_of(src, "// SAFETY: fixture — the caller") + 1;
+    let multiline = line_of(src, "block is contiguous and mentions SAFETY") + 1;
+    let uncovered = line_of(src, "pub fn uncovered") + 1;
+    let waived = line_of(src, "allow(unsafe-confinement)") + 1;
+    assert_eq!(r5.iter().filter(|&&l| l == covered).count(), 1);
+    assert_eq!(r5.iter().filter(|&&l| l == multiline).count(), 1);
+    assert_eq!(r5.iter().filter(|&&l| l == uncovered).count(), 2);
+    assert!(!r5.contains(&waived), "waiver ignored: {found:?}");
+    assert_eq!(r5.len(), 4, "unexpected extra R5 findings: {found:?}");
+
+    // The same file as the allowlisted reactor/src/sys.rs: only the missing
+    // SAFETY comment fires.
+    let found = audit_fixture("reactor", "src/sys.rs", src);
+    let r5: Vec<usize> = found
+        .iter()
+        .filter(|(r, _)| *r == Rule::UnsafeConfinement)
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(r5, vec![uncovered], "allowlist not honoured: {found:?}");
+}
+
+#[test]
+fn r6_flags_the_seeded_two_lock_cycle_and_blocking_under_lock() {
+    let src = include_str!("fixtures/r6_cycle.rs");
+    let report = awb_audit::audit_source("lp", "src/cycle.rs", src, &AuditOptions::default());
+    let cycles: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrder && f.message.contains("lock-order cycle"))
+        .map(|f| f.message.as_str())
+        .collect();
+    assert_eq!(
+        cycles.len(),
+        1,
+        "the seeded alpha/beta inversion must be one cycle: {report:?}"
+    );
+    assert!(
+        cycles[0].contains("lp::alpha") && cycles[0].contains("lp::beta"),
+        "cycle names the lock classes: {}",
+        cycles[0]
+    );
+    // `sleepy` parks the thread with alpha held — an independent deny.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::LockOrder && f.message.contains("while holding")),
+        "blocking under a held lock not flagged: {report:?}"
+    );
+    // Both ordered pairs are surfaced as advisory documentation.
+    let pairs = report
+        .advisories
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrder)
+        .count();
+    assert_eq!(pairs, 2, "expected both ordered pairs: {report:?}");
+}
+
+#[test]
+fn r6_accepts_consistent_order_and_drop_released_guards() {
+    let src = include_str!("fixtures/r6_acyclic.rs");
+    let report = awb_audit::audit_source("lp", "src/acyclic.rs", src, &AuditOptions::default());
+    assert!(
+        report.findings.is_empty(),
+        "acyclic order must produce no findings: {report:?}"
+    );
+    // Only `nested` holds alpha across the beta acquisition; `sequential`
+    // released alpha with drop() first, so exactly one pair is documented.
+    let pairs = report
+        .advisories
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrder)
+        .count();
+    assert_eq!(pairs, 1, "drop() release not modelled: {report:?}");
+}
+
+#[test]
+fn r7_flags_direct_and_transitive_hot_path_allocations_only() {
+    let src = include_str!("fixtures/r7_hot.rs");
+    let report = awb_audit::audit_source("lp", "src/hot.rs", src, &AuditOptions::default());
+    let r7: Vec<(usize, &str)> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::HotPathAlloc)
+        .map(|f| (f.line, f.message.as_str()))
+        .collect();
+    let direct = line_of(src, "format!");
+    let transitive = line_of(src, "let items: Vec<usize> = (0..n).collect();");
+    let cold = line_of(src, "map(|i| i + 1)");
+    let waived = line_of(src, "vec![0u8; n]");
+    assert!(r7.iter().any(|&(l, _)| l == direct), "direct: {report:?}");
+    let via_helper = r7.iter().find(|&&(l, _)| l == transitive);
+    assert!(
+        via_helper.is_some_and(|(_, m)| m.contains("helper")),
+        "transitive finding must carry the call chain: {report:?}"
+    );
+    assert!(!r7.iter().any(|&(l, _)| l == cold), "cold fn reached?");
+    assert!(!r7.iter().any(|&(l, _)| l == waived), "waiver ignored");
+    assert_eq!(r7.len(), 2, "unexpected extra R7 findings: {report:?}");
+}
+
+#[test]
+fn r8_flags_blocking_calls_reachable_from_the_event_loop_only() {
+    let src = include_str!("fixtures/r8_blocking.rs");
+    let report = awb_audit::audit_source("lp", "src/r8.rs", src, &AuditOptions::default());
+    let r8: Vec<(usize, &str)> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::ReactorBlocking)
+        .map(|f| (f.line, f.message.as_str()))
+        .collect();
+    let direct = line_of(src, "from_millis(1)");
+    let transitive = line_of(src, ".recv()");
+    let cold = line_of(src, "from_millis(5)");
+    let waived = line_of(src, "from_millis(2)");
+    assert!(r8.iter().any(|&(l, _)| l == direct), "direct: {report:?}");
+    let via_pump = r8.iter().find(|&&(l, _)| l == transitive);
+    assert!(
+        via_pump.is_some_and(|(_, m)| m.contains("pump")),
+        "transitive finding must carry the call chain: {report:?}"
+    );
+    assert!(!r8.iter().any(|&(l, _)| l == cold), "cold path reached?");
+    assert!(!r8.iter().any(|&(l, _)| l == waived), "waiver ignored");
+    assert_eq!(r8.len(), 2, "unexpected extra R8 findings: {report:?}");
+}
+
 /// Builds a throwaway mini-workspace seeded with one violation per rule and
 /// returns its root.
 fn seed_violation_workspace(tag: &str) -> PathBuf {
@@ -207,6 +345,48 @@ fn deny_exits_nonzero_on_each_seeded_rule_violation() {
 }
 
 #[test]
+fn baseline_ratchet_suppresses_recorded_findings_and_catches_new_ones() {
+    let root = seed_violation_workspace("baseline");
+    let baseline = root.join("audit-baseline.json");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_awb-audit"))
+        .arg("--write-baseline")
+        .arg(&baseline)
+        .arg(&root)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0), "--write-baseline must exit 0");
+    assert!(baseline.exists());
+
+    // Under the recorded baseline the same tree passes --deny.
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_awb-audit"))
+        .arg("--deny")
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(&root)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0), "baselined findings must not deny");
+
+    // A brand-new violation is *not* covered by the baseline.
+    std::fs::write(
+        root.join("crates").join("core").join("src").join("more.rs"),
+        "pub fn g(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+    )
+    .unwrap();
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_awb-audit"))
+        .arg("--deny")
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(&root)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1), "new findings must still deny");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn json_report_is_valid_and_stable_across_runs() {
     let root = seed_violation_workspace("json");
     let a = audit_workspace(&root, &AuditOptions::default())
@@ -226,6 +406,31 @@ fn json_report_is_valid_and_stable_across_runs() {
         .get("findings")
         .and_then(|v| v.as_array())
         .is_some_and(|f| !f.is_empty()));
+    assert_eq!(
+        parsed.get("schema_version").and_then(|v| v.as_u64()),
+        Some(u64::from(awb_audit::SCHEMA_VERSION)),
+        "report must carry its schema version"
+    );
+    // Per-rule counts cover every registered rule, including the graph
+    // rules that the seeded workspace does not violate.
+    let counts = parsed
+        .get("rule_counts")
+        .and_then(|v| v.as_object())
+        .expect("rule_counts object");
+    for rule in Rule::all() {
+        assert!(
+            counts.contains_key(rule.name()),
+            "rule_counts missing {}",
+            rule.name()
+        );
+    }
+    assert!(
+        counts
+            .get("no-panic-in-lib")
+            .and_then(|v| v.as_u64())
+            .is_some_and(|n| n >= 1),
+        "seeded unwrap must be counted"
+    );
     std::fs::remove_dir_all(&root).ok();
 }
 

@@ -1,0 +1,30 @@
+//! Fixture: R5 unsafe confinement — SAFETY-covered, uncovered, waived and
+//! test-only sites. Audited once outside the allowlist and once as
+//! `reactor/src/sys.rs` to exercise the allowlist dimension.
+
+pub fn covered(p: *const u32) -> u32 {
+    // SAFETY: fixture — the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+pub fn covered_multiline(p: *const u32) -> u32 {
+    // The justification may span several comment lines as long as the
+    // block is contiguous and mentions SAFETY: fixture — `p` is valid.
+    unsafe { *p }
+}
+
+pub fn uncovered(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn waived(p: *const u32) -> u32 {
+    // awb-audit: allow(unsafe-confinement) — fixture: both halves silenced
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(p: *const u32) -> u32 {
+        unsafe { *p }
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: R6 consistent lock order — every path acquires alpha before
+//! beta, and `sequential` releases alpha with `drop` before taking beta.
+
+pub struct Pair {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+impl Pair {
+    pub fn nested(&self) -> u32 {
+        let a = lock_recover(&self.alpha);
+        let b = lock_recover(&self.beta);
+        *a + *b
+    }
+
+    pub fn sequential(&self) -> u32 {
+        let a = lock_recover(&self.alpha);
+        let total = *a;
+        drop(a);
+        let b = lock_recover(&self.beta);
+        total + *b
+    }
+}

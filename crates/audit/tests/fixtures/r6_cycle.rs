@@ -1,0 +1,26 @@
+//! Fixture: R6 lock-order cycle — `forward` acquires alpha→beta while
+//! `backward` acquires beta→alpha, and `sleepy` blocks with alpha held.
+
+pub struct Pair {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = lock_recover(&self.alpha);
+        let b = lock_recover(&self.beta);
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = lock_recover(&self.beta);
+        let a = lock_recover(&self.alpha);
+        *a + *b
+    }
+
+    pub fn sleepy(&self) {
+        let _a = lock_recover(&self.alpha);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

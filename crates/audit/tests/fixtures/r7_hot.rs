@@ -1,0 +1,26 @@
+//! Fixture: R7 hot-path allocation — a direct allocation in a tagged
+//! function, a transitive one in its callee, an unreached cold allocation
+//! and a waived site.
+
+// awb-audit: hot
+pub fn hot_entry(n: usize) -> usize {
+    let label = format!("n={n}");
+    helper(n) + label.len()
+}
+
+fn helper(n: usize) -> usize {
+    let items: Vec<usize> = (0..n).collect();
+    items.len()
+}
+
+fn cold(n: usize) -> usize {
+    let items: Vec<usize> = (0..n).map(|i| i + 1).collect();
+    items.len()
+}
+
+// awb-audit: hot
+pub fn hot_waived(n: usize) -> usize {
+    // awb-audit: allow(hot-path-alloc) — fixture: amortized one-time setup
+    let seed = vec![0u8; n];
+    seed.len()
+}

@@ -1,0 +1,29 @@
+//! Fixture: R8 reactor blocking calls — a direct sleep on the tick path, a
+//! transitive channel `recv`, an unreached cold sleep and a waived site.
+
+pub struct Loop {
+    rx: std::sync::mpsc::Receiver<u32>,
+}
+
+impl Loop {
+    // awb-audit: event-loop
+    pub fn tick(&mut self) -> u32 {
+        let burst = self.pump();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        burst
+    }
+
+    fn pump(&self) -> u32 {
+        self.rx.recv().unwrap_or(0)
+    }
+
+    fn cold_path(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // awb-audit: event-loop
+    pub fn tick_waived(&self) {
+        // awb-audit: allow(reactor-blocking) — fixture: startup-only wait
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}

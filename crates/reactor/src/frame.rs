@@ -69,6 +69,7 @@ impl LineFramer {
     /// [`FrameError::TooLarge`] when the unterminated tail exceeds the cap
     /// before its `\n` arrives; the framer is poisoned afterwards and
     /// yields no further lines.
+    // awb-audit: hot
     pub fn push(&mut self, bytes: &[u8]) -> Result<(), FrameError> {
         if self.poisoned {
             return Err(FrameError::TooLarge {

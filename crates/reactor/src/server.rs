@@ -312,6 +312,7 @@ struct EventLoop {
 }
 
 impl EventLoop {
+    // awb-audit: event-loop
     fn run(&mut self) -> io::Result<()> {
         let mut events: Vec<Event> = Vec::new();
         let mut fired: Vec<(u64, TimerKind)> = Vec::new();

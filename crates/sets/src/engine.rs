@@ -303,6 +303,8 @@ pub(crate) fn lift_to_max<M: LinkRateModel + ?Sized>(
     members: &[usize],
     assignment: &[(LinkId, Rate)],
 ) -> RatedSet {
+    // awb-audit: allow(hot-path-alloc) — one copy per *emitted* set, not per
+    // search node; the lifting loop then mutates rates in place.
     let mut lifted = assignment.to_vec();
     for (i, &live) in members.iter().enumerate() {
         for &r in &c.rates[live] {

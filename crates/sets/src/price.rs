@@ -441,6 +441,8 @@ impl MaxWeightOracle {
             s.best_couples
                 .iter()
                 .map(|&c| (self.c.links[self.c.couple_link[c]], self.c.couple_rate[c]))
+                // awb-audit: allow(hot-path-alloc) — the winning column is
+                // materialized once per heuristic call, on success only.
                 .collect(),
         );
         Some((set, best_value))
@@ -602,6 +604,8 @@ impl MaxWeightOracle {
             return None;
         }
         let value: f64 = s.member_couples.iter().map(|&c| s.contrib[c]).sum();
+        // awb-audit: allow(hot-path-alloc) — one column copy per successful
+        // heuristic call; the scratch assignment is reused across calls.
         Some((RatedSet::new(s.assignment.clone()), value))
     }
 }
@@ -636,6 +640,8 @@ impl ExactSearch<'_> {
     /// the `RatedSet` is only materialized on improvement.
     fn offer(&mut self, value: f64) {
         if value > self.best_value() + VALUE_EPS {
+            // awb-audit: allow(hot-path-alloc) — incumbent copied only on
+            // strict improvement (see the doc comment above).
             self.best = Some((RatedSet::new(self.assignment.clone()), value));
         }
     }
@@ -712,12 +718,16 @@ impl<M: LinkRateModel + ?Sized> ModelSearch<'_, M> {
 
     fn offer_set(&mut self, set: &RatedSet, value: f64) {
         if value > self.best_value() + VALUE_EPS {
+            // awb-audit: allow(hot-path-alloc) — incumbent copied only on
+            // strict improvement.
             self.best = Some((set.clone(), value));
         }
     }
 
     fn offer_assignment(&mut self, value: f64) {
         if value > self.best_value() + VALUE_EPS {
+            // awb-audit: allow(hot-path-alloc) — incumbent copied only on
+            // strict improvement.
             self.best = Some((RatedSet::new(self.assignment.clone()), value));
         }
     }
@@ -831,6 +841,7 @@ pub struct PricingAnswer {
 /// `exact_invoked: true` is a *certificate* that no improving column exists
 /// for this component — the exactness of column generation rests on the
 /// exact search alone, never on the heuristic.
+// awb-audit: hot
 pub fn price_component<M: LinkRateModel + ?Sized>(
     model: &M,
     req: &PricingRequest<'_>,

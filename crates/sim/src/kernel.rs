@@ -225,6 +225,7 @@ impl CompiledSim {
     /// The capture test for granted link `li` at its chosen `rate` against
     /// the granted set — bit-identical to
     /// [`LinkRateModel::victim_max_rate`] + `rate <= max`.
+    // awb-audit: hot
     fn capture_ok<M: LinkRateModel>(
         &self,
         model: &M,
@@ -275,6 +276,232 @@ impl CompiledSim {
     }
 }
 
+/// One feeder of a link: its queue slot and where a drained packet goes.
+struct FeederSlot {
+    queue: u32,
+    /// Next hop's queue slot, or `u32::MAX` for end-to-end delivery.
+    next: u32,
+    flow: u32,
+}
+
+/// Everything [`step_slot`] reads but never writes: the compiled relations
+/// plus the run-constant link/flow arrays built once by [`run_compiled`].
+struct SlotPlan<'a> {
+    compiled: &'a CompiledSim,
+    /// Links whose backlog can change (live, with at least one feeder): the
+    /// only rows of `backlogged` that need recomputing each slot.
+    fed_links: &'a [usize],
+    /// Links that can ever be backlogged: fed links plus the (degenerate)
+    /// zero-payload ones. Contention only needs to look at these — the rest
+    /// of the topology never contends.
+    candidates: &'a [usize],
+    /// Unfed candidates (zero payload, no feeders): backlogged every slot.
+    always_on: &'a [usize],
+    /// Flow `fi`'s hop `hi` lives at queue-arena slot `offsets[fi] + hi`.
+    offsets: &'a [usize],
+    first_link: &'a [usize],
+    arrival_p: &'a [Option<f64>],
+    feeder_slots: &'a [FeederSlot],
+    feeder_ranges: &'a [(u32, u32)],
+    cw_min: u32,
+    cw_max: u32,
+    is_dcf: bool,
+}
+
+/// Everything [`step_slot`] writes: queues, delivery/busy accumulators and
+/// the DCF backoff state, allocated once by [`run_compiled`].
+struct SlotState {
+    queues: Vec<f64>,
+    delivered_mbit: Vec<f64>,
+    node_busy_slots: Vec<u64>,
+    link_delivered_mbit: Vec<f64>,
+    link_tx_slots: Vec<u64>,
+    link_collision_slots: Vec<u64>,
+    cw: Vec<u32>,
+    backoff: Vec<Option<u32>>,
+}
+
+fn slots_of(range: &(u32, u32)) -> (usize, usize) {
+    (range.0 as usize, range.1 as usize)
+}
+
+/// Advances the simulation by one slot: arrivals, backlog, contention
+/// resolution, capture outcomes and busy accounting. This is the generic
+/// engine's slot iteration verbatim — same RNG draw order, same float
+/// operation order — over the compiled masks and the reused arenas.
+// awb-audit: hot
+fn step_slot<M: LinkRateModel>(
+    sim: &Simulator,
+    model: &M,
+    plan: &SlotPlan<'_>,
+    state: &mut SlotState,
+    scratch: &mut SlotScratch,
+    rng: &mut SmallRng,
+) {
+    let compiled = plan.compiled;
+
+    // Arrivals — the same RNG draws as the generic loop (dead first
+    // hops draw nothing).
+    for fi in 0..plan.first_link.len() {
+        let first = plan.first_link[fi];
+        if !compiled.live[first] {
+            continue;
+        }
+        let need = compiled.need[first];
+        let q0 = plan.offsets[fi];
+        match plan.arrival_p[fi] {
+            Some(p) => {
+                if rng.gen_bool(p) {
+                    state.queues[q0] += need;
+                }
+            }
+            None => {
+                // Saturated: first hop always has a slot's worth.
+                if state.queues[q0] < need {
+                    state.queues[q0] = need;
+                }
+            }
+        }
+    }
+
+    // Backlog. DCF needs the per-link backlogged flags (a link that
+    // drains its queue must drop its frozen backoff counter), so it
+    // keeps the flag array. The memoryless modes only ever consume the
+    // *list* of backlogged links in ascending order, so the backlog
+    // pass builds that list directly, merging the always-backlogged
+    // zero-payload candidates in link order as it goes.
+    if plan.is_dcf {
+        for &li in plan.fed_links {
+            let (s, e) = slots_of(&plan.feeder_ranges[li]);
+            let queued: f64 = plan.feeder_slots[s..e]
+                .iter()
+                .map(|sl| state.queues[sl.queue as usize])
+                .sum();
+            scratch.backlogged[li] = queued + 1e-12 >= compiled.need[li];
+        }
+    } else {
+        scratch.contenders.clear();
+        let mut ai = 0;
+        for &li in plan.fed_links {
+            while ai < plan.always_on.len() && plan.always_on[ai] < li {
+                scratch.contenders.push(plan.always_on[ai]);
+                ai += 1;
+            }
+            let (s, e) = slots_of(&plan.feeder_ranges[li]);
+            let queued: f64 = plan.feeder_slots[s..e]
+                .iter()
+                .map(|sl| state.queues[sl.queue as usize])
+                .sum();
+            if queued + 1e-12 >= compiled.need[li] {
+                scratch.contenders.push(li);
+            }
+        }
+        scratch.contenders.extend_from_slice(&plan.always_on[ai..]);
+    }
+
+    // Contention resolution.
+    scratch.granted.clear();
+    bitset::clear_all(&mut scratch.granted_mask);
+    match sim.config.contention {
+        Contention::OrderedCsma => {
+            scratch.contenders.shuffle(rng);
+            for idx in 0..scratch.contenders.len() {
+                let li = scratch.contenders[idx];
+                let blocked = !bitset::disjoint(compiled.hears_row(li), &scratch.granted_mask);
+                if !blocked {
+                    scratch.granted.push(li);
+                    bitset::set_bit(&mut scratch.granted_mask, li);
+                }
+            }
+        }
+        Contention::PPersistent(p) => {
+            for idx in 0..scratch.contenders.len() {
+                let li = scratch.contenders[idx];
+                if !bitset::test_bit(&scratch.busy_last, compiled.tx[li])
+                    && rng.gen_bool(p.clamp(0.0, 1.0))
+                {
+                    scratch.granted.push(li);
+                    bitset::set_bit(&mut scratch.granted_mask, li);
+                }
+            }
+        }
+        Contention::Dcf { .. } => {
+            for &li in plan.candidates {
+                if !scratch.backlogged[li] {
+                    state.backoff[li] = None; // nothing to send: drop state
+                    continue;
+                }
+                // The draw happens before the busy check, exactly like
+                // the generic loop's `get_or_insert_with`.
+                let counter =
+                    state.backoff[li].get_or_insert_with(|| rng.gen_range(0..state.cw[li]));
+                if bitset::test_bit(&scratch.busy_last, compiled.tx[li]) {
+                    continue; // counter frozen while the medium is busy
+                }
+                if *counter == 0 {
+                    scratch.granted.push(li);
+                    bitset::set_bit(&mut scratch.granted_mask, li);
+                } else {
+                    *counter -= 1;
+                }
+            }
+        }
+    }
+
+    // Outcomes: per-victim capture against the full granted set.
+    scratch.assignment.clear();
+    for idx in 0..scratch.granted.len() {
+        let li = scratch.granted[idx];
+        let Some(rate) = sim.link_rate[li] else {
+            continue; // unreachable: dead links are never backlogged
+        };
+        state.link_tx_slots[li] += 1;
+        let ok = compiled.capture_ok(model, sim, scratch, li, rate);
+        if plan.is_dcf {
+            // Post-transmission DCF bookkeeping.
+            if ok {
+                state.cw[li] = plan.cw_min;
+            } else {
+                state.cw[li] = (state.cw[li] * 2).min(plan.cw_max);
+            }
+            state.backoff[li] = None; // re-draw next slot if still backlogged
+        }
+        if ok {
+            let mut remaining = compiled.need[li];
+            let (s, e) = slots_of(&plan.feeder_ranges[li]);
+            for sl in &plan.feeder_slots[s..e] {
+                if remaining <= 0.0 {
+                    break;
+                }
+                let q = state.queues[sl.queue as usize];
+                let moved = q.min(remaining);
+                if moved > 0.0 {
+                    state.queues[sl.queue as usize] -= moved;
+                    remaining -= moved;
+                    state.link_delivered_mbit[li] += moved;
+                    if sl.next != u32::MAX {
+                        state.queues[sl.next as usize] += moved;
+                    } else {
+                        state.delivered_mbit[sl.flow as usize] += moved;
+                    }
+                }
+            }
+        } else {
+            state.link_collision_slots[li] += 1;
+        }
+    }
+
+    // Busy accounting (also feeds next slot's carrier-sense state).
+    bitset::clear_all(&mut scratch.busy);
+    for &g in &scratch.granted {
+        bitset::or_into(&mut scratch.busy, compiled.hearer_row(g));
+    }
+    for n in bitset::iter_bits(&scratch.busy) {
+        state.node_busy_slots[n] += 1;
+    }
+    std::mem::swap(&mut scratch.busy, &mut scratch.busy_last);
+}
+
 /// Runs `sim` over `model` with the compiled kernels; the entry point of
 /// [`SimEngine::Compiled`](crate::SimEngine).
 pub(crate) fn run_compiled<M: LinkRateModel>(sim: &Simulator, model: &M) -> SimReport {
@@ -316,17 +543,10 @@ pub(crate) fn run_compiled<M: LinkRateModel>(sim: &Simulator, model: &M) -> SimR
         offsets.push(total_hops);
         total_hops += f.hops.len();
     }
-    let mut queues = vec![0.0f64; total_hops];
-    let mut delivered_mbit = vec![0.0f64; num_flows];
+    let queues = vec![0.0f64; total_hops];
+    let delivered_mbit = vec![0.0f64; num_flows];
     let first_link: Vec<usize> = flows.iter().map(|f| f.hops[0].index()).collect();
     let arrival_p: Vec<Option<f64>> = flows.iter().map(|f| f.arrival_probability).collect();
-    /// One feeder of a link: its queue slot and where a drained packet goes.
-    struct FeederSlot {
-        queue: u32,
-        /// Next hop's queue slot, or `u32::MAX` for end-to-end delivery.
-        next: u32,
-        flow: u32,
-    }
     let mut feeder_slots: Vec<FeederSlot> = Vec::new();
     let mut feeder_ranges: Vec<(u32, u32)> = Vec::with_capacity(num_links);
     for link_feeders in &feeders {
@@ -346,18 +566,34 @@ pub(crate) fn run_compiled<M: LinkRateModel>(sim: &Simulator, model: &M) -> SimR
         }
         feeder_ranges.push((start, feeder_slots.len() as u32));
     }
-    let slots_of = |ranges: &(u32, u32)| (ranges.0 as usize, ranges.1 as usize);
-
-    let mut node_busy_slots = vec![0u64; num_nodes];
-    let mut link_delivered_mbit = vec![0.0f64; num_links];
-    let mut link_tx_slots = vec![0u64; num_links];
-    let mut link_collision_slots = vec![0u64; num_links];
 
     let (cw_min, cw_max) = sim.cw_bounds();
     let is_dcf = matches!(sim.config.contention, Contention::Dcf { .. });
-    let mut cw = vec![cw_min; num_links];
-    let mut backoff: Vec<Option<u32>> = vec![None; num_links];
 
+    let plan = SlotPlan {
+        compiled: &compiled,
+        fed_links: &fed_links,
+        candidates: &candidates,
+        always_on: &always_on,
+        offsets: &offsets,
+        first_link: &first_link,
+        arrival_p: &arrival_p,
+        feeder_slots: &feeder_slots,
+        feeder_ranges: &feeder_ranges,
+        cw_min,
+        cw_max,
+        is_dcf,
+    };
+    let mut state = SlotState {
+        queues,
+        delivered_mbit,
+        node_busy_slots: vec![0u64; num_nodes],
+        link_delivered_mbit: vec![0.0f64; num_links],
+        link_tx_slots: vec![0u64; num_links],
+        link_collision_slots: vec![0u64; num_links],
+        cw: vec![cw_min; num_links],
+        backoff: vec![None; num_links],
+    };
     let mut scratch = SlotScratch {
         backlogged: compiled.zero_queue_backlog.clone(),
         contenders: Vec::with_capacity(candidates.len()),
@@ -369,183 +605,25 @@ pub(crate) fn run_compiled<M: LinkRateModel>(sim: &Simulator, model: &M) -> SimR
     };
 
     for _ in 0..sim.config.slots {
-        // Arrivals — the same RNG draws as the generic loop (dead first
-        // hops draw nothing).
-        for fi in 0..num_flows {
-            let first = first_link[fi];
-            if !compiled.live[first] {
-                continue;
-            }
-            let need = compiled.need[first];
-            let q0 = offsets[fi];
-            match arrival_p[fi] {
-                Some(p) => {
-                    if rng.gen_bool(p) {
-                        queues[q0] += need;
-                    }
-                }
-                None => {
-                    // Saturated: first hop always has a slot's worth.
-                    if queues[q0] < need {
-                        queues[q0] = need;
-                    }
-                }
-            }
-        }
-
-        // Backlog. DCF needs the per-link backlogged flags (a link that
-        // drains its queue must drop its frozen backoff counter), so it
-        // keeps the flag array. The memoryless modes only ever consume the
-        // *list* of backlogged links in ascending order, so the backlog
-        // pass builds that list directly, merging the always-backlogged
-        // zero-payload candidates in link order as it goes.
-        if is_dcf {
-            for &li in &fed_links {
-                let (s, e) = slots_of(&feeder_ranges[li]);
-                let queued: f64 = feeder_slots[s..e]
-                    .iter()
-                    .map(|sl| queues[sl.queue as usize])
-                    .sum();
-                scratch.backlogged[li] = queued + 1e-12 >= compiled.need[li];
-            }
-        } else {
-            scratch.contenders.clear();
-            let mut ai = 0;
-            for &li in &fed_links {
-                while ai < always_on.len() && always_on[ai] < li {
-                    scratch.contenders.push(always_on[ai]);
-                    ai += 1;
-                }
-                let (s, e) = slots_of(&feeder_ranges[li]);
-                let queued: f64 = feeder_slots[s..e]
-                    .iter()
-                    .map(|sl| queues[sl.queue as usize])
-                    .sum();
-                if queued + 1e-12 >= compiled.need[li] {
-                    scratch.contenders.push(li);
-                }
-            }
-            scratch.contenders.extend_from_slice(&always_on[ai..]);
-        }
-
-        // Contention resolution.
-        scratch.granted.clear();
-        bitset::clear_all(&mut scratch.granted_mask);
-        match sim.config.contention {
-            Contention::OrderedCsma => {
-                scratch.contenders.shuffle(&mut rng);
-                for idx in 0..scratch.contenders.len() {
-                    let li = scratch.contenders[idx];
-                    let blocked = !bitset::disjoint(compiled.hears_row(li), &scratch.granted_mask);
-                    if !blocked {
-                        scratch.granted.push(li);
-                        bitset::set_bit(&mut scratch.granted_mask, li);
-                    }
-                }
-            }
-            Contention::PPersistent(p) => {
-                for idx in 0..scratch.contenders.len() {
-                    let li = scratch.contenders[idx];
-                    if !bitset::test_bit(&scratch.busy_last, compiled.tx[li])
-                        && rng.gen_bool(p.clamp(0.0, 1.0))
-                    {
-                        scratch.granted.push(li);
-                        bitset::set_bit(&mut scratch.granted_mask, li);
-                    }
-                }
-            }
-            Contention::Dcf { .. } => {
-                for &li in &candidates {
-                    if !scratch.backlogged[li] {
-                        backoff[li] = None; // nothing to send: drop state
-                        continue;
-                    }
-                    // The draw happens before the busy check, exactly like
-                    // the generic loop's `get_or_insert_with`.
-                    let counter = backoff[li].get_or_insert_with(|| rng.gen_range(0..cw[li]));
-                    if bitset::test_bit(&scratch.busy_last, compiled.tx[li]) {
-                        continue; // counter frozen while the medium is busy
-                    }
-                    if *counter == 0 {
-                        scratch.granted.push(li);
-                        bitset::set_bit(&mut scratch.granted_mask, li);
-                    } else {
-                        *counter -= 1;
-                    }
-                }
-            }
-        }
-
-        // Outcomes: per-victim capture against the full granted set.
-        scratch.assignment.clear();
-        for idx in 0..scratch.granted.len() {
-            let li = scratch.granted[idx];
-            let Some(rate) = sim.link_rate[li] else {
-                continue; // unreachable: dead links are never backlogged
-            };
-            link_tx_slots[li] += 1;
-            let ok = {
-                // Split the borrow: capture_ok reads scratch immutably
-                // except for the lazily-built assignment buffer.
-                let compiled_ref = &compiled;
-                compiled_ref.capture_ok(model, sim, &mut scratch, li, rate)
-            };
-            if is_dcf {
-                // Post-transmission DCF bookkeeping.
-                if ok {
-                    cw[li] = cw_min;
-                } else {
-                    cw[li] = (cw[li] * 2).min(cw_max);
-                }
-                backoff[li] = None; // re-draw next slot if still backlogged
-            }
-            if ok {
-                let mut remaining = compiled.need[li];
-                let (s, e) = slots_of(&feeder_ranges[li]);
-                for sl in &feeder_slots[s..e] {
-                    if remaining <= 0.0 {
-                        break;
-                    }
-                    let q = queues[sl.queue as usize];
-                    let moved = q.min(remaining);
-                    if moved > 0.0 {
-                        queues[sl.queue as usize] -= moved;
-                        remaining -= moved;
-                        link_delivered_mbit[li] += moved;
-                        if sl.next != u32::MAX {
-                            queues[sl.next as usize] += moved;
-                        } else {
-                            delivered_mbit[sl.flow as usize] += moved;
-                        }
-                    }
-                }
-            } else {
-                link_collision_slots[li] += 1;
-            }
-        }
-
-        // Busy accounting (also feeds next slot's carrier-sense state).
-        bitset::clear_all(&mut scratch.busy);
-        for &g in &scratch.granted {
-            bitset::or_into(&mut scratch.busy, compiled.hearer_row(g));
-        }
-        for n in bitset::iter_bits(&scratch.busy) {
-            node_busy_slots[n] += 1;
-        }
-        std::mem::swap(&mut scratch.busy, &mut scratch.busy_last);
+        step_slot(sim, model, &plan, &mut state, &mut scratch, &mut rng);
     }
 
     let total = sim.config.slots as f64;
     let duration = total * sim.config.slot_seconds;
     SimReport {
-        node_idle_ratio: node_busy_slots
+        node_idle_ratio: state
+            .node_busy_slots
             .iter()
             .map(|&b| 1.0 - b as f64 / total)
             .collect(),
-        link_throughput_mbps: link_delivered_mbit.iter().map(|&m| m / duration).collect(),
-        flow_throughput_mbps: delivered_mbit.iter().map(|&m| m / duration).collect(),
-        link_tx_slots,
-        link_collision_slots,
+        link_throughput_mbps: state
+            .link_delivered_mbit
+            .iter()
+            .map(|&m| m / duration)
+            .collect(),
+        flow_throughput_mbps: state.delivered_mbit.iter().map(|&m| m / duration).collect(),
+        link_tx_slots: state.link_tx_slots,
+        link_collision_slots: state.link_collision_slots,
         slots: sim.config.slots,
         slot_seconds: sim.config.slot_seconds,
     }
