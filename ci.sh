@@ -16,7 +16,11 @@ echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> awb-audit --deny (R1-R4 lexical lints + R5 unsafe-confinement / R6 lock-order / R7 hot-path-alloc / R8 reactor-blocking)"
-cargo run --release -q -p awb-audit -- --deny
+# Ratchet mode: audit-baseline.json records the accepted hot-path allocation
+# sites on the delta-recompile path (compiling a dirty component allocates by
+# design); the gate fails only on findings NOT in the baseline. Refresh with
+#   cargo run --release -q -p awb-audit -- --write-baseline audit-baseline.json
+cargo run --release -q -p awb-audit -- --baseline audit-baseline.json --deny
 
 # Best-effort ThreadSanitizer leg over the concurrency-heavy crates. TSan
 # needs a nightly toolchain (-Zsanitizer) plus the matching rust-src; when
@@ -54,5 +58,8 @@ cargo run --release -q -p awb-bench --bin service_load_bench -- --smoke
 
 echo "==> estimators_bench --smoke (kernel bit-identity + speedup floor + campaign determinism)"
 cargo run --release -q -p awb-bench --bin estimators_bench -- --smoke
+
+echo "==> mobility_bench --smoke (incremental recompile beats from-scratch, answers bit-identical)"
+cargo run --release -q -p awb-bench --bin mobility_bench -- --smoke
 
 echo "CI green."

@@ -34,10 +34,11 @@
 use awb_bench::rows::{EstimatorError, Fig4Row};
 use awb_core::{AvailableBandwidthOptions, Flow, Schedule, Session, SolverKind};
 use awb_estimate::{Estimator, Hop, IdleMap};
-use awb_net::{NodeId, Path, SinrModel};
+use awb_net::{NodeId, Path, SinrModel, TopologyDelta};
 use awb_phy::Phy;
 use awb_routing::{shortest_path, RoutingMetric};
 use awb_sim::{campaign, Contention, RatePolicy, SimConfig, SimEngine, Simulator};
+use awb_workloads::mobility::{WaypointConfig, WaypointMobility};
 use awb_workloads::{
     shortest_hop_distance, ContentionSpec, DensityPoint, RandomTopology, RateMix, ScenarioCell,
     ScenarioMatrix, TrafficSpec,
@@ -138,6 +139,21 @@ struct ScaleRow {
     per_slot_ns: Option<f64>,
 }
 
+/// One epoch of the mobility error surface: estimator errors against the
+/// Eq. 6 truth on a waypoint-trace snapshot, truth computed through a warm
+/// [`Session`] migrated by [`Session::apply_delta`].
+#[derive(Serialize)]
+struct MobilityRow {
+    epoch: usize,
+    num_links: usize,
+    flows: usize,
+    /// Conflict components the epoch's delta reused / recompiled in the
+    /// session's cached instances.
+    units_reused: usize,
+    units_compiled: usize,
+    errors: Vec<EstimatorError>,
+}
+
 #[derive(Serialize)]
 struct Report {
     bench: &'static str,
@@ -148,6 +164,7 @@ struct Report {
     error_quantiles: Vec<ErrorQuantiles>,
     parallel: Vec<ParallelRow>,
     scale: Vec<ScaleRow>,
+    mobility: Vec<MobilityRow>,
 }
 
 /// Draws up to `count` distinct connected pairs with BFS hop distance in
@@ -577,6 +594,80 @@ fn run_scale_row(num_nodes: usize, slots: u64) -> ScaleRow {
     row
 }
 
+/// The mobility error surface (the "remaining axis" of the campaign): a
+/// short 30-node random-waypoint trace; per epoch the five §4 estimators
+/// are evaluated against the Eq. 6 truth on freshly routed flows, with the
+/// truth session migrated across epochs by [`Session::apply_delta`] instead
+/// of recompiled.
+fn mobility_section(epochs: usize) -> Vec<MobilityRow> {
+    let config = WaypointConfig {
+        num_nodes: 30,
+        mobile_fraction: 0.1,
+        seed: 7,
+        ..WaypointConfig::default()
+    };
+    let mut trace = WaypointMobility::new(config);
+    let mut models = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        if epoch > 0 {
+            trace.advance();
+        }
+        models.push(trace.snapshot());
+    }
+    let deltas: Vec<TopologyDelta> = models
+        .windows(2)
+        .map(|w| TopologyDelta::between(&w[0], &w[1]))
+        .collect();
+    let options = AvailableBandwidthOptions {
+        solver: SolverKind::ColumnGeneration,
+        decompose: true,
+        ..AvailableBandwidthOptions::default()
+    };
+    let mut session = Session::new(&models[0], options);
+    let mut rows = Vec::with_capacity(epochs);
+    for (epoch, model) in models.iter().enumerate() {
+        let reuse = if epoch > 0 {
+            session.apply_delta(model, &deltas[epoch - 1])
+        } else {
+            Default::default()
+        };
+        let idle = IdleMap::from_schedule(model, &Schedule::empty());
+        let pairs = draw_pairs(model, 4, 2, 4, 7 ^ epoch as u64);
+        let mut flow_rows: Vec<Fig4Row> = Vec::new();
+        for (index, &(src, dst)) in pairs.iter().enumerate() {
+            let Some(path) = shortest_path(model, &idle, RoutingMetric::AverageE2eDelay, src, dst)
+            else {
+                continue;
+            };
+            let Ok(truth) = session.query(&[], &path) else {
+                continue;
+            };
+            let Some(hops) = Hop::for_path(model, &idle, &path) else {
+                continue;
+            };
+            let est = |e: Estimator| e.estimate(model, &hops);
+            flow_rows.push(Fig4Row {
+                flow: index + 1,
+                truth_mbps: truth.bandwidth_mbps(),
+                clique_mbps: est(Estimator::CliqueConstraint),
+                bottleneck_mbps: est(Estimator::BottleneckNode),
+                min_both_mbps: est(Estimator::MinOfBoth),
+                conservative_mbps: est(Estimator::ConservativeClique),
+                expected_time_mbps: est(Estimator::ExpectedCliqueTime),
+            });
+        }
+        rows.push(MobilityRow {
+            epoch,
+            num_links: model.topology().num_links(),
+            flows: flow_rows.len(),
+            units_reused: reuse.units_reused,
+            units_compiled: reuse.units_compiled,
+            errors: summarize_errors(&flow_rows),
+        });
+    }
+    rows
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (ablation_slots, cell_slots) = if smoke {
@@ -635,6 +726,32 @@ fn main() {
         );
     }
 
+    println!("== mobility error surface ==");
+    let mobility = mobility_section(if smoke { 2 } else { 6 });
+    for m in &mobility {
+        let worst = m
+            .errors
+            .iter()
+            .map(|e| e.mean_abs_error_mbps)
+            .fold(0.0, f64::max);
+        println!(
+            "  epoch {}: {} links, {} flows, reuse {}/{} units, worst mean |err| {:.3} Mbps",
+            m.epoch,
+            m.num_links,
+            m.flows,
+            m.units_reused,
+            m.units_reused + m.units_compiled,
+            worst
+        );
+        assert!(
+            m.errors
+                .iter()
+                .all(|e| e.mean_abs_error_mbps.is_finite() && e.mean_signed_error_mbps.is_finite()),
+            "epoch {}: estimator errors must stay finite under mobility",
+            m.epoch
+        );
+    }
+
     if smoke {
         println!("smoke ok: bit-identity and {SPEEDUP_FLOOR}x kernel floor hold");
         return;
@@ -675,6 +792,7 @@ fn main() {
         error_quantiles: quantiles,
         parallel,
         scale,
+        mobility,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_estimators.json", json + "\n").expect("write BENCH_estimators.json");

@@ -1,0 +1,385 @@
+//! `mobility_bench` — incremental recompilation vs from-scratch compiles
+//! across random-waypoint mobility traces, written to `BENCH_mobility.json`
+//! at the repo root.
+//!
+//! Each scale (30 / 100 / 300 nodes, field area ~40,000 m² per node, 10%
+//! of nodes mobile) pre-generates a waypoint trace of topology snapshots
+//! plus the exact [`TopologyDelta`] between consecutive epochs, then walks
+//! the trace twice:
+//!
+//! * **incremental** — one [`CompiledInstance`] chained through
+//!   [`CompiledInstance::apply_delta`], recompiling only the conflict
+//!   components the epoch's movers touched;
+//! * **from-scratch** — a fresh [`CompiledInstance::compile`] of the same
+//!   link universe per epoch.
+//!
+//! The two instances are asserted identical per epoch (equal per-unit
+//! content hashes — deterministic compilation makes hash equality byte
+//! equality), and an epoch-driven re-admission run ([`EpochRunner`], warm
+//! session migrated by the same deltas) is asserted flow-for-flow
+//! bit-identical to cold per-epoch admission before any timing is trusted.
+//!
+//! `--smoke` runs the 30-node scale with a loose speedup floor and writes
+//! nothing — the CI hook keeping the incremental path honest.
+
+#![forbid(unsafe_code)]
+
+use awb_core::{
+    AvailableBandwidthOptions, CompiledInstance, DeltaReuse, SolverKind, UnitCache,
+    DEFAULT_RETENTION_EPOCHS,
+};
+use awb_net::{LinkId, SinrModel, TopologyDelta};
+use awb_net::{LinkRateModel, NodeId};
+use awb_routing::{
+    admit_sequentially_with_policy, AdmissionConfig, EpochRunner, FlowOutcome, RoutePolicy,
+    RoutingMetric,
+};
+use awb_workloads::mobility::{WaypointConfig, WaypointMobility};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+/// Field area per node: keeps mean conflict-graph degree (and therefore
+/// component size) constant across scales. Sensor densities this sparse
+/// keep conflict components local (a few links each) — the regime where
+/// per-component reuse pays; denser fields percolate into one giant
+/// conflict component that any mover dirties.
+const AREA_PER_NODE_M2: f64 = 150_000.0;
+/// Fraction of nodes performing waypoint motion (the ISSUE's bar is
+/// "≤ 10% of nodes move").
+const MOBILE_FRACTION: f64 = 0.05;
+
+/// One trace configuration.
+struct ScaleConfig {
+    num_nodes: usize,
+    epochs: usize,
+    /// Sink-tree flows attempted per epoch.
+    flows: usize,
+}
+
+const SCALES: [ScaleConfig; 3] = [
+    ScaleConfig {
+        num_nodes: 30,
+        epochs: 8,
+        flows: 4,
+    },
+    ScaleConfig {
+        num_nodes: 100,
+        epochs: 8,
+        flows: 8,
+    },
+    ScaleConfig {
+        num_nodes: 300,
+        epochs: 8,
+        flows: 12,
+    },
+];
+const SMOKE: ScaleConfig = ScaleConfig {
+    num_nodes: 30,
+    epochs: 4,
+    flows: 4,
+};
+
+#[derive(Serialize)]
+struct SessionCounters {
+    compiles: usize,
+    warm_queries: usize,
+    delta_applications: usize,
+    units_reused: usize,
+    unit_cache_hits: usize,
+    units_compiled: usize,
+}
+
+#[derive(Serialize)]
+struct ScaleResult {
+    num_nodes: usize,
+    mobile_nodes: usize,
+    epochs: usize,
+    universe_links: usize,
+    components: usize,
+    /// Aggregate reuse over all epoch transitions of the full-universe
+    /// instance chain.
+    dirty_links: usize,
+    units_reused: usize,
+    unit_cache_hits: usize,
+    units_compiled: usize,
+    full_recompiles: usize,
+    /// Total wall time of the instance chain over all epoch transitions.
+    incremental_ns: u64,
+    scratch_ns: u64,
+    /// scratch_ns / incremental_ns.
+    speedup: f64,
+    /// Re-admission quality (sink-tree demand matrix per epoch).
+    flows_attempted: usize,
+    flows_admitted: usize,
+    session: SessionCounters,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    command: &'static str,
+    seed: u64,
+    area_per_node_m2: f64,
+    mobile_fraction: f64,
+    results: Vec<ScaleResult>,
+}
+
+fn options() -> AvailableBandwidthOptions {
+    AvailableBandwidthOptions {
+        solver: SolverKind::ColumnGeneration,
+        decompose: true,
+        ..AvailableBandwidthOptions::default()
+    }
+}
+
+/// Pre-generates the trace: one snapshot per epoch plus the delta between
+/// consecutive snapshots (exact for geometric models).
+fn trace(config: &ScaleConfig) -> (Vec<SinrModel>, Vec<TopologyDelta>, usize) {
+    let side = (config.num_nodes as f64 * AREA_PER_NODE_M2).sqrt();
+    let waypoint = WaypointConfig {
+        width: side,
+        height: side,
+        num_nodes: config.num_nodes,
+        mobile_fraction: MOBILE_FRACTION,
+        speed_min: 1.0,
+        speed_max: 5.0,
+        epoch_seconds: 10.0,
+        seed: SEED,
+    };
+    let mut mobility = WaypointMobility::new(waypoint);
+    let mobile = mobility.mobile_nodes().len();
+    let mut models = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        if epoch > 0 {
+            mobility.advance();
+        }
+        models.push(mobility.snapshot());
+    }
+    let deltas = models
+        .windows(2)
+        .map(|w| TopologyDelta::between(&w[0], &w[1]))
+        .collect();
+    (models, deltas, mobile)
+}
+
+/// Draws up to `flows` demand pairs as endpoints of distinct live links —
+/// 1-hop routable by construction, so the admission experiment measures
+/// capacity and interference rather than the (sparse) field's
+/// connectivity. Contention is real: several flows landing in one conflict
+/// component compete for its airtime.
+fn link_demands<M: LinkRateModel>(model: &M, flows: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut alive: Vec<(NodeId, NodeId)> = model
+        .topology()
+        .links()
+        .filter(|l| !model.alone_rates(l.id()).is_empty())
+        .map(|l| (l.tx(), l.rx()))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let take = flows.min(alive.len());
+    // Partial Fisher-Yates: the first `take` slots are a uniform sample
+    // without replacement.
+    for i in 0..take {
+        let j = rng.gen_range(i..alive.len());
+        alive.swap(i, j);
+    }
+    alive.truncate(take);
+    alive
+}
+
+/// Asserts two compiled instances are the same artifact: equal component
+/// partitions and pairwise-equal unit content hashes (hash equality is byte
+/// equality under deterministic compilation).
+fn assert_identical(incremental: &CompiledInstance, scratch: &CompiledInstance, epoch: usize) {
+    assert_eq!(
+        incremental.components(),
+        scratch.components(),
+        "epoch {epoch}: component partitions diverge"
+    );
+    for (i, (a, b)) in incremental.units().iter().zip(scratch.units()).enumerate() {
+        assert_eq!(
+            a.content_hash(),
+            b.content_hash(),
+            "epoch {epoch}: unit {i} diverges from the fresh compile"
+        );
+    }
+    assert_eq!(incremental.num_columns(), scratch.num_columns());
+}
+
+/// Asserts the warm (epoch-threaded session) and cold admission outcomes
+/// agree flow-for-flow, bandwidth bits included.
+fn assert_flows_identical(warm: &[FlowOutcome], cold: &[FlowOutcome], epoch: usize) {
+    assert_eq!(warm.len(), cold.len(), "epoch {epoch}: flow counts diverge");
+    for (w, c) in warm.iter().zip(cold) {
+        assert_eq!(
+            w.admitted, c.admitted,
+            "epoch {epoch} flow {}: admission diverges",
+            w.index
+        );
+        assert_eq!(
+            w.available_mbps.to_bits(),
+            c.available_mbps.to_bits(),
+            "epoch {epoch} flow {}: available bandwidth diverges ({} vs {})",
+            w.index,
+            w.available_mbps,
+            c.available_mbps
+        );
+    }
+}
+
+fn run_scale(config: &ScaleConfig) -> ScaleResult {
+    let (models, deltas, mobile_nodes) = trace(config);
+    let options = options();
+    // The instance universe is fixed at epoch 0's link table; links that
+    // appear later stay outside it, links that drift out of range stay in
+    // it as dead (empty-rate) members — ids never renumber.
+    let universe: Vec<LinkId> = (0..models[0].topology().num_links())
+        .map(LinkId::from_index)
+        .collect();
+
+    // Recompile-latency walk: chained apply_delta vs per-epoch compile.
+    let mut instance =
+        CompiledInstance::compile(&models[0], &universe, &options).expect("epoch 0 compiles");
+    let components = instance.components().len();
+    let mut cache = UnitCache::new(DEFAULT_RETENTION_EPOCHS);
+    let mut reuse_total = DeltaReuse::default();
+    let mut incremental_ns = 0u64;
+    let mut scratch_ns = 0u64;
+    for (epoch, delta) in deltas.iter().enumerate() {
+        let model = &models[epoch + 1];
+        let t = Instant::now();
+        let (next, reuse) = instance
+            .apply_delta(model, delta, &mut cache)
+            .expect("mobility never removes universe links");
+        cache.end_epoch();
+        incremental_ns += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        let scratch = CompiledInstance::compile(model, &universe, &options).expect("fresh compile");
+        scratch_ns += t.elapsed().as_nanos() as u64;
+        assert_identical(&next, &scratch, epoch + 1);
+        reuse_total.absorb(reuse);
+        instance = next;
+    }
+
+    // Re-admission walk: warm epoch-threaded session vs cold per-epoch
+    // admission over the same sink-tree demand matrices.
+    let admission = AdmissionConfig {
+        demand_mbps: 2.0,
+        stop_on_first_failure: false,
+        available_options: options,
+    };
+    let policy = RoutePolicy::Additive(RoutingMetric::E2eTransmissionDelay);
+    let mut runner = EpochRunner::new(&models[0], policy, admission);
+    let mut flows_attempted = 0;
+    let mut flows_admitted = 0;
+    for (epoch, model) in models.iter().enumerate() {
+        let pairs = link_demands(model, config.flows, SEED ^ epoch as u64);
+        let delta = (epoch > 0).then(|| &deltas[epoch - 1]);
+        let warm = runner
+            .run_epoch(model, delta, &pairs)
+            .expect("admission solves");
+        let cold = admit_sequentially_with_policy(model, &pairs, policy, &admission)
+            .expect("admission solves");
+        assert_flows_identical(&warm.outcomes, &cold, epoch);
+        flows_attempted += warm.attempted;
+        flows_admitted += warm.admitted;
+    }
+    let stats = runner.stats();
+
+    ScaleResult {
+        num_nodes: config.num_nodes,
+        mobile_nodes,
+        epochs: config.epochs,
+        universe_links: universe.len(),
+        components,
+        dirty_links: reuse_total.dirty_links,
+        units_reused: reuse_total.units_reused,
+        unit_cache_hits: reuse_total.unit_cache_hits,
+        units_compiled: reuse_total.units_compiled,
+        full_recompiles: reuse_total.full_recompiles,
+        incremental_ns,
+        scratch_ns,
+        speedup: scratch_ns as f64 / incremental_ns.max(1) as f64,
+        flows_attempted,
+        flows_admitted,
+        session: SessionCounters {
+            compiles: stats.compiles,
+            warm_queries: stats.warm_queries,
+            delta_applications: stats.delta_applications,
+            units_reused: stats.delta_reuse.units_reused,
+            unit_cache_hits: stats.delta_reuse.unit_cache_hits,
+            units_compiled: stats.delta_reuse.units_compiled,
+        },
+    }
+}
+
+fn print_result(r: &ScaleResult) {
+    println!(
+        "{:>3} nodes ({:>2} mobile), {:>4} links / {:>3} components: \
+         incremental {:>11} ns, scratch {:>11} ns ({:.1}x); \
+         reuse {}+{} cached of {} units; admitted {}/{}",
+        r.num_nodes,
+        r.mobile_nodes,
+        r.universe_links,
+        r.components,
+        r.incremental_ns,
+        r.scratch_ns,
+        r.speedup,
+        r.units_reused,
+        r.unit_cache_hits,
+        r.units_reused + r.unit_cache_hits + r.units_compiled,
+        r.flows_admitted,
+        r.flows_attempted,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        let result = run_scale(&SMOKE);
+        print_result(&result);
+        assert!(
+            result.speedup > 1.0,
+            "incremental recompilation is not ahead of from-scratch: {:.2}x",
+            result.speedup
+        );
+        println!(
+            "mobility_bench smoke ok: answers bit-identical, incremental {:.1}x from-scratch",
+            result.speedup
+        );
+        return;
+    }
+
+    let results: Vec<ScaleResult> = SCALES.iter().map(run_scale).collect();
+    for r in &results {
+        print_result(r);
+    }
+    // The ISSUE's acceptance bar: ≥ 5x on the 300-node trace with ≤ 10%
+    // of nodes mobile.
+    let main = results.last().expect("300-node scale ran");
+    assert!(
+        main.mobile_nodes * 10 <= main.num_nodes,
+        "mobility exceeded the 10% bar: {}/{}",
+        main.mobile_nodes,
+        main.num_nodes
+    );
+    assert!(
+        main.speedup >= 5.0,
+        "incremental speedup at {} nodes is only {:.1}x",
+        main.num_nodes,
+        main.speedup
+    );
+    let report = Report {
+        bench: "mobility-incremental-vs-scratch",
+        command: "cargo run --release -p awb-bench --bin mobility_bench",
+        seed: SEED,
+        area_per_node_m2: AREA_PER_NODE_M2,
+        mobile_fraction: MOBILE_FRACTION,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_mobility.json", json + "\n").expect("write BENCH_mobility.json");
+    println!("wrote BENCH_mobility.json");
+}

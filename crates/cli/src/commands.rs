@@ -498,3 +498,150 @@ pub fn scenario2(args: &Args) -> CmdResult {
         println!("schedule:\n{}", view.schedule);
     })
 }
+
+#[derive(Serialize)]
+struct MobilityEpochOut {
+    epoch: usize,
+    links: usize,
+    attempted: usize,
+    admitted: usize,
+    dirty_links: usize,
+    units_reused: usize,
+    unit_cache_hits: usize,
+    units_compiled: usize,
+}
+
+#[derive(Serialize)]
+struct MobilityOut {
+    nodes: usize,
+    mobile_nodes: usize,
+    pattern: String,
+    epochs: Vec<MobilityEpochOut>,
+    compiles: usize,
+    warm_queries: usize,
+    delta_applications: usize,
+}
+
+/// `awb mobility` — epoch-driven re-admission over a random-waypoint trace:
+/// one compiled-query session is migrated across epochs by
+/// `Session::apply_delta`, recompiling only the conflict components each
+/// epoch's movers touched.
+pub fn mobility(args: &Args) -> CmdResult {
+    use awb_core::SolverKind;
+    use awb_net::TopologyDelta;
+    use awb_routing::{EpochRunner, RoutePolicy};
+    use awb_workloads::mobility::{demand_pairs, DemandPattern, WaypointConfig, WaypointMobility};
+
+    let pattern_name = args.get("pattern").unwrap_or("sink");
+    let pattern = match pattern_name {
+        "sink" => DemandPattern::SinkTree,
+        "hot" => DemandPattern::HotDest,
+        "unidir" => DemandPattern::Unidir,
+        "bidir" => DemandPattern::Bidir,
+        other => {
+            return Err(format!(
+                "unknown --pattern {other:?} (expected sink, hot, unidir, or bidir)"
+            )
+            .into())
+        }
+    };
+    let default = WaypointConfig::default();
+    let speed = args.get_or("speed", 0.0f64)?;
+    let config = WaypointConfig {
+        width: args.get_or("width", default.width)?,
+        height: args.get_or("height", default.height)?,
+        num_nodes: args.get_or("nodes", default.num_nodes)?,
+        mobile_fraction: args.get_or("mobile", default.mobile_fraction)?,
+        speed_min: if speed > 0.0 {
+            speed
+        } else {
+            default.speed_min
+        },
+        speed_max: if speed > 0.0 {
+            speed
+        } else {
+            default.speed_max
+        },
+        epoch_seconds: args.get_or("epoch-seconds", default.epoch_seconds)?,
+        seed: args.get_or("seed", default.seed)?,
+    };
+    let epochs = args.get_or("epochs", 6usize)?;
+    let flows = args.get_or("flows", 6usize)?;
+    let mut trace = WaypointMobility::new(config);
+    let mobile_nodes = trace.mobile_nodes().len();
+    let mut models = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        if epoch > 0 {
+            trace.advance();
+        }
+        models.push(trace.snapshot());
+    }
+    let deltas: Vec<TopologyDelta> = models
+        .windows(2)
+        .map(|w| TopologyDelta::between(&w[0], &w[1]))
+        .collect();
+    let admission = AdmissionConfig {
+        demand_mbps: args.get_or("demand", 2.0f64)?,
+        stop_on_first_failure: false,
+        available_options: AvailableBandwidthOptions {
+            solver: SolverKind::ColumnGeneration,
+            decompose: true,
+            ..AvailableBandwidthOptions::default()
+        },
+    };
+    let policy = RoutePolicy::Additive(RoutingMetric::AverageE2eDelay);
+    let mut runner = EpochRunner::new(&models[0], policy, admission);
+    let mut rows = Vec::with_capacity(epochs);
+    for (epoch, model) in models.iter().enumerate() {
+        let pairs = demand_pairs(model.topology(), pattern, flows, config.seed ^ epoch as u64);
+        let delta = (epoch > 0).then(|| &deltas[epoch - 1]);
+        let outcome = runner.run_epoch(model, delta, &pairs)?;
+        rows.push(MobilityEpochOut {
+            epoch,
+            links: model.topology().num_links(),
+            attempted: outcome.attempted,
+            admitted: outcome.admitted,
+            dirty_links: outcome.reuse.dirty_links,
+            units_reused: outcome.reuse.units_reused,
+            unit_cache_hits: outcome.reuse.unit_cache_hits,
+            units_compiled: outcome.reuse.units_compiled,
+        });
+    }
+    let stats = runner.stats();
+    let out = MobilityOut {
+        nodes: config.num_nodes,
+        mobile_nodes,
+        pattern: pattern_name.to_string(),
+        epochs: rows,
+        compiles: stats.compiles,
+        warm_queries: stats.warm_queries,
+        delta_applications: stats.delta_applications,
+    };
+    emit(args, &out, || {
+        println!(
+            "{} nodes ({} mobile), {} demand, {} epochs:",
+            out.nodes,
+            out.mobile_nodes,
+            out.pattern,
+            out.epochs.len()
+        );
+        for e in &out.epochs {
+            println!(
+                "  epoch {}: {:>3} links, admitted {}/{}, delta dirtied {} links \
+                 (reused {} + {} cached, compiled {} units)",
+                e.epoch,
+                e.links,
+                e.admitted,
+                e.attempted,
+                e.dirty_links,
+                e.units_reused,
+                e.unit_cache_hits,
+                e.units_compiled,
+            );
+        }
+        println!(
+            "session: {} compiles, {} warm queries, {} delta applications",
+            out.compiles, out.warm_queries, out.delta_applications
+        );
+    })
+}

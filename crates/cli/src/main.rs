@@ -9,6 +9,9 @@
 //!               [--seed 7] [--pairs-seed 5] [--json]
 //! awb simulate  [--hops 3] [--hop-length 70] [--slots 50000] [--demand sat]
 //!               [--contention ordered|p0.5|dcf] [--json]
+//! awb mobility  [--nodes 30] [--epochs 6] [--mobile 0.1] [--speed M/S]
+//!               [--pattern sink|hot|unidir|bidir] [--flows 6] [--demand 2]
+//!               [--seed 7] [--json]
 //! awb scenario2 [--json]
 //! awb serve     [--addr 127.0.0.1:4810] [--workers N] [--queue N] [--stdio]
 //!               [--blocking] [--shards 8] [--max-frame BYTES] [--drain-ms 5000]
@@ -33,6 +36,10 @@ commands:
   available   available bandwidth of an n-hop chain (Eq. 6), with bottlenecks
   admission   sequential flow admission on the random topology (Fig. 3)
   simulate    run the CSMA/CA simulator on a chain
+  mobility    epoch-driven re-admission over a random-waypoint trace
+              (incremental recompilation via Session::apply_delta;
+              --pattern picks the demand matrix, --mobile the moving
+              fraction, --speed pins the waypoint leg speed)
   scenario2   the paper's clique-invalidity counterexample (16.2 Mbps)
   serve       run the admission-control daemon (JSON lines over TCP;
               nonblocking reactor by default — SIGTERM drains and exits 0;
@@ -64,6 +71,7 @@ fn main() -> ExitCode {
         "available" => commands::available(&args),
         "admission" => commands::admission(&args),
         "simulate" => commands::simulate(&args),
+        "mobility" => commands::mobility(&args),
         "scenario2" => commands::scenario2(&args),
         "serve" => commands::serve(&args),
         "query" => commands::query(&args),

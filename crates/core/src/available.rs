@@ -295,7 +295,7 @@ pub fn available_bandwidth<M: LinkRateModel>(
 /// schedule independently), whose witness schedules are superimposed
 /// afterwards.
 pub(crate) fn solve_decomposed_with_pools(
-    pools: &[Vec<RatedSet>],
+    pools: &[&[RatedSet]],
     components: &[Vec<LinkId>],
     universe: &[LinkId],
     demand: &[f64],
@@ -382,7 +382,7 @@ pub(crate) fn solve_decomposed_with_pools(
         bandwidth_mbps: solution.objective(),
         schedule,
         universe: universe.to_vec(),
-        num_sets: pools.iter().map(Vec::len).sum(),
+        num_sets: pools.iter().map(|p| p.len()).sum(),
         lp_pivots: solution.pivots(),
         airtime_dual,
         link_scarcity,

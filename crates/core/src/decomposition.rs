@@ -19,27 +19,21 @@ use crate::schedule::Schedule;
 use awb_net::{LinkId, LinkRateModel};
 use awb_sets::RatedSet;
 
-/// Partitions `universe` into connected components of the potential-conflict
-/// graph: two links are adjacent iff **some** pair of their alone rates
-/// conflicts. Dead links form singleton components.
+/// The symmetric potential-conflict adjacency of `universe` as per-row
+/// bitsets: row `i` has bit `j` set iff **some** pair of alone rates of
+/// `universe[i]` and `universe[j]` conflicts.
 ///
-/// Components are returned with their links sorted, ordered by smallest
-/// member.
-pub fn potential_conflict_components<M: LinkRateModel>(
+/// This is the pairwise half of [`potential_conflict_components`], split out
+/// so that incremental recompilation (`apply_delta`) can recompute only the
+/// rows of links a delta touched and splice them into a stored adjacency.
+pub fn potential_conflict_adjacency<M: LinkRateModel>(
     model: &M,
     universe: &[LinkId],
-) -> Vec<Vec<LinkId>> {
+) -> Vec<Vec<u64>> {
     let n = universe.len();
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-        if parent[i] != i {
-            let root = find(parent, parent[i]);
-            parent[i] = root;
-        }
-        parent[i]
-    }
+    let words = n.div_ceil(64);
+    let mut adj = vec![vec![0u64; words]; n];
     let rates: Vec<Vec<awb_phy::Rate>> = universe.iter().map(|&l| model.alone_rates(l)).collect();
-    #[allow(clippy::needless_range_loop)] // i/j jointly index two arrays
     for i in 0..n {
         for j in (i + 1)..n {
             let conflicting = rates[i].iter().any(|&ra| {
@@ -48,6 +42,41 @@ pub fn potential_conflict_components<M: LinkRateModel>(
                     .any(|&rb| model.conflicts((universe[i], ra), (universe[j], rb)))
             });
             if conflicting {
+                adj[i][j / 64] |= 1 << (j % 64);
+                adj[j][i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
+    adj
+}
+
+/// Connected components of a potential-conflict adjacency (as produced by
+/// [`potential_conflict_adjacency`]) over `universe`. Dead links form
+/// singleton components.
+///
+/// Components are returned with their links sorted, ordered by smallest
+/// member — the exact partition and ordering of
+/// [`potential_conflict_components`].
+pub fn components_from_adjacency(universe: &[LinkId], adjacency: &[Vec<u64>]) -> Vec<Vec<LinkId>> {
+    let n = universe.len();
+    assert_eq!(adjacency.len(), n, "adjacency rows must match universe");
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for (i, row) in adjacency.iter().enumerate() {
+        for (w, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let j = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if j <= i {
+                    continue; // symmetric: each edge unions once, as (i, j>i)
+                }
                 let (a, b) = (find(&mut parent, i), find(&mut parent, j));
                 if a != b {
                     parent[a] = b;
@@ -66,6 +95,19 @@ pub fn potential_conflict_components<M: LinkRateModel>(
     }
     out.sort_by_key(|g| g[0]);
     out
+}
+
+/// Partitions `universe` into connected components of the potential-conflict
+/// graph: two links are adjacent iff **some** pair of their alone rates
+/// conflicts. Dead links form singleton components.
+///
+/// Components are returned with their links sorted, ordered by smallest
+/// member.
+pub fn potential_conflict_components<M: LinkRateModel>(
+    model: &M,
+    universe: &[LinkId],
+) -> Vec<Vec<LinkId>> {
+    components_from_adjacency(universe, &potential_conflict_adjacency(model, universe))
 }
 
 /// Superimposes per-component schedules that run in *parallel* (their links

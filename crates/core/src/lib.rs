@@ -16,7 +16,11 @@
 //! * [`Session`] / [`CompiledInstance`] — the compile-once / query-many
 //!   split: per-universe compiled state (enumerated set pools, pricing
 //!   oracles, seed columns) cached across many Eq. 6 queries, bit-for-bit
-//!   identical to the one-shot functions.
+//!   identical to the one-shot functions. Instances are assemblies of
+//!   content-hashed per-component [`CompiledUnit`]s, and
+//!   `CompiledInstance::apply_delta` migrates them across topology changes
+//!   ([`awb_net::TopologyDelta`]) by recompiling only the touched
+//!   components.
 //! * [`bounds`] — the Eq. 7 fixed-rate clique bounds, the corrected Eq. 9
 //!   upper bound (the clique constraint itself being *invalid* under link
 //!   adaptation is demonstrated in this workspace's Scenario II tests), and
@@ -63,6 +67,7 @@ pub mod feasibility;
 mod flow;
 mod schedule;
 mod session;
+mod units;
 
 pub use available::{
     available_bandwidth, available_bandwidth_with_sets, link_universe, path_capacity,
@@ -75,3 +80,4 @@ pub use error::CoreError;
 pub use flow::Flow;
 pub use schedule::Schedule;
 pub use session::{CompiledInstance, Session, SessionStats};
+pub use units::{CompiledUnit, DeltaReuse, UnitCache, DEFAULT_RETENTION_EPOCHS};

@@ -1,0 +1,329 @@
+//! Property tests for incremental recompilation: random delta sequences
+//! applied through `CompiledInstance::apply_delta` must be bit-identical
+//! to compiling the post-delta model from scratch — for both solvers, for
+//! declarative and SINR models — and components the delta did not touch
+//! must be reused structurally (same `Arc`, same content hash), never
+//! recompiled.
+
+use awb_core::{
+    AvailableBandwidthOptions, CompiledInstance, DeltaReuse, SolverKind, UnitCache,
+    DEFAULT_RETENTION_EPOCHS,
+};
+use awb_net::{
+    DeclarativeModel, LinkId, LinkRateModel, NodeId, Path, SinrModel, Topology, TopologyDelta,
+};
+use awb_phy::{Phy, Rate};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn options(solver: SolverKind) -> AvailableBandwidthOptions {
+    AvailableBandwidthOptions {
+        solver,
+        decompose: true,
+        ..AvailableBandwidthOptions::default()
+    }
+}
+
+const SOLVERS: [SolverKind; 2] = [SolverKind::FullEnumeration, SolverKind::ColumnGeneration];
+
+/// Asserts the incremental and fresh instances are the same compiled
+/// artifact: identical partition, identical per-unit content hashes (hash
+/// equality implies byte equality under deterministic compilation), and a
+/// bit-identical answer to the same query.
+fn assert_bit_identical<M: LinkRateModel>(
+    model: &M,
+    incremental: &CompiledInstance,
+    fresh: &CompiledInstance,
+    path: &Path,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(incremental.components(), fresh.components());
+    for (a, b) in incremental.units().iter().zip(fresh.units()) {
+        prop_assert_eq!(a.content_hash(), b.content_hash());
+        prop_assert_eq!(a.num_columns(), b.num_columns());
+    }
+    prop_assert_eq!(incremental.num_columns(), fresh.num_columns());
+    let warm = incremental.query(model, &[], path);
+    let cold = fresh.query(model, &[], path);
+    match (warm, cold) {
+        (Ok(w), Ok(c)) => {
+            prop_assert_eq!(
+                w.bandwidth_mbps().to_bits(),
+                c.bandwidth_mbps().to_bits(),
+                "incremental {} vs fresh {}",
+                w.bandwidth_mbps(),
+                c.bandwidth_mbps()
+            );
+        }
+        (Err(w), Err(c)) => prop_assert_eq!(w.to_string(), c.to_string()),
+        (w, c) => {
+            return Err(TestCaseError::fail(format!(
+                "divergent outcomes: warm {w:?} vs cold {c:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// SINR: a random mobile network. Nodes move between epochs; the honest
+// delta comes from `TopologyDelta::between` (exact for geometric models).
+// ---------------------------------------------------------------------------
+
+/// `pairs` disjoint tx→rx links on an integer grid, plus a sequence of
+/// epochs, each moving a subset of nodes to new grid positions.
+#[derive(Debug, Clone)]
+struct SinrTrace {
+    positions: Vec<(f64, f64)>,
+    epochs: Vec<Vec<(usize, f64, f64)>>,
+}
+
+fn grid_pos() -> impl Strategy<Value = (f64, f64)> {
+    // Coarse integer grid: keeps geometry reproducible and spans the
+    // interesting range from "same collision domain" to "independent".
+    (0i32..12, 0i32..12).prop_map(|(x, y)| (f64::from(x) * 30.0, f64::from(y) * 30.0))
+}
+
+fn sinr_trace() -> impl Strategy<Value = SinrTrace> {
+    (2usize..=4).prop_flat_map(|pairs| {
+        let nodes = pairs * 2;
+        (
+            proptest::collection::vec(grid_pos(), nodes),
+            proptest::collection::vec(
+                proptest::collection::vec((0..nodes, grid_pos()), 0..=3).prop_map(|moves| {
+                    moves
+                        .into_iter()
+                        .map(|(n, (x, y))| (n, x, y))
+                        .collect::<Vec<_>>()
+                }),
+                1..=3,
+            ),
+        )
+            .prop_map(|(positions, epochs)| SinrTrace { positions, epochs })
+    })
+}
+
+fn sinr_model(positions: &[(f64, f64)]) -> SinrModel {
+    let mut t = Topology::new();
+    let ids: Vec<NodeId> = positions.iter().map(|&(x, y)| t.add_node(x, y)).collect();
+    for pair in ids.chunks(2) {
+        t.add_link(pair[0], pair[1]).expect("fresh node pair");
+    }
+    SinrModel::new(t, Phy::paper_default())
+}
+
+// ---------------------------------------------------------------------------
+// Declarative: disjoint links under a fixed random conflict graph; epochs
+// rewrite rate lists (including killing links — empty list). The honest
+// delta again comes from `TopologyDelta::between`, which sees alone-rate
+// edits; the conflict statements never change, so its declarative blind
+// spot is not exercised dishonestly.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct DeclarativeTrace {
+    links: usize,
+    rates: Vec<Vec<f64>>,
+    conflicts: Vec<(usize, usize)>,
+    epochs: Vec<Vec<(usize, Vec<f64>)>>,
+}
+
+/// A rate list drawn as a bitmask over a fixed menu; `alive` forces it
+/// non-empty (links 0 and 1 stay alive so the query path and background
+/// flow always exist).
+fn rate_list(alive: bool) -> impl Strategy<Value = Vec<f64>> {
+    let lo = u8::from(alive);
+    (lo..8u8).prop_map(|mask| {
+        const MENU: [f64; 3] = [54.0, 36.0, 18.0];
+        MENU.iter()
+            .enumerate()
+            .filter(|&(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &r)| r)
+            .collect()
+    })
+}
+
+fn declarative_trace() -> impl Strategy<Value = DeclarativeTrace> {
+    (3usize..=5).prop_flat_map(|links| {
+        let rates = proptest::collection::vec(rate_list(true), links);
+        let all_pairs: Vec<(usize, usize)> = (0..links)
+            .flat_map(|i| ((i + 1)..links).map(move |j| (i, j)))
+            .collect();
+        let n_pairs = all_pairs.len();
+        let conflicts = proptest::collection::vec(any::<bool>(), n_pairs).prop_map(move |mask| {
+            all_pairs
+                .iter()
+                .zip(&mask)
+                .filter(|&(_, &keep)| keep)
+                .map(|(&p, _)| p)
+                .collect::<Vec<_>>()
+        });
+        let epoch = proptest::collection::vec(
+            (0..links).prop_flat_map(move |l| rate_list(l < 2).prop_map(move |rates| (l, rates))),
+            1..=3,
+        );
+        let epochs = proptest::collection::vec(epoch, 1..=3);
+        (rates, conflicts, epochs).prop_map(move |(rates, conflicts, epochs)| DeclarativeTrace {
+            links,
+            rates,
+            conflicts,
+            epochs,
+        })
+    })
+}
+
+fn declarative_model(trace: &DeclarativeTrace, rates: &[Vec<f64>]) -> DeclarativeModel {
+    let mut t = Topology::new();
+    let links: Vec<LinkId> = (0..trace.links)
+        .map(|i| {
+            let a = t.add_node(i as f64 * 100.0, 0.0);
+            let b = t.add_node(i as f64 * 100.0 + 50.0, 0.0);
+            t.add_link(a, b).expect("fresh node pair")
+        })
+        .collect();
+    let mut b = DeclarativeModel::builder(t);
+    for (i, list) in rates.iter().enumerate() {
+        let list: Vec<Rate> = list.iter().map(|&m| Rate::from_mbps(m)).collect();
+        b = b.alone_rates(links[i], &list);
+    }
+    for &(i, j) in &trace.conflicts {
+        b = b.conflict_all(links[i], links[j]);
+    }
+    b.build()
+}
+
+fn apply_epoch(rates: &mut [Vec<f64>], epoch: &[(usize, Vec<f64>)]) {
+    for (link, list) in epoch {
+        rates[*link] = list.clone();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SINR mobility: chained deltas stay bit-identical to fresh compiles
+    /// across every epoch, for both solvers.
+    #[test]
+    fn sinr_delta_sequences_match_fresh_compiles(trace in sinr_trace()) {
+        for solver in SOLVERS {
+            let opts = options(solver);
+            let mut positions = trace.positions.clone();
+            let mut model = sinr_model(&positions);
+            let universe: Vec<LinkId> =
+                (0..positions.len() / 2).map(LinkId::from_index).collect();
+            let path = Path::new(model.topology(), vec![LinkId::from_index(0)])
+                .expect("link 0 exists");
+            let mut instance = CompiledInstance::compile(&model, &universe, &opts)
+                .expect("initial compile succeeds");
+            let mut cache = UnitCache::new(DEFAULT_RETENTION_EPOCHS);
+            for moves in &trace.epochs {
+                let mut next = positions.clone();
+                for &(n, x, y) in moves {
+                    next[n] = (x, y);
+                }
+                let new_model = sinr_model(&next);
+                let delta = TopologyDelta::between(&model, &new_model);
+                let (incremental, _reuse) = instance
+                    .apply_delta(&new_model, &delta, &mut cache)
+                    .expect("delta keeps the universe alive");
+                cache.end_epoch();
+                let fresh = CompiledInstance::compile(&new_model, &universe, &opts)
+                    .expect("fresh compile succeeds");
+                assert_bit_identical(&new_model, &incremental, &fresh, &path)?;
+                positions = next;
+                model = new_model;
+                instance = incremental;
+            }
+        }
+    }
+
+    /// Declarative rate churn (including link death and resurrection):
+    /// chained deltas stay bit-identical to fresh compiles.
+    #[test]
+    fn declarative_delta_sequences_match_fresh_compiles(trace in declarative_trace()) {
+        for solver in SOLVERS {
+            let opts = options(solver);
+            let mut rates = trace.rates.clone();
+            let mut model = declarative_model(&trace, &rates);
+            let universe: Vec<LinkId> = (0..trace.links).map(LinkId::from_index).collect();
+            let path = Path::new(model.topology(), vec![LinkId::from_index(0)])
+                .expect("link 0 exists");
+            let mut instance = CompiledInstance::compile(&model, &universe, &opts)
+                .expect("initial compile succeeds");
+            let mut cache = UnitCache::new(DEFAULT_RETENTION_EPOCHS);
+            for epoch in &trace.epochs {
+                let mut next = rates.clone();
+                apply_epoch(&mut next, epoch);
+                let new_model = declarative_model(&trace, &next);
+                let delta = TopologyDelta::between(&model, &new_model);
+                let (incremental, _reuse) = instance
+                    .apply_delta(&new_model, &delta, &mut cache)
+                    .expect("delta keeps the universe alive");
+                cache.end_epoch();
+                let fresh = CompiledInstance::compile(&new_model, &universe, &opts)
+                    .expect("fresh compile succeeds");
+                assert_bit_identical(&new_model, &incremental, &fresh, &path)?;
+                rates = next;
+                model = new_model;
+                instance = incremental;
+            }
+        }
+    }
+
+    /// Component locality: a component whose membership is unchanged and
+    /// whose members the delta did not touch is the *same `Arc`* as before
+    /// — structurally reused, never rehashed or recompiled.
+    #[test]
+    fn untouched_components_are_arc_identical(trace in declarative_trace()) {
+        let opts = options(SolverKind::FullEnumeration);
+        let rates = trace.rates.clone();
+        let model = declarative_model(&trace, &rates);
+        let universe: Vec<LinkId> = (0..trace.links).map(LinkId::from_index).collect();
+        let instance = CompiledInstance::compile(&model, &universe, &opts)
+            .expect("initial compile succeeds");
+        let mut cache = UnitCache::new(DEFAULT_RETENTION_EPOCHS);
+        let epoch = &trace.epochs[0];
+        let mut next = rates.clone();
+        apply_epoch(&mut next, epoch);
+        let new_model = declarative_model(&trace, &next);
+        let delta = TopologyDelta::between(&model, &new_model);
+        let touched = delta.touched_links(new_model.topology());
+        let (incremental, reuse) = instance
+            .apply_delta(&new_model, &delta, &mut cache)
+            .expect("delta keeps the universe alive");
+        let mut expected_reused = 0usize;
+        for (component, unit) in incremental.components().iter().zip(incremental.units()) {
+            let untouched = component.iter().all(|l| touched.binary_search(l).is_err());
+            let old_idx = instance.components().iter().position(|c| c == component);
+            if let (true, Some(old_idx)) = (untouched, old_idx) {
+                prop_assert!(
+                    Arc::ptr_eq(unit, &instance.units()[old_idx]),
+                    "untouched component {component:?} was rebuilt"
+                );
+                prop_assert_eq!(
+                    unit.content_hash(),
+                    instance.units()[old_idx].content_hash()
+                );
+                expected_reused += 1;
+            }
+        }
+        prop_assert_eq!(reuse.units_reused, expected_reused);
+        prop_assert_eq!(
+            reuse.units_reused + reuse.unit_cache_hits + reuse.units_compiled,
+            incremental.units().len()
+        );
+        // An empty delta reuses everything wholesale.
+        let (same, reuse) = incremental
+            .apply_delta(&new_model, &TopologyDelta::default(), &mut cache)
+            .expect("empty delta");
+        prop_assert_eq!(
+            reuse,
+            DeltaReuse {
+                units_reused: incremental.units().len(),
+                ..DeltaReuse::default()
+            }
+        );
+        for (a, b) in same.units().iter().zip(incremental.units()) {
+            prop_assert!(Arc::ptr_eq(a, b));
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Topology deltas: the declarative description of *what changed* between
+//! two epochs of a dynamic topology.
+//!
+//! A [`TopologyDelta`] names the nodes that moved, joined or left and the
+//! links whose rate capabilities changed (plus structural link additions and
+//! removals). It is the input of the incremental recompilation path in
+//! `awb-core` (`CompiledInstance::apply_delta`): only conflict components
+//! touched by [`TopologyDelta::touched_links`] are recompiled; everything
+//! else is structurally reused.
+//!
+//! # Honesty contract
+//!
+//! Incremental recompilation trusts the delta: a component with no touched
+//! member is reused **without** re-deriving its conflict structure. A delta
+//! that under-reports changes (e.g. omits a moved node) therefore yields a
+//! stale compiled state. [`TopologyDelta::between`] derives an honest delta
+//! from two model snapshots by diffing node positions and per-link alone
+//! rates; for [`DeclarativeModel`](crate::DeclarativeModel)s whose *conflict
+//! statements* changed without any alone-rate change, callers must list the
+//! affected links in [`rate_changed_links`](TopologyDelta::rate_changed_links)
+//! themselves — position/rate diffing cannot see postulated conflicts.
+
+use crate::ids::{LinkId, NodeId};
+use crate::model::LinkRateModel;
+use crate::topology::Topology;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_u64(hash: u64, value: u64) -> u64 {
+    let mut h = hash;
+    for byte in value.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A declarative description of the change between two topology epochs, in
+/// terms of stable node and link ids.
+///
+/// Construct directly (the fields are public) or derive from two model
+/// snapshots with [`TopologyDelta::between`]. Field order and duplicates are
+/// irrelevant: every consumer normalizes (sorts and deduplicates) first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopologyDelta {
+    /// Nodes whose position changed.
+    pub moved_nodes: Vec<NodeId>,
+    /// Nodes that exist in the new epoch but not the old one.
+    pub joined_nodes: Vec<NodeId>,
+    /// Nodes that exist in the old epoch but not the new one.
+    pub left_nodes: Vec<NodeId>,
+    /// Links whose alone-rate capability changed (including links that died
+    /// — empty alone rates — or came alive).
+    pub rate_changed_links: Vec<LinkId>,
+    /// Links that exist in the new epoch but not the old one.
+    pub added_links: Vec<LinkId>,
+    /// Links that exist in the old epoch but not the new one.
+    pub removed_links: Vec<LinkId>,
+}
+
+impl TopologyDelta {
+    /// Whether the delta describes no change at all.
+    pub fn is_empty(&self) -> bool {
+        self.moved_nodes.is_empty()
+            && self.joined_nodes.is_empty()
+            && self.left_nodes.is_empty()
+            && self.rate_changed_links.is_empty()
+            && self.added_links.is_empty()
+            && self.removed_links.is_empty()
+    }
+
+    /// Sorts and deduplicates every field in place.
+    pub fn normalize(&mut self) {
+        fn norm<T: Ord>(v: &mut Vec<T>) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        norm(&mut self.moved_nodes);
+        norm(&mut self.joined_nodes);
+        norm(&mut self.left_nodes);
+        norm(&mut self.rate_changed_links);
+        norm(&mut self.added_links);
+        norm(&mut self.removed_links);
+    }
+
+    /// Derives the delta between two snapshots of the *same logical network*
+    /// under a stable id scheme: node `i` of `old` and node `i` of `new` are
+    /// the same node, likewise for links.
+    ///
+    /// Nodes are diffed by position (exact float comparison — an unmoved
+    /// node carried forward bit-identically does not register); links are
+    /// diffed by their alone-rate lists. Indices beyond the other snapshot's
+    /// count become joins/leaves (nodes) or additions/removals (links).
+    ///
+    /// This is exact for geometry-derived models
+    /// ([`SinrModel`](crate::SinrModel)): there, conflicts are a pure
+    /// function of positions and the radio, both of which the diff observes.
+    /// See the module docs for the declarative-model caveat.
+    pub fn between<A: LinkRateModel, B: LinkRateModel>(old: &A, new: &B) -> TopologyDelta {
+        let (ot, nt) = (old.topology(), new.topology());
+        let mut delta = TopologyDelta::default();
+        let nodes = ot.num_nodes().max(nt.num_nodes());
+        for i in 0..nodes {
+            let id = NodeId::from_index(i);
+            match (ot.node(id), nt.node(id)) {
+                (Ok(a), Ok(b)) => {
+                    if a.position() != b.position() {
+                        delta.moved_nodes.push(id);
+                    }
+                }
+                (Err(_), Ok(_)) => delta.joined_nodes.push(id),
+                (Ok(_), Err(_)) => delta.left_nodes.push(id),
+                (Err(_), Err(_)) => {}
+            }
+        }
+        let links = ot.num_links().max(nt.num_links());
+        for i in 0..links {
+            let id = LinkId::from_index(i);
+            match (ot.link(id), nt.link(id)) {
+                (Ok(_), Ok(_)) => {
+                    if old.alone_rates(id) != new.alone_rates(id) {
+                        delta.rate_changed_links.push(id);
+                    }
+                }
+                (Err(_), Ok(_)) => delta.added_links.push(id),
+                (Ok(_), Err(_)) => delta.removed_links.push(id),
+                (Err(_), Err(_)) => {}
+            }
+        }
+        delta.normalize();
+        delta
+    }
+
+    /// Every link of `topology` whose compiled behavior the delta may have
+    /// affected: links incident to a moved/joined/left node, plus the
+    /// explicitly listed rate-changed, added and removed links. Sorted and
+    /// deduplicated.
+    ///
+    /// This deliberately over-approximates for additive-interference models:
+    /// a link is dirty if *either endpoint's node* changed, even when the
+    /// change did not actually alter any admissibility answer.
+    pub fn touched_links(&self, topology: &Topology) -> Vec<LinkId> {
+        let mut nodes: Vec<NodeId> = self
+            .moved_nodes
+            .iter()
+            .chain(&self.joined_nodes)
+            .chain(&self.left_nodes)
+            .copied()
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut out: Vec<LinkId> = self
+            .rate_changed_links
+            .iter()
+            .chain(&self.added_links)
+            .chain(&self.removed_links)
+            .copied()
+            .collect();
+        for link in topology.links() {
+            if nodes.binary_search(&link.tx()).is_ok() || nodes.binary_search(&link.rx()).is_ok() {
+                out.push(link.id());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// A content hash of the normalized delta (FNV-1a over every field) —
+    /// the key material for delta-chained caching: a cache entry for
+    /// `(instance, delta)` is keyed off
+    /// `hash(instance_hash, delta.content_hash())`, so replaying the same
+    /// delta coalesces.
+    pub fn content_hash(&self) -> u64 {
+        let mut d = self.clone();
+        d.normalize();
+        let mut h = FNV_OFFSET;
+        for (tag, nodes) in [
+            (1u64, &d.moved_nodes),
+            (2, &d.joined_nodes),
+            (3, &d.left_nodes),
+        ] {
+            h = fnv1a_u64(h, tag);
+            h = fnv1a_u64(h, nodes.len() as u64);
+            for n in nodes {
+                h = fnv1a_u64(h, n.index() as u64);
+            }
+        }
+        for (tag, links) in [
+            (4u64, &d.rate_changed_links),
+            (5, &d.added_links),
+            (6, &d.removed_links),
+        ] {
+            h = fnv1a_u64(h, tag);
+            h = fnv1a_u64(h, links.len() as u64);
+            for l in links {
+                h = fnv1a_u64(h, l.index() as u64);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::declarative::DeclarativeModel;
+    use crate::geometric::SinrModel;
+    use awb_phy::{Phy, Rate};
+
+    fn two_link_topology(gap: f64) -> Topology {
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(50.0, 0.0);
+        let c = t.add_node(0.0, gap);
+        let d = t.add_node(50.0, gap);
+        t.add_link(a, b).unwrap();
+        t.add_link(c, d).unwrap();
+        t
+    }
+
+    #[test]
+    fn between_detects_moves_and_rate_changes() {
+        let old = SinrModel::new(two_link_topology(1000.0), Phy::paper_default());
+        // Move node 2 closer: link 1 shortens, its alone rates change.
+        let mut t = Topology::new();
+        t.add_node(0.0, 0.0);
+        t.add_node(50.0, 0.0);
+        t.add_node(0.0, 200.0);
+        t.add_node(50.0, 1000.0);
+        t.add_link(NodeId::from_index(0), NodeId::from_index(1))
+            .unwrap();
+        t.add_link(NodeId::from_index(2), NodeId::from_index(3))
+            .unwrap();
+        let new = SinrModel::new(t, Phy::paper_default());
+        let delta = TopologyDelta::between(&old, &new);
+        assert_eq!(delta.moved_nodes, vec![NodeId::from_index(2)]);
+        assert!(delta.joined_nodes.is_empty() && delta.left_nodes.is_empty());
+        // Link 1 went from a 50 m link to an 806 m one: rates changed.
+        assert_eq!(delta.rate_changed_links, vec![LinkId::from_index(1)]);
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn between_identical_models_is_empty() {
+        let m = SinrModel::new(two_link_topology(300.0), Phy::paper_default());
+        let delta = TopologyDelta::between(&m, &m.clone());
+        assert!(delta.is_empty());
+        assert_eq!(
+            delta.content_hash(),
+            TopologyDelta::default().content_hash()
+        );
+    }
+
+    #[test]
+    fn between_detects_joins_and_additions() {
+        let old = SinrModel::new(two_link_topology(300.0), Phy::paper_default());
+        let mut t = two_link_topology(300.0);
+        let e = t.add_node(25.0, 150.0);
+        t.add_link(NodeId::from_index(0), e).unwrap();
+        let new = SinrModel::new(t, Phy::paper_default());
+        let delta = TopologyDelta::between(&old, &new);
+        assert_eq!(delta.joined_nodes, vec![e]);
+        assert_eq!(delta.added_links, vec![LinkId::from_index(2)]);
+        // Reverse direction: leaves and removals.
+        let rev = TopologyDelta::between(&new, &old);
+        assert_eq!(rev.left_nodes, vec![e]);
+        assert_eq!(rev.removed_links, vec![LinkId::from_index(2)]);
+    }
+
+    #[test]
+    fn touched_links_cover_incident_links_and_explicit_lists() {
+        let t = two_link_topology(300.0);
+        let delta = TopologyDelta {
+            moved_nodes: vec![NodeId::from_index(3)],
+            rate_changed_links: vec![LinkId::from_index(0)],
+            ..TopologyDelta::default()
+        };
+        // Node 3 is the receiver of link 1; link 0 is listed explicitly.
+        assert_eq!(
+            delta.touched_links(&t),
+            vec![LinkId::from_index(0), LinkId::from_index(1)]
+        );
+    }
+
+    #[test]
+    fn content_hash_ignores_order_and_duplicates() {
+        let a = TopologyDelta {
+            moved_nodes: vec![NodeId::from_index(2), NodeId::from_index(1)],
+            rate_changed_links: vec![LinkId::from_index(5), LinkId::from_index(5)],
+            ..TopologyDelta::default()
+        };
+        let b = TopologyDelta {
+            moved_nodes: vec![NodeId::from_index(1), NodeId::from_index(2)],
+            rate_changed_links: vec![LinkId::from_index(5)],
+            ..TopologyDelta::default()
+        };
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Moving a field's content to a different field changes the hash.
+        let c = TopologyDelta {
+            joined_nodes: vec![NodeId::from_index(1), NodeId::from_index(2)],
+            rate_changed_links: vec![LinkId::from_index(5)],
+            ..TopologyDelta::default()
+        };
+        assert_ne!(b.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn declarative_rate_edits_are_visible_conflict_edits_are_not() {
+        let t = two_link_topology(300.0);
+        let (l0, l1) = (LinkId::from_index(0), LinkId::from_index(1));
+        let r54 = Rate::from_mbps(54.0);
+        let r36 = Rate::from_mbps(36.0);
+        let old = DeclarativeModel::builder(t.clone())
+            .alone_rates(l0, &[r54])
+            .alone_rates(l1, &[r54])
+            .build();
+        let rates_edited = DeclarativeModel::builder(t.clone())
+            .alone_rates(l0, &[r54, r36])
+            .alone_rates(l1, &[r54])
+            .build();
+        assert_eq!(
+            TopologyDelta::between(&old, &rates_edited).rate_changed_links,
+            vec![l0]
+        );
+        // The documented blind spot: a pure conflict edit diffs as empty.
+        let conflict_edited = DeclarativeModel::builder(t)
+            .alone_rates(l0, &[r54])
+            .alone_rates(l1, &[r54])
+            .conflict_all(l0, l1)
+            .build();
+        assert!(TopologyDelta::between(&old, &conflict_edited).is_empty());
+    }
+}

@@ -5,6 +5,19 @@ use crate::model::LinkRateModel;
 use crate::topology::Topology;
 use awb_phy::{Phy, Rate};
 
+fn fingerprint_seed() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+fn fingerprint_mix(hash: u64, value: u64) -> u64 {
+    let mut h = hash;
+    for byte in value.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Interference model derived from node positions and an [`awb_phy::Phy`].
 ///
 /// This is the model of the paper's evaluation (§5.2): a transmission at rate
@@ -192,6 +205,49 @@ impl LinkRateModel for SinrModel {
         self.max_rate_in_set(link, &active)
     }
 
+    fn link_fingerprint(&self, link: LinkId) -> u64 {
+        // Everything a member link contributes to in-set admissibility is a
+        // function of its endpoint positions (signal strength, injected and
+        // suffered interference) given the model-wide radio, which
+        // `model_fingerprint` covers.
+        let Ok(l) = self.topology.link(link) else {
+            return 0;
+        };
+        let tx = self
+            .topology
+            .node(l.tx())
+            .expect("link endpoints are validated by the topology")
+            .position();
+        let rx = self
+            .topology
+            .node(l.rx())
+            .expect("link endpoints are validated by the topology")
+            .position();
+        let mut h = fingerprint_seed();
+        for v in [tx.x, tx.y, rx.x, rx.y] {
+            h = fingerprint_mix(h, v.to_bits());
+        }
+        h
+    }
+
+    fn model_fingerprint(&self) -> u64 {
+        let mut h = fingerprint_seed();
+        for v in [
+            self.phy.tx_power(),
+            self.phy.noise(),
+            self.phy.pathloss().exponent(),
+            self.phy.carrier_sense_range(),
+        ] {
+            h = fingerprint_mix(h, v.to_bits());
+        }
+        for spec in self.phy.rates().iter() {
+            h = fingerprint_mix(h, spec.rate.as_mbps().to_bits());
+            h = fingerprint_mix(h, spec.sinr_linear().to_bits());
+            h = fingerprint_mix(h, spec.max_distance.to_bits());
+        }
+        h
+    }
+
     fn additive_capture(&self) -> Option<crate::AdditiveCapture> {
         let n = self.topology.num_links();
         let mut power = Vec::with_capacity(n * n);
@@ -354,6 +410,32 @@ mod tests {
         // Rates out of reach return None.
         assert!(probe.conflict_range(100.0, rate).is_none()); // > 59 m
         assert!(probe.conflict_range(50.0, Rate::from_mbps(11.0)).is_none());
+    }
+
+    #[test]
+    fn fingerprints_track_geometry_and_radio() {
+        let (m, l1, l2) = parallel_pair(300.0);
+        // Distinct links fingerprint differently; a clone is identical.
+        assert_ne!(m.link_fingerprint(l1), m.link_fingerprint(l2));
+        let again = m.clone();
+        assert_eq!(m.link_fingerprint(l1), again.link_fingerprint(l1));
+        assert_eq!(m.model_fingerprint(), again.model_fingerprint());
+        // Moving one endpoint changes only that link's fingerprint.
+        let (moved, m1, m2) = parallel_pair(310.0);
+        assert_eq!(m.link_fingerprint(l1), moved.link_fingerprint(m1));
+        assert_ne!(m.link_fingerprint(l2), moved.link_fingerprint(m2));
+        // A different radio changes the model fingerprint.
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(50.0, 0.0);
+        t.add_link(a, b).unwrap();
+        let quiet = SinrModel::new(t, Phy::paper_default().with_noise(1e-15));
+        assert_ne!(m.model_fingerprint(), quiet.model_fingerprint());
+        // The blanket `&M` impl forwards rather than defaulting to 0.
+        let by_ref: &SinrModel = &m;
+        assert_eq!(by_ref.link_fingerprint(l1), m.link_fingerprint(l1));
+        assert_eq!(by_ref.model_fingerprint(), m.model_fingerprint());
+        assert_ne!(m.model_fingerprint(), 0);
     }
 
     #[test]

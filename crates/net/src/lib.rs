@@ -33,6 +33,7 @@
 
 mod capture;
 mod declarative;
+mod delta;
 mod error;
 mod geometric;
 mod ids;
@@ -43,6 +44,7 @@ mod topology;
 
 pub use capture::AdditiveCapture;
 pub use declarative::{DeclarativeModel, DeclarativeModelBuilder};
+pub use delta::TopologyDelta;
 pub use error::{PathError, TopologyError};
 pub use geometric::SinrModel;
 pub use ids::{LinkId, NodeId};

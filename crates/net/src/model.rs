@@ -121,6 +121,40 @@ pub trait LinkRateModel: Sync {
     fn additive_capture(&self) -> Option<AdditiveCapture> {
         None
     }
+
+    /// A fingerprint of everything about `link` — beyond its
+    /// [`alone_rates`](Self::alone_rates) — that the model's admissibility
+    /// answers over sets *containing* `link` depend on.
+    ///
+    /// Content-addressed compiled-unit caches (see `awb-core`'s
+    /// `UnitCache`) mix this into a component's content hash, so two
+    /// compiled snapshots may share a unit only when every member link
+    /// fingerprints identically. For geometric models this must cover the
+    /// link's endpoint positions: moving a transmitter changes the
+    /// interference it injects into co-members even when its own alone
+    /// rates are unchanged.
+    ///
+    /// The default of `0` is correct for models whose admissibility is a
+    /// pure function of alone rates and pairwise conflicts
+    /// ([`pairwise_admissibility_exact`](Self::pairwise_admissibility_exact)
+    /// — the pairwise table is hashed separately). Models with additive
+    /// interference **must** override this (and
+    /// [`model_fingerprint`](Self::model_fingerprint)); the bundled
+    /// [`SinrModel`](crate::SinrModel) does.
+    fn link_fingerprint(&self, link: LinkId) -> u64 {
+        let _ = link;
+        0
+    }
+
+    /// A fingerprint of the model-wide parameters every admissibility
+    /// answer depends on (for geometric models: the radio — transmit power,
+    /// noise floor, path-loss exponent, per-rate sensitivities and SINR
+    /// thresholds). Complements [`link_fingerprint`](Self::link_fingerprint)
+    /// in compiled-unit content hashes; the default of `0` is correct for
+    /// pairwise-exact models.
+    fn model_fingerprint(&self) -> u64 {
+        0
+    }
 }
 
 // Blanket impl so `&M` works wherever `M` does (routing and estimation take
@@ -158,5 +192,14 @@ impl<M: LinkRateModel + ?Sized> LinkRateModel for &M {
     }
     fn additive_capture(&self) -> Option<AdditiveCapture> {
         (**self).additive_capture()
+    }
+    // The fingerprints MUST forward: falling back to the defaulted `0` for
+    // `&M` would silently break content-addressed unit reuse for callers
+    // that pass models by reference (the service passes `&dyn` models).
+    fn link_fingerprint(&self, link: LinkId) -> u64 {
+        (**self).link_fingerprint(link)
+    }
+    fn model_fingerprint(&self) -> u64 {
+        (**self).model_fingerprint()
     }
 }

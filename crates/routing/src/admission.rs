@@ -122,6 +122,26 @@ pub fn admit_sequentially_with_policy<M: LinkRateModel>(
     // ground-truth admission check — shares the per-universe compiled
     // instances instead of recompiling them per flow.
     let mut session = Session::new(model, config.available_options);
+    admit_sequentially_in_session(&mut session, pairs, policy, config)
+}
+
+/// [`admit_sequentially_with_policy`] against a caller-owned [`Session`] —
+/// the epoch-driven re-admission loop ([`crate::EpochRunner`]) threads one
+/// session through many topology epochs so compiled instances and the unit
+/// cache survive between them. The session's model and options are used for
+/// every computation; `config.available_options` is ignored here in favor of
+/// the options the session was built with.
+///
+/// # Errors
+///
+/// As [`admit_sequentially`].
+pub fn admit_sequentially_in_session<M: LinkRateModel>(
+    session: &mut Session<'_, M>,
+    pairs: &[(NodeId, NodeId)],
+    policy: RoutePolicy,
+    config: &AdmissionConfig,
+) -> Result<Vec<FlowOutcome>, AdmissionError> {
+    let model = session.model();
     let mut admitted: Vec<Flow> = Vec::new();
     let mut outcomes = Vec::with_capacity(pairs.len());
     for (index, &(src, dst)) in pairs.iter().enumerate() {
@@ -135,7 +155,7 @@ pub fn admit_sequentially_with_policy<M: LinkRateModel>(
                 .1
         };
         let idle = IdleMap::from_schedule(model, &schedule);
-        let path = policy.route_with_session(&mut session, &idle, &admitted, src, dst);
+        let path = policy.route_with_session(session, &idle, &admitted, src, dst);
         let (available_mbps, new_flow, chosen) = match path {
             None => (0.0, None, None),
             Some(p) => {

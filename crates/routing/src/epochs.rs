@@ -1,0 +1,217 @@
+//! Epoch-driven re-admission over a changing topology.
+//!
+//! Static admission (§5.2, [`crate::admit_sequentially`]) assumes the
+//! topology outlives the experiment. Under mobility the topology is a
+//! sequence of epochs, each a full model snapshot plus a
+//! [`TopologyDelta`] against its predecessor. [`EpochRunner`] threads one
+//! long-lived [`Session`] through that sequence: at each epoch boundary it
+//! calls [`Session::apply_delta`], which migrates every cached compiled
+//! instance by recompiling only the components the delta touched, then
+//! re-runs sequential admission for the epoch's demand matrix against the
+//! fresh topology. The per-epoch [`DeltaReuse`] counters quantify how much
+//! compiled state survived the move — the number the mobility benches
+//! compare against from-scratch recompilation.
+//!
+//! Re-admission is deliberately stateless across epochs at the *flow* level
+//! (every epoch admits its demand matrix from an empty background): the
+//! experiment isolates how admission capacity and recompilation cost evolve
+//! with the topology, not flow churn policy.
+
+use crate::admission::{
+    admit_sequentially_in_session, AdmissionConfig, AdmissionError, FlowOutcome,
+};
+use crate::widest::RoutePolicy;
+use awb_core::{DeltaReuse, Session, SessionStats};
+use awb_net::{LinkRateModel, NodeId, TopologyDelta};
+
+/// One epoch's re-admission outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochOutcome {
+    /// 0-based epoch index (increments per [`EpochRunner::run_epoch`]).
+    pub epoch: usize,
+    /// Flows attempted this epoch.
+    pub attempted: usize,
+    /// Flows admitted this epoch.
+    pub admitted: usize,
+    /// Component-reuse counters of this epoch's delta application (all zero
+    /// for the first epoch, which has no predecessor).
+    pub reuse: DeltaReuse,
+    /// Per-flow outcomes, in arrival order.
+    pub outcomes: Vec<FlowOutcome>,
+}
+
+/// Threads one [`Session`] through a sequence of topology epochs,
+/// re-admitting a demand matrix per epoch (see module docs).
+///
+/// The caller owns the epoch models (they must all outlive the runner) and
+/// supplies the delta between consecutive snapshots — typically
+/// [`TopologyDelta::between`] over a
+/// `awb_workloads::mobility::WaypointMobility` trace.
+#[derive(Debug)]
+pub struct EpochRunner<'m, M: LinkRateModel> {
+    session: Session<'m, M>,
+    policy: RoutePolicy,
+    config: AdmissionConfig,
+    epoch: usize,
+}
+
+impl<'m, M: LinkRateModel> EpochRunner<'m, M> {
+    /// Creates a runner whose session compiles against `model` (the first
+    /// epoch's snapshot) under `config.available_options`.
+    pub fn new(model: &'m M, policy: RoutePolicy, config: AdmissionConfig) -> EpochRunner<'m, M> {
+        EpochRunner {
+            session: Session::new(model, config.available_options),
+            policy,
+            config,
+            epoch: 0,
+        }
+    }
+
+    /// The session's accumulated compile/warm-hit/delta-reuse counters.
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+
+    /// Epochs run so far.
+    pub fn epochs_run(&self) -> usize {
+        self.epoch
+    }
+
+    /// Runs one epoch: migrates the session to `model` via `delta` (pass
+    /// `None` for the first epoch — the session already points at the first
+    /// snapshot), then re-admits `pairs` sequentially from an empty
+    /// background.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::admit_sequentially`]; rejected or unroutable flows are
+    /// outcomes, not errors.
+    pub fn run_epoch(
+        &mut self,
+        model: &'m M,
+        delta: Option<&TopologyDelta>,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<EpochOutcome, AdmissionError> {
+        let reuse = match delta {
+            Some(delta) => self.session.apply_delta(model, delta),
+            None => DeltaReuse::default(),
+        };
+        let outcomes =
+            admit_sequentially_in_session(&mut self.session, pairs, self.policy, &self.config)?;
+        let outcome = EpochOutcome {
+            epoch: self.epoch,
+            attempted: outcomes.len(),
+            admitted: outcomes.iter().filter(|o| o.admitted).count(),
+            reuse,
+            outcomes,
+        };
+        self.epoch += 1;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::RoutingMetric;
+    use awb_core::AvailableBandwidthOptions;
+    use awb_workloads::mobility::{demand_pairs, DemandPattern, WaypointConfig, WaypointMobility};
+
+    fn trace_models(epochs: usize, cfg: WaypointConfig) -> Vec<awb_net::SinrModel> {
+        let mut trace = WaypointMobility::new(cfg);
+        let mut models = Vec::with_capacity(epochs);
+        for e in 0..epochs {
+            if e > 0 {
+                trace.advance();
+            }
+            models.push(trace.snapshot());
+        }
+        models
+    }
+
+    /// Epoch-threaded admission must admit exactly what a cold, from-scratch
+    /// admission over the same snapshot admits — bandwidth answers included.
+    #[test]
+    fn epoch_readmission_matches_cold_admission_per_epoch() {
+        let cfg = WaypointConfig {
+            num_nodes: 14,
+            width: 250.0,
+            height: 250.0,
+            mobile_fraction: 0.15,
+            speed_min: 8.0,
+            speed_max: 8.0,
+            seed: 21,
+            ..WaypointConfig::default()
+        };
+        let models = trace_models(3, cfg);
+        let options = AvailableBandwidthOptions {
+            decompose: true,
+            ..AvailableBandwidthOptions::default()
+        };
+        let config = AdmissionConfig {
+            stop_on_first_failure: false,
+            available_options: options,
+            ..AdmissionConfig::default()
+        };
+        let policy = RoutePolicy::Additive(RoutingMetric::HopCount);
+        let mut runner = EpochRunner::new(&models[0], policy, config);
+        for (e, model) in models.iter().enumerate() {
+            let pairs = demand_pairs(model.topology(), DemandPattern::Unidir, 4, 100 + e as u64);
+            let delta = if e == 0 {
+                None
+            } else {
+                Some(TopologyDelta::between(&models[e - 1], model))
+            };
+            let warm = runner.run_epoch(model, delta.as_ref(), &pairs).unwrap();
+            let cold =
+                crate::admission::admit_sequentially_with_policy(model, &pairs, policy, &config)
+                    .unwrap();
+            assert_eq!(warm.outcomes.len(), cold.len(), "epoch {e}");
+            for (w, c) in warm.outcomes.iter().zip(&cold) {
+                assert_eq!(w.admitted, c.admitted, "epoch {e} flow {}", w.index);
+                assert_eq!(
+                    w.available_mbps.to_bits(),
+                    c.available_mbps.to_bits(),
+                    "epoch {e} flow {} answers must be bit-identical",
+                    w.index
+                );
+            }
+        }
+        assert_eq!(runner.epochs_run(), 3);
+        let stats = runner.stats();
+        assert_eq!(stats.delta_applications, 2);
+    }
+
+    /// An anchored trace (empty deltas) must reuse every compiled component.
+    #[test]
+    fn static_epochs_reuse_everything() {
+        let cfg = WaypointConfig {
+            num_nodes: 10,
+            width: 200.0,
+            height: 200.0,
+            mobile_fraction: 0.0,
+            seed: 5,
+            ..WaypointConfig::default()
+        };
+        let models = trace_models(2, cfg);
+        let options = AvailableBandwidthOptions {
+            decompose: true,
+            ..AvailableBandwidthOptions::default()
+        };
+        let config = AdmissionConfig {
+            stop_on_first_failure: false,
+            available_options: options,
+            ..AdmissionConfig::default()
+        };
+        let policy = RoutePolicy::Additive(RoutingMetric::HopCount);
+        let mut runner = EpochRunner::new(&models[0], policy, config);
+        let pairs = demand_pairs(models[0].topology(), DemandPattern::SinkTree, 3, 9);
+        runner.run_epoch(&models[0], None, &pairs).unwrap();
+        let delta = TopologyDelta::between(&models[0], &models[1]);
+        assert!(delta.is_empty());
+        let out = runner.run_epoch(&models[1], Some(&delta), &pairs).unwrap();
+        assert_eq!(out.reuse.units_compiled, 0);
+        assert_eq!(out.reuse.unit_cache_hits, 0);
+        assert_eq!(out.reuse.dirty_links, 0);
+    }
+}

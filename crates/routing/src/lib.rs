@@ -35,15 +35,17 @@
 
 mod admission;
 mod dijkstra;
+mod epochs;
 mod kpaths;
 mod metric;
 mod widest;
 
 pub use admission::{
-    admit_sequentially, admit_sequentially_with_policy, AdmissionConfig, AdmissionError,
-    FlowOutcome,
+    admit_sequentially, admit_sequentially_in_session, admit_sequentially_with_policy,
+    AdmissionConfig, AdmissionError, FlowOutcome,
 };
 pub use dijkstra::shortest_path;
+pub use epochs::{EpochOutcome, EpochRunner};
 pub use kpaths::{k_shortest_paths, oracle_route, oracle_route_with_session};
 pub use metric::RoutingMetric;
 pub use widest::{widest_estimate_path, RoutePolicy};

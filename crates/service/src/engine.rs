@@ -35,13 +35,14 @@ use crate::shards::ShardedLru;
 use crate::spec::{FnvHasher, TopologySpec};
 use awb_core::{
     link_universe, AvailableBandwidth, AvailableBandwidthOptions, CompiledInstance, CoreError,
-    Flow, PricingMode, Session, SolverKind,
+    DeltaReuse, Flow, PricingMode, Session, SolverKind, UnitCache, DEFAULT_RETENTION_EPOCHS,
 };
 use awb_estimate::{Estimator, Hop, IdleMap};
 use awb_net::{LinkRateModel, Path};
 use awb_sets::{EngineKind, EnumerationOptions};
 use serde_json::{Map, Value};
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -51,6 +52,20 @@ pub struct ResolvedTopology {
     pub model: Arc<dyn LinkRateModel + Send + Sync>,
     /// Content hash of the canonical spec.
     pub content_hash: u64,
+    /// The canonical spec itself — kept so `update` can patch it
+    /// index-preservingly and register the result.
+    pub spec: TopologySpec,
+}
+
+/// One live compiled-instance record: enough to find the cached instance
+/// again (`key`) and to re-key it after a topology update (`universe`,
+/// `options`). The sharded LRU itself is deliberately not iterable, so the
+/// engine keeps this side index per topology hash.
+#[derive(Debug, Clone)]
+struct IndexedInstance {
+    key: u64,
+    universe: Vec<awb_net::LinkId>,
+    options: AvailableBandwidthOptions,
 }
 
 /// Engine tuning knobs.
@@ -77,6 +92,12 @@ pub struct EngineConfig {
     /// pays the oracle compile once and answers are independent of the
     /// order requests arrive in.
     pub solver: SolverKind,
+    /// Compile per conflict component instead of per whole universe.
+    /// Answers are bit-identical either way; `true` is what makes the
+    /// `update` verb's component-granular instance patching effective
+    /// (an untouched component is reused without recompilation), at the
+    /// cost of storing the component adjacency alongside each instance.
+    pub decompose: bool,
     /// Column-pricing strategy under [`SolverKind::ColumnGeneration`].
     /// Heuristic-first vs exact-only only steers how columns are searched
     /// for — every converged answer carries the same exact-oracle
@@ -104,6 +125,7 @@ impl Default for EngineConfig {
             model_cache_capacity: 64,
             enumeration_engine: EngineKind::Auto,
             solver: SolverKind::default(),
+            decompose: AvailableBandwidthOptions::default().decompose,
             pricing: PricingMode::default(),
             stab_alpha: AvailableBandwidthOptions::default().stab_alpha,
             pricing_threads: 1,
@@ -122,12 +144,22 @@ pub struct Engine {
     /// sharded so concurrent lookups for different instances never
     /// contend; compiles of the same instance coalesce within a shard.
     instances: ShardedLru<CompiledInstance, Result<CompiledInstance, CoreError>>,
+    /// Per-topology index of live instance-cache entries, so `update` can
+    /// migrate them (entries whose instance has been evicted are dropped
+    /// lazily at update time).
+    instance_index: Mutex<BTreeMap<u64, Vec<IndexedInstance>>>,
+    /// Content-hashed compiled units shared across topology updates: an
+    /// oscillating topology (A → B → A) re-materializes A's components
+    /// from here instead of recompiling them.
+    unit_cache: Mutex<UnitCache>,
     /// Rendered results.
     results: Mutex<LruCache<Value>>,
     /// Engine used for cold set-pool builds.
     enumeration_engine: EngineKind,
     /// LP solve strategy for available-bandwidth queries.
     solver: SolverKind,
+    /// Whether compiled instances decompose into per-component units.
+    decompose: bool,
     /// Pricing strategy under column generation (constant per process, so
     /// it stays out of the instance-cache key).
     pricing: PricingMode,
@@ -169,9 +201,12 @@ impl Engine {
             registry: Mutex::new(BTreeMap::new()),
             models: Mutex::new(LruCache::new(config.model_cache_capacity)),
             instances: ShardedLru::new(config.shards, config.sets_cache_capacity),
+            instance_index: Mutex::new(BTreeMap::new()),
+            unit_cache: Mutex::new(UnitCache::new(DEFAULT_RETENTION_EPOCHS)),
             results: Mutex::new(LruCache::new(config.result_cache_capacity)),
             enumeration_engine: config.enumeration_engine,
             solver: config.solver,
+            decompose: config.decompose,
             pricing: config.pricing,
             stab_alpha: config.stab_alpha,
             pricing_threads: config.pricing_threads,
@@ -192,6 +227,14 @@ impl Engine {
         let mut value = self.metrics.to_value();
         if let Value::Object(m) = &mut value {
             m.insert("instance_shards".into(), self.instances.stats_value());
+            let unit_cache = lock_recover(&self.unit_cache);
+            let (hits, misses) = unit_cache.stats();
+            let mut u = Map::new();
+            u.insert("hits".into(), Value::Number(hits as f64));
+            u.insert("misses".into(), Value::Number(misses as f64));
+            u.insert("len".into(), Value::Number(unit_cache.len() as f64));
+            drop(unit_cache);
+            m.insert("unit_cache".into(), Value::Object(u));
             if let Some(reactor) = lock_recover(&self.reactor_metrics).as_ref() {
                 let mut r = Map::new();
                 for (name, v) in reactor.snapshot() {
@@ -220,6 +263,7 @@ impl Engine {
         match request.query {
             QueryKind::Stats => Ok((self.stats_value(), None)),
             QueryKind::RegisterTopology => self.register(request),
+            QueryKind::Update => self.update(request, deadline).map(|(v, s)| (v, Some(s))),
             QueryKind::AvailableBandwidth => {
                 let (value, status) = self.available_bandwidth(request, deadline)?;
                 Ok((value, Some(status)))
@@ -284,6 +328,7 @@ impl Engine {
                 let resolved = ResolvedTopology {
                     model: built.model,
                     content_hash: built.content_hash,
+                    spec: spec.clone(),
                 };
                 Ok(lock_recover(&self.models).insert(hash, resolved))
             }
@@ -317,6 +362,7 @@ impl Engine {
             Arc::new(ResolvedTopology {
                 model: built.model,
                 content_hash: hash,
+                spec: spec.clone(),
             }),
         );
         Ok((Value::Object(m), None))
@@ -354,6 +400,7 @@ impl Engine {
         AvailableBandwidthOptions {
             enumeration: self.enumeration_options(request),
             solver: self.solver,
+            decompose: self.decompose,
             pricing: self.pricing,
             stab_alpha: self.stab_alpha,
             pricing_threads: self.pricing_threads,
@@ -473,6 +520,7 @@ impl Engine {
         match &*compiled {
             Ok(instance) => {
                 let shared = if status == CacheStatus::Miss {
+                    self.record_instance(resolved.content_hash, key, universe, options);
                     self.instances.insert(key, instance.clone())
                 } else {
                     Arc::new(instance.clone())
@@ -481,6 +529,181 @@ impl Engine {
             }
             Err(e) => Err(core_error(e.clone())),
         }
+    }
+
+    /// Records a live instance-cache entry in the per-topology side index.
+    fn record_instance(
+        &self,
+        topology_hash: u64,
+        key: u64,
+        universe: &[awb_net::LinkId],
+        options: &AvailableBandwidthOptions,
+    ) {
+        let mut index = lock_recover(&self.instance_index);
+        let entries = index.entry(topology_hash).or_default();
+        if !entries.iter().any(|e| e.key == key) {
+            entries.push(IndexedInstance {
+                key,
+                universe: universe.to_vec(),
+                options: *options,
+            });
+        }
+    }
+
+    /// The dynamic-topology patch path (`update`): applies the request's
+    /// [`crate::spec::DeltaSpec`] to the resolved topology, registers the
+    /// patched topology under its new content hash, and migrates every live
+    /// compiled instance of the old topology with component-granular
+    /// incremental recompilation (`CompiledInstance::apply_delta`) instead
+    /// of letting it be recompiled from scratch on the next query.
+    ///
+    /// The whole update is keyed off the delta hash chain
+    /// `fnv(old topology hash, delta chain hash)`: replaying the identical
+    /// update is a result-cache hit that performs no work, and each
+    /// migrated instance goes through the per-shard coalescer under its
+    /// *new* key, so a concurrent query for the patched topology shares the
+    /// patch instead of compiling cold.
+    // awb-audit: hot
+    fn update(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<(Value, CacheStatus), ServiceError> {
+        let reference = request
+            .topology
+            .as_ref()
+            .ok_or_else(|| ServiceError::bad_request("`update` requires a `topology`"))?;
+        let delta = request
+            .delta
+            .as_ref()
+            .ok_or_else(|| ServiceError::bad_request("`update` requires a `delta` object"))?;
+        let resolved = self.resolve(reference)?;
+        let mut h = FnvHasher::default();
+        h.write_u64(QueryKind::Update as u64);
+        h.write_u64(resolved.content_hash);
+        h.write_u64(delta.chain_hash());
+        let result_key = h.finish();
+        if let Some(cached) = lock_recover(&self.results).get(result_key) {
+            Metrics::bump(&self.metrics.result_cache_hits);
+            return Ok(((*cached).clone(), CacheStatus::Hit));
+        }
+        Metrics::bump(&self.metrics.result_cache_misses);
+        self.check_deadline(deadline)?;
+
+        let (patched_spec, core_delta) = resolved.spec.apply_delta(delta)?;
+        let built = patched_spec.build()?;
+        let new_hash = built.content_hash;
+        let new_resolved = Arc::new(ResolvedTopology {
+            model: built.model,
+            content_hash: new_hash,
+            spec: patched_spec,
+        });
+        // Pin the patched topology exactly as `register_topology` would.
+        lock_recover(&self.registry).insert(new_hash, Arc::clone(&new_resolved));
+
+        let entries = lock_recover(&self.instance_index)
+            .get(&resolved.content_hash)
+            .cloned()
+            .unwrap_or_default();
+        let model: &(dyn LinkRateModel + Send + Sync) = &*new_resolved.model;
+        let mut total = DeltaReuse::default();
+        let mut patched_count = 0u64;
+        // One unit-cache epoch per update: the mutex also serializes
+        // concurrent updates, so the per-instance coalescing below only
+        // ever races against ordinary queries, never another patch.
+        let mut unit_cache = lock_recover(&self.unit_cache);
+        for entry in &entries {
+            self.check_deadline(deadline)?;
+            let Some(old_instance) = self.instances.get(entry.key) else {
+                continue; // evicted since it was recorded
+            };
+            let new_key = Engine::instance_key(&new_resolved, &entry.universe, &entry.options);
+            if self.instances.get(new_key).is_some() {
+                continue; // already present (e.g. an earlier chained update)
+            }
+            let mut reuse = None;
+            let (patched, role) = self.instances.coalesce(new_key, || {
+                old_instance
+                    .apply_delta(&model, &core_delta, &mut unit_cache)
+                    .map(|(next, r)| {
+                        reuse = Some(r);
+                        next
+                    })
+            });
+            if matches!(role, Role::Follower) {
+                continue; // a concurrent query compiled it for us
+            }
+            let Some(patched) = patched else { continue };
+            if let Ok(instance) = &*patched {
+                if let Some(r) = reuse {
+                    total.absorb(r);
+                }
+                patched_count += 1;
+                self.instances.insert(new_key, instance.clone());
+                self.record_instance(new_hash, new_key, &entry.universe, &entry.options);
+            }
+            // A failed patch is simply dropped: the next query against the
+            // new topology compiles cold, which is the pre-update behavior.
+        }
+        unit_cache.end_epoch();
+        drop(unit_cache);
+
+        Metrics::bump(&self.metrics.updates);
+        let add = |c: &std::sync::atomic::AtomicU64, n: usize| {
+            c.fetch_add(n as u64, Ordering::Relaxed);
+        };
+        add(&self.metrics.instances_patched, patched_count as usize);
+        add(&self.metrics.delta_units_reused, total.units_reused);
+        add(&self.metrics.delta_unit_cache_hits, total.unit_cache_hits);
+        add(&self.metrics.delta_units_recompiled, total.units_compiled);
+
+        let topology = new_resolved.model.topology();
+        let mut m = Map::new();
+        m.insert(
+            "topology_hash".into(),
+            Value::String(format!("{new_hash:016x}")),
+        );
+        m.insert(
+            "previous_hash".into(),
+            Value::String(format!("{:016x}", resolved.content_hash)),
+        );
+        m.insert(
+            "num_nodes".into(),
+            Value::Number(topology.num_nodes() as f64),
+        );
+        m.insert(
+            "num_links".into(),
+            Value::Number(topology.num_links() as f64),
+        );
+        m.insert(
+            "instances_patched".into(),
+            Value::Number(patched_count as f64),
+        );
+        let mut r = Map::new();
+        r.insert(
+            "units_reused".into(),
+            Value::Number(total.units_reused as f64),
+        );
+        r.insert(
+            "unit_cache_hits".into(),
+            Value::Number(total.unit_cache_hits as f64),
+        );
+        r.insert(
+            "units_compiled".into(),
+            Value::Number(total.units_compiled as f64),
+        );
+        r.insert(
+            "dirty_links".into(),
+            Value::Number(total.dirty_links as f64),
+        );
+        r.insert(
+            "full_recompiles".into(),
+            Value::Number(total.full_recompiles as f64),
+        );
+        m.insert("reuse".into(), Value::Object(r));
+        let value = Value::Object(m);
+        lock_recover(&self.results).insert(result_key, value.clone());
+        Ok((value, CacheStatus::Miss))
     }
 
     /// The full Eq. 6 pipeline with both cache layers.
@@ -604,6 +827,22 @@ impl Engine {
         s.insert(
             "warm_queries".into(),
             Value::Number(stats.warm_queries as f64),
+        );
+        s.insert(
+            "delta_applications".into(),
+            Value::Number(stats.delta_applications as f64),
+        );
+        s.insert(
+            "units_reused".into(),
+            Value::Number(stats.delta_reuse.units_reused as f64),
+        );
+        s.insert(
+            "unit_cache_hits".into(),
+            Value::Number(stats.delta_reuse.unit_cache_hits as f64),
+        );
+        s.insert(
+            "units_compiled".into(),
+            Value::Number(stats.delta_reuse.units_compiled as f64),
         );
         m.insert("session".into(), Value::Object(s));
         let value = Value::Object(m);
@@ -940,6 +1179,207 @@ mod tests {
         assert_eq!(s1, Some(CacheStatus::SetsHit));
         assert_eq!(s2, Some(CacheStatus::SetsHit));
         assert_eq!(value.get("admitted").and_then(Value::as_bool), Some(true));
+    }
+
+    /// Two-component declarative fixture for the update tests: three
+    /// node-disjoint parallel links, links 0 and 1 in declared conflict
+    /// (one component), link 2 independent (its own component).
+    fn two_component_spec(rates2: &str) -> String {
+        format!(
+            r#"{{
+                "nodes": [[0,0],[50,0],[0,100],[50,100],[0,200],[50,200]],
+                "links": [[0,1],[2,3],[4,5]],
+                "alone_rates": [[54],[54],{rates2}],
+                "conflicts": [[0,1]]
+            }}"#
+        )
+    }
+
+    /// An `available_bandwidth` request for path `[0]` whose background
+    /// flows pull links 1 and 2 into the universe, so one compiled
+    /// instance covers both components.
+    fn two_component_query(topology_hash: &str) -> Request {
+        Request::parse(&format!(
+            r#"{{"query": "available_bandwidth", "topology": "{topology_hash}",
+                 "background": [{{"path": [1], "demand_mbps": 0.5}},
+                                {{"path": [2], "demand_mbps": 0.5}}],
+                 "path": [0]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn update_patches_cached_instances_and_matches_fresh_compile() {
+        let engine = Engine::new(EngineConfig {
+            decompose: true,
+            ..EngineConfig::default()
+        });
+        let register = Request::parse(&format!(
+            r#"{{"query": "register_topology", "topology": {}}}"#,
+            two_component_spec("[54]")
+        ))
+        .unwrap();
+        let (value, _) = engine.handle(&register, None).unwrap();
+        let hash = value
+            .get("topology_hash")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        // Warm one instance over the full universe.
+        let (_, s) = engine.handle(&two_component_query(&hash), None).unwrap();
+        assert_eq!(s, Some(CacheStatus::Miss));
+
+        // Patch link 2's rate list: only its singleton component is dirty.
+        let update = Request::parse(&format!(
+            r#"{{"query": "update", "topology": "{hash}",
+                 "delta": {{"rate_changed_links": [[2, [36]]]}}}}"#
+        ))
+        .unwrap();
+        let (out, s) = engine.handle(&update, None).unwrap();
+        assert_eq!(s, Some(CacheStatus::Miss));
+        assert_eq!(
+            out.get("instances_patched").and_then(Value::as_u64),
+            Some(1)
+        );
+        let reuse = out.get("reuse").unwrap();
+        assert_eq!(reuse.get("units_reused").and_then(Value::as_u64), Some(1));
+        assert_eq!(reuse.get("units_compiled").and_then(Value::as_u64), Some(1));
+        let new_hash = out
+            .get("topology_hash")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        assert_ne!(new_hash, hash);
+
+        // The patched topology answers warm — its instance was migrated,
+        // not evicted — and byte-identically to a cold engine that was
+        // handed the post-delta spec directly.
+        let (patched_answer, s) = engine
+            .handle(&two_component_query(&new_hash), None)
+            .unwrap();
+        assert_eq!(s, Some(CacheStatus::SetsHit));
+
+        let cold = Engine::new(EngineConfig {
+            decompose: true,
+            ..EngineConfig::default()
+        });
+        let cold_register = Request::parse(&format!(
+            r#"{{"query": "register_topology", "topology": {}}}"#,
+            two_component_spec("[36]")
+        ))
+        .unwrap();
+        let (value, _) = cold.handle(&cold_register, None).unwrap();
+        let cold_hash = value.get("topology_hash").and_then(Value::as_str).unwrap();
+        assert_eq!(
+            cold_hash, new_hash,
+            "patched spec must hash like a fresh one"
+        );
+        let (cold_answer, _) = cold.handle(&two_component_query(cold_hash), None).unwrap();
+        assert_eq!(patched_answer.to_string(), cold_answer.to_string());
+
+        // The metrics saw the patch.
+        let stats = engine.stats_value();
+        assert_eq!(stats.get("updates").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            stats.get("instances_patched").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            stats.get("delta_units_reused").and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn replaying_an_update_hits_the_result_cache() {
+        let engine = Engine::new(EngineConfig {
+            decompose: true,
+            ..EngineConfig::default()
+        });
+        let register = Request::parse(&format!(
+            r#"{{"query": "register_topology", "topology": {}}}"#,
+            two_component_spec("[54]")
+        ))
+        .unwrap();
+        let (value, _) = engine.handle(&register, None).unwrap();
+        let hash = value.get("topology_hash").and_then(Value::as_str).unwrap();
+        let update = Request::parse(&format!(
+            r#"{{"query": "update", "topology": "{hash}",
+                 "delta": {{"moved_nodes": [[3, 160.0, 10.0]]}}}}"#
+        ))
+        .unwrap();
+        let (first, s1) = engine.handle(&update, None).unwrap();
+        let (second, s2) = engine.handle(&update, None).unwrap();
+        assert_eq!(s1, Some(CacheStatus::Miss));
+        assert_eq!(s2, Some(CacheStatus::Hit));
+        assert_eq!(first.to_string(), second.to_string());
+        // A different delta against the same base is NOT a replay.
+        let other = Request::parse(&format!(
+            r#"{{"query": "update", "topology": "{hash}",
+                 "delta": {{"moved_nodes": [[3, 170.0, 10.0]]}}}}"#
+        ))
+        .unwrap();
+        let (_, s3) = engine.handle(&other, None).unwrap();
+        assert_eq!(s3, Some(CacheStatus::Miss));
+    }
+
+    #[test]
+    fn update_of_a_sinr_topology_moves_nodes_and_stays_queryable() {
+        let engine = Engine::new(EngineConfig {
+            decompose: true,
+            solver: SolverKind::ColumnGeneration,
+            ..EngineConfig::default()
+        });
+        let register = Request::parse(
+            r#"{"query": "register_topology", "topology": {
+                "model": "sinr",
+                "nodes": [[0,0],[40,0],[800,0],[840,0]],
+                "links": [[0,1],[2,3]]
+            }}"#,
+        )
+        .unwrap();
+        let (value, _) = engine.handle(&register, None).unwrap();
+        let hash = value
+            .get("topology_hash")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        let query = Request::parse(&format!(
+            r#"{{"query": "available_bandwidth", "topology": "{hash}", "path": [0]}}"#
+        ))
+        .unwrap();
+        let (_, s) = engine.handle(&query, None).unwrap();
+        assert_eq!(s, Some(CacheStatus::Miss));
+
+        // Nudge the far pair; the near pair's component is untouched.
+        let update = Request::parse(&format!(
+            r#"{{"query": "update", "topology": "{hash}",
+                 "delta": {{"moved_nodes": [[2, 810.0, 0.0], [3, 850.0, 0.0]]}}}}"#
+        ))
+        .unwrap();
+        let (out, _) = engine.handle(&update, None).unwrap();
+        let new_hash = out
+            .get("topology_hash")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(
+            out.get("instances_patched").and_then(Value::as_u64),
+            Some(1)
+        );
+        let warm = Request::parse(&format!(
+            r#"{{"query": "available_bandwidth", "topology": "{new_hash}", "path": [0]}}"#
+        ))
+        .unwrap();
+        let (answer, s) = engine.handle(&warm, None).unwrap();
+        assert_eq!(s, Some(CacheStatus::SetsHit));
+        assert!(
+            answer
+                .get("bandwidth_mbps")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]

@@ -93,6 +93,19 @@ pub struct Metrics {
     pub result_cache_hits: AtomicU64,
     /// Result-cache misses.
     pub result_cache_misses: AtomicU64,
+    /// `update` requests that performed a patch (result-cache replays of
+    /// the same update are counted as result hits, not here).
+    pub updates: AtomicU64,
+    /// Compiled instances migrated across a topology update.
+    pub instances_patched: AtomicU64,
+    /// Per-component delta-reuse totals across all updates: components
+    /// structurally reused without rehashing.
+    pub delta_units_reused: AtomicU64,
+    /// Components re-materialized from the unit cache by content hash.
+    pub delta_unit_cache_hits: AtomicU64,
+    /// Components actually recompiled (the only exponential work an
+    /// update pays).
+    pub delta_units_recompiled: AtomicU64,
     /// Latency of independent-set enumeration (cache misses only).
     pub enumeration_latency: Histogram,
     /// Latency of LP solves (result-cache misses only).
@@ -123,6 +136,17 @@ impl Metrics {
         m.insert("coalesced".into(), n(&self.coalesced));
         m.insert("result_cache_hits".into(), n(&self.result_cache_hits));
         m.insert("result_cache_misses".into(), n(&self.result_cache_misses));
+        m.insert("updates".into(), n(&self.updates));
+        m.insert("instances_patched".into(), n(&self.instances_patched));
+        m.insert("delta_units_reused".into(), n(&self.delta_units_reused));
+        m.insert(
+            "delta_unit_cache_hits".into(),
+            n(&self.delta_unit_cache_hits),
+        );
+        m.insert(
+            "delta_units_recompiled".into(),
+            n(&self.delta_units_recompiled),
+        );
         m.insert(
             "enumeration_latency".into(),
             self.enumeration_latency.to_value(),
@@ -136,7 +160,7 @@ impl Metrics {
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
         format!(
             "ok={} err={} overloaded={} deadline={} sets_cache={}/{} coalesced={} \
-             result_cache={}/{} enum_mean={:.0}us lp_mean={:.0}us",
+             result_cache={}/{} updates={} patched={} enum_mean={:.0}us lp_mean={:.0}us",
             g(&self.requests_ok),
             g(&self.requests_error),
             g(&self.rejected_overload),
@@ -146,6 +170,8 @@ impl Metrics {
             g(&self.coalesced),
             g(&self.result_cache_hits),
             g(&self.result_cache_hits) + g(&self.result_cache_misses),
+            g(&self.updates),
+            g(&self.instances_patched),
             self.enumeration_latency.mean_us(),
             self.lp_latency.mean_us(),
         )

@@ -16,12 +16,27 @@
 //! ```
 //!
 //! `query` is one of `available_bandwidth`, `bounds`, `estimate`, `admit`,
-//! `admit_batch`, `stats`, `register_topology`. `id` (any JSON value) is
-//! echoed back. `topology` accepts either an inline spec (see
+//! `admit_batch`, `stats`, `register_topology`, `update`. `id` (any JSON
+//! value) is echoed back. `topology` accepts either an inline spec (see
 //! [`crate::spec`]) or the hash string returned by `register_topology`.
 //! `demand_mbps` is only meaningful for `admit`; `max_set_size` caps the
 //! enumerated set size (`bounds` requires it for the lower bound,
 //! default 2).
+//!
+//! `update` patches a topology in place instead of re-registering it from
+//! scratch:
+//!
+//! ```json
+//! {"query": "update", "topology": "<hash>",
+//!  "delta": {"moved_nodes": [[3, 120.0, 45.5]],
+//!            "rate_changed_links": [[1, [54, 36]]]}}
+//! ```
+//!
+//! The server registers the patched topology under its new content hash
+//! (returned as `topology_hash`) and migrates every cached compiled
+//! instance of the old topology by recompiling only the conflict
+//! components the delta touched — follow-up queries against the new hash
+//! start warm. See [`crate::spec::DeltaSpec`] for the delta vocabulary.
 //!
 //! `admit_batch` carries a whole flow-arrival sequence in one request:
 //!
@@ -46,7 +61,7 @@
 //!  "error": {"code": "overloaded", "message": "queue full (capacity 64)"}}
 //! ```
 
-use crate::spec::{SpecError, TopologySpec};
+use crate::spec::{DeltaSpec, SpecError, TopologySpec};
 use serde_json::{Map, Value};
 
 /// Structured error codes a response can carry.
@@ -159,6 +174,8 @@ pub enum QueryKind {
     Stats,
     /// Register a topology for by-hash reuse.
     RegisterTopology,
+    /// Patch a topology with a delta, migrating its compiled instances.
+    Update,
 }
 
 impl QueryKind {
@@ -172,6 +189,7 @@ impl QueryKind {
             QueryKind::AdmitBatch => "admit_batch",
             QueryKind::Stats => "stats",
             QueryKind::RegisterTopology => "register_topology",
+            QueryKind::Update => "update",
         }
     }
 }
@@ -191,6 +209,8 @@ pub struct Request {
     pub path: Vec<usize>,
     /// The arrival sequence for `admit_batch` (empty otherwise).
     pub arrivals: Vec<FlowSpec>,
+    /// The topology patch for `update` (`None` otherwise).
+    pub delta: Option<DeltaSpec>,
     /// Candidate demand for `admit`.
     pub demand_mbps: Option<f64>,
     /// Enumerated set-size cap (`None` = unbounded).
@@ -228,6 +248,7 @@ impl Request {
             Some("admit_batch") => QueryKind::AdmitBatch,
             Some("stats") => QueryKind::Stats,
             Some("register_topology") => QueryKind::RegisterTopology,
+            Some("update") => QueryKind::Update,
             Some(other) => {
                 return Err(ServiceError::bad_request(format!(
                     "unknown query `{other}`"
@@ -256,6 +277,15 @@ impl Request {
         if query == QueryKind::AdmitBatch && arrivals.is_empty() {
             return Err(ServiceError::bad_request(
                 "`admit_batch` requires a non-empty `arrivals` array",
+            ));
+        }
+        let delta = match obj.get("delta") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(DeltaSpec::from_value(v)?),
+        };
+        if query == QueryKind::Update && delta.is_none() {
+            return Err(ServiceError::bad_request(
+                "`update` requires a `delta` object",
             ));
         }
         let path = match obj.get("path") {
@@ -308,6 +338,7 @@ impl Request {
             background,
             path,
             arrivals,
+            delta,
             demand_mbps,
             max_set_size,
             deadline_ms,
@@ -448,6 +479,31 @@ mod tests {
             r.topology,
             Some(TopologyRef::Registered(0x00ff_00ff_00ff_00ff))
         );
+    }
+
+    #[test]
+    fn parses_an_update_request() {
+        let line = r#"{"query": "update", "topology": "00ff00ff00ff00ff",
+            "delta": {"moved_nodes": [[2, 120.0, 5.0]],
+                      "rate_changed_links": [[1, [36]]],
+                      "added_links": [[0, 2]]}}"#;
+        let r = Request::parse(line).unwrap();
+        assert_eq!(r.query, QueryKind::Update);
+        let delta = r.delta.unwrap();
+        assert_eq!(delta.moved_nodes, vec![(2, 120.0, 5.0)]);
+        assert_eq!(delta.rate_changed_links, vec![(1, vec![36.0])]);
+        assert_eq!(delta.added_links, vec![(0, 2)]);
+        // update without a delta, and malformed delta entries, are rejected.
+        for bad in [
+            r#"{"query": "update", "topology": "00ff00ff00ff00ff"}"#,
+            r#"{"query": "update", "topology": "00ff00ff00ff00ff", "delta": 5}"#,
+            r#"{"query": "update", "topology": "00ff00ff00ff00ff",
+                "delta": {"moved_nodes": [[2, 120.0]]}}"#,
+            r#"{"query": "update", "topology": "00ff00ff00ff00ff",
+                "delta": {"rate_changed_links": [[1, [-3]]]}}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Topology specifications: the JSON description of a network a client
 //! sends, its canonical content hash, and model construction.
 
-use awb_net::{DeclarativeModel, LinkRateModel, Path, SinrModel, Topology};
+use awb_net::{
+    DeclarativeModel, LinkId, LinkRateModel, NodeId, Path, SinrModel, Topology, TopologyDelta,
+};
 use awb_phy::{Phy, Rate};
 use serde_json::{Map, Value};
 use std::sync::Arc;
@@ -406,6 +408,85 @@ impl TopologySpec {
         })
     }
 
+    /// Patches the spec with `delta`, preserving every existing node and
+    /// link index (the stable-id scheme incremental recompilation relies
+    /// on): moves rewrite positions in place, joins and link additions
+    /// append, rate changes rewrite one link's rate list. Returns the
+    /// patched spec plus the equivalent core [`TopologyDelta`], which is
+    /// what `CompiledInstance::apply_delta` consumes.
+    ///
+    /// Link *removal* is deliberately unsupported — removing an entry
+    /// would renumber every later link and invalidate all compiled state.
+    /// Express a dead link as a rate change to an empty list (declarative)
+    /// or by moving its endpoints out of range (SINR), exactly as the
+    /// mobility generator does.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] on out-of-range indices, rate edits against a SINR
+    /// spec (rates there derive from geometry), or duplicate added links.
+    pub fn apply_delta(
+        &self,
+        delta: &DeltaSpec,
+    ) -> Result<(TopologySpec, TopologyDelta), SpecError> {
+        let mut spec = self.clone();
+        let mut core = TopologyDelta::default();
+        for &(node, x, y) in &delta.moved_nodes {
+            let slot = spec
+                .nodes
+                .get_mut(node)
+                .ok_or_else(|| err(format!("moved node {node} out of range")))?;
+            if *slot != (x, y) {
+                *slot = (x, y);
+                core.moved_nodes.push(NodeId::from_index(node));
+            }
+        }
+        for &(x, y) in &delta.joined_nodes {
+            core.joined_nodes.push(NodeId::from_index(spec.nodes.len()));
+            spec.nodes.push((x, y));
+        }
+        for (link, rates) in &delta.rate_changed_links {
+            if spec.model != ModelKind::Declarative {
+                return Err(err("rate_changed_links only applies to declarative specs \
+                     (SINR rates derive from geometry; move the nodes instead)"));
+            }
+            if *link >= spec.links.len() {
+                return Err(err(format!("rate-changed link {link} out of range")));
+            }
+            if spec.alone_rates.is_empty() {
+                spec.alone_rates = vec![Vec::new(); spec.links.len()];
+            }
+            if spec.alone_rates[*link] != *rates {
+                spec.alone_rates[*link] = rates.clone();
+                core.rate_changed_links.push(LinkId::from_index(*link));
+            }
+        }
+        for &(tx, rx) in &delta.added_links {
+            if tx >= spec.nodes.len() || rx >= spec.nodes.len() {
+                return Err(err(format!(
+                    "added link [{tx}, {rx}] references a missing node"
+                )));
+            }
+            if tx == rx {
+                return Err(err(format!("added link [{tx}, {rx}] is a self-loop")));
+            }
+            if spec.links.contains(&(tx, rx)) {
+                return Err(err(format!("added link [{tx}, {rx}] already exists")));
+            }
+            core.added_links.push(LinkId::from_index(spec.links.len()));
+            spec.links.push((tx, rx));
+            if !spec.alone_rates.is_empty() {
+                // New declarative links start dead until a rate change
+                // brings them alive — index-stable, like the mobility
+                // generator's ever-seen link table.
+                spec.alone_rates.push(Vec::new());
+            }
+        }
+        core.normalize();
+        spec.content_hash = fnv1a(spec.canonical_json().as_bytes());
+        Ok((spec, core))
+    }
+
     /// Validates a link-index path against the built model's topology.
     ///
     /// # Errors
@@ -424,6 +505,134 @@ impl TopologySpec {
             })
             .collect::<Result<Vec<_>, _>>()?;
         Path::new(topology, ids).map_err(|e| err(format!("invalid path: {e}")))
+    }
+}
+
+/// A client-supplied topology delta — the `delta` field of an `update`
+/// request.
+///
+/// ```json
+/// {
+///   "moved_nodes": [[node, x, y], ...],
+///   "joined_nodes": [[x, y], ...],
+///   "rate_changed_links": [[link, [mbps, ...]], ...],
+///   "added_links": [[tx, rx], ...]
+/// }
+/// ```
+///
+/// All fields optional; an absent field means "no change of that kind".
+/// See [`TopologySpec::apply_delta`] for the semantics (index-preserving,
+/// no link removal).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeltaSpec {
+    /// Nodes repositioned to new coordinates.
+    pub moved_nodes: Vec<(usize, f64, f64)>,
+    /// Nodes appended to the topology.
+    pub joined_nodes: Vec<(f64, f64)>,
+    /// Links whose alone-rate list is replaced (declarative only; an empty
+    /// list kills the link without renumbering anything).
+    pub rate_changed_links: Vec<(usize, Vec<f64>)>,
+    /// Links appended to the topology.
+    pub added_links: Vec<(usize, usize)>,
+}
+
+impl DeltaSpec {
+    /// Parses a delta from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] on malformed entries (range checks against the target
+    /// spec happen later, in [`TopologySpec::apply_delta`]).
+    pub fn from_value(value: &Value) -> Result<DeltaSpec, SpecError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| err("`delta` must be a JSON object"))?;
+        let mut delta = DeltaSpec::default();
+        if let Some(v) = obj.get("moved_nodes").filter(|v| !v.is_null()) {
+            let items = v
+                .as_array()
+                .ok_or_else(|| err("`moved_nodes` must be an array"))?;
+            for item in items {
+                let t = item
+                    .as_array()
+                    .filter(|a| a.len() == 3)
+                    .ok_or_else(|| err("`moved_nodes` entries must be [node, x, y]"))?;
+                let node = t[0]
+                    .as_u64()
+                    .ok_or_else(|| err("bad node index in `moved_nodes`"))?
+                    as usize;
+                let x = t[1].as_f64().filter(|x| x.is_finite());
+                let y = t[2].as_f64().filter(|y| y.is_finite());
+                match (x, y) {
+                    (Some(x), Some(y)) => delta.moved_nodes.push((node, x, y)),
+                    _ => return Err(err("bad coordinates in `moved_nodes`")),
+                }
+            }
+        }
+        delta.joined_nodes = parse_pairs(value, "joined_nodes", "[x, y]")?;
+        if let Some(v) = obj.get("rate_changed_links").filter(|v| !v.is_null()) {
+            let items = v
+                .as_array()
+                .ok_or_else(|| err("`rate_changed_links` must be an array"))?;
+            for item in items {
+                let t = item.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                    err("`rate_changed_links` entries must be [link, [mbps, ...]]")
+                })?;
+                let link = t[0]
+                    .as_u64()
+                    .ok_or_else(|| err("bad link index in `rate_changed_links`"))?
+                    as usize;
+                let rates = t[1]
+                    .as_array()
+                    .ok_or_else(|| err("`rate_changed_links` rates must be an array"))?
+                    .iter()
+                    .map(|r| {
+                        r.as_f64()
+                            .filter(|m| m.is_finite() && *m > 0.0)
+                            .ok_or_else(|| err("rates must be positive Mbps numbers"))
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?;
+                delta.rate_changed_links.push((link, rates));
+            }
+        }
+        delta.added_links = parse_pairs(value, "added_links", "[tx, rx]")?;
+        Ok(delta)
+    }
+
+    /// Whether the delta describes no change at all.
+    pub fn is_empty(&self) -> bool {
+        self.moved_nodes.is_empty()
+            && self.joined_nodes.is_empty()
+            && self.rate_changed_links.is_empty()
+            && self.added_links.is_empty()
+    }
+
+    /// A content hash over every field *including* coordinates and rates —
+    /// unlike [`TopologyDelta::content_hash`], which only covers ids. This
+    /// is the delta half of the update chain key: two updates of the same
+    /// base topology coalesce iff they request byte-identical changes.
+    pub fn chain_hash(&self) -> u64 {
+        let mut h = FnvHasher::default();
+        h.write_u64(self.moved_nodes.len() as u64);
+        for &(n, x, y) in &self.moved_nodes {
+            h.write_u64(n as u64).write_f64(x).write_f64(y);
+        }
+        h.write_u64(self.joined_nodes.len() as u64);
+        for &(x, y) in &self.joined_nodes {
+            h.write_f64(x).write_f64(y);
+        }
+        h.write_u64(self.rate_changed_links.len() as u64);
+        for (l, rates) in &self.rate_changed_links {
+            h.write_u64(*l as u64).write_u64(rates.len() as u64);
+            for &r in rates {
+                h.write_f64(r);
+            }
+        }
+        h.write_u64(self.added_links.len() as u64);
+        for &(tx, rx) in &self.added_links {
+            h.write_u64(tx as u64).write_u64(rx as u64);
+        }
+        h.finish()
     }
 }
 
@@ -545,6 +754,105 @@ mod tests {
             spec.content_hash(),
             TopologySpec::sinr_for(&t).content_hash()
         );
+    }
+
+    #[test]
+    fn apply_delta_patches_in_place_and_matches_direct_construction() {
+        let spec = TopologySpec::from_value(&chain_spec()).unwrap();
+        let delta = DeltaSpec::from_value(
+            &serde_json::from_str::<Value>(
+                r#"{"moved_nodes": [[2, 120, 5]],
+                    "rate_changed_links": [[1, [36]]],
+                    "joined_nodes": [[60, 60]],
+                    "added_links": [[1, 3]]}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let (patched, core) = spec.apply_delta(&delta).unwrap();
+        // The patched spec hashes identically to the same network sent
+        // inline from scratch — the registry entry it creates is
+        // indistinguishable from a fresh registration.
+        let direct: Value = serde_json::from_str(
+            r#"{
+                "model": "declarative",
+                "nodes": [[0,0],[50,0],[120,5],[60,60]],
+                "links": [[0,1],[1,2],[1,3]],
+                "alone_rates": [[54],[36],[]],
+                "conflicts": [[0,1]]
+            }"#,
+        )
+        .unwrap();
+        let direct = TopologySpec::from_value(&direct).unwrap();
+        assert_eq!(patched, direct);
+        assert_eq!(patched.content_hash(), direct.content_hash());
+        assert_ne!(patched.content_hash(), spec.content_hash());
+        // The core delta names exactly what changed, under stable ids.
+        assert_eq!(core.moved_nodes, vec![NodeId::from_index(2)]);
+        assert_eq!(core.joined_nodes, vec![NodeId::from_index(3)]);
+        assert_eq!(core.rate_changed_links, vec![LinkId::from_index(1)]);
+        assert_eq!(core.added_links, vec![LinkId::from_index(2)]);
+        // A no-op move (same position) registers no change.
+        let noop = DeltaSpec {
+            moved_nodes: vec![(0, 0.0, 0.0)],
+            ..DeltaSpec::default()
+        };
+        let (same, core) = spec.apply_delta(&noop).unwrap();
+        assert_eq!(same.content_hash(), spec.content_hash());
+        assert!(core.is_empty());
+    }
+
+    #[test]
+    fn apply_delta_rejects_invalid_patches() {
+        let spec = TopologySpec::from_value(&chain_spec()).unwrap();
+        let bad = [
+            DeltaSpec {
+                moved_nodes: vec![(9, 0.0, 0.0)],
+                ..DeltaSpec::default()
+            },
+            DeltaSpec {
+                rate_changed_links: vec![(7, vec![54.0])],
+                ..DeltaSpec::default()
+            },
+            DeltaSpec {
+                added_links: vec![(0, 0)],
+                ..DeltaSpec::default()
+            },
+            DeltaSpec {
+                added_links: vec![(0, 1)],
+                ..DeltaSpec::default()
+            },
+        ];
+        for delta in &bad {
+            assert!(spec.apply_delta(delta).is_err(), "accepted: {delta:?}");
+        }
+        // Rate edits against SINR specs are meaningless: rates are geometry.
+        let mut t = Topology::new();
+        let a = t.add_node(0.0, 0.0);
+        let b = t.add_node(40.0, 0.0);
+        t.add_link(a, b).unwrap();
+        let sinr = TopologySpec::sinr_for(&t);
+        let rate_edit = DeltaSpec {
+            rate_changed_links: vec![(0, vec![54.0])],
+            ..DeltaSpec::default()
+        };
+        assert!(sinr.apply_delta(&rate_edit).is_err());
+    }
+
+    #[test]
+    fn delta_chain_hash_sees_coordinates() {
+        let a = DeltaSpec {
+            moved_nodes: vec![(2, 10.0, 0.0)],
+            ..DeltaSpec::default()
+        };
+        let b = DeltaSpec {
+            moved_nodes: vec![(2, 20.0, 0.0)],
+            ..DeltaSpec::default()
+        };
+        // TopologyDelta::content_hash collapses these (same ids moved);
+        // the chain hash must not, or two different updates would coalesce.
+        assert_ne!(a.chain_hash(), b.chain_hash());
+        assert_eq!(a.chain_hash(), a.clone().chain_hash());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 mod chains;
 mod matrix;
+pub mod mobility;
 mod random;
 mod scenarios;
 
@@ -23,5 +24,6 @@ pub use chains::{chain_model, grid_model};
 pub use matrix::{
     ContentionSpec, DensityPoint, RateMix, ScenarioCell, ScenarioMatrix, TrafficSpec,
 };
+pub use mobility::{demand_pairs, speed_sweep, DemandPattern, WaypointConfig, WaypointMobility};
 pub use random::{connected_pairs, shortest_hop_distance, RandomTopology, RandomTopologyConfig};
 pub use scenarios::{ScenarioOne, ScenarioTwo};

@@ -1,0 +1,542 @@
+//! Deterministic random-waypoint mobility traces with stable link identity.
+//!
+//! The paper evaluates static topologies; this module supplies the dynamic
+//! counterpart used by the delta-recompilation benches: a subset of nodes
+//! performs classic random-waypoint motion (pick a uniform waypoint and a
+//! uniform speed, travel, repeat) over a sequence of discrete **epochs**,
+//! and every epoch yields a full [`SinrModel`] snapshot plus, via
+//! [`awb_net::TopologyDelta::between`], an exact delta against the previous
+//! epoch.
+//!
+//! # Stable link identity
+//!
+//! Incremental recompilation is only meaningful when a link keeps its
+//! [`awb_net::LinkId`] across epochs. [`WaypointMobility`] therefore keeps a
+//! persistent first-seen-ordered table of every directed node pair that has
+//! *ever* been within decoding range; each snapshot rebuilds the topology
+//! with **all** nodes and **all** ever-seen links in table order, so ids are
+//! a stable, append-only sequence. A link whose endpoints have since drifted
+//! out of range stays in the topology and simply compiles to an empty
+//! alone-rate set — it is dead, not renumbered.
+//!
+//! # Demand matrices
+//!
+//! [`DemandPattern`] draws the source/destination pairs the re-admission
+//! experiments route each epoch: convergecast onto a central sink
+//! ([`DemandPattern::SinkTree`] — the sensor-network baseline), a random hot
+//! destination ([`DemandPattern::HotDest`]), and uniform unidirectional /
+//! bidirectional pairs ([`DemandPattern::Unidir`], [`DemandPattern::Bidir`]).
+
+use awb_net::{NodeId, SinrModel, Topology};
+use awb_phy::Phy;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Parameters of a random-waypoint mobility trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WaypointConfig {
+    /// Field width in metres.
+    pub width: f64,
+    /// Field height in metres.
+    pub height: f64,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Fraction of nodes that move (the rest are anchored); rounded up to a
+    /// whole node count.
+    pub mobile_fraction: f64,
+    /// Minimum waypoint leg speed in m/s.
+    pub speed_min: f64,
+    /// Maximum waypoint leg speed in m/s.
+    pub speed_max: f64,
+    /// Wall-clock seconds per epoch (distance travelled per epoch is
+    /// `speed × epoch_seconds`).
+    pub epoch_seconds: f64,
+    /// RNG seed; the whole trace is a pure function of the config.
+    pub seed: u64,
+}
+
+impl Default for WaypointConfig {
+    fn default() -> Self {
+        WaypointConfig {
+            width: 400.0,
+            height: 600.0,
+            num_nodes: 30,
+            mobile_fraction: 0.1,
+            speed_min: 1.0,
+            speed_max: 5.0,
+            epoch_seconds: 10.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Copies of `base` pinned to each given leg speed (min = max = speed) — the
+/// speed sweep axis of the mobility benches.
+pub fn speed_sweep(base: &WaypointConfig, speeds_mps: &[f64]) -> Vec<WaypointConfig> {
+    speeds_mps
+        .iter()
+        .map(|&s| WaypointConfig {
+            speed_min: s,
+            speed_max: s,
+            ..*base
+        })
+        .collect()
+}
+
+/// One mobile node's current leg: where it is headed and how fast.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    target: (f64, f64),
+    speed: f64,
+}
+
+/// A running random-waypoint trace: positions plus the persistent link-id
+/// table (see module docs). Call [`WaypointMobility::snapshot`] for the
+/// current epoch's model and [`WaypointMobility::advance`] to move to the
+/// next.
+#[derive(Debug, Clone)]
+pub struct WaypointMobility {
+    config: WaypointConfig,
+    phy: Phy,
+    rng: SmallRng,
+    positions: Vec<(f64, f64)>,
+    mobile: Vec<bool>,
+    legs: Vec<Option<Leg>>,
+    /// Ever-seen directed pairs in first-seen order — index IS the LinkId.
+    links: Vec<(usize, usize)>,
+    known: BTreeSet<(usize, usize)>,
+    epoch: usize,
+}
+
+impl WaypointMobility {
+    /// Starts a trace with the paper's radio ([`Phy::paper_default`]).
+    pub fn new(config: WaypointConfig) -> WaypointMobility {
+        WaypointMobility::with_phy(config, Phy::paper_default())
+    }
+
+    /// Starts a trace with a custom radio.
+    pub fn with_phy(config: WaypointConfig, phy: Phy) -> WaypointMobility {
+        assert!(config.num_nodes >= 2, "need at least two nodes");
+        assert!(
+            config.width > 0.0 && config.height > 0.0,
+            "field dimensions must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.mobile_fraction),
+            "mobile fraction must lie in [0, 1]"
+        );
+        assert!(
+            config.speed_min > 0.0 && config.speed_max >= config.speed_min,
+            "speeds must be positive with min <= max"
+        );
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let positions: Vec<(f64, f64)> = (0..config.num_nodes)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..config.width),
+                    rng.gen_range(0.0..config.height),
+                )
+            })
+            .collect();
+        // Partial Fisher-Yates: the first `num_mobile` slots of a shuffled
+        // index vector are a uniform sample without replacement.
+        let num_mobile = ((config.num_nodes as f64 * config.mobile_fraction).ceil() as usize)
+            .min(config.num_nodes);
+        let mut order: Vec<usize> = (0..config.num_nodes).collect();
+        for i in 0..num_mobile {
+            let j = rng.gen_range(i..order.len());
+            order.swap(i, j);
+        }
+        let mut mobile = vec![false; config.num_nodes];
+        for &i in &order[..num_mobile] {
+            mobile[i] = true;
+        }
+        let mut trace = WaypointMobility {
+            config,
+            phy,
+            rng,
+            positions,
+            mobile,
+            legs: vec![None; config.num_nodes],
+            links: Vec::new(),
+            known: BTreeSet::new(),
+            epoch: 0,
+        };
+        for i in 0..config.num_nodes {
+            if trace.mobile[i] {
+                trace.legs[i] = Some(trace.draw_leg());
+            }
+        }
+        trace
+    }
+
+    fn draw_leg(&mut self) -> Leg {
+        Leg {
+            target: (
+                self.rng.gen_range(0.0..self.config.width),
+                self.rng.gen_range(0.0..self.config.height),
+            ),
+            speed: if self.config.speed_max > self.config.speed_min {
+                self.rng
+                    .gen_range(self.config.speed_min..self.config.speed_max)
+            } else {
+                self.config.speed_min
+            },
+        }
+    }
+
+    /// The trace parameters.
+    pub fn config(&self) -> &WaypointConfig {
+        &self.config
+    }
+
+    /// The radio model the snapshots are built with.
+    pub fn phy(&self) -> &Phy {
+        &self.phy
+    }
+
+    /// Epochs advanced so far (0 before the first [`Self::advance`]).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Node indices that move (for assertions and reporting).
+    pub fn mobile_nodes(&self) -> Vec<usize> {
+        (0..self.config.num_nodes)
+            .filter(|&i| self.mobile[i])
+            .collect()
+    }
+
+    /// Number of links the persistent table has ever seen.
+    pub fn num_known_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Moves every mobile node by one epoch of waypoint travel. A node that
+    /// reaches its waypoint mid-epoch draws a fresh leg and keeps moving
+    /// with the leftover time (no pause — the harshest case for the
+    /// recompiler).
+    pub fn advance(&mut self) {
+        self.epoch += 1;
+        for i in 0..self.config.num_nodes {
+            if !self.mobile[i] {
+                continue;
+            }
+            let mut budget = self.config.epoch_seconds;
+            while budget > 0.0 {
+                // awb-audit: allow(no-panic-in-lib) — mobile nodes always hold a leg
+                let leg = self.legs[i].expect("mobile nodes always have a leg");
+                let (x, y) = self.positions[i];
+                let (tx, ty) = leg.target;
+                let dist = ((tx - x).powi(2) + (ty - y).powi(2)).sqrt();
+                let reach = leg.speed * budget;
+                if reach >= dist {
+                    self.positions[i] = leg.target;
+                    budget -= if leg.speed > 0.0 {
+                        dist / leg.speed
+                    } else {
+                        budget
+                    };
+                    self.legs[i] = Some(self.draw_leg());
+                    // awb-audit: allow(no-float-eq) — exact-zero leg guard, not a tolerance test
+                    if dist == 0.0 {
+                        break; // zero-length leg: avoid spinning on redraws
+                    }
+                } else {
+                    let f = reach / dist;
+                    self.positions[i] = (x + (tx - x) * f, y + (ty - y) * f);
+                    budget = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Builds the current epoch's [`SinrModel`]: all nodes at their current
+    /// positions, all ever-seen links in stable id order (newly in-range
+    /// pairs are appended to the table first — both directions, ordered
+    /// pairs scanned `(i, j)` ascending).
+    pub fn snapshot(&mut self) -> SinrModel {
+        let range = self.phy.max_range();
+        let n = self.config.num_nodes;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (xi, yi) = self.positions[i];
+                let (xj, yj) = self.positions[j];
+                let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+                if d <= range {
+                    if self.known.insert((i, j)) {
+                        self.links.push((i, j));
+                    }
+                    if self.known.insert((j, i)) {
+                        self.links.push((j, i));
+                    }
+                }
+            }
+        }
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = self
+            .positions
+            .iter()
+            .map(|&(x, y)| t.add_node(x, y))
+            .collect();
+        for &(i, j) in &self.links {
+            let added = t.add_link(nodes[i], nodes[j]);
+            // awb-audit: allow(no-panic-in-lib) — table pairs are distinct and inserted once
+            added.expect("link table pairs are distinct and unique");
+        }
+        SinrModel::new(t, self.phy.clone())
+    }
+}
+
+/// The shape of the demand matrix routed each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DemandPattern {
+    /// Convergecast: every flow sinks at the node nearest the field centre
+    /// (the sensor-network data-collection tree).
+    SinkTree,
+    /// All flows target one randomly drawn hot destination.
+    HotDest,
+    /// Independent uniformly random ordered pairs.
+    Unidir,
+    /// Uniformly random pairs, each taken in both directions.
+    Bidir,
+}
+
+/// Draws `flows` source/destination pairs over `topology` under `pattern`.
+/// Pairs are distinct as ordered pairs and never self-loops; no
+/// connectivity is guaranteed — under mobility a pair may simply be
+/// unroutable that epoch, which the admission layer reports as a rejection.
+///
+/// # Panics
+///
+/// Panics if the topology cannot supply `flows` distinct pairs (more flows
+/// than distinct pairs available).
+pub fn demand_pairs(
+    topology: &Topology,
+    pattern: DemandPattern,
+    flows: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let n = topology.num_nodes();
+    assert!(n >= 2, "need at least two nodes for demands");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<(NodeId, NodeId)> = Vec::with_capacity(flows);
+    let draw_distinct =
+        |rng: &mut SmallRng, out: &mut Vec<(NodeId, NodeId)>, fixed_dst: Option<NodeId>| {
+            let limit = 100_000;
+            for _ in 0..limit {
+                let src = NodeId::from_index(rng.gen_range(0..n));
+                let dst = fixed_dst.unwrap_or_else(|| NodeId::from_index(rng.gen_range(0..n)));
+                if src != dst && !out.contains(&(src, dst)) {
+                    out.push((src, dst));
+                    return;
+                }
+            }
+            // awb-audit: allow(no-panic-in-lib) — documented `# Panics` limit, 100k rejection draws
+            panic!("could not draw {flows} distinct demand pairs");
+        };
+    match pattern {
+        DemandPattern::SinkTree => {
+            let sink = central_node(topology);
+            for _ in 0..flows {
+                draw_distinct(&mut rng, &mut out, Some(sink));
+            }
+        }
+        DemandPattern::HotDest => {
+            let dest = NodeId::from_index(rng.gen_range(0..n));
+            for _ in 0..flows {
+                draw_distinct(&mut rng, &mut out, Some(dest));
+            }
+        }
+        DemandPattern::Unidir => {
+            for _ in 0..flows {
+                draw_distinct(&mut rng, &mut out, None);
+            }
+        }
+        DemandPattern::Bidir => {
+            while out.len() < flows {
+                draw_distinct(&mut rng, &mut out, None);
+                if out.len() < flows {
+                    // awb-audit: allow(no-panic-in-lib) — a pair was just pushed
+                    let &(s, d) = out.last().expect("a pair was just drawn");
+                    if !out.contains(&(d, s)) {
+                        out.push((d, s));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The node nearest the field centroid — the convergecast sink.
+fn central_node(topology: &Topology) -> NodeId {
+    let n = topology.num_nodes() as f64;
+    let (mut cx, mut cy) = (0.0, 0.0);
+    for node in topology.nodes() {
+        let p = node.position();
+        cx += p.x / n;
+        cy += p.y / n;
+    }
+    let mut best = (f64::INFINITY, NodeId::from_index(0));
+    for node in topology.nodes() {
+        let p = node.position();
+        let d2 = (p.x - cx).powi(2) + (p.y - cy).powi(2);
+        if d2 < best.0 {
+            best = (d2, node.id());
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awb_net::{LinkRateModel, TopologyDelta};
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let cfg = WaypointConfig::default();
+        let run = |cfg: WaypointConfig| {
+            let mut m = WaypointMobility::new(cfg);
+            let mut sizes = Vec::new();
+            for _ in 0..4 {
+                let snap = m.snapshot();
+                sizes.push((
+                    snap.topology().num_links(),
+                    snap.topology()
+                        .nodes()
+                        .map(|n| n.position().x.to_bits() ^ n.position().y.to_bits())
+                        .fold(0u64, u64::wrapping_add),
+                ));
+                m.advance();
+            }
+            sizes
+        };
+        assert_eq!(run(cfg), run(cfg));
+        assert_ne!(run(cfg), run(WaypointConfig { seed: 99, ..cfg }));
+    }
+
+    #[test]
+    fn link_ids_are_stable_and_append_only() {
+        let mut m = WaypointMobility::new(WaypointConfig {
+            mobile_fraction: 0.5,
+            speed_min: 20.0,
+            speed_max: 20.0,
+            ..WaypointConfig::default()
+        });
+        let first = m.snapshot();
+        let first_links: Vec<_> = first.topology().links().map(|l| (l.tx(), l.rx())).collect();
+        for _ in 0..3 {
+            m.advance();
+        }
+        let later = m.snapshot();
+        let later_links: Vec<_> = later.topology().links().map(|l| (l.tx(), l.rx())).collect();
+        // The earlier table is a prefix: same (tx, rx) at the same LinkId.
+        assert!(later_links.len() >= first_links.len());
+        assert_eq!(&later_links[..first_links.len()], &first_links[..]);
+    }
+
+    #[test]
+    fn deltas_report_only_mobile_nodes() {
+        let cfg = WaypointConfig {
+            num_nodes: 20,
+            mobile_fraction: 0.2,
+            ..WaypointConfig::default()
+        };
+        let mut m = WaypointMobility::new(cfg);
+        let mobile = m.mobile_nodes();
+        assert_eq!(mobile.len(), 4);
+        let prev = m.snapshot();
+        m.advance();
+        let cur = m.snapshot();
+        let delta = TopologyDelta::between(&prev, &cur);
+        for node in &delta.moved_nodes {
+            assert!(mobile.contains(&node.index()), "{node:?} is anchored");
+        }
+        // Anchored nodes never move; joins/leaves don't apply (all nodes
+        // exist from epoch 0).
+        assert!(delta.joined_nodes.is_empty());
+        assert!(delta.left_nodes.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_links_go_dead_not_renumbered() {
+        let cfg = WaypointConfig {
+            num_nodes: 8,
+            mobile_fraction: 1.0,
+            speed_min: 30.0,
+            speed_max: 30.0,
+            epoch_seconds: 10.0,
+            seed: 11,
+            ..WaypointConfig::default()
+        };
+        let mut m = WaypointMobility::new(cfg);
+        let mut dead_seen = false;
+        for _ in 0..6 {
+            let snap = m.snapshot();
+            let t = snap.topology();
+            let range = m.phy().max_range();
+            for link in t.links() {
+                let d = t.distance(link.tx(), link.rx()).unwrap();
+                let alone = snap.alone_rates(link.id());
+                if d > range {
+                    assert!(alone.is_empty(), "out-of-range link must be dead");
+                    dead_seen = true;
+                } else {
+                    assert!(!alone.is_empty(), "in-range link must be alive");
+                }
+            }
+            m.advance();
+        }
+        assert!(dead_seen, "trace never produced a dead link at 30 m/s");
+    }
+
+    #[test]
+    fn speed_sweep_pins_speeds() {
+        let cfgs = speed_sweep(&WaypointConfig::default(), &[1.0, 5.0, 10.0]);
+        assert_eq!(cfgs.len(), 3);
+        assert!(cfgs
+            .iter()
+            .zip([1.0, 5.0, 10.0])
+            .all(|(c, s)| c.speed_min == s && c.speed_max == s));
+    }
+
+    #[test]
+    fn demand_patterns_have_their_shapes() {
+        let mut m = WaypointMobility::new(WaypointConfig::default());
+        let snap = m.snapshot();
+        let t = snap.topology();
+        let sink_tree = demand_pairs(t, DemandPattern::SinkTree, 6, 3);
+        let sink = sink_tree[0].1;
+        assert!(sink_tree.iter().all(|&(s, d)| d == sink && s != d));
+        assert_eq!(sink, central_node(t));
+        let hot = demand_pairs(t, DemandPattern::HotDest, 6, 3);
+        let dest = hot[0].1;
+        assert!(hot.iter().all(|&(s, d)| d == dest && s != d));
+        let uni = demand_pairs(t, DemandPattern::Unidir, 6, 3);
+        assert_eq!(uni.len(), 6);
+        let mut dedup = uni.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6, "ordered pairs are distinct");
+        let bi = demand_pairs(t, DemandPattern::Bidir, 6, 3);
+        assert_eq!(bi.len(), 6);
+        assert!(bi.chunks(2).all(|c| c.len() < 2 || c[0].0 == c[1].1));
+    }
+
+    #[test]
+    fn anchored_trace_produces_empty_deltas() {
+        let mut m = WaypointMobility::new(WaypointConfig {
+            mobile_fraction: 0.0,
+            ..WaypointConfig::default()
+        });
+        let a = m.snapshot();
+        m.advance();
+        let b = m.snapshot();
+        assert!(TopologyDelta::between(&a, &b).is_empty());
+    }
+}
